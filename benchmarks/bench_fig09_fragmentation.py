@@ -1,0 +1,65 @@
+"""Figure 9: evaluation time vs. number of machines/fragments (Experiment 1).
+
+Regenerates both sub-figures over the FT1 fragment tree with a constant
+cumulative size and 1..10 fragments, and checks the paper's qualitative
+claims:
+
+* fragmentation helps: the most fragmented iteration is faster than the
+  single-fragment iteration for every variant;
+* XPath-annotations make PaX3 faster on Q1 (they skip the answer-retrieval
+  stage);
+* PaX2 is at least as fast as PaX3 on Q4 (one pass instead of two).
+"""
+
+from __future__ import annotations
+
+from conftest import scaled, write_report
+
+from repro.bench.experiment1 import run_experiment1
+
+TOTAL_BYTES = scaled(300_000)
+MAX_FRAGMENTS = 10
+
+
+def _series(report, label):
+    return report.series[label].values
+
+
+def test_fig9a_q1_fragmentation(benchmark, results_dir):
+    """Figure 9(a): PaX3 on Q1, with and without annotations."""
+    reports = benchmark.pedantic(
+        run_experiment1,
+        kwargs={"total_bytes": TOTAL_BYTES, "max_fragments": MAX_FRAGMENTS},
+        rounds=1,
+        iterations=1,
+    )
+    fig = reports["fig9a"]
+    write_report(results_dir, "fig9a", fig.render())
+
+    na = _series(fig, "PaX3-NA-Q1")
+    xa = _series(fig, "PaX3-XA-Q1")
+    # Parallelism: the 10-fragment iteration beats the unfragmented one.
+    assert na[-1] < na[0]
+    assert xa[-1] < xa[0]
+    # Annotations help Q1 on average (they remove the candidate-resolution stage).
+    assert sum(xa) < sum(na)
+
+
+def test_fig9b_q4_fragmentation(benchmark, results_dir):
+    """Figure 9(b): PaX3 vs PaX2 on Q4 (no annotations)."""
+    reports = benchmark.pedantic(
+        run_experiment1,
+        kwargs={"total_bytes": TOTAL_BYTES, "max_fragments": MAX_FRAGMENTS},
+        rounds=1,
+        iterations=1,
+    )
+    fig = reports["fig9b"]
+    write_report(results_dir, "fig9b", fig.render())
+
+    pax3 = _series(fig, "PaX3-NA-Q4")
+    pax2 = _series(fig, "PaX2-NA-Q4")
+    # Fragmentation helps both algorithms.
+    assert pax3[-1] < pax3[0]
+    assert pax2[-1] < pax2[0]
+    # Combining the two passes makes PaX2 the faster algorithm overall.
+    assert sum(pax2) < sum(pax3)

@@ -1,0 +1,68 @@
+"""Figure 10: parallel evaluation time vs. cumulative data size (Experiment 2).
+
+Regenerates the four sub-figures over the FT2 fragment tree and checks the
+paper's qualitative claims:
+
+* every variant scales (roughly) linearly with data size,
+* annotations more than halve Q1 and Q2 (only 4 / 6 of 10 fragments run),
+* PaX2 beats PaX3 when qualifiers are present (Q3, Q4), and annotations help
+  PaX2 further on Q3,
+* on Q4 (a ``//`` that reaches every fragment) annotations do not prune.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled, write_report
+
+from repro.bench.experiment2 import run_experiment2
+
+SIZES = [scaled(300_000 + 60_000 * step) for step in range(6)]
+
+
+def _series(report, label):
+    return report.series[label].values
+
+
+def _run(benchmark):
+    return benchmark.pedantic(
+        run_experiment2, kwargs={"sizes": SIZES}, rounds=1, iterations=1
+    )
+
+
+def test_fig10a_q1_scalability(benchmark, results_dir):
+    reports = _run(benchmark)
+    fig = reports["fig10a"]
+    write_report(results_dir, "fig10a", fig.render())
+    na, xa = _series(fig, "PaX3-NA-Q1"), _series(fig, "PaX3-XA-Q1")
+    assert na[-1] > na[0]          # more data, more time
+    assert sum(xa) < sum(na)       # annotations prune 6 of 10 fragments
+
+
+def test_fig10b_q2_scalability(benchmark, results_dir):
+    reports = _run(benchmark)
+    fig = reports["fig10b"]
+    write_report(results_dir, "fig10b", fig.render())
+    na, xa = _series(fig, "PaX3-NA-Q2"), _series(fig, "PaX3-XA-Q2")
+    assert na[-1] > na[0]
+    assert sum(xa) < sum(na)
+
+
+def test_fig10c_q3_scalability(benchmark, results_dir):
+    reports = _run(benchmark)
+    fig = reports["fig10c"]
+    write_report(results_dir, "fig10c", fig.render())
+    pax3 = _series(fig, "PaX3-NA-Q3")
+    pax2 = _series(fig, "PaX2-NA-Q3")
+    pax2_xa = _series(fig, "PaX2-XA-Q3")
+    assert sum(pax2) < sum(pax3)        # one pass instead of two
+    assert sum(pax2_xa) < sum(pax2)     # annotations prune the combined pass
+
+
+def test_fig10d_q4_scalability(benchmark, results_dir):
+    reports = _run(benchmark)
+    fig = reports["fig10d"]
+    write_report(results_dir, "fig10d", fig.render())
+    pax3 = _series(fig, "PaX3-NA-Q4")
+    pax2 = _series(fig, "PaX2-NA-Q4")
+    assert sum(pax2) < sum(pax3)
+    assert pax3[-1] > pax3[0]

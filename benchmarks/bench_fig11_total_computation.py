@@ -1,0 +1,67 @@
+"""Figure 11: total computation time vs. cumulative data size (Experiment 3).
+
+Same setting as Figure 10 but the y axis sums the evaluation time over every
+machine holding a fragment.  Checks the paper's qualitative claims:
+
+* with annotations the *total* computation of Q1/Q2 drops by more than the
+  parallel time does (pruned machines do no work at all),
+* PaX2's savings over PaX3 appear in the total as well,
+* Q4's total is unaffected by annotations.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled, write_report
+
+from repro.bench.experiment3 import run_experiment3
+
+SIZES = [scaled(300_000 + 60_000 * step) for step in range(6)]
+
+
+def _series(report, label):
+    return report.series[label].values
+
+
+def _run(benchmark):
+    return benchmark.pedantic(
+        run_experiment3, kwargs={"sizes": SIZES}, rounds=1, iterations=1
+    )
+
+
+def test_fig11a_q1_total(benchmark, results_dir):
+    reports = _run(benchmark)
+    fig = reports["fig11a"]
+    write_report(results_dir, "fig11a", fig.render())
+    na, xa = _series(fig, "PaX3-NA-Q1"), _series(fig, "PaX3-XA-Q1")
+    # Pruned fragments do no work: the total drops by well over half
+    # (the paper reports roughly two thirds).
+    assert sum(xa) < 0.6 * sum(na)
+
+
+def test_fig11b_q2_total(benchmark, results_dir):
+    reports = _run(benchmark)
+    fig = reports["fig11b"]
+    write_report(results_dir, "fig11b", fig.render())
+    na, xa = _series(fig, "PaX3-NA-Q2"), _series(fig, "PaX3-XA-Q2")
+    assert sum(xa) < 0.75 * sum(na)
+
+
+def test_fig11c_q3_total(benchmark, results_dir):
+    reports = _run(benchmark)
+    fig = reports["fig11c"]
+    write_report(results_dir, "fig11c", fig.render())
+    pax3 = _series(fig, "PaX3-NA-Q3")
+    pax2 = _series(fig, "PaX2-NA-Q3")
+    pax2_xa = _series(fig, "PaX2-XA-Q3")
+    assert sum(pax2) < sum(pax3)
+    assert sum(pax2_xa) < sum(pax2)
+
+
+def test_fig11d_q4_total(benchmark, results_dir):
+    reports = _run(benchmark)
+    fig = reports["fig11d"]
+    write_report(results_dir, "fig11d", fig.render())
+    pax3 = _series(fig, "PaX3-NA-Q4")
+    pax2 = _series(fig, "PaX2-NA-Q4")
+    assert sum(pax2) < sum(pax3)
+    assert pax3[-1] > pax3[0]

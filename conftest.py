@@ -1,0 +1,15 @@
+"""Repository-level pytest configuration.
+
+Makes the ``src`` layout importable when the package has not been installed
+(e.g. on offline machines where ``pip install -e .`` cannot build an editable
+wheel); an installed ``repro`` takes precedence.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,80 @@
+"""How the fragmentation strategy shapes distributed query performance.
+
+The paper imposes no constraint on how the tree is fragmented — this example
+shows why a user might still care.  One XMark-like document is fragmented
+four different ways (coarse top-level cuts, size-balanced cuts, cuts at the
+answer-bearing subtrees, random cuts) and the same query is run over each,
+comparing the largest fragment (which bounds the parallel time), the measured
+parallel time, the traffic, and how much the annotation-based pruner can cut
+away.
+
+Run it with::
+
+    python examples/fragmentation_strategies.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    cut_by_size,
+    cut_matching,
+    cut_random,
+    cut_top_level,
+    evaluate_centralized,
+    run_pax2,
+)
+from repro.bench.reporting import format_table
+from repro.workloads.xmark import SiteSpec, generate_sites_document
+
+QUERY = '/sites/site/people/person[profile/age > 30 and address/country = "US"]/name'
+
+
+def build_document():
+    specs = [SiteSpec.from_bytes(60_000) for _ in range(3)]
+    return generate_sites_document(specs, seed=21)
+
+
+def main() -> None:
+    tree = build_document()
+    expected = evaluate_centralized(tree, QUERY).answer_ids
+    print(f"document: {tree.size()} nodes; query: {QUERY}")
+    print(f"centralized answer: {len(expected)} person names\n")
+
+    strategies = {
+        "top-level (one site subtree per fragment)": cut_top_level(tree),
+        "size-balanced (~600 elements each)": cut_by_size(tree, max_elements=600),
+        "people subtrees (answer-aligned)": cut_matching(tree, "/sites/site/people"),
+        "random cuts (seed 7)": cut_random(tree, fragment_count=8, seed=7),
+    }
+
+    rows = [[
+        "strategy", "fragments", "largest fragment (elems)",
+        "parallel ms (NA)", "parallel ms (XA)", "evaluated (XA)", "traffic (XA)",
+    ]]
+    for label, fragmentation in strategies.items():
+        fragmentation.validate()
+        plain = run_pax2(fragmentation, QUERY, use_annotations=False)
+        pruned = run_pax2(fragmentation, QUERY, use_annotations=True)
+        assert plain.answer_ids == expected and pruned.answer_ids == expected
+        rows.append([
+            label,
+            str(len(fragmentation)),
+            str(fragmentation.max_fragment_elements()),
+            f"{plain.parallel_seconds * 1000:.1f}",
+            f"{pruned.parallel_seconds * 1000:.1f}",
+            f"{len(pruned.fragments_evaluated)}/{len(fragmentation)}",
+            str(pruned.communication_units),
+        ])
+    print(format_table(rows))
+    print()
+    print("Reading the table:")
+    print(" * the parallel time tracks the largest fragment — finer fragmentation helps")
+    print("   until fragments stop shrinking (the paper's Experiment 1 effect);")
+    print(" * aligning fragment boundaries with the query's answer paths lets the")
+    print("   XPath-annotation pruner skip most fragments outright;")
+    print(" * even adversarial random nesting changes none of the answers — only the")
+    print("   performance profile (the paper's 'no constraints on fragmentation' claim).")
+
+
+if __name__ == "__main__":
+    main()

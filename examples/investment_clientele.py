@@ -1,0 +1,91 @@
+"""The paper's running example, replayed end to end (Figures 1-6).
+
+The document is the investment-company clientele of Figure 1: three clients
+(Anna, Kim, Lisa), their brokers, the markets they trade in and their stock
+positions.  It is fragmented exactly as the paper draws it — brokers and
+NASDAQ markets live on remote sites for administrative/regulatory reasons —
+and the queries discussed throughout Sections 1-5 are evaluated with ParBoX,
+PaX3 and PaX2, printing the per-stage statistics so the three-visit /
+two-visit behaviour is visible.
+
+Run it with::
+
+    python examples/investment_clientele.py
+"""
+
+from __future__ import annotations
+
+from repro import DistributedQueryEngine, run_parbox, run_pax2, run_pax3, serialize
+from repro.workloads.queries import (
+    CLIENTELE_QUERIES,
+    clientele_example_tree,
+    clientele_paper_fragmentation,
+)
+
+
+def show_answers(tree, stats) -> str:
+    return ", ".join(tree.node(node_id).text() for node_id in stats.answer_ids) or "(none)"
+
+
+def main() -> None:
+    tree = clientele_example_tree()
+    print("The clientele document (Figure 1):\n")
+    print(serialize(tree, pretty=True))
+
+    fragmentation = clientele_paper_fragmentation(tree)
+    print("Fragmentation (Figure 1's dashed regions / Figure 2's fragment tree):\n")
+    print(fragmentation.summary())
+    print()
+
+    # --- Section 1: the Boolean query Q -----------------------------------
+    boolean_query = CLIENTELE_QUERIES["boolean_goog"]
+    stats = run_parbox(fragmentation, boolean_query)
+    print(f"Boolean query  {boolean_query}")
+    print(f"  ParBoX result: {bool(stats.answer_ids)}  "
+          f"(each site visited {stats.max_site_visits} time, "
+          f"{stats.communication_units} traffic units)\n")
+
+    # --- Section 1: the data-selecting query Q' ----------------------------
+    q_prime = CLIENTELE_QUERIES["brokers_goog"]
+    print(f"Data-selecting query  {q_prime}")
+    for name, runner in (("PaX3", run_pax3), ("PaX2", run_pax2)):
+        stats = runner(fragmentation, q_prime)
+        print(f"  {name}: answers = {show_answers(tree, stats)}")
+        print(f"        max site visits = {stats.max_site_visits}, "
+              f"traffic = {stats.communication_units} units, "
+              f"stages = {[stage.name for stage in stats.stages]}")
+    print()
+
+    # --- Section 2.2: GOOG but not YHOO ------------------------------------
+    q1 = CLIENTELE_QUERIES["brokers_goog_not_yhoo"]
+    stats = run_pax2(fragmentation, q1)
+    print(f"Query Q1 (negation)  {q1}")
+    print(f"  answers: {show_answers(tree, stats)}   (Bache is excluded: it also trades YHOO)\n")
+
+    # --- Example 2.1 / 3.3: US clients on NASDAQ ----------------------------
+    example_21 = CLIENTELE_QUERIES["us_nasdaq_brokers"]
+    print(f"Example 2.1 query  {example_21}")
+    stats3 = run_pax3(fragmentation, example_21)
+    stats2 = run_pax2(fragmentation, example_21)
+    print(f"  PaX3: {show_answers(tree, stats3)}  (visits {stats3.max_site_visits}, "
+          f"{len(stats3.stages)} stages)")
+    print(f"  PaX2: {show_answers(tree, stats2)}  (visits {stats2.max_site_visits}, "
+          f"{len(stats2.stages)} stages)\n")
+
+    # --- Section 5 / Example 5.1: XPath-annotations -------------------------
+    engine = DistributedQueryEngine(fragmentation)
+    client_names = CLIENTELE_QUERIES["client_names"]
+    print(f"Example 5.1 query  {client_names}")
+    print(engine.explain(client_names))
+    pruned = engine.run(client_names, use_annotations=True)
+    unpruned = engine.run(client_names, use_annotations=False)
+    print(f"  answers (both): {show_answers(tree, pruned)}")
+    print(f"  without annotations: {len(unpruned.fragments_evaluated)} fragments evaluated, "
+          f"{unpruned.communication_units} traffic units")
+    print(f"  with annotations   : {len(pruned.fragments_evaluated)} fragment evaluated, "
+          f"{pruned.communication_units} traffic units "
+          f"(pruned {', '.join(pruned.fragments_pruned)})")
+
+
+if __name__ == "__main__":
+    main()

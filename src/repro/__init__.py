@@ -1,0 +1,110 @@
+"""repro — reproduction of *Distributed Query Evaluation with Performance
+Guarantees* (Cong, Fan, Kementsietsidis; SIGMOD 2007).
+
+The package implements the PaX3 / PaX2 partial-evaluation algorithms for
+data-selecting XPath queries over arbitrarily fragmented and distributed XML
+trees, together with every substrate they need: an XML tree model, the XPath
+fragment ``X``, a centralized evaluator, fragmentation tooling, a simulated
+distributed runtime, the ParBoX and NaiveCentralized baselines, an XMark-like
+workload generator, and a benchmark harness that regenerates the paper's
+figures.
+
+Quickstart::
+
+    from repro import parse_xml, cut_by_size, DistributedQueryEngine
+
+    tree = parse_xml(xml_text)
+    fragmentation = cut_by_size(tree, max_elements=2000)
+    engine = DistributedQueryEngine(fragmentation)
+    result = engine.execute("//person[profile/age > 20]/name")
+    print(result.texts())
+    print(result.summary())
+"""
+
+from repro.xmltree import (
+    TreeBuilder,
+    XMLNode,
+    XMLTree,
+    element,
+    parse_xml,
+    parse_xml_file,
+    serialize,
+    text,
+)
+from repro.xpath import (
+    QueryPlan,
+    compile_plan,
+    evaluate_boolean_centralized,
+    evaluate_centralized,
+    normalize,
+    parse_xpath,
+)
+from repro.fragments import (
+    Fragmentation,
+    build_fragmentation,
+    cut_at_nodes,
+    cut_by_size,
+    cut_matching,
+    cut_random,
+    cut_top_level,
+    reassemble,
+)
+from repro.distributed import (
+    Network,
+    RunStats,
+    one_site_per_fragment,
+    round_robin_placement,
+    single_site_placement,
+)
+from repro.core import (
+    DistributedQueryEngine,
+    QueryResult,
+    run_naive_centralized,
+    run_parbox,
+    run_pax2,
+    run_pax3,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # xml tree
+    "XMLTree",
+    "XMLNode",
+    "TreeBuilder",
+    "element",
+    "text",
+    "parse_xml",
+    "parse_xml_file",
+    "serialize",
+    # xpath
+    "parse_xpath",
+    "normalize",
+    "compile_plan",
+    "QueryPlan",
+    "evaluate_centralized",
+    "evaluate_boolean_centralized",
+    # fragments
+    "Fragmentation",
+    "build_fragmentation",
+    "cut_at_nodes",
+    "cut_by_size",
+    "cut_matching",
+    "cut_random",
+    "cut_top_level",
+    "reassemble",
+    # distributed runtime
+    "Network",
+    "RunStats",
+    "one_site_per_fragment",
+    "round_robin_placement",
+    "single_site_placement",
+    # core algorithms
+    "DistributedQueryEngine",
+    "QueryResult",
+    "run_pax3",
+    "run_pax2",
+    "run_parbox",
+    "run_naive_centralized",
+]

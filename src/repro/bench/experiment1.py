@@ -1,0 +1,77 @@
+"""Experiment 1 (Figure 9): evaluation time vs. degree of fragmentation.
+
+The cumulative data size stays constant while the number of fragments (and
+machines) grows from 1 to ``max_fragments``; iteration ``j`` has ``j``
+fragments of size ``total/j`` each (fragment tree FT1).
+
+* Figure 9(a): query Q1 (no qualifiers), PaX3 without and with
+  XPath-annotations.
+* Figure 9(b): query Q4 (qualifiers and ``//``), PaX3 vs. PaX2 without
+  annotations.
+
+Expected shapes (the claims this reproduction checks): times drop as
+fragmentation increases (parallelism); the improvement flattens once the
+largest fragment stops shrinking much; a small bump appears at j=2 for Q1
+because the second fragment forces the extra pass; annotations roughly halve
+the Q1 time; PaX2 beats PaX3 on Q4 by combining two passes into one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.bench.harness import measure_run
+from repro.bench.reporting import ExperimentReport
+from repro.workloads.queries import PAPER_QUERIES
+from repro.workloads.scenarios import build_ft1
+from repro.xpath.centralized import evaluate_centralized
+
+__all__ = ["run_experiment1", "DEFAULT_TOTAL_BYTES"]
+
+#: default cumulative size (the paper uses ~100 MB; this is the scaled default)
+DEFAULT_TOTAL_BYTES = 400_000
+
+
+def run_experiment1(
+    total_bytes: int = DEFAULT_TOTAL_BYTES,
+    max_fragments: int = 10,
+    fragment_counts: Optional[Iterable[int]] = None,
+    repeats: int = 1,
+    seed: int = 7,
+) -> Dict[str, ExperimentReport]:
+    """Run Experiment 1 and return the two figures keyed ``fig9a`` / ``fig9b``."""
+    counts = list(fragment_counts) if fragment_counts else list(range(1, max_fragments + 1))
+
+    fig9a = ExperimentReport(
+        title="Figure 9(a): Q1 evaluation time vs number of machines/fragments",
+        x_label="fragments",
+        y_label="parallel evaluation time (s)",
+    )
+    fig9b = ExperimentReport(
+        title="Figure 9(b): Q4 evaluation time vs number of machines/fragments",
+        x_label="fragments",
+        y_label="parallel evaluation time (s)",
+    )
+    query_q1 = PAPER_QUERIES["Q1"]
+    query_q4 = PAPER_QUERIES["Q4"]
+
+    for count in counts:
+        scenario = build_ft1(fragment_count=count, total_bytes=total_bytes, seed=seed)
+        expected_q1 = evaluate_centralized(scenario.tree, query_q1).answer_ids
+        expected_q4 = evaluate_centralized(scenario.tree, query_q4).answer_ids
+
+        fig9a.x_values.append(count)
+        for label in ("PaX3-NA", "PaX3-XA"):
+            stats = measure_run(label, scenario, query_q1, repeats, expected_q1)
+            fig9a.add_point(f"{label}-Q1", stats.parallel_seconds)
+
+        fig9b.x_values.append(count)
+        for label in ("PaX3-NA", "PaX2-NA"):
+            stats = measure_run(label, scenario, query_q4, repeats, expected_q4)
+            fig9b.add_point(f"{label}-Q4", stats.parallel_seconds)
+
+    fig9a.add_note(
+        f"cumulative size ~{total_bytes} bytes held constant; iteration j uses j equal fragments"
+    )
+    fig9b.add_note("PaX2 needs one less pass than PaX3 because Q4 has qualifiers")
+    return {"fig9a": fig9a, "fig9b": fig9b}

@@ -1,0 +1,85 @@
+"""The performance-guarantee table (Section 3.4 of the paper).
+
+The paper states — without a dedicated figure — that PaX3/PaX2 visit each
+site at most 3/2 times, that their communication is ``O(|Q| |FT| + |ans|)``
+(independent of the document size), and that the naive strategy ships the
+whole tree.  This module produces a table making those claims measurable:
+for each query it reports, per algorithm, the maximum site visits, the
+communication units, the number of answers, and the tree size, over two
+document sizes so the (in)dependence on the document size is visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.bench.harness import VARIANTS
+from repro.bench.reporting import format_table
+from repro.workloads.queries import PAPER_QUERIES
+from repro.workloads.scenarios import build_ft2
+from repro.xpath.centralized import evaluate_centralized
+
+__all__ = ["run_guarantees", "GuaranteeRow"]
+
+
+class GuaranteeRow(dict):
+    """One row of the guarantees table (a dict with fixed keys)."""
+
+
+def run_guarantees(
+    sizes: Optional[Iterable[int]] = None,
+    variant_labels: Optional[List[str]] = None,
+    seed: int = 11,
+) -> Dict[str, object]:
+    """Measure the §3.4 guarantees over the FT2 scenario.
+
+    Returns a dict with ``rows`` (list of :class:`GuaranteeRow`) and
+    ``rendered`` (the printable table).
+    """
+    size_list = list(sizes) if sizes else [300_000, 900_000]
+    labels = variant_labels or ["PaX3-NA", "PaX2-NA", "PaX2-XA", "Naive"]
+    rows: List[GuaranteeRow] = []
+
+    for size in size_list:
+        scenario = build_ft2(total_bytes=size, seed=seed)
+        tree_nodes = scenario.tree.size()
+        for query_name, query in PAPER_QUERIES.items():
+            expected = evaluate_centralized(scenario.tree, query).answer_ids
+            for label in labels:
+                stats = VARIANTS[label].run(scenario, query)
+                if stats.answer_ids != expected:
+                    raise AssertionError(
+                        f"{label} disagrees with the centralized answer on {query_name}"
+                    )
+                rows.append(
+                    GuaranteeRow(
+                        query=query_name,
+                        algorithm=label,
+                        tree_nodes=tree_nodes,
+                        answers=len(expected),
+                        max_site_visits=stats.max_site_visits,
+                        communication_units=stats.communication_units,
+                        fragments_evaluated=len(stats.fragments_evaluated),
+                    )
+                )
+
+    header = [
+        "query", "algorithm", "tree nodes", "answers",
+        "max visits", "comm units", "fragments evaluated",
+    ]
+    table_rows = [header] + [
+        [
+            str(row["query"]), str(row["algorithm"]), str(row["tree_nodes"]),
+            str(row["answers"]), str(row["max_site_visits"]),
+            str(row["communication_units"]), str(row["fragments_evaluated"]),
+        ]
+        for row in rows
+    ]
+    rendered = (
+        "Performance guarantees (Section 3.4): visits and communication\n"
+        "==============================================================\n"
+        + format_table(table_rows)
+        + "\n\nnote: PaX* communication stays within O(|Q| |FT| + |ans|) as the tree grows;\n"
+        "      the naive baseline's communication tracks the tree size instead."
+    )
+    return {"rows": rows, "rendered": rendered}

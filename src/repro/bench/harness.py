@@ -1,0 +1,77 @@
+"""Shared pieces of the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.naive import run_naive_centralized
+from repro.core.pax2 import run_pax2
+from repro.core.pax3 import run_pax3
+from repro.distributed.stats import RunStats
+from repro.workloads.scenarios import Scenario
+
+__all__ = ["AlgorithmVariant", "VARIANTS", "measure_run"]
+
+
+@dataclass(frozen=True)
+class AlgorithmVariant:
+    """An algorithm plus the annotation flag, named as in the paper's legends.
+
+    The paper plots e.g. ``PaX3-NA-Q1`` (no annotations) and ``PaX3-XA-Q1``
+    (with XPath-annotations); the query suffix is added by each experiment.
+    """
+
+    label: str
+    runner: Callable[..., RunStats]
+    use_annotations: bool
+
+    def run(self, scenario: Scenario, query: str) -> RunStats:
+        """Execute the variant over a scenario."""
+        if self.runner is run_naive_centralized:
+            return self.runner(scenario.fragmentation, query, placement=scenario.placement)
+        return self.runner(
+            scenario.fragmentation,
+            query,
+            placement=scenario.placement,
+            use_annotations=self.use_annotations,
+        )
+
+
+#: The variants appearing in the paper's figures.
+VARIANTS: Dict[str, AlgorithmVariant] = {
+    "PaX3-NA": AlgorithmVariant("PaX3-NA", run_pax3, use_annotations=False),
+    "PaX3-XA": AlgorithmVariant("PaX3-XA", run_pax3, use_annotations=True),
+    "PaX2-NA": AlgorithmVariant("PaX2-NA", run_pax2, use_annotations=False),
+    "PaX2-XA": AlgorithmVariant("PaX2-XA", run_pax2, use_annotations=True),
+    "Naive": AlgorithmVariant("Naive", run_naive_centralized, use_annotations=False),
+}
+
+
+def measure_run(
+    variant_label: str,
+    scenario: Scenario,
+    query: str,
+    repeats: int = 1,
+    expected_answers: Optional[list[int]] = None,
+) -> RunStats:
+    """Run a variant over a scenario, optionally repeating and keeping the
+    fastest run (the paper averages over runs; min-of-N is steadier for the
+    small scaled-down datasets).
+
+    When *expected_answers* is given the run is checked against it, so a
+    benchmark cannot silently report the time of a wrong answer.
+    """
+    variant = VARIANTS[variant_label]
+    best: Optional[RunStats] = None
+    for _ in range(max(1, repeats)):
+        stats = variant.run(scenario, query)
+        if expected_answers is not None and stats.answer_ids != list(expected_answers):
+            raise AssertionError(
+                f"{variant_label} returned {len(stats.answer_ids)} answers, "
+                f"expected {len(expected_answers)} for query {query!r}"
+            )
+        if best is None or stats.parallel_seconds < best.parallel_seconds:
+            best = stats
+    assert best is not None
+    return best

@@ -1,0 +1,94 @@
+"""Formatting of experiment results as the paper-style tables/series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = ["Series", "ExperimentReport", "format_table"]
+
+
+@dataclass
+class Series:
+    """One line of a figure: a label and one y value per x value."""
+
+    label: str
+    values: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(value)
+
+
+@dataclass
+class ExperimentReport:
+    """All series of one figure plus the shared x axis."""
+
+    title: str
+    x_label: str
+    x_values: List[object] = field(default_factory=list)
+    series: Dict[str, Series] = field(default_factory=dict)
+    y_label: str = "time (s)"
+    notes: List[str] = field(default_factory=list)
+
+    def series_for(self, label: str) -> Series:
+        """Get (or create) the series with the given label."""
+        if label not in self.series:
+            self.series[label] = Series(label=label)
+        return self.series[label]
+
+    def add_point(self, label: str, value: float) -> None:
+        self.series_for(label).add(value)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def as_rows(self) -> List[List[str]]:
+        """Rows of the printable table: header then one row per x value."""
+        labels = list(self.series)
+        header = [self.x_label] + labels
+        rows = [header]
+        for index, x_value in enumerate(self.x_values):
+            row = [str(x_value)]
+            for label in labels:
+                values = self.series[label].values
+                row.append(f"{values[index]:.4f}" if index < len(values) else "-")
+            rows.append(row)
+        return rows
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable form (used by tests and by EXPERIMENTS.md tooling)."""
+        return {
+            "title": self.title,
+            "x_label": self.x_label,
+            "x_values": list(self.x_values),
+            "y_label": self.y_label,
+            "series": {label: list(series.values) for label, series in self.series.items()},
+            "notes": list(self.notes),
+        }
+
+    def render(self) -> str:
+        """The full printable report (title, table, notes)."""
+        lines = [self.title, "=" * len(self.title), f"y axis: {self.y_label}", ""]
+        lines.append(format_table(self.as_rows()))
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def format_table(rows: Sequence[Sequence[str]]) -> str:
+    """Align a list of rows into a fixed-width text table."""
+    if not rows:
+        return ""
+    widths = [0] * max(len(row) for row in rows)
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    lines = []
+    for row_index, row in enumerate(rows):
+        cells = [str(cell).ljust(widths[index]) for index, cell in enumerate(row)]
+        lines.append("  ".join(cells).rstrip())
+        if row_index == 0:
+            lines.append("  ".join("-" * widths[index] for index in range(len(row))))
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Boolean formulas with free variables.
+
+Partial evaluation represents "the part of the answer we do not know yet" as
+a residual Boolean formula over variables that stand for values owned by
+other fragments.  This package provides the small algebra those residual
+functions live in: construction with eager simplification, substitution
+against an environment, and evaluation.
+"""
+
+from repro.booleans.formula import (
+    FALSE,
+    TRUE,
+    BoolFormula,
+    Var,
+    conj,
+    disj,
+    is_false,
+    is_true,
+    neg,
+    simplify,
+    substitute,
+    variables_of,
+)
+from repro.booleans.env import Environment
+
+__all__ = [
+    "BoolFormula",
+    "Var",
+    "TRUE",
+    "FALSE",
+    "conj",
+    "disj",
+    "neg",
+    "simplify",
+    "substitute",
+    "variables_of",
+    "is_true",
+    "is_false",
+    "Environment",
+]

@@ -1,0 +1,83 @@
+"""Substitution environments used during variable unification.
+
+The coordinator (``evalFT``) and each site resolve residual formulas by
+accumulating variable bindings and substituting them into stored vectors.
+:class:`Environment` wraps a plain dict with two conveniences the algorithms
+need:
+
+* bindings may themselves be formulas (resolution happens in dependency
+  order, so a later substitution may need an earlier binding to already have
+  been folded in), and
+* ``resolve`` substitutes repeatedly until a fixpoint, which lets callers add
+  bindings in any order as long as the dependency graph is acyclic (it is:
+  qualifier variables depend only on fragments below, selection variables
+  only on fragments above).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping
+
+from repro.booleans.formula import FormulaLike, simplify, substitute, variables_of
+
+__all__ = ["Environment"]
+
+
+class Environment:
+    """A mutable mapping from variable names to formula bindings."""
+
+    def __init__(self, initial: Mapping[str, FormulaLike] | None = None):
+        self._bindings: Dict[str, FormulaLike] = {}
+        if initial:
+            for name, value in initial.items():
+                self.bind(name, value)
+
+    def bind(self, name: str, value: FormulaLike) -> None:
+        """Bind *name* to *value* (simplified)."""
+        self._bindings[name] = simplify(value)
+
+    def bind_all(self, values: Mapping[str, FormulaLike]) -> None:
+        """Bind every entry of *values*."""
+        for name, value in values.items():
+            self.bind(name, value)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._bindings)
+
+    def __getitem__(self, name: str) -> FormulaLike:
+        return self._bindings[name]
+
+    def get(self, name: str, default: FormulaLike | None = None) -> FormulaLike | None:
+        return self._bindings.get(name, default)
+
+    def as_dict(self) -> Dict[str, FormulaLike]:
+        """A copy of the current bindings."""
+        return dict(self._bindings)
+
+    def resolve(self, value: FormulaLike, max_rounds: int = 64) -> FormulaLike:
+        """Substitute bindings into *value* until no bound variable remains.
+
+        The binding graph produced by the PaX algorithms is acyclic, so the
+        loop terminates quickly; ``max_rounds`` only guards against a
+        programming error introducing a cycle.
+        """
+        current = simplify(value)
+        for _ in range(max_rounds):
+            free = variables_of(current)
+            if not free or not any(name in self._bindings for name in free):
+                return current
+            current = substitute(current, self._bindings)
+        raise RuntimeError("cyclic variable bindings while resolving a formula")
+
+    def resolve_vector(self, vector: list[FormulaLike]) -> list[FormulaLike]:
+        """Resolve every entry of a vector of formulas."""
+        return [self.resolve(entry) for entry in vector]
+
+    def __repr__(self) -> str:
+        return f"Environment({self._bindings!r})"

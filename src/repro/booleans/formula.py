@@ -1,0 +1,342 @@
+"""A tiny algebra of Boolean formulas with free variables.
+
+The partial-evaluation algorithms (PaX3, PaX2, ParBoX) compute, for every
+node of a fragment, vectors whose entries are either concrete truth values or
+*residual* Boolean formulas over variables owned by other fragments.  The
+formulas built here are the currency of those partial answers.
+
+Design notes
+------------
+* Formulas are immutable and hashable.  The constructors :func:`conj`,
+  :func:`disj` and :func:`neg` simplify eagerly (constant folding,
+  flattening, deduplication, absorption of complementary literals at one
+  level), which keeps the residual formulas small: in every setting the
+  paper considers, an entry stays linear in the query size because each
+  variable family appears at most once per entry.
+* Python ``bool`` values are valid formulas.  Every public helper accepts
+  either a ``bool`` or a :class:`BoolFormula`, so algorithm code never has to
+  special-case the fully-known case.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Union
+
+__all__ = [
+    "BoolFormula",
+    "Var",
+    "And",
+    "Or",
+    "Not",
+    "TRUE",
+    "FALSE",
+    "FormulaLike",
+    "conj",
+    "disj",
+    "neg",
+    "simplify",
+    "substitute",
+    "evaluate",
+    "variables_of",
+    "is_true",
+    "is_false",
+    "is_concrete",
+    "formula_size",
+]
+
+
+class BoolFormula:
+    """Base class for non-constant Boolean formulas."""
+
+    __slots__ = ()
+
+    def variables(self) -> frozenset[str]:
+        """Return the set of variable names occurring in the formula."""
+        raise NotImplementedError
+
+    def substitute(self, binding: Mapping[str, "FormulaLike"]) -> "FormulaLike":
+        """Replace bound variables and re-simplify."""
+        raise NotImplementedError
+
+    def evaluate(self, binding: Mapping[str, bool]) -> bool:
+        """Evaluate under a total assignment; raise ``KeyError`` if a
+        variable is unbound."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Number of nodes in the formula tree (used for traffic accounting)."""
+        raise NotImplementedError
+
+    # Operator sugar used throughout the algorithm code and the tests.
+    def __and__(self, other: "FormulaLike") -> "FormulaLike":
+        return conj(self, other)
+
+    def __rand__(self, other: "FormulaLike") -> "FormulaLike":
+        return conj(other, self)
+
+    def __or__(self, other: "FormulaLike") -> "FormulaLike":
+        return disj(self, other)
+
+    def __ror__(self, other: "FormulaLike") -> "FormulaLike":
+        return disj(other, self)
+
+    def __invert__(self) -> "FormulaLike":
+        return neg(self)
+
+
+FormulaLike = Union[bool, BoolFormula]
+
+TRUE: bool = True
+FALSE: bool = False
+
+
+class Var(BoolFormula):
+    """A free Boolean variable, identified by its name.
+
+    Variable names are structured strings such as ``"sv:F3:2"`` (selection
+    prefix entry 2 at the parent of fragment F3's root) but the formula layer
+    treats them as opaque.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def variables(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def substitute(self, binding: Mapping[str, FormulaLike]) -> FormulaLike:
+        if self.name in binding:
+            return simplify(binding[self.name])
+        return self
+
+    def evaluate(self, binding: Mapping[str, bool]) -> bool:
+        return bool(binding[self.name])
+
+    def size(self) -> int:
+        return 1
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+
+class _NaryOp(BoolFormula):
+    """Shared behaviour of :class:`And` / :class:`Or`."""
+
+    __slots__ = ("operands",)
+
+    #: identity element of the operation (``True`` for And, ``False`` for Or)
+    _identity: bool = True
+    #: absorbing element (``False`` for And, ``True`` for Or)
+    _absorbing: bool = False
+    _symbol: str = "?"
+
+    def __init__(self, operands: tuple[BoolFormula, ...]):
+        self.operands = operands
+
+    def variables(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for operand in self.operands:
+            result = result | operand.variables()
+        return result
+
+    def substitute(self, binding: Mapping[str, FormulaLike]) -> FormulaLike:
+        parts = [operand.substitute(binding) for operand in self.operands]
+        return _combine(type(self), parts)
+
+    def evaluate(self, binding: Mapping[str, bool]) -> bool:
+        for operand in self.operands:
+            if operand.evaluate(binding) == self._absorbing:
+                return self._absorbing
+        return self._identity
+
+    def size(self) -> int:
+        return 1 + sum(operand.size() for operand in self.operands)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.operands!r})"
+
+    def __str__(self) -> str:
+        joiner = f" {self._symbol} "
+        return "(" + joiner.join(str(operand) for operand in self.operands) + ")"
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and other.operands == self.operands
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.operands))
+
+
+class And(_NaryOp):
+    """Conjunction of two or more non-constant formulas."""
+
+    __slots__ = ()
+    _identity = True
+    _absorbing = False
+    _symbol = "&"
+
+
+class Or(_NaryOp):
+    """Disjunction of two or more non-constant formulas."""
+
+    __slots__ = ()
+    _identity = False
+    _absorbing = True
+    _symbol = "|"
+
+
+class Not(BoolFormula):
+    """Negation of a non-constant formula."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: BoolFormula):
+        self.operand = operand
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def substitute(self, binding: Mapping[str, FormulaLike]) -> FormulaLike:
+        return neg(self.operand.substitute(binding))
+
+    def evaluate(self, binding: Mapping[str, bool]) -> bool:
+        return not self.operand.evaluate(binding)
+
+    def size(self) -> int:
+        return 1 + self.operand.size()
+
+    def __repr__(self) -> str:
+        return f"Not({self.operand!r})"
+
+    def __str__(self) -> str:
+        return f"!{self.operand}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and other.operand == self.operand
+
+    def __hash__(self) -> int:
+        return hash(("Not", self.operand))
+
+
+def is_true(value: FormulaLike) -> bool:
+    """Return ``True`` when *value* is the constant true."""
+    return value is True or (isinstance(value, bool) and value)
+
+
+def is_false(value: FormulaLike) -> bool:
+    """Return ``True`` when *value* is the constant false."""
+    return value is False or (isinstance(value, bool) and not value)
+
+
+def is_concrete(value: FormulaLike) -> bool:
+    """Return ``True`` when *value* carries no free variables."""
+    return isinstance(value, bool)
+
+
+def simplify(value: FormulaLike) -> FormulaLike:
+    """Normalize a value to either a ``bool`` or a simplified formula."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, BoolFormula):
+        return value
+    # Anything truthy/falsy that is not a formula is coerced, which lets
+    # algorithm code pass ints (0/1) when convenient.
+    return bool(value)
+
+
+def _combine(op: type, parts: Iterable[FormulaLike]) -> FormulaLike:
+    """Build an n-ary And/Or with constant folding, flattening and dedup."""
+    identity = op._identity
+    absorbing = op._absorbing
+    collected: list[BoolFormula] = []
+    seen: set[BoolFormula] = set()
+    for part in parts:
+        part = simplify(part)
+        if isinstance(part, bool):
+            if part == absorbing:
+                return absorbing
+            continue  # identity element: drop
+        if type(part) is op:
+            inner = part.operands
+        else:
+            inner = (part,)
+        for sub in inner:
+            if sub in seen:
+                continue
+            # x & !x == False ; x | !x == True (single-level check).
+            complement = sub.operand if isinstance(sub, Not) else Not(sub)
+            if complement in seen:
+                return absorbing
+            seen.add(sub)
+            collected.append(sub)
+    if not collected:
+        return identity
+    if len(collected) == 1:
+        return collected[0]
+    return op(tuple(collected))
+
+
+def conj(*parts: FormulaLike) -> FormulaLike:
+    """Conjunction of any number of formulas/booleans, simplified."""
+    return _combine(And, parts)
+
+
+def disj(*parts: FormulaLike) -> FormulaLike:
+    """Disjunction of any number of formulas/booleans, simplified."""
+    return _combine(Or, parts)
+
+
+def neg(part: FormulaLike) -> FormulaLike:
+    """Negation, simplified (double negation removed, constants folded)."""
+    part = simplify(part)
+    if isinstance(part, bool):
+        return not part
+    if isinstance(part, Not):
+        return part.operand
+    return Not(part)
+
+
+def substitute(value: FormulaLike, binding: Mapping[str, FormulaLike]) -> FormulaLike:
+    """Substitute variables of *value* according to *binding* and simplify.
+
+    Unbound variables are left in place, so the result may still be a
+    residual formula.
+    """
+    value = simplify(value)
+    if isinstance(value, bool):
+        return value
+    return value.substitute(binding)
+
+
+def evaluate(value: FormulaLike, binding: Mapping[str, bool]) -> bool:
+    """Fully evaluate *value*; every free variable must be bound."""
+    value = simplify(value)
+    if isinstance(value, bool):
+        return value
+    return value.evaluate(binding)
+
+
+def variables_of(value: FormulaLike) -> frozenset[str]:
+    """Free variables of a formula (empty set for constants)."""
+    value = simplify(value)
+    if isinstance(value, bool):
+        return frozenset()
+    return value.variables()
+
+
+def formula_size(value: FormulaLike) -> int:
+    """Size of a formula for traffic accounting (constants count as 1)."""
+    value = simplify(value)
+    if isinstance(value, bool):
+        return 1
+    return value.size()

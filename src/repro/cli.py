@@ -1,0 +1,185 @@
+"""Command-line interface.
+
+``python -m repro`` (or the ``repro-query`` console script) evaluates an
+XPath query of the fragment ``X`` over an XML file, optionally fragmenting
+and "distributing" it first, and reports the answers together with the run
+statistics the paper's guarantees are about.
+
+Examples
+--------
+Evaluate centrally (no fragmentation)::
+
+    python -m repro query catalog.xml "//book[price < 30]/title"
+
+Fragment into ~2000-element pieces, one simulated site each, run PaX2 with
+XPath-annotations and show the statistics::
+
+    python -m repro query catalog.xml "//book[price < 30]/title" \
+        --fragment-size 2000 --algorithm pax2 --annotations --stats
+
+Inspect how a document would be fragmented::
+
+    python -m repro fragment catalog.xml --fragment-size 2000
+
+Generate an XMark-like document for experiments::
+
+    python -m repro generate --bytes 200000 --sites 2 --output sites.xml
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.engine import ALGORITHMS, DistributedQueryEngine
+from repro.distributed.placement import one_site_per_fragment, round_robin_placement
+from repro.fragments.fragment_tree import build_fragmentation
+from repro.fragments.fragmenters import cut_by_size, cut_matching
+from repro.workloads.xmark import SiteSpec, generate_sites_document
+from repro.xmltree.parser import parse_xml_file
+from repro.xmltree.serializer import serialize
+from repro.xpath.centralized import evaluate_centralized
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed XPath evaluation with performance guarantees (SIGMOD 2007)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query = commands.add_parser("query", help="evaluate an XPath query over an XML file")
+    query.add_argument("document", help="path to the XML document")
+    query.add_argument("xpath", help="query of the fragment X")
+    query.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS) + ["centralized"], default="pax2",
+        help="evaluation strategy (default: pax2)",
+    )
+    query.add_argument(
+        "--fragment-size", type=int, default=None, metavar="N",
+        help="fragment the document into pieces of about N elements",
+    )
+    query.add_argument(
+        "--fragment-at", default=None, metavar="QUERY",
+        help="fragment at every node selected by this (qualifier-free) query",
+    )
+    query.add_argument(
+        "--sites", type=int, default=None, metavar="K",
+        help="distribute fragments over K sites round-robin (default: one site per fragment)",
+    )
+    query.add_argument("--annotations", action="store_true",
+                       help="enable the XPath-annotation optimization")
+    query.add_argument("--stats", action="store_true", help="print run statistics")
+    query.add_argument("--xml", action="store_true", help="print answers as XML snippets")
+    query.add_argument("--limit", type=int, default=None, help="print at most this many answers")
+
+    fragment = commands.add_parser("fragment", help="show how a document would be fragmented")
+    fragment.add_argument("document", help="path to the XML document")
+    fragment.add_argument("--fragment-size", type=int, default=None, metavar="N")
+    fragment.add_argument("--fragment-at", default=None, metavar="QUERY")
+
+    generate = commands.add_parser("generate", help="generate an XMark-like document")
+    generate.add_argument("--bytes", type=int, default=100_000, dest="approx_bytes",
+                          help="approximate size per site subtree (default 100000)")
+    generate.add_argument("--sites", type=int, default=1, help="number of XMark site subtrees")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", default=None, help="write to this file instead of stdout")
+
+    return parser
+
+
+def _fragment_document(tree, fragment_size: Optional[int], fragment_at: Optional[str]):
+    """Build the fragmentation requested on the command line."""
+    if fragment_size is not None and fragment_at is not None:
+        raise SystemExit("use either --fragment-size or --fragment-at, not both")
+    if fragment_at is not None:
+        return cut_matching(tree, fragment_at)
+    if fragment_size is not None:
+        return cut_by_size(tree, max_elements=fragment_size)
+    return build_fragmentation(tree, [])
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    tree = parse_xml_file(args.document)
+
+    if args.algorithm == "centralized":
+        answer_ids = evaluate_centralized(tree, args.xpath).answer_ids
+        _print_answers(tree, answer_ids, args)
+        return 0
+
+    fragmentation = _fragment_document(tree, args.fragment_size, args.fragment_at)
+    if args.sites is not None:
+        placement = round_robin_placement(fragmentation, site_count=args.sites)
+    else:
+        placement = one_site_per_fragment(fragmentation)
+    engine = DistributedQueryEngine(
+        fragmentation,
+        placement=placement,
+        algorithm=args.algorithm,
+        use_annotations=args.annotations,
+    )
+    result = engine.execute(args.xpath)
+    _print_answers(tree, result.answer_ids, args)
+    if args.stats:
+        print()
+        print(result.summary())
+    return 0
+
+
+def _print_answers(tree, answer_ids, args) -> None:
+    limit = args.limit if getattr(args, "limit", None) else len(answer_ids)
+    print(f"{len(answer_ids)} answer(s)")
+    for node_id in answer_ids[:limit]:
+        node = tree.node(node_id)
+        if getattr(args, "xml", False):
+            from repro.xmltree.serializer import serialize_node
+
+            sys.stdout.write(serialize_node(node, pretty=True))
+        else:
+            text = node.text()
+            print(f"  <{node.tag}> {text}" if text else f"  <{node.tag}>")
+    if limit < len(answer_ids):
+        print(f"  ... and {len(answer_ids) - limit} more")
+
+
+def _cmd_fragment(args: argparse.Namespace) -> int:
+    tree = parse_xml_file(args.document)
+    fragmentation = _fragment_document(tree, args.fragment_size, args.fragment_at)
+    fragmentation.validate()
+    print(fragmentation.summary())
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    specs = [SiteSpec.from_bytes(args.approx_bytes) for _ in range(args.sites)]
+    tree = generate_sites_document(specs, seed=args.seed)
+    document = serialize(tree, pretty=True, declaration=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(f"wrote {tree.size()} nodes (~{tree.approximate_bytes()} bytes) to {args.output}")
+    else:
+        sys.stdout.write(document)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "fragment":
+        return _cmd_fragment(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

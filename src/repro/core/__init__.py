@@ -1,0 +1,31 @@
+"""The paper's contribution: PaX3, PaX2, ParBoX and their optimizations.
+
+Public entry points:
+
+* :class:`repro.core.engine.DistributedQueryEngine` — the user-facing API,
+* :func:`repro.core.pax3.run_pax3`, :func:`repro.core.pax2.run_pax2` — the
+  two partial-evaluation algorithms,
+* :func:`repro.core.parbox.run_parbox` — the Boolean-query baseline of [5],
+* :func:`repro.core.naive.run_naive_centralized` — the ship-everything
+  baseline,
+* :mod:`repro.core.pruning` — the XPath-annotation optimization.
+"""
+
+from repro.core.engine import DistributedQueryEngine
+from repro.core.results import QueryResult
+from repro.core.pax3 import run_pax3
+from repro.core.pax2 import run_pax2
+from repro.core.parbox import run_parbox
+from repro.core.naive import run_naive_centralized
+from repro.core.pruning import relevant_fragments, initial_vector_from_labels
+
+__all__ = [
+    "DistributedQueryEngine",
+    "QueryResult",
+    "run_pax3",
+    "run_pax2",
+    "run_parbox",
+    "run_naive_centralized",
+    "relevant_fragments",
+    "initial_vector_from_labels",
+]

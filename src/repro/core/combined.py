@@ -1,0 +1,182 @@
+"""The combined pass of PaX2 (Section 4 of the paper).
+
+PaX2 folds the qualifier pass and the selection pass into a single traversal
+of each fragment: at every element node a *pre-order* computation extends the
+selection prefix vector (using a fresh ``qz:`` placeholder wherever the
+node's own qualifier value is not yet known), and a *post-order* computation
+— once the node's subtree has been fully visited — produces the qualifier
+values and binds the placeholders.
+
+Placeholders are materialized lazily: a node needs one only when the prefix
+leading to a qualifier step is not already known to be false, so in a typical
+run only the handful of nodes that actually lie on the selection path pay for
+variable bookkeeping.  This is what makes the single combined pass cheaper
+than PaX3's two passes, which is precisely the effect the paper measures.
+
+When the traversal of the fragment finishes, every ``qz:`` placeholder has a
+binding in the local environment, so all vectors that leave the site (the
+root's qualifier vectors, the virtual-node parent vectors, the candidate
+formulas) are resolved locally first; only ``sv:`` / ``qh:`` / ``qd:``
+variables — the ones that genuinely depend on other fragments — survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.booleans.env import Environment
+from repro.booleans.formula import FormulaLike, is_false, is_true
+from repro.core.qualifiers import virtual_qualifier_vectors
+from repro.core.variables import pending_qual_var
+from repro.fragments.fragment import Fragment
+from repro.xmltree.nodes import NodeId, XMLNode
+from repro.xpath.plan import QueryPlan
+from repro.xpath.runtime import (
+    QualAggregate,
+    compute_qualifier_vectors,
+    qualifier_values_for_selection,
+    selection_vector,
+)
+
+__all__ = ["FragmentCombinedOutput", "evaluate_fragment_combined"]
+
+
+class _LazyPlaceholders:
+    """Per-node ``qz:`` placeholders, created only when actually consulted.
+
+    :func:`repro.xpath.runtime.selection_vector` indexes this sequence only
+    when the prefix before a qualifier step is not already false, so nodes
+    off the selection path never allocate a variable.
+    """
+
+    __slots__ = ("node_id", "created")
+
+    def __init__(self, node_id: NodeId):
+        self.node_id = node_id
+        self.created: Dict[int, FormulaLike] = {}
+
+    def __getitem__(self, index: int) -> FormulaLike:
+        variable = self.created.get(index)
+        if variable is None:
+            variable = pending_qual_var(self.node_id, index)
+            self.created[index] = variable
+        return variable
+
+
+@dataclass
+class FragmentCombinedOutput:
+    """Result of the PaX2 combined pass over one fragment."""
+
+    fragment_id: str
+    #: HEAD / DESC vectors of the fragment root (variables of sub-fragments only)
+    root_head: List[FormulaLike] = field(default_factory=list)
+    root_desc: List[FormulaLike] = field(default_factory=list)
+    #: definite answers found locally
+    answers: List[NodeId] = field(default_factory=list)
+    #: candidate answers with their residual formulas (no qz: variables left)
+    candidates: Dict[NodeId, FormulaLike] = field(default_factory=dict)
+    #: sub-fragment id -> resolved selection vector of its root's parent
+    virtual_parent_vectors: Dict[str, List[FormulaLike]] = field(default_factory=dict)
+    operations: int = 0
+    root_vector_units: int = 0
+
+
+def evaluate_fragment_combined(
+    fragment: Fragment,
+    plan: QueryPlan,
+    init_vector: Sequence[FormulaLike],
+    is_root_fragment: bool,
+) -> FragmentCombinedOutput:
+    """Run the combined pre/post-order pass of PaX2 over *fragment*."""
+    output = FragmentCombinedOutput(fragment_id=fragment.fragment_id)
+    n_steps = plan.n_steps
+    has_quals = plan.has_qualifiers
+    root = fragment.root
+    anchor_at_root = is_root_fragment and not plan.absolute
+    local_env = Environment()
+
+    #: (node_id, final entry) for nodes that may be answers, resolved at the end
+    pending_finals: list[tuple[NodeId, FormulaLike]] = []
+    #: raw virtual parent vectors, resolved at the end
+    pending_virtual: dict[str, List[FormulaLike]] = {}
+
+    elements_processed = 0
+    root_vectors: tuple[List[FormulaLike], List[FormulaLike]] | None = None
+    empty_placeholders: Sequence[FormulaLike] = tuple()
+
+    def make_frame(node: XMLNode, parent_vector: Sequence[FormulaLike]):
+        """Pre-order work for *node*; returns the traversal frame."""
+        nonlocal elements_processed
+        elements_processed += 1
+        placeholders: Sequence[FormulaLike]
+        if has_quals:
+            placeholders = _LazyPlaceholders(node.node_id)
+        else:
+            placeholders = empty_placeholders
+        vector = selection_vector(
+            plan,
+            node,
+            parent_vector,
+            is_context_root=(anchor_at_root and node is root),
+            qual_values=placeholders,
+        )
+        final = vector[n_steps]
+        if final is not False and not is_false(final):
+            pending_finals.append((node.node_id, final))
+
+        virtuals = fragment.virtual_children_of(node) if fragment.virtual_children else []
+        aggregate = QualAggregate(plan)
+        if virtuals:
+            for virtual in virtuals:
+                pending_virtual[virtual.fragment_id] = list(vector)
+            if has_quals:
+                for virtual in virtuals:
+                    head, desc = virtual_qualifier_vectors(plan, virtual.fragment_id)
+                    aggregate.add_child(plan, head, desc)
+        return (node, iter(fragment.real_element_children(node)), aggregate, vector, placeholders)
+
+    stack = [make_frame(root, list(init_vector))]
+    while stack:
+        node, children_iter, aggregate, vector, placeholders = stack[-1]
+        pushed = False
+        for child in children_iter:
+            stack.append(make_frame(child, vector))
+            pushed = True
+            break
+        if pushed:
+            continue
+        stack.pop()
+        if has_quals:
+            ex, head, desc = compute_qualifier_vectors(plan, node, aggregate)
+            created = placeholders.created
+            if created:
+                values = qualifier_values_for_selection(plan, ex)
+                for index in created:
+                    local_env.bind(created[index].name, values[index])
+            if stack:
+                stack[-1][2].add_child(plan, head, desc)
+            else:
+                root_vectors = (head, desc)
+        elif not stack:
+            root_vectors = ([False] * plan.n_items, [False] * plan.n_items)
+
+    # Local resolution: eliminate qz: placeholders from everything that
+    # leaves the site or decides answers.
+    for node_id, final in pending_finals:
+        resolved = local_env.resolve(final) if has_quals else final
+        if is_true(resolved):
+            output.answers.append(node_id)
+        elif not is_false(resolved):
+            output.candidates[node_id] = resolved
+    for child_id, vector in pending_virtual.items():
+        output.virtual_parent_vectors[child_id] = (
+            local_env.resolve_vector(vector) if has_quals else vector
+        )
+
+    assert root_vectors is not None
+    output.root_head, output.root_desc = root_vectors
+    width = max(1, plan.n_items + n_steps + 1)
+    output.operations = elements_processed * width
+    output.root_vector_units = len(plan.head_item_ids) + len(plan.desc_item_ids)
+    return output

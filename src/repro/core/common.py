@@ -1,0 +1,83 @@
+"""Shared helpers for the algorithm orchestrators (PaX3, PaX2, ParBoX, naive)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+from repro.booleans.formula import FormulaLike, formula_size
+from repro.distributed.network import Network
+from repro.distributed.placement import one_site_per_fragment
+from repro.distributed.stats import StageStats
+from repro.fragments.fragment_tree import Fragmentation
+from repro.xmltree.nodes import XMLTree
+from repro.xpath.ast import PathExpr
+from repro.xpath.parser import parse_xpath
+from repro.xpath.plan import QueryPlan, compile_plan
+
+__all__ = [
+    "QueryInput",
+    "ensure_plan",
+    "build_network",
+    "vector_units",
+    "binding_units",
+    "plan_units",
+    "answer_subtree_nodes",
+    "stage_timer",
+]
+
+QueryInput = Union[str, PathExpr, QueryPlan]
+
+
+def ensure_plan(query: QueryInput) -> QueryPlan:
+    """Accept a query string, a parsed path or a compiled plan."""
+    if isinstance(query, QueryPlan):
+        return query
+    if isinstance(query, PathExpr):
+        return compile_plan(query)
+    return compile_plan(parse_xpath(query), source=query)
+
+
+def build_network(
+    fragmentation: Fragmentation,
+    placement: Optional[Mapping[str, str]] = None,
+) -> Network:
+    """Create a network for a fragmentation (one site per fragment by default)."""
+    if placement is None:
+        placement = one_site_per_fragment(fragmentation)
+    return Network(fragmentation, placement)
+
+
+def vector_units(vectors: Iterable[Sequence[FormulaLike]]) -> int:
+    """Traffic units of a collection of vectors (formula atoms per entry)."""
+    total = 0
+    for vector in vectors:
+        for entry in vector:
+            total += formula_size(entry)
+    return total
+
+
+def binding_units(bindings: Mapping[str, object]) -> int:
+    """Traffic units of a resolved variable binding payload."""
+    return len(bindings)
+
+
+def plan_units(plan: QueryPlan) -> int:
+    """Traffic units of shipping the query plan itself (the paper's |Q|)."""
+    return plan.n_steps + plan.n_items + 1
+
+
+def answer_subtree_nodes(tree: XMLTree, answer_ids: Sequence[int]) -> int:
+    """Number of tree nodes shipped when answers are materialized as subtrees."""
+    return sum(tree.node(node_id).subtree_size() for node_id in answer_ids)
+
+
+@contextmanager
+def stage_timer(stage: StageStats) -> Iterator[StageStats]:
+    """Measure coordinator-side work (``evalFT``) attached to a stage."""
+    started = time.perf_counter()
+    try:
+        yield stage
+    finally:
+        stage.coordinator_seconds += time.perf_counter() - started

@@ -1,0 +1,151 @@
+"""The public, user-facing query engine.
+
+:class:`DistributedQueryEngine` ties everything together: it owns a
+fragmentation (and hence the original tree), a placement of fragments onto
+sites, and a default algorithm, and exposes ``execute()`` for queries plus a
+few introspection helpers.
+
+Example
+-------
+::
+
+    from repro import DistributedQueryEngine, parse_xml, cut_by_size
+
+    tree = parse_xml(open("catalog.xml").read())
+    fragmentation = cut_by_size(tree, max_elements=5000)
+    engine = DistributedQueryEngine(fragmentation, use_annotations=True)
+    result = engine.execute("//item[price < 30]/name")
+    for name in result.texts():
+        print(name)
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.common import QueryInput, ensure_plan
+from repro.core.naive import run_naive_centralized
+from repro.core.parbox import run_parbox
+from repro.core.pax2 import run_pax2
+from repro.core.pax3 import run_pax3
+from repro.core.pruning import relevant_fragments
+from repro.core.results import QueryResult
+from repro.distributed.placement import one_site_per_fragment
+from repro.distributed.stats import RunStats
+from repro.fragments.fragment_tree import Fragmentation
+from repro.xpath.centralized import evaluate_centralized
+
+__all__ = ["DistributedQueryEngine", "ALGORITHMS"]
+
+#: algorithm name -> runner
+ALGORITHMS = {
+    "pax3": run_pax3,
+    "pax2": run_pax2,
+    "naive": run_naive_centralized,
+}
+
+
+class DistributedQueryEngine:
+    """Evaluate XPath queries over a fragmented, distributed XML tree.
+
+    Parameters
+    ----------
+    fragmentation:
+        The fragmented document (see :mod:`repro.fragments`).
+    placement:
+        Mapping ``fragment_id -> site_id``; defaults to one site per
+        fragment, with the root fragment's site acting as the coordinator.
+    algorithm:
+        ``"pax2"`` (default, the paper's best algorithm), ``"pax3"`` or
+        ``"naive"``.
+    use_annotations:
+        Enable the XPath-annotation optimization (fragment pruning and, for
+        qualifier-free queries, concrete stack initialization).
+    """
+
+    def __init__(
+        self,
+        fragmentation: Fragmentation,
+        placement: Optional[Mapping[str, str]] = None,
+        algorithm: str = "pax2",
+        use_annotations: bool = True,
+    ):
+        if algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}")
+        self.fragmentation = fragmentation
+        self.placement = dict(placement) if placement else one_site_per_fragment(fragmentation)
+        self.algorithm = algorithm
+        self.use_annotations = use_annotations
+
+    # -- queries -----------------------------------------------------------
+
+    def execute(
+        self,
+        query: QueryInput,
+        algorithm: Optional[str] = None,
+        use_annotations: Optional[bool] = None,
+    ) -> QueryResult:
+        """Evaluate a data-selecting query and return a :class:`QueryResult`."""
+        stats = self.run(query, algorithm=algorithm, use_annotations=use_annotations)
+        return QueryResult(self.fragmentation.tree, stats)
+
+    def run(
+        self,
+        query: QueryInput,
+        algorithm: Optional[str] = None,
+        use_annotations: Optional[bool] = None,
+    ) -> RunStats:
+        """Evaluate a query and return the raw :class:`RunStats`."""
+        name = algorithm or self.algorithm
+        runner = ALGORITHMS[name]
+        annotations = self.use_annotations if use_annotations is None else use_annotations
+        if name == "naive":
+            return runner(self.fragmentation, query, placement=self.placement)
+        return runner(
+            self.fragmentation,
+            query,
+            placement=self.placement,
+            use_annotations=annotations,
+        )
+
+    def execute_boolean(self, query: QueryInput) -> bool:
+        """Evaluate a Boolean query with ParBoX and return its truth value."""
+        stats = run_parbox(self.fragmentation, query, placement=self.placement)
+        return bool(stats.answer_ids)
+
+    def evaluate_centralized(self, query: QueryInput):
+        """Evaluate against the original (un-fragmented) tree — ground truth."""
+        return evaluate_centralized(self.fragmentation.tree, query)
+
+    # -- introspection --------------------------------------------------------
+
+    def explain(self, query: QueryInput) -> str:
+        """Describe how a query would be evaluated (plan + pruning decision)."""
+        plan = ensure_plan(query)
+        lines = [plan.describe(), ""]
+        decision = relevant_fragments(self.fragmentation, plan)
+        lines.append("fragments:")
+        for fragment_id in self.fragmentation.fragment_ids():
+            site = self.placement[fragment_id]
+            status = "evaluate" if decision.keeps(fragment_id) else "prune"
+            reason = decision.reasons.get(fragment_id, "")
+            lines.append(f"  {fragment_id} @ {site}: {status} ({reason})")
+        if not self.use_annotations:
+            lines.append(
+                "note: annotations disabled on this engine; all fragments would be evaluated"
+            )
+        return "\n".join(lines)
+
+    def describe_fragmentation(self) -> str:
+        """The fragmentation summary (fragments, sizes, placement)."""
+        lines = [self.fragmentation.summary(), "", "placement:"]
+        for fragment_id, site_id in sorted(self.placement.items()):
+            lines.append(f"  {fragment_id} -> {site_id}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DistributedQueryEngine algorithm={self.algorithm!r} "
+            f"fragments={len(self.fragmentation)} annotations={self.use_annotations}>"
+        )

@@ -1,0 +1,85 @@
+"""The NaiveCentralized baseline (Section 3 of the paper).
+
+Ship every fragment to the query site, reassemble the document, evaluate the
+query with the centralized algorithm.  The paper uses this baseline to show
+why partial evaluation is needed: its network traffic is the size of the
+whole tree rather than the size of the answer, and nothing runs in parallel.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping, Optional
+
+from repro.core.common import (
+    QueryInput,
+    answer_subtree_nodes,
+    build_network,
+    ensure_plan,
+    plan_units,
+)
+from repro.distributed.messages import MessageKind
+from repro.distributed.network import Network
+from repro.distributed.stats import RunStats, StageStats
+from repro.fragments.fragment_tree import Fragmentation
+from repro.fragments.reassembly import reassemble
+from repro.xpath.centralized import evaluate_centralized
+
+__all__ = ["run_naive_centralized"]
+
+
+def run_naive_centralized(
+    fragmentation: Fragmentation,
+    query: QueryInput,
+    placement: Optional[Mapping[str, str]] = None,
+    network: Optional[Network] = None,
+) -> RunStats:
+    """Evaluate *query* by shipping all fragments to the coordinator."""
+    plan = ensure_plan(query)
+    if network is None:
+        network = build_network(fragmentation, placement)
+    coordinator_id = network.coordinator_id
+
+    stats = RunStats(algorithm="NaiveCentralized", query=plan.source)
+    stats.fragments_evaluated = fragmentation.fragment_ids()
+    stage = StageStats(name="ship-and-evaluate")
+
+    site_ids = network.sites_holding(fragmentation.fragment_ids())
+    for site_id in site_ids:
+        site = network.sites[site_id]
+        fragment_ids = network.fragments_on(site_id)
+        network.send(
+            coordinator_id, site_id, MessageKind.EXEC_REQUEST,
+            units=plan_units(plan) * len(fragment_ids),
+            description="naive: request fragments",
+        )
+        shipped_nodes = 0
+        with site.visit("naive:ship"):
+            for fragment_id in fragment_ids:
+                shipped_nodes += fragmentation[fragment_id].node_count()
+        network.send(
+            site_id, coordinator_id, MessageKind.FRAGMENT_SHIPMENT, shipped_nodes,
+            description="naive: whole fragments",
+        )
+
+    times = [network.sites[sid].stage_seconds.get("naive:ship", 0.0) for sid in site_ids]
+    stage.parallel_seconds = max(times) if times else 0.0
+    stage.total_seconds = sum(times)
+    stage.sites_involved = len(site_ids)
+
+    # Coordinator-side: reassemble the document and run the centralized
+    # evaluator.  Both are charged to the coordinator (nothing is parallel).
+    started = time.perf_counter()
+    assembled = reassemble(fragmentation)
+    result = evaluate_centralized(assembled, plan)
+    stage.coordinator_seconds = time.perf_counter() - started
+    stats.stages.append(stage)
+
+    # The reassembled copy has its own ids; translate back to the original
+    # tree's ids so results are comparable across algorithms.  Reassembly
+    # preserves document order, so pre-order ids coincide.
+    stats.answer_ids = sorted(result.answer_ids)
+    stats.answer_nodes_shipped = answer_subtree_nodes(fragmentation.tree, stats.answer_ids)
+    network.collect_stats(stats)
+    stats.notes = "all fragments shipped to the coordinator"
+    return stats

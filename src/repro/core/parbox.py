@@ -1,0 +1,125 @@
+"""ParBoX: partial evaluation of Boolean XPath queries (Buneman et al. [5]).
+
+A Boolean query returns a single truth value — in the paper's formulation it
+is a qualifier evaluated at the document root, written here as ``.[q]``.
+ParBoX corresponds exactly to Stage 1 of PaX3: every site performs the
+bottom-up qualifier pass over its fragments (one visit per site), ships the
+root vectors to the coordinator, and a single bottom-up unification over the
+fragment tree yields the answer.
+
+The implementation is provided both because the paper uses it as the
+baseline its guarantees are measured against and because PaX3 literally
+embeds it as its first stage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.booleans.env import Environment
+from repro.core.common import QueryInput, build_network, ensure_plan, plan_units, stage_timer
+from repro.core.qualifiers import FragmentQualifierOutput, evaluate_fragment_qualifiers
+from repro.core.unify import require_concrete, unify_qualifier_vectors
+from repro.distributed.messages import MessageKind
+from repro.distributed.network import Network
+from repro.distributed.stats import RunStats, StageStats
+from repro.fragments.fragment_tree import Fragmentation
+from repro.xpath.errors import XPathError
+from repro.xpath.plan import SELFQUAL
+
+__all__ = ["run_parbox", "as_boolean_query"]
+
+
+def as_boolean_query(qualifier: str) -> str:
+    """Wrap a qualifier expression string into the Boolean query ``.[q]``."""
+    stripped = qualifier.strip()
+    if stripped.startswith("[") and stripped.endswith("]"):
+        return f".{stripped}"
+    return f".[{stripped}]"
+
+
+def run_parbox(
+    fragmentation: Fragmentation,
+    query: QueryInput,
+    placement: Optional[Mapping[str, str]] = None,
+    network: Optional[Network] = None,
+) -> RunStats:
+    """Evaluate a Boolean query with ParBoX (one visit per site).
+
+    The query must be a Boolean query: its selection part may consist only of
+    qualifiers applied at the root (``.[q]``).  The Boolean result is exposed
+    as ``stats.answer_ids``, which contains the document root's node id when
+    the query is true and is empty otherwise, plus ``stats.notes``.
+    """
+    plan = ensure_plan(query)
+    if any(step.kind != SELFQUAL for step in plan.selection):
+        raise XPathError(
+            "ParBoX evaluates Boolean queries only; use PaX3/PaX2 for data-selecting queries"
+        )
+    if network is None:
+        network = build_network(fragmentation, placement)
+    coordinator_id = network.coordinator_id
+
+    stats = RunStats(algorithm="ParBoX", query=plan.source)
+    stats.fragments_evaluated = fragmentation.fragment_ids()
+    stage = StageStats(name="qualifiers")
+
+    outputs: Dict[str, FragmentQualifierOutput] = {}
+    site_ids = network.sites_holding(fragmentation.fragment_ids())
+    for site_id in site_ids:
+        site = network.sites[site_id]
+        fragment_ids = network.fragments_on(site_id)
+        network.send(
+            coordinator_id, site_id, MessageKind.EXEC_REQUEST,
+            units=plan_units(plan) * len(fragment_ids),
+            description="ParBoX: evaluate the Boolean query",
+        )
+        units = 0
+        with site.visit("parbox:qualifiers"):
+            for fragment_id in fragment_ids:
+                output = evaluate_fragment_qualifiers(fragmentation[fragment_id], plan)
+                outputs[fragment_id] = output
+                site.add_operations(output.operations)
+                units += output.root_vector_units
+        network.send(
+            site_id, coordinator_id, MessageKind.QUALIFIER_VECTORS, units,
+            description="ParBoX: root qualifier vectors",
+        )
+
+    times = [network.sites[sid].stage_seconds.get("parbox:qualifiers", 0.0) for sid in site_ids]
+    stage.parallel_seconds = max(times) if times else 0.0
+    stage.total_seconds = sum(times)
+    stage.sites_involved = len(site_ids)
+
+    with stage_timer(stage):
+        environment = unify_qualifier_vectors(
+            fragmentation,
+            plan,
+            {fid: (out.root_head, out.root_desc) for fid, out in outputs.items()},
+            Environment(),
+        )
+        result = _boolean_result_at_root(fragmentation, plan, outputs, environment)
+    stats.stages.append(stage)
+
+    root_id = fragmentation.tree.root.node_id
+    stats.answer_ids = [root_id] if result else []
+    stats.notes = f"boolean result: {result}"
+    network.collect_stats(stats)
+    return stats
+
+
+def _boolean_result_at_root(
+    fragmentation: Fragmentation,
+    plan,
+    outputs: Mapping[str, FragmentQualifierOutput],
+    environment: Environment,
+) -> bool:
+    """Resolve the qualifier expression of ``.[q]`` at the document root."""
+    root_fragment = fragmentation.root_fragment
+    root_output = outputs[root_fragment.fragment_id]
+    values = root_output.qual_values.get(fragmentation.tree.root.node_id, ())
+    result = True
+    for value in values:
+        resolved = require_concrete(environment.resolve(value), "Boolean query at the root")
+        result = result and resolved
+    return bool(result)

@@ -1,0 +1,219 @@
+"""Algorithm PaX2 (Section 4 of the paper).
+
+PaX2 folds the qualifier stage and the selection stage of PaX3 into one
+combined pre/post-order pass per fragment, so every participating site is
+visited at most twice:
+
+1. **Combined pass** — every site runs the pre/post-order traversal of
+   :func:`repro.core.combined.evaluate_fragment_combined` over each of its
+   fragments; the coordinator unifies qualifier vectors bottom-up and
+   selection vectors top-down over the fragment tree.
+2. **Answer retrieval** — sites holding candidates receive the resolved
+   bindings (their own initialization variables plus the qualifier values of
+   their sub-fragments), decide the candidates and ship the answers.
+
+With XPath-annotations the combined pass is only executed over fragments
+that can matter for the query (the pruner is conservative with respect to
+both answers and qualifier scopes), and for qualifier-free queries the
+initialization is concrete so the second visit disappears.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.booleans.env import Environment
+from repro.booleans.formula import FormulaLike, formula_size
+from repro.core.combined import FragmentCombinedOutput, evaluate_fragment_combined
+from repro.core.common import (
+    QueryInput,
+    answer_subtree_nodes,
+    build_network,
+    ensure_plan,
+    plan_units,
+    stage_timer,
+)
+from repro.core.pruning import annotation_init_vector, relevant_fragments
+from repro.core.selection import concrete_root_init_vector, variable_init_vector
+from repro.core.unify import (
+    require_concrete,
+    resolved_child_qualifier_bindings,
+    resolved_init_bindings,
+    unify_qualifier_vectors,
+    unify_selection_vectors,
+)
+from repro.distributed.messages import MessageKind
+from repro.distributed.network import Network
+from repro.distributed.stats import RunStats, StageStats
+from repro.fragments.fragment_tree import Fragmentation
+from repro.xpath.plan import QueryPlan
+
+__all__ = ["run_pax2"]
+
+
+def _output_units(plan: QueryPlan, output: FragmentCombinedOutput) -> int:
+    units = 0
+    for item_id in plan.head_item_ids:
+        units += formula_size(output.root_head[item_id])
+    for item_id in plan.desc_item_ids:
+        units += formula_size(output.root_desc[item_id])
+    for vector in output.virtual_parent_vectors.values():
+        units += sum(formula_size(entry) for entry in vector)
+    return units
+
+
+def _stage_site_times(network: Network, site_ids: Sequence[str], stage_key: str) -> tuple[float, float]:
+    times = [network.sites[site_id].stage_seconds.get(stage_key, 0.0) for site_id in site_ids]
+    if not times:
+        return 0.0, 0.0
+    return max(times), sum(times)
+
+
+def run_pax2(
+    fragmentation: Fragmentation,
+    query: QueryInput,
+    placement: Optional[Mapping[str, str]] = None,
+    use_annotations: bool = False,
+    network: Optional[Network] = None,
+) -> RunStats:
+    """Evaluate *query* over a fragmented tree with algorithm PaX2."""
+    plan = ensure_plan(query)
+    if network is None:
+        network = build_network(fragmentation, placement)
+    coordinator_id = network.coordinator_id
+    root_fragment_id = fragmentation.root_fragment_id
+
+    stats = RunStats(algorithm="PaX2", query=plan.source, use_annotations=use_annotations)
+
+    if use_annotations:
+        decision = relevant_fragments(fragmentation, plan)
+        evaluated = [fid for fid in fragmentation.fragment_ids() if decision.keeps(fid)]
+        stats.fragments_pruned = sorted(decision.pruned)
+    else:
+        evaluated = fragmentation.fragment_ids()
+    stats.fragments_evaluated = list(evaluated)
+
+    answers: set[int] = set()
+
+    # ------------------------------------------------------------------ stage 1
+    stage1 = StageStats(name="combined")
+    stage1_sites = network.sites_holding(evaluated)
+    outputs: Dict[str, FragmentCombinedOutput] = {}
+    candidate_sites: Dict[str, List[str]] = {}
+
+    for site_id in stage1_sites:
+        site = network.sites[site_id]
+        fragment_ids = [fid for fid in network.fragments_on(site_id) if fid in evaluated]
+        network.send(
+            coordinator_id, site_id, MessageKind.EXEC_REQUEST,
+            units=plan_units(plan) * len(fragment_ids),
+            description="stage 1: combined qualifier + selection pass",
+        )
+        site_answers: List[int] = []
+        site_units = 0
+        with site.visit("pax2:combined"):
+            for fragment_id in fragment_ids:
+                fragment = fragmentation[fragment_id]
+                if fragment_id == root_fragment_id:
+                    init_vector: Sequence[FormulaLike] = concrete_root_init_vector(plan)
+                elif use_annotations and not plan.has_qualifiers:
+                    init_vector = annotation_init_vector(fragmentation, plan, fragment_id)
+                else:
+                    init_vector = variable_init_vector(plan, fragment_id)
+                output = evaluate_fragment_combined(
+                    fragment,
+                    plan,
+                    init_vector,
+                    is_root_fragment=(fragment_id == root_fragment_id),
+                )
+                outputs[fragment_id] = output
+                site.add_operations(output.operations)
+                site_answers.extend(output.answers)
+                if output.candidates:
+                    site.storage[fragment_id]["candidates"] = output.candidates
+                    candidate_sites.setdefault(site_id, []).append(fragment_id)
+                site_units += _output_units(plan, output)
+        answers.update(site_answers)
+        if site_units:
+            network.send(
+                site_id, coordinator_id, MessageKind.SELECTION_VECTORS, site_units,
+                description="stage 1: root qualifier vectors and virtual-node vectors",
+            )
+        if site_answers:
+            network.send(
+                site_id, coordinator_id, MessageKind.ANSWERS, len(site_answers),
+                description="stage 1: definite answers",
+            )
+
+    stage1.parallel_seconds, stage1.total_seconds = _stage_site_times(
+        network, stage1_sites, "pax2:combined"
+    )
+    stage1.sites_involved = len(stage1_sites)
+    with stage_timer(stage1):
+        environment = Environment()
+        if plan.has_qualifiers:
+            environment = unify_qualifier_vectors(
+                fragmentation,
+                plan,
+                {fid: (out.root_head, out.root_desc) for fid, out in outputs.items()},
+                environment,
+            )
+        environment = unify_selection_vectors(
+            fragmentation,
+            plan,
+            {fid: out.virtual_parent_vectors for fid, out in outputs.items()},
+            environment,
+        )
+    stats.stages.append(stage1)
+
+    # ------------------------------------------------------------------ stage 2
+    if candidate_sites:
+        stage2 = StageStats(name="answers")
+        for site_id, fragment_ids in sorted(candidate_sites.items()):
+            site = network.sites[site_id]
+            per_fragment_bindings: Dict[str, Dict[str, bool]] = {}
+            total_units = 0
+            for fragment_id in fragment_ids:
+                bindings = resolved_init_bindings(plan, fragment_id, environment)
+                if plan.has_qualifiers:
+                    bindings.update(
+                        resolved_child_qualifier_bindings(
+                            fragmentation, plan, fragment_id, environment
+                        )
+                    )
+                per_fragment_bindings[fragment_id] = bindings
+                total_units += len(bindings)
+            network.send(
+                coordinator_id, site_id, MessageKind.RESOLVED_BINDINGS, total_units,
+                description="stage 2: resolved initialization and qualifier values",
+            )
+            resolved_answers: List[int] = []
+            with site.visit("pax2:answers"):
+                for fragment_id in fragment_ids:
+                    candidates = site.storage[fragment_id].get("candidates", {})
+                    fragment_env = Environment(per_fragment_bindings[fragment_id])
+                    for node_id, formula in candidates.items():
+                        value = require_concrete(
+                            fragment_env.resolve(formula),
+                            f"candidate answer {node_id} in {fragment_id}",
+                        )
+                        if value:
+                            resolved_answers.append(node_id)
+            answers.update(resolved_answers)
+            if resolved_answers:
+                network.send(
+                    site_id, coordinator_id, MessageKind.ANSWERS, len(resolved_answers),
+                    description="stage 2: resolved candidate answers",
+                )
+        candidate_site_ids = sorted(candidate_sites)
+        stage2.parallel_seconds, stage2.total_seconds = _stage_site_times(
+            network, candidate_site_ids, "pax2:answers"
+        )
+        stage2.sites_involved = len(candidate_site_ids)
+        stats.stages.append(stage2)
+
+    # ------------------------------------------------------------------ results
+    stats.answer_ids = sorted(answers)
+    stats.answer_nodes_shipped = answer_subtree_nodes(fragmentation.tree, stats.answer_ids)
+    network.collect_stats(stats)
+    return stats

@@ -1,0 +1,180 @@
+"""The XPath-annotation optimization (Section 5 of the paper).
+
+Given an annotated fragment tree, the coordinator knows — for every fragment
+— the label path from the document root down to the fragment's root.  Two
+uses are made of that information:
+
+1. **Pruning**: a fragment is skipped entirely when (a) no match of the
+   selection path can lie in its subtree *and* (b) no node carrying a
+   qualifier can be an ancestor-or-self of its root.  Both conditions are
+   decided conservatively by simulating the selection prefix automaton along
+   the label path with qualifiers assumed true, so pruning never changes the
+   answer.  Ancestors of kept fragments are also kept so the coordinator can
+   still resolve initialization variables along the fragment tree.
+
+2. **Concrete initialization**: when the query has no qualifiers, the prefix
+   vector of a fragment root's parent is fully determined by the label path,
+   so the selection stack can be initialized with concrete values instead of
+   variables — every answer is then identified with certainty and the final
+   answer-retrieval stage is skipped (the paper's Experiment 1/2 effect).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.fragments.annotations import root_label_path
+from repro.fragments.fragment_tree import Fragmentation
+from repro.xpath.plan import CHILD, DESC, SELFQUAL, QueryPlan
+from repro.xpath.runtime import root_context_init_vector
+
+__all__ = [
+    "prefix_vectors_along_path",
+    "relevant_fragments",
+    "initial_vector_from_labels",
+    "annotation_init_vector",
+    "PruningDecision",
+]
+
+
+def _advance(
+    plan: QueryPlan,
+    previous: Sequence[bool],
+    label: str,
+    is_relative_context: bool,
+    assume_qualifiers: bool,
+) -> List[bool]:
+    """One step of the prefix automaton along a label chain.
+
+    ``previous`` is the vector of the node's parent (or the document-node
+    vector for the root element of an absolute plan); ``is_relative_context``
+    marks the root element of a relative plan, which *is* the query context.
+    With ``assume_qualifiers`` the automaton over-approximates (qualifiers
+    treated as true); without it the result is exact for qualifier-free
+    plans.
+    """
+    n_steps = plan.n_steps
+    vector: List[bool] = [False] * (n_steps + 1)
+    vector[0] = is_relative_context
+    for position, step in enumerate(plan.selection, start=1):
+        if step.kind == CHILD:
+            matches = step.tag is None or step.tag == label
+            vector[position] = bool(previous[position - 1]) and matches
+        elif step.kind == DESC:
+            vector[position] = bool(previous[position]) or vector[position - 1]
+        elif step.kind == SELFQUAL:
+            vector[position] = vector[position - 1] and assume_qualifiers
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown selection step kind {step.kind!r}")
+    return vector
+
+
+def prefix_vectors_along_path(
+    plan: QueryPlan,
+    labels_from_root: Sequence[str],
+    assume_qualifiers: bool = True,
+) -> List[List[bool]]:
+    """Prefix vectors for the nodes along a root-to-fragment label chain.
+
+    ``labels_from_root[0]`` must be the root element's label; index ``d`` of
+    the result is the vector of the node at depth ``d``.
+    """
+    if not labels_from_root:
+        raise ValueError("the label chain must start with the root element's label")
+    vectors: List[List[bool]] = []
+    previous: Sequence[bool] = [bool(value) for value in root_context_init_vector(plan)]
+    for depth, label in enumerate(labels_from_root):
+        is_relative_context = depth == 0 and not plan.absolute
+        vector = _advance(plan, previous, label, is_relative_context, assume_qualifiers)
+        vectors.append(vector)
+        previous = vector
+    return vectors
+
+
+class PruningDecision:
+    """Outcome of the annotation-based pruning for one fragmentation/query."""
+
+    def __init__(self, kept: Set[str], pruned: Set[str], reasons: Dict[str, str]):
+        self.kept = kept
+        self.pruned = pruned
+        self.reasons = reasons
+
+    def keeps(self, fragment_id: str) -> bool:
+        return fragment_id in self.kept
+
+    def __repr__(self) -> str:
+        return f"<PruningDecision kept={sorted(self.kept)} pruned={sorted(self.pruned)}>"
+
+
+def relevant_fragments(fragmentation: Fragmentation, plan: QueryPlan) -> PruningDecision:
+    """Decide which fragments must participate in the evaluation of *plan*."""
+    qualifier_prefixes = [
+        position - 1
+        for position in range(1, plan.n_steps + 1)
+        if plan.selection[position - 1].kind == SELFQUAL
+    ]
+    root_label = fragmentation.tree.root.label
+    kept: Set[str] = set()
+    reasons: Dict[str, str] = {}
+
+    for fragment_id in fragmentation.fragment_ids():
+        if fragment_id == fragmentation.root_fragment_id:
+            kept.add(fragment_id)
+            reasons[fragment_id] = "root fragment"
+            continue
+        labels = [root_label] + root_label_path(fragmentation, fragment_id)
+        vectors = prefix_vectors_along_path(plan, labels, assume_qualifiers=True)
+        if any(vectors[-1]):
+            kept.add(fragment_id)
+            reasons[fragment_id] = "may contain selection matches"
+            continue
+        qualifier_hit = any(
+            vectors[depth][prefix]
+            for depth in range(len(vectors))
+            for prefix in qualifier_prefixes
+        )
+        if qualifier_hit:
+            kept.add(fragment_id)
+            reasons[fragment_id] = "inside the scope of a qualifier"
+
+    # Keep fragment-tree ancestors of every kept fragment so initialization
+    # variables can be resolved along an unbroken chain.
+    closure = set(kept)
+    for fragment_id in kept:
+        for ancestor in fragmentation.ancestors(fragment_id):
+            if ancestor not in closure:
+                closure.add(ancestor)
+                reasons.setdefault(ancestor, "ancestor of a relevant fragment")
+    pruned = set(fragmentation.fragment_ids()) - closure
+    for fragment_id in pruned:
+        reasons[fragment_id] = "no selection match or qualifier scope can reach it"
+    return PruningDecision(closure, pruned, reasons)
+
+
+def initial_vector_from_labels(plan: QueryPlan, labels_from_root: Sequence[str]) -> List[bool]:
+    """Concrete initialization vector of a fragment from its annotation path.
+
+    Only valid for qualifier-free plans (otherwise the vector would have to
+    carry the unknown qualifier outcomes of ancestor nodes).
+
+    ``labels_from_root`` is the label chain from the document root element
+    (inclusive) to the fragment's root (inclusive); the returned vector is
+    the prefix vector of the fragment root's *parent*, i.e. the stack
+    initialization for the fragment.
+    """
+    if plan.has_qualifiers:
+        raise ValueError("concrete initialization requires a qualifier-free query")
+    if len(labels_from_root) < 2:
+        # The fragment root is the document root element: its "parent" is the
+        # query context itself.
+        return [bool(value) for value in root_context_init_vector(plan)]
+    vectors = prefix_vectors_along_path(plan, labels_from_root, assume_qualifiers=False)
+    return vectors[len(labels_from_root) - 2]
+
+
+def annotation_init_vector(
+    fragmentation: Fragmentation, plan: QueryPlan, fragment_id: str
+) -> List[bool]:
+    """Convenience wrapper: concrete initialization vector for one fragment."""
+    labels = [fragmentation.tree.root.label] + root_label_path(fragmentation, fragment_id)
+    return initial_vector_from_labels(plan, labels)

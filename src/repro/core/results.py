@@ -1,0 +1,60 @@
+"""Query results returned by the public engine API."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.distributed.stats import RunStats
+from repro.xmltree.nodes import XMLNode, XMLTree
+from repro.xmltree.serializer import serialize_node
+
+__all__ = ["QueryResult"]
+
+
+class QueryResult:
+    """The answer of a query plus the run statistics that produced it.
+
+    Answers are exposed three ways: as stable node ids (:attr:`answer_ids`),
+    as live nodes of the queried tree (:meth:`nodes`), and as serialized XML
+    snippets (:meth:`to_xml`).
+    """
+
+    def __init__(self, tree: XMLTree, stats: RunStats):
+        self._tree = tree
+        self.stats = stats
+
+    @property
+    def answer_ids(self) -> List[int]:
+        """Node ids of the answer, in document order."""
+        return list(self.stats.answer_ids)
+
+    def __len__(self) -> int:
+        return len(self.stats.answer_ids)
+
+    def __iter__(self) -> Iterator[XMLNode]:
+        return iter(self.nodes())
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in set(self.stats.answer_ids)
+
+    def nodes(self) -> List[XMLNode]:
+        """The answer as nodes of the queried tree, in document order."""
+        return [self._tree.node(node_id) for node_id in self.stats.answer_ids]
+
+    def texts(self) -> List[str]:
+        """Direct text content of each answer node."""
+        return [node.text() for node in self.nodes()]
+
+    def to_xml(self, pretty: bool = False) -> List[str]:
+        """Each answer node serialized as an XML snippet."""
+        return [serialize_node(node, pretty=pretty) for node in self.nodes()]
+
+    def summary(self) -> str:
+        """The run-statistics summary (timing, traffic, visits)."""
+        return self.stats.summary()
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryResult {len(self)} answers via {self.stats.algorithm}"
+            f" ({self.stats.communication_units} traffic units)>"
+        )

@@ -1,0 +1,119 @@
+"""Stage 2 of PaX3: partial evaluation of the selection path over one fragment.
+
+A single top-down pass over the fragment computes the selection prefix
+vector of every element node (Procedure ``topDown`` of the paper).  A
+non-root fragment does not know the vector of its root's parent, so the
+traversal stack is initialized with fresh ``sv:`` variables (or, when
+XPath-annotations are available and the query has no qualifiers, with the
+concrete vector derived from the annotation path).
+
+The pass classifies nodes into definite answers (final entry ``True``),
+candidate answers (final entry is a residual formula) and non-answers, and
+records — for every virtual node — the vector of its parent, which is what
+the coordinator needs to resolve the ``sv:`` variables of the corresponding
+sub-fragment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.booleans.formula import FormulaLike, is_false, is_true
+from repro.core.variables import selection_var
+from repro.fragments.fragment import Fragment
+from repro.xmltree.nodes import NodeId, XMLNode
+from repro.xpath.plan import QueryPlan
+from repro.xpath.runtime import root_context_init_vector, selection_vector
+
+__all__ = [
+    "FragmentSelectionOutput",
+    "evaluate_fragment_selection",
+    "variable_init_vector",
+]
+
+#: Callable giving, for an element node, the values of its SELFQUAL qualifiers.
+QualProvider = Callable[[XMLNode], Sequence[FormulaLike]]
+
+_NO_QUALS: Tuple[FormulaLike, ...] = tuple()
+
+
+@dataclass
+class FragmentSelectionOutput:
+    """Result of the selection pass over one fragment."""
+
+    fragment_id: str
+    #: node ids whose final prefix entry is concretely true
+    answers: List[NodeId] = field(default_factory=list)
+    #: node id -> residual formula, for nodes whose membership is undecided
+    candidates: Dict[NodeId, FormulaLike] = field(default_factory=dict)
+    #: sub-fragment id -> selection vector of the parent of that sub-fragment's root
+    virtual_parent_vectors: Dict[str, List[FormulaLike]] = field(default_factory=dict)
+    #: coarse operation count
+    operations: int = 0
+
+
+def variable_init_vector(plan: QueryPlan, fragment_id: str) -> List[FormulaLike]:
+    """The all-variables initialization vector of a non-root fragment."""
+    return [selection_var(fragment_id, entry) for entry in range(plan.n_steps + 1)]
+
+
+def concrete_root_init_vector(plan: QueryPlan) -> List[FormulaLike]:
+    """The initialization vector of the root fragment.
+
+    For absolute plans this is the document node's prefix vector; for
+    relative plans everything above the root element is false (the root
+    element itself is the context).
+    """
+    return root_context_init_vector(plan)
+
+
+def evaluate_fragment_selection(
+    fragment: Fragment,
+    plan: QueryPlan,
+    qual_provider: Optional[QualProvider],
+    init_vector: Sequence[FormulaLike],
+    is_root_fragment: bool,
+) -> FragmentSelectionOutput:
+    """Top-down partial evaluation of the selection path over *fragment*.
+
+    ``qual_provider`` supplies the (already resolved) qualifier values per
+    node; pass ``None`` for qualifier-free plans.  ``init_vector`` is the
+    vector of the fragment root's parent — concrete for the root fragment or
+    under XPath-annotations, variables otherwise.
+    """
+    output = FragmentSelectionOutput(fragment_id=fragment.fragment_id)
+    n_steps = plan.n_steps
+    elements_processed = 0
+
+    stack: list[tuple[XMLNode, Sequence[FormulaLike]]] = [(fragment.root, list(init_vector))]
+    while stack:
+        node, parent_vector = stack.pop()
+        elements_processed += 1
+        if qual_provider is not None:
+            qual_values = qual_provider(node)
+        else:
+            qual_values = _NO_QUALS
+        vector = selection_vector(
+            plan,
+            node,
+            parent_vector,
+            is_context_root=(
+                is_root_fragment and not plan.absolute and node is fragment.root
+            ),
+            qual_values=qual_values,
+        )
+        final = vector[n_steps]
+        if is_true(final):
+            output.answers.append(node.node_id)
+        elif not is_false(final):
+            output.candidates[node.node_id] = final
+
+        for virtual in fragment.virtual_children_of(node):
+            output.virtual_parent_vectors[virtual.fragment_id] = list(vector)
+
+        for child in reversed(fragment.real_element_children(node)):
+            stack.append((child, vector))
+
+    output.operations = elements_processed * (n_steps + 1)
+    return output

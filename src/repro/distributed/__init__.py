@@ -1,0 +1,37 @@
+"""Simulated distributed runtime.
+
+The paper runs on ten LAN machines; this package replaces them with
+in-process *sites* so the reproduction runs anywhere while still producing
+the quantities the paper's figures plot:
+
+* per-site **visits** (the "each site is visited at most three/two times"
+  guarantee),
+* **communication** in counted units (vector entries, formula atoms, shipped
+  answer nodes) — the paper's `O(|Q| |FT| + |ans|)` bound,
+* per-site **wall-clock time** per stage, measured while sites execute
+  sequentially; the *parallel* time of a stage is the maximum over sites
+  (sites are independent within a stage), the *total* time is the sum.
+"""
+
+from repro.distributed.messages import Message, MessageKind
+from repro.distributed.network import Network
+from repro.distributed.site import Site
+from repro.distributed.placement import (
+    one_site_per_fragment,
+    round_robin_placement,
+    single_site_placement,
+)
+from repro.distributed.stats import RunStats, SiteStats, StageStats
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "Network",
+    "Site",
+    "RunStats",
+    "SiteStats",
+    "StageStats",
+    "one_site_per_fragment",
+    "round_robin_placement",
+    "single_site_placement",
+]

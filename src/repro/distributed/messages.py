@@ -1,0 +1,46 @@
+"""Messages exchanged between the coordinator and participating sites."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Message", "MessageKind"]
+
+
+class MessageKind:
+    """Message kinds, named after their role in the paper's algorithms."""
+
+    #: coordinator -> site: execute a stage (carries the query plan)
+    EXEC_REQUEST = "exec_request"
+    #: site -> coordinator: qualifier vectors of fragment roots (Stage 1)
+    QUALIFIER_VECTORS = "qualifier_vectors"
+    #: site -> coordinator: selection vectors at virtual nodes (Stage 2 / PaX2 Stage 1)
+    SELECTION_VECTORS = "selection_vectors"
+    #: coordinator -> site: resolved variable bindings for sub-fragments / init vectors
+    RESOLVED_BINDINGS = "resolved_bindings"
+    #: site -> coordinator: answer node ids (and their subtree sizes)
+    ANSWERS = "answers"
+    #: site -> coordinator: a whole fragment (only the naive baseline does this)
+    FRAGMENT_SHIPMENT = "fragment_shipment"
+
+
+@dataclass
+class Message:
+    """One logical message with its accounting metadata.
+
+    ``units`` counts the payload in abstract units: one unit per vector entry
+    or formula atom, one unit per shipped tree node.  ``payload`` is kept for
+    debugging and tests but never used for accounting.
+    """
+
+    sender: str
+    receiver: str
+    kind: str
+    units: int
+    description: str = ""
+    payload: object = field(default=None, repr=False)
+
+    @property
+    def is_local(self) -> bool:
+        """True when sender and receiver are the same site (no network cost)."""
+        return self.sender == self.receiver

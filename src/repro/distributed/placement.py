@@ -1,0 +1,66 @@
+"""Policies for assigning fragments to sites.
+
+A placement is simply a mapping ``fragment_id -> site_id``.  The paper's
+experiments place one fragment per machine; the other policies exist for the
+engine's users and for tests that exercise the "several fragments on one
+site" accounting (a site is still visited at most 3/2 times no matter how
+many fragments it holds).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.fragments.fragment_tree import Fragmentation
+
+__all__ = [
+    "one_site_per_fragment",
+    "round_robin_placement",
+    "single_site_placement",
+    "explicit_placement",
+]
+
+
+def one_site_per_fragment(fragmentation: Fragmentation, site_prefix: str = "S") -> Dict[str, str]:
+    """Each fragment on its own site; fragment ``Fi`` goes to site ``Si``.
+
+    The root fragment's site doubles as the query/coordinator site, matching
+    the paper's convention that ``S_Q`` stores the root fragment.
+    """
+    placement: Dict[str, str] = {}
+    for index, fragment_id in enumerate(fragmentation.fragment_ids()):
+        placement[fragment_id] = f"{site_prefix}{index}"
+    return placement
+
+
+def round_robin_placement(
+    fragmentation: Fragmentation, site_count: int, site_prefix: str = "S"
+) -> Dict[str, str]:
+    """Distribute fragments over *site_count* sites in round-robin order."""
+    if site_count < 1:
+        raise ValueError("site_count must be positive")
+    placement: Dict[str, str] = {}
+    for index, fragment_id in enumerate(fragmentation.fragment_ids()):
+        placement[fragment_id] = f"{site_prefix}{index % site_count}"
+    return placement
+
+
+def single_site_placement(fragmentation: Fragmentation, site_id: str = "S0") -> Dict[str, str]:
+    """Everything on one site (degenerate case used in tests and Experiment 1's
+    first iteration)."""
+    return {fragment_id: site_id for fragment_id in fragmentation.fragment_ids()}
+
+
+def explicit_placement(
+    fragmentation: Fragmentation, mapping: Mapping[str, str]
+) -> Dict[str, str]:
+    """Validate and return a user-provided placement."""
+    placement: Dict[str, str] = {}
+    missing: Sequence[str] = [
+        fragment_id for fragment_id in fragmentation.fragment_ids() if fragment_id not in mapping
+    ]
+    if missing:
+        raise ValueError(f"placement is missing fragments: {', '.join(missing)}")
+    for fragment_id in fragmentation.fragment_ids():
+        placement[fragment_id] = mapping[fragment_id]
+    return placement

@@ -1,0 +1,76 @@
+"""A participating site: fragments, per-stage scratch storage, counters."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List
+
+__all__ = ["Site"]
+
+
+class Site:
+    """A site of the simulated distributed system.
+
+    A site holds one or more fragments and, between visits, whatever state
+    the algorithm left behind (the paper's "annotate the fragment with
+    vectors").  The site does not run algorithm code itself; the algorithms
+    call :meth:`visit` around the work they do "at" the site so visits and
+    per-stage elapsed time are recorded in one place.
+    """
+
+    def __init__(self, site_id: str):
+        self.site_id = site_id
+        #: ids of the fragments stored at this site
+        self.fragment_ids: List[str] = []
+        #: algorithm scratch space surviving between visits, keyed by fragment id
+        self.storage: Dict[str, Dict[str, Any]] = {}
+        self.visits = 0
+        self.stage_seconds: Dict[str, float] = {}
+        self.operations = 0
+
+    # -- fragments -----------------------------------------------------------
+
+    def assign_fragment(self, fragment_id: str) -> None:
+        """Place a fragment on this site."""
+        if fragment_id not in self.fragment_ids:
+            self.fragment_ids.append(fragment_id)
+            self.storage[fragment_id] = {}
+
+    def holds(self, fragment_id: str) -> bool:
+        return fragment_id in self.fragment_ids
+
+    # -- accounting ------------------------------------------------------------
+
+    @contextmanager
+    def visit(self, stage: str) -> Iterator["Site"]:
+        """Record one visit of this site for *stage*, timing the enclosed work."""
+        self.visits += 1
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - started
+            self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + elapsed
+
+    def add_operations(self, count: int) -> None:
+        """Add to the coarse operation counter (node visits x plan width)."""
+        self.operations += count
+
+    def total_seconds(self) -> float:
+        """Total measured compute time across all visits."""
+        return sum(self.stage_seconds.values())
+
+    def reset_counters(self) -> None:
+        """Clear visit/time/operation counters (storage is kept)."""
+        self.visits = 0
+        self.stage_seconds.clear()
+        self.operations = 0
+
+    def clear_storage(self) -> None:
+        """Drop all per-fragment scratch state."""
+        for fragment_id in self.fragment_ids:
+            self.storage[fragment_id] = {}
+
+    def __repr__(self) -> str:
+        return f"<Site {self.site_id} fragments={self.fragment_ids} visits={self.visits}>"

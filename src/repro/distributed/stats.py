@@ -1,0 +1,122 @@
+"""Run statistics: the numbers the paper's figures are made of."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["StageStats", "SiteStats", "RunStats"]
+
+
+@dataclass
+class StageStats:
+    """Timing of one stage of an algorithm run.
+
+    ``parallel_seconds`` is the maximum site time (sites work independently
+    within a stage), ``total_seconds`` the sum over sites, and
+    ``coordinator_seconds`` the time spent in the coordinator-side
+    unification (``evalFT``) that follows the stage.
+    """
+
+    name: str
+    parallel_seconds: float = 0.0
+    total_seconds: float = 0.0
+    coordinator_seconds: float = 0.0
+    sites_involved: int = 0
+
+
+@dataclass
+class SiteStats:
+    """Per-site accounting for one run."""
+
+    site_id: str
+    fragment_ids: List[str] = field(default_factory=list)
+    visits: int = 0
+    seconds: float = 0.0
+    operations: int = 0
+
+
+@dataclass
+class RunStats:
+    """Everything measured during one distributed (or baseline) run."""
+
+    algorithm: str
+    query: str
+    use_annotations: bool = False
+    answer_ids: List[int] = field(default_factory=list)
+    stages: List[StageStats] = field(default_factory=list)
+    sites: Dict[str, SiteStats] = field(default_factory=dict)
+    #: network traffic in counted units, excluding local (same-site) messages
+    communication_units: int = 0
+    #: same-site message units (free in the paper's model, reported for context)
+    local_units: int = 0
+    message_count: int = 0
+    #: fragments actually evaluated (after annotation-based pruning)
+    fragments_evaluated: List[str] = field(default_factory=list)
+    fragments_pruned: List[str] = field(default_factory=list)
+    #: answer payload: how many tree nodes would be shipped when materializing answers
+    answer_nodes_shipped: int = 0
+    notes: Optional[str] = None
+
+    # -- derived quantities ----------------------------------------------------
+
+    @property
+    def answer_count(self) -> int:
+        return len(self.answer_ids)
+
+    @property
+    def parallel_seconds(self) -> float:
+        """The paper's "evaluation time": sum over stages of the slowest site,
+        plus coordinator-side unification."""
+        return sum(stage.parallel_seconds + stage.coordinator_seconds for stage in self.stages)
+
+    @property
+    def total_seconds(self) -> float:
+        """The paper's "total computation time": sum over all sites and the
+        coordinator."""
+        return sum(stage.total_seconds + stage.coordinator_seconds for stage in self.stages)
+
+    @property
+    def max_site_visits(self) -> int:
+        """Worst-case number of visits over participating sites."""
+        if not self.sites:
+            return 0
+        return max(site.visits for site in self.sites.values())
+
+    @property
+    def total_operations(self) -> int:
+        return sum(site.operations for site in self.sites.values())
+
+    def visits_by_site(self) -> Dict[str, int]:
+        return {site_id: site.visits for site_id, site in sorted(self.sites.items())}
+
+    # -- presentation ------------------------------------------------------------
+
+    def summary(self) -> str:
+        """Readable multi-line summary used by the examples and the harness."""
+        lines = [
+            f"algorithm        : {self.algorithm}"
+            + (" + XPath-annotations" if self.use_annotations else ""),
+            f"query            : {self.query}",
+            f"answers          : {self.answer_count} nodes"
+            f" ({self.answer_nodes_shipped} tree nodes shipped)",
+            f"parallel time    : {self.parallel_seconds * 1000:.2f} ms",
+            f"total time       : {self.total_seconds * 1000:.2f} ms",
+            f"communication    : {self.communication_units} units"
+            f" in {self.message_count} messages"
+            f" (+{self.local_units} local units)",
+            f"max site visits  : {self.max_site_visits}",
+        ]
+        if self.fragments_pruned:
+            lines.append(
+                f"pruned fragments : {', '.join(self.fragments_pruned)}"
+                f" (evaluated {len(self.fragments_evaluated)})"
+            )
+        for stage in self.stages:
+            lines.append(
+                f"  stage {stage.name:<12} parallel={stage.parallel_seconds * 1000:7.2f} ms"
+                f" total={stage.total_seconds * 1000:7.2f} ms"
+                f" evalFT={stage.coordinator_seconds * 1000:6.2f} ms"
+                f" sites={stage.sites_involved}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Fragmentation of XML trees.
+
+A tree is decomposed into disjoint *fragments*; each fragment can be placed
+on a different site.  The decomposition induces a *fragment tree*, and every
+edge of that fragment tree can be annotated with the label path connecting
+the two fragment roots (the paper's XPath-annotations, Section 5).
+
+Fragments reference the nodes of the original tree (no copying): a fragment
+is its root node plus the knowledge of which descendant nodes are roots of
+child fragments (the *virtual nodes*).  This keeps node identifiers stable
+across the centralized ground truth and the distributed evaluation.
+"""
+
+from repro.fragments.fragment import Fragment, VirtualNode
+from repro.fragments.fragment_tree import Fragmentation, FragmentationError, build_fragmentation
+from repro.fragments.fragmenters import (
+    cut_at_nodes,
+    cut_by_size,
+    cut_matching,
+    cut_random,
+    cut_top_level,
+)
+from repro.fragments.reassembly import reassemble
+from repro.fragments.annotations import edge_annotation, root_label_path
+
+__all__ = [
+    "Fragment",
+    "VirtualNode",
+    "Fragmentation",
+    "FragmentationError",
+    "build_fragmentation",
+    "cut_at_nodes",
+    "cut_by_size",
+    "cut_matching",
+    "cut_random",
+    "cut_top_level",
+    "reassemble",
+    "edge_annotation",
+    "root_label_path",
+]

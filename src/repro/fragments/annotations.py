@@ -1,0 +1,62 @@
+"""XPath-annotations on fragment-tree edges (Section 5 of the paper).
+
+The edge from a fragment ``F_j`` to a sub-fragment ``F_k`` is annotated with
+the label path connecting the root of ``F_j`` (exclusive) to the root of
+``F_k`` (inclusive) in the original tree; e.g. the edge ``(F0, F4)`` in the
+paper's running example is annotated ``client/broker/market``.
+
+Annotations only expose *labels*, never content or qualifiers; the optimizer
+(:mod:`repro.core.pruning`) therefore uses them conservatively.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.fragments.fragment_tree import Fragmentation
+
+__all__ = ["edge_annotation", "root_label_path", "annotation_table"]
+
+
+def edge_annotation(fragmentation: Fragmentation, child_fragment_id: str) -> List[str]:
+    """Labels from the parent fragment's root (exclusive) down to the child
+    fragment's root (inclusive)."""
+    child = fragmentation[child_fragment_id]
+    if child.parent_id is None:
+        return []
+    parent_root = fragmentation[child.parent_id].root
+    labels: list[str] = [child.root.label]
+    node = child.root.parent
+    while node is not None and node is not parent_root:
+        labels.append(node.label)
+        node = node.parent
+    if node is not parent_root:
+        raise ValueError(
+            f"fragment {child_fragment_id} is not below its declared parent {child.parent_id}"
+        )
+    labels.reverse()
+    return labels
+
+
+def root_label_path(fragmentation: Fragmentation, fragment_id: str) -> List[str]:
+    """Labels from the document root (exclusive) down to the fragment's root
+    (inclusive); empty for the root fragment.
+
+    This is the concatenation of the edge annotations along the fragment-tree
+    path from the root fragment, which is exactly the information a
+    coordinator holding an annotated fragment tree can reconstruct.
+    """
+    path: list[str] = []
+    chain = [fragment_id] + fragmentation.ancestors(fragment_id)
+    for fid in reversed(chain):
+        path.extend(edge_annotation(fragmentation, fid))
+    return path
+
+
+def annotation_table(fragmentation: Fragmentation) -> dict[str, List[str]]:
+    """Annotation of every fragment-tree edge, keyed by the child fragment id."""
+    return {
+        fragment_id: edge_annotation(fragmentation, fragment_id)
+        for fragment_id in fragmentation.fragment_ids()
+        if fragmentation.parent(fragment_id) is not None
+    }

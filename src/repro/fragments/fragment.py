@@ -1,0 +1,135 @@
+"""A single fragment of a fragmented XML tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.xmltree.nodes import NodeId, XMLNode
+
+__all__ = ["Fragment", "VirtualNode"]
+
+
+@dataclass(frozen=True)
+class VirtualNode:
+    """Placeholder for a sub-fragment hanging below a node of this fragment.
+
+    ``parent`` is the node of *this* fragment under which the sub-fragment's
+    root sits in the original tree; ``fragment_id`` names the sub-fragment;
+    ``root_node_id`` is the (globally stable) id of the sub-fragment's root.
+    The label of that root is deliberately *not* exposed: in the paper's
+    setting a site only knows that "some fragment hangs here".
+    """
+
+    parent: XMLNode
+    fragment_id: str
+    root_node_id: NodeId
+
+
+class Fragment:
+    """A fragment: a subtree of the original tree minus its sub-fragments.
+
+    The fragment *span* is the set of nodes reachable from :attr:`root`
+    without entering a sub-fragment.  Traversal helpers below respect that
+    boundary; algorithm code never touches a node outside the span.
+    """
+
+    def __init__(
+        self,
+        fragment_id: str,
+        root: XMLNode,
+        parent_id: Optional[str] = None,
+    ):
+        self.fragment_id = fragment_id
+        self.root = root
+        self.parent_id = parent_id
+        #: node id of a sub-fragment root -> that sub-fragment's id
+        self.virtual_children: Dict[NodeId, str] = {}
+        self._element_count: Optional[int] = None
+        self._node_count: Optional[int] = None
+
+    # -- structure -----------------------------------------------------------
+
+    def add_virtual_child(self, root_node_id: NodeId, fragment_id: str) -> None:
+        """Register a direct sub-fragment rooted at *root_node_id*."""
+        self.virtual_children[root_node_id] = fragment_id
+        self._element_count = None
+        self._node_count = None
+
+    def is_leaf(self) -> bool:
+        """A leaf fragment has no sub-fragments (hence no virtual nodes)."""
+        return not self.virtual_children
+
+    def is_root_fragment(self) -> bool:
+        return self.parent_id is None
+
+    # -- traversal -------------------------------------------------------------
+
+    def is_virtual(self, node: XMLNode) -> bool:
+        """Whether *node* is the root of a sub-fragment (a virtual node here)."""
+        return node.node_id in self.virtual_children
+
+    def real_children(self, node: XMLNode) -> list[XMLNode]:
+        """Children of *node* that belong to this fragment's span."""
+        return [child for child in node.children if child.node_id not in self.virtual_children]
+
+    def real_element_children(self, node: XMLNode) -> list[XMLNode]:
+        """Element children of *node* within the span."""
+        return [
+            child
+            for child in node.children
+            if child.is_element and child.node_id not in self.virtual_children
+        ]
+
+    def virtual_children_of(self, node: XMLNode) -> list[VirtualNode]:
+        """Virtual nodes hanging directly below *node*."""
+        result = []
+        for child in node.children:
+            fragment_id = self.virtual_children.get(child.node_id)
+            if fragment_id is not None:
+                result.append(VirtualNode(node, fragment_id, child.node_id))
+        return result
+
+    def iter_span(self) -> Iterator[XMLNode]:
+        """All nodes of the span (elements and text), in document order."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in reversed(node.children):
+                if child.node_id not in self.virtual_children:
+                    stack.append(child)
+
+    def iter_span_elements(self) -> Iterator[XMLNode]:
+        """Element nodes of the span, in document order."""
+        return (node for node in self.iter_span() if node.is_element)
+
+    # -- accounting --------------------------------------------------------------
+
+    def node_count(self) -> int:
+        """Number of nodes in the span."""
+        if self._node_count is None:
+            self._node_count = sum(1 for _ in self.iter_span())
+        return self._node_count
+
+    def element_count(self) -> int:
+        """Number of element nodes in the span."""
+        if self._element_count is None:
+            self._element_count = sum(1 for _ in self.iter_span_elements())
+        return self._element_count
+
+    def approximate_bytes(self) -> int:
+        """Approximate serialized size of the span."""
+        total = 0
+        for node in self.iter_span():
+            if node.is_element:
+                total += 2 * len(node.tag or "") + 5
+            else:
+                total += len(node.value or "")
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"<Fragment {self.fragment_id} root={self.root.label!r} "
+            f"parent={self.parent_id} virtual={len(self.virtual_children)}>"
+        )

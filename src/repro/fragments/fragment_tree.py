@@ -1,0 +1,240 @@
+"""The fragmentation of a tree and the induced fragment tree."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.fragments.fragment import Fragment
+from repro.xmltree.nodes import NodeId, XMLNode, XMLTree
+
+__all__ = ["Fragmentation", "FragmentationError", "build_fragmentation"]
+
+
+class FragmentationError(Exception):
+    """Raised when a requested fragmentation is not well formed."""
+
+
+class Fragmentation:
+    """A set of disjoint fragments covering an XML tree, plus their tree.
+
+    The fragmentation is also the paper's *fragment tree* ``FT``: fragments
+    are its nodes, and fragment ``F_k`` is a child of ``F_j`` when the parent
+    of ``F_k``'s root belongs to ``F_j``.
+    """
+
+    def __init__(self, tree: XMLTree):
+        self.tree = tree
+        self.fragments: Dict[str, Fragment] = {}
+        self.root_fragment_id: Optional[str] = None
+        #: node id of a fragment root -> fragment id (includes the root fragment)
+        self.fragment_root_ids: Dict[NodeId, str] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def _add_fragment(self, fragment: Fragment) -> None:
+        if fragment.fragment_id in self.fragments:
+            raise FragmentationError(f"duplicate fragment id {fragment.fragment_id}")
+        self.fragments[fragment.fragment_id] = fragment
+        self.fragment_root_ids[fragment.root.node_id] = fragment.fragment_id
+        if fragment.parent_id is None:
+            self.root_fragment_id = fragment.fragment_id
+
+    # -- lookup ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.fragments)
+
+    def __iter__(self) -> Iterator[Fragment]:
+        return iter(self.fragments.values())
+
+    def __getitem__(self, fragment_id: str) -> Fragment:
+        return self.fragments[fragment_id]
+
+    def fragment_ids(self) -> List[str]:
+        """All fragment ids, root fragment first, then document order."""
+        return list(self.fragments.keys())
+
+    @property
+    def root_fragment(self) -> Fragment:
+        if self.root_fragment_id is None:
+            raise FragmentationError("fragmentation has no root fragment")
+        return self.fragments[self.root_fragment_id]
+
+    def children(self, fragment_id: str) -> List[str]:
+        """Ids of the direct sub-fragments of *fragment_id*."""
+        return list(self.fragments[fragment_id].virtual_children.values())
+
+    def parent(self, fragment_id: str) -> Optional[str]:
+        """Id of the parent fragment, ``None`` for the root fragment."""
+        return self.fragments[fragment_id].parent_id
+
+    def ancestors(self, fragment_id: str) -> List[str]:
+        """Fragment-tree ancestors of *fragment_id*, nearest first."""
+        result = []
+        current = self.parent(fragment_id)
+        while current is not None:
+            result.append(current)
+            current = self.parent(current)
+        return result
+
+    def leaf_fragments(self) -> List[str]:
+        """Ids of fragments without sub-fragments."""
+        return [fid for fid, fragment in self.fragments.items() if fragment.is_leaf()]
+
+    def depth(self, fragment_id: str) -> int:
+        """Depth of a fragment in the fragment tree (root fragment = 0)."""
+        return len(self.ancestors(fragment_id))
+
+    def bottom_up_order(self) -> List[str]:
+        """Fragment ids ordered so children precede their parents."""
+        order = sorted(self.fragments, key=self.depth, reverse=True)
+        return order
+
+    def top_down_order(self) -> List[str]:
+        """Fragment ids ordered so parents precede their children."""
+        return sorted(self.fragments, key=self.depth)
+
+    def parent_node_of(self, fragment_id: str) -> Optional[XMLNode]:
+        """The node (in the parent fragment) whose child is this fragment's root."""
+        fragment = self.fragments[fragment_id]
+        return fragment.root.parent
+
+    # -- accounting ---------------------------------------------------------------
+
+    def total_nodes(self) -> int:
+        """Total node count across fragment spans (== tree size)."""
+        return sum(fragment.node_count() for fragment in self.fragments.values())
+
+    def total_elements(self) -> int:
+        return sum(fragment.element_count() for fragment in self.fragments.values())
+
+    def total_bytes(self) -> int:
+        return sum(fragment.approximate_bytes() for fragment in self.fragments.values())
+
+    def max_fragment_elements(self) -> int:
+        """Largest fragment size in elements (drives parallel-cost analysis)."""
+        return max(fragment.element_count() for fragment in self.fragments.values())
+
+    def summary(self) -> str:
+        """A readable multi-line summary of the fragmentation."""
+        lines = [f"fragmentation of tree with {self.tree.size()} nodes:"]
+        for fragment_id in self.top_down_order():
+            fragment = self.fragments[fragment_id]
+            indent = "  " * (self.depth(fragment_id) + 1)
+            lines.append(
+                f"{indent}{fragment_id}: root=<{fragment.root.label}> "
+                f"elements={fragment.element_count()} "
+                f"bytes~{fragment.approximate_bytes()} "
+                f"children={self.children(fragment_id)}"
+            )
+        return "\n".join(lines)
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the structural invariants of a fragmentation.
+
+        * exactly one root fragment whose root is the document root,
+        * fragment spans are disjoint and cover the whole tree,
+        * every non-root fragment's root has its parent inside the parent
+          fragment's span.
+        """
+        if self.root_fragment_id is None:
+            raise FragmentationError("no root fragment")
+        if self.root_fragment.root is not self.tree.root:
+            raise FragmentationError("the root fragment must contain the document root")
+
+        seen: Dict[NodeId, str] = {}
+        for fragment in self.fragments.values():
+            for node in fragment.iter_span():
+                if node.node_id in seen:
+                    raise FragmentationError(
+                        f"node {node.node_id} appears in fragments "
+                        f"{seen[node.node_id]} and {fragment.fragment_id}"
+                    )
+                seen[node.node_id] = fragment.fragment_id
+        if len(seen) != self.tree.size():
+            raise FragmentationError(
+                f"fragments cover {len(seen)} nodes but the tree has {self.tree.size()}"
+            )
+
+        for fragment in self.fragments.values():
+            if fragment.parent_id is None:
+                continue
+            parent_fragment = self.fragments[fragment.parent_id]
+            parent_node = fragment.root.parent
+            if parent_node is None:
+                raise FragmentationError(
+                    f"non-root fragment {fragment.fragment_id} is rooted at the document root"
+                )
+            if seen.get(parent_node.node_id) != parent_fragment.fragment_id:
+                raise FragmentationError(
+                    f"parent of fragment {fragment.fragment_id} root is not in "
+                    f"fragment {parent_fragment.fragment_id}"
+                )
+            if fragment.root.node_id not in parent_fragment.virtual_children:
+                raise FragmentationError(
+                    f"fragment {fragment.fragment_id} is not registered as a virtual "
+                    f"child of {parent_fragment.fragment_id}"
+                )
+
+    def __repr__(self) -> str:
+        return f"<Fragmentation fragments={len(self.fragments)} tree_nodes={self.tree.size()}>"
+
+
+def build_fragmentation(
+    tree: XMLTree,
+    cut_node_ids: Sequence[NodeId] | Iterable[NodeId],
+    fragment_prefix: str = "F",
+) -> Fragmentation:
+    """Build a fragmentation of *tree* by cutting at the given nodes.
+
+    Every cut node becomes the root of its own fragment; the root fragment
+    (``F0``) is rooted at the document root.  Cut nodes may be nested
+    arbitrarily (a cut node inside another cut subtree produces a
+    sub-sub-fragment), matching the paper's "most generic possible" setting.
+    Fragment ids are assigned in document order of their roots.
+    """
+    cut_ids = sorted(set(cut_node_ids))
+    for node_id in cut_ids:
+        node = tree.node(node_id)
+        if node is tree.root:
+            raise FragmentationError("the document root cannot be a cut node")
+        if not node.is_element:
+            raise FragmentationError(f"cut node {node_id} is not an element")
+
+    fragmentation = Fragmentation(tree)
+    cut_set = set(cut_ids)
+
+    # Fragment ids in document order: F0 for the root, then one per cut node.
+    id_by_root: Dict[NodeId, str] = {tree.root.node_id: f"{fragment_prefix}0"}
+    for index, node_id in enumerate(cut_ids, start=1):
+        id_by_root[node_id] = f"{fragment_prefix}{index}"
+
+    def owning_fragment_root(node: XMLNode) -> NodeId:
+        """Root (node id) of the fragment that owns *node*."""
+        current = node
+        while current.parent is not None:
+            if current.node_id in cut_set:
+                return current.node_id
+            current = current.parent
+        return current.node_id  # the document root
+
+    root_fragment = Fragment(id_by_root[tree.root.node_id], tree.root, parent_id=None)
+    fragmentation._add_fragment(root_fragment)
+
+    fragments_by_root: Dict[NodeId, Fragment] = {tree.root.node_id: root_fragment}
+    for node_id in cut_ids:
+        node = tree.node(node_id)
+        parent_root_id = owning_fragment_root(node.parent)
+        parent_fragment_id = id_by_root[parent_root_id]
+        fragment = Fragment(id_by_root[node_id], node, parent_id=parent_fragment_id)
+        fragmentation._add_fragment(fragment)
+        fragments_by_root[node_id] = fragment
+
+    for node_id in cut_ids:
+        node = tree.node(node_id)
+        parent_root_id = owning_fragment_root(node.parent)
+        fragments_by_root[parent_root_id].add_virtual_child(node_id, id_by_root[node_id])
+
+    return fragmentation

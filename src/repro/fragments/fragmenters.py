@@ -1,0 +1,119 @@
+"""Fragmentation strategies.
+
+The paper imposes no constraint on how a tree is fragmented; these helpers
+produce the fragmentations used by the experiments (explicit cut nodes, one
+fragment per top-level subtree, size-balanced cuts) plus a seeded random
+fragmenter used heavily by the property-based tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Sequence
+
+from repro.fragments.fragment_tree import Fragmentation, FragmentationError, build_fragmentation
+from repro.xmltree.nodes import NodeId, XMLNode, XMLTree
+from repro.xpath.centralized import evaluate_centralized
+
+__all__ = [
+    "cut_at_nodes",
+    "cut_top_level",
+    "cut_matching",
+    "cut_by_size",
+    "cut_random",
+]
+
+
+def cut_at_nodes(tree: XMLTree, node_ids: Iterable[NodeId]) -> Fragmentation:
+    """Fragment *tree* by cutting at explicitly chosen nodes."""
+    return build_fragmentation(tree, list(node_ids))
+
+
+def cut_top_level(tree: XMLTree, keep_first_with_root: bool = True) -> Fragmentation:
+    """One fragment per child of the document root.
+
+    With *keep_first_with_root* (the default, matching the paper's FT1) the
+    first child stays in the root fragment, so ``j`` top-level subtrees yield
+    ``j`` fragments; otherwise they yield ``j + 1``.
+    """
+    children = [child for child in tree.root.children if child.is_element]
+    if keep_first_with_root and children:
+        children = children[1:]
+    return build_fragmentation(tree, [child.node_id for child in children])
+
+
+def cut_matching(tree: XMLTree, query: str) -> Fragmentation:
+    """Cut at every node selected by a (qualifier-free) selection query.
+
+    Nodes that are the document root are ignored; nested matches produce
+    nested fragments.
+    """
+    answer_ids = [
+        node_id for node_id in evaluate_centralized(tree, query).answer_ids
+        if node_id != tree.root.node_id
+    ]
+    if not answer_ids:
+        raise FragmentationError(f"query {query!r} selected no cut nodes")
+    return build_fragmentation(tree, answer_ids)
+
+
+def cut_by_size(tree: XMLTree, max_elements: int) -> Fragmentation:
+    """Greedy size-balanced fragmentation.
+
+    Walk the tree bottom-up accumulating the number of elements that are not
+    yet assigned to a cut fragment; whenever a (non-root) subtree's residual
+    weight reaches *max_elements*, cut it.  Fragments end up with roughly
+    ``max_elements`` elements each (the root fragment may be smaller).
+    """
+    if max_elements < 1:
+        raise ValueError("max_elements must be positive")
+    cut_ids: list[NodeId] = []
+    residual: dict[NodeId, int] = {}
+
+    def post_order(root: XMLNode) -> Iterable[XMLNode]:
+        stack: list[tuple[XMLNode, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+                continue
+            stack.append((node, True))
+            for child in node.children:
+                if child.is_element:
+                    stack.append((child, False))
+
+    for node in post_order(tree.root):
+        weight = 1 + sum(
+            residual.get(child.node_id, 0) for child in node.children if child.is_element
+        )
+        if node is not tree.root and weight >= max_elements:
+            cut_ids.append(node.node_id)
+            residual[node.node_id] = 0
+        else:
+            residual[node.node_id] = weight
+    return build_fragmentation(tree, cut_ids)
+
+
+def cut_random(
+    tree: XMLTree,
+    fragment_count: int,
+    seed: int = 0,
+    exclude: Callable[[XMLNode], bool] | None = None,
+) -> Fragmentation:
+    """Fragment by choosing ``fragment_count - 1`` random cut nodes.
+
+    Nested cuts are allowed (and likely), exercising the "arbitrary nesting"
+    the paper insists on.  With fewer eligible nodes than requested cuts, all
+    eligible nodes are cut.
+    """
+    if fragment_count < 1:
+        raise ValueError("fragment_count must be at least 1")
+    rng = random.Random(seed)
+    candidates = [
+        node.node_id
+        for node in tree.iter_elements()
+        if node is not tree.root and (exclude is None or not exclude(node))
+    ]
+    rng.shuffle(candidates)
+    chosen = sorted(candidates[: max(0, fragment_count - 1)])
+    return build_fragmentation(tree, chosen)

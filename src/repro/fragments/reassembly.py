@@ -1,0 +1,39 @@
+"""Reassembling a fragmented tree into a standalone document.
+
+Used by the ``NaiveCentralized`` baseline (which conceptually ships every
+fragment to the query site and glues them back together) and by tests that
+check a fragmentation loses no information.  The reassembled tree is a deep
+copy built purely from fragment spans, so the test is honest: it would fail
+if a fragmentation dropped or duplicated nodes.
+"""
+
+from __future__ import annotations
+
+from repro.fragments.fragment import Fragment
+from repro.fragments.fragment_tree import Fragmentation
+from repro.xmltree.nodes import ELEMENT, TEXT, XMLNode, XMLTree
+
+__all__ = ["reassemble"]
+
+
+def _copy_span(fragmentation: Fragmentation, fragment: Fragment, node: XMLNode) -> XMLNode:
+    """Deep-copy *node* (which belongs to *fragment*'s span), splicing child
+    fragments in place of virtual nodes."""
+    if node.is_text:
+        return XMLNode(TEXT, value=node.value)
+    copy = XMLNode(ELEMENT, tag=node.tag)
+    for child in node.children:
+        child_fragment_id = fragment.virtual_children.get(child.node_id)
+        if child_fragment_id is not None:
+            child_fragment = fragmentation[child_fragment_id]
+            copy.append(_copy_span(fragmentation, child_fragment, child_fragment.root))
+        else:
+            copy.append(_copy_span(fragmentation, fragment, child))
+    return copy
+
+
+def reassemble(fragmentation: Fragmentation) -> XMLTree:
+    """Rebuild the original document from its fragments (as a fresh tree)."""
+    root_fragment = fragmentation.root_fragment
+    root_copy = _copy_span(fragmentation, root_fragment, root_fragment.root)
+    return XMLTree(root_copy)

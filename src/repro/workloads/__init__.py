@@ -1,0 +1,36 @@
+"""Workloads: the XMark-like data generator and the paper's benchmark setup.
+
+The paper evaluates over documents whose root ``sites`` element contains a
+number of XMark "site" subtrees, fragmented into the two fragment trees FT1
+and FT2 of its Figure 8, and queried with the four queries of its Figure 7.
+This package generates equivalent (seeded, scaled-down) data and builds the
+same fragmentations.
+"""
+
+from repro.workloads.xmark import SiteSpec, XMarkGenerator, generate_sites_document
+from repro.workloads.queries import (
+    CLIENTELE_QUERIES,
+    PAPER_QUERIES,
+    clientele_example_tree,
+    query_q1,
+    query_q2,
+    query_q3,
+    query_q4,
+)
+from repro.workloads.scenarios import Scenario, build_ft1, build_ft2
+
+__all__ = [
+    "XMarkGenerator",
+    "SiteSpec",
+    "generate_sites_document",
+    "PAPER_QUERIES",
+    "CLIENTELE_QUERIES",
+    "clientele_example_tree",
+    "query_q1",
+    "query_q2",
+    "query_q3",
+    "query_q4",
+    "Scenario",
+    "build_ft1",
+    "build_ft2",
+]

@@ -1,0 +1,159 @@
+"""The paper's queries and running example.
+
+``PAPER_QUERIES`` are the four benchmark queries of Figure 7, written in the
+concrete syntax accepted by :func:`repro.xpath.parse_xpath`.  The module also
+provides the investment-clientele tree of the paper's Figure 1 and the
+queries discussed around it (Sections 1–4), which the examples and the unit
+tests use as a small, human-checkable workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.xmltree.builder import element
+from repro.xmltree.nodes import XMLTree
+
+__all__ = [
+    "PAPER_QUERIES",
+    "CLIENTELE_QUERIES",
+    "query_q1",
+    "query_q2",
+    "query_q3",
+    "query_q4",
+    "clientele_example_tree",
+    "clientele_paper_fragmentation",
+]
+
+#: Figure 7 of the paper.
+PAPER_QUERIES: Dict[str, str] = {
+    "Q1": "/sites/site/people/person",
+    "Q2": "/sites/site/open_auctions//annotation",
+    "Q3": '/sites/site/people/person[profile/age > 20 and address/country = "US"]/creditcard',
+    "Q4": '/sites//people/person[profile/age > 20 and address/country = "US"]/creditcard',
+}
+
+#: The queries used in the paper's running example (Sections 1 and 2).
+CLIENTELE_QUERIES: Dict[str, str] = {
+    # Boolean query Q of the introduction: is GOOG traded at all?
+    "boolean_goog": '.[//stock/code/text() = "goog"]',
+    # Q' of the introduction: brokers through which GOOG is traded.
+    "brokers_goog": '//broker[//stock/code/text() = "goog"]/name',
+    # Q1 of Section 2.2: GOOG but not YHOO.
+    "brokers_goog_not_yhoo": (
+        '//broker[//stock/code/text() = "goog" and not(//stock/code/text() = "yhoo")]/name'
+    ),
+    # Example 2.1: brokers of US clients trading on NASDAQ (relative query,
+    # evaluated with the clientele root element as its context).
+    "us_nasdaq_brokers": (
+        'client[country/text() = "us"]'
+        '/broker[market/name/text() = "nasdaq"]/name'
+    ),
+    # Example 5.1: names of all clients (used to illustrate pruning).
+    "client_names": "client/name",
+}
+
+
+def query_q1() -> str:
+    return PAPER_QUERIES["Q1"]
+
+
+def query_q2() -> str:
+    return PAPER_QUERIES["Q2"]
+
+
+def query_q3() -> str:
+    return PAPER_QUERIES["Q3"]
+
+
+def query_q4() -> str:
+    return PAPER_QUERIES["Q4"]
+
+
+def clientele_example_tree() -> XMLTree:
+    """The investment-company tree of the paper's Figure 1.
+
+    Three clients (Anna, Kim, Lisa), brokers E*trade / Bache / CIBC, markets
+    NYSE / NASDAQ (twice) / TSE and their stock positions, laid out exactly
+    as drawn so the worked examples of the paper can be replayed in tests.
+    """
+
+    def stock(code: str, buy: str, qt: str):
+        return element(
+            "stock", element("code", code), element("buy", buy), element("qt", qt)
+        )
+
+    anna = element(
+        "client",
+        element("name", "Anna"),
+        element("country", "US"),
+        element(
+            "broker",
+            element("name", "E*trade"),
+            element(
+                "market",
+                element("name", "NYSE"),
+                stock("IBM", "$80", "50"),
+            ),
+            element(
+                "market",
+                element("name", "NASDAQ"),
+                stock("GOOG", "$370", "75"),
+            ),
+        ),
+    )
+    kim = element(
+        "client",
+        element("name", "Kim"),
+        element("country", "US"),
+        element(
+            "broker",
+            element("name", "Bache"),
+            element(
+                "market",
+                element("name", "NASDAQ"),
+                stock("YHOO", "$33", "40"),
+                stock("GOOG", "$374", "40"),
+            ),
+        ),
+    )
+    lisa = element(
+        "client",
+        element("name", "Lisa"),
+        element("country", "Canada"),
+        element(
+            "broker",
+            element("name", "CIBC"),
+            element(
+                "market",
+                element("name", "TSE"),
+                stock("GOOG", "$382", "90"),
+            ),
+        ),
+    )
+    return XMLTree(element("clientele", anna, kim, lisa))
+
+
+def clientele_paper_fragmentation(tree: XMLTree):
+    """The Figure 1 fragmentation of the clientele tree.
+
+    Five fragments: F0 keeps the root, both clients' name/country data and
+    Kim's broker; F1 is Anna's broker subtree; F2 is Anna's NASDAQ market
+    (nested inside F1); F3 is Lisa's broker subtree (the Canada-resident
+    data); F4 is Kim's NASDAQ market.  The exact assignment of ids follows
+    document order, matching :func:`repro.fragments.build_fragmentation`.
+    """
+    from repro.fragments.fragment_tree import build_fragmentation
+    from repro.xpath.centralized import evaluate_centralized
+
+    def only(query: str) -> int:
+        ids = evaluate_centralized(tree, query).answer_ids
+        if len(ids) != 1:
+            raise ValueError(f"expected exactly one match for {query!r}, got {len(ids)}")
+        return ids[0]
+
+    anna_broker = only('client[name/text() = "anna"]/broker')
+    anna_nasdaq = only('client[name/text() = "anna"]/broker/market[name/text() = "nasdaq"]')
+    kim_nasdaq = only('client[name/text() = "kim"]/broker/market[name/text() = "nasdaq"]')
+    lisa_broker = only('client[name/text() = "lisa"]/broker')
+    return build_fragmentation(tree, [anna_broker, anna_nasdaq, kim_nasdaq, lisa_broker])

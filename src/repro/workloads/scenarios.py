@@ -1,0 +1,212 @@
+"""The paper's experimental setups: the fragment trees FT1 and FT2 (Figure 8).
+
+Both builders return a :class:`Scenario` bundling the generated document, its
+fragmentation, the default placement (one site per fragment, as in the
+paper's ten-machine cluster) and a human-readable description.
+
+Sizes are expressed in approximate serialized bytes.  The paper sweeps
+100 MB – 280 MB over ten machines; by default the harness scales that down by
+a constant factor so each figure regenerates in minutes on one machine while
+keeping every ratio (fragment size classes, per-iteration growth) intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.distributed.placement import one_site_per_fragment
+from repro.fragments.fragment_tree import Fragmentation, build_fragmentation
+from repro.workloads.xmark import SiteSpec, generate_sites_document
+from repro.xmltree.nodes import NodeId, XMLTree
+
+__all__ = ["Scenario", "build_ft1", "build_ft2"]
+
+
+@dataclass
+class Scenario:
+    """A generated document plus the fragmentation/placement to query it with."""
+
+    name: str
+    tree: XMLTree
+    fragmentation: Fragmentation
+    placement: Dict[str, str]
+    description: str = ""
+    #: free-form metadata (fragment size classes etc.) for reporting
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.tree.approximate_bytes()
+
+    @property
+    def fragment_count(self) -> int:
+        return len(self.fragmentation)
+
+    def fragment_sizes(self) -> Dict[str, int]:
+        """Approximate bytes per fragment."""
+        return {
+            fragment_id: self.fragmentation[fragment_id].approximate_bytes()
+            for fragment_id in self.fragmentation.fragment_ids()
+        }
+
+
+def _find_child(tree: XMLTree, parent_id: NodeId, tag: str) -> NodeId:
+    parent = tree.node(parent_id)
+    for child in parent.children:
+        if child.is_element and child.tag == tag:
+            return child.node_id
+    raise ValueError(f"node {parent_id} has no child <{tag}>")
+
+
+def build_ft1(fragment_count: int, total_bytes: int, seed: int = 7) -> Scenario:
+    """Experiment 1's fragment tree: a flat FT with *fragment_count* fragments.
+
+    The document has *fragment_count* XMark "site" subtrees of equal size
+    (``total_bytes / fragment_count`` each); fragment F0 keeps the ``sites``
+    root together with the first site, every other site becomes its own
+    fragment, and each fragment goes to its own machine — exactly the
+    iteration scheme of the paper's Experiment 1 (constant cumulative size,
+    increasing fragmentation).
+    """
+    if fragment_count < 1:
+        raise ValueError("fragment_count must be at least 1")
+    per_site = max(1, total_bytes // fragment_count)
+    specs = [SiteSpec.from_bytes(per_site) for _ in range(fragment_count)]
+    tree = generate_sites_document(specs, seed=seed)
+
+    site_nodes = [child for child in tree.root.children if child.is_element]
+    cut_ids = [node.node_id for node in site_nodes[1:]]
+    fragmentation = build_fragmentation(tree, cut_ids)
+    placement = one_site_per_fragment(fragmentation)
+    return Scenario(
+        name=f"FT1(j={fragment_count})",
+        tree=tree,
+        fragmentation=fragmentation,
+        placement=placement,
+        description=(
+            f"{fragment_count} equal fragments, cumulative size ~{total_bytes} bytes, "
+            "one fragment per site (paper Experiment 1)"
+        ),
+        metadata={"fragment_count": fragment_count, "total_bytes": total_bytes},
+    )
+
+
+#: Relative size of each FT2 piece, matching the paper's table (in "MB" units
+#: out of a ~104 MB total): whole sites A and D are 5, the remainders of the
+#: partially fragmented sites B and C are 5, B's three cut subtrees are 12
+#: each, C's regions subtree is 28, C's open_auctions 12 and closed_auctions 8.
+_FT2_UNITS = {
+    "site_a": 5.0,
+    "site_d": 5.0,
+    "b_remainder": 5.0,
+    "b_namerica": 12.0,
+    "b_open_auctions": 12.0,
+    "b_closed_auctions": 12.0,
+    "c_remainder": 5.0,
+    "c_regions": 28.0,
+    "c_open_auctions": 12.0,
+    "c_closed_auctions": 8.0,
+}
+_FT2_TOTAL_UNITS = sum(_FT2_UNITS.values())
+
+
+def build_ft2(total_bytes: int, seed: int = 11) -> Scenario:
+    """Experiment 2/3's fragment tree: four XMark sites, ten fragments.
+
+    Sites A and D stay whole (A shares the root fragment, D is its own
+    fragment); sites B and C are further fragmented: B loses its
+    ``regions/namerica``, ``open_auctions`` and ``closed_auctions`` subtrees
+    to three sub-fragments, C loses its whole ``regions``, ``open_auctions``
+    and ``closed_auctions`` subtrees.  Fragment size ratios follow the
+    paper's table (5/12/28/8 MB classes); *total_bytes* scales the whole
+    document.  Fragment ids are assigned in document order, so they differ
+    from the paper's labels; the size classes are recorded in
+    ``scenario.metadata['size_class']``.
+    """
+    unit = total_bytes / _FT2_TOTAL_UNITS
+
+    def bytes_for(key: str) -> int:
+        return int(_FT2_UNITS[key] * unit)
+
+    # Component budgets for the partially fragmented sites: the remainder is
+    # people + categories (+ for B: the five regions other than namerica).
+    site_a = SiteSpec.from_bytes(bytes_for("site_a"))
+    site_d = SiteSpec.from_bytes(bytes_for("site_d"))
+
+    b_remainder = bytes_for("b_remainder")
+    site_b = SiteSpec.from_component_bytes(
+        people_bytes=int(b_remainder * 0.7),
+        categories_bytes=int(b_remainder * 0.1),
+        regions_bytes={
+            "namerica": bytes_for("b_namerica"),
+            "europe": int(b_remainder * 0.1),
+            "asia": int(b_remainder * 0.1),
+        },
+        open_auctions_bytes=bytes_for("b_open_auctions"),
+        closed_auctions_bytes=bytes_for("b_closed_auctions"),
+    )
+    c_remainder = bytes_for("c_remainder")
+    site_c = SiteSpec.from_component_bytes(
+        people_bytes=int(c_remainder * 0.85),
+        categories_bytes=int(c_remainder * 0.15),
+        regions_bytes=bytes_for("c_regions"),
+        open_auctions_bytes=bytes_for("c_open_auctions"),
+        closed_auctions_bytes=bytes_for("c_closed_auctions"),
+    )
+
+    tree = generate_sites_document([site_a, site_b, site_c, site_d], seed=seed)
+    site_nodes = [child.node_id for child in tree.root.children if child.is_element]
+    site_a_id, site_b_id, site_c_id, site_d_id = site_nodes
+
+    b_regions = _find_child(tree, site_b_id, "regions")
+    cut_ids = [
+        site_b_id,
+        _find_child(tree, b_regions, "namerica"),
+        _find_child(tree, site_b_id, "open_auctions"),
+        _find_child(tree, site_b_id, "closed_auctions"),
+        site_c_id,
+        _find_child(tree, site_c_id, "regions"),
+        _find_child(tree, site_c_id, "open_auctions"),
+        _find_child(tree, site_c_id, "closed_auctions"),
+        site_d_id,
+    ]
+    fragmentation = build_fragmentation(tree, cut_ids)
+    placement = one_site_per_fragment(fragmentation)
+
+    # Record which paper size class each fragment falls into, keyed by the
+    # auto-assigned fragment id (document order).
+    size_class: Dict[str, str] = {}
+    for fragment_id in fragmentation.fragment_ids():
+        root = fragmentation[fragment_id].root
+        if fragment_id == fragmentation.root_fragment_id:
+            size_class[fragment_id] = "root + whole site A (5)"
+        elif root.node_id == site_b_id:
+            size_class[fragment_id] = "site B remainder (5)"
+        elif root.node_id == site_c_id:
+            size_class[fragment_id] = "site C remainder (5)"
+        elif root.node_id == site_d_id:
+            size_class[fragment_id] = "whole site D (5)"
+        elif root.tag == "namerica":
+            size_class[fragment_id] = "B regions/namerica (12)"
+        elif root.tag == "regions":
+            size_class[fragment_id] = "C regions (28)"
+        elif root.tag == "open_auctions":
+            size_class[fragment_id] = "open_auctions (12)"
+        elif root.tag == "closed_auctions":
+            owner = "B" if root.parent.node_id == site_b_id else "C"
+            size_class[fragment_id] = f"{owner} closed_auctions (12 / 8)"
+        else:  # pragma: no cover - defensive
+            size_class[fragment_id] = "unclassified"
+
+    return Scenario(
+        name="FT2",
+        tree=tree,
+        fragmentation=fragmentation,
+        placement=placement,
+        description=(
+            "four XMark sites, ten fragments with the paper's 5/12/28/8 size ratios, "
+            "one fragment per site (paper Experiments 2 and 3)"
+        ),
+        metadata={"total_bytes": total_bytes, "size_class": size_class},
+    )

@@ -1,0 +1,284 @@
+"""A seeded XMark-like document generator.
+
+The paper's datasets are XMark documents; this generator produces documents
+with the same element vocabulary and value distributions that the paper's
+four benchmark queries touch (``people/person/profile/age``,
+``address/country``, ``creditcard``, ``open_auctions//annotation``,
+``regions``, ``closed_auctions``), parameterized by approximate serialized
+size so the experiment sweeps ("cumulative fragment data size") can be
+reproduced at laptop scale.
+
+Everything is driven by a :class:`random.Random` instance created from an
+explicit seed, so documents are reproducible across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.xmltree.builder import TreeBuilder, element, text
+from repro.xmltree.nodes import XMLNode, XMLTree
+
+__all__ = ["SiteSpec", "XMarkGenerator", "generate_sites_document", "DEFAULT_COMPONENT_RATIOS"]
+
+# Approximate serialized bytes contributed by one generated unit; used to
+# convert byte targets into unit counts.  Calibrated against
+# XMLTree.approximate_bytes on the default generator output.
+_BYTES_PER_PERSON = 340
+_BYTES_PER_OPEN_AUCTION = 380
+_BYTES_PER_CLOSED_AUCTION = 260
+_BYTES_PER_ITEM = 300
+_BYTES_PER_CATEGORY = 90
+
+#: default split of a site's bytes over its components (roughly XMark's mix)
+DEFAULT_COMPONENT_RATIOS: Dict[str, float] = {
+    "regions": 0.30,
+    "categories": 0.05,
+    "people": 0.25,
+    "open_auctions": 0.25,
+    "closed_auctions": 0.15,
+}
+
+_COUNTRIES = ["US", "US", "US", "Canada", "Germany", "France", "Japan", "Brazil", "India"]
+_CITIES = ["Seattle", "Boston", "Toronto", "Berlin", "Lyon", "Osaka", "Recife", "Pune"]
+_FIRST_NAMES = ["Anna", "Kim", "Lisa", "Tom", "Maya", "Igor", "Chen", "Aisha", "Noah", "Ines"]
+_LAST_NAMES = ["Smith", "Tanaka", "Muller", "Costa", "Haddad", "Novak", "Okafor", "Silva"]
+_INTERESTS = ["category1", "category7", "category12", "category23", "category42"]
+_WORDS = [
+    "auction", "vintage", "rare", "collector", "mint", "boxed", "classic",
+    "limited", "edition", "signed", "original", "restored",
+]
+_REGION_NAMES = ["africa", "asia", "australia", "europe", "namerica", "samerica"]
+
+
+@dataclass
+class SiteSpec:
+    """How much data each component of one XMark "site" should contain.
+
+    Counts are derived from byte targets; use :meth:`from_bytes` for the
+    common case of an overall size with default ratios, or
+    :meth:`from_component_bytes` to control each component (the FT2 scenario
+    needs exact per-component ratios).
+    """
+
+    people: int = 10
+    open_auctions: int = 8
+    closed_auctions: int = 6
+    categories: int = 4
+    #: items per region, keyed by region name
+    items_per_region: Dict[str, int] = field(
+        default_factory=lambda: {name: 2 for name in _REGION_NAMES}
+    )
+
+    @classmethod
+    def from_component_bytes(
+        cls,
+        people_bytes: int = 0,
+        regions_bytes: int | Dict[str, int] = 0,
+        open_auctions_bytes: int = 0,
+        closed_auctions_bytes: int = 0,
+        categories_bytes: int = 0,
+    ) -> "SiteSpec":
+        """Build a spec from per-component byte targets.
+
+        ``regions_bytes`` is either a total (spread evenly over the six
+        regions) or a per-region mapping.
+        """
+        if isinstance(regions_bytes, dict):
+            per_region = {
+                name: max(0, int(regions_bytes.get(name, 0)) // _BYTES_PER_ITEM)
+                for name in _REGION_NAMES
+            }
+        else:
+            share = max(0, int(regions_bytes)) // len(_REGION_NAMES)
+            per_region = {name: share // _BYTES_PER_ITEM for name in _REGION_NAMES}
+        return cls(
+            people=max(0, int(people_bytes) // _BYTES_PER_PERSON),
+            open_auctions=max(0, int(open_auctions_bytes) // _BYTES_PER_OPEN_AUCTION),
+            closed_auctions=max(0, int(closed_auctions_bytes) // _BYTES_PER_CLOSED_AUCTION),
+            categories=max(1, int(categories_bytes) // _BYTES_PER_CATEGORY),
+            items_per_region=per_region,
+        )
+
+    @classmethod
+    def from_bytes(
+        cls, total_bytes: int, ratios: Optional[Dict[str, float]] = None
+    ) -> "SiteSpec":
+        """Build a spec for a site of approximately *total_bytes* bytes."""
+        ratios = ratios or DEFAULT_COMPONENT_RATIOS
+        return cls.from_component_bytes(
+            people_bytes=int(total_bytes * ratios.get("people", 0.25)),
+            regions_bytes=int(total_bytes * ratios.get("regions", 0.30)),
+            open_auctions_bytes=int(total_bytes * ratios.get("open_auctions", 0.25)),
+            closed_auctions_bytes=int(total_bytes * ratios.get("closed_auctions", 0.15)),
+            categories_bytes=int(total_bytes * ratios.get("categories", 0.05)),
+        )
+
+
+class XMarkGenerator:
+    """Generates XMark-like subtrees from a seeded random stream."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+        self._person_counter = 0
+        self._auction_counter = 0
+        self._item_counter = 0
+
+    # -- small pieces -----------------------------------------------------------
+
+    def _sentence(self, words: int) -> str:
+        return " ".join(self.rng.choice(_WORDS) for _ in range(words))
+
+    def _person_name(self) -> str:
+        return f"{self.rng.choice(_FIRST_NAMES)} {self.rng.choice(_LAST_NAMES)}"
+
+    # -- components -------------------------------------------------------------
+
+    def person(self) -> XMLNode:
+        """One ``person`` element (name, email, address, profile, creditcard)."""
+        self._person_counter += 1
+        rng = self.rng
+        node = element(
+            "person",
+            element("name", self._person_name()),
+            element("emailaddress", f"mailto:person{self._person_counter}@example.org"),
+            element(
+                "address",
+                element("street", f"{rng.randint(1, 99)} {rng.choice(_WORDS)} street"),
+                element("city", rng.choice(_CITIES)),
+                element("country", rng.choice(_COUNTRIES)),
+            ),
+        )
+        profile = element("profile", element("age", str(rng.randint(18, 65))))
+        for _ in range(rng.randint(0, 2)):
+            profile.append(element("interest", rng.choice(_INTERESTS)))
+        if rng.random() < 0.4:
+            profile.append(element("education", rng.choice(["High School", "College", "Graduate"])))
+        node.append(profile)
+        if rng.random() < 0.8:
+            node.append(
+                element(
+                    "creditcard",
+                    " ".join(str(rng.randint(1000, 9999)) for _ in range(4)),
+                )
+            )
+        if rng.random() < 0.5:
+            node.append(element("phone", f"+{rng.randint(1, 99)} {rng.randint(1000000, 9999999)}"))
+        return node
+
+    def open_auction(self) -> XMLNode:
+        """One ``open_auction`` element with bidders and an ``annotation``."""
+        self._auction_counter += 1
+        rng = self.rng
+        node = element(
+            "open_auction",
+            element("initial", f"{rng.uniform(1, 200):.2f}"),
+            element("reserve", f"{rng.uniform(10, 400):.2f}"),
+        )
+        for _ in range(rng.randint(1, 3)):
+            node.append(
+                element(
+                    "bidder",
+                    element("date", f"{rng.randint(1, 12):02d}/{rng.randint(1, 28):02d}/2006"),
+                    element("increase", f"{rng.uniform(1, 30):.2f}"),
+                )
+            )
+        node.append(element("current", f"{rng.uniform(10, 500):.2f}"))
+        node.append(
+            element(
+                "annotation",
+                element("author", self._person_name()),
+                element("description", element("text", self._sentence(6))),
+            )
+        )
+        node.append(element("quantity", str(rng.randint(1, 10))))
+        node.append(element("seller", self._person_name()))
+        return node
+
+    def closed_auction(self) -> XMLNode:
+        """One ``closed_auction`` element with price, buyer and annotation."""
+        rng = self.rng
+        return element(
+            "closed_auction",
+            element("seller", self._person_name()),
+            element("buyer", self._person_name()),
+            element("price", f"{rng.uniform(5, 800):.2f}"),
+            element("date", f"{rng.randint(1, 12):02d}/{rng.randint(1, 28):02d}/2006"),
+            element("quantity", str(rng.randint(1, 5))),
+            element(
+                "annotation",
+                element("author", self._person_name()),
+                element("description", element("text", self._sentence(4))),
+            ),
+        )
+
+    def item(self) -> XMLNode:
+        """One ``item`` element as found under a region."""
+        self._item_counter += 1
+        rng = self.rng
+        return element(
+            "item",
+            element("name", f"item {self._item_counter} {rng.choice(_WORDS)}"),
+            element("category", rng.choice(_INTERESTS)),
+            element("quantity", str(rng.randint(1, 20))),
+            element("location", rng.choice(_CITIES)),
+            element("payment", rng.choice(["Cash", "Creditcard", "Money order"])),
+            element("description", element("text", self._sentence(8))),
+            element("shipping", rng.choice(["Will ship internationally", "Buyer pays"])),
+        )
+
+    def category(self) -> XMLNode:
+        return element(
+            "category",
+            element("name", self.rng.choice(_INTERESTS)),
+            element("description", element("text", self._sentence(3))),
+        )
+
+    # -- a whole site -------------------------------------------------------------
+
+    def site(self, spec: SiteSpec) -> XMLNode:
+        """One XMark ``site`` subtree, following *spec*."""
+        site = element("site")
+
+        regions = element("regions")
+        for region_name in _REGION_NAMES:
+            region = element(region_name)
+            for _ in range(spec.items_per_region.get(region_name, 0)):
+                region.append(self.item())
+            regions.append(region)
+        site.append(regions)
+
+        categories = element("categories")
+        for _ in range(spec.categories):
+            categories.append(self.category())
+        site.append(categories)
+
+        people = element("people")
+        for _ in range(spec.people):
+            people.append(self.person())
+        site.append(people)
+
+        open_auctions = element("open_auctions")
+        for _ in range(spec.open_auctions):
+            open_auctions.append(self.open_auction())
+        site.append(open_auctions)
+
+        closed_auctions = element("closed_auctions")
+        for _ in range(spec.closed_auctions):
+            closed_auctions.append(self.closed_auction())
+        site.append(closed_auctions)
+
+        return site
+
+
+def generate_sites_document(specs: Sequence[SiteSpec], seed: int = 0) -> XMLTree:
+    """Generate a whole document: a ``sites`` root with one XMark ``site``
+    subtree per spec."""
+    generator = XMarkGenerator(seed=seed)
+    builder = TreeBuilder()
+    with builder.open("sites"):
+        for spec in specs:
+            builder.add_subtree(generator.site(spec))
+    return builder.tree()

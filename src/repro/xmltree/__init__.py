@@ -1,0 +1,31 @@
+"""XML tree substrate.
+
+A small, self-contained node-labelled ordered tree model, the substrate the
+paper's fragmented documents live in.  It intentionally supports exactly what
+the XPath fragment ``X`` needs: element nodes with a tag, text nodes with a
+value, document order, stable node identifiers, and (de)serialization.
+"""
+
+from repro.xmltree.nodes import NodeId, XMLNode, XMLTree
+from repro.xmltree.builder import TreeBuilder, element, text
+from repro.xmltree.parser import parse_xml, parse_xml_file
+from repro.xmltree.serializer import serialize, serialize_node
+from repro.xmltree.etree_adapter import from_elementtree, to_elementtree
+from repro.xmltree.errors import XMLSyntaxError, XMLTreeError
+
+__all__ = [
+    "XMLNode",
+    "XMLTree",
+    "NodeId",
+    "TreeBuilder",
+    "element",
+    "text",
+    "parse_xml",
+    "parse_xml_file",
+    "serialize",
+    "serialize_node",
+    "from_elementtree",
+    "to_elementtree",
+    "XMLSyntaxError",
+    "XMLTreeError",
+]

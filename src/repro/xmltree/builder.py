@@ -1,0 +1,126 @@
+"""Programmatic tree construction helpers.
+
+Two styles are supported:
+
+* the functional :func:`element` / :func:`text` constructors, convenient for
+  literal trees in tests and examples::
+
+      tree = XMLTree(element("clientele",
+          element("client",
+              element("name", text("Anna")),
+              element("country", text("US")))))
+
+* the stateful :class:`TreeBuilder`, convenient for generators that emit a
+  document while walking some other structure (the XMark-like workload
+  generator uses it).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.xmltree.errors import XMLTreeError
+from repro.xmltree.nodes import ELEMENT, TEXT, XMLNode, XMLTree
+
+__all__ = ["element", "text", "TreeBuilder"]
+
+Child = Union[XMLNode, str]
+
+
+def text(value: str) -> XMLNode:
+    """Create a text node."""
+    return XMLNode(TEXT, value=str(value))
+
+
+def element(tag: str, *children: Child) -> XMLNode:
+    """Create an element node with the given children.
+
+    Plain strings among *children* are converted to text nodes, which keeps
+    literal trees compact: ``element("name", "Anna")``.
+    """
+    node = XMLNode(ELEMENT, tag=tag)
+    for child in children:
+        if isinstance(child, str):
+            node.append(text(child))
+        elif isinstance(child, XMLNode):
+            node.append(child)
+        else:
+            raise XMLTreeError(f"cannot attach {type(child).__name__} as a child")
+    return node
+
+
+class TreeBuilder:
+    """Incremental builder with an explicit open-element stack.
+
+    Example::
+
+        builder = TreeBuilder()
+        with builder.open("person"):
+            builder.leaf("name", "Anna")
+            builder.leaf("age", "32")
+        tree = builder.tree()
+    """
+
+    def __init__(self):
+        self._root: XMLNode | None = None
+        self._stack: list[XMLNode] = []
+
+    class _OpenContext:
+        """Context manager returned by :meth:`TreeBuilder.open`."""
+
+        def __init__(self, builder: "TreeBuilder"):
+            self._builder = builder
+
+        def __enter__(self) -> "TreeBuilder":
+            return self._builder
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            if exc_type is None:
+                self._builder.close()
+
+    def open(self, tag: str) -> "TreeBuilder._OpenContext":
+        """Open an element; use as a context manager or pair with :meth:`close`."""
+        node = XMLNode(ELEMENT, tag=tag)
+        if self._stack:
+            self._stack[-1].append(node)
+        elif self._root is None:
+            self._root = node
+        else:
+            raise XMLTreeError("document already has a root element")
+        self._stack.append(node)
+        return TreeBuilder._OpenContext(self)
+
+    def close(self) -> None:
+        """Close the innermost open element."""
+        if not self._stack:
+            raise XMLTreeError("no open element to close")
+        self._stack.pop()
+
+    def add_text(self, value: str) -> None:
+        """Append a text node to the innermost open element."""
+        if not self._stack:
+            raise XMLTreeError("text content outside of any element")
+        self._stack[-1].append(text(value))
+
+    def leaf(self, tag: str, value: str | None = None) -> None:
+        """Append ``<tag>value</tag>`` to the innermost open element."""
+        if not self._stack:
+            raise XMLTreeError("leaf element outside of any element")
+        node = XMLNode(ELEMENT, tag=tag)
+        if value is not None:
+            node.append(text(value))
+        self._stack[-1].append(node)
+
+    def add_subtree(self, node: XMLNode) -> None:
+        """Graft an already-built subtree under the innermost open element."""
+        if not self._stack:
+            raise XMLTreeError("subtree outside of any element")
+        self._stack[-1].append(node)
+
+    def tree(self) -> XMLTree:
+        """Finish and return the indexed tree."""
+        if self._root is None:
+            raise XMLTreeError("no root element was opened")
+        if self._stack:
+            raise XMLTreeError(f"{len(self._stack)} element(s) left open")
+        return XMLTree(self._root)

@@ -1,0 +1,23 @@
+"""Errors raised by the XML tree substrate."""
+
+from __future__ import annotations
+
+__all__ = ["XMLTreeError", "XMLSyntaxError"]
+
+
+class XMLTreeError(Exception):
+    """Base class for all errors raised by :mod:`repro.xmltree`."""
+
+
+class XMLSyntaxError(XMLTreeError):
+    """Raised when parsing malformed XML text.
+
+    Carries the character offset and a human-readable description so callers
+    can point at the offending position.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)

@@ -1,0 +1,54 @@
+"""Adapters to and from :mod:`xml.etree.ElementTree`.
+
+These exist so users with existing XML tooling (including real XMark output)
+can move documents into the reproduction's node model and back without going
+through text.  Attributes and tail ordering are preserved on the way out as
+well as ElementTree allows; on the way in, attributes are dropped because the
+query fragment ``X`` cannot observe them.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.xmltree.nodes import ELEMENT, TEXT, XMLNode, XMLTree
+
+__all__ = ["from_elementtree", "to_elementtree"]
+
+
+def _convert_element(source: ET.Element) -> XMLNode:
+    node = XMLNode(ELEMENT, tag=source.tag)
+    if source.text and source.text.strip():
+        node.append(XMLNode(TEXT, value=source.text))
+    for child in source:
+        node.append(_convert_element(child))
+        if child.tail and child.tail.strip():
+            node.append(XMLNode(TEXT, value=child.tail))
+    return node
+
+
+def from_elementtree(source: ET.Element | ET.ElementTree) -> XMLTree:
+    """Convert an ElementTree document (or element) into an :class:`XMLTree`."""
+    root = source.getroot() if isinstance(source, ET.ElementTree) else source
+    return XMLTree(_convert_element(root))
+
+
+def _convert_node(node: XMLNode) -> ET.Element:
+    out = ET.Element(node.tag or "node")
+    last_child: ET.Element | None = None
+    for child in node.children:
+        if child.is_text:
+            if last_child is None:
+                out.text = (out.text or "") + (child.value or "")
+            else:
+                last_child.tail = (last_child.tail or "") + (child.value or "")
+        else:
+            converted = _convert_node(child)
+            out.append(converted)
+            last_child = converted
+    return out
+
+
+def to_elementtree(tree: XMLTree) -> ET.ElementTree:
+    """Convert an :class:`XMLTree` into an ElementTree document."""
+    return ET.ElementTree(_convert_node(tree.root))

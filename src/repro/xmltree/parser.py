@@ -1,0 +1,207 @@
+"""A small XML parser for the subset of XML the reproduction uses.
+
+The workload generator and the examples write plain element/text documents
+(no attributes are required by the paper's queries, but attributes are
+accepted and ignored so that real XMark output can be loaded).  Supported:
+
+* element tags with optional attributes (attributes are discarded),
+* self-closing tags,
+* text content with the five standard entities,
+* comments and processing instructions / XML declarations (skipped),
+* CDATA sections.
+
+The parser is a straightforward single-pass scanner; error positions are
+reported as character offsets.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from repro.xmltree.errors import XMLSyntaxError
+from repro.xmltree.nodes import ELEMENT, TEXT, XMLNode, XMLTree
+
+__all__ = ["parse_xml", "parse_xml_file"]
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.\-:]*")
+_ENTITIES = {
+    "&lt;": "<",
+    "&gt;": ">",
+    "&amp;": "&",
+    "&apos;": "'",
+    "&quot;": '"',
+}
+
+
+def _unescape(raw: str) -> str:
+    """Replace the five predefined entities (and numeric references)."""
+    if "&" not in raw:
+        return raw
+    out = raw
+    for entity, char in _ENTITIES.items():
+        out = out.replace(entity, char)
+    out = re.sub(r"&#(\d+);", lambda match: chr(int(match.group(1))), out)
+    out = re.sub(r"&#x([0-9A-Fa-f]+);", lambda match: chr(int(match.group(1), 16)), out)
+    return out
+
+
+class _Scanner:
+    """Cursor over the document text."""
+
+    def __init__(self, data: str):
+        self.data = data
+        self.pos = 0
+        self.length = len(data)
+
+    def at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.data[index] if index < self.length else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.data.startswith(token, self.pos)
+
+    def skip(self, count: int) -> None:
+        self.pos += count
+
+    def skip_until(self, token: str, what: str) -> None:
+        index = self.data.find(token, self.pos)
+        if index < 0:
+            raise XMLSyntaxError(f"unterminated {what}", self.pos)
+        self.pos = index + len(token)
+
+    def take_until(self, token: str, what: str) -> str:
+        index = self.data.find(token, self.pos)
+        if index < 0:
+            raise XMLSyntaxError(f"unterminated {what}", self.pos)
+        chunk = self.data[self.pos:index]
+        self.pos = index + len(token)
+        return chunk
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.data[self.pos].isspace():
+            self.pos += 1
+
+    def read_name(self) -> str:
+        match = _NAME_RE.match(self.data, self.pos)
+        if not match:
+            raise XMLSyntaxError("expected a name", self.pos)
+        self.pos = match.end()
+        return match.group(0)
+
+
+def parse_xml(data: str, keep_whitespace_text: bool = False) -> XMLTree:
+    """Parse an XML document string into an :class:`XMLTree`.
+
+    Whitespace-only text between elements is dropped unless
+    *keep_whitespace_text* is true, matching how the paper's trees are drawn
+    (pure structure plus meaningful leaf text).
+    """
+    scanner = _Scanner(data)
+    root: XMLNode | None = None
+    stack: list[XMLNode] = []
+
+    def emit_text(raw: str) -> None:
+        if not raw:
+            return
+        if not keep_whitespace_text and not raw.strip():
+            return
+        if not stack:
+            if raw.strip():
+                raise XMLSyntaxError("text content outside the root element", scanner.pos)
+            return
+        stack[-1].append(XMLNode(TEXT, value=_unescape(raw)))
+
+    while not scanner.at_end():
+        if scanner.peek() != "<":
+            start = scanner.pos
+            index = scanner.data.find("<", start)
+            if index < 0:
+                index = scanner.length
+            emit_text(scanner.data[start:index])
+            scanner.pos = index
+            continue
+
+        if scanner.startswith("<?"):
+            scanner.skip_until("?>", "processing instruction")
+            continue
+        if scanner.startswith("<!--"):
+            scanner.skip_until("-->", "comment")
+            continue
+        if scanner.startswith("<![CDATA["):
+            scanner.skip(len("<![CDATA["))
+            emit_text(scanner.take_until("]]>", "CDATA section"))
+            continue
+        if scanner.startswith("<!"):
+            scanner.skip_until(">", "declaration")
+            continue
+
+        if scanner.startswith("</"):
+            scanner.skip(2)
+            tag = scanner.read_name()
+            scanner.skip_whitespace()
+            if scanner.peek() != ">":
+                raise XMLSyntaxError(f"malformed closing tag </{tag}", scanner.pos)
+            scanner.skip(1)
+            if not stack:
+                raise XMLSyntaxError(f"closing tag </{tag}> without an open element", scanner.pos)
+            open_node = stack.pop()
+            if open_node.tag != tag:
+                raise XMLSyntaxError(
+                    f"closing tag </{tag}> does not match <{open_node.tag}>", scanner.pos
+                )
+            continue
+
+        # Opening (or self-closing) tag.
+        scanner.skip(1)
+        tag = scanner.read_name()
+        node = XMLNode(ELEMENT, tag=tag)
+        # Skip attributes (quoted values may contain '>' so they must be
+        # consumed properly, not just scanned for the next '>').
+        while True:
+            scanner.skip_whitespace()
+            char = scanner.peek()
+            if char == ">":
+                scanner.skip(1)
+                self_closing = False
+                break
+            if char == "/" and scanner.peek(1) == ">":
+                scanner.skip(2)
+                self_closing = True
+                break
+            if not char:
+                raise XMLSyntaxError(f"unterminated tag <{tag}", scanner.pos)
+            scanner.read_name()
+            scanner.skip_whitespace()
+            if scanner.peek() == "=":
+                scanner.skip(1)
+                scanner.skip_whitespace()
+                quote = scanner.peek()
+                if quote not in ("'", '"'):
+                    raise XMLSyntaxError("attribute value must be quoted", scanner.pos)
+                scanner.skip(1)
+                scanner.take_until(quote, "attribute value")
+
+        if stack:
+            stack[-1].append(node)
+        elif root is None:
+            root = node
+        else:
+            raise XMLSyntaxError("multiple root elements", scanner.pos)
+        if not self_closing:
+            stack.append(node)
+
+    if stack:
+        raise XMLSyntaxError(f"unclosed element <{stack[-1].tag}>", scanner.pos)
+    if root is None:
+        raise XMLSyntaxError("document has no root element", 0)
+    return XMLTree(root)
+
+
+def parse_xml_file(path: str | os.PathLike, keep_whitespace_text: bool = False) -> XMLTree:
+    """Parse an XML file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_xml(handle.read(), keep_whitespace_text=keep_whitespace_text)

@@ -1,0 +1,53 @@
+"""Serialization of trees back to XML text."""
+
+from __future__ import annotations
+
+from repro.xmltree.nodes import XMLNode, XMLTree
+
+__all__ = ["serialize", "serialize_node"]
+
+
+def _escape(raw: str) -> str:
+    """Escape the characters that must not appear literally in content."""
+    return (
+        raw.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+def _write_node(node: XMLNode, parts: list[str], indent: int, pretty: bool) -> None:
+    pad = "  " * indent if pretty else ""
+    newline = "\n" if pretty else ""
+    if node.is_text:
+        parts.append(f"{pad}{_escape(node.value or '')}{newline}")
+        return
+    if not node.children:
+        parts.append(f"{pad}<{node.tag}/>{newline}")
+        return
+    only_text = all(child.is_text for child in node.children)
+    if only_text:
+        content = _escape("".join(child.value or "" for child in node.children))
+        parts.append(f"{pad}<{node.tag}>{content}</{node.tag}>{newline}")
+        return
+    parts.append(f"{pad}<{node.tag}>{newline}")
+    for child in node.children:
+        _write_node(child, parts, indent + 1, pretty)
+    parts.append(f"{pad}</{node.tag}>{newline}")
+
+
+def serialize_node(node: XMLNode, pretty: bool = False) -> str:
+    """Serialize a single subtree to XML text."""
+    parts: list[str] = []
+    _write_node(node, parts, 0, pretty)
+    return "".join(parts)
+
+
+def serialize(tree: XMLTree, pretty: bool = False, declaration: bool = False) -> str:
+    """Serialize a whole tree to XML text.
+
+    *pretty* indents nested elements; *declaration* prepends the standard XML
+    declaration.
+    """
+    header = '<?xml version="1.0" encoding="UTF-8"?>\n' if declaration else ""
+    return header + serialize_node(tree.root, pretty=pretty)

@@ -1,0 +1,70 @@
+"""The XPath fragment ``X`` of the paper.
+
+The grammar (Section 2.2 of the paper)::
+
+    Q := e | A | * | Q//Q | Q/Q | Q[q]
+    q := Q | q/text() = str | q/val() op num | not q | q and q | q or q
+
+This package provides:
+
+* an AST (:mod:`repro.xpath.ast`), a lexer and a recursive-descent parser
+  (:mod:`repro.xpath.lexer`, :mod:`repro.xpath.parser`),
+* normalization into the paper's ``beta_1/.../beta_n`` normal form
+  (:mod:`repro.xpath.normalize`),
+* compilation into a :class:`~repro.xpath.plan.QueryPlan` — the executable
+  analogue of the paper's ``SVect``/``QVect`` vectors
+  (:mod:`repro.xpath.plan`),
+* the centralized two-pass evaluator used as ground truth and as the
+  ``NaiveCentralized`` baseline (:mod:`repro.xpath.centralized`), and
+* a seeded random query generator for property-based testing
+  (:mod:`repro.xpath.generator`).
+"""
+
+from repro.xpath.ast import (
+    AndQual,
+    ChildStep,
+    DescendantStep,
+    LabelTest,
+    NotQual,
+    OrQual,
+    PathExistsQual,
+    PathExpr,
+    Qualifier,
+    QualifiedStep,
+    SelfStep,
+    TextCompareQual,
+    ValCompareQual,
+    WildcardTest,
+)
+from repro.xpath.parser import parse_xpath
+from repro.xpath.normalize import normalize
+from repro.xpath.plan import QueryPlan, compile_plan
+from repro.xpath.centralized import evaluate_centralized, evaluate_boolean_centralized
+from repro.xpath.errors import XPathError, XPathSyntaxError
+from repro.xpath.generator import QueryGenerator
+
+__all__ = [
+    "PathExpr",
+    "SelfStep",
+    "ChildStep",
+    "DescendantStep",
+    "QualifiedStep",
+    "LabelTest",
+    "WildcardTest",
+    "Qualifier",
+    "PathExistsQual",
+    "TextCompareQual",
+    "ValCompareQual",
+    "NotQual",
+    "AndQual",
+    "OrQual",
+    "parse_xpath",
+    "normalize",
+    "QueryPlan",
+    "compile_plan",
+    "evaluate_centralized",
+    "evaluate_boolean_centralized",
+    "QueryGenerator",
+    "XPathError",
+    "XPathSyntaxError",
+]

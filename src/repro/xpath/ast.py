@@ -1,0 +1,252 @@
+"""Abstract syntax for the XPath fragment ``X``.
+
+A query is a :class:`PathExpr`: a sequence of steps, each of which is one of
+
+* :class:`SelfStep`        — ``e`` (epsilon / self),
+* :class:`ChildStep`       — a child-axis step with a :class:`LabelTest`
+  (``A``) or :class:`WildcardTest` (``*``) node test,
+* :class:`DescendantStep`  — ``//`` (descendant-or-self closure between
+  steps; also valid as the first or last step),
+* :class:`QualifiedStep`   — ``[q]`` attached to the preceding position (in
+  the AST it is its own step so normalization can shuffle it freely).
+
+Qualifiers are Boolean trees over relative-path tests:
+
+* :class:`PathExistsQual`  — ``Q`` used as a condition,
+* :class:`TextCompareQual` — ``Q/text() = "str"``,
+* :class:`ValCompareQual`  — ``Q/val() op num``,
+* :class:`NotQual`, :class:`AndQual`, :class:`OrQual`.
+
+AST values are immutable and hashable so they can key caches and be
+deduplicated during plan compilation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple, Union
+
+__all__ = [
+    "NodeTest",
+    "LabelTest",
+    "WildcardTest",
+    "Step",
+    "SelfStep",
+    "ChildStep",
+    "DescendantStep",
+    "QualifiedStep",
+    "PathExpr",
+    "Qualifier",
+    "PathExistsQual",
+    "TextCompareQual",
+    "ValCompareQual",
+    "NotQual",
+    "AndQual",
+    "OrQual",
+    "COMPARISON_OPS",
+]
+
+#: comparison operators allowed in ``val() op num`` qualifiers
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+# --------------------------------------------------------------------------
+# node tests
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LabelTest:
+    """Match an element with a specific tag."""
+
+    tag: str
+
+    def __str__(self) -> str:
+        return self.tag
+
+
+@dataclass(frozen=True)
+class WildcardTest:
+    """Match any element."""
+
+    def __str__(self) -> str:
+        return "*"
+
+
+NodeTest = Union[LabelTest, WildcardTest]
+
+
+# --------------------------------------------------------------------------
+# steps
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SelfStep:
+    """The empty path ``e`` (self)."""
+
+    def __str__(self) -> str:
+        return "."
+
+
+@dataclass(frozen=True)
+class ChildStep:
+    """A child-axis step with a node test."""
+
+    test: NodeTest
+
+    def __str__(self) -> str:
+        return str(self.test)
+
+
+@dataclass(frozen=True)
+class DescendantStep:
+    """The ``//`` descendant-or-self closure."""
+
+    def __str__(self) -> str:
+        return "//"
+
+
+@dataclass(frozen=True)
+class QualifiedStep:
+    """A qualifier ``[q]`` applied at the current position."""
+
+    qualifier: "Qualifier"
+
+    def __str__(self) -> str:
+        return f"[{self.qualifier}]"
+
+
+Step = Union[SelfStep, ChildStep, DescendantStep, QualifiedStep]
+
+
+# --------------------------------------------------------------------------
+# paths
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PathExpr:
+    """A path expression: an ordered tuple of steps.
+
+    ``absolute`` records whether the query was written with a leading ``/``
+    or ``//``.  An absolute query is evaluated from the *document node* (the
+    virtual parent of the root element), so ``/sites/site`` first matches the
+    root element itself; a relative query is evaluated with the root element
+    as its context, so ``client/name`` matches children of the root — exactly
+    the convention the paper uses in its examples and benchmark queries.
+    """
+
+    steps: Tuple[Step, ...] = field(default_factory=tuple)
+    absolute: bool = False
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        previous_separator = False
+        for index, step in enumerate(self.steps):
+            if isinstance(step, DescendantStep):
+                parts.append("//")
+                previous_separator = True
+                continue
+            if isinstance(step, QualifiedStep):
+                parts.append(str(step))
+                previous_separator = False
+                continue
+            if not previous_separator and (parts or (self.absolute and index == 0)):
+                parts.append("/")
+            parts.append(str(step))
+            previous_separator = False
+        return "".join(parts) or ("/" if self.absolute else ".")
+
+    def concat(self, other: "PathExpr") -> "PathExpr":
+        """Concatenate two paths (the `/` composition of the grammar)."""
+        return PathExpr(self.steps + other.steps, absolute=self.absolute)
+
+    def is_empty(self) -> bool:
+        return not self.steps
+
+
+# --------------------------------------------------------------------------
+# qualifiers
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PathExistsQual:
+    """``Q`` used as a condition: true iff ``Q`` selects at least one node."""
+
+    path: PathExpr
+
+    def __str__(self) -> str:
+        return str(self.path)
+
+
+@dataclass(frozen=True)
+class TextCompareQual:
+    """``Q/text() = "str"`` — some node selected by ``Q`` has text *value*.
+
+    The comparison is case-insensitive, matching the paper's examples which
+    compare lowercase literals against uppercase document content.
+    """
+
+    path: PathExpr
+    value: str
+
+    def __str__(self) -> str:
+        return f'{self.path}/text() = "{self.value}"'
+
+
+@dataclass(frozen=True)
+class ValCompareQual:
+    """``Q/val() op num`` — some node selected by ``Q`` has a numeric value
+    satisfying the comparison."""
+
+    path: PathExpr
+    op: str
+    number: float
+
+    def __post_init__(self):
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unsupported comparison operator {self.op!r}")
+
+    def __str__(self) -> str:
+        number = int(self.number) if float(self.number).is_integer() else self.number
+        return f"{self.path}/val() {self.op} {number}"
+
+
+@dataclass(frozen=True)
+class NotQual:
+    """Negation of a qualifier."""
+
+    operand: "Qualifier"
+
+    def __str__(self) -> str:
+        return f"not({self.operand})"
+
+
+@dataclass(frozen=True)
+class AndQual:
+    """Conjunction of qualifiers."""
+
+    left: "Qualifier"
+    right: "Qualifier"
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class OrQual:
+    """Disjunction of qualifiers."""
+
+    left: "Qualifier"
+    right: "Qualifier"
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+Qualifier = Union[
+    PathExistsQual,
+    TextCompareQual,
+    ValCompareQual,
+    NotQual,
+    AndQual,
+    OrQual,
+]

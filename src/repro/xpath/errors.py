@@ -1,0 +1,26 @@
+"""Errors raised by the XPath subsystem."""
+
+from __future__ import annotations
+
+__all__ = ["XPathError", "XPathSyntaxError", "XPathUnsupportedError"]
+
+
+class XPathError(Exception):
+    """Base class for XPath-related errors."""
+
+
+class XPathSyntaxError(XPathError):
+    """Raised when the parser rejects a query string."""
+
+    def __init__(self, message: str, position: int | None = None, query: str | None = None):
+        self.position = position
+        self.query = query
+        details = message
+        if query is not None and position is not None:
+            pointer = " " * position + "^"
+            details = f"{message}\n  {query}\n  {pointer}"
+        super().__init__(details)
+
+
+class XPathUnsupportedError(XPathError):
+    """Raised when a query uses an axis or function outside the fragment X."""

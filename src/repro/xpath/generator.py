@@ -1,0 +1,111 @@
+"""Seeded random query generation for property-based and fuzz testing.
+
+The generator produces queries of the fragment ``X`` whose labels and literal
+values are drawn from a supplied alphabet (typically the tags/texts occurring
+in a generated random document, so that queries have a reasonable chance of
+selecting something).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.xpath.ast import (
+    AndQual,
+    ChildStep,
+    DescendantStep,
+    LabelTest,
+    NotQual,
+    OrQual,
+    PathExistsQual,
+    PathExpr,
+    Qualifier,
+    QualifiedStep,
+    TextCompareQual,
+    ValCompareQual,
+    WildcardTest,
+)
+
+__all__ = ["QueryGenerator", "GeneratorConfig"]
+
+
+@dataclass
+class GeneratorConfig:
+    """Tunable shape parameters of generated queries."""
+
+    max_selection_steps: int = 4
+    max_qualifier_depth: int = 2
+    max_qualifier_path_steps: int = 3
+    wildcard_probability: float = 0.15
+    descendant_probability: float = 0.25
+    qualifier_probability: float = 0.4
+    negation_probability: float = 0.2
+    comparison_probability: float = 0.5
+    text_values: Sequence[str] = field(default_factory=lambda: ("alpha", "beta", "gamma"))
+    numbers: Sequence[float] = field(default_factory=lambda: (1, 5, 10, 50))
+
+
+class QueryGenerator:
+    """Generates random queries over a fixed tag alphabet."""
+
+    def __init__(
+        self,
+        tags: Sequence[str],
+        seed: int = 0,
+        config: GeneratorConfig | None = None,
+    ):
+        if not tags:
+            raise ValueError("the tag alphabet must not be empty")
+        self.tags = list(tags)
+        self.config = config or GeneratorConfig()
+        self.rng = random.Random(seed)
+
+    # -- pieces --------------------------------------------------------------
+
+    def _node_test(self):
+        if self.rng.random() < self.config.wildcard_probability:
+            return WildcardTest()
+        return LabelTest(self.rng.choice(self.tags))
+
+    def _steps(self, max_steps: int, qualifier_depth: int) -> list:
+        count = self.rng.randint(1, max_steps)
+        steps = []
+        for _ in range(count):
+            if self.rng.random() < self.config.descendant_probability:
+                steps.append(DescendantStep())
+            steps.append(ChildStep(self._node_test()))
+            if qualifier_depth > 0 and self.rng.random() < self.config.qualifier_probability:
+                steps.append(QualifiedStep(self._qualifier(qualifier_depth - 1)))
+        return steps
+
+    def _condition(self, qualifier_depth: int) -> Qualifier:
+        path = PathExpr(tuple(self._steps(self.config.max_qualifier_path_steps, qualifier_depth)))
+        roll = self.rng.random()
+        if roll < self.config.comparison_probability / 2:
+            return TextCompareQual(path, self.rng.choice(list(self.config.text_values)))
+        if roll < self.config.comparison_probability:
+            op = self.rng.choice(["=", "<", "<=", ">", ">=", "!="])
+            return ValCompareQual(path, op, float(self.rng.choice(list(self.config.numbers))))
+        return PathExistsQual(path)
+
+    def _qualifier(self, qualifier_depth: int) -> Qualifier:
+        base: Qualifier = self._condition(qualifier_depth)
+        if qualifier_depth > 0 and self.rng.random() < 0.35:
+            other = self._condition(qualifier_depth - 1)
+            base = AndQual(base, other) if self.rng.random() < 0.5 else OrQual(base, other)
+        if self.rng.random() < self.config.negation_probability:
+            base = NotQual(base)
+        return base
+
+    # -- public API ------------------------------------------------------------
+
+    def query(self) -> PathExpr:
+        """Generate one random query."""
+        steps = self._steps(self.config.max_selection_steps, self.config.max_qualifier_depth)
+        return PathExpr(tuple(steps))
+
+    def queries(self, count: int) -> list[PathExpr]:
+        """Generate *count* random queries."""
+        return [self.query() for _ in range(count)]

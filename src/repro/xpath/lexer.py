@@ -1,0 +1,131 @@
+"""Tokenizer for the XPath fragment ``X``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.xpath.errors import XPathSyntaxError
+
+__all__ = ["Token", "tokenize", "TokenKind"]
+
+
+class TokenKind:
+    """Token kind constants (kept as plain strings for readable reprs)."""
+
+    SLASH = "SLASH"          # /
+    DSLASH = "DSLASH"        # //
+    LBRACKET = "LBRACKET"    # [
+    RBRACKET = "RBRACKET"    # ]
+    LPAREN = "LPAREN"        # (
+    RPAREN = "RPAREN"        # )
+    NAME = "NAME"            # element name or keyword (and/or/not/text/val)
+    STAR = "STAR"            # *
+    DOT = "DOT"              # .
+    STRING = "STRING"        # "..." or '...'
+    NUMBER = "NUMBER"        # 42 or 3.14
+    OP = "OP"                # = != < <= > >=
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its source position (character offset)."""
+
+    kind: str
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}@{self.position})"
+
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789-.:")
+
+
+def _scan(query: str) -> Iterator[Token]:
+    pos = 0
+    length = len(query)
+    while pos < length:
+        char = query[pos]
+        if char.isspace():
+            pos += 1
+            continue
+        if char == "/":
+            if pos + 1 < length and query[pos + 1] == "/":
+                yield Token(TokenKind.DSLASH, "//", pos)
+                pos += 2
+            else:
+                yield Token(TokenKind.SLASH, "/", pos)
+                pos += 1
+            continue
+        if char == "[":
+            yield Token(TokenKind.LBRACKET, "[", pos)
+            pos += 1
+            continue
+        if char == "]":
+            yield Token(TokenKind.RBRACKET, "]", pos)
+            pos += 1
+            continue
+        if char == "(":
+            yield Token(TokenKind.LPAREN, "(", pos)
+            pos += 1
+            continue
+        if char == ")":
+            yield Token(TokenKind.RPAREN, ")", pos)
+            pos += 1
+            continue
+        if char == "*":
+            yield Token(TokenKind.STAR, "*", pos)
+            pos += 1
+            continue
+        if char in ("'", '"'):
+            end = query.find(char, pos + 1)
+            if end < 0:
+                raise XPathSyntaxError("unterminated string literal", pos, query)
+            yield Token(TokenKind.STRING, query[pos + 1:end], pos)
+            pos = end + 1
+            continue
+        if char in ("=", "<", ">", "!"):
+            if char == "!" and (pos + 1 >= length or query[pos + 1] != "="):
+                raise XPathSyntaxError("expected '=' after '!'", pos, query)
+            if pos + 1 < length and query[pos + 1] == "=":
+                if char == "=":
+                    # Tolerate '==' as a synonym for '='.
+                    yield Token(TokenKind.OP, "=", pos)
+                else:
+                    yield Token(TokenKind.OP, char + "=", pos)
+                pos += 2
+            else:
+                yield Token(TokenKind.OP, char, pos)
+                pos += 1
+            continue
+        if char.isdigit() or (char == "-" and pos + 1 < length and query[pos + 1].isdigit()):
+            end = pos + 1
+            seen_dot = False
+            while end < length and (query[end].isdigit() or (query[end] == "." and not seen_dot)):
+                if query[end] == ".":
+                    seen_dot = True
+                end += 1
+            yield Token(TokenKind.NUMBER, query[pos:end], pos)
+            pos = end
+            continue
+        if char == ".":
+            yield Token(TokenKind.DOT, ".", pos)
+            pos += 1
+            continue
+        if char in _NAME_START:
+            end = pos + 1
+            while end < length and query[end] in _NAME_CHARS:
+                end += 1
+            yield Token(TokenKind.NAME, query[pos:end], pos)
+            pos = end
+            continue
+        raise XPathSyntaxError(f"unexpected character {char!r}", pos, query)
+    yield Token(TokenKind.EOF, "", length)
+
+
+def tokenize(query: str) -> list[Token]:
+    """Tokenize a query string; raises :class:`XPathSyntaxError` on bad input."""
+    return list(_scan(query))

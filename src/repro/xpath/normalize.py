@@ -1,0 +1,89 @@
+"""Normalization into the paper's normal form.
+
+``normalize(Q)`` rewrites a query into the form ``beta_1/.../beta_n`` where
+every ``beta_i`` is a label step, a wildcard step, ``//`` or ``e[q]`` (a
+qualifier attached to the current position), exactly as in Section 2.2:
+
+* bare self steps (``.``) are dropped,
+* consecutive ``//`` steps collapse into one,
+* consecutive qualifiers merge into a single qualifier joined with ``and``
+  (the paper's last normalization rule), and
+* qualifier paths are normalized recursively.
+
+The result is what :func:`repro.xpath.plan.compile_plan` consumes.
+"""
+
+from __future__ import annotations
+
+from repro.xpath.ast import (
+    AndQual,
+    ChildStep,
+    DescendantStep,
+    NotQual,
+    OrQual,
+    PathExistsQual,
+    PathExpr,
+    Qualifier,
+    QualifiedStep,
+    SelfStep,
+    Step,
+    TextCompareQual,
+    ValCompareQual,
+)
+
+__all__ = ["normalize", "normalize_qualifier", "selection_steps", "strip_qualifiers"]
+
+
+def normalize(path: PathExpr) -> PathExpr:
+    """Return the normal form of *path*."""
+    normalized: list[Step] = []
+    for step in path.steps:
+        if isinstance(step, SelfStep):
+            continue
+        if isinstance(step, DescendantStep):
+            if normalized and isinstance(normalized[-1], DescendantStep):
+                continue
+            normalized.append(step)
+            continue
+        if isinstance(step, QualifiedStep):
+            qualifier = normalize_qualifier(step.qualifier)
+            if normalized and isinstance(normalized[-1], QualifiedStep):
+                previous = normalized.pop()
+                qualifier = AndQual(previous.qualifier, qualifier)
+            normalized.append(QualifiedStep(qualifier))
+            continue
+        if isinstance(step, ChildStep):
+            normalized.append(step)
+            continue
+        raise TypeError(f"unknown step type {type(step).__name__}")
+    return PathExpr(tuple(normalized), absolute=path.absolute)
+
+
+def normalize_qualifier(qualifier: Qualifier) -> Qualifier:
+    """Normalize the paths inside a qualifier, recursively."""
+    if isinstance(qualifier, PathExistsQual):
+        return PathExistsQual(normalize(qualifier.path))
+    if isinstance(qualifier, TextCompareQual):
+        return TextCompareQual(normalize(qualifier.path), qualifier.value)
+    if isinstance(qualifier, ValCompareQual):
+        return ValCompareQual(normalize(qualifier.path), qualifier.op, qualifier.number)
+    if isinstance(qualifier, NotQual):
+        return NotQual(normalize_qualifier(qualifier.operand))
+    if isinstance(qualifier, AndQual):
+        return AndQual(normalize_qualifier(qualifier.left), normalize_qualifier(qualifier.right))
+    if isinstance(qualifier, OrQual):
+        return OrQual(normalize_qualifier(qualifier.left), normalize_qualifier(qualifier.right))
+    raise TypeError(f"unknown qualifier type {type(qualifier).__name__}")
+
+
+def strip_qualifiers(path: PathExpr) -> PathExpr:
+    """The *selection path* of a query: the normal form with qualifiers removed."""
+    return PathExpr(
+        tuple(step for step in normalize(path).steps if not isinstance(step, QualifiedStep)),
+        absolute=path.absolute,
+    )
+
+
+def selection_steps(path: PathExpr) -> list[Step]:
+    """The normalized steps of a query as a list (convenience for the planner)."""
+    return list(normalize(path).steps)

@@ -1,0 +1,146 @@
+"""A deliberately naive reference evaluator, used only by the test suite.
+
+The centralized evaluator and the distributed algorithms share node-level
+rules (:mod:`repro.xpath.runtime`), so a semantic misunderstanding there
+would make them agree with each other while both being wrong.  This module
+implements the fragment ``X`` a third time, directly from the declarative
+set semantics (``val(Q, v)`` as explicit node sets, qualifiers as explicit
+existential checks), with no sharing and no cleverness.  It is quadratic and
+only suitable for small trees, which is exactly what property-based tests
+feed it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Union
+
+from repro.xmltree.nodes import NodeId, XMLNode, XMLTree
+from repro.xpath.ast import (
+    AndQual,
+    ChildStep,
+    DescendantStep,
+    LabelTest,
+    NotQual,
+    OrQual,
+    PathExistsQual,
+    PathExpr,
+    Qualifier,
+    QualifiedStep,
+    SelfStep,
+    TextCompareQual,
+    ValCompareQual,
+    WildcardTest,
+)
+from repro.xpath.parser import parse_xpath
+from repro.xpath.runtime import apply_terminal_test
+
+__all__ = ["reference_evaluate", "reference_select"]
+
+
+def _match_test(node: XMLNode, test) -> bool:
+    if not node.is_element:
+        return False
+    if isinstance(test, WildcardTest):
+        return True
+    if isinstance(test, LabelTest):
+        return node.tag == test.tag
+    raise TypeError(f"unknown node test {test!r}")
+
+
+def _descendant_or_self(nodes: Iterable) -> list:
+    """Descendant-or-self closure of a node set, in encounter order.
+
+    Non-element nodes (the document node, text nodes) are kept: the next step
+    applies its own node test, and a child step must still be able to look at
+    the document node's children.
+    """
+    result: list = []
+    seen: Set[int] = set()
+    for node in nodes:
+        for descendant in node.iter_subtree():
+            if id(descendant) in seen:
+                continue
+            seen.add(id(descendant))
+            result.append(descendant)
+    return result
+
+
+class _DocumentNode:
+    """Stand-in for the document node above the root element.
+
+    Absolute queries are evaluated with this virtual node as their context:
+    its only child is the root element, it matches no node test and it is
+    never part of an answer.
+    """
+
+    def __init__(self, root: XMLNode):
+        self.children = [root]
+        self.is_element = False
+        self.is_text = False
+
+    def iter_subtree(self):
+        yield self
+        yield from self.children[0].iter_subtree()
+
+
+def _select(path: PathExpr, context: list) -> list[XMLNode]:
+    current = list(context)
+    for step in path.steps:
+        if isinstance(step, SelfStep):
+            continue
+        if isinstance(step, ChildStep):
+            next_nodes: list[XMLNode] = []
+            seen: Set[int] = set()
+            for node in current:
+                for child in node.children:
+                    if _match_test(child, step.test) and id(child) not in seen:
+                        seen.add(id(child))
+                        next_nodes.append(child)
+            current = next_nodes
+        elif isinstance(step, DescendantStep):
+            current = _descendant_or_self(current)
+        elif isinstance(step, QualifiedStep):
+            current = [node for node in current if _qualifier_holds(step.qualifier, node)]
+        else:
+            raise TypeError(f"unknown step {step!r}")
+    return current
+
+
+def _qualifier_holds(qualifier: Qualifier, node: XMLNode) -> bool:
+    if isinstance(qualifier, PathExistsQual):
+        return bool(_select(qualifier.path, [node]))
+    if isinstance(qualifier, TextCompareQual):
+        selected = _select(qualifier.path, [node])
+        return any(
+            apply_terminal_test(candidate, ("text", "=", qualifier.value.lower()))
+            for candidate in selected
+        )
+    if isinstance(qualifier, ValCompareQual):
+        selected = _select(qualifier.path, [node])
+        return any(
+            apply_terminal_test(candidate, ("val", qualifier.op, qualifier.number))
+            for candidate in selected
+        )
+    if isinstance(qualifier, NotQual):
+        return not _qualifier_holds(qualifier.operand, node)
+    if isinstance(qualifier, AndQual):
+        return _qualifier_holds(qualifier.left, node) and _qualifier_holds(qualifier.right, node)
+    if isinstance(qualifier, OrQual):
+        return _qualifier_holds(qualifier.left, node) or _qualifier_holds(qualifier.right, node)
+    raise TypeError(f"unknown qualifier {qualifier!r}")
+
+
+def reference_select(tree: XMLTree, query: Union[str, PathExpr]) -> list[XMLNode]:
+    """Evaluate *query* from its context and return matching element nodes.
+
+    Absolute queries start at the document node, relative queries at the root
+    element, mirroring :mod:`repro.xpath.centralized`.
+    """
+    path = parse_xpath(query) if isinstance(query, str) else query
+    context = [_DocumentNode(tree.root)] if path.absolute else [tree.root]
+    return [node for node in _select(path, context) if getattr(node, "is_element", False)]
+
+
+def reference_evaluate(tree: XMLTree, query: Union[str, PathExpr]) -> list[NodeId]:
+    """Like :func:`reference_select`, but returning sorted node ids."""
+    return sorted(node.node_id for node in reference_select(tree, query))

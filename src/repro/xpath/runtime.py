@@ -1,0 +1,211 @@
+"""Shared per-node evaluation primitives.
+
+The centralized evaluator, the per-fragment qualifier pass (Stage 1 of PaX3 /
+post-order half of PaX2) and the per-fragment selection pass (Stage 2 of PaX3
+/ pre-order half of PaX2) all apply the same local rules at a node; this
+module holds those rules so the three executors cannot drift apart.
+
+All functions accept and return :data:`repro.booleans.formula.FormulaLike`
+values — plain booleans in the centralized case, residual formulas when
+fragment boundaries introduce variables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.booleans.formula import FormulaLike, conj, disj, is_false
+from repro.xmltree.nodes import XMLNode
+from repro.xpath.plan import CHILD, DESC, EMPTY, SELFQUAL, QueryPlan, evaluate_qual_expr
+
+__all__ = [
+    "matches_tag",
+    "apply_terminal_test",
+    "QualAggregate",
+    "compute_qualifier_vectors",
+    "selection_vector",
+    "qualifier_values_for_selection",
+    "root_context_init_vector",
+]
+
+_NUMERIC_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def matches_tag(node: XMLNode, tag: Optional[str]) -> bool:
+    """Node test of a child step: any element for ``None`` (wildcard)."""
+    if not node.is_element:
+        return False
+    return tag is None or node.tag == tag
+
+
+def apply_terminal_test(node: XMLNode, test: Optional[tuple]) -> bool:
+    """Apply the terminal ``text()`` / ``val()`` test of a qualifier path."""
+    if test is None:
+        return True
+    kind = test[0]
+    if kind == "text":
+        return node.text().strip().lower() == test[2]
+    if kind == "val":
+        value = node.numeric_value()
+        if value is None:
+            return False
+        return _NUMERIC_OPS[test[1]](value, test[2])
+    raise ValueError(f"unknown terminal test {test!r}")
+
+
+class QualAggregate:
+    """Accumulates the children's HEAD / DESC contributions for one parent.
+
+    A parent node needs, per qualifier item, the OR over its (element)
+    children of the child's HEAD value, and the OR of the child's DESC value.
+    Children report in document order as the post-order traversal unwinds;
+    the aggregate keeps memory proportional to the plan, not to the fanout.
+    """
+
+    __slots__ = ("head", "desc")
+
+    def __init__(self, plan: QueryPlan):
+        self.head: List[FormulaLike] = [False] * plan.n_items
+        self.desc: List[FormulaLike] = [False] * plan.n_items
+
+    def add_child(
+        self,
+        plan: QueryPlan,
+        child_head: Sequence[FormulaLike],
+        child_desc: Sequence[FormulaLike],
+    ) -> None:
+        """Fold one child's HEAD/DESC vectors into the aggregate."""
+        head = self.head
+        desc = self.desc
+        for item_id in plan.head_item_ids:
+            value = child_head[item_id]
+            if value is not False:
+                head[item_id] = disj(head[item_id], value)
+        for item_id in plan.desc_item_ids:
+            value = child_desc[item_id]
+            if value is not False:
+                desc[item_id] = disj(desc[item_id], value)
+
+
+def compute_qualifier_vectors(
+    plan: QueryPlan,
+    node: XMLNode,
+    aggregate: QualAggregate,
+) -> tuple[List[FormulaLike], List[FormulaLike], List[FormulaLike]]:
+    """Compute the (EX, HEAD, DESC) vectors of *node*.
+
+    *aggregate* holds the OR of the node's children contributions (already
+    including any virtual-node variables).  Items are evaluated in plan order,
+    which is topological, so ``rest`` entries are always available.
+    """
+    n_items = plan.n_items
+    ex: List[FormulaLike] = [False] * n_items
+    head: List[FormulaLike] = [False] * n_items
+    desc: List[FormulaLike] = [False] * n_items
+    agg_head = aggregate.head
+    agg_desc = aggregate.desc
+
+    for item in plan.items:
+        item_id = item.item_id
+        if item.kind == EMPTY:
+            ex[item_id] = apply_terminal_test(node, item.test)
+        elif item.kind == CHILD:
+            ex[item_id] = agg_head[item_id]
+        elif item.kind == DESC:
+            rest = item.rest
+            ex[item_id] = disj(ex[rest], agg_desc[rest])
+        elif item.kind == SELFQUAL:
+            qual_value = evaluate_qual_expr(item.qual, ex)
+            ex[item_id] = conj(qual_value, ex[item.rest])
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown item kind {item.kind!r}")
+
+    for item_id in plan.head_item_ids:
+        item = plan.items[item_id]
+        if matches_tag(node, item.tag):
+            head[item_id] = ex[item.rest]
+    for item_id in plan.desc_item_ids:
+        desc[item_id] = disj(ex[item_id], agg_desc[item_id])
+    return ex, head, desc
+
+
+def qualifier_values_for_selection(
+    plan: QueryPlan, ex: Sequence[FormulaLike]
+) -> tuple[FormulaLike, ...]:
+    """Values of the qualifier expressions attached to SELFQUAL selection steps.
+
+    Returned in the order of :meth:`QueryPlan.qualifier_positions`; this tuple
+    is what Stage 1 leaves behind at a site for Stage 2 to consume.
+    """
+    values = []
+    for step in plan.selection:
+        if step.kind == SELFQUAL:
+            values.append(evaluate_qual_expr(step.qual, ex))
+    return tuple(values)
+
+
+def root_context_init_vector(plan: QueryPlan) -> List[FormulaLike]:
+    """Initialization vector above the document's root element.
+
+    For an *absolute* plan the query context is the document node (the
+    virtual parent of the root element): its prefix vector has entry 0 true
+    and carries that truth through leading ``//`` steps, so ``/sites`` can
+    match the root element itself and ``//x`` can match it too.  For a
+    *relative* plan the root element has no parent that matters, so the
+    vector is all false (the root element instead gets entry 0 itself via
+    ``is_context_root``).
+    """
+    vector: List[FormulaLike] = [False] * (plan.n_steps + 1)
+    if not plan.absolute:
+        return vector
+    vector[0] = True
+    for position, step in enumerate(plan.selection, start=1):
+        if step.kind == DESC:
+            vector[position] = vector[position - 1]
+        # CHILD and SELFQUAL steps cannot hold at the document node.
+    return vector
+
+
+def selection_vector(
+    plan: QueryPlan,
+    node: XMLNode,
+    parent_vector: Sequence[FormulaLike],
+    is_context_root: bool,
+    qual_values: Sequence[FormulaLike],
+) -> List[FormulaLike]:
+    """Compute the selection prefix vector of *node*.
+
+    ``parent_vector`` is the vector of the node's parent (or the fragment's
+    initialization vector); ``qual_values`` are the values of the SELFQUAL
+    steps at this node, aligned with :meth:`QueryPlan.qualifier_positions`.
+    """
+    n_steps = plan.n_steps
+    vector: List[FormulaLike] = [False] * (n_steps + 1)
+    vector[0] = is_context_root
+    qual_index = 0
+    for position, step in enumerate(plan.selection, start=1):
+        if step.kind == CHILD:
+            previous = parent_vector[position - 1]
+            if previous is False or not matches_tag(node, step.tag):
+                vector[position] = False
+            else:
+                vector[position] = previous
+        elif step.kind == DESC:
+            vector[position] = disj(parent_vector[position], vector[position - 1])
+        elif step.kind == SELFQUAL:
+            previous = vector[position - 1]
+            if is_false(previous):
+                vector[position] = False
+            else:
+                vector[position] = conj(previous, qual_values[qual_index])
+            qual_index += 1
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown selection step kind {step.kind!r}")
+    return vector

@@ -1,0 +1,49 @@
+"""Unit tests for the benchmark harness pieces."""
+
+import pytest
+
+from repro.bench.harness import VARIANTS, measure_run
+from repro.workloads.queries import PAPER_QUERIES
+from repro.workloads.scenarios import build_ft1
+from repro.xpath.centralized import evaluate_centralized
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_ft1(fragment_count=3, total_bytes=30_000, seed=9)
+
+
+class TestVariants:
+    def test_paper_legend_names_available(self):
+        assert {"PaX3-NA", "PaX3-XA", "PaX2-NA", "PaX2-XA", "Naive"} == set(VARIANTS)
+
+    @pytest.mark.parametrize("label", sorted(VARIANTS))
+    def test_every_variant_runs_and_agrees(self, scenario, label):
+        query = PAPER_QUERIES["Q1"]
+        expected = evaluate_centralized(scenario.tree, query).answer_ids
+        stats = VARIANTS[label].run(scenario, query)
+        assert stats.answer_ids == expected
+
+    def test_annotation_flag_respected(self, scenario):
+        stats = VARIANTS["PaX2-XA"].run(scenario, PAPER_QUERIES["Q1"])
+        assert stats.use_annotations is True
+        stats = VARIANTS["PaX2-NA"].run(scenario, PAPER_QUERIES["Q1"])
+        assert stats.use_annotations is False
+
+
+class TestMeasureRun:
+    def test_checks_expected_answers(self, scenario):
+        query = PAPER_QUERIES["Q1"]
+        expected = evaluate_centralized(scenario.tree, query).answer_ids
+        stats = measure_run("PaX2-NA", scenario, query, repeats=2, expected_answers=expected)
+        assert stats.answer_ids == expected
+
+    def test_wrong_expectation_raises(self, scenario):
+        with pytest.raises(AssertionError):
+            measure_run("PaX2-NA", scenario, PAPER_QUERIES["Q1"], expected_answers=[1, 2, 3])
+
+    def test_repeats_keep_fastest(self, scenario):
+        query = PAPER_QUERIES["Q1"]
+        once = measure_run("PaX2-NA", scenario, query, repeats=1)
+        best_of_three = measure_run("PaX2-NA", scenario, query, repeats=3)
+        assert best_of_three.parallel_seconds <= once.parallel_seconds * 3

@@ -1,0 +1,58 @@
+"""Unit tests for experiment reporting."""
+
+from repro.bench.reporting import ExperimentReport, Series, format_table
+
+
+class TestSeries:
+    def test_add_accumulates(self):
+        series = Series(label="PaX2")
+        series.add(0.5)
+        series.add(0.7)
+        assert series.values == [0.5, 0.7]
+
+
+class TestExperimentReport:
+    def make_report(self) -> ExperimentReport:
+        report = ExperimentReport(title="Figure X", x_label="fragments", y_label="time (s)")
+        report.x_values = [1, 2]
+        report.add_point("PaX3-NA", 0.30)
+        report.add_point("PaX3-NA", 0.20)
+        report.add_point("PaX3-XA", 0.15)
+        report.add_note("scaled data")
+        return report
+
+    def test_series_for_creates_once(self):
+        report = ExperimentReport(title="t", x_label="x")
+        first = report.series_for("A")
+        second = report.series_for("A")
+        assert first is second
+
+    def test_as_rows_aligns_missing_points(self):
+        rows = self.make_report().as_rows()
+        assert rows[0] == ["fragments", "PaX3-NA", "PaX3-XA"]
+        assert rows[1] == ["1", "0.3000", "0.1500"]
+        assert rows[2] == ["2", "0.2000", "-"]
+
+    def test_to_dict_round_trip(self):
+        data = self.make_report().to_dict()
+        assert data["title"] == "Figure X"
+        assert data["series"]["PaX3-NA"] == [0.30, 0.20]
+        assert data["notes"] == ["scaled data"]
+
+    def test_render_contains_table_and_notes(self):
+        text = self.make_report().render()
+        assert "Figure X" in text
+        assert "PaX3-XA" in text
+        assert "note: scaled data" in text
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == ""
+
+    def test_alignment(self):
+        table = format_table([["col", "x"], ["longer-value", "1"]])
+        lines = table.splitlines()
+        assert len(lines) == 3
+        assert lines[1].startswith("---")
+        assert lines[2].startswith("longer-value")

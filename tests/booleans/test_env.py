@@ -1,0 +1,69 @@
+"""Unit tests for substitution environments."""
+
+import pytest
+
+from repro.booleans.env import Environment
+from repro.booleans.formula import Var, conj, disj, neg
+
+
+class TestBinding:
+    def test_bind_and_lookup(self):
+        env = Environment()
+        env.bind("x", True)
+        assert "x" in env
+        assert env["x"] is True
+        assert env.get("missing") is None
+
+    def test_bind_all_and_len(self):
+        env = Environment({"a": True})
+        env.bind_all({"b": False, "c": Var("d")})
+        assert len(env) == 3
+        assert set(env) == {"a", "b", "c"}
+
+    def test_as_dict_is_a_copy(self):
+        env = Environment({"a": True})
+        copy = env.as_dict()
+        copy["a"] = False
+        assert env["a"] is True
+
+
+class TestResolve:
+    def test_resolve_concrete(self):
+        env = Environment()
+        assert env.resolve(True) is True
+
+    def test_resolve_unbound_variable_left_free(self):
+        env = Environment({"x": True})
+        result = env.resolve(conj(Var("x"), Var("y")))
+        assert result == Var("y")
+
+    def test_resolve_through_chained_bindings(self):
+        # x -> y & z, y -> True, z -> False: needs repeated substitution.
+        env = Environment()
+        env.bind("x", conj(Var("y"), Var("z")))
+        env.bind("y", True)
+        env.bind("z", Var("w"))
+        env.bind("w", False)
+        assert env.resolve(Var("x")) is False
+
+    def test_resolve_vector(self):
+        env = Environment({"x": True, "y": False})
+        vector = [Var("x"), Var("y"), disj(Var("x"), Var("y")), neg(Var("y"))]
+        assert env.resolve_vector(vector) == [True, False, True, True]
+
+    def test_cycle_detection(self):
+        env = Environment()
+        env.bind("x", Var("y"))
+        env.bind("y", Var("x"))
+        with pytest.raises(RuntimeError):
+            env.resolve(Var("x"))
+
+    def test_resolution_order_does_not_matter(self):
+        forward = Environment()
+        forward.bind("a", Var("b"))
+        forward.bind("b", True)
+        backward = Environment()
+        backward.bind("b", True)
+        backward.bind("a", Var("b"))
+        assert forward.resolve(Var("a")) is True
+        assert backward.resolve(Var("a")) is True

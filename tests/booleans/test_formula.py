@@ -1,0 +1,167 @@
+"""Unit tests for the Boolean formula algebra."""
+
+import pytest
+
+from repro.booleans.formula import (
+    And,
+    Not,
+    Or,
+    Var,
+    conj,
+    disj,
+    evaluate,
+    formula_size,
+    is_concrete,
+    is_false,
+    is_true,
+    neg,
+    simplify,
+    substitute,
+    variables_of,
+)
+
+
+class TestConstructors:
+    def test_conj_of_constants(self):
+        assert conj(True, True) is True
+        assert conj(True, False) is False
+        assert conj() is True
+
+    def test_disj_of_constants(self):
+        assert disj(False, False) is False
+        assert disj(False, True) is True
+        assert disj() is False
+
+    def test_conj_identity_dropped(self):
+        x = Var("x")
+        assert conj(True, x) is x
+        assert conj(x, True) is x
+
+    def test_conj_absorbing_short_circuits(self):
+        x = Var("x")
+        assert conj(False, x) is False
+        assert conj(x, False) is False
+
+    def test_disj_identity_dropped(self):
+        x = Var("x")
+        assert disj(False, x) is x
+
+    def test_disj_absorbing_short_circuits(self):
+        x = Var("x")
+        assert disj(True, x) is True
+
+    def test_conj_flattens_nested_ands(self):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        formula = conj(conj(x, y), z)
+        assert isinstance(formula, And)
+        assert formula.operands == (x, y, z)
+
+    def test_disj_flattens_nested_ors(self):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        formula = disj(disj(x, y), z)
+        assert isinstance(formula, Or)
+        assert formula.operands == (x, y, z)
+
+    def test_duplicates_removed(self):
+        x = Var("x")
+        assert conj(x, x) is x
+        assert disj(x, x) is x
+
+    def test_complementary_literals_collapse(self):
+        x = Var("x")
+        assert conj(x, neg(x)) is False
+        assert disj(x, neg(x)) is True
+
+    def test_double_negation_removed(self):
+        x = Var("x")
+        assert neg(neg(x)) is x
+
+    def test_negation_of_constants(self):
+        assert neg(True) is False
+        assert neg(False) is True
+
+    def test_operator_sugar(self):
+        x, y = Var("x"), Var("y")
+        assert (x & y) == conj(x, y)
+        assert (x | y) == disj(x, y)
+        assert (~x) == neg(x)
+        assert (True & x) is x
+        assert (False | x) is x
+
+
+class TestPredicates:
+    def test_is_true_false(self):
+        assert is_true(True) and not is_true(False)
+        assert is_false(False) and not is_false(True)
+        assert not is_true(Var("x")) and not is_false(Var("x"))
+
+    def test_is_concrete(self):
+        assert is_concrete(True)
+        assert not is_concrete(Var("x"))
+
+    def test_simplify_coerces_ints(self):
+        assert simplify(1) is True
+        assert simplify(0) is False
+
+
+class TestSubstitution:
+    def test_substitute_var(self):
+        assert substitute(Var("x"), {"x": True}) is True
+        assert substitute(Var("x"), {"y": True}) == Var("x")
+
+    def test_substitute_into_and(self):
+        x, y = Var("x"), Var("y")
+        assert substitute(conj(x, y), {"x": True}) is y
+        assert substitute(conj(x, y), {"x": False}) is False
+
+    def test_substitute_into_or(self):
+        x, y = Var("x"), Var("y")
+        assert substitute(disj(x, y), {"x": False}) is y
+        assert substitute(disj(x, y), {"x": True}) is True
+
+    def test_substitute_into_not(self):
+        assert substitute(neg(Var("x")), {"x": True}) is False
+
+    def test_substitute_with_formula_binding(self):
+        x, y = Var("x"), Var("y")
+        result = substitute(conj(x, Var("z")), {"x": disj(y, False)})
+        assert result == conj(y, Var("z"))
+
+    def test_substitute_constant_is_identity(self):
+        assert substitute(True, {"x": False}) is True
+
+
+class TestEvaluation:
+    def test_evaluate_requires_all_bindings(self):
+        with pytest.raises(KeyError):
+            evaluate(conj(Var("x"), Var("y")), {"x": True})
+
+    def test_evaluate_and_or_not(self):
+        x, y = Var("x"), Var("y")
+        formula = conj(x, neg(y))
+        assert evaluate(formula, {"x": True, "y": False}) is True
+        assert evaluate(formula, {"x": True, "y": True}) is False
+        assert evaluate(disj(x, y), {"x": False, "y": False}) is False
+
+
+class TestIntrospection:
+    def test_variables_of(self):
+        formula = conj(Var("a"), disj(Var("b"), neg(Var("c"))))
+        assert variables_of(formula) == frozenset({"a", "b", "c"})
+        assert variables_of(True) == frozenset()
+
+    def test_formula_size(self):
+        assert formula_size(True) == 1
+        assert formula_size(Var("x")) == 1
+        assert formula_size(conj(Var("x"), Var("y"))) == 3
+        assert formula_size(neg(conj(Var("x"), Var("y")))) == 4
+
+    def test_str_round_trips_structure(self):
+        text = str(conj(Var("x"), neg(Var("y"))))
+        assert "x" in text and "y" in text and "!" in text
+
+    def test_equality_and_hash(self):
+        assert conj(Var("x"), Var("y")) == conj(Var("x"), Var("y"))
+        assert hash(Var("x")) == hash(Var("x"))
+        assert Var("x") != Var("y")
+        assert Not(Var("x")) == Not(Var("x"))

@@ -1,0 +1,93 @@
+"""Property-based tests: the formula algebra agrees with brute-force truth
+tables and simplification never changes meaning."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booleans.formula import (
+    Var,
+    conj,
+    disj,
+    evaluate,
+    neg,
+    substitute,
+    variables_of,
+)
+
+VARIABLE_NAMES = ["p", "q", "r", "s"]
+
+
+def formula_strategy(max_depth: int = 4):
+    """Recursive strategy building (raw AST, semantic function) pairs.
+
+    The semantic function is an independent brute-force evaluator, so it
+    catches any simplification that changes meaning.
+    """
+    base = st.one_of(
+        st.booleans().map(lambda value: (value, lambda env, value=value: value)),
+        st.sampled_from(VARIABLE_NAMES).map(
+            lambda name: (Var(name), lambda env, name=name: env[name])
+        ),
+    )
+
+    def extend(children):
+        def combine_and(pair):
+            left, right = pair
+            return (
+                conj(left[0], right[0]),
+                lambda env, left=left, right=right: left[1](env) and right[1](env),
+            )
+
+        def combine_or(pair):
+            left, right = pair
+            return (
+                disj(left[0], right[0]),
+                lambda env, left=left, right=right: left[1](env) or right[1](env),
+            )
+
+        def combine_not(child):
+            return (neg(child[0]), lambda env, child=child: not child[1](env))
+
+        pairs = st.tuples(children, children)
+        return st.one_of(pairs.map(combine_and), pairs.map(combine_or), children.map(combine_not))
+
+    return st.recursive(base, extend, max_leaves=12)
+
+
+def all_assignments():
+    return st.fixed_dictionaries({name: st.booleans() for name in VARIABLE_NAMES})
+
+
+@settings(max_examples=200)
+@given(formula_strategy(), all_assignments())
+def test_simplified_formula_agrees_with_truth_table(pair, assignment):
+    formula, semantics = pair
+    assert evaluate(formula, assignment) == semantics(assignment)
+
+
+@settings(max_examples=200)
+@given(formula_strategy(), all_assignments())
+def test_substitution_then_evaluation_matches_direct_evaluation(pair, assignment):
+    formula, semantics = pair
+    partially = substitute(formula, {"p": assignment["p"], "q": assignment["q"]})
+    assert evaluate(partially, assignment) == semantics(assignment)
+
+
+@settings(max_examples=200)
+@given(formula_strategy())
+def test_variables_of_is_sound(pair):
+    formula, _ = pair
+    free = variables_of(formula)
+    assert free <= set(VARIABLE_NAMES)
+    # Binding every free variable yields a constant.
+    result = substitute(formula, {name: True for name in free})
+    if free:
+        assert isinstance(result, bool) or variables_of(result) == frozenset()
+
+
+@settings(max_examples=100)
+@given(formula_strategy(), all_assignments())
+def test_de_morgan_consistency(pair, assignment):
+    formula, semantics = pair
+    negated = neg(formula)
+    assert evaluate(negated, assignment) == (not semantics(assignment))

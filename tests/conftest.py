@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fragments.fragmenters import cut_random
+from repro.workloads.queries import clientele_example_tree, clientele_paper_fragmentation
+from repro.workloads.scenarios import build_ft1, build_ft2
+from repro.xmltree.nodes import ELEMENT, TEXT, XMLNode, XMLTree
+
+#: tags / texts used by the random-document helpers
+RANDOM_TAGS = ["a", "b", "c", "d", "e"]
+RANDOM_TEXTS = ["alpha", "beta", "gamma", "5", "12", "77"]
+
+
+def make_random_tree(seed: int, max_nodes: int = 60) -> XMLTree:
+    """A small random labelled tree, reproducible from *seed*."""
+    rng = random.Random(seed)
+    root = XMLNode(ELEMENT, tag=rng.choice(RANDOM_TAGS))
+    nodes = [root]
+    for _ in range(rng.randint(5, max_nodes)):
+        parent = rng.choice(nodes)
+        if rng.random() < 0.25:
+            parent.append(XMLNode(TEXT, value=rng.choice(RANDOM_TEXTS)))
+        else:
+            child = XMLNode(ELEMENT, tag=rng.choice(RANDOM_TAGS))
+            parent.append(child)
+            nodes.append(child)
+    return XMLTree(root)
+
+
+def make_random_fragmentation(tree: XMLTree, seed: int, max_fragments: int = 6):
+    """A random fragmentation of *tree* with nested cuts allowed."""
+    rng = random.Random(seed)
+    return cut_random(tree, fragment_count=rng.randint(1, max_fragments), seed=seed)
+
+
+@pytest.fixture
+def clientele_tree() -> XMLTree:
+    """The paper's Figure 1 tree."""
+    return clientele_example_tree()
+
+
+@pytest.fixture
+def clientele_fragmentation(clientele_tree):
+    """The paper's Figure 1 fragmentation (five fragments)."""
+    return clientele_paper_fragmentation(clientele_tree)
+
+
+@pytest.fixture(scope="session")
+def small_ft1_scenario():
+    """A small FT1 scenario (Experiment 1 layout) shared across tests."""
+    return build_ft1(fragment_count=4, total_bytes=60_000, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_ft2_scenario():
+    """A small FT2 scenario (Experiment 2/3 layout) shared across tests."""
+    return build_ft2(total_bytes=120_000, seed=5)

@@ -1,0 +1,115 @@
+"""Unit tests for the PaX2 combined pre/post-order pass."""
+
+import pytest
+
+from repro.booleans.formula import variables_of
+from repro.core.combined import evaluate_fragment_combined
+from repro.core.selection import concrete_root_init_vector, variable_init_vector
+from repro.xpath.parser import parse_xpath
+from repro.xpath.plan import compile_plan
+from repro.workloads.queries import (
+    CLIENTELE_QUERIES,
+    clientele_example_tree,
+    clientele_paper_fragmentation,
+)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return clientele_example_tree()
+
+
+@pytest.fixture(scope="module")
+def fragmentation(tree):
+    return clientele_paper_fragmentation(tree)
+
+
+def plan_for(query: str):
+    return compile_plan(parse_xpath(query), source=query)
+
+
+class TestCombinedPass:
+    def test_qualifier_free_plan_behaves_like_selection_pass(self, fragmentation):
+        plan = plan_for("client/name")
+        output = evaluate_fragment_combined(
+            fragmentation.root_fragment, plan,
+            concrete_root_init_vector(plan), is_root_fragment=True,
+        )
+        assert len(output.answers) == 3
+        assert not output.candidates
+        assert output.root_head == [False] * plan.n_items
+
+    def test_no_pending_placeholders_leak_out(self, fragmentation):
+        """Everything leaving the site must be free of qz: variables."""
+        plan = plan_for(CLIENTELE_QUERIES["us_nasdaq_brokers"])
+        for fragment_id in fragmentation.fragment_ids():
+            output = evaluate_fragment_combined(
+                fragmentation[fragment_id], plan,
+                concrete_root_init_vector(plan)
+                if fragment_id == "F0"
+                else variable_init_vector(plan, fragment_id),
+                is_root_fragment=(fragment_id == "F0"),
+            )
+            leaked = set()
+            for formula in output.candidates.values():
+                leaked |= variables_of(formula)
+            for vector in output.virtual_parent_vectors.values():
+                for entry in vector:
+                    leaked |= variables_of(entry)
+            for vector in (output.root_head, output.root_desc):
+                for entry in vector:
+                    leaked |= variables_of(entry)
+            assert not any(name.startswith("qz:") for name in leaked)
+
+    def test_candidate_variables_belong_to_known_families(self, fragmentation):
+        plan = plan_for(CLIENTELE_QUERIES["brokers_goog"])
+        for fragment_id in fragmentation.fragment_ids():
+            is_root = fragment_id == "F0"
+            output = evaluate_fragment_combined(
+                fragmentation[fragment_id], plan,
+                concrete_root_init_vector(plan) if is_root
+                else variable_init_vector(plan, fragment_id),
+                is_root_fragment=is_root,
+            )
+            children = set(fragmentation.children(fragment_id))
+            for formula in output.candidates.values():
+                for name in variables_of(formula):
+                    family, owner = name.split(":")[0], name.split(":")[1]
+                    if family == "sv":
+                        assert owner == fragment_id
+                    else:
+                        assert family in ("qh", "qd") and owner in children
+
+    def test_root_fragment_answers_and_candidates_with_local_qualifiers(self, fragmentation):
+        # Anna's and Kim's name nodes are decided locally (their country
+        # elements live in F0); Lisa's name stays a candidate because her
+        # client node has a virtual child (her broker fragment) whose label
+        # the root fragment cannot see — the qualifier might still hold there.
+        plan = plan_for('client[country/text() = "us"]/name')
+        output = evaluate_fragment_combined(
+            fragmentation.root_fragment, plan,
+            concrete_root_init_vector(plan), is_root_fragment=True,
+        )
+        assert len(output.answers) == 2  # Anna and Kim are US clients
+        assert len(output.candidates) == 1
+        children = set(fragmentation.children("F0"))
+        for formula in output.candidates.values():
+            owners = {name.split(":")[1] for name in variables_of(formula)}
+            assert owners <= children
+
+    def test_operations_and_units_counted(self, fragmentation):
+        plan = plan_for(CLIENTELE_QUERIES["us_nasdaq_brokers"])
+        output = evaluate_fragment_combined(
+            fragmentation.root_fragment, plan,
+            concrete_root_init_vector(plan), is_root_fragment=True,
+        )
+        assert output.operations > 0
+        assert output.root_vector_units == len(plan.head_item_ids) + len(plan.desc_item_ids)
+
+    def test_virtual_parent_vectors_cover_all_children(self, fragmentation):
+        plan = plan_for(CLIENTELE_QUERIES["us_nasdaq_brokers"])
+        output = evaluate_fragment_combined(
+            fragmentation.root_fragment, plan,
+            concrete_root_init_vector(plan), is_root_fragment=True,
+        )
+        assert set(output.virtual_parent_vectors) == set(fragmentation.children("F0"))

@@ -1,0 +1,88 @@
+"""Property-based correctness: the distributed algorithms equal the
+centralized ground truth on random documents, random fragmentations and
+random queries — the paper's correctness claim ("no matter how T is
+fragmented and distributed").
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.naive import run_naive_centralized
+from repro.core.pax2 import run_pax2
+from repro.core.pax3 import run_pax3
+from repro.distributed.placement import round_robin_placement
+from repro.xpath.centralized import evaluate_centralized
+from repro.xpath.generator import GeneratorConfig, QueryGenerator
+from repro.fragments.fragmenters import cut_random
+
+from tests.conftest import RANDOM_TAGS, RANDOM_TEXTS, make_random_fragmentation, make_random_tree
+
+
+def make_query(seed: int):
+    config = GeneratorConfig(text_values=RANDOM_TEXTS[:3], numbers=(5, 12, 50))
+    return QueryGenerator(RANDOM_TAGS, seed=seed, config=config).query()
+
+
+@settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    tree_seed=st.integers(0, 5_000),
+    frag_seed=st.integers(0, 5_000),
+    query_seed=st.integers(0, 5_000),
+    use_annotations=st.booleans(),
+)
+def test_pax2_equals_centralized(tree_seed, frag_seed, query_seed, use_annotations):
+    tree = make_random_tree(tree_seed, max_nodes=45)
+    fragmentation = make_random_fragmentation(tree, frag_seed)
+    query = make_query(query_seed)
+    expected = evaluate_centralized(tree, query).answer_ids
+    stats = run_pax2(fragmentation, query, use_annotations=use_annotations)
+    assert stats.answer_ids == expected
+
+
+@settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    tree_seed=st.integers(0, 5_000),
+    frag_seed=st.integers(0, 5_000),
+    query_seed=st.integers(0, 5_000),
+    use_annotations=st.booleans(),
+)
+def test_pax3_equals_centralized(tree_seed, frag_seed, query_seed, use_annotations):
+    tree = make_random_tree(tree_seed, max_nodes=45)
+    fragmentation = make_random_fragmentation(tree, frag_seed)
+    query = make_query(query_seed)
+    expected = evaluate_centralized(tree, query).answer_ids
+    stats = run_pax3(fragmentation, query, use_annotations=use_annotations)
+    assert stats.answer_ids == expected
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    tree_seed=st.integers(0, 5_000),
+    frag_seed=st.integers(0, 5_000),
+    query_seed=st.integers(0, 5_000),
+    site_count=st.integers(1, 4),
+)
+def test_visit_bounds_hold_for_any_placement(tree_seed, frag_seed, query_seed, site_count):
+    tree = make_random_tree(tree_seed, max_nodes=40)
+    fragmentation = make_random_fragmentation(tree, frag_seed)
+    placement = round_robin_placement(fragmentation, site_count=site_count)
+    query = make_query(query_seed)
+    pax3 = run_pax3(fragmentation, query, placement=placement)
+    pax2 = run_pax2(fragmentation, query, placement=placement)
+    assert pax3.max_site_visits <= 3
+    assert pax2.max_site_visits <= 2
+    assert pax3.answer_ids == pax2.answer_ids
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_all_algorithms_agree_on_seeded_corpus(seed):
+    tree = make_random_tree(seed, max_nodes=60)
+    fragmentation = make_random_fragmentation(tree, seed + 1)
+    query = make_query(seed + 2)
+    expected = evaluate_centralized(tree, query).answer_ids
+    assert run_pax3(fragmentation, query).answer_ids == expected
+    assert run_pax2(fragmentation, query).answer_ids == expected
+    assert run_pax3(fragmentation, query, use_annotations=True).answer_ids == expected
+    assert run_pax2(fragmentation, query, use_annotations=True).answer_ids == expected
+    assert run_naive_centralized(fragmentation, query).answer_ids == expected

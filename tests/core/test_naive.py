@@ -1,0 +1,62 @@
+"""Tests for the NaiveCentralized baseline."""
+
+import pytest
+
+from repro.core.naive import run_naive_centralized
+from repro.core.pax2 import run_pax2
+from repro.xpath.centralized import evaluate_centralized
+from repro.workloads.queries import (
+    CLIENTELE_QUERIES,
+    PAPER_QUERIES,
+    clientele_example_tree,
+    clientele_paper_fragmentation,
+)
+
+DATA_QUERIES = {name: q for name, q in CLIENTELE_QUERIES.items() if name != "boolean_goog"}
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return clientele_example_tree()
+
+
+@pytest.fixture(scope="module")
+def fragmentation(tree):
+    return clientele_paper_fragmentation(tree)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("query_name", sorted(DATA_QUERIES))
+    def test_matches_centralized(self, tree, fragmentation, query_name):
+        query = DATA_QUERIES[query_name]
+        stats = run_naive_centralized(fragmentation, query)
+        assert stats.answer_ids == evaluate_centralized(tree, query).answer_ids
+
+    def test_matches_pax2_on_xmark(self, small_ft2_scenario):
+        scenario = small_ft2_scenario
+        for query in PAPER_QUERIES.values():
+            naive = run_naive_centralized(
+                scenario.fragmentation, query, placement=scenario.placement
+            )
+            pax2 = run_pax2(scenario.fragmentation, query, placement=scenario.placement)
+            assert naive.answer_ids == pax2.answer_ids
+
+
+class TestCosts:
+    def test_ships_the_whole_tree(self, tree, fragmentation):
+        stats = run_naive_centralized(fragmentation, DATA_QUERIES["client_names"])
+        root_fragment_nodes = fragmentation.root_fragment.node_count()
+        # Everything except the coordinator's own fragment crosses the network.
+        assert stats.communication_units >= tree.size() - root_fragment_nodes
+
+    def test_traffic_dwarfs_partial_evaluation(self, fragmentation):
+        query = DATA_QUERIES["brokers_goog"]
+        naive = run_naive_centralized(fragmentation, query)
+        pax2 = run_pax2(fragmentation, query)
+        assert naive.communication_units > pax2.communication_units
+
+    def test_single_visit_and_single_stage(self, fragmentation):
+        stats = run_naive_centralized(fragmentation, DATA_QUERIES["client_names"])
+        assert stats.max_site_visits == 1
+        assert [stage.name for stage in stats.stages] == ["ship-and-evaluate"]
+        assert stats.stages[0].coordinator_seconds > 0.0

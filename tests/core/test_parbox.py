@@ -1,0 +1,68 @@
+"""Tests for the ParBoX Boolean-query algorithm."""
+
+import pytest
+
+from repro.core.parbox import as_boolean_query, run_parbox
+from repro.xpath.centralized import evaluate_boolean_centralized
+from repro.xpath.errors import XPathError
+from repro.workloads.queries import clientele_example_tree, clientele_paper_fragmentation
+
+BOOLEAN_QUERIES = [
+    ('.[//stock/code/text() = "goog"]', True),
+    ('.[//stock/code/text() = "msft"]', False),
+    ('.[//client/country/text() = "canada"]', True),
+    ('.[//stock[buy > 400]]', False),
+    ('.[//stock[buy > 380] and //client/country/text() = "canada"]', True),
+    ('.[not(//broker[name/text() = "chase"])]', True),
+    ('.[client/broker]', True),
+]
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return clientele_example_tree()
+
+
+@pytest.fixture(scope="module")
+def fragmentation(tree):
+    return clientele_paper_fragmentation(tree)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("query,expected", BOOLEAN_QUERIES)
+    def test_matches_centralized_boolean(self, tree, fragmentation, query, expected):
+        assert evaluate_boolean_centralized(tree, query) is expected
+        stats = run_parbox(fragmentation, query)
+        assert bool(stats.answer_ids) is expected
+        assert expected == (stats.notes == "boolean result: True")
+
+    def test_rejects_data_selecting_queries(self, fragmentation):
+        with pytest.raises(XPathError):
+            run_parbox(fragmentation, "client/broker/name")
+
+
+class TestGuarantees:
+    def test_single_visit_per_site(self, fragmentation):
+        for query, _ in BOOLEAN_QUERIES:
+            stats = run_parbox(fragmentation, query)
+            assert stats.max_site_visits == 1
+
+    def test_communication_independent_of_answers(self, fragmentation):
+        # Boolean queries ship vectors only, never data.
+        stats = run_parbox(fragmentation, BOOLEAN_QUERIES[0][0])
+        assert stats.answer_nodes_shipped == 0
+        assert stats.communication_units > 0
+
+    def test_single_stage(self, fragmentation):
+        stats = run_parbox(fragmentation, BOOLEAN_QUERIES[0][0])
+        assert [stage.name for stage in stats.stages] == ["qualifiers"]
+
+
+class TestHelpers:
+    def test_as_boolean_query_wraps_bare_qualifiers(self):
+        assert as_boolean_query('//a/text() = "x"') == '.[//a/text() = "x"]'
+        assert as_boolean_query('[//a]') == ".[//a]"
+
+    def test_wrapped_queries_run(self, fragmentation):
+        stats = run_parbox(fragmentation, as_boolean_query('//stock/code/text() = "goog"'))
+        assert bool(stats.answer_ids) is True

@@ -1,0 +1,109 @@
+"""Tests for algorithm PaX2: correctness, the two-visit bound, equivalence
+with PaX3."""
+
+import pytest
+
+from repro.core.pax2 import run_pax2
+from repro.core.pax3 import run_pax3
+from repro.distributed.placement import round_robin_placement
+from repro.xpath.centralized import evaluate_centralized
+from repro.workloads.queries import (
+    CLIENTELE_QUERIES,
+    PAPER_QUERIES,
+    clientele_example_tree,
+    clientele_paper_fragmentation,
+)
+
+DATA_QUERIES = {name: q for name, q in CLIENTELE_QUERIES.items() if name != "boolean_goog"}
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return clientele_example_tree()
+
+
+@pytest.fixture(scope="module")
+def fragmentation(tree):
+    return clientele_paper_fragmentation(tree)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("query_name", sorted(DATA_QUERIES))
+    @pytest.mark.parametrize("use_annotations", [False, True])
+    def test_matches_centralized_on_paper_example(
+        self, tree, fragmentation, query_name, use_annotations
+    ):
+        query = DATA_QUERIES[query_name]
+        expected = evaluate_centralized(tree, query).answer_ids
+        stats = run_pax2(fragmentation, query, use_annotations=use_annotations)
+        assert stats.answer_ids == expected
+
+    @pytest.mark.parametrize("query_name", sorted(PAPER_QUERIES))
+    @pytest.mark.parametrize("use_annotations", [False, True])
+    def test_matches_centralized_on_xmark(self, small_ft2_scenario, query_name, use_annotations):
+        scenario = small_ft2_scenario
+        query = PAPER_QUERIES[query_name]
+        expected = evaluate_centralized(scenario.tree, query).answer_ids
+        stats = run_pax2(
+            scenario.fragmentation, query,
+            placement=scenario.placement, use_annotations=use_annotations,
+        )
+        assert stats.answer_ids == expected
+
+    @pytest.mark.parametrize("query_name", sorted(DATA_QUERIES))
+    def test_agrees_with_pax3(self, fragmentation, query_name):
+        query = DATA_QUERIES[query_name]
+        assert (
+            run_pax2(fragmentation, query).answer_ids
+            == run_pax3(fragmentation, query).answer_ids
+        )
+
+    def test_multiple_fragments_per_site(self, tree, fragmentation):
+        placement = round_robin_placement(fragmentation, site_count=3)
+        for query in DATA_QUERIES.values():
+            expected = evaluate_centralized(tree, query).answer_ids
+            assert run_pax2(fragmentation, query, placement=placement).answer_ids == expected
+
+
+class TestVisitGuarantees:
+    @pytest.mark.parametrize("query_name", sorted(DATA_QUERIES))
+    def test_at_most_two_visits(self, fragmentation, query_name):
+        stats = run_pax2(fragmentation, DATA_QUERIES[query_name])
+        assert 1 <= stats.max_site_visits <= 2
+
+    def test_one_visit_when_no_candidates_remain(self, fragmentation):
+        # Qualifier-free query with annotations: concrete initialization, no
+        # second visit anywhere.
+        stats = run_pax2(fragmentation, "client/broker/name", use_annotations=True)
+        assert stats.max_site_visits == 1
+        assert [stage.name for stage in stats.stages] == ["combined"]
+
+    def test_xmark_queries_respect_bound(self, small_ft2_scenario):
+        for query in PAPER_QUERIES.values():
+            stats = run_pax2(
+                small_ft2_scenario.fragmentation, query,
+                placement=small_ft2_scenario.placement,
+            )
+            assert stats.max_site_visits <= 2
+
+
+class TestAccounting:
+    def test_pax2_communication_not_worse_than_pax3(self, fragmentation):
+        for query in DATA_QUERIES.values():
+            pax2 = run_pax2(fragmentation, query)
+            pax3 = run_pax3(fragmentation, query)
+            assert pax2.communication_units <= pax3.communication_units
+
+    def test_stage_structure(self, fragmentation):
+        stats = run_pax2(fragmentation, DATA_QUERIES["us_nasdaq_brokers"])
+        names = [stage.name for stage in stats.stages]
+        assert names[0] == "combined"
+        assert len(names) <= 2
+
+    def test_pruning_report(self, fragmentation):
+        stats = run_pax2(fragmentation, CLIENTELE_QUERIES["client_names"], use_annotations=True)
+        assert set(stats.fragments_pruned) == {"F1", "F2", "F3", "F4"}
+
+    def test_empty_answer(self, fragmentation):
+        stats = run_pax2(fragmentation, 'client[country/text() = "france"]/name')
+        assert stats.answer_ids == []

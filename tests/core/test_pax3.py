@@ -1,0 +1,135 @@
+"""Tests for algorithm PaX3: correctness, visits, staging, communication."""
+
+import pytest
+
+from repro.core.pax3 import run_pax3
+from repro.distributed.placement import round_robin_placement, single_site_placement
+from repro.xpath.centralized import evaluate_centralized
+from repro.workloads.queries import (
+    CLIENTELE_QUERIES,
+    PAPER_QUERIES,
+    clientele_example_tree,
+    clientele_paper_fragmentation,
+)
+
+DATA_QUERIES = {name: q for name, q in CLIENTELE_QUERIES.items() if name != "boolean_goog"}
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return clientele_example_tree()
+
+
+@pytest.fixture(scope="module")
+def fragmentation(tree):
+    return clientele_paper_fragmentation(tree)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("query_name", sorted(DATA_QUERIES))
+    @pytest.mark.parametrize("use_annotations", [False, True])
+    def test_matches_centralized_on_paper_example(
+        self, tree, fragmentation, query_name, use_annotations
+    ):
+        query = DATA_QUERIES[query_name]
+        expected = evaluate_centralized(tree, query).answer_ids
+        stats = run_pax3(fragmentation, query, use_annotations=use_annotations)
+        assert stats.answer_ids == expected
+
+    @pytest.mark.parametrize("query_name", sorted(PAPER_QUERIES))
+    def test_matches_centralized_on_xmark(self, small_ft2_scenario, query_name):
+        scenario = small_ft2_scenario
+        query = PAPER_QUERIES[query_name]
+        expected = evaluate_centralized(scenario.tree, query).answer_ids
+        stats = run_pax3(scenario.fragmentation, query, placement=scenario.placement)
+        assert stats.answer_ids == expected
+
+    def test_results_identical_with_and_without_annotations(self, fragmentation):
+        for query in DATA_QUERIES.values():
+            plain = run_pax3(fragmentation, query, use_annotations=False)
+            optimized = run_pax3(fragmentation, query, use_annotations=True)
+            assert plain.answer_ids == optimized.answer_ids
+
+    def test_multiple_fragments_per_site(self, tree, fragmentation):
+        placement = round_robin_placement(fragmentation, site_count=2)
+        for query in DATA_QUERIES.values():
+            expected = evaluate_centralized(tree, query).answer_ids
+            stats = run_pax3(fragmentation, query, placement=placement)
+            assert stats.answer_ids == expected
+
+    def test_single_site_placement(self, tree, fragmentation):
+        placement = single_site_placement(fragmentation)
+        query = DATA_QUERIES["brokers_goog"]
+        stats = run_pax3(fragmentation, query, placement=placement)
+        assert stats.answer_ids == evaluate_centralized(tree, query).answer_ids
+
+
+class TestVisitGuarantees:
+    def test_at_most_three_visits_with_qualifiers(self, fragmentation):
+        stats = run_pax3(fragmentation, DATA_QUERIES["brokers_goog"])
+        assert 1 <= stats.max_site_visits <= 3
+
+    def test_at_most_two_visits_without_qualifiers(self, fragmentation):
+        # No qualifiers: stage 1 is skipped entirely.
+        stats = run_pax3(fragmentation, "client/broker/name")
+        assert stats.max_site_visits <= 2
+        assert [stage.name for stage in stats.stages][0] == "selection"
+
+    def test_annotations_plus_no_qualifiers_single_visit(self, fragmentation):
+        # Concrete initialization removes candidates, so stage 3 vanishes.
+        stats = run_pax3(fragmentation, "client/broker/name", use_annotations=True)
+        assert stats.max_site_visits == 1
+        assert [stage.name for stage in stats.stages] == ["selection"]
+
+    def test_visit_bound_independent_of_fragments_per_site(self, fragmentation):
+        placement = single_site_placement(fragmentation)
+        stats = run_pax3(fragmentation, DATA_QUERIES["brokers_goog"], placement=placement)
+        assert stats.max_site_visits <= 3
+
+    def test_stage_names_with_qualifiers(self, fragmentation):
+        stats = run_pax3(fragmentation, DATA_QUERIES["us_nasdaq_brokers"])
+        names = [stage.name for stage in stats.stages]
+        assert names[0] == "qualifiers" and names[1] == "selection"
+        assert len(names) <= 3
+
+
+class TestAccounting:
+    def test_only_answers_are_shipped_as_data(self, fragmentation):
+        stats = run_pax3(fragmentation, DATA_QUERIES["brokers_goog"])
+        assert stats.answer_nodes_shipped >= stats.answer_count
+        # Communication stays far below the document size (72 nodes answer-only).
+        assert stats.communication_units < 10 * len(str(DATA_QUERIES["brokers_goog"])) * len(
+            fragmentation
+        )
+
+    def test_pruned_fragments_reported(self, fragmentation):
+        stats = run_pax3(fragmentation, CLIENTELE_QUERIES["client_names"], use_annotations=True)
+        assert set(stats.fragments_pruned) == {"F1", "F2", "F3", "F4"}
+        assert stats.fragments_evaluated == ["F0"]
+
+    def test_stage_times_populated(self, fragmentation):
+        stats = run_pax3(fragmentation, DATA_QUERIES["us_nasdaq_brokers"])
+        for stage in stats.stages:
+            assert stage.parallel_seconds >= 0.0
+            assert stage.total_seconds >= stage.parallel_seconds
+            assert stage.sites_involved >= 1
+
+    def test_answer_ids_sorted_in_document_order(self, fragmentation):
+        stats = run_pax3(fragmentation, DATA_QUERIES["brokers_goog"])
+        assert stats.answer_ids == sorted(stats.answer_ids)
+
+    def test_empty_answer_query(self, fragmentation):
+        stats = run_pax3(fragmentation, '//broker[//stock/code/text() = "msft"]/name')
+        assert stats.answer_ids == []
+        assert stats.answer_nodes_shipped == 0
+
+
+class TestDegenerateFragmentations:
+    def test_single_fragment_tree(self, tree):
+        from repro.fragments.fragment_tree import build_fragmentation
+
+        fragmentation = build_fragmentation(tree, [])
+        query = DATA_QUERIES["brokers_goog"]
+        stats = run_pax3(fragmentation, query)
+        assert stats.answer_ids == evaluate_centralized(tree, query).answer_ids
+        assert stats.communication_units == 0  # everything is local to the coordinator

@@ -1,0 +1,141 @@
+"""Unit tests for the XPath-annotation optimization (pruning and concrete
+initialization)."""
+
+import pytest
+
+from repro.core.pruning import (
+    annotation_init_vector,
+    initial_vector_from_labels,
+    prefix_vectors_along_path,
+    relevant_fragments,
+)
+from repro.xpath.centralized import evaluate_centralized
+from repro.xpath.parser import parse_xpath
+from repro.xpath.plan import compile_plan
+from repro.workloads.queries import (
+    CLIENTELE_QUERIES,
+    PAPER_QUERIES,
+    clientele_example_tree,
+    clientele_paper_fragmentation,
+)
+from repro.workloads.scenarios import build_ft2
+
+
+def plan_for(query: str):
+    return compile_plan(parse_xpath(query), source=query)
+
+
+@pytest.fixture(scope="module")
+def clientele_frag():
+    return clientele_paper_fragmentation(clientele_example_tree())
+
+
+@pytest.fixture(scope="module")
+def ft2():
+    return build_ft2(total_bytes=80_000, seed=5)
+
+
+class TestExample51:
+    """The paper's Example 5.1: query client/name over the Figure 1 tree."""
+
+    def test_only_root_fragment_kept(self, clientele_frag):
+        decision = relevant_fragments(clientele_frag, plan_for(CLIENTELE_QUERIES["client_names"]))
+        assert decision.kept == {"F0"}
+        assert decision.pruned == set(clientele_frag.fragment_ids()) - {"F0"}
+        assert decision.reasons["F0"] == "root fragment"
+
+    def test_broker_query_keeps_broker_fragments(self, clientele_frag):
+        decision = relevant_fragments(clientele_frag, plan_for("client/broker/name"))
+        kept_tags = {clientele_frag[fid].root.tag for fid in decision.kept if fid != "F0"}
+        assert kept_tags == {"broker"}
+        pruned_tags = {clientele_frag[fid].root.tag for fid in decision.pruned}
+        assert pruned_tags == {"market"}
+
+    def test_descendant_query_keeps_everything(self, clientele_frag):
+        decision = relevant_fragments(clientele_frag, plan_for("//stock/code"))
+        assert decision.kept == set(clientele_frag.fragment_ids())
+
+    def test_qualifier_scope_keeps_fragments_below_qualified_nodes(self, clientele_frag):
+        # The market fragments contain no name answers, but the broker
+        # qualifier needs data inside them.
+        decision = relevant_fragments(
+            clientele_frag, plan_for(CLIENTELE_QUERIES["brokers_goog"])
+        )
+        assert decision.kept == set(clientele_frag.fragment_ids())
+
+
+class TestFT2Pruning:
+    """Experiment 2's pruning effects (Section 6)."""
+
+    def test_q1_keeps_only_whole_site_fragments(self, ft2):
+        decision = relevant_fragments(ft2.fragmentation, plan_for(PAPER_QUERIES["Q1"]))
+        # 4 of the 10 fragments survive: the root fragment, the two partially
+        # fragmented sites' remainders, and the whole site D.
+        assert len(decision.kept) == 4
+        kept_tags = {ft2.fragmentation[fid].root.tag for fid in decision.kept}
+        assert kept_tags == {"sites", "site"}
+
+    def test_q2_adds_the_open_auction_fragments(self, ft2):
+        decision = relevant_fragments(ft2.fragmentation, plan_for(PAPER_QUERIES["Q2"]))
+        assert len(decision.kept) == 6
+        open_auction_fragments = {
+            fid for fid in ft2.fragmentation.fragment_ids()
+            if ft2.fragmentation[fid].root.tag == "open_auctions"
+        }
+        assert open_auction_fragments <= decision.kept
+
+    def test_q3_prunes_non_people_fragments(self, ft2):
+        decision = relevant_fragments(ft2.fragmentation, plan_for(PAPER_QUERIES["Q3"]))
+        assert len(decision.kept) == 4
+
+    def test_q4_descendant_keeps_everything(self, ft2):
+        decision = relevant_fragments(ft2.fragmentation, plan_for(PAPER_QUERIES["Q4"]))
+        assert decision.kept == set(ft2.fragmentation.fragment_ids())
+
+
+class TestPruningSoundness:
+    """Pruned runs must return exactly the centralized answer."""
+
+    @pytest.mark.parametrize("query_name", sorted(PAPER_QUERIES))
+    def test_pruned_pax2_matches_centralized(self, ft2, query_name):
+        from repro.core.pax2 import run_pax2
+
+        query = PAPER_QUERIES[query_name]
+        expected = evaluate_centralized(ft2.tree, query).answer_ids
+        stats = run_pax2(ft2.fragmentation, query, placement=ft2.placement, use_annotations=True)
+        assert stats.answer_ids == expected
+
+    def test_ancestors_of_kept_fragments_are_kept(self, ft2):
+        for query in PAPER_QUERIES.values():
+            decision = relevant_fragments(ft2.fragmentation, plan_for(query))
+            for fragment_id in decision.kept:
+                for ancestor in ft2.fragmentation.ancestors(fragment_id):
+                    assert ancestor in decision.kept
+
+
+class TestConcreteInitialization:
+    def test_prefix_vectors_require_labels(self):
+        with pytest.raises(ValueError):
+            prefix_vectors_along_path(plan_for("a/b"), [])
+
+    def test_initial_vector_matches_actual_parent_vector(self, clientele_frag):
+        # For a qualifier-free query the concrete initialization must equal
+        # the selection vector the parent node would compute.
+        plan = plan_for("client/broker/market/stock")
+        for fragment_id in clientele_frag.fragment_ids():
+            if fragment_id == "F0":
+                continue
+            vector = annotation_init_vector(clientele_frag, plan, fragment_id)
+            parent = clientele_frag[fragment_id].root.parent
+            depth = parent.depth()
+            labels = parent.root_path_labels()
+            recomputed = prefix_vectors_along_path(plan, labels, assume_qualifiers=False)[depth]
+            assert vector == recomputed
+
+    def test_initial_vector_rejects_qualified_plans(self):
+        with pytest.raises(ValueError):
+            initial_vector_from_labels(plan_for("a[b]/c"), ["a", "b"])
+
+    def test_root_fragment_initialization(self):
+        plan = plan_for("/a/b")
+        assert initial_vector_from_labels(plan, ["a"]) == [True, False, False]

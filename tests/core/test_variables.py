@@ -1,0 +1,41 @@
+"""Unit tests for the variable naming scheme."""
+
+from repro.booleans.formula import Var
+from repro.core.variables import (
+    desc_var,
+    desc_var_name,
+    head_var,
+    head_var_name,
+    pending_qual_var,
+    pending_qual_var_name,
+    selection_var,
+    selection_var_name,
+)
+
+
+class TestNames:
+    def test_families_are_distinguishable(self):
+        names = {
+            head_var_name("F1", 3),
+            desc_var_name("F1", 3),
+            selection_var_name("F1", 3),
+            pending_qual_var_name(1, 3),
+        }
+        assert len(names) == 4
+        prefixes = {name.split(":")[0] for name in names}
+        assert prefixes == {"qh", "qd", "sv", "qz"}
+
+    def test_var_constructors_wrap_names(self):
+        assert head_var("F2", 0) == Var(head_var_name("F2", 0))
+        assert desc_var("F2", 0) == Var(desc_var_name("F2", 0))
+        assert selection_var("F2", 1) == Var(selection_var_name("F2", 1))
+        assert pending_qual_var(17, 2) == Var(pending_qual_var_name(17, 2))
+
+    def test_names_encode_owner_and_index(self):
+        assert head_var_name("F9", 4) == "qh:F9:4"
+        assert selection_var_name("F0", 0) == "sv:F0:0"
+        assert pending_qual_var_name(123, 1) == "qz:123:1"
+
+    def test_distinct_owners_never_collide(self):
+        assert head_var_name("F1", 2) != head_var_name("F12", 2)
+        assert selection_var_name("F1", 12) != selection_var_name("F11", 2)

@@ -1,0 +1,43 @@
+"""Unit tests for placement policies."""
+
+import pytest
+
+from repro.distributed.placement import (
+    explicit_placement,
+    one_site_per_fragment,
+    round_robin_placement,
+    single_site_placement,
+)
+from repro.workloads.queries import clientele_example_tree, clientele_paper_fragmentation
+
+
+@pytest.fixture
+def fragmentation():
+    return clientele_paper_fragmentation(clientele_example_tree())
+
+
+class TestPlacements:
+    def test_one_site_per_fragment(self, fragmentation):
+        placement = one_site_per_fragment(fragmentation)
+        assert len(set(placement.values())) == len(fragmentation)
+        assert placement["F0"] == "S0"
+
+    def test_round_robin(self, fragmentation):
+        placement = round_robin_placement(fragmentation, site_count=2)
+        assert set(placement.values()) == {"S0", "S1"}
+        counts = [list(placement.values()).count(site) for site in ("S0", "S1")]
+        assert abs(counts[0] - counts[1]) <= 1
+
+    def test_round_robin_requires_positive_count(self, fragmentation):
+        with pytest.raises(ValueError):
+            round_robin_placement(fragmentation, site_count=0)
+
+    def test_single_site(self, fragmentation):
+        placement = single_site_placement(fragmentation, site_id="only")
+        assert set(placement.values()) == {"only"}
+
+    def test_explicit_placement_validates_coverage(self, fragmentation):
+        full = {fid: "S9" for fid in fragmentation.fragment_ids()}
+        assert explicit_placement(fragmentation, full) == full
+        with pytest.raises(ValueError):
+            explicit_placement(fragmentation, {"F0": "S9"})

@@ -1,0 +1,69 @@
+"""Unit tests for XPath-annotations on fragment-tree edges."""
+
+import pytest
+
+from repro.fragments.annotations import annotation_table, edge_annotation, root_label_path
+from repro.workloads.queries import clientele_example_tree, clientele_paper_fragmentation
+
+
+@pytest.fixture
+def fragmentation():
+    return clientele_paper_fragmentation(clientele_example_tree())
+
+
+class TestEdgeAnnotations:
+    def test_root_fragment_has_empty_annotation(self, fragmentation):
+        assert edge_annotation(fragmentation, "F0") == []
+
+    def test_broker_fragments_annotated_client_broker(self, fragmentation):
+        # Every fragment rooted at a broker hangs off F0 via client/broker,
+        # exactly like the (F0, F1) edge in the paper's Figure 6.
+        for fragment_id in fragmentation.fragment_ids():
+            fragment = fragmentation[fragment_id]
+            if fragment.root.tag == "broker":
+                assert edge_annotation(fragmentation, fragment_id) == ["client", "broker"]
+
+    def test_nested_market_fragment_annotated_market(self, fragmentation):
+        # Anna's NASDAQ market is a sub-fragment of her broker fragment,
+        # matching the (F1, F2) = "market" edge of the paper.
+        nested = [
+            fragment_id
+            for fragment_id in fragmentation.fragment_ids()
+            if fragmentation.parent(fragment_id) not in (None, "F0")
+        ]
+        assert len(nested) == 1
+        assert edge_annotation(fragmentation, nested[0]) == ["market"]
+
+    def test_kim_market_fragment_annotated_from_root(self, fragmentation):
+        top_level_markets = [
+            fragment_id
+            for fragment_id in fragmentation.fragment_ids()
+            if fragmentation.parent(fragment_id) == "F0"
+            and fragmentation[fragment_id].root.tag == "market"
+        ]
+        assert len(top_level_markets) == 1
+        assert edge_annotation(fragmentation, top_level_markets[0]) == [
+            "client", "broker", "market",
+        ]
+
+    def test_annotation_table_covers_every_edge(self, fragmentation):
+        table = annotation_table(fragmentation)
+        assert set(table) == set(fragmentation.fragment_ids()) - {"F0"}
+        for labels in table.values():
+            assert labels
+
+
+class TestRootLabelPath:
+    def test_path_is_concatenation_of_edge_annotations(self, fragmentation):
+        for fragment_id in fragmentation.fragment_ids():
+            path = root_label_path(fragmentation, fragment_id)
+            expected = []
+            chain = list(reversed([fragment_id] + fragmentation.ancestors(fragment_id)))
+            for fid in chain:
+                expected.extend(edge_annotation(fragmentation, fid))
+            assert path == expected
+
+    def test_path_matches_actual_node_path(self, fragmentation):
+        for fragment_id in fragmentation.fragment_ids():
+            root = fragmentation[fragment_id].root
+            assert root_label_path(fragmentation, fragment_id) == root.root_path_labels()[1:]

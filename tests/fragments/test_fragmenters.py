@@ -1,0 +1,116 @@
+"""Unit tests for the fragmentation strategies."""
+
+import pytest
+
+from repro.fragments.fragment_tree import FragmentationError
+from repro.fragments.fragmenters import (
+    cut_at_nodes,
+    cut_by_size,
+    cut_matching,
+    cut_random,
+    cut_top_level,
+)
+from repro.workloads.queries import clientele_example_tree
+from repro.xmltree.builder import element
+from repro.xmltree.nodes import XMLTree
+
+from tests.conftest import make_random_tree
+
+
+@pytest.fixture
+def clientele():
+    return clientele_example_tree()
+
+
+class TestCutAtNodes:
+    def test_explicit_cuts(self, clientele):
+        brokers = [n.node_id for n in clientele.iter_elements() if n.tag == "broker"]
+        fragmentation = cut_at_nodes(clientele, brokers)
+        fragmentation.validate()
+        assert len(fragmentation) == len(brokers) + 1
+
+
+class TestCutTopLevel:
+    def test_first_child_stays_with_root(self, clientele):
+        fragmentation = cut_top_level(clientele)
+        fragmentation.validate()
+        # three clients -> root fragment keeps the first, two more fragments
+        assert len(fragmentation) == 3
+
+    def test_all_children_cut(self, clientele):
+        fragmentation = cut_top_level(clientele, keep_first_with_root=False)
+        assert len(fragmentation) == 4
+        assert fragmentation.root_fragment.element_count() == 1
+
+
+class TestCutMatching:
+    def test_cut_at_query_matches(self, clientele):
+        fragmentation = cut_matching(clientele, "client/broker/market")
+        fragmentation.validate()
+        assert len(fragmentation) == 5  # four markets + root fragment
+        for fragment_id in fragmentation.fragment_ids():
+            if fragment_id != "F0":
+                assert fragmentation[fragment_id].root.tag == "market"
+
+    def test_query_without_matches_rejected(self, clientele):
+        with pytest.raises(FragmentationError):
+            cut_matching(clientele, "client/nonexistent")
+
+
+class TestCutBySize:
+    def test_fragments_respect_budget(self, clientele):
+        fragmentation = cut_by_size(clientele, max_elements=10)
+        fragmentation.validate()
+        assert len(fragmentation) > 1
+        for fragment in fragmentation:
+            if fragment.fragment_id != fragmentation.root_fragment_id:
+                # A cut subtree's own weight stays close to the budget.
+                assert fragment.element_count() <= 2 * 10
+
+    def test_budget_larger_than_tree_yields_single_fragment(self, clientele):
+        fragmentation = cut_by_size(clientele, max_elements=10_000)
+        assert len(fragmentation) == 1
+
+    def test_invalid_budget_rejected(self, clientele):
+        with pytest.raises(ValueError):
+            cut_by_size(clientele, max_elements=0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_validates_on_random_trees(self, seed):
+        tree = make_random_tree(seed, max_nodes=120)
+        cut_by_size(tree, max_elements=15).validate()
+
+
+class TestCutRandom:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_fragmentations_are_valid(self, seed):
+        tree = make_random_tree(seed, max_nodes=80)
+        fragmentation = cut_random(tree, fragment_count=4, seed=seed)
+        fragmentation.validate()
+        assert 1 <= len(fragmentation) <= 4
+
+    def test_deterministic_per_seed(self, clientele):
+        first = cut_random(clientele, 4, seed=1).fragment_root_ids
+        second = cut_random(clientele, 4, seed=1).fragment_root_ids
+        assert first == second
+
+    def test_single_fragment_request(self, clientele):
+        assert len(cut_random(clientele, 1, seed=0)) == 1
+
+    def test_exclude_predicate(self, clientele):
+        fragmentation = cut_random(
+            clientele, 5, seed=2, exclude=lambda node: node.tag != "broker"
+        )
+        for fragment_id in fragmentation.fragment_ids():
+            if fragment_id != "F0":
+                assert fragmentation[fragment_id].root.tag == "broker"
+
+    def test_invalid_count_rejected(self, clientele):
+        with pytest.raises(ValueError):
+            cut_random(clientele, 0)
+
+    def test_more_fragments_than_nodes(self):
+        tree = XMLTree(element("a", element("b")))
+        fragmentation = cut_random(tree, fragment_count=10, seed=0)
+        fragmentation.validate()
+        assert len(fragmentation) == 2

@@ -1,0 +1,96 @@
+"""Integration tests replaying the paper's worked examples end to end.
+
+Each test cites the paper section it reproduces, so a reviewer can follow
+the prose with the code open.
+"""
+
+import pytest
+
+from repro.core.engine import DistributedQueryEngine
+from repro.core.parbox import run_parbox
+from repro.core.pax2 import run_pax2
+from repro.core.pax3 import run_pax3
+from repro.workloads.queries import (
+    CLIENTELE_QUERIES,
+    clientele_example_tree,
+    clientele_paper_fragmentation,
+)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return clientele_example_tree()
+
+
+@pytest.fixture(scope="module")
+def fragmentation(tree):
+    return clientele_paper_fragmentation(tree)
+
+
+def names(tree, stats):
+    return [tree.node(node_id).text() for node_id in stats.answer_ids]
+
+
+class TestSection1Introduction:
+    def test_boolean_query_q(self, fragmentation):
+        """Q = [//stock/code/text() = "goog"] is true: someone trades GOOG."""
+        stats = run_parbox(fragmentation, CLIENTELE_QUERIES["boolean_goog"])
+        assert bool(stats.answer_ids) is True
+        # ParBoX visits each site exactly once (property (a) of [5]).
+        assert stats.max_site_visits == 1
+
+    def test_data_selecting_query_q_prime(self, tree, fragmentation):
+        """Q' = //broker[//stock/code/text()="goog"]/name returns all three
+        brokers: every broker in Figure 1 trades GOOG somewhere."""
+        for runner in (run_pax3, run_pax2):
+            stats = runner(fragmentation, CLIENTELE_QUERIES["brokers_goog"])
+            assert names(tree, stats) == ["E*trade", "Bache", "CIBC"]
+
+
+class TestSection2Preliminaries:
+    def test_query_q1_goog_but_not_yhoo(self, tree, fragmentation):
+        """Section 2.2's Q1: Bache also trades YHOO, so it is excluded."""
+        stats = run_pax2(fragmentation, CLIENTELE_QUERIES["brokers_goog_not_yhoo"])
+        assert names(tree, stats) == ["E*trade", "CIBC"]
+
+    def test_example_21_us_nasdaq_brokers(self, tree, fragmentation):
+        """Example 2.1 / 3.3: the two US clients' brokers are answers, the
+        Canadian client's broker is not."""
+        stats = run_pax3(fragmentation, CLIENTELE_QUERIES["us_nasdaq_brokers"])
+        assert names(tree, stats) == ["E*trade", "Bache"]
+
+
+class TestSection3And4Guarantees:
+    def test_pax3_visits_at_most_three_times(self, fragmentation):
+        stats = run_pax3(fragmentation, CLIENTELE_QUERIES["us_nasdaq_brokers"])
+        assert stats.max_site_visits <= 3
+
+    def test_pax2_visits_at_most_twice(self, fragmentation):
+        stats = run_pax2(fragmentation, CLIENTELE_QUERIES["us_nasdaq_brokers"])
+        assert stats.max_site_visits <= 2
+
+    def test_only_answers_ship_as_tree_data(self, tree, fragmentation):
+        """Property: the only tree data transmitted are the answer nodes."""
+        stats = run_pax2(fragmentation, CLIENTELE_QUERIES["brokers_goog"])
+        assert stats.answer_nodes_shipped == sum(
+            tree.node(node_id).subtree_size() for node_id in stats.answer_ids
+        )
+
+
+class TestSection5Annotations:
+    def test_example_51_pruning(self, fragmentation):
+        """Example 5.1: for client/name only the root fragment is relevant;
+        all four sub-fragments are ruled out by the annotations."""
+        stats = run_pax2(fragmentation, CLIENTELE_QUERIES["client_names"], use_annotations=True)
+        assert stats.fragments_evaluated == ["F0"]
+        assert set(stats.fragments_pruned) == {"F1", "F2", "F3", "F4"}
+
+    def test_annotations_never_change_answers(self, tree, fragmentation):
+        engine = DistributedQueryEngine(fragmentation)
+        for query_name, query in CLIENTELE_QUERIES.items():
+            if query_name == "boolean_goog":
+                continue
+            assert (
+                engine.run(query, use_annotations=True).answer_ids
+                == engine.run(query, use_annotations=False).answer_ids
+            )

@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.xmltree.parser import parse_xml_file
+
+CATALOG = """
+<shop>
+  <department>
+    <name>fiction</name>
+    <book><title>Dune</title><price>9</price></book>
+    <book><title>Hyperion</title><price>12</price></book>
+  </department>
+  <department>
+    <name>science</name>
+    <book><title>Cosmos</title><price>15</price></book>
+  </department>
+</shop>
+"""
+
+
+@pytest.fixture
+def catalog_path(tmp_path):
+    path = tmp_path / "catalog.xml"
+    path.write_text(CATALOG, encoding="utf-8")
+    return str(path)
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "file.xml", "//a"])
+        assert args.algorithm == "pax2"
+        assert args.fragment_size is None
+        assert not args.annotations
+
+
+class TestQueryCommand:
+    def test_centralized_query(self, catalog_path, capsys):
+        assert main(["query", catalog_path, "//book[price < 13]/title",
+                     "--algorithm", "centralized"]) == 0
+        out = capsys.readouterr().out
+        assert "2 answer(s)" in out
+        assert "Dune" in out and "Hyperion" in out
+
+    @pytest.mark.parametrize("algorithm", ["pax2", "pax3", "naive"])
+    def test_distributed_query(self, catalog_path, capsys, algorithm):
+        code = main([
+            "query", catalog_path, "//book[price < 13]/title",
+            "--fragment-at", "department", "--algorithm", algorithm,
+            "--annotations", "--stats",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 answer(s)" in out
+        assert "max site visits" in out
+
+    def test_fragment_size_and_sites(self, catalog_path, capsys):
+        assert main([
+            "query", catalog_path, "department/name",
+            "--fragment-size", "4", "--sites", "2",
+        ]) == 0
+        assert "fiction" in capsys.readouterr().out
+
+    def test_xml_output_and_limit(self, catalog_path, capsys):
+        assert main(["query", catalog_path, "//book", "--xml", "--limit", "1",
+                     "--algorithm", "centralized"]) == 0
+        out = capsys.readouterr().out
+        assert "<book>" in out and "... and 2 more" in out
+
+    def test_conflicting_fragmentation_flags_rejected(self, catalog_path):
+        with pytest.raises(SystemExit):
+            main([
+                "query", catalog_path, "//book",
+                "--fragment-size", "4", "--fragment-at", "department",
+            ])
+
+
+class TestFragmentCommand:
+    def test_summary_printed(self, catalog_path, capsys):
+        assert main(["fragment", catalog_path, "--fragment-at", "department"]) == 0
+        out = capsys.readouterr().out
+        assert "F0" in out and "F2" in out
+
+
+class TestGenerateCommand:
+    def test_generate_to_file_and_requery(self, tmp_path, capsys):
+        output = tmp_path / "sites.xml"
+        assert main([
+            "generate", "--bytes", "20000", "--sites", "2",
+            "--seed", "3", "--output", str(output),
+        ]) == 0
+        assert "wrote" in capsys.readouterr().out
+        tree = parse_xml_file(output)
+        assert tree.root.tag == "sites"
+        # The generated file is itself queryable through the CLI.
+        assert main(["query", str(output), "/sites/site/people/person",
+                     "--fragment-size", "200"]) == 0
+
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "--bytes", "5000", "--sites", "1"]) == 0
+        assert "<sites>" in capsys.readouterr().out

@@ -1,0 +1,75 @@
+"""Unit tests for the paper's queries and running example."""
+
+import pytest
+
+from repro.xpath.centralized import evaluate_centralized
+from repro.xpath.parser import parse_xpath
+from repro.xpath.plan import compile_plan
+from repro.workloads.queries import (
+    CLIENTELE_QUERIES,
+    PAPER_QUERIES,
+    clientele_example_tree,
+    clientele_paper_fragmentation,
+    query_q1,
+    query_q2,
+    query_q3,
+    query_q4,
+)
+
+
+class TestPaperQueries:
+    def test_query_accessors(self):
+        assert query_q1() == PAPER_QUERIES["Q1"]
+        assert query_q2() == PAPER_QUERIES["Q2"]
+        assert query_q3() == PAPER_QUERIES["Q3"]
+        assert query_q4() == PAPER_QUERIES["Q4"]
+
+    @pytest.mark.parametrize("name", sorted(PAPER_QUERIES))
+    def test_queries_parse_and_compile(self, name):
+        plan = compile_plan(parse_xpath(PAPER_QUERIES[name]), source=PAPER_QUERIES[name])
+        assert plan.n_steps >= 2
+
+    def test_qualifier_and_descendant_coverage(self):
+        """The four queries cover the paper's 2x2 grid: qualifiers x '//'."""
+        plans = {
+            name: compile_plan(parse_xpath(query))
+            for name, query in PAPER_QUERIES.items()
+        }
+        grid = {
+            (plans[name].has_qualifiers, plans[name].has_descendant_axis)
+            for name in plans
+        }
+        assert grid == {(False, False), (False, True), (True, False), (True, True)}
+
+
+class TestClienteleExample:
+    def test_tree_matches_figure_1(self):
+        tree = clientele_example_tree()
+        clients = evaluate_centralized(tree, "client/name")
+        assert [tree.node(i).text() for i in clients] == ["Anna", "Kim", "Lisa"]
+        markets = evaluate_centralized(tree, "//market/name")
+        assert [tree.node(i).text() for i in markets] == ["NYSE", "NASDAQ", "NASDAQ", "TSE"]
+        stocks = evaluate_centralized(tree, "//stock/code")
+        assert [tree.node(i).text() for i in stocks] == ["IBM", "GOOG", "YHOO", "GOOG", "GOOG"]
+
+    def test_example_queries_parse(self):
+        for query in CLIENTELE_QUERIES.values():
+            parse_xpath(query)
+
+    def test_paper_fragmentation_shape(self):
+        tree = clientele_example_tree()
+        fragmentation = clientele_paper_fragmentation(tree)
+        fragmentation.validate()
+        assert len(fragmentation) == 5
+        root_tags = sorted(
+            fragmentation[fid].root.tag for fid in fragmentation.fragment_ids() if fid != "F0"
+        )
+        assert root_tags == ["broker", "broker", "market", "market"]
+        # One market fragment is nested inside a broker fragment (Anna's), the
+        # other hangs directly off the root fragment (Kim's).
+        depths = sorted(
+            fragmentation.depth(fid)
+            for fid in fragmentation.fragment_ids()
+            if fragmentation[fid].root.tag == "market"
+        )
+        assert depths == [1, 2]

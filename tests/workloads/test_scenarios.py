@@ -1,0 +1,85 @@
+"""Unit tests for the FT1 / FT2 scenario builders."""
+
+import pytest
+
+from repro.workloads.scenarios import build_ft1, build_ft2
+
+
+class TestFT1:
+    def test_fragment_count_matches_request(self):
+        for count in (1, 3, 7):
+            scenario = build_ft1(fragment_count=count, total_bytes=40_000, seed=1)
+            scenario.fragmentation.validate()
+            assert len(scenario.fragmentation) == count
+
+    def test_flat_fragment_tree(self):
+        scenario = build_ft1(fragment_count=5, total_bytes=50_000, seed=1)
+        for fragment_id in scenario.fragmentation.fragment_ids():
+            if fragment_id != "F0":
+                assert scenario.fragmentation.parent(fragment_id) == "F0"
+                assert scenario.fragmentation[fragment_id].root.tag == "site"
+
+    def test_constant_cumulative_size_across_iterations(self):
+        sizes = []
+        for count in (1, 2, 5, 10):
+            scenario = build_ft1(fragment_count=count, total_bytes=80_000, seed=2)
+            sizes.append(scenario.total_bytes)
+        # Cumulative size varies by less than 40% across iterations.
+        assert max(sizes) < 1.4 * min(sizes)
+
+    def test_fragments_have_similar_sizes(self):
+        scenario = build_ft1(fragment_count=4, total_bytes=80_000, seed=2)
+        sizes = list(scenario.fragment_sizes().values())
+        assert max(sizes) < 2.5 * min(sizes)
+
+    def test_one_site_per_fragment(self):
+        scenario = build_ft1(fragment_count=6, total_bytes=30_000, seed=0)
+        assert len(set(scenario.placement.values())) == 6
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_ft1(fragment_count=0, total_bytes=1000)
+
+
+class TestFT2:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return build_ft2(total_bytes=150_000, seed=4)
+
+    def test_ten_fragments(self, scenario):
+        scenario.fragmentation.validate()
+        assert len(scenario.fragmentation) == 10
+
+    def test_fragment_roots_match_paper_layout(self, scenario):
+        tags = sorted(
+            scenario.fragmentation[fid].root.tag
+            for fid in scenario.fragmentation.fragment_ids()
+            if fid != scenario.fragmentation.root_fragment_id
+        )
+        assert tags.count("site") == 3
+        assert tags.count("open_auctions") == 2
+        assert tags.count("closed_auctions") == 2
+        assert "namerica" in tags and "regions" in tags
+
+    def test_size_ratios_follow_paper_classes(self, scenario):
+        sizes = scenario.fragment_sizes()
+        classes = scenario.metadata["size_class"]
+        regions_28 = next(fid for fid, label in classes.items() if label.startswith("C regions"))
+        namerica_12 = next(fid for fid, label in classes.items() if "namerica" in label)
+        site_d = next(fid for fid, label in classes.items() if "site D" in label)
+        # 28 : 12 : 5 ratios within a factor-of-two tolerance.
+        assert sizes[regions_28] > 1.5 * sizes[namerica_12]
+        assert sizes[namerica_12] > 1.3 * sizes[site_d]
+
+    def test_cumulative_size_tracks_request(self):
+        small = build_ft2(total_bytes=80_000, seed=4)
+        large = build_ft2(total_bytes=320_000, seed=4)
+        assert large.total_bytes > 2.5 * small.total_bytes
+
+    def test_metadata_and_description(self, scenario):
+        assert scenario.name == "FT2"
+        assert "ten fragments" in scenario.description
+        assert scenario.fragment_count == 10
+        assert set(scenario.metadata["size_class"]) == set(
+            scenario.fragmentation.fragment_ids()
+        )

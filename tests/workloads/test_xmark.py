@@ -1,0 +1,88 @@
+"""Unit tests for the XMark-like document generator."""
+
+import pytest
+
+from repro.workloads.xmark import (
+    DEFAULT_COMPONENT_RATIOS,
+    SiteSpec,
+    XMarkGenerator,
+    generate_sites_document,
+)
+from repro.xmltree.serializer import serialize
+from repro.xpath.centralized import evaluate_centralized
+
+
+class TestSiteSpec:
+    def test_from_bytes_scales_counts(self):
+        small = SiteSpec.from_bytes(20_000)
+        large = SiteSpec.from_bytes(200_000)
+        assert large.people > small.people
+        assert large.open_auctions > small.open_auctions
+        assert sum(large.items_per_region.values()) > sum(small.items_per_region.values())
+
+    def test_from_component_bytes_respects_zero_components(self):
+        spec = SiteSpec.from_component_bytes(people_bytes=50_000)
+        assert spec.people > 0
+        assert spec.open_auctions == 0
+        assert spec.closed_auctions == 0
+
+    def test_per_region_byte_targets(self):
+        spec = SiteSpec.from_component_bytes(regions_bytes={"namerica": 60_000, "asia": 6_000})
+        assert spec.items_per_region["namerica"] > spec.items_per_region["asia"]
+        assert spec.items_per_region["europe"] == 0
+
+    def test_default_ratios_sum_to_one(self):
+        assert sum(DEFAULT_COMPONENT_RATIOS.values()) == pytest.approx(1.0)
+
+
+class TestGenerator:
+    def test_deterministic_for_seed(self):
+        spec = SiteSpec.from_bytes(30_000)
+        first = serialize(generate_sites_document([spec], seed=4))
+        second = serialize(generate_sites_document([spec], seed=4))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        spec = SiteSpec.from_bytes(30_000)
+        assert serialize(generate_sites_document([spec], seed=1)) != serialize(
+            generate_sites_document([spec], seed=2)
+        )
+
+    def test_document_structure(self):
+        tree = generate_sites_document([SiteSpec.from_bytes(30_000)] * 2, seed=0)
+        assert tree.root.tag == "sites"
+        sites = [child for child in tree.root.children if child.is_element]
+        assert len(sites) == 2
+        for site in sites:
+            component_tags = [child.tag for child in site.element_children()]
+            assert component_tags == [
+                "regions", "categories", "people", "open_auctions", "closed_auctions",
+            ]
+
+    def test_generated_size_tracks_request(self):
+        small = generate_sites_document([SiteSpec.from_bytes(20_000)], seed=0)
+        large = generate_sites_document([SiteSpec.from_bytes(120_000)], seed=0)
+        assert large.approximate_bytes() > 3 * small.approximate_bytes()
+        # The byte estimate should be in the right ballpark (within 3x).
+        assert 20_000 / 3 < small.approximate_bytes() < 20_000 * 3
+
+    def test_paper_queries_find_data(self):
+        tree = generate_sites_document([SiteSpec.from_bytes(60_000)], seed=0)
+        assert evaluate_centralized(tree, "/sites/site/people/person").answer_ids
+        assert evaluate_centralized(tree, "/sites/site/open_auctions//annotation").answer_ids
+        assert evaluate_centralized(
+            tree, '/sites/site/people/person[profile/age > 20 and address/country = "US"]/creditcard'
+        ).answer_ids
+
+    def test_person_fields(self):
+        generator = XMarkGenerator(seed=1)
+        person = generator.person()
+        tags = {child.tag for child in person.element_children()}
+        assert {"name", "emailaddress", "address", "profile"} <= tags
+        age = person.find_first(lambda n: n.is_element and n.tag == "age")
+        assert 18 <= age.numeric_value() <= 65
+
+    def test_auction_annotations_present(self):
+        generator = XMarkGenerator(seed=2)
+        auction = generator.open_auction()
+        assert auction.find_first(lambda n: n.is_element and n.tag == "annotation") is not None

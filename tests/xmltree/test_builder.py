@@ -1,0 +1,82 @@
+"""Unit tests for the programmatic tree builders."""
+
+import pytest
+
+from repro.xmltree.builder import TreeBuilder, element, text
+from repro.xmltree.errors import XMLTreeError
+
+
+class TestFunctionalConstructors:
+    def test_strings_become_text_children(self):
+        node = element("name", "Anna")
+        assert len(node.children) == 1
+        assert node.children[0].is_text
+        assert node.text() == "Anna"
+
+    def test_nested_elements(self):
+        node = element("person", element("name", "Kim"), element("age", "30"))
+        assert [child.tag for child in node.element_children()] == ["name", "age"]
+
+    def test_invalid_child_type_rejected(self):
+        with pytest.raises(XMLTreeError):
+            element("x", 42)  # type: ignore[arg-type]
+
+
+class TestTreeBuilder:
+    def test_context_manager_style(self):
+        builder = TreeBuilder()
+        with builder.open("people"):
+            with builder.open("person"):
+                builder.leaf("name", "Anna")
+                builder.leaf("age", "31")
+            with builder.open("person"):
+                builder.leaf("name", "Kim")
+        tree = builder.tree()
+        assert tree.root.tag == "people"
+        assert tree.element_count() == 6
+
+    def test_explicit_open_close(self):
+        builder = TreeBuilder()
+        builder.open("a")
+        builder.add_text("hello")
+        builder.close()
+        tree = builder.tree()
+        assert tree.root.text() == "hello"
+
+    def test_leaf_without_value(self):
+        builder = TreeBuilder()
+        with builder.open("root"):
+            builder.leaf("empty")
+        tree = builder.tree()
+        assert tree.root.children[0].children == []
+
+    def test_add_subtree(self):
+        builder = TreeBuilder()
+        with builder.open("root"):
+            builder.add_subtree(element("child", "x"))
+        assert builder.tree().root.children[0].tag == "child"
+
+    def test_unbalanced_open_rejected(self):
+        builder = TreeBuilder()
+        builder.open("a")
+        with pytest.raises(XMLTreeError):
+            builder.tree()
+
+    def test_close_without_open_rejected(self):
+        with pytest.raises(XMLTreeError):
+            TreeBuilder().close()
+
+    def test_two_roots_rejected(self):
+        builder = TreeBuilder()
+        with builder.open("first"):
+            pass
+        with pytest.raises(XMLTreeError):
+            builder.open("second")
+
+    def test_text_outside_element_rejected(self):
+        with pytest.raises(XMLTreeError):
+            TreeBuilder().add_text("orphan")
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(XMLTreeError):
+            TreeBuilder().tree()

@@ -1,0 +1,45 @@
+"""Unit tests for the ElementTree adapters."""
+
+import xml.etree.ElementTree as ET
+
+from repro.xmltree.builder import element
+from repro.xmltree.etree_adapter import from_elementtree, to_elementtree
+from repro.xmltree.nodes import XMLTree
+
+
+class TestFromElementTree:
+    def test_structure_and_text_preserved(self):
+        source = ET.fromstring("<people><person><name>Anna</name></person><person/></people>")
+        tree = from_elementtree(source)
+        assert tree.root.tag == "people"
+        assert tree.element_count() == 4
+        name = tree.root.find_first(lambda n: n.is_element and n.tag == "name")
+        assert name.text() == "Anna"
+
+    def test_attributes_dropped(self):
+        source = ET.fromstring('<a id="1"><b ref="x">v</b></a>')
+        tree = from_elementtree(source)
+        assert tree.element_count() == 2
+
+    def test_tail_text_preserved(self):
+        source = ET.fromstring("<a><b>x</b>tail</a>")
+        tree = from_elementtree(source)
+        texts = [node.value for node in tree.iter_nodes() if node.is_text]
+        assert texts == ["x", "tail"]
+
+    def test_accepts_elementtree_document(self):
+        document = ET.ElementTree(ET.fromstring("<a><b/></a>"))
+        assert from_elementtree(document).root.tag == "a"
+
+
+class TestToElementTree:
+    def test_round_trip(self):
+        tree = XMLTree(
+            element("catalog", element("book", element("title", "Dune")), element("note", "x"))
+        )
+        converted = to_elementtree(tree)
+        root = converted.getroot()
+        assert root.tag == "catalog"
+        assert root.find("book/title").text == "Dune"
+        back = from_elementtree(converted)
+        assert back.element_count() == tree.element_count()

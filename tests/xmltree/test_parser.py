@@ -1,0 +1,103 @@
+"""Unit tests for the XML parser."""
+
+import pytest
+
+from repro.xmltree.errors import XMLSyntaxError
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.serializer import serialize
+
+
+class TestBasicParsing:
+    def test_simple_document(self):
+        tree = parse_xml("<a><b>hi</b><c/></a>")
+        assert tree.root.tag == "a"
+        assert [c.tag for c in tree.root.element_children()] == ["b", "c"]
+        assert tree.root.children[0].text() == "hi"
+
+    def test_whitespace_between_elements_dropped(self):
+        tree = parse_xml("<a>\n  <b>x</b>\n  <c>y</c>\n</a>")
+        assert tree.size() == 5  # a, b, text, c, text
+
+    def test_whitespace_kept_on_request(self):
+        tree = parse_xml("<a> <b>x</b></a>", keep_whitespace_text=True)
+        assert any(node.is_text and node.value == " " for node in tree.iter_nodes())
+
+    def test_attributes_are_ignored(self):
+        tree = parse_xml('<item id="42" status="new"><name>x</name></item>')
+        assert tree.root.tag == "item"
+        assert tree.root.children[0].tag == "name"
+
+    def test_attribute_value_containing_gt(self):
+        tree = parse_xml('<a note="5 > 3"><b/></a>')
+        assert tree.root.children[0].tag == "b"
+
+    def test_self_closing_tags(self):
+        tree = parse_xml("<a><b/><c/></a>")
+        assert [c.tag for c in tree.root.children] == ["b", "c"]
+
+    def test_declaration_comment_cdata(self):
+        doc = (
+            '<?xml version="1.0"?><!-- top --><root><!-- inner -->'
+            "<item><![CDATA[5 < 6 & more]]></item></root>"
+        )
+        tree = parse_xml(doc)
+        assert tree.root.children[0].text() == "5 < 6 & more"
+
+    def test_entities_unescaped(self):
+        tree = parse_xml("<a>&lt;tag&gt; &amp; &quot;x&quot; &#65;&#x42;</a>")
+        assert tree.root.text() == '<tag> & "x" AB'
+
+    def test_doctype_skipped(self):
+        tree = parse_xml("<!DOCTYPE sites><sites><site/></sites>")
+        assert tree.root.tag == "sites"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "document",
+        [
+            "",
+            "   ",
+            "<a><b></a>",
+            "<a>",
+            "<a></a><b></b>",
+            "<a><b></b></a>trailing text",
+            "<a attr=unquoted></a>",
+            "<a><![CDATA[unterminated</a>",
+            "<>bad</>",
+        ],
+    )
+    def test_malformed_documents_rejected(self, document):
+        with pytest.raises(XMLSyntaxError):
+            parse_xml(document)
+
+    def test_error_carries_position(self):
+        try:
+            parse_xml("<a><b></c></a>")
+        except XMLSyntaxError as error:
+            assert error.position is not None
+        else:  # pragma: no cover
+            pytest.fail("expected a syntax error")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "document",
+        [
+            "<a><b>hello</b><c><d>1</d><d>2</d></c></a>",
+            "<clientele><client><name>Anna</name><country>US</country></client></clientele>",
+            "<x><y/><z>5 &amp; 6</z></x>",
+        ],
+    )
+    def test_parse_serialize_parse_is_stable(self, document):
+        tree1 = parse_xml(document)
+        text1 = serialize(tree1)
+        tree2 = parse_xml(text1)
+        assert serialize(tree2) == text1
+        assert tree2.size() == tree1.size()
+
+    def test_pretty_serialization_reparses_identically(self):
+        tree = parse_xml("<a><b>hi</b><c><d>x</d></c></a>")
+        pretty = serialize(tree, pretty=True, declaration=True)
+        assert "  " in pretty and pretty.startswith("<?xml")
+        assert parse_xml(pretty).element_count() == tree.element_count()

@@ -1,0 +1,147 @@
+"""Unit tests for the centralized evaluator on hand-checked documents."""
+
+import pytest
+
+from repro.xmltree.builder import element
+from repro.xmltree.nodes import XMLTree
+from repro.xpath.centralized import (
+    evaluate_boolean_centralized,
+    evaluate_centralized,
+)
+from repro.workloads.queries import CLIENTELE_QUERIES, clientele_example_tree
+
+
+def tags_of(tree, result):
+    return [tree.node(node_id).tag for node_id in result.answer_ids]
+
+
+def texts_of(tree, result):
+    return [tree.node(node_id).text() for node_id in result.answer_ids]
+
+
+@pytest.fixture(scope="module")
+def clientele():
+    return clientele_example_tree()
+
+
+class TestClienteleQueries:
+    """The worked examples of the paper, checked against its prose."""
+
+    def test_boolean_goog_query_is_true(self, clientele):
+        assert evaluate_boolean_centralized(clientele, CLIENTELE_QUERIES["boolean_goog"])
+
+    def test_boolean_query_for_missing_stock_is_false(self, clientele):
+        assert not evaluate_boolean_centralized(clientele, '.[//stock/code/text() = "msft"]')
+
+    def test_brokers_trading_goog(self, clientele):
+        # All three brokers trade GOOG (Section 1's query Q').
+        result = evaluate_centralized(clientele, CLIENTELE_QUERIES["brokers_goog"])
+        assert texts_of(clientele, result) == ["E*trade", "Bache", "CIBC"]
+
+    def test_brokers_trading_goog_but_not_yhoo(self, clientele):
+        # Section 2.2's Q1: Bache also trades YHOO, so only E*trade and CIBC remain.
+        result = evaluate_centralized(clientele, CLIENTELE_QUERIES["brokers_goog_not_yhoo"])
+        assert texts_of(clientele, result) == ["E*trade", "CIBC"]
+
+    def test_us_clients_trading_on_nasdaq(self, clientele):
+        # Example 2.1 / 3.3: both US clients trade on NASDAQ; Lisa does not match.
+        result = evaluate_centralized(clientele, CLIENTELE_QUERIES["us_nasdaq_brokers"])
+        assert texts_of(clientele, result) == ["E*trade", "Bache"]
+
+    def test_client_names(self, clientele):
+        result = evaluate_centralized(clientele, CLIENTELE_QUERIES["client_names"])
+        assert texts_of(clientele, result) == ["Anna", "Kim", "Lisa"]
+
+    def test_value_comparison_on_prices(self, clientele):
+        # Stocks bought above $375: Lisa's GOOG at $382 only.
+        result = evaluate_centralized(clientele, "//stock[buy > 375]/code")
+        assert texts_of(clientele, result) == ["GOOG"]
+        assert len(evaluate_centralized(clientele, "//stock[buy > 30]").answer_ids) == 5
+
+    def test_wildcard_steps(self, clientele):
+        result = evaluate_centralized(clientele, "client/*/name")
+        assert texts_of(clientele, result) == ["E*trade", "Bache", "CIBC"]
+
+    def test_negated_value_comparison(self, clientele):
+        result = evaluate_centralized(clientele, "//market[not(stock/qt >= 50)]/name")
+        assert texts_of(clientele, result) == ["NASDAQ"]
+
+
+class TestAnchoring:
+    """Absolute vs relative queries (document node vs root element context)."""
+
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return XMLTree(
+            element(
+                "a",
+                element("a", element("b", "deep")),
+                element("b", "shallow"),
+            )
+        )
+
+    def test_relative_child_steps_anchor_at_root_children(self, tree):
+        result = evaluate_centralized(tree, "a/b")
+        assert texts_of(tree, result) == ["deep"]
+
+    def test_absolute_path_matches_root_element_first(self, tree):
+        result = evaluate_centralized(tree, "/a/b")
+        assert texts_of(tree, result) == ["shallow"]
+
+    def test_absolute_descendant_includes_root_element(self, tree):
+        assert len(evaluate_centralized(tree, "//a").answer_ids) == 2
+        assert len(evaluate_centralized(tree, "/a/a").answer_ids) == 1
+
+    def test_relative_self_step_selects_root(self, tree):
+        result = evaluate_centralized(tree, ".")
+        assert result.answer_ids == [tree.root.node_id]
+
+    def test_absolute_mismatched_root_label_selects_nothing(self, tree):
+        assert evaluate_centralized(tree, "/b").answer_ids == []
+
+
+class TestEdgeCases:
+    def test_empty_answer(self, ):
+        tree = XMLTree(element("root", element("x")))
+        assert evaluate_centralized(tree, "y/z").answer_ids == []
+
+    def test_answers_are_sorted_in_document_order(self):
+        tree = XMLTree(element("r", element("x"), element("y", element("x")), element("x")))
+        result = evaluate_centralized(tree, "//x")
+        assert result.answer_ids == sorted(result.answer_ids)
+        assert len(result) == 3
+
+    def test_result_container_protocol(self):
+        tree = XMLTree(element("r", element("x")))
+        result = evaluate_centralized(tree, "x")
+        assert list(result) == result.answer_ids
+        assert result.answer_ids[0] in result
+        assert result.operations > 0
+        assert "answers" in repr(result)
+
+    def test_accepts_precompiled_plan_and_path(self):
+        from repro.xpath.parser import parse_xpath
+        from repro.xpath.plan import compile_plan
+
+        tree = XMLTree(element("r", element("x", "1")))
+        path = parse_xpath("x")
+        plan = compile_plan(path)
+        assert evaluate_centralized(tree, path).answer_ids == [1]
+        assert evaluate_centralized(tree, plan).answer_ids == [1]
+
+    def test_text_comparison_is_case_insensitive(self):
+        tree = XMLTree(element("r", element("c", element("country", "US"))))
+        assert evaluate_centralized(tree, 'c[country = "us"]').answer_ids
+        assert evaluate_centralized(tree, 'c[country = "US"]').answer_ids
+
+    def test_numeric_comparison_on_non_numeric_text_is_false(self):
+        tree = XMLTree(element("r", element("c", element("age", "unknown"))))
+        assert not evaluate_centralized(tree, "c[age > 3]").answer_ids
+
+    def test_qualifier_scope_is_the_subtree(self):
+        # The qualifier on the first step must not see siblings.
+        tree = XMLTree(
+            element("r", element("a", element("flag")), element("b"))
+        )
+        assert not evaluate_centralized(tree, "b[flag]").answer_ids
+        assert evaluate_centralized(tree, "a[flag]").answer_ids

@@ -1,0 +1,50 @@
+"""Unit tests for the random query generator."""
+
+import pytest
+
+from repro.xpath.centralized import evaluate_centralized
+from repro.xpath.generator import GeneratorConfig, QueryGenerator
+from repro.xpath.normalize import normalize
+from repro.xpath.parser import parse_xpath
+
+from tests.conftest import RANDOM_TAGS, make_random_tree
+
+
+class TestQueryGenerator:
+    def test_requires_tags(self):
+        with pytest.raises(ValueError):
+            QueryGenerator([])
+
+    def test_deterministic_for_seed(self):
+        first = [str(q) for q in QueryGenerator(RANDOM_TAGS, seed=9).queries(10)]
+        second = [str(q) for q in QueryGenerator(RANDOM_TAGS, seed=9).queries(10)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = [str(q) for q in QueryGenerator(RANDOM_TAGS, seed=1).queries(10)]
+        b = [str(q) for q in QueryGenerator(RANDOM_TAGS, seed=2).queries(10)]
+        assert a != b
+
+    def test_generated_queries_are_well_formed(self):
+        generator = QueryGenerator(RANDOM_TAGS, seed=3)
+        for query in generator.queries(50):
+            # They must survive printing, re-parsing, normalization and evaluation.
+            reparsed = parse_xpath(str(query))
+            normalize(reparsed)
+            evaluate_centralized(make_random_tree(1), reparsed)
+
+    def test_config_limits_respected(self):
+        config = GeneratorConfig(
+            max_selection_steps=1, qualifier_probability=0.0, descendant_probability=0.0
+        )
+        generator = QueryGenerator(RANDOM_TAGS, seed=5, config=config)
+        for query in generator.queries(20):
+            assert len(query.steps) == 1
+
+    def test_uses_only_supplied_tags(self):
+        generator = QueryGenerator(["only"], seed=4)
+        for query in generator.queries(20):
+            text = str(query)
+            for token in text.replace("/", " ").split():
+                if token.isidentifier():
+                    assert token in ("only", "and", "or", "not", "text", "val")

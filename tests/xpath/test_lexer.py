@@ -1,0 +1,69 @@
+"""Unit tests for the XPath tokenizer."""
+
+import pytest
+
+from repro.xpath.errors import XPathSyntaxError
+from repro.xpath.lexer import TokenKind, tokenize
+
+
+def kinds(query: str) -> list[str]:
+    return [token.kind for token in tokenize(query)]
+
+
+def values(query: str) -> list[str]:
+    return [token.value for token in tokenize(query) if token.kind != TokenKind.EOF]
+
+
+class TestTokenKinds:
+    def test_simple_path(self):
+        assert kinds("a/b") == [TokenKind.NAME, TokenKind.SLASH, TokenKind.NAME, TokenKind.EOF]
+
+    def test_double_slash(self):
+        assert kinds("a//b")[1] == TokenKind.DSLASH
+
+    def test_brackets_and_parens(self):
+        assert kinds("a[not(b)]") == [
+            TokenKind.NAME, TokenKind.LBRACKET, TokenKind.NAME, TokenKind.LPAREN,
+            TokenKind.NAME, TokenKind.RPAREN, TokenKind.RBRACKET, TokenKind.EOF,
+        ]
+
+    def test_star_and_dot(self):
+        assert kinds("*/.")[0] == TokenKind.STAR
+        assert kinds("./a")[0] == TokenKind.DOT
+
+    def test_strings_single_and_double_quotes(self):
+        assert values('a = "US"')[-1] == "US"
+        assert values("a = 'US'")[-1] == "US"
+
+    def test_numbers(self):
+        tokens = tokenize("a > 20")
+        assert tokens[2].kind == TokenKind.NUMBER and tokens[2].value == "20"
+        assert tokenize("a > 3.5")[2].value == "3.5"
+        assert tokenize("a > -4")[2].value == "-4"
+
+    def test_comparison_operators(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            tokens = tokenize(f"a {op} 1")
+            assert tokens[1].kind == TokenKind.OP and tokens[1].value == op
+
+    def test_double_equals_treated_as_equals(self):
+        assert tokenize("a == 'x'")[1].value == "="
+
+    def test_whitespace_ignored(self):
+        assert kinds("  a  /  b  ") == kinds("a/b")
+
+    def test_names_with_punctuation(self):
+        assert values("open_auctions/item-2/ns:tag")[0] == "open_auctions"
+        assert "item-2" in values("open_auctions/item-2/ns:tag")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab/cd")
+        assert tokens[0].position == 0
+        assert tokens[2].position == 3
+
+
+class TestLexerErrors:
+    @pytest.mark.parametrize("query", ["a = 'unterminated", "a ! b", "a # b"])
+    def test_bad_input_rejected(self, query):
+        with pytest.raises(XPathSyntaxError):
+            tokenize(query)

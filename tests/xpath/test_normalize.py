@@ -1,0 +1,79 @@
+"""Unit tests for normalization into the paper's normal form."""
+
+from repro.xpath.ast import (
+    AndQual,
+    ChildStep,
+    DescendantStep,
+    PathExistsQual,
+    QualifiedStep,
+    SelfStep,
+)
+from repro.xpath.normalize import normalize, normalize_qualifier, strip_qualifiers
+from repro.xpath.parser import parse_xpath
+
+
+class TestNormalize:
+    def test_self_steps_dropped(self):
+        path = normalize(parse_xpath("./a/./b"))
+        assert all(not isinstance(step, SelfStep) for step in path.steps)
+        assert len(path.steps) == 2
+
+    def test_consecutive_descendants_collapse(self):
+        raw = parse_xpath("a//b")
+        doubled = type(raw)(
+            (raw.steps[0], DescendantStep(), DescendantStep(), raw.steps[2]), raw.absolute
+        )
+        assert len(normalize(doubled).steps) == 3
+
+    def test_consecutive_qualifiers_merge_with_and(self):
+        path = normalize(parse_xpath("a[b][c]"))
+        qualified = [step for step in path.steps if isinstance(step, QualifiedStep)]
+        assert len(qualified) == 1
+        assert isinstance(qualified[0].qualifier, AndQual)
+
+    def test_qualifier_after_self_step(self):
+        path = normalize(parse_xpath(".[a]/b"))
+        assert isinstance(path.steps[0], QualifiedStep)
+        assert isinstance(path.steps[1], ChildStep)
+
+    def test_absolute_flag_preserved(self):
+        assert normalize(parse_xpath("/a/b")).absolute
+        assert not normalize(parse_xpath("a/b")).absolute
+
+    def test_qualifier_paths_normalized_recursively(self):
+        path = normalize(parse_xpath("a[./b/./c]"))
+        qualifier = path.steps[1].qualifier
+        assert isinstance(qualifier, PathExistsQual)
+        assert len(qualifier.path.steps) == 2
+
+    def test_idempotent(self):
+        for query in ["a[b][c]/d", "/x//y[z > 3]", ".[a and b]"]:
+            once = normalize(parse_xpath(query))
+            assert normalize(once) == once
+
+
+class TestNormalizeQualifier:
+    def test_nested_boolean_structure_preserved(self):
+        qualifier = parse_xpath("x[not(a and (b or c))]").steps[1].qualifier
+        normalized = normalize_qualifier(qualifier)
+        assert type(normalized) is type(qualifier)
+
+    def test_comparison_paths_normalized(self):
+        qualifier = parse_xpath("x[./a/./b > 3]").steps[1].qualifier
+        normalized = normalize_qualifier(qualifier)
+        assert len(normalized.path.steps) == 2
+
+
+class TestStripQualifiers:
+    def test_selection_path_of_paper_q1_example(self):
+        # Example 2.1's selection path is client/broker/name.
+        query = 'client[country/text() = "us"]/broker[market/name/text() = "nasdaq"]/name'
+        stripped = strip_qualifiers(parse_xpath(query))
+        tags = [step.test.tag for step in stripped.steps]
+        assert tags == ["client", "broker", "name"]
+
+    def test_descendants_survive_stripping(self):
+        stripped = strip_qualifiers(parse_xpath("//broker[x]/name"))
+        assert isinstance(stripped.steps[0], DescendantStep)
+        assert len(stripped.steps) == 3
+        assert stripped.absolute

@@ -1,0 +1,129 @@
+"""Unit tests for query-plan compilation (the SVect/QVect analogue)."""
+
+import pytest
+
+from repro.booleans.formula import Var
+from repro.xpath.parser import parse_xpath
+from repro.xpath.plan import (
+    CHILD,
+    DESC,
+    EMPTY,
+    SELFQUAL,
+    compile_plan,
+    evaluate_qual_expr,
+)
+from repro.workloads.queries import PAPER_QUERIES
+
+
+def plan_for(query: str):
+    return compile_plan(parse_xpath(query), source=query)
+
+
+class TestSelectionPlan:
+    def test_simple_child_steps(self):
+        plan = plan_for("client/broker/name")
+        assert [step.kind for step in plan.selection] == [CHILD, CHILD, CHILD]
+        assert [step.tag for step in plan.selection] == ["client", "broker", "name"]
+        assert plan.n_steps == 3
+        assert not plan.has_qualifiers
+
+    def test_wildcard_step_has_no_tag(self):
+        plan = plan_for("a/*/b")
+        assert plan.selection[1].kind == CHILD and plan.selection[1].tag is None
+
+    def test_descendant_and_qualifier_steps(self):
+        plan = plan_for("a//b[c]/d")
+        kinds = [step.kind for step in plan.selection]
+        assert kinds == [CHILD, DESC, CHILD, SELFQUAL, CHILD]
+        assert plan.has_qualifiers
+        assert plan.has_descendant_axis
+        assert plan.qualifier_positions() == [3]
+
+    def test_selection_label_path_strikes_qualifiers(self):
+        plan = plan_for('person[age > 3]/creditcard')
+        assert plan.selection_label_path() == ["person", "creditcard"]
+
+    def test_absolute_flag(self):
+        assert plan_for("/a/b").absolute
+        assert not plan_for("a/b").absolute
+
+    def test_describe_mentions_source(self):
+        plan = plan_for(PAPER_QUERIES["Q3"])
+        text = plan.describe()
+        assert "person" in text and "qualifier items" in text
+
+
+class TestQualifierItems:
+    def test_no_items_without_qualifiers(self):
+        assert plan_for("a/b//c").n_items == 0
+
+    def test_items_are_topologically_ordered(self):
+        plan = plan_for('a[b/c/text() = "x" and not(//d)]')
+        for item in plan.items:
+            if item.rest is not None:
+                assert item.rest < item.item_id
+
+    def test_items_deduplicated(self):
+        # The same path condition appears twice; items must be shared.
+        single = plan_for("a[b/c]")
+        double = plan_for("a[b/c and b/c]")
+        assert double.n_items == single.n_items
+
+    def test_head_and_desc_item_classification(self):
+        plan = plan_for('a[//b/c/text() = "x"]')
+        kinds = {item.item_id: item.kind for item in plan.items}
+        for item_id in plan.head_item_ids:
+            assert kinds[item_id] == CHILD
+        for item_id in plan.desc_item_ids:
+            # DESC-tracked items are the continuations of // steps.
+            assert kinds[item_id] in (CHILD, EMPTY, SELFQUAL, DESC)
+        assert plan.desc_item_ids
+
+    def test_terminal_tests_recorded(self):
+        plan = plan_for('a[b/text() = "US" and c > 5]')
+        tests = [item.test for item in plan.items if item.kind == EMPTY and item.test]
+        assert ("text", "=", "us") in tests
+        assert ("val", ">", 5.0) in tests
+
+    def test_example_21_vector_sizes_are_linear_in_query(self):
+        # The paper's Example 2.1: SVect has 3 entries, QVect has 9.
+        query = 'client[country/text() = "us"]/broker[market/name/text() = "nasdaq"]/name'
+        plan = plan_for(query)
+        selection_children = [s for s in plan.selection if s.kind == CHILD]
+        assert len(selection_children) == 3
+        assert plan.n_items <= 2 * len(query)
+
+    def test_item_describe_is_readable(self):
+        plan = plan_for('a[b/c/text() = "x"]')
+        for item in plan.items:
+            assert isinstance(item.describe(), str) and item.describe()
+
+
+class TestQualExprEvaluation:
+    def test_leaf_lookup(self):
+        plan = plan_for("a[b]")
+        qual = next(s.qual for s in plan.selection if s.kind == SELFQUAL)
+        ex = [False] * plan.n_items
+        assert evaluate_qual_expr(qual, ex) is False
+        ex_true = [True] * plan.n_items
+        assert evaluate_qual_expr(qual, ex_true) is True
+
+    def test_boolean_combination(self):
+        plan = plan_for("a[b and not(c)]")
+        qual = next(s.qual for s in plan.selection if s.kind == SELFQUAL)
+        # Find the item ids of the two leaf paths to control them separately.
+        values = [True] * plan.n_items
+        assert evaluate_qual_expr(qual, values) is False  # not(c) is false
+        values_false = [False] * plan.n_items
+        assert evaluate_qual_expr(qual, values_false) is False  # b is false
+
+    def test_residual_formula_propagates(self):
+        plan = plan_for("a[b]")
+        qual = next(s.qual for s in plan.selection if s.kind == SELFQUAL)
+        ex = [Var("u")] * plan.n_items
+        result = evaluate_qual_expr(qual, ex)
+        assert result == Var("u")
+
+    def test_unknown_expr_kind_rejected(self):
+        with pytest.raises(Exception):
+            evaluate_qual_expr(("xor", ()), [])

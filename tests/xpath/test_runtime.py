@@ -1,0 +1,150 @@
+"""Unit tests for the shared per-node evaluation primitives."""
+
+import pytest
+
+from repro.booleans.formula import Var, is_false
+from repro.xmltree.builder import element, text
+from repro.xpath.parser import parse_xpath
+from repro.xpath.plan import compile_plan
+from repro.xpath.runtime import (
+    QualAggregate,
+    apply_terminal_test,
+    compute_qualifier_vectors,
+    matches_tag,
+    qualifier_values_for_selection,
+    root_context_init_vector,
+    selection_vector,
+)
+
+
+def plan_for(query: str):
+    return compile_plan(parse_xpath(query), source=query)
+
+
+class TestMatchesTag:
+    def test_element_label(self):
+        assert matches_tag(element("broker"), "broker")
+        assert not matches_tag(element("broker"), "client")
+
+    def test_wildcard_matches_any_element(self):
+        assert matches_tag(element("anything"), None)
+
+    def test_text_nodes_never_match(self):
+        assert not matches_tag(text("hello"), None)
+        assert not matches_tag(text("hello"), "hello")
+
+
+class TestTerminalTests:
+    def test_no_test_is_true(self):
+        assert apply_terminal_test(element("x"), None) is True
+
+    def test_text_comparison_case_insensitive_and_trimmed(self):
+        node = element("country", "  US ")
+        assert apply_terminal_test(node, ("text", "=", "us"))
+        assert not apply_terminal_test(node, ("text", "=", "canada"))
+
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [("=", 42.0, True), ("!=", 42.0, False), ("<", 50.0, True),
+         ("<=", 42.0, True), (">", 42.0, False), (">=", 42.0, True)],
+    )
+    def test_numeric_comparisons(self, op, value, expected):
+        node = element("qt", "42")
+        assert apply_terminal_test(node, ("val", op, value)) is expected
+
+    def test_currency_prefix_tolerated(self):
+        assert apply_terminal_test(element("buy", "$374"), ("val", ">", 300.0))
+
+    def test_non_numeric_text_fails_val(self):
+        assert not apply_terminal_test(element("qt", "many"), ("val", ">", 0.0))
+
+    def test_unknown_test_kind_rejected(self):
+        with pytest.raises(ValueError):
+            apply_terminal_test(element("x"), ("regex", "=", "x"))
+
+
+class TestQualifierVectors:
+    def test_leaf_node_vectors(self):
+        plan = plan_for('a[b/text() = "hit"]')
+        node = element("b", "hit")
+        ex, head, desc = compute_qualifier_vectors(plan, node, QualAggregate(plan))
+        # The node is a b with matching text: its HEAD entry for the b-item is true.
+        assert any(value is True for value in head)
+        assert qualifier_values_for_selection(plan, ex) == (False,)  # no b child of b
+
+    def test_parent_aggregates_child_head(self):
+        plan = plan_for('a[b/text() = "hit"]')
+        child = element("b", "hit")
+        _, child_head, child_desc = compute_qualifier_vectors(plan, child, QualAggregate(plan))
+        aggregate = QualAggregate(plan)
+        aggregate.add_child(plan, child_head, child_desc)
+        parent = element("a")
+        ex, _, _ = compute_qualifier_vectors(plan, parent, aggregate)
+        assert qualifier_values_for_selection(plan, ex) == (True,)
+
+    def test_descendant_item_uses_desc_vector(self):
+        plan = plan_for("a[//flag]")
+        leaf = element("flag")
+        _, leaf_head, leaf_desc = compute_qualifier_vectors(plan, leaf, QualAggregate(plan))
+        middle_aggregate = QualAggregate(plan)
+        middle_aggregate.add_child(plan, leaf_head, leaf_desc)
+        middle = element("wrapper")
+        _, middle_head, middle_desc = compute_qualifier_vectors(plan, middle, middle_aggregate)
+        top_aggregate = QualAggregate(plan)
+        top_aggregate.add_child(plan, middle_head, middle_desc)
+        top = element("a")
+        ex, _, _ = compute_qualifier_vectors(plan, top, top_aggregate)
+        assert qualifier_values_for_selection(plan, ex) == (True,)
+
+    def test_residual_formulas_propagate_through_aggregate(self):
+        plan = plan_for("a[b]")
+        aggregate = QualAggregate(plan)
+        head = [Var("qh:F1:%d" % i) for i in range(plan.n_items)]
+        desc = [False] * plan.n_items
+        aggregate.add_child(plan, head, desc)
+        ex, _, _ = compute_qualifier_vectors(plan, element("a"), aggregate)
+        (value,) = qualifier_values_for_selection(plan, ex)
+        assert not isinstance(value, bool)
+
+
+class TestSelectionVector:
+    def test_child_chain(self):
+        plan = plan_for("a/b")
+        root_vector = selection_vector(plan, element("a"), root_context_init_vector(plan),
+                                        is_context_root=True, qual_values=())
+        # The root is the context; its own prefix entries are all false.
+        assert root_vector == [True, False, False]
+        child_vector = selection_vector(plan, element("a"), root_vector,
+                                         is_context_root=False, qual_values=())
+        assert child_vector == [False, True, False]
+        grandchild = selection_vector(plan, element("b"), child_vector,
+                                       is_context_root=False, qual_values=())
+        assert grandchild[2] is True
+
+    def test_descendant_step_carries_down(self):
+        plan = plan_for("a//b")
+        # Vector of an 'a' node: prefix "a" holds, and so does "a//" (the
+        # descendant-or-self set contains the a node itself).
+        a_vector = [False, True, True, False]
+        deep = selection_vector(plan, element("x"), a_vector, False, ())
+        assert deep[2] is True  # inside a's subtree
+        deeper = selection_vector(plan, element("b"), deep, False, ())
+        assert deeper[3] is True
+
+    def test_qualifier_short_circuits_on_false_prefix(self):
+        plan = plan_for("a[b]/c")
+        vector = selection_vector(plan, element("z"), [True, False, False, False], False, (Var("q"),))
+        assert is_false(vector[2])
+
+    def test_qualifier_value_conjunction(self):
+        plan = plan_for("a[b]/c")
+        vector = selection_vector(plan, element("a"), [True, False, False, False], False, (Var("q"),))
+        assert vector[2] == Var("q")
+
+    def test_absolute_plan_context_vector(self):
+        plan = plan_for("/a/b")
+        init = root_context_init_vector(plan)
+        assert init == [True, False, False]
+        root_vector = selection_vector(plan, element("a"), init, is_context_root=False,
+                                        qual_values=())
+        assert root_vector[1] is True
