@@ -1,0 +1,71 @@
+"""Service-layer throughput: concurrent serving vs the sequential engine loop.
+
+Unlike the ``bench_fig*`` modules this benchmark has no counterpart figure in
+the paper — it seeds the *serving* performance trajectory of the reproduction
+(ROADMAP north star) instead.  The same XMark request stream is answered by a
+sequential ``DistributedQueryEngine.execute()`` loop and by the
+:class:`repro.service.ServiceEngine` at 1/8/64 concurrent clients, cold and
+warm cache; the full report is written to ``results/BENCH_service.json``.
+
+Asserted qualitative claims:
+
+* at 64 concurrent clients the service answers >= 2x the queries/sec of the
+  sequential loop (single-flight coalescing plus the normalized-query cache),
+* a warm-cache repeat run serves every request from the cache (hits > 0),
+* answers are identical in every configuration (same totals as sequential).
+
+Run directly with ``pytest benchmarks/bench_service_throughput.py``; the
+equivalent CLI is ``python -m repro bench-service``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from conftest import scaled
+
+from repro.bench.service_bench import run_service_benchmark
+
+CLIENT_COUNTS = (1, 8, 64)
+REQUESTS = 128
+
+
+def _run(benchmark):
+    return benchmark.pedantic(
+        run_service_benchmark,
+        kwargs={
+            "total_bytes": scaled(60_000),
+            "requests": REQUESTS,
+            "client_counts": CLIENT_COUNTS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_service_throughput(benchmark, results_dir):
+    report = _run(benchmark)
+    path = results_dir / "BENCH_service.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\n[written to {path}]")
+
+    sequential = report["sequential"]
+    level64 = report["service"]["64"]
+
+    # >= 2x queries/sec at 64 concurrent clients, cold cache.
+    assert level64["cold"]["qps"] >= 2 * sequential["qps"]
+
+    # The warm repeat is answered from the cache.
+    assert level64["warm"]["cache"]["hits"] > 0
+    assert level64["warm"]["qps"] >= level64["cold"]["qps"]
+
+    # Caching/coalescing must not change the answers.
+    for level in report["service"].values():
+        assert level["cold"]["answers_total"] == sequential["answers_total"]
+        assert level["warm"]["answers_total"] == sequential["answers_total"]
+
+    # Every request is accounted for exactly once per phase.
+    for clients in CLIENT_COUNTS:
+        for phase in report["service"][str(clients)].values():
+            assert phase["requests"] == REQUESTS
+            assert phase["evaluated"] + phase["cache_hits"] + phase["coalesced"] == REQUESTS

@@ -64,6 +64,12 @@ from repro.core import (
     run_pax2,
     run_pax3,
 )
+from repro.service import (
+    QueryResultCache,
+    ServiceConfig,
+    ServiceEngine,
+    ServiceMetrics,
+)
 
 __version__ = "1.0.0"
 
@@ -107,4 +113,9 @@ __all__ = [
     "run_pax2",
     "run_parbox",
     "run_naive_centralized",
+    # concurrent service layer
+    "ServiceEngine",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "QueryResultCache",
 ]

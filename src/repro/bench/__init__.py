@@ -17,6 +17,7 @@ from repro.bench.experiment1 import run_experiment1
 from repro.bench.experiment2 import run_experiment2
 from repro.bench.experiment3 import run_experiment3
 from repro.bench.guarantees import run_guarantees
+from repro.bench.service_bench import run_service_benchmark, write_benchmark_json
 
 __all__ = [
     "AlgorithmVariant",
@@ -29,4 +30,6 @@ __all__ = [
     "run_experiment2",
     "run_experiment3",
     "run_guarantees",
+    "run_service_benchmark",
+    "write_benchmark_json",
 ]

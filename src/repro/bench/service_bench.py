@@ -1,0 +1,170 @@
+"""Service-layer throughput benchmark (``repro bench-service``).
+
+Measures what the concurrent service layer buys over the batch engine on a
+multi-user workload: the same XMark request stream is answered once by a
+sequential ``DistributedQueryEngine.execute()`` loop (every request evaluated
+from scratch — the seed's only serving mode) and once by a
+:class:`repro.service.ServiceEngine` at several client concurrencies, cold
+and warm cache.  The emitted ``BENCH_service.json`` records queries/sec and
+latency percentiles for every configuration, so later PRs can track the
+serving trajectory the way ``benchmarks/`` tracks the paper's figures.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.engine import DistributedQueryEngine
+from repro.service.metrics import ServiceMetrics, percentile
+from repro.service.server import ServiceEngine
+from repro.workloads.queries import PAPER_QUERIES
+from repro.workloads.scenarios import build_ft2
+
+__all__ = [
+    "run_service_benchmark",
+    "write_benchmark_json",
+    "render_summary",
+    "DEFAULT_CLIENT_COUNTS",
+]
+
+DEFAULT_CLIENT_COUNTS = (1, 8, 64)
+
+
+def _request_stream(requests: int, queries: Sequence[str]) -> List[str]:
+    """A deterministic multi-user request stream: round-robin over the pool."""
+    return [queries[index % len(queries)] for index in range(requests)]
+
+
+def _sequential_baseline(
+    engine: DistributedQueryEngine, requests: Sequence[str]
+) -> Dict[str, object]:
+    latencies: List[float] = []
+    started = time.perf_counter()
+    answer_counts: List[int] = []
+    for query in requests:
+        begun = time.perf_counter()
+        result = engine.execute(query)
+        latencies.append(time.perf_counter() - begun)
+        answer_counts.append(len(result))
+    wall = max(time.perf_counter() - started, 1e-9)
+    return {
+        "requests": len(requests),
+        "wall_seconds": round(wall, 6),
+        "qps": round(len(requests) / wall, 2),
+        "latency_seconds": {
+            "p50": round(percentile(latencies, 0.50), 6),
+            "p95": round(percentile(latencies, 0.95), 6),
+        },
+        "answers_total": sum(answer_counts),
+    }
+
+
+def _service_phase(
+    service: ServiceEngine, requests: Sequence[str], clients: int
+) -> Dict[str, object]:
+    # Fresh per-phase metrics so cold and warm numbers do not blend.
+    service.metrics = ServiceMetrics(service.config.metrics_window)
+    cache_before = service.cache.stats.to_dict() if service.cache is not None else None
+    started = time.perf_counter()
+    results = service.serve_batch(requests, concurrency=clients)
+    wall = max(time.perf_counter() - started, 1e-9)
+    phase = service.metrics.to_dict()
+    phase["wall_seconds"] = round(wall, 6)
+    phase["qps"] = round(len(requests) / wall, 2)
+    phase["answers_total"] = sum(len(result) for result in results)
+    if service.cache is not None and cache_before is not None:
+        after = service.cache.stats.to_dict()
+        phase["cache"] = {
+            key: after[key] - cache_before[key]
+            for key in ("hits", "misses", "coalesced", "stores", "evictions")
+        }
+    return phase
+
+
+def run_service_benchmark(
+    total_bytes: int = 60_000,
+    requests: int = 128,
+    client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+    seed: int = 5,
+    site_parallelism: int = 4,
+    algorithm: str = "pax2",
+    query_pool: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Run the full sequential-vs-service comparison and return the report."""
+    scenario = build_ft2(total_bytes=total_bytes, seed=seed)
+    queries = list(query_pool) if query_pool else list(PAPER_QUERIES.values())
+    stream = _request_stream(requests, queries)
+    engine = DistributedQueryEngine(
+        scenario.fragmentation, placement=scenario.placement, algorithm=algorithm
+    )
+
+    report: Dict[str, object] = {
+        "benchmark": "service_throughput",
+        "workload": {
+            "scenario": scenario.name,
+            "document_bytes": scenario.total_bytes,
+            "fragments": scenario.fragment_count,
+            "sites": len(set(scenario.placement.values())),
+            "requests": requests,
+            "unique_queries": len(queries),
+            "queries": queries,
+            "algorithm": algorithm,
+            "seed": seed,
+        },
+        "sequential": _sequential_baseline(engine, stream),
+    }
+
+    service_levels: Dict[str, object] = {}
+    speedups: Dict[str, float] = {}
+    sequential_qps = float(report["sequential"]["qps"])  # type: ignore[index]
+    for clients in client_counts:
+        service = engine.as_service(
+            max_in_flight=max(clients, 1), site_parallelism=site_parallelism
+        )
+        cold = _service_phase(service, stream, clients)
+        warm = _service_phase(service, stream, clients)
+        service_levels[str(clients)] = {"cold": cold, "warm": warm}
+        if sequential_qps > 0:
+            speedups[str(clients)] = round(float(cold["qps"]) / sequential_qps, 2)
+    report["service"] = service_levels
+    report["speedup_cold_vs_sequential"] = speedups
+    return report
+
+
+def write_benchmark_json(report: Dict[str, object], path: str | Path) -> Path:
+    """Write the report as pretty JSON and return the path."""
+    destination = Path(path)
+    destination.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return destination
+
+
+def render_summary(report: Dict[str, object]) -> str:
+    """A human-readable recap of the emitted JSON."""
+    sequential = report["sequential"]
+    lines = [
+        f"workload        : {report['workload']['requests']} requests over"
+        f" {report['workload']['unique_queries']} queries,"
+        f" {report['workload']['fragments']} fragments on"
+        f" {report['workload']['sites']} sites",
+        f"sequential      : {sequential['qps']} q/s"
+        f" (p50 {sequential['latency_seconds']['p50'] * 1000:.2f} ms,"
+        f" p95 {sequential['latency_seconds']['p95'] * 1000:.2f} ms)",
+    ]
+    for clients, level in report["service"].items():
+        for phase_name in ("cold", "warm"):
+            phase = level[phase_name]
+            cache = phase.get("cache", {})
+            lines.append(
+                f"service x{clients:>3} {phase_name:<4}: {phase['qps']} q/s"
+                f" (p50 {phase['latency_seconds']['p50'] * 1000:.2f} ms,"
+                f" p95 {phase['latency_seconds']['p95'] * 1000:.2f} ms,"
+                f" hits {cache.get('hits', 0)}, coalesced {cache.get('coalesced', 0)})"
+            )
+    speedups = report.get("speedup_cold_vs_sequential", {})
+    if speedups:
+        best = max(speedups.items(), key=lambda item: item[1])
+        lines.append(f"speedup         : {best[1]}x at {best[0]} clients (cold vs sequential)")
+    return "\n".join(lines)

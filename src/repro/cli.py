@@ -24,6 +24,18 @@ Inspect how a document would be fragmented::
 Generate an XMark-like document for experiments::
 
     python -m repro generate --bytes 200000 --sites 2 --output sites.xml
+
+Serve a batch of queries concurrently through the service layer (queries
+read one per line from a file, or from stdin with ``-``) and report cache
+and latency metrics::
+
+    python -m repro serve catalog.xml --queries queries.txt \
+        --fragment-size 2000 --concurrency 32 --repeat 4
+
+Benchmark the service layer against the sequential engine loop and emit
+``BENCH_service.json``::
+
+    python -m repro bench-service --requests 128 --clients 1 8 64
 """
 
 from __future__ import annotations
@@ -88,6 +100,46 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--sites", type=int, default=1, help="number of XMark site subtrees")
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--output", default=None, help="write to this file instead of stdout")
+
+    serve = commands.add_parser(
+        "serve", help="serve a batch of queries concurrently through the service layer"
+    )
+    serve.add_argument("document", help="path to the XML document")
+    serve.add_argument(
+        "--queries", default="-", metavar="FILE",
+        help="file with one XPath query per line ('-' reads stdin; default)",
+    )
+    serve.add_argument("--fragment-size", type=int, default=None, metavar="N")
+    serve.add_argument("--fragment-at", default=None, metavar="QUERY")
+    serve.add_argument("--sites", type=int, default=None, metavar="K",
+                       help="distribute fragments over K sites round-robin")
+    serve.add_argument("--algorithm", choices=["pax2", "pax3", "naive", "parbox"],
+                       default="pax2")
+    serve.add_argument("--concurrency", type=int, default=16,
+                       help="simultaneous clients issuing the batch (default 16)")
+    serve.add_argument("--repeat", type=int, default=1,
+                       help="issue the query list this many times (exercises the cache)")
+    serve.add_argument("--site-parallelism", type=int, default=4,
+                       help="concurrent requests each site serves (default 4)")
+    serve.add_argument("--cache-capacity", type=int, default=256,
+                       help="result-cache entries (0 disables caching)")
+    serve.add_argument("--answers", action="store_true",
+                       help="print the answer count of every request")
+
+    bench_service = commands.add_parser(
+        "bench-service",
+        help="benchmark service throughput vs the sequential engine loop",
+    )
+    bench_service.add_argument("--requests", type=int, default=128,
+                               help="requests in the workload stream (default 128)")
+    bench_service.add_argument("--clients", type=int, nargs="+", default=[1, 8, 64],
+                               metavar="N", help="client concurrencies (default 1 8 64)")
+    bench_service.add_argument("--bytes", type=int, default=60_000, dest="total_bytes",
+                               help="approximate XMark document size (default 60000)")
+    bench_service.add_argument("--seed", type=int, default=5)
+    bench_service.add_argument("--site-parallelism", type=int, default=4)
+    bench_service.add_argument("--output", default="BENCH_service.json",
+                               help="report path (default BENCH_service.json)")
 
     return parser
 
@@ -167,6 +219,66 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_queries(source: str) -> list:
+    """Read one query per line, skipping blanks and ``#`` comments."""
+    if source == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    queries = [line.strip() for line in lines]
+    return [query for query in queries if query and not query.startswith("#")]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import ServiceEngine
+
+    queries = _read_queries(args.queries)
+    if not queries:
+        raise SystemExit("no queries to serve (expected one XPath query per line)")
+    tree = parse_xml_file(args.document)
+    fragmentation = _fragment_document(tree, args.fragment_size, args.fragment_at)
+    if args.sites is not None:
+        placement = round_robin_placement(fragmentation, site_count=args.sites)
+    else:
+        placement = one_site_per_fragment(fragmentation)
+    service = ServiceEngine(
+        fragmentation,
+        placement=placement,
+        algorithm=args.algorithm,
+        site_parallelism=args.site_parallelism,
+        cache_capacity=args.cache_capacity,
+        max_in_flight=max(args.concurrency, 1),
+    )
+    batch = queries * max(args.repeat, 1)
+    results = service.serve_batch(batch, concurrency=args.concurrency)
+    if args.answers:
+        for query, result in zip(batch, results):
+            print(f"{len(result):6d} answer(s)  {query}")
+    print(service.summary())
+    return 0
+
+
+def _cmd_bench_service(args: argparse.Namespace) -> int:
+    from repro.bench.service_bench import (
+        render_summary,
+        run_service_benchmark,
+        write_benchmark_json,
+    )
+
+    report = run_service_benchmark(
+        total_bytes=args.total_bytes,
+        requests=args.requests,
+        client_counts=args.clients,
+        seed=args.seed,
+        site_parallelism=args.site_parallelism,
+    )
+    path = write_benchmark_json(report, args.output)
+    print(render_summary(report))
+    print(f"[written to {path}]")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     parser = build_parser()
@@ -177,6 +289,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_fragment(args)
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "bench-service":
+        return _cmd_bench_service(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2
 

@@ -25,6 +25,7 @@ __all__ = [
     "plan_units",
     "answer_subtree_nodes",
     "stage_timer",
+    "stage_site_times",
 ]
 
 QueryInput = Union[str, PathExpr, QueryPlan]
@@ -71,6 +72,20 @@ def plan_units(plan: QueryPlan) -> int:
 def answer_subtree_nodes(tree: XMLTree, answer_ids: Sequence[int]) -> int:
     """Number of tree nodes shipped when answers are materialized as subtrees."""
     return sum(tree.node(node_id).subtree_size() for node_id in answer_ids)
+
+
+def stage_site_times(
+    network: Network, site_ids: Sequence[str], stage_key: str
+) -> tuple[float, float]:
+    """(parallel, total) seconds of one stage over the participating sites.
+
+    Parallel time is the slowest site (sites work independently within a
+    stage), total time the sum over sites — the paper's two time measures.
+    """
+    times = [network.sites[site_id].stage_seconds.get(stage_key, 0.0) for site_id in site_ids]
+    if not times:
+        return 0.0, 0.0
+    return max(times), sum(times)
 
 
 @contextmanager

@@ -18,6 +18,17 @@ Example
     for name in result.texts():
         print(name)
     print(result.summary())
+
+The engine evaluates one query at a time through the synchronous simulated
+network.  For many concurrent queries over the same fragmentation — with
+per-site concurrency limits, admission control, result caching on the
+normalized query and latency/throughput metrics — use :meth:`as_service` (or
+:class:`repro.service.ServiceEngine` directly)::
+
+    service = engine.as_service(max_in_flight=32)
+    results = service.serve_batch(["//item/name"] * 100, concurrency=32)
+    print(service.metrics.summary())
+    print(service.cache.stats.summary())
 """
 
 from __future__ import annotations
@@ -42,8 +53,12 @@ __all__ = ["DistributedQueryEngine", "ALGORITHMS"]
 ALGORITHMS = {
     "pax3": run_pax3,
     "pax2": run_pax2,
+    "parbox": run_parbox,
     "naive": run_naive_centralized,
 }
+
+#: algorithms whose runners take no ``use_annotations`` parameter
+_NO_ANNOTATION_ALGORITHMS = frozenset({"naive", "parbox"})
 
 
 class DistributedQueryEngine:
@@ -57,8 +72,8 @@ class DistributedQueryEngine:
         Mapping ``fragment_id -> site_id``; defaults to one site per
         fragment, with the root fragment's site acting as the coordinator.
     algorithm:
-        ``"pax2"`` (default, the paper's best algorithm), ``"pax3"`` or
-        ``"naive"``.
+        ``"pax2"`` (default, the paper's best algorithm), ``"pax3"``,
+        ``"naive"``, or ``"parbox"`` (Boolean queries only).
     use_annotations:
         Enable the XPath-annotation optimization (fragment pruning and, for
         qualifier-free queries, concrete stack initialization).
@@ -100,7 +115,7 @@ class DistributedQueryEngine:
         name = algorithm or self.algorithm
         runner = ALGORITHMS[name]
         annotations = self.use_annotations if use_annotations is None else use_annotations
-        if name == "naive":
+        if name in _NO_ANNOTATION_ALGORITHMS:
             return runner(self.fragmentation, query, placement=self.placement)
         return runner(
             self.fragmentation,
@@ -117,6 +132,20 @@ class DistributedQueryEngine:
     def evaluate_centralized(self, query: QueryInput):
         """Evaluate against the original (un-fragmented) tree — ground truth."""
         return evaluate_centralized(self.fragmentation.tree, query)
+
+    def as_service(self, **overrides):
+        """A concurrent :class:`repro.service.ServiceEngine` over this engine's
+        fragmentation, placement and defaults (see :mod:`repro.service`).
+
+        The engine's algorithm/annotations defaults apply only when the
+        caller passes neither an explicit ``config`` nor their own values.
+        """
+        from repro.service.server import ServiceEngine
+
+        if "config" not in overrides:
+            overrides.setdefault("algorithm", self.algorithm)
+            overrides.setdefault("use_annotations", self.use_annotations)
+        return ServiceEngine(self.fragmentation, placement=self.placement, **overrides)
 
     # -- introspection --------------------------------------------------------
 

@@ -31,6 +31,7 @@ from repro.core.common import (
     build_network,
     ensure_plan,
     plan_units,
+    stage_site_times,
     stage_timer,
 )
 from repro.core.pruning import annotation_init_vector, relevant_fragments
@@ -60,13 +61,6 @@ def _output_units(plan: QueryPlan, output: FragmentCombinedOutput) -> int:
     for vector in output.virtual_parent_vectors.values():
         units += sum(formula_size(entry) for entry in vector)
     return units
-
-
-def _stage_site_times(network: Network, site_ids: Sequence[str], stage_key: str) -> tuple[float, float]:
-    times = [network.sites[site_id].stage_seconds.get(stage_key, 0.0) for site_id in site_ids]
-    if not times:
-        return 0.0, 0.0
-    return max(times), sum(times)
 
 
 def run_pax2(
@@ -145,7 +139,7 @@ def run_pax2(
                 description="stage 1: definite answers",
             )
 
-    stage1.parallel_seconds, stage1.total_seconds = _stage_site_times(
+    stage1.parallel_seconds, stage1.total_seconds = stage_site_times(
         network, stage1_sites, "pax2:combined"
     )
     stage1.sites_involved = len(stage1_sites)
@@ -206,7 +200,7 @@ def run_pax2(
                     description="stage 2: resolved candidate answers",
                 )
         candidate_site_ids = sorted(candidate_sites)
-        stage2.parallel_seconds, stage2.total_seconds = _stage_site_times(
+        stage2.parallel_seconds, stage2.total_seconds = stage_site_times(
             network, candidate_site_ids, "pax2:answers"
         )
         stage2.sites_involved = len(candidate_site_ids)

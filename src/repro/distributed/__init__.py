@@ -13,6 +13,7 @@ the quantities the paper's figures plot:
   (sites are independent within a stage), the *total* time is the sum.
 """
 
+from repro.distributed.async_transport import AsyncTransport, LatencyModel
 from repro.distributed.messages import Message, MessageKind
 from repro.distributed.network import Network
 from repro.distributed.site import Site
@@ -24,6 +25,8 @@ from repro.distributed.placement import (
 from repro.distributed.stats import RunStats, SiteStats, StageStats
 
 __all__ = [
+    "AsyncTransport",
+    "LatencyModel",
     "Message",
     "MessageKind",
     "Network",

@@ -1,0 +1,86 @@
+"""Asynchronous message transport for the concurrent service layer.
+
+The batch simulator (:class:`repro.distributed.network.Network`) records
+messages instantaneously: algorithms call ``network.send`` and move on.  The
+service layer (:mod:`repro.service`) evaluates many queries concurrently, so
+shipping a message takes *time* during which other queries make progress.
+:class:`AsyncTransport` wraps a per-query :class:`Network` and turns every
+``send`` into an awaitable that charges the configured latency — base cost
+per message plus a per-unit cost proportional to the payload — while keeping
+the network's unit accounting identical to the synchronous path.
+
+Same-site messages remain free (and instantaneous), matching the cost model
+of the paper.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.distributed.messages import Message
+from repro.distributed.network import Network
+
+__all__ = ["LatencyModel", "AsyncTransport"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Simulated network cost of one message.
+
+    ``base_seconds`` is charged per message, ``per_unit_seconds`` per payload
+    unit (vector entry, formula atom, shipped node).  The default model is
+    free — the service then measures pure scheduling/compute behaviour.
+    """
+
+    base_seconds: float = 0.0
+    per_unit_seconds: float = 0.0
+
+    def delay(self, units: int) -> float:
+        return self.base_seconds + self.per_unit_seconds * max(0, units)
+
+    @property
+    def is_free(self) -> bool:
+        return self.base_seconds <= 0.0 and self.per_unit_seconds <= 0.0
+
+
+class AsyncTransport:
+    """Awaitable ``send`` over a per-query :class:`Network`.
+
+    Accounting (units, message counts) is delegated to the wrapped network so
+    :meth:`Network.collect_stats` keeps working unchanged; the transport only
+    adds the time dimension and a few service-level counters.
+    """
+
+    def __init__(self, network: Network, latency: LatencyModel | None = None):
+        self.network = network
+        self.latency = latency or LatencyModel()
+        #: messages that actually crossed the (simulated) wire
+        self.sent_messages = 0
+        #: cumulative simulated seconds spent on the wire
+        self.simulated_seconds = 0.0
+
+    async def send(
+        self,
+        sender: str,
+        receiver: str,
+        kind: str,
+        units: int,
+        description: str = "",
+        payload: object = None,
+    ) -> Message:
+        """Record one message and await its simulated transmission."""
+        message = self.network.send(sender, receiver, kind, units, description, payload)
+        if not message.is_local:
+            self.sent_messages += 1
+            delay = self.latency.delay(message.units)
+            if delay > 0.0:
+                self.simulated_seconds += delay
+                await asyncio.sleep(delay)
+        return message
+
+    def __repr__(self) -> str:
+        return (
+            f"<AsyncTransport sent={self.sent_messages} "
+            f"simulated={self.simulated_seconds * 1000:.2f} ms>"
+        )

@@ -92,6 +92,45 @@ class RunStats:
 
     # -- presentation ------------------------------------------------------------
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of the run (used by the service layer and the
+        benchmark emitters; nested stage/site records included)."""
+        return {
+            "algorithm": self.algorithm,
+            "query": self.query,
+            "use_annotations": self.use_annotations,
+            "answer_count": self.answer_count,
+            "answer_nodes_shipped": self.answer_nodes_shipped,
+            "parallel_seconds": self.parallel_seconds,
+            "total_seconds": self.total_seconds,
+            "communication_units": self.communication_units,
+            "local_units": self.local_units,
+            "message_count": self.message_count,
+            "max_site_visits": self.max_site_visits,
+            "total_operations": self.total_operations,
+            "fragments_evaluated": list(self.fragments_evaluated),
+            "fragments_pruned": list(self.fragments_pruned),
+            "stages": [
+                {
+                    "name": stage.name,
+                    "parallel_seconds": stage.parallel_seconds,
+                    "total_seconds": stage.total_seconds,
+                    "coordinator_seconds": stage.coordinator_seconds,
+                    "sites_involved": stage.sites_involved,
+                }
+                for stage in self.stages
+            ],
+            "sites": {
+                site_id: {
+                    "fragment_ids": list(site.fragment_ids),
+                    "visits": site.visits,
+                    "seconds": site.seconds,
+                    "operations": site.operations,
+                }
+                for site_id, site in sorted(self.sites.items())
+            },
+        }
+
     def summary(self) -> str:
         """Readable multi-line summary used by the examples and the harness."""
         lines = [

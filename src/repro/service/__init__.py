@@ -1,0 +1,57 @@
+"""Concurrent query service layer.
+
+The packages below :mod:`repro.core` evaluate one query at a time through a
+passive, synchronous simulated network.  This package turns the reproduction
+into a *serving* system: many in-flight queries, per-site concurrency limits,
+result caching on the normalized query, and latency/throughput metrics.
+
+Components
+----------
+:class:`~repro.service.actors.SiteActor` / :class:`~repro.service.actors.ActorPool`
+    ``asyncio`` counterparts of :class:`repro.distributed.site.Site`: each
+    site serves partial-evaluation requests concurrently, bounded by a
+    configurable parallelism, with optional simulated latency
+    (:class:`repro.distributed.async_transport.LatencyModel`).
+:mod:`~repro.service.evaluator`
+    An asynchronous PaX2 whose per-site rounds are scheduled through the
+    actor pool, so rounds of *different* queries interleave on the same site.
+:class:`~repro.service.cache.QueryResultCache`
+    LRU result cache keyed on the normalized query plus a fragmentation
+    version tag, with hit/miss statistics and explicit invalidation.
+:class:`~repro.service.metrics.ServiceMetrics`
+    Per-query latency records aggregated into percentiles and throughput.
+:class:`~repro.service.server.ServiceEngine`
+    The facade: admission control, single-flight coalescing of identical
+    queries, and both ``async`` and blocking entry points mirroring
+    :meth:`repro.core.engine.DistributedQueryEngine.execute`.
+
+Quickstart::
+
+    from repro.service import ServiceEngine
+
+    service = ServiceEngine(fragmentation)
+    results = service.serve_batch(["//person/name"] * 100, concurrency=64)
+    print(service.metrics.summary())
+    print(service.cache.stats.summary())
+"""
+
+from repro.service.actors import ActorPool, SiteActor
+from repro.service.cache import CacheStats, QueryResultCache, normalized_query, version_tag
+from repro.service.evaluator import evaluate_query_async
+from repro.service.metrics import QueryRecord, ServiceMetrics
+from repro.service.server import AdmissionError, ServiceConfig, ServiceEngine
+
+__all__ = [
+    "ActorPool",
+    "SiteActor",
+    "CacheStats",
+    "QueryResultCache",
+    "normalized_query",
+    "version_tag",
+    "evaluate_query_async",
+    "QueryRecord",
+    "ServiceMetrics",
+    "AdmissionError",
+    "ServiceConfig",
+    "ServiceEngine",
+]

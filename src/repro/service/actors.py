@@ -1,0 +1,148 @@
+"""Async site actors: concurrent counterparts of the passive sites.
+
+In the batch simulator a :class:`repro.distributed.site.Site` is visited by
+exactly one algorithm run at a time.  Under the service layer many queries
+are in flight at once and several of them may need the *same* site in the
+same wall-clock instant.  A :class:`SiteActor` models the machine behind a
+site id: it serves evaluation requests concurrently up to a configurable
+``parallelism`` (an :class:`asyncio.Semaphore`), and keeps service-level
+counters (requests served, busy time, peak concurrency) that exist per
+*machine* rather than per query.
+
+Per-query accounting (visits, per-stage seconds) still lives on the
+per-query ``Site`` objects; the actor only schedules and meters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from contextlib import asynccontextmanager
+from typing import AsyncIterator, Dict, Iterable, Optional
+
+__all__ = ["SiteActor", "ActorPool"]
+
+
+class SiteActor:
+    """Concurrency gate and meter for one site of the service.
+
+    Parameters
+    ----------
+    site_id:
+        The site this actor stands for (matches the placement's site ids).
+    parallelism:
+        How many evaluation requests the site serves at once; further
+        requests queue on the semaphore.  ``1`` models the paper's
+        single-threaded sites, larger values model multi-core sites.
+    """
+
+    def __init__(self, site_id: str, parallelism: int = 1):
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self.site_id = site_id
+        self.parallelism = parallelism
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._loop_id: Optional[int] = None
+        #: requests served to completion
+        self.requests = 0
+        #: requests currently inside the semaphore
+        self.in_flight = 0
+        #: the highest concurrency ever observed (<= parallelism)
+        self.peak_in_flight = 0
+        #: wall-clock seconds spent serving requests (overlapping requests
+        #: each count their full duration)
+        self.busy_seconds = 0.0
+        #: wall-clock seconds requests spent queued for a slot
+        self.queued_seconds = 0.0
+
+    def _bound_semaphore(self) -> asyncio.Semaphore:
+        """The semaphore, rebuilt whenever the running event loop changes.
+
+        ``asyncio`` primitives bind to the loop they are first awaited on; the
+        blocking facade creates a fresh loop per call, so a long-lived actor
+        must not keep a semaphore bound to a dead loop.
+        """
+        loop_id = id(asyncio.get_running_loop())
+        if self._semaphore is None or self._loop_id != loop_id:
+            self._semaphore = asyncio.Semaphore(self.parallelism)
+            self._loop_id = loop_id
+            self.in_flight = 0
+        return self._semaphore
+
+    @asynccontextmanager
+    async def slot(self, stage: str = "") -> AsyncIterator["SiteActor"]:
+        """Hold one of the site's execution slots for the enclosed work."""
+        semaphore = self._bound_semaphore()
+        queued_at = time.perf_counter()
+        async with semaphore:
+            started = time.perf_counter()
+            self.queued_seconds += started - queued_at
+            self.in_flight += 1
+            self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+            try:
+                yield self
+            finally:
+                self.in_flight -= 1
+                self.requests += 1
+                self.busy_seconds += time.perf_counter() - started
+
+    def reset_counters(self) -> None:
+        self.requests = 0
+        self.peak_in_flight = 0
+        self.busy_seconds = 0.0
+        self.queued_seconds = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<SiteActor {self.site_id} parallelism={self.parallelism} "
+            f"requests={self.requests} peak={self.peak_in_flight}>"
+        )
+
+
+class ActorPool:
+    """One :class:`SiteActor` per site of a placement."""
+
+    def __init__(self, site_ids: Iterable[str], parallelism: int = 1):
+        self.parallelism = parallelism
+        self.actors: Dict[str, SiteActor] = {
+            site_id: SiteActor(site_id, parallelism) for site_id in sorted(set(site_ids))
+        }
+
+    def __getitem__(self, site_id: str) -> SiteActor:
+        actor = self.actors.get(site_id)
+        if actor is None:
+            # Sites can appear after construction (e.g. a placement edited in
+            # place); grow the pool rather than failing mid-query.
+            actor = SiteActor(site_id, self.parallelism)
+            self.actors[site_id] = actor
+        return actor
+
+    def __len__(self) -> int:
+        return len(self.actors)
+
+    def site_ids(self) -> list[str]:
+        return sorted(self.actors)
+
+    def total_requests(self) -> int:
+        return sum(actor.requests for actor in self.actors.values())
+
+    def peak_in_flight(self) -> int:
+        return max((actor.peak_in_flight for actor in self.actors.values()), default=0)
+
+    def reset_counters(self) -> None:
+        for actor in self.actors.values():
+            actor.reset_counters()
+
+    def summary(self) -> str:
+        lines = [f"actor pool: {len(self.actors)} sites, parallelism={self.parallelism}"]
+        for site_id in self.site_ids():
+            actor = self.actors[site_id]
+            lines.append(
+                f"  {site_id}: {actor.requests} requests, peak {actor.peak_in_flight},"
+                f" busy {actor.busy_seconds * 1000:.2f} ms,"
+                f" queued {actor.queued_seconds * 1000:.2f} ms"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<ActorPool sites={len(self.actors)} parallelism={self.parallelism}>"

@@ -1,0 +1,180 @@
+"""Result cache keyed on the normalized query.
+
+Two syntactically different queries that normalize to the same form (Section
+2.2 of the paper) — e.g. ``//a/./b`` and ``//a/b``, or ``a//.//b`` and
+``a//b`` — denote the same answer, so the cache keys on
+:func:`repro.xpath.normalize.normalize` output rather than the raw string.
+The key also carries a *fragmentation version tag*: a fingerprint of the
+fragmented document and its placement.  Re-fragmenting, re-placing or
+editing the document yields a different tag, so stale answers can never be
+served; explicit :meth:`QueryResultCache.invalidate` covers in-place updates
+the fingerprint cannot see.
+
+Entries are full :class:`repro.distributed.stats.RunStats` objects (the
+answer ids plus the accounting that produced them), evicted LRU-first.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+from repro.core.common import QueryInput
+from repro.distributed.stats import RunStats
+from repro.fragments.fragment_tree import Fragmentation
+from repro.xpath.ast import PathExpr
+from repro.xpath.normalize import normalize
+from repro.xpath.parser import parse_xpath
+from repro.xpath.plan import QueryPlan
+
+__all__ = ["CacheKey", "CacheStats", "QueryResultCache", "normalized_query", "version_tag"]
+
+#: (normalized query, algorithm, annotations flag, fragmentation version tag)
+CacheKey = Tuple[str, str, bool, str]
+
+
+def normalized_query(query: QueryInput) -> str:
+    """The canonical cache-key text of a query: its normal form, stringified.
+
+    The rendering is a stable key, not guaranteed concrete syntax (e.g. the
+    Boolean query ``.[q]`` normalizes to the bare ``[q]``); never re-parse it.
+    """
+    if isinstance(query, QueryPlan):
+        # A compiled plan was built from an already-normalized path; its
+        # source is the most faithful text we have.
+        try:
+            return str(normalize(parse_xpath(query.source)))
+        except Exception:
+            return query.source
+    if isinstance(query, PathExpr):
+        return str(normalize(query))
+    return str(normalize(parse_xpath(query)))
+
+
+def version_tag(fragmentation: Fragmentation, placement: Mapping[str, str]) -> str:
+    """A fingerprint of the fragmented document and its placement.
+
+    Covers the tree shape and content (size, labels and texts folded into a
+    running hash), the fragment boundaries and the site assignment — any
+    change to one of them changes the tag and thereby misses the cache.
+    """
+    digest = 0
+
+    def fold(value: object) -> None:
+        nonlocal digest
+        digest = (digest * 1_000_003 + hash(value)) & 0xFFFFFFFFFFFFFFFF
+
+    tree = fragmentation.tree
+    fold(tree.size())
+    for fragment_id in fragmentation.fragment_ids():
+        fragment = fragmentation[fragment_id]
+        fold(fragment_id)
+        fold(fragment.root.node_id)
+        fold(placement.get(fragment_id))
+    for node in tree.root.iter_subtree():
+        fold(node.tag if node.is_element else node.value)
+    return f"{digest:016x}"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    stores: int = 0
+    #: requests answered by joining an identical in-flight query (filled in
+    #: by the server's single-flight layer, reported here for one summary)
+    coalesced: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"cache: {self.hits} hits / {self.lookups} lookups"
+            f" ({self.hit_rate * 100:.1f}%), {self.coalesced} coalesced,"
+            f" {self.stores} stores, {self.evictions} evictions,"
+            f" {self.invalidations} invalidations"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "coalesced": self.coalesced,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+class QueryResultCache:
+    """LRU cache from :data:`CacheKey` to :class:`RunStats`."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, RunStats]" = OrderedDict()
+        self.stats = CacheStats()
+
+    @staticmethod
+    def make_key(
+        query: QueryInput, algorithm: str, use_annotations: bool, version: str
+    ) -> CacheKey:
+        return (normalized_query(query), algorithm, bool(use_annotations), version)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: CacheKey) -> Optional[RunStats]:
+        """The cached stats for *key* (marking it recently used), or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, stats: RunStats) -> None:
+        """Store *stats* under *key*, evicting the least recently used entry."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = stats
+        self.stats.stores += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, version: Optional[str] = None) -> int:
+        """Drop entries — all of them, or only those of one version tag.
+
+        Returns the number of entries removed.
+        """
+        if version is None:
+            removed = len(self._entries)
+            self._entries.clear()
+        else:
+            stale = [key for key in self._entries if key[3] == version]
+            for key in stale:
+                del self._entries[key]
+            removed = len(stale)
+        self.stats.invalidations += removed
+        return removed
+
+    def __repr__(self) -> str:
+        return f"<QueryResultCache {len(self)}/{self.capacity} entries, {self.stats.summary()}>"

@@ -1,0 +1,286 @@
+"""Asynchronous query evaluation for the service layer.
+
+:func:`evaluate_query_async` is the service-side counterpart of the
+synchronous runners in :mod:`repro.core`.  For PaX2 (the paper's best
+algorithm and the service default) the evaluation is natively asynchronous:
+every per-site round — the combined qualifier/selection pass of Stage 1, the
+answer resolution of Stage 2 — is dispatched as its own task through the
+shared :class:`~repro.service.actors.ActorPool`, so the rounds of *different*
+in-flight queries interleave on the same sites subject to each site's
+parallelism limit, and simulated message latency overlaps across sites and
+queries.
+
+Each query run gets its own :class:`~repro.distributed.network.Network`
+(sites are lightweight accounting objects), so the per-run
+:class:`~repro.distributed.stats.RunStats` are exactly what the synchronous
+path would produce; the actor pool carries the cross-query machine-level
+counters instead.
+
+The remaining algorithms (PaX3, ParBoX, the naive baseline) are served
+through the same interface by running their synchronous runner inside the
+coordinator's actor slot — correct and convenient, but without intra-query
+round interleaving; PaX2 is where the concurrency lives.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.booleans.env import Environment
+from repro.booleans.formula import FormulaLike
+from repro.core.combined import FragmentCombinedOutput, evaluate_fragment_combined
+from repro.core.naive import run_naive_centralized
+from repro.core.parbox import run_parbox
+from repro.core.pax2 import _output_units
+from repro.core.pax3 import run_pax3
+from repro.core.common import answer_subtree_nodes, plan_units, stage_site_times, stage_timer
+from repro.core.pruning import annotation_init_vector, relevant_fragments
+from repro.core.selection import concrete_root_init_vector, variable_init_vector
+from repro.core.unify import (
+    require_concrete,
+    resolved_child_qualifier_bindings,
+    resolved_init_bindings,
+    unify_qualifier_vectors,
+    unify_selection_vectors,
+)
+from repro.distributed.async_transport import AsyncTransport, LatencyModel
+from repro.distributed.messages import MessageKind
+from repro.distributed.network import Network
+from repro.distributed.stats import RunStats, StageStats
+from repro.fragments.fragment_tree import Fragmentation
+from repro.service.actors import ActorPool
+from repro.xpath.plan import QueryPlan
+
+__all__ = ["evaluate_query_async"]
+
+
+async def evaluate_query_async(
+    fragmentation: Fragmentation,
+    placement: Mapping[str, str],
+    plan: QueryPlan,
+    actors: ActorPool,
+    algorithm: str = "pax2",
+    use_annotations: bool = True,
+    latency: Optional[LatencyModel] = None,
+) -> RunStats:
+    """Evaluate one query through the actor pool and return its RunStats."""
+    network = Network(fragmentation, placement)
+    if algorithm == "pax2":
+        transport = AsyncTransport(network, latency)
+        return await _run_pax2_async(
+            fragmentation, plan, network, transport, actors, use_annotations
+        )
+    return await _run_sync_fallback(
+        fragmentation, plan, network, actors, algorithm, use_annotations, latency
+    )
+
+
+async def _run_sync_fallback(
+    fragmentation: Fragmentation,
+    plan: QueryPlan,
+    network: Network,
+    actors: ActorPool,
+    algorithm: str,
+    use_annotations: bool,
+    latency: Optional[LatencyModel],
+) -> RunStats:
+    """Serve a non-PaX2 algorithm by running its synchronous runner whole,
+    inside the coordinator's actor slot (so admission and per-site limits at
+    the coordinator still apply).
+
+    The synchronous runners record messages instantaneously; to keep the
+    latency model comparable across algorithms, the simulated wire time of
+    every recorded non-local message is charged (serialized, as the runner
+    sent them) after the run.
+    """
+    async with actors[network.coordinator_id].slot(f"{algorithm}:run"):
+        if algorithm == "pax3":
+            stats = run_pax3(
+                fragmentation, plan, network=network, use_annotations=use_annotations
+            )
+        elif algorithm == "naive":
+            stats = run_naive_centralized(fragmentation, plan, network=network)
+        elif algorithm == "parbox":
+            stats = run_parbox(fragmentation, plan, network=network)
+        else:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        if latency is not None and not latency.is_free:
+            delay = sum(
+                latency.delay(message.units)
+                for message in network.messages
+                if not message.is_local
+            )
+            if delay > 0.0:
+                await asyncio.sleep(delay)
+        return stats
+
+
+async def _run_pax2_async(
+    fragmentation: Fragmentation,
+    plan: QueryPlan,
+    network: Network,
+    transport: AsyncTransport,
+    actors: ActorPool,
+    use_annotations: bool,
+) -> RunStats:
+    """PaX2 with each per-site round scheduled as an actor task.
+
+    The algorithmic content — initialization vectors, the combined pass, the
+    two unifications, candidate resolution — is identical to
+    :func:`repro.core.pax2.run_pax2`; only the orchestration differs.
+    """
+    coordinator_id = network.coordinator_id
+    root_fragment_id = fragmentation.root_fragment_id
+    stats = RunStats(algorithm="PaX2", query=plan.source, use_annotations=use_annotations)
+
+    if use_annotations:
+        decision = relevant_fragments(fragmentation, plan)
+        evaluated = [fid for fid in fragmentation.fragment_ids() if decision.keeps(fid)]
+        stats.fragments_pruned = sorted(decision.pruned)
+    else:
+        evaluated = fragmentation.fragment_ids()
+    stats.fragments_evaluated = list(evaluated)
+
+    answers: set[int] = set()
+
+    # ------------------------------------------------------------------ stage 1
+    stage1 = StageStats(name="combined")
+    stage1_sites = network.sites_holding(evaluated)
+
+    async def stage1_round(site_id: str) -> Tuple[str, Dict[str, FragmentCombinedOutput]]:
+        site = network.sites[site_id]
+        fragment_ids = [fid for fid in network.fragments_on(site_id) if fid in evaluated]
+        async with actors[site_id].slot("pax2:combined"):
+            await transport.send(
+                coordinator_id, site_id, MessageKind.EXEC_REQUEST,
+                units=plan_units(plan) * len(fragment_ids),
+                description="stage 1: combined qualifier + selection pass",
+            )
+            site_outputs: Dict[str, FragmentCombinedOutput] = {}
+            site_answers: List[int] = []
+            site_units = 0
+            with site.visit("pax2:combined"):
+                for fragment_id in fragment_ids:
+                    fragment = fragmentation[fragment_id]
+                    if fragment_id == root_fragment_id:
+                        init_vector: Sequence[FormulaLike] = concrete_root_init_vector(plan)
+                    elif use_annotations and not plan.has_qualifiers:
+                        init_vector = annotation_init_vector(fragmentation, plan, fragment_id)
+                    else:
+                        init_vector = variable_init_vector(plan, fragment_id)
+                    output = evaluate_fragment_combined(
+                        fragment,
+                        plan,
+                        init_vector,
+                        is_root_fragment=(fragment_id == root_fragment_id),
+                    )
+                    site_outputs[fragment_id] = output
+                    site.add_operations(output.operations)
+                    site_answers.extend(output.answers)
+                    if output.candidates:
+                        site.storage[fragment_id]["candidates"] = output.candidates
+                    site_units += _output_units(plan, output)
+            answers.update(site_answers)
+            if site_units:
+                await transport.send(
+                    site_id, coordinator_id, MessageKind.SELECTION_VECTORS, site_units,
+                    description="stage 1: root qualifier vectors and virtual-node vectors",
+                )
+            if site_answers:
+                await transport.send(
+                    site_id, coordinator_id, MessageKind.ANSWERS, len(site_answers),
+                    description="stage 1: definite answers",
+                )
+        return site_id, site_outputs
+
+    rounds = await asyncio.gather(*(stage1_round(site_id) for site_id in stage1_sites))
+    outputs: Dict[str, FragmentCombinedOutput] = {}
+    candidate_sites: Dict[str, List[str]] = {}
+    for site_id, site_outputs in sorted(rounds):
+        for fragment_id, output in site_outputs.items():
+            outputs[fragment_id] = output
+            if output.candidates:
+                candidate_sites.setdefault(site_id, []).append(fragment_id)
+
+    stage1.parallel_seconds, stage1.total_seconds = stage_site_times(
+        network, stage1_sites, "pax2:combined"
+    )
+    stage1.sites_involved = len(stage1_sites)
+    with stage_timer(stage1):
+        environment = Environment()
+        if plan.has_qualifiers:
+            environment = unify_qualifier_vectors(
+                fragmentation,
+                plan,
+                {fid: (out.root_head, out.root_desc) for fid, out in outputs.items()},
+                environment,
+            )
+        environment = unify_selection_vectors(
+            fragmentation,
+            plan,
+            {fid: out.virtual_parent_vectors for fid, out in outputs.items()},
+            environment,
+        )
+    stats.stages.append(stage1)
+
+    # ------------------------------------------------------------------ stage 2
+    if candidate_sites:
+        stage2 = StageStats(name="answers")
+
+        async def stage2_round(site_id: str, fragment_ids: List[str]) -> None:
+            site = network.sites[site_id]
+            per_fragment_bindings: Dict[str, Dict[str, bool]] = {}
+            total_units = 0
+            for fragment_id in fragment_ids:
+                bindings = resolved_init_bindings(plan, fragment_id, environment)
+                if plan.has_qualifiers:
+                    bindings.update(
+                        resolved_child_qualifier_bindings(
+                            fragmentation, plan, fragment_id, environment
+                        )
+                    )
+                per_fragment_bindings[fragment_id] = bindings
+                total_units += len(bindings)
+            async with actors[site_id].slot("pax2:answers"):
+                await transport.send(
+                    coordinator_id, site_id, MessageKind.RESOLVED_BINDINGS, total_units,
+                    description="stage 2: resolved initialization and qualifier values",
+                )
+                resolved_answers: List[int] = []
+                with site.visit("pax2:answers"):
+                    for fragment_id in fragment_ids:
+                        candidates = site.storage[fragment_id].get("candidates", {})
+                        fragment_env = Environment(per_fragment_bindings[fragment_id])
+                        for node_id, formula in candidates.items():
+                            value = require_concrete(
+                                fragment_env.resolve(formula),
+                                f"candidate answer {node_id} in {fragment_id}",
+                            )
+                            if value:
+                                resolved_answers.append(node_id)
+                answers.update(resolved_answers)
+                if resolved_answers:
+                    await transport.send(
+                        site_id, coordinator_id, MessageKind.ANSWERS, len(resolved_answers),
+                        description="stage 2: resolved candidate answers",
+                    )
+
+        await asyncio.gather(
+            *(
+                stage2_round(site_id, fragment_ids)
+                for site_id, fragment_ids in sorted(candidate_sites.items())
+            )
+        )
+        candidate_site_ids = sorted(candidate_sites)
+        stage2.parallel_seconds, stage2.total_seconds = stage_site_times(
+            network, candidate_site_ids, "pax2:answers"
+        )
+        stage2.sites_involved = len(candidate_site_ids)
+        stats.stages.append(stage2)
+
+    # ------------------------------------------------------------------ results
+    stats.answer_ids = sorted(answers)
+    stats.answer_nodes_shipped = answer_subtree_nodes(fragmentation.tree, stats.answer_ids)
+    network.collect_stats(stats)
+    return stats

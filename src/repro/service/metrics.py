@@ -1,0 +1,199 @@
+"""Service-level metrics: latency percentiles and throughput.
+
+:class:`repro.distributed.stats.RunStats` measures one run in the paper's
+cost model (visits, units, per-stage seconds).  A serving system needs the
+orthogonal, per-*request* view: how long did each query take wall-clock from
+submission to answer, how many were answered per second, and how did the
+cache change that.  :class:`ServiceMetrics` aggregates one
+:class:`QueryRecord` per served request into exactly those numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.distributed.stats import RunStats
+
+__all__ = ["QueryRecord", "ServiceMetrics", "percentile"]
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """The *fraction*-quantile of *values* with linear interpolation.
+
+    ``fraction`` is in ``[0, 1]``; an empty input yields ``0.0`` so summary
+    tables render before any traffic has arrived.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+@dataclass
+class QueryRecord:
+    """One served request: what ran, how it was answered, how long it took."""
+
+    query: str
+    algorithm: str
+    latency_seconds: float
+    cache_hit: bool = False
+    coalesced: bool = False
+    answer_count: int = 0
+    communication_units: int = 0
+    #: the run's accounting; shared between records when the cache answered
+    stats: Optional[RunStats] = field(default=None, repr=False)
+
+
+class ServiceMetrics:
+    """Aggregator over :class:`QueryRecord` entries.
+
+    ``window`` bounds the number of retained records (oldest dropped first)
+    so a long-lived service does not grow without bound; the totals keep
+    counting everything ever recorded.
+    """
+
+    def __init__(self, window: int = 100_000):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.records: List[QueryRecord] = []
+        self.total_requests = 0
+        self.total_cache_hits = 0
+        self.total_coalesced = 0
+        self.total_evaluated = 0
+        self._started_at = time.perf_counter()
+        self._last_finish: Optional[float] = None
+
+    # -- recording ---------------------------------------------------------
+
+    def record(
+        self,
+        query: str,
+        algorithm: str,
+        latency_seconds: float,
+        cache_hit: bool = False,
+        coalesced: bool = False,
+        stats: Optional[RunStats] = None,
+    ) -> QueryRecord:
+        entry = QueryRecord(
+            query=query,
+            algorithm=algorithm,
+            latency_seconds=latency_seconds,
+            cache_hit=cache_hit,
+            coalesced=coalesced,
+            answer_count=len(stats.answer_ids) if stats is not None else 0,
+            communication_units=stats.communication_units if stats is not None else 0,
+            stats=stats,
+        )
+        self.records.append(entry)
+        if len(self.records) > self.window:
+            del self.records[: len(self.records) - self.window]
+        self.total_requests += 1
+        if cache_hit:
+            self.total_cache_hits += 1
+        elif coalesced:
+            self.total_coalesced += 1
+        else:
+            self.total_evaluated += 1
+        self._last_finish = time.perf_counter()
+        return entry
+
+    def reset_clock(self) -> None:
+        """Restart the throughput window (keeps the records)."""
+        self._started_at = time.perf_counter()
+        self._last_finish = None
+
+    # -- derived quantities -------------------------------------------------
+
+    def latencies(self) -> List[float]:
+        return [record.latency_seconds for record in self.records]
+
+    def latency_percentile(self, fraction: float) -> float:
+        return percentile(self.latencies(), fraction)
+
+    @property
+    def p50(self) -> float:
+        return self.latency_percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.latency_percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.latency_percentile(0.99)
+
+    @property
+    def mean_latency(self) -> float:
+        values = self.latencies()
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """The measurement window: first submission to the latest answer."""
+        if self._last_finish is None:
+            return 0.0
+        return max(self._last_finish - self._started_at, 1e-9)
+
+    @property
+    def throughput_qps(self) -> float:
+        """Requests answered per second over the measurement window."""
+        if self._last_finish is None:
+            return 0.0
+        return self.total_requests / self.elapsed_seconds
+
+    def communication_units_total(self) -> int:
+        return sum(record.communication_units for record in self.records)
+
+    # -- presentation --------------------------------------------------------
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"requests         : {self.total_requests}"
+                f" ({self.total_evaluated} evaluated, {self.total_cache_hits} cache hits,"
+                f" {self.total_coalesced} coalesced)",
+                f"throughput       : {self.throughput_qps:.1f} queries/s"
+                f" over {self.elapsed_seconds * 1000:.1f} ms",
+                f"latency p50      : {self.p50 * 1000:.2f} ms",
+                f"latency p95      : {self.p95 * 1000:.2f} ms",
+                f"latency p99      : {self.p99 * 1000:.2f} ms",
+                f"latency mean     : {self.mean_latency * 1000:.2f} ms",
+            ]
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot (used by ``repro bench-service``)."""
+        return {
+            "requests": self.total_requests,
+            "evaluated": self.total_evaluated,
+            "cache_hits": self.total_cache_hits,
+            "coalesced": self.total_coalesced,
+            "throughput_qps": round(self.throughput_qps, 2),
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "latency_seconds": {
+                "p50": round(self.p50, 6),
+                "p95": round(self.p95, 6),
+                "p99": round(self.p99, 6),
+                "mean": round(self.mean_latency, 6),
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServiceMetrics requests={self.total_requests}"
+            f" qps={self.throughput_qps:.1f} p50={self.p50 * 1000:.2f}ms>"
+        )

@@ -1,0 +1,374 @@
+"""The coordinator scheduler: many in-flight queries over one fragmentation.
+
+:class:`ServiceEngine` is the serving counterpart of
+:class:`repro.core.engine.DistributedQueryEngine`.  One engine owns a
+fragmentation, a placement, an :class:`~repro.service.actors.ActorPool`
+(per-site concurrency limits), a
+:class:`~repro.service.cache.QueryResultCache` and a
+:class:`~repro.service.metrics.ServiceMetrics` aggregator, and serves any
+number of concurrent queries through three layers:
+
+1. **Admission control** — at most ``max_in_flight`` evaluations run at
+   once; further work queues, and (optionally) everything beyond
+   ``max_pending`` queued evaluations is rejected with
+   :class:`AdmissionError` instead of waiting.
+2. **Single-flight coalescing** — identical queries (same *normalized* form,
+   algorithm and annotations setting) submitted while one evaluation is in
+   flight all await that one evaluation instead of repeating it.
+3. **Result cache** — completed answers are stored under the normalized
+   query plus the fragmentation version tag and served back in microseconds
+   until evicted or invalidated.
+
+Blocking callers use :meth:`execute` / :meth:`serve_batch`; ``asyncio``
+callers use :meth:`submit` / :meth:`run_many` directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.common import QueryInput
+from repro.core.results import QueryResult
+from repro.distributed.async_transport import LatencyModel
+from repro.distributed.placement import one_site_per_fragment
+from repro.distributed.stats import RunStats
+from repro.fragments.fragment_tree import Fragmentation
+from repro.service.actors import ActorPool
+from repro.service.cache import QueryResultCache, normalized_query, version_tag
+from repro.service.evaluator import evaluate_query_async
+from repro.service.metrics import ServiceMetrics
+from repro.xpath.ast import PathExpr
+from repro.xpath.normalize import normalize
+from repro.xpath.parser import parse_xpath
+from repro.xpath.plan import QueryPlan, compile_plan
+
+__all__ = ["AdmissionError", "ServiceConfig", "ServiceEngine"]
+
+#: algorithms the service accepts (PaX2 natively async, the rest via fallback)
+SERVICE_ALGORITHMS = ("pax2", "pax3", "naive", "parbox")
+
+
+class AdmissionError(RuntimeError):
+    """Raised when the service rejects a query because its queue is full."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`ServiceEngine`."""
+
+    #: default evaluation algorithm (overridable per query)
+    algorithm: str = "pax2"
+    #: default XPath-annotation setting (overridable per query)
+    use_annotations: bool = True
+    #: concurrent evaluations admitted at once
+    max_in_flight: int = 64
+    #: queued evaluations beyond which submission raises AdmissionError
+    #: (``None`` queues without bound)
+    max_pending: Optional[int] = None
+    #: concurrent requests each site serves (the actors' semaphore size)
+    site_parallelism: int = 4
+    #: simulated network latency per message / payload unit
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    #: result-cache capacity; 0 disables caching entirely
+    cache_capacity: int = 256
+    #: join identical in-flight queries instead of re-evaluating
+    coalesce: bool = True
+    #: retained per-request metric records
+    metrics_window: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in SERVICE_ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; choose from {sorted(SERVICE_ALGORITHMS)}"
+            )
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if self.max_pending is not None and self.max_pending < 0:
+            raise ValueError("max_pending must be >= 0 when set")
+
+
+class ServiceEngine:
+    """Serve concurrent XPath queries over one fragmented document.
+
+    Parameters
+    ----------
+    fragmentation:
+        The fragmented document, exactly as for ``DistributedQueryEngine``.
+    placement:
+        ``fragment_id -> site_id``; defaults to one site per fragment.
+    config:
+        A :class:`ServiceConfig`; keyword overrides (``max_in_flight=8`` …)
+        are applied on top of it.
+    """
+
+    def __init__(
+        self,
+        fragmentation: Fragmentation,
+        placement: Optional[Mapping[str, str]] = None,
+        config: Optional[ServiceConfig] = None,
+        **overrides: object,
+    ):
+        self.fragmentation = fragmentation
+        self.placement: Dict[str, str] = (
+            dict(placement) if placement else one_site_per_fragment(fragmentation)
+        )
+        base = config or ServiceConfig()
+        self.config = replace(base, **overrides) if overrides else base
+        self.actors = ActorPool(self.placement.values(), self.config.site_parallelism)
+        self.cache: Optional[QueryResultCache] = (
+            QueryResultCache(self.config.cache_capacity)
+            if self.config.cache_capacity > 0
+            else None
+        )
+        self.metrics = ServiceMetrics(self.config.metrics_window)
+        #: version tag of the fragmentation the cached answers are valid for
+        self.version = version_tag(fragmentation, self.placement)
+        #: normalized query text -> compiled plan (parse/compile once per form)
+        self._plans: Dict[str, QueryPlan] = {}
+        self._inflight: Dict[Tuple, asyncio.Future] = {}
+        self._admission: Optional[asyncio.Semaphore] = None
+        self._loop_id: Optional[int] = None
+        self._pending_evaluations = 0
+
+    # -- async API ---------------------------------------------------------
+
+    async def submit(
+        self,
+        query: QueryInput,
+        algorithm: Optional[str] = None,
+        use_annotations: Optional[bool] = None,
+    ) -> QueryResult:
+        """Serve one query; identical concurrent queries share one evaluation."""
+        started = time.perf_counter()
+        self._bind_loop()
+        name = algorithm or self.config.algorithm
+        if name not in SERVICE_ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {name!r}; choose from {sorted(SERVICE_ALGORITHMS)}"
+            )
+        annotations = (
+            self.config.use_annotations if use_annotations is None else bool(use_annotations)
+        )
+        normalized, plan = self._key_and_plan(query)
+        key = (normalized, name, annotations, self.version)
+
+        # Layer 2: join an identical in-flight evaluation (no admission cost).
+        if self.config.coalesce and key in self._inflight:
+            stats = await asyncio.shield(self._inflight[key])
+            if self.cache is not None:
+                self.cache.stats.coalesced += 1
+            self.metrics.record(
+                normalized, stats.algorithm, time.perf_counter() - started,
+                coalesced=True, stats=stats,
+            )
+            return QueryResult(self.fragmentation.tree, stats)
+
+        # Layer 3: the result cache.
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.metrics.record(
+                    normalized, cached.algorithm, time.perf_counter() - started,
+                    cache_hit=True, stats=cached,
+                )
+                return QueryResult(self.fragmentation.tree, cached)
+
+        # Leader path: register before the first await so later identical
+        # submissions coalesce instead of racing us to the evaluator.
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        if self.config.coalesce:
+            self._inflight[key] = future
+        try:
+            stats = await self._admit_and_evaluate(plan, name, annotations)
+            if not future.done():
+                future.set_result(stats)
+        except BaseException as error:
+            if not future.done():
+                future.set_exception(error)
+                # Nobody may be waiting; swallow the "exception never
+                # retrieved" warning for the orphaned future.
+                future.exception()
+            raise
+        finally:
+            if self.config.coalesce:
+                self._inflight.pop(key, None)
+        if self.cache is not None:
+            self.cache.put(key, stats)
+        self.metrics.record(
+            normalized, stats.algorithm, time.perf_counter() - started, stats=stats
+        )
+        return QueryResult(self.fragmentation.tree, stats)
+
+    def _key_and_plan(self, query: QueryInput) -> Tuple[str, QueryPlan]:
+        """Normalize *query* to its cache-key text and a compiled plan.
+
+        The plan is compiled at most once per normalized form; the original
+        input is never re-parsed from its normalized string (whose rendering
+        is a cache key, not guaranteed concrete syntax).
+        """
+        if isinstance(query, QueryPlan):
+            return normalized_query(query), query
+        path = parse_xpath(query) if isinstance(query, str) else query
+        if not isinstance(path, PathExpr):
+            raise TypeError(f"unsupported query input {type(query).__name__}")
+        normalized = str(normalize(path))
+        plan = self._plans.get(normalized)
+        if plan is None:
+            source = query if isinstance(query, str) else str(path)
+            plan = compile_plan(path, source=source)
+            if len(self._plans) < 4096:
+                self._plans[normalized] = plan
+        return normalized, plan
+
+    async def _admit_and_evaluate(
+        self, plan: QueryPlan, algorithm: str, use_annotations: bool
+    ) -> RunStats:
+        """Layer 1 (admission control) around the actual evaluation."""
+        limit = self.config.max_pending
+        if limit is not None and self._pending_evaluations >= limit + self.config.max_in_flight:
+            raise AdmissionError(
+                f"service overloaded: {self._pending_evaluations} evaluations pending"
+                f" (max_in_flight={self.config.max_in_flight}, max_pending={limit})"
+            )
+        self._pending_evaluations += 1
+        try:
+            async with self._bound_admission():
+                return await evaluate_query_async(
+                    self.fragmentation,
+                    self.placement,
+                    plan,
+                    self.actors,
+                    algorithm=algorithm,
+                    use_annotations=use_annotations,
+                    latency=self.config.latency,
+                )
+        finally:
+            self._pending_evaluations -= 1
+
+    def _bind_loop(self) -> None:
+        """Rebuild loop-bound state when the running event loop changes.
+
+        The blocking facade runs each call in a fresh ``asyncio.run`` loop;
+        semaphores and futures bound to a finished loop must not leak into
+        the next one.  Must run before any in-flight future is registered.
+        """
+        loop_id = id(asyncio.get_running_loop())
+        if self._loop_id != loop_id:
+            self._admission = asyncio.Semaphore(self.config.max_in_flight)
+            self._loop_id = loop_id
+            self._inflight.clear()
+
+    def _bound_admission(self) -> asyncio.Semaphore:
+        self._bind_loop()
+        assert self._admission is not None
+        return self._admission
+
+    async def run_many(
+        self,
+        queries: Sequence[QueryInput],
+        concurrency: Optional[int] = None,
+        algorithm: Optional[str] = None,
+    ) -> List[QueryResult]:
+        """Serve a batch of queries, optionally capping client concurrency.
+
+        ``concurrency`` models the number of simultaneous clients issuing the
+        batch; ``None`` submits everything at once (the service's admission
+        control still bounds actual evaluations).
+        """
+        if concurrency is None or concurrency >= len(queries):
+            return list(
+                await asyncio.gather(*(self.submit(q, algorithm=algorithm) for q in queries))
+            )
+        gate = asyncio.Semaphore(max(1, concurrency))
+
+        async def client(query: QueryInput) -> QueryResult:
+            async with gate:
+                return await self.submit(query, algorithm=algorithm)
+
+        return list(await asyncio.gather(*(client(q) for q in queries)))
+
+    # -- blocking facade -----------------------------------------------------
+
+    def execute(
+        self,
+        query: QueryInput,
+        algorithm: Optional[str] = None,
+        use_annotations: Optional[bool] = None,
+    ) -> QueryResult:
+        """Blocking single-query entry point, mirroring
+        :meth:`repro.core.engine.DistributedQueryEngine.execute`."""
+        return self._run_blocking(
+            self.submit(query, algorithm=algorithm, use_annotations=use_annotations)
+        )
+
+    def run(self, query: QueryInput, algorithm: Optional[str] = None) -> RunStats:
+        """Blocking evaluation returning the raw :class:`RunStats`."""
+        return self.execute(query, algorithm=algorithm).stats
+
+    def serve_batch(
+        self,
+        queries: Sequence[QueryInput],
+        concurrency: Optional[int] = None,
+        algorithm: Optional[str] = None,
+    ) -> List[QueryResult]:
+        """Blocking batch entry point (see :meth:`run_many`)."""
+        return self._run_blocking(
+            self.run_many(queries, concurrency=concurrency, algorithm=algorithm)
+        )
+
+    @staticmethod
+    def _run_blocking(coroutine):
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            return asyncio.run(coroutine)
+        coroutine.close()
+        raise RuntimeError(
+            "ServiceEngine's blocking API cannot be used inside a running event"
+            " loop; await submit()/run_many() instead"
+        )
+
+    # -- maintenance -----------------------------------------------------------
+
+    def invalidate_cache(self) -> int:
+        """Drop every cached answer (returns how many were dropped)."""
+        return self.cache.invalidate() if self.cache is not None else 0
+
+    def refresh_version(self) -> str:
+        """Re-fingerprint the fragmentation after an in-place update.
+
+        Cached answers carrying the old tag are dropped immediately (they
+        could never be served again and would only crowd the LRU); the new
+        tag is returned.
+        """
+        old_version = self.version
+        self.version = version_tag(self.fragmentation, self.placement)
+        if self.cache is not None and self.version != old_version:
+            self.cache.invalidate(version=old_version)
+        return self.version
+
+    # -- presentation -----------------------------------------------------------
+
+    def summary(self) -> str:
+        """Service-wide status: traffic, latency, cache and actor health."""
+        lines = [
+            f"service          : {len(self.fragmentation)} fragments on"
+            f" {len(self.actors)} sites, algorithm={self.config.algorithm},"
+            f" annotations={self.config.use_annotations}",
+            f"admission        : max_in_flight={self.config.max_in_flight},"
+            f" max_pending={self.config.max_pending}",
+            self.metrics.summary(),
+        ]
+        if self.cache is not None:
+            lines.append(self.cache.stats.summary())
+        lines.append(self.actors.summary())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServiceEngine sites={len(self.actors)} algorithm={self.config.algorithm!r}"
+            f" served={self.metrics.total_requests}>"
+        )

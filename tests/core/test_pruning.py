@@ -113,6 +113,49 @@ class TestPruningSoundness:
                     assert ancestor in decision.kept
 
 
+class TestRelevantFragmentsEdgeCases:
+    def test_single_fragment_tree_keeps_only_the_root_fragment(self):
+        from repro.fragments.fragment_tree import build_fragmentation
+
+        fragmentation = build_fragmentation(clientele_example_tree(), [])
+        assert fragmentation.fragment_ids() == [fragmentation.root_fragment_id]
+        for query in CLIENTELE_QUERIES.values():
+            decision = relevant_fragments(fragmentation, plan_for(query))
+            assert decision.kept == {fragmentation.root_fragment_id}
+            assert decision.pruned == set()
+
+    def test_no_fragment_matches_the_query_labels(self, clientele_frag):
+        # No <nowhere> element exists anywhere: every non-root fragment is
+        # pruned, the root fragment is kept unconditionally.
+        decision = relevant_fragments(clientele_frag, plan_for("nowhere/nothing"))
+        assert decision.kept == {"F0"}
+        for fragment_id in decision.pruned:
+            assert "no selection match" in decision.reasons[fragment_id]
+
+    def test_unmatched_query_still_answers_empty(self, clientele_frag):
+        from repro.core.pax2 import run_pax2
+
+        stats = run_pax2(clientele_frag, "nowhere/nothing", use_annotations=True)
+        assert stats.answer_ids == []
+
+    def test_pruning_is_placement_independent(self, clientele_frag):
+        # The decision is about fragments, not sites: evaluating with several
+        # fragments per site must neither change the pruning nor the answer.
+        from repro.core.pax2 import run_pax2
+        from repro.distributed.placement import round_robin_placement
+
+        query = CLIENTELE_QUERIES["brokers_goog_not_yhoo"]
+        spread = run_pax2(clientele_frag, query, use_annotations=True)
+        packed = run_pax2(
+            clientele_frag,
+            query,
+            placement=round_robin_placement(clientele_frag, site_count=2),
+            use_annotations=True,
+        )
+        assert spread.answer_ids == packed.answer_ids
+        assert spread.fragments_pruned == packed.fragments_pruned
+
+
 class TestConcreteInitialization:
     def test_prefix_vectors_require_labels(self):
         with pytest.raises(ValueError):

@@ -41,3 +41,51 @@ class TestPlacements:
         assert explicit_placement(fragmentation, full) == full
         with pytest.raises(ValueError):
             explicit_placement(fragmentation, {"F0": "S9"})
+
+
+class TestPlacementEdgeCases:
+    def test_one_site_per_fragment_on_single_fragment_tree(self):
+        from repro.fragments.fragment_tree import build_fragmentation
+
+        fragmentation = build_fragmentation(clientele_example_tree(), [])
+        placement = one_site_per_fragment(fragmentation)
+        assert placement == {fragmentation.root_fragment_id: "S0"}
+
+    def test_one_site_per_fragment_follows_fragment_id_order(self, fragmentation):
+        placement = one_site_per_fragment(fragmentation, site_prefix="M")
+        for index, fragment_id in enumerate(fragmentation.fragment_ids()):
+            assert placement[fragment_id] == f"M{index}"
+        # Bijective: as many sites as fragments, no sharing.
+        assert len(set(placement.values())) == len(fragmentation)
+
+    def test_root_fragment_site_is_the_coordinator(self, fragmentation):
+        from repro.distributed.network import Network
+
+        placement = one_site_per_fragment(fragmentation)
+        network = Network(fragmentation, placement)
+        assert network.coordinator_id == placement[fragmentation.root_fragment_id]
+
+    def test_multi_fragment_per_site_accounting(self, fragmentation):
+        # Pack five fragments onto two sites: every fragment must still be
+        # reachable, and each site must list exactly its own fragments.
+        from repro.distributed.network import Network
+
+        placement = round_robin_placement(fragmentation, site_count=2)
+        network = Network(fragmentation, placement)
+        covered = [fid for site in ("S0", "S1") for fid in network.fragments_on(site)]
+        assert sorted(covered) == sorted(fragmentation.fragment_ids())
+        for fragment_id, site_id in placement.items():
+            assert network.site_of(fragment_id).site_id == site_id
+
+    def test_multi_fragment_per_site_answers_unchanged(self, fragmentation):
+        from repro.core.pax2 import run_pax2
+
+        query = "client/broker/name"
+        spread = run_pax2(fragmentation, query, placement=one_site_per_fragment(fragmentation))
+        packed = run_pax2(
+            fragmentation, query, placement=round_robin_placement(fragmentation, site_count=2)
+        )
+        single = run_pax2(fragmentation, query, placement=single_site_placement(fragmentation))
+        assert spread.answer_ids == packed.answer_ids == single.answer_ids
+        # Everything on one site means no network traffic at all.
+        assert single.communication_units == 0

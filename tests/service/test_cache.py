@@ -1,0 +1,127 @@
+"""Unit tests for the normalized-query result cache."""
+
+import pytest
+
+from repro.distributed.placement import one_site_per_fragment
+from repro.distributed.stats import RunStats
+from repro.service.cache import QueryResultCache, normalized_query, version_tag
+from repro.workloads.queries import clientele_example_tree, clientele_paper_fragmentation
+from repro.xpath.parser import parse_xpath
+
+
+def stats_for(query: str) -> RunStats:
+    return RunStats(algorithm="PaX2", query=query, answer_ids=[1, 2, 3])
+
+
+class TestNormalizedQuery:
+    @pytest.mark.parametrize(
+        "variant, canonical",
+        [
+            ("//a/./b", "//a/b"),
+            ("a//.//b", "a//b"),
+            ("a/././b", "a/b"),
+            ("/a[b][c]/d", "/a[b][c]/d"),
+        ],
+    )
+    def test_equivalent_forms_share_a_key(self, variant, canonical):
+        assert normalized_query(variant) == normalized_query(canonical)
+
+    def test_distinct_queries_get_distinct_keys(self):
+        assert normalized_query("//a/b") != normalized_query("//a/c")
+        assert normalized_query("/a/b") != normalized_query("a/b")
+
+    def test_accepts_parsed_paths(self):
+        assert normalized_query(parse_xpath("//a/./b")) == normalized_query("//a/b")
+
+    def test_merged_qualifiers_normalize_alike(self):
+        # Consecutive qualifiers merge into one (the paper's last rule).
+        assert normalized_query("a[b][c]") == normalized_query("a[b][c]")
+        assert normalized_query("a[b][c]") != normalized_query("a[b]")
+
+
+class TestVersionTag:
+    def test_stable_for_identical_inputs(self):
+        fragmentation = clientele_paper_fragmentation(clientele_example_tree())
+        placement = one_site_per_fragment(fragmentation)
+        assert version_tag(fragmentation, placement) == version_tag(fragmentation, placement)
+
+    def test_changes_with_placement(self):
+        fragmentation = clientele_paper_fragmentation(clientele_example_tree())
+        placement = one_site_per_fragment(fragmentation)
+        moved = dict(placement)
+        any_fragment = next(iter(moved))
+        moved[any_fragment] = "elsewhere"
+        assert version_tag(fragmentation, placement) != version_tag(fragmentation, moved)
+
+    def test_changes_with_document_content(self):
+        first = clientele_paper_fragmentation(clientele_example_tree())
+        second = clientele_paper_fragmentation(clientele_example_tree())
+        placement = one_site_per_fragment(first)
+        # Edit a text node in place: the fingerprint must move.
+        for node in second.tree.root.iter_subtree():
+            if not node.is_element:
+                node.value = "edited"
+                break
+        assert version_tag(first, placement) != version_tag(second, placement)
+
+
+class TestQueryResultCache:
+    def key(self, cache, query, version="v0"):
+        return cache.make_key(query, "pax2", True, version)
+
+    def test_miss_then_hit(self):
+        cache = QueryResultCache(capacity=4)
+        key = self.key(cache, "//a/b")
+        assert cache.get(key) is None
+        cache.put(key, stats_for("//a/b"))
+        assert cache.get(key).answer_ids == [1, 2, 3]
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_equivalent_query_text_hits(self):
+        cache = QueryResultCache(capacity=4)
+        cache.put(self.key(cache, "//a/./b"), stats_for("//a/b"))
+        assert cache.get(self.key(cache, "//a/b")) is not None
+
+    def test_lru_eviction_order(self):
+        cache = QueryResultCache(capacity=2)
+        first, second, third = (
+            self.key(cache, q) for q in ("//a", "//b", "//c")
+        )
+        cache.put(first, stats_for("//a"))
+        cache.put(second, stats_for("//b"))
+        cache.get(first)  # refresh -> //b is now least recently used
+        cache.put(third, stats_for("//c"))
+        assert cache.get(first) is not None
+        assert cache.get(second) is None
+        assert cache.stats.evictions == 1
+
+    def test_version_tag_separates_entries(self):
+        cache = QueryResultCache(capacity=4)
+        cache.put(self.key(cache, "//a", version="v0"), stats_for("//a"))
+        assert cache.get(self.key(cache, "//a", version="v1")) is None
+
+    def test_invalidate_all_and_by_version(self):
+        cache = QueryResultCache(capacity=8)
+        cache.put(self.key(cache, "//a", version="v0"), stats_for("//a"))
+        cache.put(self.key(cache, "//b", version="v1"), stats_for("//b"))
+        assert cache.invalidate(version="v0") == 1
+        assert len(cache) == 1
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 2
+
+    def test_algorithm_and_annotations_in_key(self):
+        cache = QueryResultCache(capacity=8)
+        cache.put(cache.make_key("//a", "pax2", True, "v0"), stats_for("//a"))
+        assert cache.get(cache.make_key("//a", "pax3", True, "v0")) is None
+        assert cache.get(cache.make_key("//a", "pax2", False, "v0")) is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            QueryResultCache(capacity=0)
+
+    def test_stats_summary_renders(self):
+        cache = QueryResultCache(capacity=2)
+        cache.get(self.key(cache, "//a"))
+        assert "hits" in cache.stats.summary()
+        assert cache.stats.to_dict()["misses"] == 1

@@ -1,0 +1,80 @@
+"""Unit tests for the service metrics aggregator."""
+
+import pytest
+
+from repro.distributed.stats import RunStats
+from repro.service.metrics import ServiceMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.95) == 7.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestServiceMetrics:
+    def record_n(self, metrics, latencies, **kwargs):
+        for value in latencies:
+            metrics.record("//a", "PaX2", value, **kwargs)
+
+    def test_totals_by_service_path(self):
+        metrics = ServiceMetrics()
+        metrics.record("//a", "PaX2", 0.01)
+        metrics.record("//a", "PaX2", 0.001, cache_hit=True)
+        metrics.record("//a", "PaX2", 0.002, coalesced=True)
+        assert metrics.total_requests == 3
+        assert metrics.total_evaluated == 1
+        assert metrics.total_cache_hits == 1
+        assert metrics.total_coalesced == 1
+
+    def test_percentiles_over_records(self):
+        metrics = ServiceMetrics()
+        self.record_n(metrics, [0.001 * step for step in range(1, 101)])
+        assert metrics.p50 == pytest.approx(0.0505, rel=1e-3)
+        assert metrics.p95 == pytest.approx(0.09505, rel=1e-3)
+        assert metrics.p99 <= 0.1
+
+    def test_throughput_positive_after_traffic(self):
+        metrics = ServiceMetrics()
+        self.record_n(metrics, [0.001, 0.001])
+        assert metrics.throughput_qps > 0
+        assert metrics.elapsed_seconds > 0
+
+    def test_answer_counts_come_from_stats(self):
+        metrics = ServiceMetrics()
+        stats = RunStats(algorithm="PaX2", query="//a", answer_ids=[1, 2])
+        record = metrics.record("//a", "PaX2", 0.001, stats=stats)
+        assert record.answer_count == 2
+
+    def test_window_bounds_records_not_totals(self):
+        metrics = ServiceMetrics(window=5)
+        self.record_n(metrics, [0.001] * 12)
+        assert len(metrics.records) == 5
+        assert metrics.total_requests == 12
+
+    def test_summary_and_dict(self):
+        metrics = ServiceMetrics()
+        self.record_n(metrics, [0.002, 0.004])
+        text = metrics.summary()
+        assert "throughput" in text and "p95" in text
+        snapshot = metrics.to_dict()
+        assert snapshot["requests"] == 2
+        assert snapshot["latency_seconds"]["p50"] == pytest.approx(0.003, rel=1e-3)
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            ServiceMetrics(window=0)

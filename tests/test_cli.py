@@ -87,6 +87,58 @@ class TestFragmentCommand:
         assert "F0" in out and "F2" in out
 
 
+class TestServeCommand:
+    def test_serve_batch_from_file(self, catalog_path, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(
+            "# workload\n//book[price < 13]/title\ndepartment/name\n\n", encoding="utf-8"
+        )
+        code = main([
+            "serve", catalog_path, "--queries", str(queries),
+            "--fragment-at", "department", "--concurrency", "4", "--repeat", "3",
+            "--answers",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "requests         : 6" in out
+        assert "cache:" in out and "actor pool:" in out
+        # Second and third rounds of each query are answered by the cache.
+        assert "cache hits" in out
+
+    def test_serve_requires_queries(self, catalog_path, tmp_path):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("\n# nothing\n", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["serve", catalog_path, "--queries", str(empty)])
+
+    def test_serve_reads_stdin_by_default(self, catalog_path, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("//book/title\n"))
+        assert main(["serve", catalog_path, "--fragment-size", "4"]) == 0
+        assert "requests         : 1" in capsys.readouterr().out
+
+
+class TestBenchServiceCommand:
+    def test_emits_benchmark_json(self, tmp_path, capsys):
+        import json
+
+        output = tmp_path / "BENCH_service.json"
+        code = main([
+            "bench-service", "--requests", "16", "--clients", "1", "4",
+            "--bytes", "20000", "--output", str(output),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out and "service x" in out
+        report = json.loads(output.read_text(encoding="utf-8"))
+        assert report["benchmark"] == "service_throughput"
+        assert set(report["service"]) == {"1", "4"}
+        warm = report["service"]["4"]["warm"]
+        assert warm["cache"]["hits"] > 0
+        assert warm["answers_total"] == report["sequential"]["answers_total"]
+
+
 class TestGenerateCommand:
     def test_generate_to_file_and_requery(self, tmp_path, capsys):
         output = tmp_path / "sites.xml"
