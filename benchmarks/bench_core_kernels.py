@@ -1,0 +1,45 @@
+"""Core kernel benchmark: columnar per-fragment passes vs the object-tree
+reference implementation.
+
+Unlike the figure benchmarks (which regenerate the paper's plots), this one
+tracks the repo's own performance trajectory: the per-fragment qualifier /
+selection / combined passes are the inner loop of every algorithm, and this
+benchmark asserts the columnar kernel keeps its edge — at least 3x on the
+XMark combined pass — while producing bit-identical answers and traffic
+accounting (the run aborts on any divergence before timing anything).
+
+``repro bench-core`` runs the same harness from the CLI and emits
+``BENCH_core.json`` for the per-PR artifact trail.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled, write_report
+
+from repro.bench.core_bench import render_summary, run_core_benchmark, write_benchmark_json
+
+TOTAL_BYTES = scaled(150_000)
+
+
+def test_core_kernel_speedup(benchmark, results_dir):
+    """The kernel path is >= 3x the reference on the XMark combined pass."""
+    report = benchmark.pedantic(
+        run_core_benchmark,
+        kwargs={"total_bytes": TOTAL_BYTES, "repeats": 3},
+        rounds=1,
+        iterations=1,
+    )
+    write_report(results_dir, "core_kernels", render_summary(report))
+    write_benchmark_json(report, results_dir / "BENCH_core.json")
+
+    passes = report["workloads"]["xmark-ft2"]["passes"]
+    assert passes["combined"]["speedup"] >= 3.0
+    assert report["headline"]["met"]
+    # Every timed configuration was differentially verified before timing.
+    for workload in report["workloads"].values():
+        for timing in workload["algorithms"].values():
+            assert timing["verified_identical"]
+    # The kernel should win every per-pass comparison on the XMark workloads.
+    for name in ("xmark-ft2", "xmark-ft1"):
+        for timing in report["workloads"][name]["passes"].values():
+            assert timing["speedup"] > 1.0

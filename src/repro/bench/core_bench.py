@@ -1,0 +1,305 @@
+"""Core per-fragment kernel benchmark (``repro bench-core``).
+
+Times the old object-tree ("reference") and the new columnar ("kernel")
+implementations of the three per-fragment passes — qualifier, selection and
+combined — over the bundled workloads, plus the end-to-end algorithms that
+drive them (PaX2, PaX3, ParBoX), and emits ``BENCH_core.json``.  The JSON
+seeds the repo's core-performance trajectory the same way
+``BENCH_service.json`` tracks the serving layer: every PR can re-run the
+benchmark and compare the speedup column.
+
+Every timed configuration is also verified: the two engines must produce
+identical answers and identical traffic accounting, so a "speedup" can
+never come from computing something else.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.common import ensure_plan
+from repro.core.engine import DistributedQueryEngine
+from repro.core.kernel.dispatch import KERNEL, REFERENCE, combined_pass, qualifier_pass, selection_pass
+from repro.core.parbox import as_boolean_query
+from repro.core.selection import concrete_root_init_vector, variable_init_vector
+from repro.distributed.stats import RunStats
+from repro.fragments.fragment_tree import Fragmentation
+from repro.workloads.queries import (
+    CLIENTELE_QUERIES,
+    PAPER_QUERIES,
+    clientele_example_tree,
+    clientele_paper_fragmentation,
+)
+from repro.workloads.scenarios import build_ft1, build_ft2
+from repro.xpath.plan import QueryPlan
+
+__all__ = ["run_core_benchmark", "write_benchmark_json", "render_summary"]
+
+#: pass name -> (needs qualifier state first?)
+PASSES = ("qualifier", "selection", "combined")
+
+
+def _best_of(repeats: int, fn: Callable[[], None]) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _init_vector(fragmentation: Fragmentation, plan: QueryPlan, fragment_id: str):
+    if fragment_id == fragmentation.root_fragment_id:
+        return concrete_root_init_vector(plan)
+    return variable_init_vector(plan, fragment_id)
+
+
+def _pass_runner(
+    name: str,
+    fragmentation: Fragmentation,
+    plans: Sequence[QueryPlan],
+    engine: str,
+) -> Callable[[], None]:
+    """A closure running one pass over every (query, fragment) pair."""
+    fragment_ids = fragmentation.fragment_ids()
+    root_id = fragmentation.root_fragment_id
+
+    if name == "qualifier":
+        def run() -> None:
+            for plan in plans:
+                for fragment_id in fragment_ids:
+                    qualifier_pass(fragmentation, fragment_id, plan, engine=engine)
+        return run
+
+    if name == "selection":
+        # The selection pass consumes the qualifier pass's per-node state;
+        # precompute it once (outside the timed region) per plan/fragment.
+        stored: Dict[Tuple[int, str], Dict] = {}
+        for index, plan in enumerate(plans):
+            if not plan.has_qualifiers:
+                continue
+            for fragment_id in fragment_ids:
+                output = qualifier_pass(fragmentation, fragment_id, plan, engine=engine)
+                stored[(index, fragment_id)] = output.qual_values
+
+        def run() -> None:
+            for index, plan in enumerate(plans):
+                for fragment_id in fragment_ids:
+                    provider = None
+                    if plan.has_qualifiers:
+                        values = stored[(index, fragment_id)]
+
+                        def provider(node_id, _values=values):
+                            return _values.get(node_id, ())
+
+                    selection_pass(
+                        fragmentation,
+                        fragment_id,
+                        plan,
+                        provider,
+                        _init_vector(fragmentation, plan, fragment_id),
+                        is_root_fragment=(fragment_id == root_id),
+                        engine=engine,
+                    )
+        return run
+
+    def run() -> None:
+        for plan in plans:
+            for fragment_id in fragment_ids:
+                combined_pass(
+                    fragmentation,
+                    fragment_id,
+                    plan,
+                    _init_vector(fragmentation, plan, fragment_id),
+                    is_root_fragment=(fragment_id == root_id),
+                    engine=engine,
+                )
+    return run
+
+
+def _stats_fingerprint(stats: RunStats) -> tuple:
+    return (
+        tuple(stats.answer_ids),
+        stats.communication_units,
+        stats.local_units,
+        stats.message_count,
+        stats.total_operations,
+        stats.answer_nodes_shipped,
+    )
+
+
+def _verify_and_time_algorithms(
+    fragmentation: Fragmentation,
+    placement: Optional[Dict[str, str]],
+    data_queries: Sequence[str],
+    boolean_queries: Sequence[str],
+    repeats: int,
+) -> Dict[str, object]:
+    """End-to-end reference-vs-kernel comparison, with identity checks."""
+    section: Dict[str, object] = {}
+    configs: List[Tuple[str, str, Sequence[str]]] = [
+        ("pax2", "pax2", data_queries),
+        ("pax3", "pax3", data_queries),
+    ]
+    if boolean_queries:
+        configs.append(("parbox", "parbox", boolean_queries))
+    for label, algorithm, queries in configs:
+        if not queries:
+            continue
+        engines = {
+            name: DistributedQueryEngine(
+                fragmentation, placement=placement, algorithm=algorithm, engine=name
+            )
+            for name in (REFERENCE, KERNEL)
+        }
+        # Differential check first: identical answers and traffic accounting.
+        for query in queries:
+            fingerprints = {
+                name: _stats_fingerprint(engine.run(query))
+                for name, engine in engines.items()
+            }
+            if fingerprints[REFERENCE] != fingerprints[KERNEL]:
+                raise AssertionError(
+                    f"kernel/reference divergence for {algorithm} on {query!r}"
+                )
+        timings = {
+            name: _best_of(
+                repeats, lambda e=engine: [e.run(query) for query in queries]
+            )
+            for name, engine in engines.items()
+        }
+        section[label] = {
+            "reference_seconds": round(timings[REFERENCE], 6),
+            "kernel_seconds": round(timings[KERNEL], 6),
+            "speedup": round(timings[REFERENCE] / max(timings[KERNEL], 1e-9), 2),
+            "queries": len(queries),
+            "verified_identical": True,
+        }
+    return section
+
+
+def _bench_workload(
+    name: str,
+    fragmentation: Fragmentation,
+    placement: Optional[Dict[str, str]],
+    data_queries: Sequence[str],
+    boolean_queries: Sequence[str],
+    repeats: int,
+) -> Dict[str, object]:
+    plans = [ensure_plan(query) for query in data_queries]
+    entry: Dict[str, object] = {
+        "fragments": len(fragmentation),
+        "document_nodes": fragmentation.tree.size(),
+        "document_bytes": fragmentation.tree.approximate_bytes(),
+        "queries": list(data_queries),
+    }
+    passes: Dict[str, object] = {}
+    for pass_name in PASSES:
+        runners = {
+            engine: _pass_runner(pass_name, fragmentation, plans, engine)
+            for engine in (REFERENCE, KERNEL)
+        }
+        for runner in runners.values():
+            runner()  # warm up: flat encodings, dispatch tables, interning
+        reference = _best_of(repeats, runners[REFERENCE])
+        kernel = _best_of(repeats, runners[KERNEL])
+        passes[pass_name] = {
+            "reference_seconds": round(reference, 6),
+            "kernel_seconds": round(kernel, 6),
+            "speedup": round(reference / max(kernel, 1e-9), 2),
+        }
+    entry["passes"] = passes
+    entry["algorithms"] = _verify_and_time_algorithms(
+        fragmentation, placement, data_queries, boolean_queries, repeats
+    )
+    return entry
+
+
+def run_core_benchmark(
+    total_bytes: int = 150_000,
+    seed: int = 5,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Run the reference-vs-kernel comparison over the bundled workloads."""
+    report: Dict[str, object] = {
+        "benchmark": "core_kernels",
+        "config": {"total_bytes": total_bytes, "seed": seed, "repeats": repeats},
+        "workloads": {},
+    }
+    workloads = report["workloads"]
+
+    ft2 = build_ft2(total_bytes=total_bytes, seed=seed)
+    workloads["xmark-ft2"] = _bench_workload(
+        "xmark-ft2",
+        ft2.fragmentation,
+        ft2.placement,
+        list(PAPER_QUERIES.values()),
+        [],
+        repeats,
+    )
+
+    ft1 = build_ft1(fragment_count=5, total_bytes=max(total_bytes // 2, 10_000), seed=seed + 2)
+    workloads["xmark-ft1"] = _bench_workload(
+        "xmark-ft1",
+        ft1.fragmentation,
+        ft1.placement,
+        list(PAPER_QUERIES.values()),
+        [],
+        repeats,
+    )
+
+    clientele = clientele_paper_fragmentation(clientele_example_tree())
+    data_queries = [
+        query for query in CLIENTELE_QUERIES.values() if not query.startswith(".")
+    ]
+    boolean_queries = [as_boolean_query('//stock/code/text() = "goog"')]
+    workloads["clientele"] = _bench_workload(
+        "clientele", clientele, None, data_queries, boolean_queries, repeats
+    )
+
+    headline = workloads["xmark-ft2"]["passes"]["combined"]["speedup"]
+    report["headline"] = {
+        "xmark_combined_pass_speedup": headline,
+        "criterion": "kernel >= 3x reference on the XMark combined pass",
+        "met": headline >= 3.0,
+    }
+    return report
+
+
+def write_benchmark_json(report: Dict[str, object], path: str | Path) -> Path:
+    """Write the report as pretty JSON and return the path."""
+    destination = Path(path)
+    destination.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return destination
+
+
+def render_summary(report: Dict[str, object]) -> str:
+    """A human-readable recap of the emitted JSON."""
+    lines = []
+    for workload, entry in report["workloads"].items():
+        lines.append(
+            f"{workload:<12}: {entry['fragments']} fragments,"
+            f" {entry['document_nodes']} nodes"
+        )
+        for pass_name, timing in entry["passes"].items():
+            lines.append(
+                f"  pass {pass_name:<10} reference {timing['reference_seconds'] * 1000:8.2f} ms"
+                f"  kernel {timing['kernel_seconds'] * 1000:8.2f} ms"
+                f"  speedup {timing['speedup']:5.2f}x"
+            )
+        for algorithm, timing in entry["algorithms"].items():
+            lines.append(
+                f"  algo {algorithm:<10} reference {timing['reference_seconds'] * 1000:8.2f} ms"
+                f"  kernel {timing['kernel_seconds'] * 1000:8.2f} ms"
+                f"  speedup {timing['speedup']:5.2f}x  (identical answers+traffic)"
+            )
+    headline = report["headline"]
+    lines.append(
+        f"headline      : XMark combined-pass speedup"
+        f" {headline['xmark_combined_pass_speedup']}x"
+        f" (criterion >= 3x: {'met' if headline['met'] else 'NOT met'})"
+    )
+    return "\n".join(lines)

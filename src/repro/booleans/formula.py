@@ -7,12 +7,23 @@ formulas built here are the currency of those partial answers.
 
 Design notes
 ------------
-* Formulas are immutable and hashable.  The constructors :func:`conj`,
-  :func:`disj` and :func:`neg` simplify eagerly (constant folding,
-  flattening, deduplication, absorption of complementary literals at one
-  level), which keeps the residual formulas small: in every setting the
-  paper considers, an entry stays linear in the query size because each
-  variable family appears at most once per entry.
+* Formulas are immutable, hashable and **hash-consed**: :class:`Var` is
+  interned by name, and the :class:`And` / :class:`Or` / :class:`Not`
+  constructors return the one shared instance per distinct operand tuple.
+  Structural equality therefore coincides with identity for live formulas,
+  so the per-fragment kernels can compare entries with ``is`` and identical
+  residual formulas are shared instead of rebuilt at every node.  The
+  interning tables hold weak references only; formulas no run refers to are
+  collected normally.
+* ``size()`` and ``variables()`` are memoized per instance.  Traffic
+  accounting calls :func:`formula_size` once per exchanged entry per stage;
+  with sharing plus memoization each distinct subformula is measured once
+  per process instead of once per stage per item.
+* The constructors :func:`conj`, :func:`disj` and :func:`neg` simplify
+  eagerly (constant folding, flattening, deduplication, absorption of
+  complementary literals at one level), which keeps the residual formulas
+  small: in every setting the paper considers, an entry stays linear in the
+  query size because each variable family appears at most once per entry.
 * Python ``bool`` values are valid formulas.  Every public helper accepts
   either a ``bool`` or a :class:`BoolFormula`, so algorithm code never has to
   special-case the fully-known case.
@@ -20,6 +31,7 @@ Design notes
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterable, Mapping, Union
 
 __all__ = [
@@ -43,6 +55,8 @@ __all__ = [
     "is_concrete",
     "formula_size",
 ]
+
+_UNSET = object()
 
 
 class BoolFormula:
@@ -95,16 +109,34 @@ class Var(BoolFormula):
 
     Variable names are structured strings such as ``"sv:F3:2"`` (selection
     prefix entry 2 at the parent of fragment F3's root) but the formula layer
-    treats them as opaque.
+    treats them as opaque.  ``Var(name)`` returns the interned instance for
+    *name*, so two variables with the same name are the same object.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_vars", "__weakref__")
+
+    _interned: "weakref.WeakValueDictionary[str, Var]" = weakref.WeakValueDictionary()
+
+    def __new__(cls, name: str) -> "Var":
+        existing = cls._interned.get(name)
+        if existing is not None:
+            return existing
+        self = super().__new__(cls)
+        self.name = name
+        self._vars = _UNSET
+        cls._interned[name] = self
+        return self
 
     def __init__(self, name: str):
-        self.name = name
+        # All state is set in __new__; re-running __init__ on the interned
+        # instance must not reset the memo fields.
+        pass
 
     def variables(self) -> frozenset[str]:
-        return frozenset((self.name,))
+        cached = self._vars
+        if cached is _UNSET:
+            cached = self._vars = frozenset((self.name,))
+        return cached
 
     def substitute(self, binding: Mapping[str, FormulaLike]) -> FormulaLike:
         if self.name in binding:
@@ -124,7 +156,7 @@ class Var(BoolFormula):
         return self.name
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Var) and other.name == self.name
+        return self is other or (isinstance(other, Var) and other.name == self.name)
 
     def __hash__(self) -> int:
         return hash(("Var", self.name))
@@ -133,22 +165,41 @@ class Var(BoolFormula):
 class _NaryOp(BoolFormula):
     """Shared behaviour of :class:`And` / :class:`Or`."""
 
-    __slots__ = ("operands",)
+    __slots__ = ("operands", "_size", "_vars", "_hash", "__weakref__")
 
     #: identity element of the operation (``True`` for And, ``False`` for Or)
     _identity: bool = True
     #: absorbing element (``False`` for And, ``True`` for Or)
     _absorbing: bool = False
     _symbol: str = "?"
+    #: per-subclass interning table, installed by __init_subclass__
+    _interned: "weakref.WeakValueDictionary[tuple, _NaryOp]"
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        cls._interned = weakref.WeakValueDictionary()
+
+    def __new__(cls, operands: tuple[BoolFormula, ...]) -> "_NaryOp":
+        existing = cls._interned.get(operands)
+        if existing is not None:
+            return existing
+        self = super().__new__(cls)
+        self.operands = operands
+        self._size = _UNSET
+        self._vars = _UNSET
+        self._hash = _UNSET
+        cls._interned[operands] = self
+        return self
 
     def __init__(self, operands: tuple[BoolFormula, ...]):
-        self.operands = operands
+        pass  # state lives in __new__; see Var.__init__
 
     def variables(self) -> frozenset[str]:
-        result: frozenset[str] = frozenset()
-        for operand in self.operands:
-            result = result | operand.variables()
-        return result
+        cached = self._vars
+        if cached is _UNSET:
+            cached = frozenset().union(*(operand.variables() for operand in self.operands))
+            self._vars = cached
+        return cached
 
     def substitute(self, binding: Mapping[str, FormulaLike]) -> FormulaLike:
         parts = [operand.substitute(binding) for operand in self.operands]
@@ -161,7 +212,11 @@ class _NaryOp(BoolFormula):
         return self._identity
 
     def size(self) -> int:
-        return 1 + sum(operand.size() for operand in self.operands)
+        cached = self._size
+        if cached is _UNSET:
+            cached = 1 + sum(operand.size() for operand in self.operands)
+            self._size = cached
+        return cached
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.operands!r})"
@@ -171,10 +226,15 @@ class _NaryOp(BoolFormula):
         return "(" + joiner.join(str(operand) for operand in self.operands) + ")"
 
     def __eq__(self, other: object) -> bool:
-        return type(other) is type(self) and other.operands == self.operands
+        return self is other or (
+            type(other) is type(self) and other.operands == self.operands
+        )
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self.operands))
+        cached = self._hash
+        if cached is _UNSET:
+            cached = self._hash = hash((type(self).__name__, self.operands))
+        return cached
 
 
 class And(_NaryOp):
@@ -198,13 +258,29 @@ class Or(_NaryOp):
 class Not(BoolFormula):
     """Negation of a non-constant formula."""
 
-    __slots__ = ("operand",)
+    __slots__ = ("operand", "_size", "_vars", "__weakref__")
+
+    _interned: "weakref.WeakValueDictionary[BoolFormula, Not]" = weakref.WeakValueDictionary()
+
+    def __new__(cls, operand: BoolFormula) -> "Not":
+        existing = cls._interned.get(operand)
+        if existing is not None:
+            return existing
+        self = super().__new__(cls)
+        self.operand = operand
+        self._size = _UNSET
+        self._vars = _UNSET
+        cls._interned[operand] = self
+        return self
 
     def __init__(self, operand: BoolFormula):
-        self.operand = operand
+        pass  # state lives in __new__; see Var.__init__
 
     def variables(self) -> frozenset[str]:
-        return self.operand.variables()
+        cached = self._vars
+        if cached is _UNSET:
+            cached = self._vars = self.operand.variables()
+        return cached
 
     def substitute(self, binding: Mapping[str, FormulaLike]) -> FormulaLike:
         return neg(self.operand.substitute(binding))
@@ -213,7 +289,10 @@ class Not(BoolFormula):
         return not self.operand.evaluate(binding)
 
     def size(self) -> int:
-        return 1 + self.operand.size()
+        cached = self._size
+        if cached is _UNSET:
+            cached = self._size = 1 + self.operand.size()
+        return cached
 
     def __repr__(self) -> str:
         return f"Not({self.operand!r})"
@@ -222,7 +301,7 @@ class Not(BoolFormula):
         return f"!{self.operand}"
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Not) and other.operand == self.operand
+        return self is other or (isinstance(other, Not) and other.operand == self.operand)
 
     def __hash__(self) -> int:
         return hash(("Not", self.operand))
@@ -335,7 +414,11 @@ def variables_of(value: FormulaLike) -> frozenset[str]:
 
 
 def formula_size(value: FormulaLike) -> int:
-    """Size of a formula for traffic accounting (constants count as 1)."""
+    """Size of a formula for traffic accounting (constants count as 1).
+
+    Memoized on the (shared) formula instances, so repeated accounting of the
+    same residual entry across stages costs one dict-free attribute read.
+    """
     value = simplify(value)
     if isinstance(value, bool):
         return 1

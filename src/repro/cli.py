@@ -36,6 +36,11 @@ Benchmark the service layer against the sequential engine loop and emit
 ``BENCH_service.json``::
 
     python -m repro bench-service --requests 128 --clients 1 8 64
+
+Benchmark the columnar per-fragment kernels against the object-tree
+reference passes and emit ``BENCH_core.json``::
+
+    python -m repro bench-core --bytes 150000 --repeats 3
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.core.engine import ALGORITHMS, DistributedQueryEngine
+from repro.core.kernel.dispatch import ENGINES
 from repro.distributed.placement import one_site_per_fragment, round_robin_placement
 from repro.fragments.fragment_tree import build_fragmentation
 from repro.fragments.fragmenters import cut_by_size, cut_matching
@@ -85,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--annotations", action="store_true",
                        help="enable the XPath-annotation optimization")
+    query.add_argument(
+        "--engine", choices=list(ENGINES), default=None,
+        help="per-fragment pass implementation (default: kernel)",
+    )
     query.add_argument("--stats", action="store_true", help="print run statistics")
     query.add_argument("--xml", action="store_true", help="print answers as XML snippets")
     query.add_argument("--limit", type=int, default=None, help="print at most this many answers")
@@ -115,6 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="distribute fragments over K sites round-robin")
     serve.add_argument("--algorithm", choices=["pax2", "pax3", "naive", "parbox"],
                        default="pax2")
+    serve.add_argument(
+        "--engine", choices=list(ENGINES), default=None,
+        help="per-fragment pass implementation (default: kernel)",
+    )
     serve.add_argument("--concurrency", type=int, default=16,
                        help="simultaneous clients issuing the batch (default 16)")
     serve.add_argument("--repeat", type=int, default=1,
@@ -140,6 +154,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench_service.add_argument("--site-parallelism", type=int, default=4)
     bench_service.add_argument("--output", default="BENCH_service.json",
                                help="report path (default BENCH_service.json)")
+
+    bench_core = commands.add_parser(
+        "bench-core",
+        help="benchmark the columnar kernels vs the object-tree reference passes",
+    )
+    bench_core.add_argument("--bytes", type=int, default=150_000, dest="total_bytes",
+                            help="approximate XMark document size (default 150000)")
+    bench_core.add_argument("--seed", type=int, default=5)
+    bench_core.add_argument("--repeats", type=int, default=3,
+                            help="best-of-N timing repeats (default 3)")
+    bench_core.add_argument("--output", default="BENCH_core.json",
+                            help="report path (default BENCH_core.json)")
 
     return parser
 
@@ -173,6 +199,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         placement=placement,
         algorithm=args.algorithm,
         use_annotations=args.annotations,
+        engine=args.engine,
     )
     result = engine.execute(args.xpath)
     _print_answers(tree, result.answer_ids, args)
@@ -246,6 +273,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fragmentation,
         placement=placement,
         algorithm=args.algorithm,
+        engine=args.engine,
         site_parallelism=args.site_parallelism,
         cache_capacity=args.cache_capacity,
         max_in_flight=max(args.concurrency, 1),
@@ -279,6 +307,24 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_core(args: argparse.Namespace) -> int:
+    from repro.bench.core_bench import (
+        render_summary,
+        run_core_benchmark,
+        write_benchmark_json,
+    )
+
+    report = run_core_benchmark(
+        total_bytes=args.total_bytes,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    path = write_benchmark_json(report, args.output)
+    print(render_summary(report))
+    print(f"[written to {path}]")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     parser = build_parser()
@@ -293,6 +339,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "bench-service":
         return _cmd_bench_service(args)
+    if args.command == "bench-core":
+        return _cmd_bench_core(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2
 

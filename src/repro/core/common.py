@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import gc
 import time
 from contextlib import contextmanager
 from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
@@ -90,9 +91,19 @@ def stage_site_times(
 
 @contextmanager
 def stage_timer(stage: StageStats) -> Iterator[StageStats]:
-    """Measure coordinator-side work (``evalFT``) attached to a stage."""
+    """Measure coordinator-side work (``evalFT``) attached to a stage.
+
+    As in :meth:`repro.distributed.site.Site.visit`, the cyclic garbage
+    collector is paused inside the timing window so a multi-ms gen-2
+    collection is not charged to whichever stage happened to trigger it.
+    """
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
     started = time.perf_counter()
     try:
         yield stage
     finally:
         stage.coordinator_seconds += time.perf_counter() - started
+        if gc_was_enabled:
+            gc.enable()

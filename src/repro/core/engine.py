@@ -36,6 +36,7 @@ from __future__ import annotations
 from typing import Mapping, Optional
 
 from repro.core.common import QueryInput, ensure_plan
+from repro.core.kernel.dispatch import ENGINES
 from repro.core.naive import run_naive_centralized
 from repro.core.parbox import run_parbox
 from repro.core.pax2 import run_pax2
@@ -60,6 +61,9 @@ ALGORITHMS = {
 #: algorithms whose runners take no ``use_annotations`` parameter
 _NO_ANNOTATION_ALGORITHMS = frozenset({"naive", "parbox"})
 
+#: algorithms whose runners take no ``engine`` parameter (no per-fragment pass)
+_NO_ENGINE_ALGORITHMS = frozenset({"naive"})
+
 
 class DistributedQueryEngine:
     """Evaluate XPath queries over a fragmented, distributed XML tree.
@@ -77,6 +81,11 @@ class DistributedQueryEngine:
     use_annotations:
         Enable the XPath-annotation optimization (fragment pruning and, for
         qualifier-free queries, concrete stack initialization).
+    engine:
+        Per-fragment pass implementation: ``"kernel"`` (columnar arrays,
+        the default path) or ``"reference"`` (object-tree traversal);
+        ``None`` defers to the process default
+        (:func:`repro.core.kernel.dispatch.fragment_engine`).
     """
 
     def __init__(
@@ -85,13 +94,17 @@ class DistributedQueryEngine:
         placement: Optional[Mapping[str, str]] = None,
         algorithm: str = "pax2",
         use_annotations: bool = True,
+        engine: Optional[str] = None,
     ):
         if algorithm not in ALGORITHMS:
             raise ValueError(f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}")
+        if engine is not None and engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
         self.fragmentation = fragmentation
         self.placement = dict(placement) if placement else one_site_per_fragment(fragmentation)
         self.algorithm = algorithm
         self.use_annotations = use_annotations
+        self.engine = engine
 
     # -- queries -----------------------------------------------------------
 
@@ -115,23 +128,34 @@ class DistributedQueryEngine:
         name = algorithm or self.algorithm
         runner = ALGORITHMS[name]
         annotations = self.use_annotations if use_annotations is None else use_annotations
-        if name in _NO_ANNOTATION_ALGORITHMS:
-            return runner(self.fragmentation, query, placement=self.placement)
-        return runner(
-            self.fragmentation,
-            query,
-            placement=self.placement,
-            use_annotations=annotations,
-        )
+        kwargs = {}
+        if name not in _NO_ENGINE_ALGORITHMS:
+            kwargs["engine"] = self.engine
+        if name not in _NO_ANNOTATION_ALGORITHMS:
+            kwargs["use_annotations"] = annotations
+        return runner(self.fragmentation, query, placement=self.placement, **kwargs)
 
     def execute_boolean(self, query: QueryInput) -> bool:
         """Evaluate a Boolean query with ParBoX and return its truth value."""
-        stats = run_parbox(self.fragmentation, query, placement=self.placement)
+        stats = run_parbox(
+            self.fragmentation, query, placement=self.placement, engine=self.engine
+        )
         return bool(stats.answer_ids)
 
     def evaluate_centralized(self, query: QueryInput):
         """Evaluate against the original (un-fragmented) tree — ground truth."""
         return evaluate_centralized(self.fragmentation.tree, query)
+
+    def refresh(self) -> None:
+        """Re-fingerprint the document after an in-place edit.
+
+        The kernel engine evaluates against columnar encodings cached on the
+        fragmentation; mutating tree nodes in place between queries requires
+        this call (or ``fragmentation.invalidate_flat()``) so the encodings
+        are rebuilt — the same contract as the service layer's
+        ``refresh_version``.  Re-fragmenting always starts fresh.
+        """
+        self.fragmentation.content_version(refresh=True)
 
     def as_service(self, **overrides):
         """A concurrent :class:`repro.service.ServiceEngine` over this engine's
@@ -145,6 +169,7 @@ class DistributedQueryEngine:
         if "config" not in overrides:
             overrides.setdefault("algorithm", self.algorithm)
             overrides.setdefault("use_annotations", self.use_annotations)
+            overrides.setdefault("engine", self.engine)
         return ServiceEngine(self.fragmentation, placement=self.placement, **overrides)
 
     # -- introspection --------------------------------------------------------

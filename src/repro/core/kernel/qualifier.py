@@ -1,0 +1,174 @@
+"""Columnar rewrite of the qualifier pass (Stage 1 of PaX3 / ParBoX).
+
+Semantically identical to
+:func:`repro.core.qualifiers.evaluate_fragment_qualifiers`, but the
+traversal is a single reverse walk over the fragment's flat pre-order
+arrays: reverse pre-order visits every node after all of its descendants,
+so the bottom-up recurrence needs no frame stack at all.  Per element the
+pass folds the already-computed child HEAD/DESC rows (document order,
+virtual children first — the same fold order as the reference, so residual
+formulas come out structurally identical) and interprets the precompiled
+``item_prog`` instead of re-reading the plan's dataclasses.
+
+All-false rows are shared tuples instead of fresh lists, so leaf-heavy
+fragments allocate almost nothing per node.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.booleans.formula import FormulaLike, conj, disj
+from repro.core.kernel.tables import (
+    ITEM_CHILD,
+    ITEM_DESC,
+    ITEM_EMPTY_TEXT,
+    ITEM_EMPTY_TRUE,
+    ITEM_EMPTY_VAL,
+    ITEM_SELFQUAL,
+    plan_tables,
+)
+from repro.core.qualifiers import FragmentQualifierOutput
+from repro.core.variables import desc_var, head_var
+from repro.fragments.fragment import Fragment
+from repro.xmltree.flat import KIND_ELEMENT, FlatFragment
+from repro.xpath.plan import QueryPlan, evaluate_qual_expr
+
+__all__ = ["evaluate_fragment_qualifiers_flat"]
+
+
+def evaluate_fragment_qualifiers_flat(
+    fragment: Fragment, flat: FlatFragment, plan: QueryPlan
+) -> FragmentQualifierOutput:
+    """Bottom-up qualifier pass over the columnar encoding of *fragment*."""
+    output = FragmentQualifierOutput(fragment_id=fragment.fragment_id)
+    n_items = plan.n_items
+    if not plan.has_qualifiers:
+        output.root_head = [False] * n_items
+        output.root_desc = [False] * n_items
+        return output
+
+    tables = plan_tables(flat, plan)
+    item_prog = tables.item_prog
+    sel_quals = tables.sel_quals
+    head_item_ids = tables.head_item_ids
+    desc_item_ids = tables.desc_item_ids
+    head_rest = tables.head_rest
+    head_by_tag = tables.head_by_tag
+    false_row = tables.false_items
+
+    n = flat.n
+    kind = flat.kind
+    tag_ids = flat.tag_id
+    node_ids = flat.node_ids
+    text_norm = flat.text_norm
+    numeric = flat.numeric
+    virtual_at = flat.virtual_at
+
+    #: per-element HEAD/DESC rows, freed once folded into the parent
+    head_at: List[Optional[object]] = [None] * n
+    desc_at: List[Optional[object]] = [None] * n
+    qual_values = output.qual_values
+
+    for index in range(n - 1, -1, -1):
+        if kind[index] != KIND_ELEMENT:
+            continue
+
+        # -- aggregate the children's contributions (virtuals first, then
+        #    real element children in document order, as the reference does)
+        agg_head: Optional[List[FormulaLike]] = None
+        agg_desc: Optional[List[FormulaLike]] = None
+        virtuals = virtual_at.get(index)
+        if virtuals is not None:
+            agg_head = [False] * n_items
+            agg_desc = [False] * n_items
+            for child_fragment_id in virtuals:
+                for item_id in head_item_ids:
+                    agg_head[item_id] = disj(
+                        agg_head[item_id], head_var(child_fragment_id, item_id)
+                    )
+                for item_id in desc_item_ids:
+                    agg_desc[item_id] = disj(
+                        agg_desc[item_id], desc_var(child_fragment_id, item_id)
+                    )
+        for child in flat.element_children(index):
+            child_head = head_at[child]
+            child_desc = desc_at[child]
+            head_at[child] = None
+            desc_at[child] = None
+            if child_head is not false_row:
+                if agg_head is None:
+                    agg_head = [False] * n_items
+                    agg_desc = [False] * n_items
+                for item_id in head_item_ids:
+                    value = child_head[item_id]
+                    if value is not False:
+                        agg_head[item_id] = disj(agg_head[item_id], value)
+            if child_desc is not false_row:
+                if agg_head is None:
+                    agg_head = [False] * n_items
+                    agg_desc = [False] * n_items
+                for item_id in desc_item_ids:
+                    value = child_desc[item_id]
+                    if value is not False:
+                        agg_desc[item_id] = disj(agg_desc[item_id], value)
+        agg_h = false_row if agg_head is None else agg_head
+        agg_d = false_row if agg_desc is None else agg_desc
+
+        # -- EX vector via the precompiled item program
+        ex: List[FormulaLike] = [False] * n_items
+        for instr in item_prog:
+            code = instr[0]
+            if code == ITEM_CHILD:
+                ex[instr[1]] = agg_h[instr[1]]
+            elif code == ITEM_DESC:
+                rest = instr[2]
+                ex[instr[1]] = disj(ex[rest], agg_d[rest])
+            elif code == ITEM_EMPTY_TEXT:
+                ex[instr[1]] = text_norm[index] == instr[2]
+            elif code == ITEM_EMPTY_TRUE:
+                ex[instr[1]] = True
+            elif code == ITEM_EMPTY_VAL:
+                value = numeric[index]
+                ex[instr[1]] = False if value is None else instr[2](value, instr[3])
+            else:  # ITEM_SELFQUAL
+                ex[instr[1]] = conj(evaluate_qual_expr(instr[2], ex), ex[instr[3]])
+
+        qual_values[node_ids[index]] = tuple(
+            evaluate_qual_expr(qual, ex) for qual in sel_quals
+        )
+
+        # -- HEAD/DESC rows handed to the parent (shared tuple when all-false)
+        head_row: object = false_row
+        matching = head_by_tag[tag_ids[index]]
+        if matching:
+            row: Optional[List[FormulaLike]] = None
+            for item_id in matching:
+                value = ex[head_rest[item_id]]
+                if value is not False:
+                    if row is None:
+                        row = [False] * n_items
+                    row[item_id] = value
+            if row is not None:
+                head_row = row
+        desc_row: object = false_row
+        if desc_item_ids:
+            row = None
+            for item_id in desc_item_ids:
+                value = disj(ex[item_id], agg_d[item_id])
+                if value is not False:
+                    if row is None:
+                        row = [False] * n_items
+                    row[item_id] = value
+            if row is not None:
+                desc_row = row
+        head_at[index] = head_row
+        desc_at[index] = desc_row
+
+    root_head = head_at[0]
+    root_desc = desc_at[0]
+    output.root_head = list(root_head) if type(root_head) is tuple else root_head
+    output.root_desc = list(root_desc) if type(root_desc) is tuple else root_desc
+    output.operations = flat.n_elements * max(1, n_items)
+    output.root_vector_units = len(head_item_ids) + len(desc_item_ids)
+    return output

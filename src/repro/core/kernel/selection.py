@@ -1,0 +1,144 @@
+"""Columnar rewrite of the selection pass (Stage 2 of PaX3).
+
+Semantically identical to
+:func:`repro.core.selection.evaluate_fragment_selection`, but the top-down
+recurrence runs as one forward walk over the flat pre-order arrays (a
+node's parent always precedes it in pre-order, so ``vectors[parent[i]]`` is
+ready when ``i`` is reached).  Two columnar-only optimizations, both
+output-preserving:
+
+* per-tag step gates: whether a CHILD step can match is a precomputed
+  boolean lookup (``sel_child_ok``) instead of a per-node tag comparison;
+* dead-subtree skip: once a node's prefix vector is concretely all-false,
+  every descendant's vector is all-false too (nothing below can re-anchor
+  the path), so the walk jumps ``subtree_size`` ahead, charging the skipped
+  elements to the operation count and emitting the same all-false vectors
+  at any virtual nodes inside the skipped range.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.booleans.formula import FormulaLike, conj, is_false, is_true
+from repro.core.kernel.tables import SEL_CHILD, SEL_DESC, plan_tables
+from repro.core.selection import FragmentSelectionOutput
+from repro.fragments.fragment import Fragment
+from repro.xmltree.flat import KIND_ELEMENT, FlatFragment
+from repro.xmltree.nodes import NodeId
+from repro.xpath.plan import QueryPlan
+
+__all__ = ["evaluate_fragment_selection_flat"]
+
+#: Supplies the SELFQUAL qualifier values of an element, by global node id.
+QualProviderById = Callable[[NodeId], Sequence[FormulaLike]]
+
+
+def evaluate_fragment_selection_flat(
+    fragment: Fragment,
+    flat: FlatFragment,
+    plan: QueryPlan,
+    qual_provider: Optional[QualProviderById],
+    init_vector: Sequence[FormulaLike],
+    is_root_fragment: bool,
+) -> FragmentSelectionOutput:
+    """Top-down selection pass over the columnar encoding of *fragment*."""
+    output = FragmentSelectionOutput(fragment_id=fragment.fragment_id)
+    tables = plan_tables(flat, plan)
+    sel_prog = tables.sel_prog
+    sel_child_ok = tables.sel_child_ok
+
+    n = flat.n
+    n_steps = plan.n_steps
+    vec_len = n_steps + 1
+    kind = flat.kind
+    tag_ids = flat.tag_id
+    parent = flat.parent
+    subtree_size = flat.subtree_size
+    node_ids = flat.node_ids
+    virtual_at = flat.virtual_at
+    has_virtuals = bool(virtual_at)
+
+    anchor_at_root = is_root_fragment and not plan.absolute
+    answers = output.answers
+    candidates = output.candidates
+    virtual_parent_vectors = output.virtual_parent_vectors
+
+    vectors: List[Optional[List[FormulaLike]]] = [None] * n
+    init_list = list(init_vector)
+    elements_processed = 0
+    no_quals: Sequence[FormulaLike] = ()
+
+    index = 0
+    while index < n:
+        if kind[index] != KIND_ELEMENT:
+            index += 1
+            continue
+        elements_processed += 1
+        parent_index = parent[index]
+        parent_vector = init_list if parent_index < 0 else vectors[parent_index]
+        if qual_provider is not None:
+            qual_values = qual_provider(node_ids[index])
+        else:
+            qual_values = no_quals
+
+        vector: List[FormulaLike] = [False] * vec_len
+        is_ctx = anchor_at_root and parent_index < 0
+        vector[0] = is_ctx
+        all_false = not is_ctx
+        ok = sel_child_ok[tag_ids[index]]
+        qual_index = 0
+        for instr in sel_prog:
+            code = instr[0]
+            position = instr[1]
+            if code == SEL_CHILD:
+                previous = parent_vector[position - 1]
+                if previous is not False and ok[position]:
+                    vector[position] = previous
+                    all_false = False
+            elif code == SEL_DESC:
+                value = parent_vector[position]
+                below = vector[position - 1]
+                if value is False:
+                    value = below
+                elif below is not False:
+                    value = value | below
+                if value is not False:
+                    vector[position] = value
+                    all_false = False
+            else:  # SEL_SELFQUAL
+                previous = vector[position - 1]
+                if not is_false(previous):
+                    value = conj(previous, qual_values[qual_index])
+                    if value is not False:
+                        vector[position] = value
+                        all_false = False
+                qual_index += 1
+        vectors[index] = vector
+
+        final = vector[n_steps]
+        if is_true(final):
+            answers.append(node_ids[index])
+        elif not is_false(final):
+            candidates[node_ids[index]] = final
+
+        if has_virtuals:
+            virtuals = virtual_at.get(index)
+            if virtuals is not None:
+                for child_fragment_id in virtuals:
+                    virtual_parent_vectors[child_fragment_id] = list(vector)
+
+        if all_false:
+            # Dead subtree: every descendant's vector is all-false too.
+            end = index + subtree_size[index]
+            elements_processed += flat.elements_in(index + 1, end)
+            if has_virtuals:
+                for at in flat.virtuals_in(index + 1, end):
+                    for child_fragment_id in virtual_at[at]:
+                        virtual_parent_vectors[child_fragment_id] = [False] * vec_len
+            index = end
+        else:
+            index += 1
+
+    output.operations = elements_processed * vec_len
+    return output

@@ -18,7 +18,8 @@ from typing import Dict, Mapping, Optional
 
 from repro.booleans.env import Environment
 from repro.core.common import QueryInput, build_network, ensure_plan, plan_units, stage_timer
-from repro.core.qualifiers import FragmentQualifierOutput, evaluate_fragment_qualifiers
+from repro.core.kernel.dispatch import prewarm_fragments, qualifier_pass
+from repro.core.qualifiers import FragmentQualifierOutput
 from repro.core.unify import require_concrete, unify_qualifier_vectors
 from repro.distributed.messages import MessageKind
 from repro.distributed.network import Network
@@ -43,6 +44,7 @@ def run_parbox(
     query: QueryInput,
     placement: Optional[Mapping[str, str]] = None,
     network: Optional[Network] = None,
+    engine: Optional[str] = None,
 ) -> RunStats:
     """Evaluate a Boolean query with ParBoX (one visit per site).
 
@@ -63,6 +65,7 @@ def run_parbox(
     stats = RunStats(algorithm="ParBoX", query=plan.source)
     stats.fragments_evaluated = fragmentation.fragment_ids()
     stage = StageStats(name="qualifiers")
+    prewarm_fragments(fragmentation, engine=engine)
 
     outputs: Dict[str, FragmentQualifierOutput] = {}
     site_ids = network.sites_holding(fragmentation.fragment_ids())
@@ -77,7 +80,7 @@ def run_parbox(
         units = 0
         with site.visit("parbox:qualifiers"):
             for fragment_id in fragment_ids:
-                output = evaluate_fragment_qualifiers(fragmentation[fragment_id], plan)
+                output = qualifier_pass(fragmentation, fragment_id, plan, engine=engine)
                 outputs[fragment_id] = output
                 site.add_operations(output.operations)
                 units += output.root_vector_units

@@ -24,7 +24,8 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.booleans.env import Environment
 from repro.booleans.formula import FormulaLike, formula_size
-from repro.core.combined import FragmentCombinedOutput, evaluate_fragment_combined
+from repro.core.combined import FragmentCombinedOutput
+from repro.core.kernel.dispatch import combined_pass, prewarm_fragments
 from repro.core.common import (
     QueryInput,
     answer_subtree_nodes,
@@ -53,6 +54,8 @@ __all__ = ["run_pax2"]
 
 
 def _output_units(plan: QueryPlan, output: FragmentCombinedOutput) -> int:
+    # formula_size reads the memoized size of the (hash-consed) entries, so
+    # re-accounting the same residual vector in a later stage is O(1) per item.
     units = 0
     for item_id in plan.head_item_ids:
         units += formula_size(output.root_head[item_id])
@@ -69,8 +72,14 @@ def run_pax2(
     placement: Optional[Mapping[str, str]] = None,
     use_annotations: bool = False,
     network: Optional[Network] = None,
+    engine: Optional[str] = None,
 ) -> RunStats:
-    """Evaluate *query* over a fragmented tree with algorithm PaX2."""
+    """Evaluate *query* over a fragmented tree with algorithm PaX2.
+
+    ``engine`` selects the per-fragment pass implementation (``"kernel"``
+    columnar arrays, ``"reference"`` object-tree traversal; ``None`` uses
+    the process default — see :mod:`repro.core.kernel.dispatch`).
+    """
     plan = ensure_plan(query)
     if network is None:
         network = build_network(fragmentation, placement)
@@ -88,6 +97,7 @@ def run_pax2(
     stats.fragments_evaluated = list(evaluated)
 
     answers: set[int] = set()
+    prewarm_fragments(fragmentation, evaluated, engine=engine)
 
     # ------------------------------------------------------------------ stage 1
     stage1 = StageStats(name="combined")
@@ -107,18 +117,19 @@ def run_pax2(
         site_units = 0
         with site.visit("pax2:combined"):
             for fragment_id in fragment_ids:
-                fragment = fragmentation[fragment_id]
                 if fragment_id == root_fragment_id:
                     init_vector: Sequence[FormulaLike] = concrete_root_init_vector(plan)
                 elif use_annotations and not plan.has_qualifiers:
                     init_vector = annotation_init_vector(fragmentation, plan, fragment_id)
                 else:
                     init_vector = variable_init_vector(plan, fragment_id)
-                output = evaluate_fragment_combined(
-                    fragment,
+                output = combined_pass(
+                    fragmentation,
+                    fragment_id,
                     plan,
                     init_vector,
                     is_root_fragment=(fragment_id == root_fragment_id),
+                    engine=engine,
                 )
                 outputs[fragment_id] = output
                 site.add_operations(output.operations)

@@ -36,13 +36,10 @@ from repro.core.common import (
     plan_units,
     stage_timer,
 )
+from repro.core.kernel.dispatch import prewarm_fragments, qualifier_pass, selection_pass
 from repro.core.pruning import annotation_init_vector, relevant_fragments
-from repro.core.qualifiers import FragmentQualifierOutput, evaluate_fragment_qualifiers
-from repro.core.selection import (
-    concrete_root_init_vector,
-    evaluate_fragment_selection,
-    variable_init_vector,
-)
+from repro.core.qualifiers import FragmentQualifierOutput
+from repro.core.selection import concrete_root_init_vector, variable_init_vector
 from repro.core.unify import (
     require_concrete,
     resolved_child_qualifier_bindings,
@@ -60,6 +57,8 @@ __all__ = ["run_pax3"]
 
 
 def _root_vector_units(plan: QueryPlan, output: FragmentQualifierOutput) -> int:
+    # formula_size reads the memoized size of the (hash-consed) entries, so
+    # re-accounting the same residual vector in a later stage is O(1) per item.
     units = 0
     for item_id in plan.head_item_ids:
         units += formula_size(output.root_head[item_id])
@@ -85,8 +84,14 @@ def run_pax3(
     placement: Optional[Mapping[str, str]] = None,
     use_annotations: bool = False,
     network: Optional[Network] = None,
+    engine: Optional[str] = None,
 ) -> RunStats:
-    """Evaluate *query* over a fragmented tree with algorithm PaX3."""
+    """Evaluate *query* over a fragmented tree with algorithm PaX3.
+
+    ``engine`` selects the per-fragment pass implementation (``"kernel"``
+    columnar arrays, ``"reference"`` object-tree traversal; ``None`` uses
+    the process default — see :mod:`repro.core.kernel.dispatch`).
+    """
     plan = ensure_plan(query)
     if network is None:
         network = build_network(fragmentation, placement)
@@ -110,6 +115,7 @@ def run_pax3(
 
     answers: set[int] = set()
     qual_env = Environment()
+    prewarm_fragments(fragmentation, engine=engine)
 
     # ------------------------------------------------------------------ stage 1
     if plan.has_qualifiers:
@@ -126,7 +132,7 @@ def run_pax3(
             )
             with site.visit("pax3:qualifiers"):
                 for fragment_id in fragment_ids:
-                    output = evaluate_fragment_qualifiers(fragmentation[fragment_id], plan)
+                    output = qualifier_pass(fragmentation, fragment_id, plan, engine=engine)
                     qual_outputs[fragment_id] = output
                     site.storage[fragment_id]["qual_values"] = output.qual_values
                     site.add_operations(output.operations)
@@ -179,14 +185,13 @@ def run_pax3(
         site_vector_units = 0
         with site.visit("pax3:selection"):
             for fragment_id in fragment_ids:
-                fragment = fragmentation[fragment_id]
                 provider = None
                 if plan.has_qualifiers:
                     stored = site.storage[fragment_id].get("qual_values", {})
                     fragment_env = Environment(per_fragment_bindings.get(fragment_id, {}))
 
-                    def provider(node, stored=stored, fragment_env=fragment_env):
-                        values = stored.get(node.node_id, ())
+                    def provider(node_id, stored=stored, fragment_env=fragment_env):
+                        values = stored.get(node_id, ())
                         return [fragment_env.resolve(value) for value in values]
 
                 if fragment_id == root_fragment_id:
@@ -196,12 +201,14 @@ def run_pax3(
                 else:
                     init_vector = variable_init_vector(plan, fragment_id)
 
-                output = evaluate_fragment_selection(
-                    fragment,
+                output = selection_pass(
+                    fragmentation,
+                    fragment_id,
                     plan,
                     provider,
                     init_vector,
                     is_root_fragment=(fragment_id == root_fragment_id),
+                    engine=engine,
                 )
                 site.add_operations(output.operations)
                 site_answers.extend(output.answers)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import gc
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List
@@ -44,13 +45,26 @@ class Site:
 
     @contextmanager
     def visit(self, stage: str) -> Iterator["Site"]:
-        """Record one visit of this site for *stage*, timing the enclosed work."""
+        """Record one visit of this site for *stage*, timing the enclosed work.
+
+        The cyclic garbage collector is paused for the duration of the visit
+        (and restored afterwards): visits are the per-site timing windows the
+        paper's evaluation-time figures are built from, and a multi-ms gen-2
+        collection landing inside one visit would be charged to whichever
+        site happened to trigger it — pure measurement noise on the
+        sub-millisecond scaled-down workloads.
+        """
         self.visits += 1
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         started = time.perf_counter()
         try:
             yield self
         finally:
             elapsed = time.perf_counter() - started
+            if gc_was_enabled:
+                gc.enable()
             self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + elapsed
 
     def add_operations(self, count: int) -> None:

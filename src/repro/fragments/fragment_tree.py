@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.fragments.fragment import Fragment
+from repro.xmltree.flat import FlatFragment, build_flat_fragment
 from repro.xmltree.nodes import NodeId, XMLNode, XMLTree
 
 __all__ = ["Fragmentation", "FragmentationError", "build_fragmentation"]
@@ -28,6 +29,9 @@ class Fragmentation:
         self.root_fragment_id: Optional[str] = None
         #: node id of a fragment root -> fragment id (includes the root fragment)
         self.fragment_root_ids: Dict[NodeId, str] = {}
+        #: columnar span encodings, valid for _content_version (see flat())
+        self._flat_cache: Dict[str, FlatFragment] = {}
+        self._content_version: Optional[str] = None
 
     # -- construction ---------------------------------------------------------
 
@@ -38,6 +42,60 @@ class Fragmentation:
         self.fragment_root_ids[fragment.root.node_id] = fragment.fragment_id
         if fragment.parent_id is None:
             self.root_fragment_id = fragment.fragment_id
+        self.invalidate_flat()
+
+    # -- columnar encodings ---------------------------------------------------
+
+    def content_fingerprint(self) -> str:
+        """Placement-free fingerprint of the fragmented document.
+
+        Covers the tree shape and content (size, labels and texts folded into
+        a running hash) and the fragment boundaries; the service result cache
+        folds the placement on top of this to build its version tag.
+        """
+        digest = 0
+        mask = 0xFFFFFFFFFFFFFFFF
+        digest = (digest * 1_000_003 + hash(self.tree.size())) & mask
+        for fragment_id in self.fragment_ids():
+            fragment = self.fragments[fragment_id]
+            digest = (digest * 1_000_003 + hash(fragment_id)) & mask
+            digest = (digest * 1_000_003 + hash(fragment.root.node_id)) & mask
+        for node in self.tree.root.iter_subtree():
+            value = node.tag if node.is_element else node.value
+            digest = (digest * 1_000_003 + hash(value)) & mask
+        return f"{digest:016x}"
+
+    def content_version(self, refresh: bool = False) -> str:
+        """The cached content fingerprint, recomputed on demand.
+
+        Passing ``refresh=True`` re-walks the document (what the service's
+        ``refresh_version`` does after an in-place update); when the
+        fingerprint moved, the flat encodings are dropped with it.
+        """
+        if refresh or self._content_version is None:
+            tag = self.content_fingerprint()
+            if tag != self._content_version:
+                self._flat_cache.clear()
+                self._content_version = tag
+        return self._content_version
+
+    def flat(self, fragment_id: str) -> FlatFragment:
+        """The columnar encoding of one fragment span, built once and cached.
+
+        The cache is keyed on :meth:`content_version`; re-fragmenting or
+        refreshing the version after a document edit rebuilds the arrays.
+        """
+        self.content_version()
+        encoded = self._flat_cache.get(fragment_id)
+        if encoded is None:
+            encoded = build_flat_fragment(self.fragments[fragment_id])
+            self._flat_cache[fragment_id] = encoded
+        return encoded
+
+    def invalidate_flat(self) -> None:
+        """Drop the flat encodings and the cached content fingerprint."""
+        self._flat_cache.clear()
+        self._content_version = None
 
     # -- lookup ----------------------------------------------------------------
 

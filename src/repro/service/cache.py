@@ -58,22 +58,20 @@ def version_tag(fragmentation: Fragmentation, placement: Mapping[str, str]) -> s
     Covers the tree shape and content (size, labels and texts folded into a
     running hash), the fragment boundaries and the site assignment — any
     change to one of them changes the tag and thereby misses the cache.
+
+    The content half is :meth:`Fragmentation.content_version` — recomputed
+    here with ``refresh=True`` so an in-place document edit moves the tag,
+    which also drops the stale columnar encodings the evaluation kernels
+    cache on the fragmentation.
     """
-    digest = 0
+    digest = int(fragmentation.content_version(refresh=True), 16)
 
     def fold(value: object) -> None:
         nonlocal digest
         digest = (digest * 1_000_003 + hash(value)) & 0xFFFFFFFFFFFFFFFF
 
-    tree = fragmentation.tree
-    fold(tree.size())
     for fragment_id in fragmentation.fragment_ids():
-        fragment = fragmentation[fragment_id]
-        fold(fragment_id)
-        fold(fragment.root.node_id)
         fold(placement.get(fragment_id))
-    for node in tree.root.iter_subtree():
-        fold(node.tag if node.is_element else node.value)
     return f"{digest:016x}"
 
 

@@ -29,7 +29,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.booleans.env import Environment
 from repro.booleans.formula import FormulaLike
-from repro.core.combined import FragmentCombinedOutput, evaluate_fragment_combined
+from repro.core.combined import FragmentCombinedOutput
+from repro.core.kernel.dispatch import combined_pass, prewarm_fragments
 from repro.core.naive import run_naive_centralized
 from repro.core.parbox import run_parbox
 from repro.core.pax2 import _output_units
@@ -63,16 +64,22 @@ async def evaluate_query_async(
     algorithm: str = "pax2",
     use_annotations: bool = True,
     latency: Optional[LatencyModel] = None,
+    engine: Optional[str] = None,
 ) -> RunStats:
-    """Evaluate one query through the actor pool and return its RunStats."""
+    """Evaluate one query through the actor pool and return its RunStats.
+
+    ``engine`` selects the per-fragment pass implementation (see
+    :mod:`repro.core.kernel.dispatch`).
+    """
     network = Network(fragmentation, placement)
     if algorithm == "pax2":
+        prewarm_fragments(fragmentation, engine=engine)
         transport = AsyncTransport(network, latency)
         return await _run_pax2_async(
-            fragmentation, plan, network, transport, actors, use_annotations
+            fragmentation, plan, network, transport, actors, use_annotations, engine
         )
     return await _run_sync_fallback(
-        fragmentation, plan, network, actors, algorithm, use_annotations, latency
+        fragmentation, plan, network, actors, algorithm, use_annotations, latency, engine
     )
 
 
@@ -84,6 +91,7 @@ async def _run_sync_fallback(
     algorithm: str,
     use_annotations: bool,
     latency: Optional[LatencyModel],
+    engine: Optional[str] = None,
 ) -> RunStats:
     """Serve a non-PaX2 algorithm by running its synchronous runner whole,
     inside the coordinator's actor slot (so admission and per-site limits at
@@ -97,12 +105,13 @@ async def _run_sync_fallback(
     async with actors[network.coordinator_id].slot(f"{algorithm}:run"):
         if algorithm == "pax3":
             stats = run_pax3(
-                fragmentation, plan, network=network, use_annotations=use_annotations
+                fragmentation, plan, network=network,
+                use_annotations=use_annotations, engine=engine,
             )
         elif algorithm == "naive":
             stats = run_naive_centralized(fragmentation, plan, network=network)
         elif algorithm == "parbox":
-            stats = run_parbox(fragmentation, plan, network=network)
+            stats = run_parbox(fragmentation, plan, network=network, engine=engine)
         else:
             raise ValueError(f"unknown algorithm {algorithm!r}")
         if latency is not None and not latency.is_free:
@@ -123,6 +132,7 @@ async def _run_pax2_async(
     transport: AsyncTransport,
     actors: ActorPool,
     use_annotations: bool,
+    engine: Optional[str] = None,
 ) -> RunStats:
     """PaX2 with each per-site round scheduled as an actor task.
 
@@ -162,18 +172,19 @@ async def _run_pax2_async(
             site_units = 0
             with site.visit("pax2:combined"):
                 for fragment_id in fragment_ids:
-                    fragment = fragmentation[fragment_id]
                     if fragment_id == root_fragment_id:
                         init_vector: Sequence[FormulaLike] = concrete_root_init_vector(plan)
                     elif use_annotations and not plan.has_qualifiers:
                         init_vector = annotation_init_vector(fragmentation, plan, fragment_id)
                     else:
                         init_vector = variable_init_vector(plan, fragment_id)
-                    output = evaluate_fragment_combined(
-                        fragment,
+                    output = combined_pass(
+                        fragmentation,
+                        fragment_id,
                         plan,
                         init_vector,
                         is_root_fragment=(fragment_id == root_fragment_id),
+                        engine=engine,
                     )
                     site_outputs[fragment_id] = output
                     site.add_operations(output.operations)

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.common import QueryInput
+from repro.core.kernel.dispatch import ENGINES
 from repro.core.results import QueryResult
 from repro.distributed.async_transport import LatencyModel
 from repro.distributed.placement import one_site_per_fragment
@@ -63,6 +64,9 @@ class ServiceConfig:
     algorithm: str = "pax2"
     #: default XPath-annotation setting (overridable per query)
     use_annotations: bool = True
+    #: per-fragment pass implementation (``None`` = process default; see
+    #: :mod:`repro.core.kernel.dispatch`)
+    engine: Optional[str] = None
     #: concurrent evaluations admitted at once
     max_in_flight: int = 64
     #: queued evaluations beyond which submission raises AdmissionError
@@ -88,6 +92,8 @@ class ServiceConfig:
             raise ValueError("max_in_flight must be >= 1")
         if self.max_pending is not None and self.max_pending < 0:
             raise ValueError("max_pending must be >= 0 when set")
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; choose from {ENGINES}")
 
 
 class ServiceEngine:
@@ -244,6 +250,7 @@ class ServiceEngine:
                     algorithm=algorithm,
                     use_annotations=use_annotations,
                     latency=self.config.latency,
+                    engine=self.config.engine,
                 )
         finally:
             self._pending_evaluations -= 1

@@ -17,6 +17,7 @@ Two styles are supported:
 
 from __future__ import annotations
 
+import sys
 from typing import Union
 
 from repro.xmltree.errors import XMLTreeError
@@ -28,17 +29,18 @@ Child = Union[XMLNode, str]
 
 
 def text(value: str) -> XMLNode:
-    """Create a text node."""
-    return XMLNode(TEXT, value=str(value))
+    """Create a text node (value interned, as the parser does)."""
+    return XMLNode(TEXT, value=sys.intern(str(value)))
 
 
 def element(tag: str, *children: Child) -> XMLNode:
     """Create an element node with the given children.
 
     Plain strings among *children* are converted to text nodes, which keeps
-    literal trees compact: ``element("name", "Anna")``.
+    literal trees compact: ``element("name", "Anna")``.  Tags are interned
+    so tag comparisons anywhere downstream are pointer comparisons.
     """
-    node = XMLNode(ELEMENT, tag=tag)
+    node = XMLNode(ELEMENT, tag=sys.intern(tag))
     for child in children:
         if isinstance(child, str):
             node.append(text(child))
@@ -80,7 +82,7 @@ class TreeBuilder:
 
     def open(self, tag: str) -> "TreeBuilder._OpenContext":
         """Open an element; use as a context manager or pair with :meth:`close`."""
-        node = XMLNode(ELEMENT, tag=tag)
+        node = XMLNode(ELEMENT, tag=sys.intern(tag))
         if self._stack:
             self._stack[-1].append(node)
         elif self._root is None:
@@ -106,7 +108,7 @@ class TreeBuilder:
         """Append ``<tag>value</tag>`` to the innermost open element."""
         if not self._stack:
             raise XMLTreeError("leaf element outside of any element")
-        node = XMLNode(ELEMENT, tag=tag)
+        node = XMLNode(ELEMENT, tag=sys.intern(tag))
         if value is not None:
             node.append(text(value))
         self._stack[-1].append(node)

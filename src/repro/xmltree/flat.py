@@ -1,0 +1,227 @@
+"""Columnar (struct-of-arrays) encoding of fragment spans.
+
+The per-fragment passes are the hot loop of every algorithm in this repo:
+each query visits every element of every evaluated fragment.  Walking the
+:class:`~repro.xmltree.nodes.XMLNode` object graph pays an attribute lookup,
+a method call and a list allocation per edge; :class:`FlatFragment` instead
+encodes a fragment span once as flat pre-order arrays so the kernels in
+:mod:`repro.core.kernel` can walk plain integer indices.
+
+Layout
+------
+One entry per span node (elements *and* text), in exactly the order of
+:meth:`repro.fragments.fragment.Fragment.iter_span` (document pre-order,
+sub-fragments excluded):
+
+``kind[i]``
+    :data:`KIND_ELEMENT` or :data:`KIND_TEXT`.
+``tag_id[i]``
+    Index into the per-fragment :attr:`tags` table (interned strings);
+    ``-1`` for text nodes.
+``parent[i]``
+    Flat index of the parent within the span; ``-1`` for the fragment root.
+``subtree_size[i]``
+    Number of span nodes in the subtree rooted at ``i`` (including ``i``),
+    so ``i + subtree_size[i]`` is the next sibling / unrelated node —
+    pre-order plus subtree sizes is the whole tree structure.
+``node_ids[i]``
+    The node's stable global :data:`~repro.xmltree.nodes.NodeId`.
+``text_norm[i]`` / ``numeric[i]``
+    For elements: the direct-text content normalized for ``text() = s``
+    tests (stripped, lower-cased) and parsed for ``val() op n`` tests
+    (``None`` when not numeric), precomputed once at build time instead of
+    per query per item.
+``virtual_at``
+    Flat index of a span element -> ids of the sub-fragments hanging
+    directly below it, in document order (``virtual_indices`` holds the
+    keys sorted, for range queries during subtree skips).
+
+Instances are built once per fragment and cached on
+:class:`~repro.fragments.fragment_tree.Fragmentation`, keyed by the same
+content fingerprint the service result cache uses, so a re-fragmentation or
+document edit that would change query answers also drops the flat encodings.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.xmltree.nodes import NodeId
+
+__all__ = ["FlatFragment", "KIND_ELEMENT", "KIND_TEXT", "build_flat_fragment"]
+
+KIND_ELEMENT = 0
+KIND_TEXT = 1
+
+
+class FlatFragment:
+    """Flat pre-order columns of one fragment span (see module docstring)."""
+
+    __slots__ = (
+        "fragment_id",
+        "n",
+        "kind",
+        "tag_id",
+        "parent",
+        "subtree_size",
+        "node_ids",
+        "tags",
+        "text_norm",
+        "numeric",
+        "virtual_at",
+        "virtual_indices",
+        "element_prefix",
+        "n_elements",
+        "_tables",
+    )
+
+    def __init__(
+        self,
+        fragment_id: str,
+        kind: List[int],
+        tag_id: List[int],
+        parent: List[int],
+        subtree_size: List[int],
+        node_ids: List[NodeId],
+        tags: List[str],
+        text_norm: List[Optional[str]],
+        numeric: List[Optional[float]],
+        virtual_at: Dict[int, Tuple[str, ...]],
+    ):
+        self.fragment_id = fragment_id
+        self.n = len(kind)
+        self.kind = kind
+        self.tag_id = tag_id
+        self.parent = parent
+        self.subtree_size = subtree_size
+        self.node_ids = node_ids
+        self.tags = tags
+        self.text_norm = text_norm
+        self.numeric = numeric
+        self.virtual_at = virtual_at
+        self.virtual_indices = sorted(virtual_at)
+        # element_prefix[i] = number of elements among flat indices < i;
+        # one extra entry so prefix[end] - prefix[start] counts a range.
+        prefix = [0] * (self.n + 1)
+        running = 0
+        for index, k in enumerate(kind):
+            prefix[index] = running
+            if k == KIND_ELEMENT:
+                running += 1
+        prefix[self.n] = running
+        self.element_prefix = prefix
+        self.n_elements = running
+        #: per-query dispatch tables, keyed by plan identity tuple
+        #: (see repro.core.kernel.tables.plan_tables)
+        self._tables: Dict[tuple, object] = {}
+
+    # -- structure helpers --------------------------------------------------
+
+    def element_children(self, index: int) -> Iterator[int]:
+        """Flat indices of the element children of span node *index*."""
+        kind = self.kind
+        size = self.subtree_size
+        child = index + 1
+        end = index + size[index]
+        while child < end:
+            if kind[child] == KIND_ELEMENT:
+                yield child
+            child += size[child]
+
+    def elements_in(self, start: int, end: int) -> int:
+        """Number of elements among flat indices ``[start, end)``."""
+        return self.element_prefix[end] - self.element_prefix[start]
+
+    def virtuals_in(self, start: int, end: int) -> List[int]:
+        """Flat indices in ``[start, end)`` that carry virtual children."""
+        indices = self.virtual_indices
+        lo = bisect.bisect_left(indices, start)
+        hi = bisect.bisect_left(indices, end)
+        return indices[lo:hi]
+
+    def preorder_node_ids(self) -> List[NodeId]:
+        """The span's node ids in document order (for round-trip checks)."""
+        return list(self.node_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FlatFragment {self.fragment_id} nodes={self.n}"
+            f" elements={self.n_elements} tags={len(self.tags)}"
+            f" virtuals={len(self.virtual_at)}>"
+        )
+
+
+def build_flat_fragment(fragment) -> FlatFragment:
+    """Encode *fragment*'s span as a :class:`FlatFragment`.
+
+    *fragment* is a :class:`repro.fragments.fragment.Fragment`; the import is
+    kept out of module scope to avoid a cycle (fragments import xmltree).
+    """
+    virtual_children = fragment.virtual_children
+
+    kind: List[int] = []
+    tag_id: List[int] = []
+    parent: List[int] = []
+    node_ids: List[NodeId] = []
+    text_norm: List[Optional[str]] = []
+    numeric: List[Optional[float]] = []
+    tags: List[str] = []
+    tag_index: Dict[str, int] = {}
+    virtual_at: Dict[int, Tuple[str, ...]] = {}
+
+    # Pre-order walk mirroring Fragment.iter_span, tracking the parent's
+    # flat index with an explicit stack of (node, parent_flat_index).
+    stack = [(fragment.root, -1)]
+    while stack:
+        node, parent_index = stack.pop()
+        index = len(kind)
+        node_ids.append(node.node_id)
+        parent.append(parent_index)
+        if node.is_element:
+            kind.append(KIND_ELEMENT)
+            tag = node.tag
+            tid = tag_index.get(tag)
+            if tid is None:
+                tid = tag_index[tag] = len(tags)
+                tags.append(tag)
+            tag_id.append(tid)
+            # The canonical test semantics live on XMLNode; precompute from
+            # them so the kernel and reference paths can never diverge.
+            text_norm.append(node.text().strip().lower())
+            numeric.append(node.numeric_value())
+            virtuals = tuple(
+                virtual_children[child.node_id]
+                for child in node.children
+                if child.node_id in virtual_children
+            )
+            if virtuals:
+                virtual_at[index] = virtuals
+        else:
+            kind.append(KIND_TEXT)
+            tag_id.append(-1)
+            text_norm.append(None)
+            numeric.append(None)
+        for child in reversed(node.children):
+            if child.node_id not in virtual_children:
+                stack.append((child, index))
+
+    # Subtree sizes: every node contributes 1 to each ancestor; a reverse
+    # pre-order sweep folds child sizes into parents in O(n).
+    n = len(kind)
+    subtree_size = [1] * n
+    for index in range(n - 1, 0, -1):
+        subtree_size[parent[index]] += subtree_size[index]
+
+    return FlatFragment(
+        fragment_id=fragment.fragment_id,
+        kind=kind,
+        tag_id=tag_id,
+        parent=parent,
+        subtree_size=subtree_size,
+        node_ids=node_ids,
+        tags=tags,
+        text_norm=text_norm,
+        numeric=numeric,
+        virtual_at=virtual_at,
+    )

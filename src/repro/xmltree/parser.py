@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import os
 import re
+import sys
 
 from repro.xmltree.errors import XMLSyntaxError
 from repro.xmltree.nodes import ELEMENT, TEXT, XMLNode, XMLTree
@@ -90,7 +91,9 @@ class _Scanner:
         if not match:
             raise XMLSyntaxError("expected a name", self.pos)
         self.pos = match.end()
-        return match.group(0)
+        # Interned so tag comparisons downstream (node tests, dispatch
+        # tables) are pointer comparisons and flat tag tables dedup for free.
+        return sys.intern(match.group(0))
 
 
 def parse_xml(data: str, keep_whitespace_text: bool = False) -> XMLTree:
@@ -113,7 +116,10 @@ def parse_xml(data: str, keep_whitespace_text: bool = False) -> XMLTree:
             if raw.strip():
                 raise XMLSyntaxError("text content outside the root element", scanner.pos)
             return
-        stack[-1].append(XMLNode(TEXT, value=_unescape(raw)))
+        # Text payloads are interned too: workload generators draw from a
+        # fixed vocabulary, so repeated values (prices, country names, ...)
+        # collapse to one string object each.
+        stack[-1].append(XMLNode(TEXT, value=sys.intern(_unescape(raw))))
 
     while not scanner.at_end():
         if scanner.peek() != "<":

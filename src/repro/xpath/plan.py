@@ -34,6 +34,7 @@ compiled to nested tuples over item ids, see :data:`QualExpr`.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple, Union
 
@@ -231,7 +232,9 @@ class _PlanBuilder:
         head, rest_steps = steps[0], steps[1:]
         rest_id = self.compile_path(rest_steps, test)
         if isinstance(head, ChildStep):
-            tag = head.test.tag if isinstance(head.test, LabelTest) else None
+            # Tags are interned (document tags are too, at parse/build time),
+            # so node tests compare pointers before falling back to content.
+            tag = sys.intern(head.test.tag) if isinstance(head.test, LabelTest) else None
             return self._intern(("child", tag, rest_id), kind=CHILD, tag=tag, rest=rest_id)
         if isinstance(head, DescendantStep):
             return self._intern(("desc", rest_id), kind=DESC, rest=rest_id)
@@ -283,7 +286,7 @@ def compile_plan(path: PathExpr, source: str | None = None) -> QueryPlan:
     selection: list[SelectionStep] = []
     for step in normalized.steps:
         if isinstance(step, ChildStep):
-            tag = step.test.tag if isinstance(step.test, LabelTest) else None
+            tag = sys.intern(step.test.tag) if isinstance(step.test, LabelTest) else None
             selection.append(SelectionStep(kind=CHILD, tag=tag))
         elif isinstance(step, DescendantStep):
             selection.append(SelectionStep(kind=DESC))

@@ -1,0 +1,207 @@
+"""Hash-consing: the interned constructors are semantically equivalent to
+the plain structural algebra, and sharing/memoization invariants hold."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booleans.formula import (
+    And,
+    BoolFormula,
+    Not,
+    Or,
+    Var,
+    conj,
+    disj,
+    evaluate,
+    formula_size,
+    neg,
+    variables_of,
+)
+
+VARIABLE_NAMES = ["p", "q", "r", "s"]
+
+
+# -- a miniature copy of the pre-hash-consing algebra ------------------------
+# Same eager simplification rules, no interning, no memoization.  Results are
+# compared structurally against the consed constructors, so any divergence
+# introduced by interning shows up as a mismatch.
+
+
+def old_conj(*parts):
+    return _old_combine("and", parts)
+
+
+def old_disj(*parts):
+    return _old_combine("or", parts)
+
+
+def old_neg(part):
+    if isinstance(part, bool):
+        return not part
+    if part[0] == "not":
+        return part[1]
+    return ("not", part)
+
+
+def _old_combine(op, parts):
+    absorbing = op == "or"
+    collected, seen = [], set()
+    for part in parts:
+        if isinstance(part, bool):
+            if part == absorbing:
+                return absorbing
+            continue
+        inner = part[1] if part[0] == op else (part,)
+        for sub in inner:
+            if sub in seen:
+                continue
+            complement = sub[1] if sub[0] == "not" else ("not", sub)
+            if complement in seen:
+                return absorbing
+            seen.add(sub)
+            collected.append(sub)
+    if not collected:
+        return not absorbing
+    if len(collected) == 1:
+        return collected[0]
+    return (op, tuple(collected))
+
+
+def old_structure(value):
+    """Project a consed formula onto the old algebra's tuple representation."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, Var):
+        return ("var", value.name)
+    if isinstance(value, Not):
+        return ("not", old_structure(value.operand))
+    op = "and" if isinstance(value, And) else "or"
+    assert isinstance(value, (And, Or))
+    return (op, tuple(old_structure(part) for part in value.operands))
+
+
+# -- strategies ---------------------------------------------------------------
+# Each draw produces a *recipe* (nested tuples) that both algebras replay.
+
+_base = st.one_of(
+    st.booleans().map(lambda value: ("const", value)),
+    st.sampled_from(VARIABLE_NAMES).map(lambda name: ("var", name)),
+)
+_recipe = st.recursive(
+    _base,
+    lambda children: st.one_of(
+        st.tuples(children, children).map(lambda pair: ("and", pair)),
+        st.tuples(children, children).map(lambda pair: ("or", pair)),
+        children.map(lambda child: ("not", child)),
+    ),
+    max_leaves=16,
+)
+
+
+def build_consed(recipe):
+    kind, payload = recipe
+    if kind == "const":
+        return payload
+    if kind == "var":
+        return Var(payload)
+    if kind == "not":
+        return neg(build_consed(payload))
+    left, right = (build_consed(part) for part in payload)
+    return conj(left, right) if kind == "and" else disj(left, right)
+
+
+def build_old(recipe):
+    kind, payload = recipe
+    if kind == "const":
+        return payload
+    if kind == "var":
+        return ("var", payload)
+    if kind == "not":
+        return old_neg(build_old(payload))
+    left, right = (build_old(part) for part in payload)
+    return old_conj(left, right) if kind == "and" else old_disj(left, right)
+
+
+def all_assignments():
+    return st.fixed_dictionaries({name: st.booleans() for name in VARIABLE_NAMES})
+
+
+# -- properties ---------------------------------------------------------------
+
+
+@settings(max_examples=300)
+@given(_recipe)
+def test_consed_constructors_match_old_algebra_structurally(recipe):
+    assert old_structure(build_consed(recipe)) == build_old(recipe)
+
+
+@settings(max_examples=300)
+@given(_recipe, all_assignments())
+def test_consed_constructors_match_old_algebra_semantically(recipe, assignment):
+    consed = build_consed(recipe)
+    old = build_old(recipe)
+
+    def old_eval(value):
+        if isinstance(value, bool):
+            return value
+        tag = value[0]
+        if tag == "var":
+            return assignment[value[1]]
+        if tag == "not":
+            return not old_eval(value[1])
+        parts = [old_eval(part) for part in value[1]]
+        return all(parts) if tag == "and" else any(parts)
+
+    assert evaluate(consed, assignment) == old_eval(old)
+
+
+@settings(max_examples=200)
+@given(_recipe)
+def test_rebuilding_the_same_formula_returns_the_same_object(recipe):
+    first = build_consed(recipe)
+    second = build_consed(recipe)
+    if isinstance(first, BoolFormula):
+        assert first is second
+    else:
+        assert first == second
+
+
+@settings(max_examples=200)
+@given(_recipe)
+def test_memoized_size_and_variables_match_recomputation(recipe):
+    formula = build_consed(recipe)
+
+    def recount(value):
+        if isinstance(value, bool) or isinstance(value, Var):
+            return 1
+        if isinstance(value, Not):
+            return 1 + recount(value.operand)
+        return 1 + sum(recount(part) for part in value.operands)
+
+    def revars(value):
+        if isinstance(value, bool):
+            return frozenset()
+        if isinstance(value, Var):
+            return frozenset((value.name,))
+        if isinstance(value, Not):
+            return revars(value.operand)
+        return frozenset().union(*(revars(part) for part in value.operands))
+
+    # Ask twice: the second read comes from the memo and must not drift.
+    assert formula_size(formula) == recount(formula)
+    assert formula_size(formula) == recount(formula)
+    assert variables_of(formula) == revars(formula)
+    assert variables_of(formula) == revars(formula)
+
+
+def test_var_interning_is_by_name():
+    assert Var("sv:F3:2") is Var("sv:F3:2")
+    assert Var("sv:F3:2") is not Var("sv:F3:1")
+
+
+def test_structural_equality_implies_identity_across_build_orders():
+    a, b, c = Var("a"), Var("b"), Var("c")
+    # Flattening makes both association orders the same And node.
+    assert conj(a, conj(b, c)) is conj(conj(a, b), c)
+    assert disj(a, disj(b, c)) is disj(disj(a, b), c)
+    assert neg(conj(a, b)) is neg(conj(a, b))

@@ -37,6 +37,15 @@ class TestParser:
         assert args.algorithm == "pax2"
         assert args.fragment_size is None
         assert not args.annotations
+        assert args.engine is None
+
+    def test_engine_choices(self):
+        args = build_parser().parse_args(
+            ["query", "file.xml", "//a", "--engine", "reference"]
+        )
+        assert args.engine == "reference"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "file.xml", "//a", "--engine", "bogus"])
 
 
 class TestQueryCommand:
@@ -58,6 +67,15 @@ class TestQueryCommand:
         out = capsys.readouterr().out
         assert "2 answer(s)" in out
         assert "max site visits" in out
+
+    @pytest.mark.parametrize("engine", ["kernel", "reference"])
+    def test_query_with_explicit_engine(self, catalog_path, capsys, engine):
+        code = main([
+            "query", catalog_path, "//book[price < 13]/title",
+            "--fragment-at", "department", "--engine", engine,
+        ])
+        assert code == 0
+        assert "2 answer(s)" in capsys.readouterr().out
 
     def test_fragment_size_and_sites(self, catalog_path, capsys):
         assert main([
@@ -137,6 +155,27 @@ class TestBenchServiceCommand:
         warm = report["service"]["4"]["warm"]
         assert warm["cache"]["hits"] > 0
         assert warm["answers_total"] == report["sequential"]["answers_total"]
+
+
+class TestBenchCoreCommand:
+    def test_emits_benchmark_json(self, tmp_path, capsys):
+        import json
+
+        output = tmp_path / "BENCH_core.json"
+        code = main([
+            "bench-core", "--bytes", "15000", "--repeats", "1",
+            "--output", str(output),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pass combined" in out and "headline" in out
+        report = json.loads(output.read_text(encoding="utf-8"))
+        assert report["benchmark"] == "core_kernels"
+        assert set(report["workloads"]) == {"xmark-ft2", "xmark-ft1", "clientele"}
+        for workload in report["workloads"].values():
+            assert set(workload["passes"]) == {"qualifier", "selection", "combined"}
+            for timing in workload["algorithms"].values():
+                assert timing["verified_identical"]
 
 
 class TestGenerateCommand:

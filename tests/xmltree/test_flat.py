@@ -1,0 +1,156 @@
+"""FlatFragment: the columnar encoding reproduces the object tree exactly."""
+
+import random
+
+import pytest
+
+from repro.fragments.fragment_tree import build_fragmentation
+from repro.workloads.scenarios import build_ft2
+from repro.xmltree.builder import element, text
+from repro.xmltree.flat import KIND_ELEMENT, KIND_TEXT, build_flat_fragment
+from repro.xmltree.nodes import XMLTree
+
+
+def random_tree(rng: random.Random, max_nodes: int = 60) -> XMLTree:
+    """A random element/text tree with repeated tags and mixed payloads."""
+    tags = ["a", "b", "c", "item", "price"]
+    root = element(rng.choice(tags))
+    nodes = [root]
+    for _ in range(rng.randrange(1, max_nodes)):
+        parent = rng.choice(nodes)
+        if rng.random() < 0.3:
+            parent.append(text(rng.choice(["x", " 42 ", "$13.5", "Hello", ""]) or "?"))
+        else:
+            child = element(rng.choice(tags))
+            parent.append(child)
+            nodes.append(child)
+    return XMLTree(root)
+
+
+def random_fragmentation(rng: random.Random, tree: XMLTree):
+    """Cut at a random subset of non-root elements (possibly nested)."""
+    candidates = [
+        node.node_id for node in tree.iter_elements() if node is not tree.root
+    ]
+    rng.shuffle(candidates)
+    cut = candidates[: rng.randrange(0, min(len(candidates), 6) + 1)]
+    return build_fragmentation(tree, cut)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_preorder_node_ids_match_object_tree_on_random_trees(self, seed):
+        rng = random.Random(seed)
+        tree = random_tree(rng)
+        fragmentation = random_fragmentation(rng, tree)
+        for fragment_id in fragmentation.fragment_ids():
+            fragment = fragmentation[fragment_id]
+            flat = build_flat_fragment(fragment)
+            expected = [node.node_id for node in fragment.iter_span()]
+            assert flat.preorder_node_ids() == expected
+
+    def test_preorder_node_ids_match_on_xmark(self):
+        scenario = build_ft2(total_bytes=30_000, seed=3)
+        for fragment_id in scenario.fragmentation.fragment_ids():
+            fragment = scenario.fragmentation[fragment_id]
+            flat = scenario.fragmentation.flat(fragment_id)
+            expected = [node.node_id for node in fragment.iter_span()]
+            assert flat.preorder_node_ids() == expected
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_columns_mirror_node_attributes(self, seed):
+        rng = random.Random(1000 + seed)
+        tree = random_tree(rng)
+        fragmentation = random_fragmentation(rng, tree)
+        for fragment_id in fragmentation.fragment_ids():
+            fragment = fragmentation[fragment_id]
+            flat = build_flat_fragment(fragment)
+            span = list(fragment.iter_span())
+            assert flat.n == len(span)
+            for index, node in enumerate(span):
+                if node.is_element:
+                    assert flat.kind[index] == KIND_ELEMENT
+                    assert flat.tags[flat.tag_id[index]] == node.tag
+                    assert flat.text_norm[index] == node.text().strip().lower()
+                    assert flat.numeric[index] == node.numeric_value()
+                else:
+                    assert flat.kind[index] == KIND_TEXT
+                    assert flat.tag_id[index] == -1
+                # Parent pointers stay inside the span and point correctly.
+                parent_index = flat.parent[index]
+                if index == 0:
+                    assert parent_index == -1
+                else:
+                    assert span[parent_index] is node.parent
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_subtree_sizes_and_children(self, seed):
+        rng = random.Random(2000 + seed)
+        tree = random_tree(rng)
+        fragmentation = random_fragmentation(rng, tree)
+        for fragment_id in fragmentation.fragment_ids():
+            fragment = fragmentation[fragment_id]
+            flat = build_flat_fragment(fragment)
+            span = list(fragment.iter_span())
+            position = {id(node): index for index, node in enumerate(span)}
+            # Independent subtree sizes: every span node credits each of its
+            # span ancestors (and itself) with one node.
+            expected_sizes = [0] * len(span)
+            for node in span:
+                current = node
+                while True:
+                    expected_sizes[position[id(current)]] += 1
+                    if current is fragment.root:
+                        break
+                    current = current.parent
+            assert flat.subtree_size == expected_sizes
+            for index, node in enumerate(span):
+                children = [span[child] for child in flat.element_children(index)]
+                assert children == fragment.real_element_children(node)
+
+    def test_virtual_children_recorded_in_document_order(self):
+        rng = random.Random(77)
+        tree = random_tree(rng, max_nodes=80)
+        fragmentation = random_fragmentation(rng, tree)
+        for fragment_id in fragmentation.fragment_ids():
+            fragment = fragmentation[fragment_id]
+            flat = build_flat_fragment(fragment)
+            span = list(fragment.iter_span())
+            seen = {}
+            for index, node in enumerate(span):
+                virtuals = [v.fragment_id for v in fragment.virtual_children_of(node)]
+                if virtuals:
+                    seen[index] = tuple(virtuals)
+            assert flat.virtual_at == seen
+            assert flat.virtual_indices == sorted(seen)
+
+
+class TestCache:
+    def test_flat_is_cached_per_fragment(self):
+        scenario = build_ft2(total_bytes=15_000, seed=2)
+        fragmentation = scenario.fragmentation
+        fragment_id = fragmentation.fragment_ids()[0]
+        assert fragmentation.flat(fragment_id) is fragmentation.flat(fragment_id)
+
+    def test_version_refresh_drops_stale_encodings(self):
+        scenario = build_ft2(total_bytes=15_000, seed=2)
+        fragmentation = scenario.fragmentation
+        fragment_id = fragmentation.fragment_ids()[0]
+        before = fragmentation.flat(fragment_id)
+        # In-place edit the fingerprint cannot see until refreshed.
+        for node in fragmentation.tree.root.iter_subtree():
+            if not node.is_element:
+                node.value = (node.value or "") + "!"
+                break
+        assert fragmentation.flat(fragment_id) is before  # not yet refreshed
+        old_version = fragmentation.content_version()
+        assert fragmentation.content_version(refresh=True) != old_version
+        assert fragmentation.flat(fragment_id) is not before
+
+    def test_invalidate_flat_forces_rebuild(self):
+        scenario = build_ft2(total_bytes=15_000, seed=2)
+        fragmentation = scenario.fragmentation
+        fragment_id = fragmentation.fragment_ids()[0]
+        before = fragmentation.flat(fragment_id)
+        fragmentation.invalidate_flat()
+        assert fragmentation.flat(fragment_id) is not before
