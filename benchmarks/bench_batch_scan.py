@@ -1,0 +1,52 @@
+"""Fused multi-query scan benchmark: one walk per fragment per query wave.
+
+Tracks the third engine tier (reference -> kernel -> batch): a wave of N
+in-flight queries is evaluated with one fused scan of each fragment's flat
+arrays (duplicate plans deduplicated to a single kernel slot) instead of N
+query-at-a-time kernel passes.  The tracked criterion is the ISSUE's
+acceptance bar: at batch size 16 on the XMark workload the fused combined
+pass is at least 3x faster than 16 single-query kernel passes — with every
+timed configuration differentially verified against the single-query kernel
+*and* the object-tree reference before timing (the run aborts on any
+divergence, so the CI job fails if the batch path loses its verification).
+
+``repro bench-batch`` runs the same harness from the CLI and emits
+``BENCH_batch.json`` for the per-PR artifact trail.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled, write_report
+
+from repro.bench.batch_bench import (
+    render_summary,
+    run_batch_benchmark,
+    write_benchmark_json,
+)
+
+TOTAL_BYTES = scaled(150_000)
+
+
+def test_batch_scan_speedup(benchmark, results_dir):
+    """The fused wave is >= 3x over 16 query-at-a-time kernel passes."""
+    report = benchmark.pedantic(
+        run_batch_benchmark,
+        kwargs={"total_bytes": TOTAL_BYTES, "repeats": 3},
+        rounds=1,
+        iterations=1,
+    )
+    write_report(results_dir, "batch_scan", render_summary(report))
+    write_benchmark_json(report, results_dir / "BENCH_batch.json")
+
+    # Differential verification ran before every timed configuration.
+    for entry in report["batches"].values():
+        assert entry["verified_identical"]
+    assert report["headline"]["met"]
+    assert report["batches"]["16"]["combined_pass"]["speedup"] >= 3.0
+    # Duplicates collapse to kernel slots: 16 queries over 4 distinct forms.
+    assert report["batches"]["16"]["distinct_plans"] == 4
+    # The wave path keeps winning as the wave grows.
+    assert (
+        report["batches"]["64"]["combined_pass"]["speedup"]
+        > report["batches"]["16"]["combined_pass"]["speedup"]
+    )

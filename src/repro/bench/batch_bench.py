@@ -1,0 +1,269 @@
+"""Fused multi-query scan benchmark (``repro bench-batch``).
+
+Times a wave of queries through the fused batch kernel — one walk of each
+fragment's flat arrays per wave, duplicates deduplicated to one kernel slot
+— against the same wave run as query-at-a-time single-query kernel passes,
+at several batch sizes over the XMark workload, and emits
+``BENCH_batch.json``.  This is the third engine tier's trajectory file, next
+to ``BENCH_core.json`` (kernel vs reference) and ``BENCH_service.json``
+(service vs sequential loop).
+
+Every timed configuration is differentially verified first: the batch path,
+the single-query kernel and the object-tree reference must produce identical
+answers *and* identical traffic accounting for every query of every wave —
+the run aborts before timing anything otherwise, so a "speedup" can never
+come from computing something else.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from itertools import cycle, islice
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.batch import dedup_slots, run_pax2_batch
+from repro.core.common import ensure_plan
+from repro.core.kernel.dispatch import (
+    KERNEL,
+    REFERENCE,
+    combined_pass,
+    combined_pass_batch,
+    prewarm_fragments,
+)
+from repro.core.pax2 import run_pax2
+from repro.core.pruning import stage1_init_vector
+from repro.distributed.stats import RunStats
+from repro.fragments.fragment_tree import Fragmentation
+from repro.workloads.queries import PAPER_QUERIES
+from repro.workloads.scenarios import build_ft2
+from repro.xpath.plan import QueryPlan
+
+__all__ = [
+    "run_batch_benchmark",
+    "write_benchmark_json",
+    "render_summary",
+    "DEFAULT_BATCH_SIZES",
+]
+
+DEFAULT_BATCH_SIZES = (1, 4, 16, 64)
+
+#: the batch size the acceptance criterion is pinned to
+HEADLINE_BATCH_SIZE = 16
+HEADLINE_CRITERION = 3.0
+
+
+def _best_of(repeats: int, fn: Callable[[], None]) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _stats_fingerprint(stats: RunStats) -> tuple:
+    return (
+        tuple(stats.answer_ids),
+        stats.communication_units,
+        stats.local_units,
+        stats.message_count,
+        stats.total_operations,
+        stats.answer_nodes_shipped,
+    )
+
+
+def _init_vector(fragmentation: Fragmentation, plan: QueryPlan, fragment_id: str):
+    # The timed runs evaluate without annotations, matching the run_pax2
+    # default the differential verification uses.
+    return stage1_init_vector(fragmentation, plan, fragment_id, use_annotations=False)
+
+
+def _verify_wave(
+    fragmentation: Fragmentation,
+    placement: Optional[Dict[str, str]],
+    wave: Sequence[str],
+    solo_fingerprints: Dict[str, tuple],
+) -> None:
+    """Batch results must match the solo kernel and reference runs exactly."""
+    for engine in (KERNEL, REFERENCE):
+        batch_stats = run_pax2_batch(
+            fragmentation, wave, placement=placement, engine=engine
+        )
+        for query, stats in zip(wave, batch_stats):
+            if _stats_fingerprint(stats) != solo_fingerprints[query]:
+                raise AssertionError(
+                    f"batch/{engine} divergence on {query!r} in a wave of {len(wave)}"
+                )
+
+
+def _kernel_runners(
+    fragmentation: Fragmentation, wave_plans: Sequence[QueryPlan]
+) -> Tuple[Callable[[], None], Callable[[], None]]:
+    """(query-at-a-time, fused) closures over the combined pass of a wave."""
+    fragment_ids = fragmentation.fragment_ids()
+    root_id = fragmentation.root_fragment_id
+    slot_of, slot_plans = dedup_slots(wave_plans)
+
+    def single() -> None:
+        for plan in wave_plans:
+            for fragment_id in fragment_ids:
+                combined_pass(
+                    fragmentation,
+                    fragment_id,
+                    plan,
+                    _init_vector(fragmentation, plan, fragment_id),
+                    is_root_fragment=(fragment_id == root_id),
+                    engine=KERNEL,
+                )
+
+    def fused() -> None:
+        for fragment_id in fragment_ids:
+            combined_pass_batch(
+                fragmentation,
+                fragment_id,
+                slot_plans,
+                [_init_vector(fragmentation, plan, fragment_id) for plan in slot_plans],
+                is_root_fragment=(fragment_id == root_id),
+                engine=KERNEL,
+            )
+
+    return single, fused
+
+
+def run_batch_benchmark(
+    total_bytes: int = 150_000,
+    seed: int = 5,
+    repeats: int = 3,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+) -> Dict[str, object]:
+    """Run the fused-vs-single comparison over the XMark workload."""
+    scenario = build_ft2(total_bytes=total_bytes, seed=seed)
+    fragmentation = scenario.fragmentation
+    placement = scenario.placement
+    queries = list(PAPER_QUERIES.values())
+    prewarm_fragments(fragmentation)
+
+    report: Dict[str, object] = {
+        "benchmark": "batch_scan",
+        "config": {
+            "total_bytes": total_bytes,
+            "seed": seed,
+            "repeats": repeats,
+            "batch_sizes": list(batch_sizes),
+        },
+        "workload": {
+            "scenario": scenario.name,
+            "fragments": len(fragmentation),
+            "document_nodes": fragmentation.tree.size(),
+            "queries": queries,
+        },
+        "batches": {},
+    }
+
+    # Solo fingerprints once per engine per distinct query: what every wave
+    # entry must reproduce, bit for bit.
+    solo: Dict[str, tuple] = {}
+    for query in queries:
+        kernel = _stats_fingerprint(
+            run_pax2(fragmentation, query, placement=placement, engine=KERNEL)
+        )
+        reference = _stats_fingerprint(
+            run_pax2(fragmentation, query, placement=placement, engine=REFERENCE)
+        )
+        if kernel != reference:
+            raise AssertionError(f"kernel/reference divergence on {query!r}")
+        solo[query] = kernel
+
+    batches = report["batches"]
+    for size in batch_sizes:
+        wave = list(islice(cycle(queries), size))
+        _verify_wave(fragmentation, placement, wave, solo)
+        wave_plans = [ensure_plan(query) for query in wave]
+        distinct = len(dedup_slots(wave_plans)[1])
+
+        single, fused = _kernel_runners(fragmentation, wave_plans)
+        single()
+        fused()  # warm up: flat encodings, per-plan and fused dispatch tables
+        single_seconds = _best_of(repeats, single)
+        fused_seconds = _best_of(repeats, fused)
+
+        def end_to_end_single(wave=wave) -> None:
+            for query in wave:
+                run_pax2(fragmentation, query, placement=placement, engine=KERNEL)
+
+        def end_to_end_batch(wave=wave) -> None:
+            run_pax2_batch(fragmentation, wave, placement=placement, engine=KERNEL)
+
+        e2e_single = _best_of(repeats, end_to_end_single)
+        e2e_batch = _best_of(repeats, end_to_end_batch)
+
+        batches[str(size)] = {
+            "queries": size,
+            "distinct_plans": distinct,
+            "verified_identical": True,
+            "combined_pass": {
+                "single_seconds": round(single_seconds, 6),
+                "batched_seconds": round(fused_seconds, 6),
+                "speedup": round(single_seconds / max(fused_seconds, 1e-9), 2),
+            },
+            "end_to_end": {
+                "single_seconds": round(e2e_single, 6),
+                "batched_seconds": round(e2e_batch, 6),
+                "speedup": round(e2e_single / max(e2e_batch, 1e-9), 2),
+            },
+        }
+
+    headline_entry = batches.get(str(HEADLINE_BATCH_SIZE))
+    headline = (
+        headline_entry["combined_pass"]["speedup"] if headline_entry else 0.0
+    )
+    report["headline"] = {
+        "xmark_batch16_combined_speedup": headline,
+        "criterion": (
+            f"fused wave >= {HEADLINE_CRITERION}x over "
+            f"{HEADLINE_BATCH_SIZE} query-at-a-time kernel passes"
+            " on the XMark combined pass"
+        ),
+        "met": headline >= HEADLINE_CRITERION,
+    }
+    return report
+
+
+def write_benchmark_json(report: Dict[str, object], path: str | Path) -> Path:
+    """Write the report as pretty JSON and return the path."""
+    destination = Path(path)
+    destination.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return destination
+
+
+def render_summary(report: Dict[str, object]) -> str:
+    """A human-readable recap of the emitted JSON."""
+    workload = report["workload"]
+    lines = [
+        f"workload      : {workload['scenario']},"
+        f" {workload['fragments']} fragments,"
+        f" {workload['document_nodes']} nodes,"
+        f" {len(workload['queries'])} distinct queries"
+    ]
+    for size, entry in report["batches"].items():
+        combined = entry["combined_pass"]
+        e2e = entry["end_to_end"]
+        lines.append(
+            f"batch {size:>3} ({entry['distinct_plans']} slots):"
+            f" pass {combined['single_seconds'] * 1000:8.2f} ms ->"
+            f" {combined['batched_seconds'] * 1000:8.2f} ms"
+            f" ({combined['speedup']:5.2f}x)"
+            f"   end-to-end {e2e['single_seconds'] * 1000:8.2f} ms ->"
+            f" {e2e['batched_seconds'] * 1000:8.2f} ms"
+            f" ({e2e['speedup']:5.2f}x)"
+        )
+    headline = report["headline"]
+    lines.append(
+        f"headline      : batch-{HEADLINE_BATCH_SIZE} combined-pass speedup"
+        f" {headline['xmark_batch16_combined_speedup']}x"
+        f" (criterion >= {HEADLINE_CRITERION}x:"
+        f" {'met' if headline['met'] else 'NOT met'})"
+    )
+    return "\n".join(lines)

@@ -68,6 +68,7 @@ def _service_phase(
     # Fresh per-phase metrics so cold and warm numbers do not blend.
     service.metrics = ServiceMetrics(service.config.metrics_window)
     cache_before = service.cache.stats.to_dict() if service.cache is not None else None
+    batch_before = service.batcher.stats.to_dict() if service.batcher is not None else None
     started = time.perf_counter()
     results = service.serve_batch(requests, concurrency=clients)
     wall = max(time.perf_counter() - started, 1e-9)
@@ -80,6 +81,16 @@ def _service_phase(
         phase["cache"] = {
             key: after[key] - cache_before[key]
             for key in ("hits", "misses", "coalesced", "stores", "evictions")
+        }
+    if service.batcher is not None and batch_before is not None:
+        after = service.batcher.stats.to_dict()
+        fused = after["fused_scans"] - batch_before["fused_scans"]
+        batched = after["batched_queries"] - batch_before["batched_queries"]
+        phase["batching"] = {
+            "fused_scans": fused,
+            "batched_queries": batched,
+            "queries_per_scan": round(batched / fused, 2) if fused else 0.0,
+            "dedup_hits": after["dedup_hits"] - batch_before["dedup_hits"],
         }
     return phase
 
@@ -157,11 +168,14 @@ def render_summary(report: Dict[str, object]) -> str:
         for phase_name in ("cold", "warm"):
             phase = level[phase_name]
             cache = phase.get("cache", {})
+            batching = phase.get("batching", {})
             lines.append(
                 f"service x{clients:>3} {phase_name:<4}: {phase['qps']} q/s"
                 f" (p50 {phase['latency_seconds']['p50'] * 1000:.2f} ms,"
                 f" p95 {phase['latency_seconds']['p95'] * 1000:.2f} ms,"
-                f" hits {cache.get('hits', 0)}, coalesced {cache.get('coalesced', 0)})"
+                f" hits {cache.get('hits', 0)}, coalesced {cache.get('coalesced', 0)},"
+                f" {batching.get('queries_per_scan', 0.0)} q/scan,"
+                f" dedup {batching.get('dedup_hits', 0)})"
             )
     speedups = report.get("speedup_cold_vs_sequential", {})
     if speedups:

@@ -41,6 +41,12 @@ Benchmark the columnar per-fragment kernels against the object-tree
 reference passes and emit ``BENCH_core.json``::
 
     python -m repro bench-core --bytes 150000 --repeats 3
+
+Benchmark the fused multi-query scan against query-at-a-time kernel passes
+and emit ``BENCH_batch.json`` (shares the ``--bytes/--seed/--repeats`` knob
+set with ``bench-core``)::
+
+    python -m repro bench-batch --batch-sizes 1 4 16 64
 """
 
 from __future__ import annotations
@@ -159,15 +165,35 @@ def build_parser() -> argparse.ArgumentParser:
         "bench-core",
         help="benchmark the columnar kernels vs the object-tree reference passes",
     )
-    bench_core.add_argument("--bytes", type=int, default=150_000, dest="total_bytes",
-                            help="approximate XMark document size (default 150000)")
-    bench_core.add_argument("--seed", type=int, default=5)
-    bench_core.add_argument("--repeats", type=int, default=3,
-                            help="best-of-N timing repeats (default 3)")
-    bench_core.add_argument("--output", default="BENCH_core.json",
-                            help="report path (default BENCH_core.json)")
+    _add_kernel_bench_knobs(bench_core, default_output="BENCH_core.json")
+
+    bench_batch = commands.add_parser(
+        "bench-batch",
+        help="benchmark the fused multi-query scan vs query-at-a-time kernel passes",
+    )
+    _add_kernel_bench_knobs(bench_batch, default_output="BENCH_batch.json")
+    bench_batch.add_argument("--batch-sizes", type=int, nargs="+", default=[1, 4, 16, 64],
+                             metavar="N", help="wave sizes to time (default 1 4 16 64)")
 
     return parser
+
+
+def _add_kernel_bench_knobs(parser: argparse.ArgumentParser, default_output: str) -> None:
+    """The knob set ``bench-core`` and ``bench-batch`` share.
+
+    One definition keeps the two kernel benchmarks comparable: the same
+    document size, generator seed and best-of-N repeat policy apply to both,
+    so a batch-speedup number can be read against the core-speedup number
+    from the same workload.
+    """
+    parser.add_argument("--bytes", type=int, default=150_000, dest="total_bytes",
+                        help="approximate XMark document size (default 150000)")
+    parser.add_argument("--seed", type=int, default=5,
+                        help="XMark generator seed (default 5)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N timing repeats (default 3)")
+    parser.add_argument("--output", default=default_output,
+                        help=f"report path (default {default_output})")
 
 
 def _fragment_document(tree, fragment_size: Optional[int], fragment_at: Optional[str]):
@@ -325,6 +351,25 @@ def _cmd_bench_core(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_batch(args: argparse.Namespace) -> int:
+    from repro.bench.batch_bench import (
+        render_summary,
+        run_batch_benchmark,
+        write_benchmark_json,
+    )
+
+    report = run_batch_benchmark(
+        total_bytes=args.total_bytes,
+        seed=args.seed,
+        repeats=args.repeats,
+        batch_sizes=args.batch_sizes,
+    )
+    path = write_benchmark_json(report, args.output)
+    print(render_summary(report))
+    print(f"[written to {path}]")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     parser = build_parser()
@@ -341,6 +386,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_bench_service(args)
     if args.command == "bench-core":
         return _cmd_bench_core(args)
+    if args.command == "bench-batch":
+        return _cmd_bench_batch(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2
 

@@ -15,6 +15,7 @@ from repro.core.engine import DistributedQueryEngine
 from repro.core.results import QueryResult
 from repro.core.pax3 import run_pax3
 from repro.core.pax2 import run_pax2
+from repro.core.batch import run_pax2_batch
 from repro.core.parbox import run_parbox
 from repro.core.naive import run_naive_centralized
 from repro.core.pruning import relevant_fragments, initial_vector_from_labels
@@ -24,6 +25,7 @@ __all__ = [
     "QueryResult",
     "run_pax3",
     "run_pax2",
+    "run_pax2_batch",
     "run_parbox",
     "run_naive_centralized",
     "relevant_fragments",

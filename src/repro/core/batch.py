@@ -1,0 +1,320 @@
+"""Algorithm PaX2 over a *wave* of queries: shared site rounds, fused scans.
+
+:func:`run_pax2` evaluates one query; under many in-flight queries every
+site re-walks the same fragments once per query.  :func:`run_pax2_batch`
+evaluates a whole list of queries in shared site rounds instead: stage 1
+visits each participating site once for the wave, and inside that visit each
+fragment is scanned **once** by the fused batch kernel
+(:func:`repro.core.kernel.batch.evaluate_fragment_combined_batch`), with
+exact-duplicate plans (same normalized fingerprint) deduplicated to a single
+kernel slot before fusion.
+
+Accounting stays strictly per query: every query gets its own simulated
+:class:`~repro.distributed.network.Network`, records exactly the messages,
+units, visits and operation counts its solo :func:`run_pax2` run would
+record, and returns its own :class:`~repro.distributed.stats.RunStats` — the
+differential tests pin the batch path, the single-query kernel and the
+object-tree reference to identical answers *and* identical traffic
+accounting.  What the wave shares is the physical work: one walk of each
+fragment's flat arrays per round, regardless of how many queries are in
+flight.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.booleans.env import Environment
+from repro.core.combined import FragmentCombinedOutput
+from repro.core.common import (
+    QueryInput,
+    answer_subtree_nodes,
+    ensure_plan,
+    plan_units,
+    stage_site_times,
+    stage_timer,
+)
+from repro.core.kernel.dispatch import combined_pass_batch, prewarm_fragments
+from repro.core.pax2 import _output_units
+from repro.core.pruning import relevant_fragments, stage1_init_vector
+from repro.core.unify import (
+    require_concrete,
+    resolved_child_qualifier_bindings,
+    resolved_init_bindings,
+    unify_qualifier_vectors,
+    unify_selection_vectors,
+)
+from repro.distributed.messages import MessageKind
+from repro.distributed.network import Network
+from repro.distributed.placement import one_site_per_fragment
+from repro.distributed.stats import RunStats, StageStats
+from repro.fragments.fragment_tree import Fragmentation
+from repro.xpath.plan import QueryPlan
+
+__all__ = ["run_pax2_batch", "dedup_slots"]
+
+
+def dedup_slots(plans: Sequence[QueryPlan]) -> tuple[List[int], List[QueryPlan]]:
+    """Collapse a wave to its distinct plans.
+
+    Returns ``(slot_of, slot_plans)``: ``slot_of[i]`` is the kernel slot of
+    query ``i``, and ``slot_plans`` the representative plan per slot, in
+    first-appearance order.  Two queries share a slot exactly when their
+    normalized fingerprints agree, i.e. when they are the same query no
+    matter how they were spelled.
+    """
+    slot_of: List[int] = []
+    slot_plans: List[QueryPlan] = []
+    by_fingerprint: Dict[str, int] = {}
+    for plan in plans:
+        key = plan.fingerprint
+        slot = by_fingerprint.get(key)
+        if slot is None:
+            slot = len(slot_plans)
+            by_fingerprint[key] = slot
+            slot_plans.append(plan)
+        slot_of.append(slot)
+    return slot_of, slot_plans
+
+
+def run_pax2_batch(
+    fragmentation: Fragmentation,
+    queries: Sequence[QueryInput],
+    placement: Optional[Mapping[str, str]] = None,
+    use_annotations: bool = False,
+    engine: Optional[str] = None,
+) -> List[RunStats]:
+    """Evaluate a wave of queries with PaX2, one fused scan per fragment.
+
+    Returns one :class:`RunStats` per query, index-aligned with *queries*;
+    each is identical (answers and traffic accounting) to what
+    :func:`repro.core.pax2.run_pax2` would return for that query alone.
+    ``engine`` selects the per-fragment pass implementation; the fused scan
+    requires the kernel engine, the reference engine evaluates the wave
+    plan-by-plan (see :func:`repro.core.kernel.dispatch.combined_pass_batch`).
+    """
+    plans = [ensure_plan(query) for query in queries]
+    n_queries = len(plans)
+    if n_queries == 0:
+        return []
+    slot_of, slot_plans = dedup_slots(plans)
+
+    if placement is None:
+        placement = one_site_per_fragment(fragmentation)
+    networks = [Network(fragmentation, placement) for _ in plans]
+    coordinator_id = networks[0].coordinator_id
+    root_fragment_id = fragmentation.root_fragment_id
+
+    stats_list = [
+        RunStats(algorithm="PaX2", query=plan.source, use_annotations=use_annotations)
+        for plan in plans
+    ]
+
+    # ---------------------------------------------------------------- pruning
+    slot_evaluated: List[List[str]] = []
+    slot_pruned: List[List[str]] = []
+    for plan in slot_plans:
+        if use_annotations:
+            decision = relevant_fragments(fragmentation, plan)
+            slot_evaluated.append(
+                [fid for fid in fragmentation.fragment_ids() if decision.keeps(fid)]
+            )
+            slot_pruned.append(sorted(decision.pruned))
+        else:
+            slot_evaluated.append(fragmentation.fragment_ids())
+            slot_pruned.append([])
+    slot_eval_set = [set(evaluated) for evaluated in slot_evaluated]
+    for index in range(n_queries):
+        slot = slot_of[index]
+        if use_annotations:
+            stats_list[index].fragments_pruned = list(slot_pruned[slot])
+        stats_list[index].fragments_evaluated = list(slot_evaluated[slot])
+
+    answers: List[set] = [set() for _ in plans]
+    prewarm_fragments(
+        fragmentation,
+        sorted({fid for evaluated in slot_evaluated for fid in evaluated}),
+        engine=engine,
+    )
+
+    # ---------------------------------------------------------------- stage 1
+    # One wave round per site: every participating query records its own
+    # EXEC_REQUEST / visit / result messages, but the per-fragment scans run
+    # once per distinct plan slot.
+    per_query_sites = [
+        networks[index].sites_holding(slot_evaluated[slot_of[index]])
+        for index in range(n_queries)
+    ]
+    per_query_site_sets = [set(sites) for sites in per_query_sites]
+    wave_sites = sorted({site_id for sites in per_query_sites for site_id in sites})
+    slot_outputs: List[Dict[str, FragmentCombinedOutput]] = [{} for _ in slot_plans]
+    candidate_sites: List[Dict[str, List[str]]] = [{} for _ in plans]
+
+    for site_id in wave_sites:
+        participating = [
+            index for index in range(n_queries) if site_id in per_query_site_sets[index]
+        ]
+        fragment_lists: Dict[int, List[str]] = {}
+        for index in participating:
+            slot = slot_of[index]
+            fragment_ids = [
+                fid
+                for fid in networks[index].fragments_on(site_id)
+                if fid in slot_eval_set[slot]
+            ]
+            fragment_lists[index] = fragment_ids
+            networks[index].send(
+                coordinator_id, site_id, MessageKind.EXEC_REQUEST,
+                units=plan_units(plans[index]) * len(fragment_ids),
+                description="stage 1: combined qualifier + selection pass",
+            )
+        site_slots: List[int] = []
+        for index in participating:
+            slot = slot_of[index]
+            if slot not in site_slots:
+                site_slots.append(slot)
+        with ExitStack() as stack:
+            for index in participating:
+                stack.enter_context(networks[index].sites[site_id].visit("pax2:combined"))
+            for fragment_id in networks[participating[0]].fragments_on(site_id):
+                wave_slots = [
+                    slot for slot in site_slots if fragment_id in slot_eval_set[slot]
+                ]
+                if not wave_slots:
+                    continue
+                outputs = combined_pass_batch(
+                    fragmentation,
+                    fragment_id,
+                    [slot_plans[slot] for slot in wave_slots],
+                    [
+                        stage1_init_vector(
+                            fragmentation, slot_plans[slot], fragment_id,
+                            use_annotations,
+                        )
+                        for slot in wave_slots
+                    ],
+                    is_root_fragment=(fragment_id == root_fragment_id),
+                    engine=engine,
+                )
+                for slot, output in zip(wave_slots, outputs):
+                    slot_outputs[slot][fragment_id] = output
+            for index in participating:
+                site = networks[index].sites[site_id]
+                outputs = slot_outputs[slot_of[index]]
+                for fragment_id in fragment_lists[index]:
+                    output = outputs[fragment_id]
+                    site.add_operations(output.operations)
+                    if output.candidates:
+                        site.storage[fragment_id]["candidates"] = output.candidates
+                        candidate_sites[index].setdefault(site_id, []).append(fragment_id)
+        for index in participating:
+            outputs = slot_outputs[slot_of[index]]
+            site_answers: List[int] = []
+            site_units = 0
+            for fragment_id in fragment_lists[index]:
+                output = outputs[fragment_id]
+                site_answers.extend(output.answers)
+                site_units += _output_units(plans[index], output)
+            answers[index].update(site_answers)
+            if site_units:
+                networks[index].send(
+                    site_id, coordinator_id, MessageKind.SELECTION_VECTORS, site_units,
+                    description="stage 1: root qualifier vectors and virtual-node vectors",
+                )
+            if site_answers:
+                networks[index].send(
+                    site_id, coordinator_id, MessageKind.ANSWERS, len(site_answers),
+                    description="stage 1: definite answers",
+                )
+
+    # ------------------------------------------- coordinator unification
+    environments: List[Environment] = []
+    for index in range(n_queries):
+        plan = plans[index]
+        stage1 = StageStats(name="combined")
+        stage1.parallel_seconds, stage1.total_seconds = stage_site_times(
+            networks[index], per_query_sites[index], "pax2:combined"
+        )
+        stage1.sites_involved = len(per_query_sites[index])
+        outputs = slot_outputs[slot_of[index]]
+        with stage_timer(stage1):
+            environment = Environment()
+            if plan.has_qualifiers:
+                environment = unify_qualifier_vectors(
+                    fragmentation,
+                    plan,
+                    {fid: (out.root_head, out.root_desc) for fid, out in outputs.items()},
+                    environment,
+                )
+            environment = unify_selection_vectors(
+                fragmentation,
+                plan,
+                {fid: out.virtual_parent_vectors for fid, out in outputs.items()},
+                environment,
+            )
+        environments.append(environment)
+        stats_list[index].stages.append(stage1)
+
+    # ---------------------------------------------------------------- stage 2
+    # Candidate resolution is coordinator-bound bookkeeping, so it stays per
+    # query (the fused work — the scans — is behind us).
+    for index in range(n_queries):
+        if not candidate_sites[index]:
+            continue
+        plan = plans[index]
+        network = networks[index]
+        environment = environments[index]
+        stage2 = StageStats(name="answers")
+        for site_id, fragment_ids in sorted(candidate_sites[index].items()):
+            site = network.sites[site_id]
+            per_fragment_bindings: Dict[str, Dict[str, bool]] = {}
+            total_units = 0
+            for fragment_id in fragment_ids:
+                bindings = resolved_init_bindings(plan, fragment_id, environment)
+                if plan.has_qualifiers:
+                    bindings.update(
+                        resolved_child_qualifier_bindings(
+                            fragmentation, plan, fragment_id, environment
+                        )
+                    )
+                per_fragment_bindings[fragment_id] = bindings
+                total_units += len(bindings)
+            network.send(
+                coordinator_id, site_id, MessageKind.RESOLVED_BINDINGS, total_units,
+                description="stage 2: resolved initialization and qualifier values",
+            )
+            resolved_answers: List[int] = []
+            with site.visit("pax2:answers"):
+                for fragment_id in fragment_ids:
+                    candidates = site.storage[fragment_id].get("candidates", {})
+                    fragment_env = Environment(per_fragment_bindings[fragment_id])
+                    for node_id, formula in candidates.items():
+                        value = require_concrete(
+                            fragment_env.resolve(formula),
+                            f"candidate answer {node_id} in {fragment_id}",
+                        )
+                        if value:
+                            resolved_answers.append(node_id)
+            answers[index].update(resolved_answers)
+            if resolved_answers:
+                network.send(
+                    site_id, coordinator_id, MessageKind.ANSWERS, len(resolved_answers),
+                    description="stage 2: resolved candidate answers",
+                )
+        candidate_site_ids = sorted(candidate_sites[index])
+        stage2.parallel_seconds, stage2.total_seconds = stage_site_times(
+            network, candidate_site_ids, "pax2:answers"
+        )
+        stage2.sites_involved = len(candidate_site_ids)
+        stats_list[index].stages.append(stage2)
+
+    # ---------------------------------------------------------------- results
+    for index in range(n_queries):
+        stats = stats_list[index]
+        stats.answer_ids = sorted(answers[index])
+        stats.answer_nodes_shipped = answer_subtree_nodes(
+            fragmentation.tree, stats.answer_ids
+        )
+        networks[index].collect_stats(stats)
+    return stats_list

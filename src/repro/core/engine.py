@@ -33,8 +33,9 @@ normalized query and latency/throughput metrics — use :meth:`as_service` (or
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import List, Mapping, Optional, Sequence
 
+from repro.core.batch import run_pax2_batch
 from repro.core.common import QueryInput, ensure_plan
 from repro.core.kernel.dispatch import ENGINES
 from repro.core.naive import run_naive_centralized
@@ -134,6 +135,41 @@ class DistributedQueryEngine:
         if name not in _NO_ANNOTATION_ALGORITHMS:
             kwargs["use_annotations"] = annotations
         return runner(self.fragmentation, query, placement=self.placement, **kwargs)
+
+    def run_batch(
+        self,
+        queries: Sequence[QueryInput],
+        use_annotations: Optional[bool] = None,
+    ) -> List[RunStats]:
+        """Evaluate a wave of queries with one fused scan per fragment.
+
+        PaX2 only (the engine's other algorithms fall back to a plain loop of
+        :meth:`run`): stage 1 walks each relevant fragment once for the whole
+        wave, duplicate queries share a kernel slot, and every query still
+        gets the exact :class:`RunStats` its solo run would produce — see
+        :func:`repro.core.batch.run_pax2_batch`.
+        """
+        annotations = self.use_annotations if use_annotations is None else use_annotations
+        if self.algorithm != "pax2":
+            return [self.run(query, use_annotations=annotations) for query in queries]
+        return run_pax2_batch(
+            self.fragmentation,
+            queries,
+            placement=self.placement,
+            use_annotations=annotations,
+            engine=self.engine,
+        )
+
+    def execute_batch(
+        self,
+        queries: Sequence[QueryInput],
+        use_annotations: Optional[bool] = None,
+    ) -> List[QueryResult]:
+        """:meth:`run_batch`, with each RunStats wrapped as a QueryResult."""
+        return [
+            QueryResult(self.fragmentation.tree, stats)
+            for stats in self.run_batch(queries, use_annotations=use_annotations)
+        ]
 
     def execute_boolean(self, query: QueryInput) -> bool:
         """Evaluate a Boolean query with ParBoX and return its truth value."""

@@ -8,12 +8,18 @@ tables precompiled from the :class:`~repro.xpath.plan.QueryPlan`
 selects between these kernels and the object-tree reference passes.
 """
 
+from repro.core.kernel.batch import (
+    BatchPlanTables,
+    batch_plan_tables,
+    evaluate_fragment_combined_batch,
+)
 from repro.core.kernel.combined import evaluate_fragment_combined_flat
 from repro.core.kernel.dispatch import (
     ENGINES,
     KERNEL,
     REFERENCE,
     combined_pass,
+    combined_pass_batch,
     fragment_engine,
     qualifier_pass,
     selection_pass,
@@ -29,14 +35,18 @@ __all__ = [
     "KERNEL",
     "REFERENCE",
     "combined_pass",
+    "combined_pass_batch",
     "fragment_engine",
     "qualifier_pass",
     "selection_pass",
     "set_fragment_engine",
     "use_fragment_engine",
     "evaluate_fragment_combined_flat",
+    "evaluate_fragment_combined_batch",
     "evaluate_fragment_qualifiers_flat",
     "evaluate_fragment_selection_flat",
+    "BatchPlanTables",
+    "batch_plan_tables",
     "PlanTables",
     "plan_tables",
 ]

@@ -24,6 +24,7 @@ from typing import Callable, Iterator, Optional, Sequence
 
 from repro.booleans.formula import FormulaLike
 from repro.core.combined import FragmentCombinedOutput, evaluate_fragment_combined
+from repro.core.kernel.batch import evaluate_fragment_combined_batch
 from repro.core.kernel.combined import evaluate_fragment_combined_flat
 from repro.core.kernel.qualifier import evaluate_fragment_qualifiers_flat
 from repro.core.kernel.selection import evaluate_fragment_selection_flat
@@ -44,6 +45,7 @@ __all__ = [
     "qualifier_pass",
     "selection_pass",
     "combined_pass",
+    "combined_pass_batch",
 ]
 
 KERNEL = "kernel"
@@ -186,3 +188,34 @@ def combined_pass(
             is_root_fragment,
         )
     return evaluate_fragment_combined(fragment, plan, init_vector, is_root_fragment)
+
+
+def combined_pass_batch(
+    fragmentation: Fragmentation,
+    fragment_id: str,
+    plans: Sequence[QueryPlan],
+    init_vectors: Sequence[Sequence[FormulaLike]],
+    is_root_fragment: bool,
+    engine: Optional[str] = None,
+) -> list[FragmentCombinedOutput]:
+    """Combined pass for a whole query wave over one fragment.
+
+    With the kernel engine the wave shares one walk of the fragment's flat
+    arrays (:func:`repro.core.kernel.batch.evaluate_fragment_combined_batch`);
+    with the reference engine each plan runs its own object-tree pass, so the
+    batch orchestrators stay engine-generic and the differential tests can
+    pin all three paths to identical outputs.
+    """
+    fragment = fragmentation[fragment_id]
+    if _resolve(engine) == KERNEL:
+        return evaluate_fragment_combined_batch(
+            fragment,
+            fragmentation.flat(fragment_id),
+            plans,
+            init_vectors,
+            is_root_fragment,
+        )
+    return [
+        evaluate_fragment_combined(fragment, plan, init_vector, is_root_fragment)
+        for plan, init_vector in zip(plans, init_vectors)
+    ]

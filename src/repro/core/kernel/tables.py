@@ -16,9 +16,12 @@ kernels instead compile the plan once per (plan, fragment tag table) pair:
   that position matches the tag, replacing per-node tag comparisons with a
   precomputed boolean lookup.
 
-Tables are cached on the :class:`~repro.xmltree.flat.FlatFragment` (keyed by
-the plan's source text, which determines the compiled plan), so repeated
-queries over a cached fragment pay the compilation once.
+Tables are cached on the :class:`~repro.xmltree.flat.FlatFragment`, keyed by
+the plan's *normalized fingerprint* (:attr:`QueryPlan.fingerprint`):
+compilation is deterministic from the normalized path, so trivially
+different spellings of the same query (``//a/./b`` vs ``//a/b``) share one
+set of compiled tables.  The same fingerprint is the dedup key the batch
+kernels use to collapse duplicate queries to a single slot.
 """
 
 from __future__ import annotations
@@ -145,7 +148,7 @@ _MAX_TABLES_PER_FRAGMENT = 256
 
 def plan_tables(flat: FlatFragment, plan: QueryPlan) -> PlanTables:
     """The (cached, bounded) dispatch tables of *plan* over *flat*'s tag table."""
-    key = (plan.source, plan.n_steps, plan.n_items)
+    key = plan.fingerprint
     cache = flat._tables
     tables = cache.get(key)
     if tables is None:

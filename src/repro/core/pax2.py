@@ -35,8 +35,7 @@ from repro.core.common import (
     stage_site_times,
     stage_timer,
 )
-from repro.core.pruning import annotation_init_vector, relevant_fragments
-from repro.core.selection import concrete_root_init_vector, variable_init_vector
+from repro.core.pruning import relevant_fragments, stage1_init_vector
 from repro.core.unify import (
     require_concrete,
     resolved_child_qualifier_bindings,
@@ -117,12 +116,9 @@ def run_pax2(
         site_units = 0
         with site.visit("pax2:combined"):
             for fragment_id in fragment_ids:
-                if fragment_id == root_fragment_id:
-                    init_vector: Sequence[FormulaLike] = concrete_root_init_vector(plan)
-                elif use_annotations and not plan.has_qualifiers:
-                    init_vector = annotation_init_vector(fragmentation, plan, fragment_id)
-                else:
-                    init_vector = variable_init_vector(plan, fragment_id)
+                init_vector: Sequence[FormulaLike] = stage1_init_vector(
+                    fragmentation, plan, fragment_id, use_annotations
+                )
                 output = combined_pass(
                     fragmentation,
                     fragment_id,

@@ -33,6 +33,7 @@ __all__ = [
     "relevant_fragments",
     "initial_vector_from_labels",
     "annotation_init_vector",
+    "stage1_init_vector",
     "PruningDecision",
 ]
 
@@ -178,3 +179,28 @@ def annotation_init_vector(
     """Convenience wrapper: concrete initialization vector for one fragment."""
     labels = [fragmentation.tree.root.label] + root_label_path(fragmentation, fragment_id)
     return initial_vector_from_labels(plan, labels)
+
+
+def stage1_init_vector(
+    fragmentation: Fragmentation,
+    plan: QueryPlan,
+    fragment_id: str,
+    use_annotations: bool,
+):
+    """The initialization vector a stage-1 pass starts *fragment_id* with.
+
+    The one dispatch every orchestrator (PaX2 sync, PaX2 batch, the async
+    service evaluator, the benches) must agree on: the root fragment gets
+    the concrete context vector, annotated qualifier-free queries get the
+    concrete label-path vector, everything else starts from per-fragment
+    ``sv:`` variables.
+    """
+    # Imported here: selection sits below pruning for the pruner's own
+    # imports, and this helper is the only place the two meet.
+    from repro.core.selection import concrete_root_init_vector, variable_init_vector
+
+    if fragment_id == fragmentation.root_fragment_id:
+        return concrete_root_init_vector(plan)
+    if use_annotations and not plan.has_qualifiers:
+        return annotation_init_vector(fragmentation, plan, fragment_id)
+    return variable_init_vector(plan, fragment_id)

@@ -35,14 +35,16 @@ Quickstart::
     print(service.cache.stats.summary())
 """
 
-from repro.service.actors import ActorPool, SiteActor
+from repro.service.actors import ActorPool, FragmentWaveBatcher, SiteActor
 from repro.service.cache import CacheStats, QueryResultCache, normalized_query, version_tag
 from repro.service.evaluator import evaluate_query_async
-from repro.service.metrics import QueryRecord, ServiceMetrics
+from repro.service.metrics import BatchStats, QueryRecord, ServiceMetrics
 from repro.service.server import AdmissionError, ServiceConfig, ServiceEngine
 
 __all__ = [
     "ActorPool",
+    "BatchStats",
+    "FragmentWaveBatcher",
     "SiteActor",
     "CacheStats",
     "QueryResultCache",

@@ -11,16 +11,26 @@ counters (requests served, busy time, peak concurrency) that exist per
 
 Per-query accounting (visits, per-stage seconds) still lives on the
 per-query ``Site`` objects; the actor only schedules and meters.
+
+:class:`FragmentWaveBatcher` is the service's fused-scan layer: in-flight
+PaX2 queries that reach the same fragment round inside one batching window
+are coalesced into a single walk of that fragment's flat arrays
+(:func:`repro.core.kernel.batch.evaluate_fragment_combined_batch`), with
+exact-duplicate plans deduplicated to one kernel slot first.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
+import weakref
 from contextlib import asynccontextmanager
-from typing import AsyncIterator, Dict, Iterable, Optional
+from typing import AsyncIterator, Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["SiteActor", "ActorPool"]
+from repro.core.kernel.dispatch import combined_pass_batch
+from repro.service.metrics import BatchStats
+
+__all__ = ["SiteActor", "ActorPool", "FragmentWaveBatcher"]
 
 
 class SiteActor:
@@ -97,6 +107,144 @@ class SiteActor:
             f"<SiteActor {self.site_id} parallelism={self.parallelism} "
             f"requests={self.requests} peak={self.peak_in_flight}>"
         )
+
+
+class FragmentWaveBatcher:
+    """Coalesce concurrent per-fragment combined passes into fused scans.
+
+    Queries evaluating their stage-1 round submit each fragment's combined
+    pass through :meth:`combined` instead of running it directly.  Requests
+    are parked per fragment; one flush callback — scheduled ``window``
+    seconds after the first pending request (or on the next event-loop
+    iteration when the window is zero) — groups each fragment's requests,
+    deduplicates identical plans (same normalized
+    :attr:`~repro.xpath.plan.QueryPlan.fingerprint` and initialization
+    vector) to a single kernel slot, runs **one** fused scan per fragment
+    and resolves every waiter with its slot's output.
+
+    The per-query outputs are exactly what the un-batched pass would have
+    produced (the fused kernel is differentially pinned to the single-query
+    kernel), so per-query accounting — visits, operations, traffic units —
+    is unchanged; only the physical walks are shared.  Efficiency counters
+    live in :attr:`stats` (a :class:`~repro.service.metrics.BatchStats`).
+
+    Parameters
+    ----------
+    fragmentation:
+        The fragmented document the service serves.
+    engine:
+        Per-fragment pass implementation forwarded to
+        :func:`~repro.core.kernel.dispatch.combined_pass_batch` (the
+        reference engine still coalesces, it just runs the wave
+        plan-by-plan).
+    window:
+        Batching window in seconds.  ``0.0`` (the default) flushes on the
+        next event-loop iteration — coalescing whatever is simultaneously
+        pending without adding latency; small positive values trade a little
+        latency for wider waves under bursty traffic.
+    """
+
+    def __init__(
+        self,
+        fragmentation,
+        engine: Optional[str] = None,
+        window: float = 0.0,
+    ):
+        if window < 0.0:
+            raise ValueError("window must be >= 0")
+        self.fragmentation = fragmentation
+        self.engine = engine
+        self.window = window
+        self.stats = BatchStats()
+        #: fragment id -> [(plan, init key, is_root, future, queued_at)]
+        self._pending: Dict[str, List[tuple]] = {}
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+        #: weakref to the loop the pending state belongs to — a weakref, not
+        #: id(), because a dead loop's address can be reused by the next one,
+        #: which would make stale pending futures / a dead flush handle look
+        #: current and hang the next caller
+        self._loop_ref: Optional[weakref.ref] = None
+
+    async def combined(
+        self,
+        fragment_id: str,
+        plan,
+        init_vector: Sequence,
+        is_root_fragment: bool,
+    ):
+        """The fragment's combined-pass output for *plan*, via a fused scan."""
+        loop = asyncio.get_running_loop()
+        if self._loop_ref is None or self._loop_ref() is not loop:
+            # The blocking facade runs every call in a fresh asyncio.run
+            # loop; pending futures bound to a dead loop must not leak in.
+            self._pending = {}
+            self._flush_handle = None
+            self._loop_ref = weakref.ref(loop)
+        future = loop.create_future()
+        self._pending.setdefault(fragment_id, []).append(
+            (plan, tuple(init_vector), is_root_fragment, future, time.perf_counter())
+        )
+        if self._flush_handle is None:
+            if self.window > 0.0:
+                self._flush_handle = loop.call_later(self.window, self._flush)
+            else:
+                self._flush_handle = loop.call_soon(self._flush)
+        return await future
+
+    def _flush(self) -> None:
+        """Run one fused scan per fragment with pending requests."""
+        self._flush_handle = None
+        pending, self._pending = self._pending, {}
+        now = time.perf_counter()
+        for fragment_id, requests in pending.items():
+            # is_root_fragment is per fused call; callers derive it from the
+            # fragment so a mixed group is essentially misuse, but partition
+            # rather than silently evaluating someone with the wrong anchor.
+            flags = sorted({request[2] for request in requests})
+            for is_root in flags:
+                group = [request for request in requests if request[2] is is_root]
+                self._fused_scan(fragment_id, group, is_root, now)
+
+    def _fused_scan(
+        self, fragment_id: str, requests: List[tuple], is_root: bool, now: float
+    ) -> None:
+        """One fused scan over the deduplicated slots of *requests*."""
+        # Dedup to kernel slots: identical normalized plan + identical
+        # initialization means identical output, one slot serves all.
+        slot_order: List[Tuple[str, tuple]] = []
+        slots: Dict[Tuple[str, tuple], List[tuple]] = {}
+        for request in requests:
+            key = (request[0].fingerprint, request[1])
+            waiters = slots.get(key)
+            if waiters is None:
+                slots[key] = waiters = []
+                slot_order.append(key)
+            waiters.append(request)
+        try:
+            outputs = combined_pass_batch(
+                self.fragmentation,
+                fragment_id,
+                [slots[key][0][0] for key in slot_order],
+                [key[1] for key in slot_order],
+                is_root_fragment=is_root,
+                engine=self.engine,
+            )
+        except BaseException as error:  # resolve waiters, don't hang them
+            for request in requests:
+                future = request[3]
+                if not future.done():
+                    future.set_exception(error)
+            return
+        self.stats.record_scan(
+            requests=len(requests),
+            slots=len(slot_order),
+            window_seconds=[now - request[4] for request in requests],
+        )
+        for key, output in zip(slot_order, outputs):
+            for request in slots[key]:
+                future = request[3]
+                if not future.done():
+                    future.set_result(output)
 
 
 class ActorPool:

@@ -41,12 +41,9 @@ def normalized_query(query: QueryInput) -> str:
     Boolean query ``.[q]`` normalizes to the bare ``[q]``); never re-parse it.
     """
     if isinstance(query, QueryPlan):
-        # A compiled plan was built from an already-normalized path; its
-        # source is the most faithful text we have.
-        try:
-            return str(normalize(parse_xpath(query.source)))
-        except Exception:
-            return query.source
+        # A compiled plan stores its path already normalized; its fingerprint
+        # is exactly the normal-form rendering, no re-parse needed.
+        return query.fingerprint
     if isinstance(query, PathExpr):
         return str(normalize(query))
     return str(normalize(parse_xpath(query)))

@@ -36,8 +36,7 @@ from repro.core.parbox import run_parbox
 from repro.core.pax2 import _output_units
 from repro.core.pax3 import run_pax3
 from repro.core.common import answer_subtree_nodes, plan_units, stage_site_times, stage_timer
-from repro.core.pruning import annotation_init_vector, relevant_fragments
-from repro.core.selection import concrete_root_init_vector, variable_init_vector
+from repro.core.pruning import relevant_fragments, stage1_init_vector
 from repro.core.unify import (
     require_concrete,
     resolved_child_qualifier_bindings,
@@ -50,7 +49,7 @@ from repro.distributed.messages import MessageKind
 from repro.distributed.network import Network
 from repro.distributed.stats import RunStats, StageStats
 from repro.fragments.fragment_tree import Fragmentation
-from repro.service.actors import ActorPool
+from repro.service.actors import ActorPool, FragmentWaveBatcher
 from repro.xpath.plan import QueryPlan
 
 __all__ = ["evaluate_query_async"]
@@ -65,18 +64,29 @@ async def evaluate_query_async(
     use_annotations: bool = True,
     latency: Optional[LatencyModel] = None,
     engine: Optional[str] = None,
+    batcher: Optional[FragmentWaveBatcher] = None,
 ) -> RunStats:
     """Evaluate one query through the actor pool and return its RunStats.
 
     ``engine`` selects the per-fragment pass implementation (see
-    :mod:`repro.core.kernel.dispatch`).
+    :mod:`repro.core.kernel.dispatch`).  ``batcher`` (PaX2 only) routes the
+    stage-1 per-fragment combined passes through the service's fused-scan
+    batching window, so concurrent queries reaching the same fragment round
+    share one walk of its flat arrays; per-query results and accounting are
+    unchanged.
     """
     network = Network(fragmentation, placement)
     if algorithm == "pax2":
         prewarm_fragments(fragmentation, engine=engine)
         transport = AsyncTransport(network, latency)
+        if batcher is not None and batcher.engine != engine:
+            # An explicit engine wins over the batcher's construction-time
+            # one: bypass batching rather than silently running the wrong
+            # per-fragment implementation.
+            batcher = None
         return await _run_pax2_async(
-            fragmentation, plan, network, transport, actors, use_annotations, engine
+            fragmentation, plan, network, transport, actors, use_annotations, engine,
+            batcher,
         )
     return await _run_sync_fallback(
         fragmentation, plan, network, actors, algorithm, use_annotations, latency, engine
@@ -133,6 +143,7 @@ async def _run_pax2_async(
     actors: ActorPool,
     use_annotations: bool,
     engine: Optional[str] = None,
+    batcher: Optional[FragmentWaveBatcher] = None,
 ) -> RunStats:
     """PaX2 with each per-site round scheduled as an actor task.
 
@@ -171,21 +182,37 @@ async def _run_pax2_async(
             site_answers: List[int] = []
             site_units = 0
             with site.visit("pax2:combined"):
-                for fragment_id in fragment_ids:
-                    if fragment_id == root_fragment_id:
-                        init_vector: Sequence[FormulaLike] = concrete_root_init_vector(plan)
-                    elif use_annotations and not plan.has_qualifiers:
-                        init_vector = annotation_init_vector(fragmentation, plan, fragment_id)
-                    else:
-                        init_vector = variable_init_vector(plan, fragment_id)
-                    output = combined_pass(
-                        fragmentation,
-                        fragment_id,
-                        plan,
-                        init_vector,
-                        is_root_fragment=(fragment_id == root_fragment_id),
-                        engine=engine,
+                init_vectors: List[Sequence[FormulaLike]] = [
+                    stage1_init_vector(fragmentation, plan, fragment_id, use_annotations)
+                    for fragment_id in fragment_ids
+                ]
+                if batcher is not None:
+                    # Fused path: park all of this site's fragment rounds in
+                    # the batching window at once — one window per site, and
+                    # concurrent queries on the same fragments share one
+                    # scan; outputs are bit-identical to combined_pass.
+                    outputs = await asyncio.gather(
+                        *(
+                            batcher.combined(
+                                fragment_id, plan, init_vector,
+                                is_root_fragment=(fragment_id == root_fragment_id),
+                            )
+                            for fragment_id, init_vector in zip(fragment_ids, init_vectors)
+                        )
                     )
+                else:
+                    outputs = [
+                        combined_pass(
+                            fragmentation,
+                            fragment_id,
+                            plan,
+                            init_vector,
+                            is_root_fragment=(fragment_id == root_fragment_id),
+                            engine=engine,
+                        )
+                        for fragment_id, init_vector in zip(fragment_ids, init_vectors)
+                    ]
+                for fragment_id, output in zip(fragment_ids, outputs):
                     site_outputs[fragment_id] = output
                     site.add_operations(output.operations)
                     site_answers.extend(output.answers)

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional
 
 from repro.distributed.stats import RunStats
 
-__all__ = ["QueryRecord", "ServiceMetrics", "percentile"]
+__all__ = ["BatchStats", "QueryRecord", "ServiceMetrics", "percentile"]
 
 
 def percentile(values: List[float], fraction: float) -> float:
@@ -40,6 +40,84 @@ def percentile(values: List[float], fraction: float) -> float:
         return ordered[low]
     weight = rank - low
     return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+class BatchStats:
+    """Efficiency accounting of the service's fused-scan batcher.
+
+    One *fused scan* walks a fragment once for every per-fragment combined
+    pass that was pending inside the batching window; requests whose plans
+    share a normalized fingerprint collapse to one kernel slot first
+    (*dedup hits*).  ``queries_per_scan`` is the batching win: how many
+    per-query fragment walks one physical walk replaced, on average.
+    """
+
+    #: retained batching-window wait samples (oldest dropped first)
+    WINDOW_SAMPLES = 10_000
+
+    def __init__(self) -> None:
+        #: fused per-fragment scans executed
+        self.fused_scans = 0
+        #: per-query combined-pass requests served by those scans
+        self.batched_queries = 0
+        #: requests that shared another request's kernel slot (same
+        #: normalized plan fingerprint and initialization)
+        self.dedup_hits = 0
+        #: seconds each request waited in the batching window before its
+        #: fused scan ran
+        self.window_seconds: List[float] = []
+
+    def record_scan(
+        self, requests: int, slots: int, window_seconds: List[float]
+    ) -> None:
+        """Record one fused scan serving *requests* requests via *slots* slots."""
+        self.fused_scans += 1
+        self.batched_queries += requests
+        self.dedup_hits += requests - slots
+        self.window_seconds.extend(window_seconds)
+        if len(self.window_seconds) > self.WINDOW_SAMPLES:
+            del self.window_seconds[: len(self.window_seconds) - self.WINDOW_SAMPLES]
+
+    @property
+    def queries_per_scan(self) -> float:
+        return self.batched_queries / self.fused_scans if self.fused_scans else 0.0
+
+    @property
+    def window_p50(self) -> float:
+        return percentile(self.window_seconds, 0.50)
+
+    @property
+    def window_p95(self) -> float:
+        return percentile(self.window_seconds, 0.95)
+
+    def summary(self) -> str:
+        return (
+            f"batching: {self.fused_scans} fused scans,"
+            f" {self.batched_queries} batched passes"
+            f" ({self.queries_per_scan:.2f} per scan),"
+            f" {self.dedup_hits} dedup hits,"
+            f" window p50 {self.window_p50 * 1000:.2f} ms"
+            f" p95 {self.window_p95 * 1000:.2f} ms"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "fused_scans": self.fused_scans,
+            "batched_queries": self.batched_queries,
+            "queries_per_scan": round(self.queries_per_scan, 2),
+            "dedup_hits": self.dedup_hits,
+            "window_seconds": {
+                "p50": round(self.window_p50, 6),
+                "p95": round(self.window_p95, 6),
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<BatchStats scans={self.fused_scans}"
+            f" queries_per_scan={self.queries_per_scan:.2f}"
+            f" dedup={self.dedup_hits}>"
+        )
 
 
 @dataclass

@@ -37,7 +37,7 @@ from repro.distributed.async_transport import LatencyModel
 from repro.distributed.placement import one_site_per_fragment
 from repro.distributed.stats import RunStats
 from repro.fragments.fragment_tree import Fragmentation
-from repro.service.actors import ActorPool
+from repro.service.actors import ActorPool, FragmentWaveBatcher
 from repro.service.cache import QueryResultCache, normalized_query, version_tag
 from repro.service.evaluator import evaluate_query_async
 from repro.service.metrics import ServiceMetrics
@@ -80,6 +80,11 @@ class ServiceConfig:
     cache_capacity: int = 256
     #: join identical in-flight queries instead of re-evaluating
     coalesce: bool = True
+    #: coalesce concurrent per-fragment rounds into fused scans (PaX2)
+    batching: bool = True
+    #: batching window in seconds: how long a fragment round waits for
+    #: companions before its fused scan runs (0 = next event-loop iteration)
+    batch_window: float = 0.0
     #: retained per-request metric records
     metrics_window: int = 100_000
 
@@ -94,6 +99,8 @@ class ServiceConfig:
             raise ValueError("max_pending must be >= 0 when set")
         if self.engine is not None and self.engine not in ENGINES:
             raise ValueError(f"unknown engine {self.engine!r}; choose from {ENGINES}")
+        if self.batch_window < 0.0:
+            raise ValueError("batch_window must be >= 0")
 
 
 class ServiceEngine:
@@ -130,6 +137,16 @@ class ServiceEngine:
             else None
         )
         self.metrics = ServiceMetrics(self.config.metrics_window)
+        #: fused-scan batching window (None when batching is disabled)
+        self.batcher: Optional[FragmentWaveBatcher] = (
+            FragmentWaveBatcher(
+                fragmentation,
+                engine=self.config.engine,
+                window=self.config.batch_window,
+            )
+            if self.config.batching
+            else None
+        )
         #: version tag of the fragmentation the cached answers are valid for
         self.version = version_tag(fragmentation, self.placement)
         #: normalized query text -> compiled plan (parse/compile once per form)
@@ -251,6 +268,7 @@ class ServiceEngine:
                     use_annotations=use_annotations,
                     latency=self.config.latency,
                     engine=self.config.engine,
+                    batcher=self.batcher,
                 )
         finally:
             self._pending_evaluations -= 1
@@ -371,6 +389,8 @@ class ServiceEngine:
         ]
         if self.cache is not None:
             lines.append(self.cache.stats.summary())
+        if self.batcher is not None:
+            lines.append(self.batcher.stats.summary())
         lines.append(self.actors.summary())
         return "\n".join(lines)
 

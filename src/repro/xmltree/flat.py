@@ -74,6 +74,7 @@ class FlatFragment:
         "element_prefix",
         "n_elements",
         "_tables",
+        "_batch_tables",
     )
 
     def __init__(
@@ -112,9 +113,14 @@ class FlatFragment:
         prefix[self.n] = running
         self.element_prefix = prefix
         self.n_elements = running
-        #: per-query dispatch tables, keyed by plan identity tuple
-        #: (see repro.core.kernel.tables.plan_tables)
-        self._tables: Dict[tuple, object] = {}
+        #: per-query dispatch tables, keyed by the plan's normalized
+        #: fingerprint (see repro.core.kernel.tables.plan_tables)
+        self._tables: Dict[str, object] = {}
+        #: fused per-wave tables, keyed by the canonical fingerprint tuple —
+        #: a separate (smaller) cache so churning wave compositions cannot
+        #: evict the hot single-query tables
+        #: (see repro.core.kernel.batch.batch_plan_tables)
+        self._batch_tables: Dict[tuple, object] = {}
 
     # -- structure helpers --------------------------------------------------
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional, Sequence, Tuple, Union
 
 from repro.booleans.formula import FormulaLike, conj, disj, neg
@@ -160,6 +161,18 @@ class QueryPlan:
     #: absolute queries are anchored at the document node, relative ones at
     #: the root element (see :class:`repro.xpath.ast.PathExpr`)
     absolute: bool = False
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """The plan's normalized-form identity.
+
+        ``path`` is stored normalized (Section 2.2 of the paper), so its
+        rendering is equal exactly for plans that compute the same query —
+        regardless of how the source text spelled it (``//a/./b`` vs
+        ``//a/b``).  The string is a stable cache/dedup key, not guaranteed
+        concrete syntax; never re-parse it.
+        """
+        return str(self.path)
 
     @property
     def n_steps(self) -> int:
