@@ -1,0 +1,53 @@
+"""Incremental maintenance under updates: epoch tags vs rebuild-everything.
+
+Tracks the update subsystem's trajectory: a mixed read/write stream served
+through the version-tagged result cache, with writes landing through the
+typed mutation API.  Incremental maintenance bumps one fragment epoch per
+write, rebuilds one columnar encoding and retires only the cached answers
+that depended on the touched fragment; the rebuild-everything baseline (the
+pre-update-subsystem behavior) re-fingerprints the whole document, rebuilds
+every encoding and flushes the whole cache on every write.
+
+The tracked criterion is the ISSUE's acceptance bar: at a 10% write ratio
+on the XMark workload, incremental maintenance sustains at least 3x the
+baseline's throughput, with **zero** full-document walks on the query path
+(counter-asserted — the harness raises if the incremental replay ever walks
+the tree).  Before timing, the mutated final state is differentially
+verified: every algorithm x engine x annotation mode must return answers
+and traffic accounting identical to a from-scratch re-fragmentation.
+
+``repro bench-update`` runs the same harness from the CLI and emits
+``BENCH_update.json`` for the per-PR artifact trail.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled, write_report
+
+from repro.bench.update_bench import (
+    render_summary,
+    run_update_benchmark,
+    write_benchmark_json,
+)
+
+TOTAL_BYTES = scaled(150_000)
+
+
+def test_incremental_maintenance_speedup(benchmark, results_dir):
+    """Incremental maintenance is >= 3x rebuild-everything at 10% writes."""
+    report = benchmark.pedantic(
+        run_update_benchmark,
+        kwargs={"total_bytes": TOTAL_BYTES, "ops": 300},
+        rounds=1,
+        iterations=1,
+    )
+    write_report(results_dir, "update_maintenance", render_summary(report))
+    write_benchmark_json(report, results_dir / "BENCH_update.json")
+
+    # Differential verification ran before every timed configuration.
+    for entry in report["ratios"].values():
+        assert entry["verified_identical"]
+        assert entry["incremental"]["full_document_walks"] == 0
+    assert report["headline"]["met"]
+    assert report["headline"]["query_path_full_walks"] == 0
+    assert report["ratios"]["0.1"]["speedup"] >= 3.0

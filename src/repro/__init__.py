@@ -70,6 +70,14 @@ from repro.service import (
     ServiceEngine,
     ServiceMetrics,
 )
+from repro.updates import (
+    DeleteSubtree,
+    EditText,
+    InsertSubtree,
+    MixedWorkload,
+    apply_mutation,
+    apply_mutations,
+)
 
 __version__ = "1.0.0"
 
@@ -118,4 +126,11 @@ __all__ = [
     "ServiceConfig",
     "ServiceMetrics",
     "QueryResultCache",
+    # document updates
+    "InsertSubtree",
+    "DeleteSubtree",
+    "EditText",
+    "MixedWorkload",
+    "apply_mutation",
+    "apply_mutations",
 ]

@@ -19,9 +19,11 @@ from repro.bench.experiment3 import run_experiment3
 from repro.bench.guarantees import run_guarantees
 from repro.bench.batch_bench import run_batch_benchmark
 from repro.bench.service_bench import run_service_benchmark, write_benchmark_json
+from repro.bench.update_bench import run_update_benchmark
 
 __all__ = [
     "run_batch_benchmark",
+    "run_update_benchmark",
     "AlgorithmVariant",
     "VARIANTS",
     "measure_run",

@@ -1,0 +1,362 @@
+"""Incremental-maintenance benchmark (``repro bench-update``).
+
+Times a mixed read/write operation stream over the XMark workload under two
+maintenance strategies and emits ``BENCH_update.json``:
+
+``incremental``
+    Mutations land through :mod:`repro.updates`: only the touched fragment's
+    epoch is bumped and only its columnar encoding dropped; the version tag
+    rolls forward from the epochs without a document walk.
+``rebuild``
+    The pre-update-subsystem behavior: every mutation is followed by a full
+    flat-cache flush plus a full-document re-fingerprint
+    (``invalidate_flat()`` + ``content_version(refresh=True)``), so each
+    write pays O(document) and the next queries pay every fragment's
+    re-encoding.
+
+Both strategies replay the *same* operation stream (the scenario and the
+workload are regenerated from the same seeds), so the measured gap is pure
+maintenance cost.  Before any timing, the stream is verified exactly:
+replaying it incrementally and comparing every algorithm x engine x
+annotation mode against a from-scratch re-fragmentation of the mutated tree
+must produce identical answers and traffic accounting — the run aborts on
+any divergence.  The incremental timed runs additionally assert **zero**
+full-document walks (:attr:`Fragmentation.full_walks` stays flat), the
+ISSUE's counter-asserted criterion.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.common import ensure_plan
+from repro.core.engine import DistributedQueryEngine
+from repro.core.kernel.dispatch import KERNEL, REFERENCE, prewarm_fragments
+from repro.core.pax2 import run_pax2
+from repro.distributed.stats import RunStats
+from repro.service.cache import QueryResultCache, update_dependencies, version_tag
+from repro.fragments.fragment_tree import Fragmentation, build_fragmentation
+from repro.updates.apply import apply_mutation
+from repro.updates.workload import MixedWorkload
+from repro.workloads.queries import PAPER_QUERIES
+from repro.workloads.scenarios import Scenario, build_ft2
+
+__all__ = [
+    "run_update_benchmark",
+    "verify_against_rebuild",
+    "write_benchmark_json",
+    "render_summary",
+    "DEFAULT_WRITE_RATIOS",
+]
+
+DEFAULT_WRITE_RATIOS = (0.01, 0.10)
+
+#: the write ratio the acceptance criterion is pinned to
+HEADLINE_WRITE_RATIO = 0.10
+HEADLINE_CRITERION = 3.0
+
+#: the read pool of the *timed* streams: the paper queries whose selection
+#: paths fragment-prune, so their cached answers have real (proper-subset)
+#: dependency sets.  Q4's leading descendant axis keeps every fragment
+#: relevant — no maintenance strategy can avoid re-evaluating it after any
+#: write, so including it times query evaluation, not maintenance.  The
+#: differential verification below still covers all four paper queries
+#: (Q4 included) on the mutated document.
+TIMED_QUERIES = ("Q1", "Q2", "Q3")
+
+
+def _stats_fingerprint(stats: RunStats) -> tuple:
+    return (
+        tuple(stats.answer_ids),
+        stats.communication_units,
+        stats.local_units,
+        stats.message_count,
+        stats.total_operations,
+        stats.answer_nodes_shipped,
+        tuple(sorted(stats.visits_by_site().items())),
+    )
+
+
+def rebuild_from_scratch(fragmentation: Fragmentation) -> Fragmentation:
+    """A fresh fragmentation of the (possibly mutated) tree at the same cuts.
+
+    Fragment roots survive every legal mutation, so cutting at the same node
+    ids reproduces the same fragment ids — the ground truth an incrementally
+    maintained fragmentation must match bit for bit.
+    """
+    tree = fragmentation.tree
+    cuts = sorted(
+        node_id
+        for node_id in fragmentation.fragment_root_ids
+        if node_id != tree.root.node_id
+    )
+    rebuilt = build_fragmentation(tree, cuts)
+    if rebuilt.fragment_ids() != fragmentation.fragment_ids():
+        raise AssertionError("re-fragmentation changed the fragment ids")
+    return rebuilt
+
+
+def verify_against_rebuild(
+    fragmentation: Fragmentation,
+    placement: Optional[Dict[str, str]],
+    queries: Sequence[str],
+) -> int:
+    """Incrementally maintained state must equal a from-scratch rebuild.
+
+    Compares answers *and* traffic accounting for every algorithm x engine x
+    annotation mode; returns the number of configurations checked, raises
+    ``AssertionError`` on the first divergence.
+    """
+    rebuilt = rebuild_from_scratch(fragmentation)
+    rebuilt.validate()
+    checked = 0
+    for algorithm in ("pax2", "pax3", "naive"):
+        for engine_kind in (KERNEL, REFERENCE):
+            for use_annotations in (False, True):
+                maintained = DistributedQueryEngine(
+                    fragmentation,
+                    placement=placement,
+                    algorithm=algorithm,
+                    use_annotations=use_annotations,
+                    engine=engine_kind,
+                )
+                scratch = DistributedQueryEngine(
+                    rebuilt,
+                    placement=placement,
+                    algorithm=algorithm,
+                    use_annotations=use_annotations,
+                    engine=engine_kind,
+                )
+                for query in queries:
+                    incremental = _stats_fingerprint(maintained.run(query))
+                    from_scratch = _stats_fingerprint(scratch.run(query))
+                    if incremental != from_scratch:
+                        raise AssertionError(
+                            "incremental maintenance diverged from re-fragmentation"
+                            f" on {query!r} ({algorithm}/{engine_kind}/"
+                            f"annotations={use_annotations})"
+                        )
+                    checked += 1
+    return checked
+
+
+def _build_run(
+    total_bytes: int, seed: int, write_ratio: float, workload_seed: int
+) -> Tuple[Scenario, MixedWorkload]:
+    scenario = build_ft2(total_bytes=total_bytes, seed=seed)
+    workload = MixedWorkload(
+        scenario.fragmentation,
+        [PAPER_QUERIES[name] for name in TIMED_QUERIES],
+        write_ratio=write_ratio,
+        seed=workload_seed,
+    )
+    return scenario, workload
+
+
+def _replay(
+    scenario: Scenario,
+    workload: MixedWorkload,
+    ops: int,
+    rebuild_everything: bool,
+) -> float:
+    """Replay *ops* operations as a steady-state serving loop; elapsed seconds.
+
+    Operations are synthesized lazily — mutations target the tree state the
+    preceding operations produced.  Two replays from identically seeded
+    scenarios and workloads therefore see the same operation stream (the
+    maintenance strategy changes caches, never the document), so the timing
+    gap is pure maintenance cost.
+
+    The loop is the service layer's serving discipline without the event
+    loop: reads go through a version-tagged result cache, writes land
+    through the mutation API.  Under ``incremental`` a write bumps one
+    epoch, rolls the tag forward in O(#fragments) and retires only the
+    cached answers that depended on the touched fragment; under
+    ``rebuild_everything`` (the pre-update-subsystem behavior) a write
+    re-fingerprints the whole document, drops every columnar encoding and
+    flushes the whole result cache.
+    """
+    fragmentation = scenario.fragmentation
+    placement = scenario.placement
+    plans = {query: ensure_plan(query) for query in workload.queries}
+    cache = QueryResultCache(capacity=256)
+    version = version_tag(fragmentation, placement)
+    elapsed = 0.0
+    for _ in range(ops):
+        # Synthesis is outside the timer: generating an operation is the
+        # workload's cost, identical for both maintenance strategies.
+        op = workload.next_op()
+        op_started = time.perf_counter()
+        if op.is_write:
+            result = apply_mutation(fragmentation, op.mutation)
+            old_version = version
+            if rebuild_everything:
+                # What the pre-update-subsystem world did per edit: full
+                # re-fingerprint, every columnar encoding dropped (rebuilt
+                # lazily by the next queries that touch it), result cache
+                # flushed wholesale.
+                fragmentation.invalidate_flat()
+                fragmentation.content_version(refresh=True)
+                version = version_tag(fragmentation, placement)
+                cache.invalidate()
+            else:
+                # Epoch path: only the touched fragment's encoding was
+                # dropped (rebuilt lazily), the tag rolls forward without a
+                # walk, and only dependent cached answers retire.
+                version = version_tag(fragmentation, placement)
+                cache.retire_version(old_version, version, result.fragment_id)
+        else:
+            plan = plans[op.query]
+            key = cache.make_key(plan, "pax2", True, version)
+            stats = cache.get(key)
+            if stats is None:
+                stats = run_pax2(
+                    fragmentation,
+                    plan,
+                    placement=placement,
+                    use_annotations=True,
+                    engine=KERNEL,
+                )
+                cache.put(
+                    key, stats, dependencies=update_dependencies(fragmentation, stats)
+                )
+        elapsed += time.perf_counter() - op_started
+    return elapsed
+
+
+def run_update_benchmark(
+    total_bytes: int = 150_000,
+    seed: int = 5,
+    ops: int = 400,
+    write_ratios: Sequence[float] = DEFAULT_WRITE_RATIOS,
+    workload_seed: int = 17,
+) -> Dict[str, object]:
+    """Run the incremental-vs-rebuild comparison over the XMark workload."""
+    probe = build_ft2(total_bytes=total_bytes, seed=seed)
+    report: Dict[str, object] = {
+        "benchmark": "update_maintenance",
+        "config": {
+            "total_bytes": total_bytes,
+            "seed": seed,
+            "ops": ops,
+            "write_ratios": [round(r, 4) for r in write_ratios],
+            "workload_seed": workload_seed,
+        },
+        "workload": {
+            "scenario": probe.name,
+            "fragments": len(probe.fragmentation),
+            "document_nodes": probe.fragmentation.tree.size(),
+            "timed_queries": [PAPER_QUERIES[name] for name in TIMED_QUERIES],
+            "verified_queries": list(PAPER_QUERIES.values()),
+        },
+        "ratios": {},
+    }
+
+    ratios = report["ratios"]
+    for write_ratio in write_ratios:
+        # Differential pass: replay the whole stream incrementally on a fresh
+        # scenario, then prove the final state equals a from-scratch
+        # re-fragmentation for every algorithm x engine x annotation mode.
+        scenario, workload = _build_run(total_bytes, seed, write_ratio, workload_seed)
+        writes = 0
+        for _ in range(ops):
+            op = workload.next_op()
+            if op.is_write:
+                writes += 1
+                apply_mutation(scenario.fragmentation, op.mutation)
+        configurations = verify_against_rebuild(
+            scenario.fragmentation, scenario.placement, list(PAPER_QUERIES.values())
+        )
+
+        timings: Dict[str, Dict[str, object]] = {}
+        for mode in ("incremental", "rebuild"):
+            scenario, workload = _build_run(total_bytes, seed, write_ratio, workload_seed)
+            prewarm_fragments(scenario.fragmentation)
+            scenario.fragmentation.version_token()  # startup walk, outside the timer
+            walks_before = scenario.fragmentation.full_walks
+            elapsed = _replay(
+                scenario, workload, ops, rebuild_everything=(mode == "rebuild")
+            )
+            walks = scenario.fragmentation.full_walks - walks_before
+            if mode == "incremental" and walks != 0:
+                raise AssertionError(
+                    f"incremental run performed {walks} full-document walks"
+                    " on the query/update path"
+                )
+            timings[mode] = {
+                "seconds": round(elapsed, 6),
+                "ops_per_second": round(ops / max(elapsed, 1e-9), 2),
+                "full_document_walks": walks,
+            }
+
+        speedup = round(
+            timings["rebuild"]["seconds"] / max(timings["incremental"]["seconds"], 1e-9),
+            2,
+        )
+        ratios[f"{write_ratio:g}"] = {
+            "ops": ops,
+            "writes": writes,
+            "write_ratio": round(write_ratio, 4),
+            "verified_identical": True,
+            "verified_configurations": configurations,
+            "incremental": timings["incremental"],
+            "rebuild": timings["rebuild"],
+            "speedup": speedup,
+        }
+
+    headline_entry = ratios.get(f"{HEADLINE_WRITE_RATIO:g}")
+    headline = headline_entry["speedup"] if headline_entry else 0.0
+    report["headline"] = {
+        "xmark_10pct_write_speedup": headline,
+        "criterion": (
+            f"incremental maintenance >= {HEADLINE_CRITERION}x rebuild-everything"
+            f" throughput at a {HEADLINE_WRITE_RATIO:.0%} write ratio on XMark,"
+            " with zero full-document walks on the query path"
+        ),
+        "met": headline >= HEADLINE_CRITERION,
+        "query_path_full_walks": (
+            headline_entry["incremental"]["full_document_walks"] if headline_entry else None
+        ),
+    }
+    return report
+
+
+def write_benchmark_json(report: Dict[str, object], path: str | Path) -> Path:
+    """Write the report as pretty JSON and return the path."""
+    destination = Path(path)
+    destination.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return destination
+
+
+def render_summary(report: Dict[str, object]) -> str:
+    """A human-readable recap of the emitted JSON."""
+    workload = report["workload"]
+    lines = [
+        f"workload      : {workload['scenario']},"
+        f" {workload['fragments']} fragments,"
+        f" {workload['document_nodes']} nodes,"
+        f" {len(workload['timed_queries'])} timed /"
+        f" {len(workload['verified_queries'])} verified queries"
+    ]
+    for ratio, entry in report["ratios"].items():
+        incremental = entry["incremental"]
+        rebuild = entry["rebuild"]
+        lines.append(
+            f"writes {float(ratio) * 100:4.0f}% ({entry['writes']:3d}/{entry['ops']} ops):"
+            f" incremental {incremental['ops_per_second']:8.1f} ops/s"
+            f" vs rebuild {rebuild['ops_per_second']:8.1f} ops/s"
+            f" ({entry['speedup']:5.2f}x),"
+            f" walks {incremental['full_document_walks']}/{rebuild['full_document_walks']}"
+        )
+    headline = report["headline"]
+    lines.append(
+        f"headline      : {HEADLINE_WRITE_RATIO:.0%}-write speedup"
+        f" {headline['xmark_10pct_write_speedup']}x"
+        f" (criterion >= {HEADLINE_CRITERION}x:"
+        f" {'met' if headline['met'] else 'NOT met'};"
+        f" query-path full walks: {headline['query_path_full_walks']})"
+    )
+    return "\n".join(lines)

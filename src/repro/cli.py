@@ -47,6 +47,11 @@ and emit ``BENCH_batch.json`` (shares the ``--bytes/--seed/--repeats`` knob
 set with ``bench-core``)::
 
     python -m repro bench-batch --batch-sizes 1 4 16 64
+
+Benchmark incremental maintenance under a mixed read/write stream against
+the rebuild-everything baseline and emit ``BENCH_update.json``::
+
+    python -m repro bench-update --ops 400 --write-ratios 0.01 0.10
 """
 
 from __future__ import annotations
@@ -174,6 +179,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_kernel_bench_knobs(bench_batch, default_output="BENCH_batch.json")
     bench_batch.add_argument("--batch-sizes", type=int, nargs="+", default=[1, 4, 16, 64],
                              metavar="N", help="wave sizes to time (default 1 4 16 64)")
+
+    bench_update = commands.add_parser(
+        "bench-update",
+        help="benchmark incremental maintenance vs rebuild-everything under writes",
+    )
+    bench_update.add_argument("--bytes", type=int, default=150_000, dest="total_bytes",
+                              help="approximate XMark document size (default 150000)")
+    bench_update.add_argument("--seed", type=int, default=5,
+                              help="XMark generator seed (default 5)")
+    bench_update.add_argument("--ops", type=int, default=400,
+                              help="operations per timed stream (default 400)")
+    bench_update.add_argument("--write-ratios", type=float, nargs="+",
+                              default=[0.01, 0.10], metavar="R",
+                              help="write fractions of the stream (default 0.01 0.10)")
+    bench_update.add_argument("--workload-seed", type=int, default=17,
+                              help="mixed-workload generator seed (default 17)")
+    bench_update.add_argument("--output", default="BENCH_update.json",
+                              help="report path (default BENCH_update.json)")
 
     return parser
 
@@ -370,6 +393,26 @@ def _cmd_bench_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_update(args: argparse.Namespace) -> int:
+    from repro.bench.update_bench import (
+        render_summary,
+        run_update_benchmark,
+        write_benchmark_json,
+    )
+
+    report = run_update_benchmark(
+        total_bytes=args.total_bytes,
+        seed=args.seed,
+        ops=args.ops,
+        write_ratios=args.write_ratios,
+        workload_seed=args.workload_seed,
+    )
+    path = write_benchmark_json(report, args.output)
+    print(render_summary(report))
+    print(f"[written to {path}]")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     parser = build_parser()
@@ -388,6 +431,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_bench_core(args)
     if args.command == "bench-batch":
         return _cmd_bench_batch(args)
+    if args.command == "bench-update":
+        return _cmd_bench_update(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2
 

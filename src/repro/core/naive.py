@@ -75,9 +75,9 @@ def run_naive_centralized(
     stage.coordinator_seconds = time.perf_counter() - started
     stats.stages.append(stage)
 
-    # The reassembled copy has its own ids; translate back to the original
-    # tree's ids so results are comparable across algorithms.  Reassembly
-    # preserves document order, so pre-order ids coincide.
+    # Reassembly preserves the original node ids (not just document order —
+    # after in-place mutations ids are no longer a dense pre-order
+    # numbering), so results are comparable across algorithms directly.
     stats.answer_ids = sorted(result.answer_ids)
     stats.answer_nodes_shipped = answer_subtree_nodes(fragmentation.tree, stats.answer_ids)
     network.collect_stats(stats)

@@ -56,6 +56,11 @@ class Fragment:
         self._element_count = None
         self._node_count = None
 
+    def invalidate_counts(self) -> None:
+        """Drop the cached span sizes after an in-place span mutation."""
+        self._element_count = None
+        self._node_count = None
+
     def is_leaf(self) -> bool:
         """A leaf fragment has no sub-fragments (hence no virtual nodes)."""
         return not self.virtual_children

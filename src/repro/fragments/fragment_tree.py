@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import struct
+from hashlib import blake2b
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.fragments.fragment import Fragment
@@ -32,6 +34,11 @@ class Fragmentation:
         #: columnar span encodings, valid for _content_version (see flat())
         self._flat_cache: Dict[str, FlatFragment] = {}
         self._content_version: Optional[str] = None
+        #: per-fragment mutation epochs (see bump_epoch / version_token)
+        self._epochs: Dict[str, int] = {}
+        #: full-document fingerprint walks performed so far; tests assert the
+        #: steady-state query path never increments this
+        self.full_walks = 0
 
     # -- construction ---------------------------------------------------------
 
@@ -42,6 +49,7 @@ class Fragmentation:
         self.fragment_root_ids[fragment.root.node_id] = fragment.fragment_id
         if fragment.parent_id is None:
             self.root_fragment_id = fragment.fragment_id
+        self._epochs[fragment.fragment_id] = 0
         self.invalidate_flat()
 
     # -- columnar encodings ---------------------------------------------------
@@ -49,28 +57,34 @@ class Fragmentation:
     def content_fingerprint(self) -> str:
         """Placement-free fingerprint of the fragmented document.
 
-        Covers the tree shape and content (size, labels and texts folded into
-        a running hash) and the fragment boundaries; the service result cache
-        folds the placement on top of this to build its version tag.
+        Covers the tree shape and content (size, labels and texts fed into a
+        :mod:`hashlib` digest, so the value is identical across processes
+        regardless of ``PYTHONHASHSEED``) and the fragment boundaries.  This
+        is a **full document walk** — the steady-state paths never call it;
+        mutations applied through :mod:`repro.updates` move the version via
+        :meth:`bump_epoch` instead.  Every call increments :attr:`full_walks`
+        so tests can assert the walk count stays flat while serving.
         """
-        digest = 0
-        mask = 0xFFFFFFFFFFFFFFFF
-        digest = (digest * 1_000_003 + hash(self.tree.size())) & mask
+        self.full_walks += 1
+        hasher = blake2b(digest_size=8)
+        hasher.update(struct.pack("<Q", self.tree.size()))
         for fragment_id in self.fragment_ids():
             fragment = self.fragments[fragment_id]
-            digest = (digest * 1_000_003 + hash(fragment_id)) & mask
-            digest = (digest * 1_000_003 + hash(fragment.root.node_id)) & mask
+            hasher.update(fragment_id.encode("utf-8"))
+            hasher.update(struct.pack("<q", fragment.root.node_id))
         for node in self.tree.root.iter_subtree():
             value = node.tag if node.is_element else node.value
-            digest = (digest * 1_000_003 + hash(value)) & mask
-        return f"{digest:016x}"
+            hasher.update(b"\x00" if value is None else value.encode("utf-8"))
+            hasher.update(b"\x01")
+        return hasher.hexdigest()
 
     def content_version(self, refresh: bool = False) -> str:
         """The cached content fingerprint, recomputed on demand.
 
-        Passing ``refresh=True`` re-walks the document (what the service's
-        ``refresh_version`` does after an in-place update); when the
-        fingerprint moved, the flat encodings are dropped with it.
+        Passing ``refresh=True`` re-walks the document — the escape hatch for
+        edits made *behind the fragmentation's back* (mutations applied
+        through :mod:`repro.updates` never need it); when the fingerprint
+        moved, the flat encodings are dropped with it.
         """
         if refresh or self._content_version is None:
             tag = self.content_fingerprint()
@@ -78,6 +92,43 @@ class Fragmentation:
                 self._flat_cache.clear()
                 self._content_version = tag
         return self._content_version
+
+    # -- mutation epochs -------------------------------------------------------
+
+    def fragment_epoch(self, fragment_id: str) -> int:
+        """How many in-place mutations have touched *fragment_id*'s span."""
+        return self._epochs[fragment_id]
+
+    def bump_epoch(self, fragment_id: str) -> int:
+        """Record an in-place mutation of one fragment's span.
+
+        Advances only the touched fragment's epoch and drops only that
+        fragment's columnar encoding (rebuilt lazily on next access); every
+        other fragment's arrays, and the cached content base, stay valid.
+        This is what makes a write O(touched fragment) instead of
+        O(document).  Returns the new epoch.
+        """
+        if fragment_id not in self.fragments:
+            raise FragmentationError(f"unknown fragment id {fragment_id}")
+        self._epochs[fragment_id] += 1
+        self._flat_cache.pop(fragment_id, None)
+        return self._epochs[fragment_id]
+
+    def version_token(self) -> str:
+        """An O(#fragments) version of the fragmented document, no tree walk.
+
+        The content base (:meth:`content_version`, computed at most once per
+        structural reset) folded with every fragment's mutation epoch: any
+        mutation applied through :meth:`bump_epoch` moves the token, as does
+        a ``refresh=True`` re-fingerprint that found out-of-band edits.
+        Stable across processes (pure :mod:`hashlib`, no builtin ``hash``).
+        """
+        hasher = blake2b(digest_size=8)
+        hasher.update(self.content_version().encode("ascii"))
+        for fragment_id in self.fragment_ids():
+            hasher.update(fragment_id.encode("utf-8"))
+            hasher.update(struct.pack("<Q", self._epochs[fragment_id]))
+        return hasher.hexdigest()
 
     def flat(self, fragment_id: str) -> FlatFragment:
         """The columnar encoding of one fragment span, built once and cached.

@@ -18,10 +18,13 @@ __all__ = ["reassemble"]
 
 def _copy_span(fragmentation: Fragmentation, fragment: Fragment, node: XMLNode) -> XMLNode:
     """Deep-copy *node* (which belongs to *fragment*'s span), splicing child
-    fragments in place of virtual nodes."""
+    fragments in place of virtual nodes.  Source node ids are preserved."""
     if node.is_text:
-        return XMLNode(TEXT, value=node.value)
+        copy = XMLNode(TEXT, value=node.value)
+        copy.node_id = node.node_id
+        return copy
     copy = XMLNode(ELEMENT, tag=node.tag)
+    copy.node_id = node.node_id
     for child in node.children:
         child_fragment_id = fragment.virtual_children.get(child.node_id)
         if child_fragment_id is not None:
@@ -33,7 +36,16 @@ def _copy_span(fragmentation: Fragmentation, fragment: Fragment, node: XMLNode) 
 
 
 def reassemble(fragmentation: Fragmentation) -> XMLTree:
-    """Rebuild the original document from its fragments (as a fresh tree)."""
+    """Rebuild the original document from its fragments (as a fresh tree).
+
+    The copy keeps the source document's node ids — on a pristine document
+    those are dense pre-order ids, but after in-place mutations
+    (:mod:`repro.updates`) they are not, and a consumer comparing answer ids
+    against the original tree (the NaiveCentralized baseline) needs the
+    real ids, not a renumbering.
+    """
     root_fragment = fragmentation.root_fragment
     root_copy = _copy_span(fragmentation, root_fragment, root_fragment.root)
-    return XMLTree(root_copy)
+    tree = XMLTree(root_copy, reindex=False)
+    tree.adopt_preassigned_ids()
+    return tree

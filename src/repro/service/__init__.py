@@ -38,7 +38,7 @@ Quickstart::
 from repro.service.actors import ActorPool, FragmentWaveBatcher, SiteActor
 from repro.service.cache import CacheStats, QueryResultCache, normalized_query, version_tag
 from repro.service.evaluator import evaluate_query_async
-from repro.service.metrics import BatchStats, QueryRecord, ServiceMetrics
+from repro.service.metrics import BatchStats, QueryRecord, ServiceMetrics, UpdateRecord
 from repro.service.server import AdmissionError, ServiceConfig, ServiceEngine
 
 __all__ = [
@@ -53,6 +53,7 @@ __all__ = [
     "evaluate_query_async",
     "QueryRecord",
     "ServiceMetrics",
+    "UpdateRecord",
     "AdmissionError",
     "ServiceConfig",
     "ServiceEngine",

@@ -5,10 +5,11 @@ Two syntactically different queries that normalize to the same form (Section
 ``a//b`` — denote the same answer, so the cache keys on
 :func:`repro.xpath.normalize.normalize` output rather than the raw string.
 The key also carries a *fragmentation version tag*: a fingerprint of the
-fragmented document and its placement.  Re-fragmenting, re-placing or
-editing the document yields a different tag, so stale answers can never be
-served; explicit :meth:`QueryResultCache.invalidate` covers in-place updates
-the fingerprint cannot see.
+fragmented document, its per-fragment mutation epochs and its placement.
+Re-fragmenting, re-placing or mutating the document (through
+:mod:`repro.updates`) yields a different tag, so stale answers can never be
+served; :meth:`QueryResultCache.invalidate` with ``version=`` retires the
+superseded tag's entries so they stop crowding the LRU.
 
 Entries are full :class:`repro.distributed.stats.RunStats` objects (the
 answer ids plus the accounting that produced them), evicted LRU-first.
@@ -18,6 +19,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from hashlib import blake2b
 from typing import Mapping, Optional, Tuple
 
 from repro.core.common import QueryInput
@@ -28,7 +30,14 @@ from repro.xpath.normalize import normalize
 from repro.xpath.parser import parse_xpath
 from repro.xpath.plan import QueryPlan
 
-__all__ = ["CacheKey", "CacheStats", "QueryResultCache", "normalized_query", "version_tag"]
+__all__ = [
+    "CacheKey",
+    "CacheStats",
+    "QueryResultCache",
+    "normalized_query",
+    "update_dependencies",
+    "version_tag",
+]
 
 #: (normalized query, algorithm, annotations flag, fragmentation version tag)
 CacheKey = Tuple[str, str, bool, str]
@@ -52,24 +61,71 @@ def normalized_query(query: QueryInput) -> str:
 def version_tag(fragmentation: Fragmentation, placement: Mapping[str, str]) -> str:
     """A fingerprint of the fragmented document and its placement.
 
-    Covers the tree shape and content (size, labels and texts folded into a
-    running hash), the fragment boundaries and the site assignment — any
-    change to one of them changes the tag and thereby misses the cache.
+    Covers the tree shape and content, the fragment boundaries, the
+    per-fragment mutation epochs and the site assignment — any change to one
+    of them changes the tag and thereby misses the cache.
 
-    The content half is :meth:`Fragmentation.content_version` — recomputed
-    here with ``refresh=True`` so an in-place document edit moves the tag,
-    which also drops the stale columnar encodings the evaluation kernels
-    cache on the fragmentation.
+    The content half is :meth:`Fragmentation.version_token`: the content
+    base is walked at most once per fragmentation (startup / structural
+    reset), after which mutations applied through :mod:`repro.updates` move
+    the tag via per-fragment epoch bumps in O(#fragments) — computing a tag
+    never re-walks the document.  The whole tag is a :mod:`hashlib` digest
+    (builtin ``hash`` is salted per process under ``PYTHONHASHSEED``
+    randomization, which would make tags diverge across processes).
     """
-    digest = int(fragmentation.content_version(refresh=True), 16)
-
-    def fold(value: object) -> None:
-        nonlocal digest
-        digest = (digest * 1_000_003 + hash(value)) & 0xFFFFFFFFFFFFFFFF
-
+    hasher = blake2b(digest_size=8)
+    hasher.update(fragmentation.version_token().encode("ascii"))
     for fragment_id in fragmentation.fragment_ids():
-        fold(placement.get(fragment_id))
-    return f"{digest:016x}"
+        site = placement.get(fragment_id)
+        hasher.update(fragment_id.encode("utf-8"))
+        hasher.update(b"\x00" if site is None else str(site).encode("utf-8"))
+        hasher.update(b"\x01")
+    return hasher.hexdigest()
+
+
+#: algorithms whose every content-dependent pass is confined to the
+#: fragments they report in ``fragments_evaluated`` (PaX2's two stages both
+#: run on the pruning-kept set only).  Anything else is treated
+#: conservatively: PaX3's *qualifier* stage reads every fragment even when
+#: the selection stages prune, and NaiveCentralized/ParBoX already report
+#: every fragment as evaluated.
+_PRUNING_COMPLETE_ALGORITHMS = frozenset({"PaX2"})
+
+
+def update_dependencies(fragmentation: Fragmentation, stats: RunStats) -> frozenset:
+    """The fragments one run's answer and accounting depend on.
+
+    A cached result stays exact under a mutation to fragment ``F`` iff ``F``
+    is outside this set:
+
+    * the *evaluated* fragments (pruning keeps ancestors too, so everything
+      whose content influenced stage 1 and the answer-retrieval stage is
+      here); pruning decisions themselves read only fragment-tree labels,
+      which no mutation can change;
+    * fragments whose root lies inside an answer node's subtree — the
+      answer-payload accounting (``answer_nodes_shipped``) counts nodes
+      across fragment boundaries, so edits below an answer node matter even
+      in fragments the evaluation never visited.
+
+    For algorithms with content-dependent passes outside
+    ``fragments_evaluated`` (PaX3 evaluates qualifiers on *every* fragment)
+    the set is conservatively the whole fragmentation.
+    """
+    if stats.algorithm not in _PRUNING_COMPLETE_ALGORITHMS:
+        return frozenset(fragmentation.fragment_ids())
+    dependencies = set(stats.fragments_evaluated)
+    if stats.answer_ids:
+        answers = set(stats.answer_ids)
+        for fragment_id in fragmentation.fragment_ids():
+            if fragment_id in dependencies:
+                continue
+            node = fragmentation[fragment_id].root
+            while node is not None:
+                if node.node_id in answers:
+                    dependencies.add(fragment_id)
+                    break
+                node = node.parent
+    return frozenset(dependencies)
 
 
 @dataclass
@@ -81,6 +137,9 @@ class CacheStats:
     evictions: int = 0
     invalidations: int = 0
     stores: int = 0
+    #: entries carried across a version-tag change because the mutation
+    #: touched none of their dependency fragments (see retire_version)
+    rekeyed: int = 0
     #: requests answered by joining an identical in-flight query (filled in
     #: by the server's single-flight layer, reported here for one summary)
     coalesced: int = 0
@@ -98,7 +157,7 @@ class CacheStats:
             f"cache: {self.hits} hits / {self.lookups} lookups"
             f" ({self.hit_rate * 100:.1f}%), {self.coalesced} coalesced,"
             f" {self.stores} stores, {self.evictions} evictions,"
-            f" {self.invalidations} invalidations"
+            f" {self.invalidations} invalidations, {self.rekeyed} rekeyed"
         )
 
     def to_dict(self) -> dict:
@@ -110,6 +169,7 @@ class CacheStats:
             "stores": self.stores,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "rekeyed": self.rekeyed,
         }
 
 
@@ -121,6 +181,9 @@ class QueryResultCache:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._entries: "OrderedDict[CacheKey, RunStats]" = OrderedDict()
+        #: fragment ids each entry's answer depends on (see put); entries
+        #: stored without dependencies are dropped by retire_version
+        self._dependencies: dict = {}
         self.stats = CacheStats()
 
     @staticmethod
@@ -145,14 +208,27 @@ class QueryResultCache:
         self.stats.hits += 1
         return entry
 
-    def put(self, key: CacheKey, stats: RunStats) -> None:
-        """Store *stats* under *key*, evicting the least recently used entry."""
+    def put(
+        self, key: CacheKey, stats: RunStats, dependencies: Optional[frozenset] = None
+    ) -> None:
+        """Store *stats* under *key*, evicting the least recently used entry.
+
+        *dependencies* (see :func:`update_dependencies`) names the fragments
+        the entry's answer depends on; with it recorded, a later
+        :meth:`retire_version` can carry the entry across a version-tag
+        change instead of dropping it.
+        """
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = stats
+        if dependencies is not None:
+            self._dependencies[key] = dependencies
+        else:
+            self._dependencies.pop(key, None)
         self.stats.stores += 1
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._dependencies.pop(evicted, None)
             self.stats.evictions += 1
 
     def invalidate(self, version: Optional[str] = None) -> int:
@@ -163,13 +239,41 @@ class QueryResultCache:
         if version is None:
             removed = len(self._entries)
             self._entries.clear()
+            self._dependencies.clear()
         else:
             stale = [key for key in self._entries if key[3] == version]
             for key in stale:
                 del self._entries[key]
+                self._dependencies.pop(key, None)
             removed = len(stale)
         self.stats.invalidations += removed
         return removed
+
+    def retire_version(
+        self, old_version: str, new_version: str, touched_fragment: str
+    ) -> Tuple[int, int]:
+        """Roll the *old_version* entries forward past one fragment mutation.
+
+        Entries whose recorded dependency set excludes *touched_fragment*
+        are still exact — they are re-keyed under *new_version* (keeping
+        their dependencies, re-entering the LRU as recently used); the rest,
+        and entries without recorded dependencies, are dropped.  Returns
+        ``(rekeyed, dropped)``.
+        """
+        rekeyed = dropped = 0
+        for key in [k for k in self._entries if k[3] == old_version]:
+            dependencies = self._dependencies.pop(key, None)
+            stats = self._entries.pop(key)
+            if dependencies is not None and touched_fragment not in dependencies:
+                new_key = (key[0], key[1], key[2], new_version)
+                self._entries[new_key] = stats
+                self._dependencies[new_key] = dependencies
+                rekeyed += 1
+            else:
+                dropped += 1
+        self.stats.rekeyed += rekeyed
+        self.stats.invalidations += dropped
+        return rekeyed, dropped
 
     def __repr__(self) -> str:
         return f"<QueryResultCache {len(self)}/{self.capacity} entries, {self.stats.summary()}>"

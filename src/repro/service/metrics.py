@@ -17,7 +17,7 @@ from typing import Dict, List, Optional
 
 from repro.distributed.stats import RunStats
 
-__all__ = ["BatchStats", "QueryRecord", "ServiceMetrics", "percentile"]
+__all__ = ["BatchStats", "QueryRecord", "ServiceMetrics", "UpdateRecord", "percentile"]
 
 
 def percentile(values: List[float], fraction: float) -> float:
@@ -135,8 +135,27 @@ class QueryRecord:
     stats: Optional[RunStats] = field(default=None, repr=False)
 
 
+@dataclass
+class UpdateRecord:
+    """One applied document mutation: what changed, where, how long it took.
+
+    ``latency_seconds`` is submission-to-applied wall clock, which includes
+    time spent draining in-flight readers; ``apply_seconds`` is the
+    exclusive mutation window alone.
+    """
+
+    kind: str
+    fragment_id: str
+    latency_seconds: float
+    apply_seconds: float = 0.0
+    nodes_added: int = 0
+    nodes_removed: int = 0
+    #: cache entries of the superseded version tag retired by this write
+    invalidated_entries: int = 0
+
+
 class ServiceMetrics:
-    """Aggregator over :class:`QueryRecord` entries.
+    """Aggregator over :class:`QueryRecord` and :class:`UpdateRecord` entries.
 
     ``window`` bounds the number of retained records (oldest dropped first)
     so a long-lived service does not grow without bound; the totals keep
@@ -152,6 +171,12 @@ class ServiceMetrics:
         self.total_cache_hits = 0
         self.total_coalesced = 0
         self.total_evaluated = 0
+        self.update_records: List[UpdateRecord] = []
+        self.total_updates = 0
+        self.updates_by_kind: Dict[str, int] = {}
+        self.total_nodes_added = 0
+        self.total_nodes_removed = 0
+        self.total_update_invalidations = 0
         self._started_at = time.perf_counter()
         self._last_finish: Optional[float] = None
 
@@ -186,6 +211,37 @@ class ServiceMetrics:
             self.total_coalesced += 1
         else:
             self.total_evaluated += 1
+        self._last_finish = time.perf_counter()
+        return entry
+
+    def record_update(
+        self,
+        kind: str,
+        fragment_id: str,
+        latency_seconds: float,
+        apply_seconds: float = 0.0,
+        nodes_added: int = 0,
+        nodes_removed: int = 0,
+        invalidated_entries: int = 0,
+    ) -> UpdateRecord:
+        """Record one applied mutation (the write-side of :meth:`record`)."""
+        entry = UpdateRecord(
+            kind=kind,
+            fragment_id=fragment_id,
+            latency_seconds=latency_seconds,
+            apply_seconds=apply_seconds,
+            nodes_added=nodes_added,
+            nodes_removed=nodes_removed,
+            invalidated_entries=invalidated_entries,
+        )
+        self.update_records.append(entry)
+        if len(self.update_records) > self.window:
+            del self.update_records[: len(self.update_records) - self.window]
+        self.total_updates += 1
+        self.updates_by_kind[kind] = self.updates_by_kind.get(kind, 0) + 1
+        self.total_nodes_added += nodes_added
+        self.total_nodes_removed += nodes_removed
+        self.total_update_invalidations += invalidated_entries
         self._last_finish = time.perf_counter()
         return entry
 
@@ -236,22 +292,43 @@ class ServiceMetrics:
     def communication_units_total(self) -> int:
         return sum(record.communication_units for record in self.records)
 
+    def update_latencies(self) -> List[float]:
+        return [record.latency_seconds for record in self.update_records]
+
+    @property
+    def update_p50(self) -> float:
+        return percentile(self.update_latencies(), 0.50)
+
+    @property
+    def update_p95(self) -> float:
+        return percentile(self.update_latencies(), 0.95)
+
     # -- presentation --------------------------------------------------------
 
     def summary(self) -> str:
-        return "\n".join(
-            [
-                f"requests         : {self.total_requests}"
-                f" ({self.total_evaluated} evaluated, {self.total_cache_hits} cache hits,"
-                f" {self.total_coalesced} coalesced)",
-                f"throughput       : {self.throughput_qps:.1f} queries/s"
-                f" over {self.elapsed_seconds * 1000:.1f} ms",
-                f"latency p50      : {self.p50 * 1000:.2f} ms",
-                f"latency p95      : {self.p95 * 1000:.2f} ms",
-                f"latency p99      : {self.p99 * 1000:.2f} ms",
-                f"latency mean     : {self.mean_latency * 1000:.2f} ms",
-            ]
-        )
+        lines = [
+            f"requests         : {self.total_requests}"
+            f" ({self.total_evaluated} evaluated, {self.total_cache_hits} cache hits,"
+            f" {self.total_coalesced} coalesced)",
+            f"throughput       : {self.throughput_qps:.1f} queries/s"
+            f" over {self.elapsed_seconds * 1000:.1f} ms",
+            f"latency p50      : {self.p50 * 1000:.2f} ms",
+            f"latency p95      : {self.p95 * 1000:.2f} ms",
+            f"latency p99      : {self.p99 * 1000:.2f} ms",
+            f"latency mean     : {self.mean_latency * 1000:.2f} ms",
+        ]
+        if self.total_updates:
+            by_kind = ", ".join(
+                f"{count} {kind}" for kind, count in sorted(self.updates_by_kind.items())
+            )
+            lines.append(
+                f"updates          : {self.total_updates} applied ({by_kind}),"
+                f" +{self.total_nodes_added}/-{self.total_nodes_removed} nodes,"
+                f" {self.total_update_invalidations} cache entries retired,"
+                f" p50 {self.update_p50 * 1000:.2f} ms"
+                f" p95 {self.update_p95 * 1000:.2f} ms"
+            )
+        return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready snapshot (used by ``repro bench-service``)."""
@@ -267,6 +344,17 @@ class ServiceMetrics:
                 "p95": round(self.p95, 6),
                 "p99": round(self.p99, 6),
                 "mean": round(self.mean_latency, 6),
+            },
+            "updates": {
+                "applied": self.total_updates,
+                "by_kind": dict(sorted(self.updates_by_kind.items())),
+                "nodes_added": self.total_nodes_added,
+                "nodes_removed": self.total_nodes_removed,
+                "cache_entries_retired": self.total_update_invalidations,
+                "latency_seconds": {
+                    "p50": round(self.update_p50, 6),
+                    "p95": round(self.update_p95, 6),
+                },
             },
         }
 

@@ -38,9 +38,16 @@ from repro.distributed.placement import one_site_per_fragment
 from repro.distributed.stats import RunStats
 from repro.fragments.fragment_tree import Fragmentation
 from repro.service.actors import ActorPool, FragmentWaveBatcher
-from repro.service.cache import QueryResultCache, normalized_query, version_tag
+from repro.service.cache import (
+    QueryResultCache,
+    normalized_query,
+    update_dependencies,
+    version_tag,
+)
 from repro.service.evaluator import evaluate_query_async
 from repro.service.metrics import ServiceMetrics
+from repro.updates.apply import apply_mutation
+from repro.updates.ops import Mutation, UpdateResult
 from repro.xpath.ast import PathExpr
 from repro.xpath.normalize import normalize
 from repro.xpath.parser import parse_xpath
@@ -153,6 +160,7 @@ class ServiceEngine:
         self._plans: Dict[str, QueryPlan] = {}
         self._inflight: Dict[Tuple, asyncio.Future] = {}
         self._admission: Optional[asyncio.Semaphore] = None
+        self._writer_lock: Optional[asyncio.Lock] = None
         self._loop_id: Optional[int] = None
         self._pending_evaluations = 0
 
@@ -205,7 +213,7 @@ class ServiceEngine:
         if self.config.coalesce:
             self._inflight[key] = future
         try:
-            stats = await self._admit_and_evaluate(plan, name, annotations)
+            stats, evaluated_version = await self._admit_and_evaluate(plan, name, annotations)
             if not future.done():
                 future.set_result(stats)
         except BaseException as error:
@@ -219,7 +227,14 @@ class ServiceEngine:
             if self.config.coalesce:
                 self._inflight.pop(key, None)
         if self.cache is not None:
-            self.cache.put(key, stats)
+            # Keyed under the version the evaluation saw (an update may have
+            # landed while this query waited for admission) — storing under
+            # the submission-time tag would strand a dead entry in the LRU.
+            self.cache.put(
+                (normalized, name, annotations, evaluated_version),
+                stats,
+                dependencies=update_dependencies(self.fragmentation, stats),
+            )
         self.metrics.record(
             normalized, stats.algorithm, time.perf_counter() - started, stats=stats
         )
@@ -248,8 +263,16 @@ class ServiceEngine:
 
     async def _admit_and_evaluate(
         self, plan: QueryPlan, algorithm: str, use_annotations: bool
-    ) -> RunStats:
-        """Layer 1 (admission control) around the actual evaluation."""
+    ) -> Tuple[RunStats, str]:
+        """Layer 1 (admission control) around the actual evaluation.
+
+        Returns the stats together with the version tag of the document the
+        evaluation actually saw: an update may have run while this query
+        waited for admission, and once a permit is held no writer can touch
+        the document (writers drain every permit first) — so the tag read
+        here is the one the result must be cached under, not the tag from
+        submission time.
+        """
         limit = self.config.max_pending
         if limit is not None and self._pending_evaluations >= limit + self.config.max_in_flight:
             raise AdmissionError(
@@ -259,7 +282,8 @@ class ServiceEngine:
         self._pending_evaluations += 1
         try:
             async with self._bound_admission():
-                return await evaluate_query_async(
+                evaluated_version = self.version
+                stats = await evaluate_query_async(
                     self.fragmentation,
                     self.placement,
                     plan,
@@ -270,6 +294,7 @@ class ServiceEngine:
                     engine=self.config.engine,
                     batcher=self.batcher,
                 )
+                return stats, evaluated_version
         finally:
             self._pending_evaluations -= 1
 
@@ -283,6 +308,7 @@ class ServiceEngine:
         loop_id = id(asyncio.get_running_loop())
         if self._loop_id != loop_id:
             self._admission = asyncio.Semaphore(self.config.max_in_flight)
+            self._writer_lock = asyncio.Lock()
             self._loop_id = loop_id
             self._inflight.clear()
 
@@ -314,6 +340,63 @@ class ServiceEngine:
                 return await self.submit(query, algorithm=algorithm)
 
         return list(await asyncio.gather(*(client(q) for q in queries)))
+
+    # -- updates -------------------------------------------------------------
+
+    async def apply_update(self, mutation: Mutation) -> UpdateResult:
+        """Apply one document mutation, admission-controlled alongside queries.
+
+        The writer acquires *every* admission permit, so it waits behind the
+        same gate queries do and holds the document exclusively while
+        mutating — no evaluation ever reads a half-applied edit.  The
+        mutation lands through :func:`repro.updates.apply.apply_mutation`
+        (bumping only the touched fragment's epoch and dropping only its
+        columnar encoding), then the version tag rolls forward from the
+        epochs in O(#fragments) — no document walk.  Cached answers under
+        the superseded tag are *retired*, not flushed: entries whose
+        dependency fragments exclude the mutated one are re-keyed under the
+        new tag and keep serving hits; only answers the mutation could have
+        changed are dropped.  The compiled-plan cache always survives.
+        """
+        started = time.perf_counter()
+        self._bind_loop()
+        semaphore = self._bound_admission()
+        assert self._writer_lock is not None
+        acquired = 0
+        try:
+            # One writer drains the semaphore at a time: two writers each
+            # holding a partial set of permits would deadlock forever.
+            async with self._writer_lock:
+                for _ in range(self.config.max_in_flight):
+                    await semaphore.acquire()
+                    acquired += 1
+                apply_started = time.perf_counter()
+                result = apply_mutation(self.fragmentation, mutation)
+                old_version = self.version
+                self.version = version_tag(self.fragmentation, self.placement)
+                invalidated = 0
+                if self.cache is not None and self.version != old_version:
+                    _, invalidated = self.cache.retire_version(
+                        old_version, self.version, result.fragment_id
+                    )
+                apply_seconds = time.perf_counter() - apply_started
+        finally:
+            for _ in range(acquired):
+                semaphore.release()
+        self.metrics.record_update(
+            kind=result.kind,
+            fragment_id=result.fragment_id,
+            latency_seconds=time.perf_counter() - started,
+            apply_seconds=apply_seconds,
+            nodes_added=result.nodes_added,
+            nodes_removed=result.nodes_removed,
+            invalidated_entries=invalidated,
+        )
+        return result
+
+    def update(self, mutation: Mutation) -> UpdateResult:
+        """Blocking single-mutation entry point (see :meth:`apply_update`)."""
+        return self._run_blocking(self.apply_update(mutation))
 
     # -- blocking facade -----------------------------------------------------
 
@@ -363,12 +446,20 @@ class ServiceEngine:
         return self.cache.invalidate() if self.cache is not None else 0
 
     def refresh_version(self) -> str:
-        """Re-fingerprint the fragmentation after an in-place update.
+        """Re-fingerprint the fragmentation after an out-of-band edit.
 
-        Cached answers carrying the old tag are dropped immediately (they
-        could never be served again and would only crowd the LRU); the new
-        tag is returned.
+        This is the escape hatch for documents mutated *behind* the service's
+        back (a full re-walk of the tree): mutations applied through
+        :meth:`apply_update` roll the version forward from per-fragment
+        epochs and never need it.  Cached answers carrying the old tag are
+        dropped immediately (they could never be served again and would only
+        crowd the LRU); the new tag is returned.
         """
+        self.fragmentation.content_version(refresh=True)
+        return self._roll_version()
+
+    def _roll_version(self) -> str:
+        """Recompute the version tag and retire the superseded tag's entries."""
         old_version = self.version
         self.version = version_tag(self.fragmentation, self.placement)
         if self.cache is not None and self.version != old_version:

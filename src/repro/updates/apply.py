@@ -1,0 +1,144 @@
+"""Applying mutations through the fragmentation.
+
+Every mutation is attributed to the one fragment whose span it touches; the
+application then costs O(touched subtree + depth) plus a lazy rebuild of
+that single fragment's columnar encoding — never a document walk, never a
+whole-cache flush.
+
+Containment rules (violations raise :class:`UpdateError`, and are always
+detected *before* anything is modified):
+
+* the document root and fragment roots cannot be deleted — a fragment root
+  is a unit of placement, removing one is a re-fragmentation, not an
+  update;
+* a deleted subtree must not contain a sub-fragment's root (it would
+  silently take whole fragments with it and touch several sites at once);
+* an inserted subtree must be detached and unindexed; it lands entirely
+  inside the parent's fragment span, so only that fragment is touched;
+* ``EditText`` targets a text node; its enclosing element (whose ``text()``
+  / ``val()`` the kernels precompute) lives in the same span by
+  construction, so the single epoch bump covers it.
+
+Node ids: inserted nodes get fresh ids from a monotone counter
+(:meth:`repro.xmltree.nodes.XMLTree.register_subtree`); deleted ids are
+retired for good.  Ids therefore stay stable and unique across any update
+sequence — which is all the engines rely on; answer lists are sorted by id
+on every path, so incremental answers compare bit-for-bit against a
+from-scratch re-fragmentation of the same tree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.fragments.fragment_tree import Fragmentation
+from repro.updates.ops import DeleteSubtree, EditText, InsertSubtree, Mutation, UpdateResult
+from repro.xmltree.nodes import XMLNode
+
+__all__ = ["UpdateError", "apply_mutation", "apply_mutations", "owning_fragment_id"]
+
+
+class UpdateError(Exception):
+    """Raised when a mutation is malformed or violates a containment rule."""
+
+
+def owning_fragment_id(fragmentation: Fragmentation, node: XMLNode) -> str:
+    """The id of the fragment whose span contains *node*.
+
+    Walks up from *node* to the nearest enclosing fragment root —
+    O(depth), no fragment-span scan.
+    """
+    current: XMLNode | None = node
+    while current is not None:
+        fragment_id = fragmentation.fragment_root_ids.get(current.node_id)
+        if fragment_id is not None:
+            return fragment_id
+        current = current.parent
+    raise UpdateError(f"node {node.node_id} is not part of the fragmented document")
+
+
+def apply_mutation(fragmentation: Fragmentation, mutation: Mutation) -> UpdateResult:
+    """Apply one mutation, bumping only the touched fragment's epoch."""
+    if isinstance(mutation, EditText):
+        return _apply_edit(fragmentation, mutation)
+    if isinstance(mutation, InsertSubtree):
+        return _apply_insert(fragmentation, mutation)
+    if isinstance(mutation, DeleteSubtree):
+        return _apply_delete(fragmentation, mutation)
+    raise TypeError(f"unsupported mutation type {type(mutation).__name__}")
+
+
+def apply_mutations(
+    fragmentation: Fragmentation, mutations: Iterable[Mutation]
+) -> List[UpdateResult]:
+    """Apply a sequence of mutations in order."""
+    return [apply_mutation(fragmentation, mutation) for mutation in mutations]
+
+
+def _apply_edit(fragmentation: Fragmentation, op: EditText) -> UpdateResult:
+    node = fragmentation.tree.node(op.node_id)
+    if not node.is_text:
+        raise UpdateError(f"EditText targets node {op.node_id}, which is not a text node")
+    fragment_id = owning_fragment_id(fragmentation, node)
+    node.value = op.value
+    epoch = fragmentation.bump_epoch(fragment_id)
+    return UpdateResult("edit", fragment_id, epoch)
+
+
+def _apply_insert(fragmentation: Fragmentation, op: InsertSubtree) -> UpdateResult:
+    tree = fragmentation.tree
+    parent = tree.node(op.parent_id)
+    if not parent.is_element:
+        raise UpdateError(f"insertion parent {op.parent_id} is not an element")
+    subtree = op.subtree
+    if subtree.parent is not None:
+        raise UpdateError("inserted subtree is already attached to a tree")
+    if any(n.node_id != -1 for n in subtree.iter_subtree()):
+        raise UpdateError(
+            "inserted subtree must be fresh (unindexed) nodes; build it with"
+            " repro.xmltree.builder.element/text"
+        )
+    position = len(parent.children) if op.position is None else op.position
+    if not 0 <= position <= len(parent.children):
+        raise UpdateError(
+            f"insert position {position} out of range for node {op.parent_id}"
+            f" with {len(parent.children)} children"
+        )
+    fragment_id = owning_fragment_id(fragmentation, parent)
+
+    subtree.parent = parent
+    parent.children.insert(position, subtree)
+    added = tree.register_subtree(subtree)
+    fragmentation[fragment_id].invalidate_counts()
+    epoch = fragmentation.bump_epoch(fragment_id)
+    return UpdateResult("insert", fragment_id, epoch, nodes_added=added)
+
+
+def _apply_delete(fragmentation: Fragmentation, op: DeleteSubtree) -> UpdateResult:
+    tree = fragmentation.tree
+    node = tree.node(op.node_id)
+    if node is tree.root:
+        raise UpdateError("cannot delete the document root")
+    if node.node_id in fragmentation.fragment_root_ids:
+        raise UpdateError(
+            f"node {op.node_id} is the root of fragment"
+            f" {fragmentation.fragment_root_ids[node.node_id]}; removing a"
+            " fragment is a re-fragmentation, not an update"
+        )
+    for inner in node.iter_subtree():
+        inner_fragment = fragmentation.fragment_root_ids.get(inner.node_id)
+        if inner_fragment is not None:
+            raise UpdateError(
+                f"subtree of node {op.node_id} contains the root of fragment"
+                f" {inner_fragment}; delete within a single fragment's span"
+            )
+    fragment_id = owning_fragment_id(fragmentation, node)
+
+    parent = node.parent
+    assert parent is not None  # only the document root has no parent
+    parent.children.remove(node)
+    node.parent = None
+    removed = tree.unregister_subtree(node)
+    fragmentation[fragment_id].invalidate_counts()
+    epoch = fragmentation.bump_epoch(fragment_id)
+    return UpdateResult("delete", fragment_id, epoch, nodes_removed=removed)

@@ -1,0 +1,78 @@
+"""The typed mutation vocabulary.
+
+Three mutations cover the XPath fragment's observable document state (tags,
+tree shape, text content):
+
+:class:`InsertSubtree`
+    Graft a freshly built subtree (``repro.xmltree.builder.element`` /
+    ``text`` output, ids still unassigned) under an existing element.
+:class:`DeleteSubtree`
+    Remove an existing node and everything below it.
+:class:`EditText`
+    Replace one text node's value (which is also how ``text() = s`` and
+    ``val() op n`` qualifier outcomes on its parent element change).
+
+Mutations are plain descriptions — applying one is
+:func:`repro.updates.apply.apply_mutation`'s job, and every application is
+attributed to exactly one fragment (see that module for the containment
+rules).  :class:`UpdateResult` reports the attribution: which fragment was
+touched, its new epoch, and how many nodes came or went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.xmltree.nodes import NodeId, XMLNode
+
+__all__ = ["DeleteSubtree", "EditText", "InsertSubtree", "Mutation", "UpdateResult"]
+
+
+@dataclass(frozen=True)
+class InsertSubtree:
+    """Insert *subtree* as a child of node *parent_id*.
+
+    ``position`` is the slot in the parent's child list (``None`` appends);
+    the subtree must be detached and never indexed (all ``node_id == -1``,
+    exactly what the builder helpers produce) — fresh ids are assigned at
+    application time.
+    """
+
+    parent_id: NodeId
+    subtree: XMLNode
+    position: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DeleteSubtree:
+    """Delete the node *node_id* together with its whole subtree."""
+
+    node_id: NodeId
+
+
+@dataclass(frozen=True)
+class EditText:
+    """Replace the value of text node *node_id* with *value*."""
+
+    node_id: NodeId
+    value: str
+
+
+Mutation = Union[InsertSubtree, DeleteSubtree, EditText]
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """What one applied mutation did, and where.
+
+    ``fragment_id`` is the single fragment whose span the mutation touched;
+    ``epoch`` is that fragment's mutation epoch *after* the bump (the value
+    now folded into version tags).
+    """
+
+    kind: str  # "insert" | "delete" | "edit"
+    fragment_id: str
+    epoch: int
+    nodes_added: int = 0
+    nodes_removed: int = 0

@@ -1,0 +1,188 @@
+"""Mixed read/write workload generation.
+
+:class:`MixedWorkload` turns a fragmentation into a seeded stream of
+operations: reads (XPath query strings, drawn round-robin-ish from a query
+pool) and writes (:mod:`repro.updates.ops` mutations generated against the
+*current* document state — node ids shift as mutations land, so each write
+is synthesized lazily when the stream reaches it, never precomputed).
+
+Determinism: the same ``(fragmentation contents, queries, write_ratio,
+seed)`` and the same consumption order produce the same operation stream,
+so two maintenance strategies can be benchmarked on identical inputs by
+regenerating the scenario and the workload with the same seeds.
+
+Generated writes stay inside the mutation API's containment rules: edits
+pick existing text nodes, inserts graft small XMark-flavoured subtrees
+under span elements, deletes pick small subtrees that contain no
+sub-fragment roots.  A draw that finds no legal target in the chosen
+fragment falls back to another mutation kind, so the stream never stalls.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from repro.fragments.fragment_tree import Fragmentation
+from repro.updates.ops import DeleteSubtree, EditText, InsertSubtree, Mutation
+from repro.xmltree.builder import element, text
+from repro.xmltree.nodes import XMLNode
+
+__all__ = ["MixedOp", "MixedWorkload"]
+
+#: largest subtree (in nodes) a generated delete will remove
+_MAX_DELETE_NODES = 40
+
+_WORDS = [
+    "auction", "vintage", "rare", "collector", "mint", "boxed", "classic",
+    "limited", "edition", "signed", "original", "restored",
+]
+_NAMES = ["Anna", "Kim", "Lisa", "Tom", "Maya", "Igor", "Chen", "Aisha"]
+
+
+@dataclass(frozen=True)
+class MixedOp:
+    """One operation of a mixed stream: a query string or a mutation."""
+
+    kind: str  # "query" | "update"
+    query: Optional[str] = None
+    mutation: Optional[Mutation] = None
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == "update"
+
+
+class MixedWorkload:
+    """A seeded read/write operation stream over one fragmentation."""
+
+    def __init__(
+        self,
+        fragmentation: Fragmentation,
+        queries: Sequence[str],
+        write_ratio: float,
+        seed: int = 0,
+    ):
+        if not queries:
+            raise ValueError("MixedWorkload needs at least one query")
+        if not 0.0 <= write_ratio <= 1.0:
+            raise ValueError("write_ratio must be within [0, 1]")
+        self.fragmentation = fragmentation
+        self.queries = list(queries)
+        self.write_ratio = write_ratio
+        self.rng = random.Random(seed)
+        self._query_cursor = 0
+
+    # -- the stream ---------------------------------------------------------
+
+    def next_op(self) -> MixedOp:
+        """The next operation, synthesized against the current tree state."""
+        if self.rng.random() < self.write_ratio:
+            return MixedOp("update", mutation=self.next_mutation())
+        query = self.queries[self._query_cursor % len(self.queries)]
+        self._query_cursor += 1
+        return MixedOp("query", query=query)
+
+    def ops(self, count: int) -> Iterator[MixedOp]:
+        """Yield *count* operations (mutations synthesized lazily)."""
+        for _ in range(count):
+            yield self.next_op()
+
+    # -- write synthesis ----------------------------------------------------
+
+    def next_mutation(self) -> Mutation:
+        """One random legal mutation against the current document state.
+
+        The target fragment is drawn proportionally to its span size, so
+        writes land uniformly over the *document* (a big catalog section
+        absorbs proportionally more updates than a small one), not uniformly
+        over fragment ids.
+        """
+        fragment_ids = self.fragmentation.fragment_ids()
+        weights = [
+            self.fragmentation[fragment_id].node_count() for fragment_id in fragment_ids
+        ]
+        fragment_id = self.rng.choices(fragment_ids, weights=weights, k=1)[0]
+        # Edit-heavy mix, mirroring how real documents mostly change values.
+        roll = self.rng.random()
+        if roll < 0.5:
+            kinds = ("edit", "insert", "delete")
+        elif roll < 0.8:
+            kinds = ("insert", "edit", "delete")
+        else:
+            kinds = ("delete", "insert", "edit")
+        for kind in kinds:  # fall through to the next kind when no target fits
+            mutation = getattr(self, f"_make_{kind}")(fragment_id)
+            if mutation is not None:
+                return mutation
+        raise RuntimeError(
+            f"fragment {fragment_id} offers no legal mutation target"
+        )  # pragma: no cover - an element span always accepts an insert
+
+    def _make_edit(self, fragment_id: str) -> Optional[EditText]:
+        texts = [
+            node
+            for node in self.fragmentation[fragment_id].iter_span()
+            if node.is_text
+        ]
+        if not texts:
+            return None
+        target = self.rng.choice(texts)
+        # Numeric-looking payloads keep val() qualifiers exercised.
+        if self.rng.random() < 0.5:
+            value = f"{self.rng.uniform(1, 500):.2f}"
+        else:
+            value = f"{self.rng.choice(_WORDS)} {self.rng.randint(0, 9999)}"
+        return EditText(target.node_id, value)
+
+    def _make_insert(self, fragment_id: str) -> Optional[InsertSubtree]:
+        fragment = self.fragmentation[fragment_id]
+        elements = list(fragment.iter_span_elements())
+        parent = self.rng.choice(elements)
+        position = self.rng.randint(0, len(parent.children))
+        return InsertSubtree(parent.node_id, self._small_subtree(), position)
+
+    def _make_delete(self, fragment_id: str) -> Optional[DeleteSubtree]:
+        fragment = self.fragmentation[fragment_id]
+        root_ids = self.fragmentation.fragment_root_ids
+        candidates: List[XMLNode] = [
+            node
+            for node in fragment.iter_span()
+            if node is not fragment.root and node.node_id not in root_ids
+        ]
+        self.rng.shuffle(candidates)
+        for node in candidates[:8]:  # bounded probing keeps synthesis cheap
+            size = 0
+            legal = True
+            for inner in node.iter_subtree():
+                size += 1
+                if size > _MAX_DELETE_NODES or inner.node_id in root_ids:
+                    legal = False
+                    break
+            if legal:
+                return DeleteSubtree(node.node_id)
+        return None
+
+    def _small_subtree(self) -> XMLNode:
+        """A fresh XMark-flavoured subtree to graft in."""
+        rng = self.rng
+        choice = rng.random()
+        if choice < 0.4:
+            return element(
+                "annotation",
+                element("author", rng.choice(_NAMES)),
+                element(
+                    "description",
+                    element("text", " ".join(rng.choice(_WORDS) for _ in range(4))),
+                ),
+            )
+        if choice < 0.7:
+            return element(
+                "bidder",
+                element("date", f"{rng.randint(1, 12):02d}/{rng.randint(1, 28):02d}/2007"),
+                element("increase", f"{rng.uniform(1, 30):.2f}"),
+            )
+        if choice < 0.9:
+            return element("interest", f"category{rng.randint(1, 42)}")
+        return text(" ".join(rng.choice(_WORDS) for _ in range(2)))

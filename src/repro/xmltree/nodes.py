@@ -205,17 +205,76 @@ class XMLTree:
             raise XMLTreeError("the root of a tree must not have a parent")
         self.root = root
         self._by_id: dict[NodeId, XMLNode] = {}
+        self._next_node_id: NodeId = 0
         if reindex:
             self.reindex()
 
     # -- indexing -----------------------------------------------------------
 
     def reindex(self) -> None:
-        """Assign pre-order ``node_id`` values and rebuild the id index."""
+        """Assign pre-order ``node_id`` values and rebuild the id index.
+
+        A full reindex renumbers *every* node, invalidating ids held outside
+        the tree (fragmentations, cached answers).  In-place mutations use
+        :meth:`register_subtree` instead, which hands out fresh ids beyond
+        the pre-order range without disturbing existing ones.
+        """
         self._by_id.clear()
         for index, node in enumerate(self.root.iter_subtree()):
             node.node_id = index
             self._by_id[index] = node
+        self._next_node_id = len(self._by_id)
+
+    def register_subtree(self, root: XMLNode) -> int:
+        """Index an attached subtree of fresh nodes, assigning new ids.
+
+        Ids are allocated from a monotone counter and never reused, so every
+        id stays stable and unique across any sequence of inserts and
+        deletes (ids of inserted nodes do *not* follow document pre-order —
+        only uniqueness and stability are guaranteed, which is what
+        fragmentation and answer accounting rely on).  Returns the number of
+        nodes registered.
+        """
+        count = 0
+        for node in root.iter_subtree():
+            node.node_id = self._next_node_id
+            self._by_id[node.node_id] = node
+            self._next_node_id += 1
+            count += 1
+        return count
+
+    def adopt_preassigned_ids(self) -> None:
+        """Rebuild the id index from ids the nodes already carry.
+
+        For trees whose nodes were built with meaningful ids (e.g. a
+        reassembled copy preserving the source document's ids, which after
+        in-place mutations are *not* a dense pre-order numbering).  Ids must
+        be assigned and unique; the fresh-id counter resumes past the
+        highest one.
+        """
+        self._by_id.clear()
+        highest = -1
+        for node in self.root.iter_subtree():
+            if node.node_id < 0:
+                raise XMLTreeError("adopt_preassigned_ids: node without an assigned id")
+            if node.node_id in self._by_id:
+                raise XMLTreeError(f"adopt_preassigned_ids: duplicate node id {node.node_id}")
+            self._by_id[node.node_id] = node
+            if node.node_id > highest:
+                highest = node.node_id
+        self._next_node_id = highest + 1
+
+    def unregister_subtree(self, root: XMLNode) -> int:
+        """Drop a detached subtree's nodes from the id index.
+
+        The removed ids are retired for good (never reallocated).  Returns
+        the number of nodes unregistered.
+        """
+        count = 0
+        for node in root.iter_subtree():
+            self._by_id.pop(node.node_id, None)
+            count += 1
+        return count
 
     def node(self, node_id: NodeId) -> XMLNode:
         """Look a node up by id."""

@@ -1,5 +1,10 @@
 """Unit tests for the normalized-query result cache."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.distributed.placement import one_site_per_fragment
@@ -64,6 +69,57 @@ class TestVersionTag:
                 break
         assert version_tag(first, placement) != version_tag(second, placement)
 
+    def test_changes_with_a_mutation_epoch(self):
+        from repro.updates import EditText, apply_mutation
+
+        fragmentation = clientele_paper_fragmentation(clientele_example_tree())
+        placement = one_site_per_fragment(fragmentation)
+        before = version_tag(fragmentation, placement)
+        target = next(
+            node for node in fragmentation.tree.root.iter_subtree() if node.is_text
+        )
+        apply_mutation(fragmentation, EditText(target.node_id, "epoch-moved"))
+        assert version_tag(fragmentation, placement) != before
+
+    def test_stable_across_processes_under_hash_randomization(self, tmp_path):
+        # Regression: the tag used to fold builtin hash() of placement sites,
+        # which PYTHONHASHSEED randomization salts differently per process —
+        # two replicas of the same service then disagreed on every tag.
+        script = tmp_path / "emit_tag.py"
+        script.write_text(
+            "from repro.distributed.placement import one_site_per_fragment\n"
+            "from repro.service.cache import version_tag\n"
+            "from repro.workloads.queries import (\n"
+            "    clientele_example_tree, clientele_paper_fragmentation)\n"
+            "fragmentation = clientele_paper_fragmentation(clientele_example_tree())\n"
+            "print(version_tag(fragmentation, one_site_per_fragment(fragmentation)))\n",
+            encoding="utf-8",
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+
+        def tag_under(seed: str) -> str:
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+            return subprocess.run(
+                [sys.executable, str(script)],
+                capture_output=True, text=True, check=True, env=env,
+            ).stdout.strip()
+
+        tags = {tag_under(seed) for seed in ("0", "1", "424242")}
+        assert len(tags) == 1, f"version tags diverged across processes: {tags}"
+
+    def test_lookup_path_never_rewalks_the_document(self):
+        # Regression: version_tag used to call content_version(refresh=True),
+        # a full-document walk, on every cache lookup.  The request path must
+        # serve from the cached/epoch-based version: O(#fragments), 0 walks.
+        fragmentation = clientele_paper_fragmentation(clientele_example_tree())
+        placement = one_site_per_fragment(fragmentation)
+        version_tag(fragmentation, placement)  # settles the content base
+        walks_before = fragmentation.full_walks
+        for _ in range(50):
+            version_tag(fragmentation, placement)
+        assert fragmentation.full_walks == walks_before
+
 
 class TestQueryResultCache:
     def key(self, cache, query, version="v0"):
@@ -109,6 +165,60 @@ class TestQueryResultCache:
         assert cache.invalidate() == 1
         assert len(cache) == 0
         assert cache.stats.invalidations == 2
+
+    def test_invalidate_by_version_counts_each_entry(self):
+        cache = QueryResultCache(capacity=8)
+        for query in ("//a", "//b", "//c"):
+            cache.put(self.key(cache, query, version="v0"), stats_for(query))
+        cache.put(self.key(cache, "//d", version="v1"), stats_for("//d"))
+        assert cache.invalidate(version="v0") == 3
+        assert cache.stats.invalidations == 3
+        assert cache.stats.evictions == 0  # invalidation is not eviction
+        assert len(cache) == 1
+        assert cache.invalidate(version="no-such-version") == 0
+        assert cache.stats.invalidations == 3
+
+    def test_reput_of_existing_key_does_not_grow_the_cache(self):
+        cache = QueryResultCache(capacity=2)
+        key = self.key(cache, "//a")
+        other = self.key(cache, "//b")
+        cache.put(key, stats_for("//a"))
+        cache.put(other, stats_for("//b"))
+        replacement = stats_for("//a-replacement")
+        cache.put(key, replacement)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 0  # re-put must not evict //b
+        assert cache.get(key) is replacement
+        assert cache.get(other) is not None
+        # the re-put refreshed the key's LRU position: //b is evicted first
+        cache.put(key, stats_for("//a"))  # touch //a again (most recent)
+        cache.get(other)
+        cache.put(self.key(cache, "//c"), stats_for("//c"))
+        assert cache.get(key) is None  # //a was LRU after //b's get
+        assert cache.get(other) is not None
+
+    def test_retire_version_rekeys_untouched_dependencies(self):
+        cache = QueryResultCache(capacity=8)
+        key_a = self.key(cache, "//a", version="v0")
+        key_b = self.key(cache, "//b", version="v0")
+        key_c = self.key(cache, "//c", version="v0")
+        cache.put(key_a, stats_for("//a"), dependencies=frozenset({"F1", "F2"}))
+        cache.put(key_b, stats_for("//b"), dependencies=frozenset({"F3"}))
+        cache.put(key_c, stats_for("//c"))  # no dependencies recorded
+
+        rekeyed, dropped = cache.retire_version("v0", "v1", touched_fragment="F3")
+        assert (rekeyed, dropped) == (1, 2)
+        assert cache.stats.rekeyed == 1
+        assert cache.stats.invalidations == 2
+        # the //a entry survived under the new version…
+        assert cache.get(self.key(cache, "//a", version="v1")) is not None
+        # …and can survive further writes (dependencies carried over)
+        assert cache.retire_version("v1", "v2", touched_fragment="F9") == (1, 0)
+        assert cache.get(self.key(cache, "//a", version="v2")) is not None
+        # the touched and dependency-less entries are gone under any version
+        for version in ("v0", "v1", "v2"):
+            assert cache.get(self.key(cache, "//b", version=version)) is None
+            assert cache.get(self.key(cache, "//c", version=version)) is None
 
     def test_algorithm_and_annotations_in_key(self):
         cache = QueryResultCache(capacity=8)

@@ -178,6 +178,27 @@ class TestBenchCoreCommand:
                 assert timing["verified_identical"]
 
 
+class TestBenchUpdateCommand:
+    def test_emits_benchmark_json(self, tmp_path, capsys):
+        import json
+
+        output = tmp_path / "BENCH_update.json"
+        code = main([
+            "bench-update", "--bytes", "20000", "--ops", "60",
+            "--write-ratios", "0.1", "--output", str(output),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "incremental" in out and "rebuild" in out
+        report = json.loads(output.read_text(encoding="utf-8"))
+        assert report["benchmark"] == "update_maintenance"
+        entry = report["ratios"]["0.1"]
+        assert entry["verified_identical"]
+        assert entry["incremental"]["full_document_walks"] == 0
+        assert entry["rebuild"]["full_document_walks"] == entry["writes"]
+        assert report["headline"]["query_path_full_walks"] == 0
+
+
 class TestGenerateCommand:
     def test_generate_to_file_and_requery(self, tmp_path, capsys):
         output = tmp_path / "sites.xml"

@@ -1,0 +1,247 @@
+"""Unit tests for the typed mutation API and its fragment attribution."""
+
+import pytest
+
+from repro.updates import (
+    DeleteSubtree,
+    EditText,
+    InsertSubtree,
+    UpdateError,
+    apply_mutation,
+    apply_mutations,
+    owning_fragment_id,
+)
+from repro.workloads.queries import clientele_example_tree, clientele_paper_fragmentation
+from repro.xmltree.builder import element, text
+from repro.xmltree.errors import XMLTreeError
+
+
+@pytest.fixture()
+def fragmentation():
+    return clientele_paper_fragmentation(clientele_example_tree())
+
+
+def first_text_node(fragmentation, fragment_id):
+    return next(
+        node for node in fragmentation[fragment_id].iter_span() if node.is_text
+    )
+
+
+class TestOwningFragment:
+    def test_fragment_root_owns_itself(self, fragmentation):
+        for fragment_id in fragmentation.fragment_ids():
+            root = fragmentation[fragment_id].root
+            assert owning_fragment_id(fragmentation, root) == fragment_id
+
+    def test_span_nodes_resolve_to_their_fragment(self, fragmentation):
+        for fragment_id in fragmentation.fragment_ids():
+            for node in fragmentation[fragment_id].iter_span():
+                assert owning_fragment_id(fragmentation, node) == fragment_id
+
+
+class TestEditText:
+    def test_edit_bumps_only_the_touched_fragment(self, fragmentation):
+        target_fragment = fragmentation.fragment_ids()[1]
+        target = first_text_node(fragmentation, target_fragment)
+        epochs_before = {
+            fid: fragmentation.fragment_epoch(fid) for fid in fragmentation.fragment_ids()
+        }
+        flats_before = {
+            fid: fragmentation.flat(fid) for fid in fragmentation.fragment_ids()
+        }
+
+        result = apply_mutation(fragmentation, EditText(target.node_id, "edited"))
+
+        assert result.kind == "edit"
+        assert result.fragment_id == target_fragment
+        assert target.value == "edited"
+        for fid in fragmentation.fragment_ids():
+            expected = epochs_before[fid] + (1 if fid == target_fragment else 0)
+            assert fragmentation.fragment_epoch(fid) == expected
+            if fid == target_fragment:
+                # only the touched fragment's columns were rebuilt
+                assert fragmentation.flat(fid) is not flats_before[fid]
+            else:
+                assert fragmentation.flat(fid) is flats_before[fid]
+
+    def test_edit_is_visible_without_any_refresh(self, fragmentation):
+        # the flat columns precompute text()/val(); an edit must show up
+        target_fragment = fragmentation.fragment_ids()[0]
+        target = first_text_node(fragmentation, target_fragment)
+        apply_mutation(fragmentation, EditText(target.node_id, "refreshed-value"))
+        flat = fragmentation.flat(target_fragment)
+        index = flat.node_ids.index(target.parent.node_id)
+        assert flat.text_norm[index] == "refreshed-value"
+
+    def test_edit_rejects_element_targets(self, fragmentation):
+        with pytest.raises(UpdateError, match="not a text node"):
+            apply_mutation(
+                fragmentation, EditText(fragmentation.tree.root.node_id, "x")
+            )
+
+    def test_edit_rejects_unknown_ids(self, fragmentation):
+        with pytest.raises(XMLTreeError):
+            apply_mutation(fragmentation, EditText(10_000, "x"))
+
+
+class TestInsertSubtree:
+    def test_insert_assigns_fresh_ids_and_indexes_them(self, fragmentation):
+        tree = fragmentation.tree
+        size_before = tree.size()
+        parent = fragmentation.root_fragment.root
+        subtree = element("client", element("name", "Noah"), element("country", "US"))
+
+        result = apply_mutation(
+            fragmentation, InsertSubtree(parent.node_id, subtree)
+        )
+
+        assert result.kind == "insert"
+        assert result.nodes_added == 5  # client, name + text, country + text
+        assert tree.size() == size_before + result.nodes_added
+        for node in subtree.iter_subtree():
+            assert node.node_id >= size_before  # fresh, beyond pre-order range
+            assert tree.node(node.node_id) is node
+
+    def test_insert_at_position(self, fragmentation):
+        parent = fragmentation.root_fragment.root
+        labels_before = [child.label for child in parent.children]
+        apply_mutation(
+            fragmentation, InsertSubtree(parent.node_id, element("client"), position=1)
+        )
+        labels_after = [child.label for child in parent.children]
+        assert labels_after == labels_before[:1] + ["client"] + labels_before[1:]
+
+    def test_insert_touches_the_parents_fragment(self, fragmentation):
+        # Inserting between a fragment root's children is attributed to the
+        # fragment owning the parent, even with virtual children around.
+        child_fragment = next(
+            fid
+            for fid in fragmentation.fragment_ids()
+            if fragmentation[fid].parent_id is not None
+        )
+        parent_of_root = fragmentation[child_fragment].root.parent
+        owner = owning_fragment_id(fragmentation, parent_of_root)
+        result = apply_mutation(
+            fragmentation, InsertSubtree(parent_of_root.node_id, element("note"))
+        )
+        assert result.fragment_id == owner
+
+    def test_insert_rejects_attached_subtrees(self, fragmentation):
+        attached = fragmentation.tree.root.children[0]
+        with pytest.raises(UpdateError, match="already attached"):
+            apply_mutation(
+                fragmentation,
+                InsertSubtree(fragmentation.tree.root.node_id, attached),
+            )
+
+    def test_insert_rejects_indexed_subtrees(self, fragmentation):
+        subtree = element("client")
+        subtree.node_id = 3  # pretend it was indexed somewhere
+        with pytest.raises(UpdateError, match="fresh"):
+            apply_mutation(
+                fragmentation,
+                InsertSubtree(fragmentation.tree.root.node_id, subtree),
+            )
+
+    def test_insert_rejects_bad_positions(self, fragmentation):
+        root = fragmentation.tree.root
+        with pytest.raises(UpdateError, match="out of range"):
+            apply_mutation(
+                fragmentation,
+                InsertSubtree(root.node_id, element("client"), position=99),
+            )
+
+    def test_insert_rejects_text_parents(self, fragmentation):
+        target = first_text_node(fragmentation, fragmentation.fragment_ids()[0])
+        with pytest.raises(UpdateError, match="not an element"):
+            apply_mutation(
+                fragmentation, InsertSubtree(target.node_id, element("x"))
+            )
+
+
+class TestDeleteSubtree:
+    def test_delete_retires_the_ids(self, fragmentation):
+        tree = fragmentation.tree
+        fragment_id = fragmentation.fragment_ids()[0]
+        # a leaf-ish span subtree without virtual children under it
+        victim = next(
+            node
+            for node in fragmentation[fragment_id].iter_span_elements()
+            if node is not fragmentation[fragment_id].root
+            and all(
+                inner.node_id not in fragmentation.fragment_root_ids
+                for inner in node.iter_subtree()
+            )
+        )
+        removed_ids = [node.node_id for node in victim.iter_subtree()]
+        result = apply_mutation(fragmentation, DeleteSubtree(victim.node_id))
+        assert result.kind == "delete"
+        assert result.nodes_removed == len(removed_ids)
+        for node_id in removed_ids:
+            assert node_id not in tree
+        fragmentation.validate()
+
+    def test_delete_rejects_the_document_root(self, fragmentation):
+        with pytest.raises(UpdateError, match="document root"):
+            apply_mutation(
+                fragmentation, DeleteSubtree(fragmentation.tree.root.node_id)
+            )
+
+    def test_delete_rejects_fragment_roots(self, fragmentation):
+        child_fragment = next(
+            fid
+            for fid in fragmentation.fragment_ids()
+            if fragmentation[fid].parent_id is not None
+        )
+        root_id = fragmentation[child_fragment].root.node_id
+        with pytest.raises(UpdateError, match="re-fragmentation"):
+            apply_mutation(fragmentation, DeleteSubtree(root_id))
+
+    def test_delete_rejects_subtrees_swallowing_sub_fragments(self, fragmentation):
+        # Any ancestor of a non-root fragment's root is out of bounds.
+        child_fragment = next(
+            fid
+            for fid in fragmentation.fragment_ids()
+            if fragmentation[fid].parent_id is not None
+        )
+        ancestor = fragmentation[child_fragment].root.parent
+        assert ancestor is not fragmentation.tree.root
+        with pytest.raises(UpdateError, match="contains the root"):
+            apply_mutation(fragmentation, DeleteSubtree(ancestor.node_id))
+
+
+class TestBatchesAndCounts:
+    def test_apply_mutations_runs_in_order(self, fragmentation):
+        parent = fragmentation.root_fragment.root
+        results = apply_mutations(
+            fragmentation,
+            [
+                InsertSubtree(parent.node_id, element("client", element("name", "Tmp"))),
+                EditText(
+                    first_text_node(fragmentation, fragmentation.fragment_ids()[0]).node_id,
+                    "twice",
+                ),
+            ],
+        )
+        assert [result.kind for result in results] == ["insert", "edit"]
+
+    def test_span_counts_track_mutations(self, fragmentation):
+        fragment_id = fragmentation.root_fragment_id
+        fragment = fragmentation[fragment_id]
+        nodes_before = fragment.node_count()
+        elements_before = fragment.element_count()
+        apply_mutation(
+            fragmentation,
+            InsertSubtree(fragment.root.node_id, element("client", "payload")),
+        )
+        assert fragment.node_count() == nodes_before + 2
+        assert fragment.element_count() == elements_before + 1
+
+    def test_structure_survives_random_hammering(self, fragmentation):
+        from repro.updates import MixedWorkload
+
+        workload = MixedWorkload(fragmentation, ["client/name"], write_ratio=1.0, seed=5)
+        for _ in range(60):
+            apply_mutation(fragmentation, workload.next_mutation())
+        fragmentation.validate()
+        assert fragmentation.total_nodes() == fragmentation.tree.size()

@@ -125,3 +125,60 @@ class TestTree:
         sample_tree.root.append(element("book", element("title", "Foundation")))
         sample_tree.reindex()
         assert sample_tree.approximate_bytes() > small
+
+
+class TestIdAllocation:
+    """Fresh-id registration for in-place mutations (repro.updates)."""
+
+    def test_register_subtree_assigns_ids_beyond_the_preorder_range(self):
+        tree = XMLTree(element("root", element("a"), element("b")))
+        size = tree.size()
+        graft = element("c", element("d", "payload"))
+        graft.parent = tree.root
+        tree.root.children.append(graft)
+        count = tree.register_subtree(graft)
+        assert count == 3
+        assert tree.size() == size + 3
+        ids = [node.node_id for node in graft.iter_subtree()]
+        assert ids == [size, size + 1, size + 2]
+        for node_id in ids:
+            assert tree.node(node_id) is not None
+
+    def test_retired_ids_are_never_reused(self):
+        tree = XMLTree(element("root", element("a")))
+        victim = tree.root.children[0]
+        tree.root.children.remove(victim)
+        victim.parent = None
+        tree.unregister_subtree(victim)
+        assert victim.node_id not in tree
+        replacement = element("b")
+        replacement.parent = tree.root
+        tree.root.children.append(replacement)
+        tree.register_subtree(replacement)
+        assert replacement.node_id != victim.node_id
+
+    def test_adopt_preassigned_ids_round_trips_sparse_ids(self):
+        root = element("root", element("a"))
+        root.node_id = 7
+        root.children[0].node_id = 99
+        tree = XMLTree(root, reindex=False)
+        tree.adopt_preassigned_ids()
+        assert tree.node(7) is root and tree.node(99) is root.children[0]
+        assert tree.size() == 2
+        # the fresh-id counter resumes past the highest adopted id
+        graft = element("b")
+        graft.parent = root
+        root.children.append(graft)
+        tree.register_subtree(graft)
+        assert graft.node_id == 100
+
+    def test_adopt_preassigned_ids_rejects_duplicates_and_unassigned(self):
+        root = element("root", element("a"))
+        root.node_id = 1
+        root.children[0].node_id = 1
+        with pytest.raises(XMLTreeError, match="duplicate"):
+            XMLTree(root, reindex=False).adopt_preassigned_ids()
+        fresh = element("root", element("a"))
+        fresh.node_id = 0
+        with pytest.raises(XMLTreeError, match="without an assigned id"):
+            XMLTree(fresh, reindex=False).adopt_preassigned_ids()
