@@ -1,0 +1,323 @@
+"""Multi-tenancy benchmark (``repro bench-tenancy``).
+
+Measures what one shared :class:`~repro.service.server.ServiceHost` costs
+against the obvious alternative — N isolated single-document
+:class:`~repro.service.server.ServiceEngine` deployments — on the same
+multi-tenant traffic, and emits ``BENCH_tenancy.json``:
+
+``shared_host``
+    One host serves N documents: one actor pool, one admission semaphore,
+    one LRU result cache (document-namespaced keys) and one metrics
+    aggregator across all tenants, with per-document sessions carrying the
+    version tags and write gates.
+``isolated``
+    N independent ``ServiceEngine`` instances (one per document), each with
+    its own pool, admission gate and cache, all driven concurrently in one
+    event loop — zero shared-scheduler overhead by construction.
+
+Both configurations replay the *same* per-tenant mixed read/write streams
+(tenants and workloads are regenerated from the same seeds), so the
+measured gap is pure sharing overhead.  The tracked criterion: the shared
+host's aggregate throughput must stay within ``0.8x`` of the isolated
+deployments' — consolidation onto one scheduler may not cost more than 20%.
+
+Before any timing, the routing is verified differentially: every read of
+every tenant's stream is served through a shared host *and* evaluated by a
+solo :class:`~repro.core.engine.DistributedQueryEngine` over that tenant's
+(identically mutated) document, and the answers must agree — a host that
+ever crossed documents, served a stale cached answer or mis-serialized a
+write would diverge and abort the run before a single number is reported.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.engine import DistributedQueryEngine
+from repro.service.server import ServiceEngine, ServiceHost
+from repro.workloads.multidoc import MultiDocumentWorkload, Tenant, build_tenants
+from repro.workloads.queries import PAPER_QUERIES
+
+__all__ = [
+    "run_tenancy_benchmark",
+    "write_benchmark_json",
+    "render_summary",
+    "TENANCY_CRITERION",
+]
+
+#: shared-host aggregate qps must be at least this fraction of isolated
+TENANCY_CRITERION = 0.8
+
+
+def _verify_routing(
+    tenants: Sequence[Tenant],
+    workload: MultiDocumentWorkload,
+    ops_per_document: int,
+    host: ServiceHost,
+) -> Dict[str, int]:
+    """Differentially verify host-served answers against solo engines.
+
+    The solo engines share each tenant's fragmentation object, so after a
+    host-applied mutation both sides see the same document state — any
+    disagreement is a routing, caching or serialization bug in the host.
+    Raises ``AssertionError`` on the first divergence.
+    """
+    solo = {
+        tenant.name: DistributedQueryEngine(
+            tenant.scenario.fragmentation, placement=tenant.scenario.placement
+        )
+        for tenant in tenants
+    }
+    reads = writes = 0
+    for document, op in workload.ops(ops_per_document):
+        if op.is_write:
+            host.update(document, op.mutation)
+            writes += 1
+        else:
+            served = host.execute(document, op.query).answer_ids
+            expected = solo[document].execute(op.query).answer_ids
+            if served != expected:
+                raise AssertionError(
+                    f"differential verification failed: document {document!r},"
+                    f" query {op.query!r}: host served {len(served)} answers,"
+                    f" solo engine {len(expected)}"
+                )
+            reads += 1
+    # The shared cache must never have crossed tenants: per-document hit
+    # totals have to account for every hit the host-wide counter saw.
+    if host.cache is not None:
+        per_document = sum(
+            slice_.hits for slice_ in host.cache.stats.documents.values()
+        )
+        if per_document != host.cache.stats.hits:
+            raise AssertionError(
+                "cache accounting out of balance: "
+                f"{host.cache.stats.hits} hits vs {per_document} across documents"
+            )
+    return {"reads_verified": reads, "writes_applied": writes, "passed": True}
+
+
+async def _drive_tenant(
+    submit: Callable,
+    update: Callable,
+    stream,
+    ops: int,
+    clients: int,
+) -> None:
+    """Replay one tenant's stream: reads fan out to *clients* concurrent
+    clients, writes are applied in stream order (one writer per tenant)."""
+    gate = asyncio.Semaphore(max(1, clients))
+    pending: List[asyncio.Task] = []
+    for _ in range(ops):
+        op = stream.next_op()
+        if op.is_write:
+            await update(op.mutation)
+        else:
+
+            async def read(query: str = op.query) -> None:
+                async with gate:
+                    await submit(query)
+
+            pending.append(asyncio.create_task(read()))
+    if pending:
+        await asyncio.gather(*pending)
+
+
+def _time_shared_host(
+    tenants: Sequence[Tenant],
+    workload: MultiDocumentWorkload,
+    ops_per_document: int,
+    clients_per_document: int,
+    host: ServiceHost,
+) -> Dict[str, object]:
+    async def run() -> None:
+        await asyncio.gather(
+            *(
+                _drive_tenant(
+                    lambda q, name=tenant.name: host.submit(name, q),
+                    lambda m, name=tenant.name: host.apply_update(name, m),
+                    workload.stream(tenant.name),
+                    ops_per_document,
+                    clients_per_document,
+                )
+                for tenant in tenants
+            )
+        )
+
+    total_ops = ops_per_document * len(tenants)
+    started = time.perf_counter()
+    asyncio.run(run())
+    wall = max(time.perf_counter() - started, 1e-9)
+    payload: Dict[str, object] = {
+        "wall_seconds": round(wall, 6),
+        "ops": total_ops,
+        "qps": round(total_ops / wall, 2),
+        "metrics": host.metrics.to_dict(),
+    }
+    if host.cache is not None:
+        payload["cache"] = host.cache.stats.to_dict()
+    return payload
+
+
+def _time_isolated_engines(
+    tenants: Sequence[Tenant],
+    workload: MultiDocumentWorkload,
+    ops_per_document: int,
+    clients_per_document: int,
+    engines: Dict[str, ServiceEngine],
+) -> Dict[str, object]:
+    async def run() -> None:
+        await asyncio.gather(
+            *(
+                _drive_tenant(
+                    engines[tenant.name].submit,
+                    engines[tenant.name].apply_update,
+                    workload.stream(tenant.name),
+                    ops_per_document,
+                    clients_per_document,
+                )
+                for tenant in tenants
+            )
+        )
+
+    total_ops = ops_per_document * len(tenants)
+    started = time.perf_counter()
+    asyncio.run(run())
+    wall = max(time.perf_counter() - started, 1e-9)
+    return {
+        "wall_seconds": round(wall, 6),
+        "ops": total_ops,
+        "qps": round(total_ops / wall, 2),
+        "engines": len(engines),
+    }
+
+
+def run_tenancy_benchmark(
+    documents: int = 8,
+    total_bytes: int = 30_000,
+    ops_per_document: int = 64,
+    write_ratio: float = 0.05,
+    clients_per_document: int = 4,
+    seed: int = 5,
+    workload_seed: int = 17,
+    site_parallelism: int = 4,
+    cache_capacity: int = 256,
+) -> Dict[str, object]:
+    """Run verification plus both timed configurations; return the report."""
+    queries = list(PAPER_QUERIES.values())
+
+    def fresh_tenants() -> List[Tenant]:
+        return build_tenants(
+            documents, total_bytes=total_bytes, seed=seed, queries=queries
+        )
+
+    def fresh_workload(tenants: Sequence[Tenant]) -> MultiDocumentWorkload:
+        return MultiDocumentWorkload(tenants, write_ratio, seed=workload_seed)
+
+    def fresh_host(tenants: Sequence[Tenant]) -> ServiceHost:
+        host = ServiceHost(
+            max_in_flight=max(1, clients_per_document) * documents,
+            site_parallelism=site_parallelism,
+            cache_capacity=cache_capacity,
+        )
+        for tenant in tenants:
+            host.register(tenant.name, tenant.fragmentation, tenant.placement)
+        return host
+
+    # -- phase 1: differential verification (untimed) -----------------------
+    tenants = fresh_tenants()
+    verification = _verify_routing(
+        tenants, fresh_workload(tenants), ops_per_document, fresh_host(tenants)
+    )
+    verification["documents"] = documents
+
+    # -- phase 2: the shared host, timed ------------------------------------
+    tenants = fresh_tenants()
+    shared = _time_shared_host(
+        tenants,
+        fresh_workload(tenants),
+        ops_per_document,
+        clients_per_document,
+        fresh_host(tenants),
+    )
+
+    # -- phase 3: N isolated single-document engines, timed -----------------
+    tenants = fresh_tenants()
+    engines = {
+        tenant.name: ServiceEngine(
+            tenant.fragmentation,
+            placement=tenant.placement,
+            max_in_flight=max(1, clients_per_document),
+            site_parallelism=site_parallelism,
+            cache_capacity=cache_capacity,
+        )
+        for tenant in tenants
+    }
+    isolated = _time_isolated_engines(
+        tenants,
+        fresh_workload(tenants),
+        ops_per_document,
+        clients_per_document,
+        engines,
+    )
+
+    ratio = round(float(shared["qps"]) / float(isolated["qps"]), 3)
+    return {
+        "benchmark": "tenancy",
+        "workload": {
+            "documents": documents,
+            "document_bytes": total_bytes,
+            "ops_per_document": ops_per_document,
+            "write_ratio": write_ratio,
+            "clients_per_document": clients_per_document,
+            "unique_queries": len(queries),
+            "queries": queries,
+            "seed": seed,
+            "workload_seed": workload_seed,
+        },
+        "verification": verification,
+        "shared_host": shared,
+        "isolated": isolated,
+        "qps_ratio_shared_vs_isolated": ratio,
+        "criterion": {
+            "threshold": TENANCY_CRITERION,
+            "passed": ratio >= TENANCY_CRITERION,
+        },
+    }
+
+
+def write_benchmark_json(report: Dict[str, object], path: str | Path) -> Path:
+    """Write the report as pretty JSON and return the path."""
+    destination = Path(path)
+    destination.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return destination
+
+
+def render_summary(report: Dict[str, object]) -> str:
+    """A human-readable recap of the emitted JSON."""
+    workload = report["workload"]
+    verification = report["verification"]
+    shared = report["shared_host"]
+    isolated = report["isolated"]
+    criterion = report["criterion"]
+    lines = [
+        f"workload        : {workload['documents']} documents x"
+        f" {workload['ops_per_document']} ops"
+        f" ({workload['write_ratio'] * 100:.0f}% writes,"
+        f" {workload['clients_per_document']} clients/doc,"
+        f" ~{workload['document_bytes']} bytes/doc)",
+        f"verification    : {verification['reads_verified']} reads matched solo"
+        f" engines, {verification['writes_applied']} writes applied",
+        f"shared host     : {shared['qps']} ops/s"
+        f" over {shared['wall_seconds'] * 1000:.1f} ms",
+        f"isolated x{isolated['engines']}     : {isolated['qps']} ops/s"
+        f" over {isolated['wall_seconds'] * 1000:.1f} ms",
+        f"ratio           : {report['qps_ratio_shared_vs_isolated']}x shared vs"
+        f" isolated (criterion >= {criterion['threshold']}x:"
+        f" {'pass' if criterion['passed'] else 'FAIL'})",
+    ]
+    return "\n".join(lines)

@@ -32,6 +32,18 @@ and latency metrics::
     python -m repro serve catalog.xml --queries queries.txt \
         --fragment-size 2000 --concurrency 32 --repeat 4
 
+Host several named documents behind one shared scheduler (queries are
+routed round-robin across documents, or pinned with a ``name::query``
+prefix)::
+
+    python -m repro serve --doc store=catalog.xml --doc bids=auctions.xml \
+        --queries queries.txt --fragment-size 2000
+
+Benchmark the shared multi-document host against N isolated single-document
+engines and emit ``BENCH_tenancy.json``::
+
+    python -m repro bench-tenancy --docs 8 --ops 64 --write-ratio 0.05
+
 Benchmark the service layer against the sequential engine loop and emit
 ``BENCH_service.json``::
 
@@ -57,6 +69,7 @@ the rebuild-everything baseline and emit ``BENCH_update.json``::
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from typing import Optional, Sequence
 
@@ -125,7 +138,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve", help="serve a batch of queries concurrently through the service layer"
     )
-    serve.add_argument("document", help="path to the XML document")
+    serve.add_argument("document", nargs="?", default=None,
+                       help="path to the XML document (single-document mode)")
+    serve.add_argument(
+        "--doc", action="append", default=None, metavar="NAME=PATH", dest="docs",
+        help="host a named document (repeatable; replaces the positional"
+             " document and routes queries across all names)",
+    )
     serve.add_argument(
         "--queries", default="-", metavar="FILE",
         help="file with one XPath query per line ('-' reads stdin; default)",
@@ -179,6 +198,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_kernel_bench_knobs(bench_batch, default_output="BENCH_batch.json")
     bench_batch.add_argument("--batch-sizes", type=int, nargs="+", default=[1, 4, 16, 64],
                              metavar="N", help="wave sizes to time (default 1 4 16 64)")
+
+    bench_tenancy = commands.add_parser(
+        "bench-tenancy",
+        help="benchmark one shared multi-document host vs N isolated engines",
+    )
+    bench_tenancy.add_argument("--docs", type=int, default=8,
+                               help="hosted documents / tenants (default 8)")
+    bench_tenancy.add_argument("--bytes", type=int, default=30_000, dest="total_bytes",
+                               help="approximate XMark size per document (default 30000)")
+    bench_tenancy.add_argument("--ops", type=int, default=64,
+                               help="operations per document stream (default 64)")
+    bench_tenancy.add_argument("--write-ratio", type=float, default=0.05,
+                               help="write fraction of each stream (default 0.05)")
+    bench_tenancy.add_argument("--clients", type=int, default=4,
+                               help="concurrent clients per document (default 4)")
+    bench_tenancy.add_argument("--seed", type=int, default=5,
+                               help="XMark generator seed (default 5)")
+    bench_tenancy.add_argument("--workload-seed", type=int, default=17,
+                               help="mixed-workload generator seed (default 17)")
+    bench_tenancy.add_argument("--site-parallelism", type=int, default=4)
+    bench_tenancy.add_argument("--output", default="BENCH_tenancy.json",
+                               help="report path (default BENCH_tenancy.json)")
 
     bench_update = commands.add_parser(
         "bench-update",
@@ -306,33 +347,99 @@ def _read_queries(source: str) -> list:
     return [query for query in queries if query and not query.startswith("#")]
 
 
+def _parse_doc_specs(specs) -> list:
+    """``NAME=PATH`` pairs from repeated ``--doc`` options."""
+    documents = []
+    for spec in specs:
+        name, separator, path = spec.partition("=")
+        if not separator or not name or not path:
+            raise SystemExit(f"--doc expects NAME=PATH, got {spec!r}")
+        documents.append((name, path))
+    return documents
+
+
+#: what a ``name::query`` pin's left side may look like (document names —
+#: see repro.service.store — never contain XPath metacharacters)
+_PIN_NAME = re.compile(r"^[A-Za-z0-9_.\-]+$")
+
+
+def _route_queries(queries: list, documents: list) -> list:
+    """Assign each query line a document: ``name::query`` pins, the rest
+    round-robin across the hosted documents.
+
+    A pin naming a document that is not hosted is an error, not a fallback —
+    a typo must not silently round-robin the raw line (whose ``name::``
+    prefix would parse as a label test) onto an arbitrary document.
+    """
+    names = [name for name, _ in documents]
+    routed = []
+    cursor = 0
+    for query in queries:
+        name, separator, rest = query.partition("::")
+        if separator and _PIN_NAME.match(name):
+            if name not in names:
+                raise SystemExit(
+                    f"query {query!r} is pinned to unknown document {name!r};"
+                    f" hosted: {', '.join(names)}"
+                )
+            routed.append((name, rest))
+        else:
+            routed.append((names[cursor % len(names)], query))
+            cursor += 1
+    return routed
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service.server import ServiceEngine
+    from repro.service.server import ServiceHost
 
     queries = _read_queries(args.queries)
     if not queries:
         raise SystemExit("no queries to serve (expected one XPath query per line)")
-    tree = parse_xml_file(args.document)
-    fragmentation = _fragment_document(tree, args.fragment_size, args.fragment_at)
-    if args.sites is not None:
-        placement = round_robin_placement(fragmentation, site_count=args.sites)
+    if args.docs and args.document:
+        raise SystemExit("use either a positional document or --doc name=path, not both")
+    if args.docs:
+        documents = _parse_doc_specs(args.docs)
+    elif args.document:
+        documents = [("default", args.document)]
     else:
-        placement = one_site_per_fragment(fragmentation)
-    service = ServiceEngine(
-        fragmentation,
-        placement=placement,
+        raise SystemExit("no document to serve (positional path or --doc name=path)")
+
+    host = ServiceHost(
         algorithm=args.algorithm,
         engine=args.engine,
         site_parallelism=args.site_parallelism,
         cache_capacity=args.cache_capacity,
         max_in_flight=max(args.concurrency, 1),
     )
-    batch = queries * max(args.repeat, 1)
-    results = service.serve_batch(batch, concurrency=args.concurrency)
+    for name, path in documents:
+        tree = parse_xml_file(path)
+        fragmentation = _fragment_document(tree, args.fragment_size, args.fragment_at)
+        if args.sites is not None:
+            placement = round_robin_placement(
+                fragmentation, site_count=args.sites, site_prefix=f"{name}/S"
+            )
+        else:
+            placement = one_site_per_fragment(fragmentation, site_prefix=f"{name}/S")
+        host.register(name, fragmentation, placement)
+
+    batch = _route_queries(queries, documents) * max(args.repeat, 1)
+
+    import asyncio
+
+    async def serve_all():
+        gate = asyncio.Semaphore(max(args.concurrency, 1))
+
+        async def client(name, query):
+            async with gate:
+                return await host.submit(name, query)
+
+        return await asyncio.gather(*(client(name, query) for name, query in batch))
+
+    results = asyncio.run(serve_all())
     if args.answers:
-        for query, result in zip(batch, results):
-            print(f"{len(result):6d} answer(s)  {query}")
-    print(service.summary())
+        for (name, query), result in zip(batch, results):
+            print(f"{len(result):6d} answer(s)  [{name}] {query}")
+    print(host.summary())
     return 0
 
 
@@ -393,6 +500,29 @@ def _cmd_bench_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_tenancy(args: argparse.Namespace) -> int:
+    from repro.bench.tenancy_bench import (
+        render_summary,
+        run_tenancy_benchmark,
+        write_benchmark_json,
+    )
+
+    report = run_tenancy_benchmark(
+        documents=args.docs,
+        total_bytes=args.total_bytes,
+        ops_per_document=args.ops,
+        write_ratio=args.write_ratio,
+        clients_per_document=args.clients,
+        seed=args.seed,
+        workload_seed=args.workload_seed,
+        site_parallelism=args.site_parallelism,
+    )
+    path = write_benchmark_json(report, args.output)
+    print(render_summary(report))
+    print(f"[written to {path}]")
+    return 0
+
+
 def _cmd_bench_update(args: argparse.Namespace) -> int:
     from repro.bench.update_bench import (
         render_summary,
@@ -431,6 +561,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_bench_core(args)
     if args.command == "bench-batch":
         return _cmd_bench_batch(args)
+    if args.command == "bench-tenancy":
+        return _cmd_bench_tenancy(args)
     if args.command == "bench-update":
         return _cmd_bench_update(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

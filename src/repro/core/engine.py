@@ -199,6 +199,10 @@ class DistributedQueryEngine:
 
         The engine's algorithm/annotations defaults apply only when the
         caller passes neither an explicit ``config`` nor their own values.
+        The returned service is the single-document facade over a full
+        :class:`repro.service.ServiceHost`; to co-host this document with
+        others behind one scheduler, use :meth:`register_with` (or build a
+        ``ServiceHost`` and register fragmentations directly).
         """
         from repro.service.server import ServiceEngine
 
@@ -207,6 +211,17 @@ class DistributedQueryEngine:
             overrides.setdefault("use_annotations", self.use_annotations)
             overrides.setdefault("engine", self.engine)
         return ServiceEngine(self.fragmentation, placement=self.placement, **overrides)
+
+    def register_with(self, host, name: str):
+        """Register this engine's document with a multi-tenant service host.
+
+        ``host`` is a :class:`repro.service.ServiceHost`; the engine's
+        fragmentation and placement become document *name* in the host's
+        catalog, served alongside the host's other tenants through the
+        shared scheduler.  Returns the opened
+        :class:`repro.service.DocumentSession`.
+        """
+        return host.register(name, self.fragmentation, placement=self.placement)
 
     # -- introspection --------------------------------------------------------
 

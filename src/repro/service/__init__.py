@@ -2,11 +2,33 @@
 
 The packages below :mod:`repro.core` evaluate one query at a time through a
 passive, synchronous simulated network.  This package turns the reproduction
-into a *serving* system: many in-flight queries, per-site concurrency limits,
-result caching on the normalized query, and latency/throughput metrics.
+into a *serving* system: many named documents behind one scheduler, many
+in-flight queries, per-site concurrency limits, result caching on the
+normalized query, per-document write serialization, and latency/throughput
+metrics.
 
 Components
 ----------
+:class:`~repro.service.store.DocumentStore`
+    The catalog: register/open/drop named fragmented documents, each with
+    its own :class:`~repro.fragments.fragment_tree.Fragmentation` and
+    placement.
+:class:`~repro.service.server.DocumentSession`
+    Per-document serving state: version tag, compiled-plan cache,
+    fused-scan batcher, and a :class:`~repro.service.actors.ReadWriteGate`
+    giving that document's writes exclusivity over that document's reads
+    only.
+:class:`~repro.service.server.ServiceHost`
+    The coordinator: routes ``submit(document, query)`` /
+    ``apply_update(document, mutation)`` by document name while sharing one
+    :class:`~repro.service.actors.ActorPool`, one admission semaphore, one
+    LRU :class:`~repro.service.cache.QueryResultCache` (keys are
+    document-namespaced — no cross-tenant hits) and one
+    :class:`~repro.service.metrics.ServiceMetrics` aggregator (host totals
+    plus per-document breakdowns) across tenants.
+:class:`~repro.service.server.ServiceEngine`
+    The single-document facade: the historical ``submit(query)`` API as a
+    host with one document (see the README's migration notes).
 :class:`~repro.service.actors.SiteActor` / :class:`~repro.service.actors.ActorPool`
     ``asyncio`` counterparts of :class:`repro.distributed.site.Site`: each
     site serves partial-evaluation requests concurrently, bounded by a
@@ -15,46 +37,83 @@ Components
 :mod:`~repro.service.evaluator`
     An asynchronous PaX2 whose per-site rounds are scheduled through the
     actor pool, so rounds of *different* queries interleave on the same site.
-:class:`~repro.service.cache.QueryResultCache`
-    LRU result cache keyed on the normalized query plus a fragmentation
-    version tag, with hit/miss statistics and explicit invalidation.
-:class:`~repro.service.metrics.ServiceMetrics`
-    Per-query latency records aggregated into percentiles and throughput.
-:class:`~repro.service.server.ServiceEngine`
-    The facade: admission control, single-flight coalescing of identical
-    queries, and both ``async`` and blocking entry points mirroring
-    :meth:`repro.core.engine.DistributedQueryEngine.execute`.
 
-Quickstart::
+Quickstart (one document)::
 
     from repro.service import ServiceEngine
 
     service = ServiceEngine(fragmentation)
     results = service.serve_batch(["//person/name"] * 100, concurrency=64)
     print(service.metrics.summary())
-    print(service.cache.stats.summary())
+
+Quickstart (many documents, one shared scheduler)::
+
+    from repro.service import ServiceHost
+
+    host = ServiceHost(max_in_flight=64)
+    host.register("catalog", catalog_fragmentation)
+    host.register("auctions", auctions_fragmentation)
+    host.execute("catalog", "//item/name")
+    host.update("auctions", EditText(node_id, "sold"))
+    print(host.summary())          # per-document breakdowns included
+    host.drop_document("catalog")  # purges only that tenant's cache entries
 """
 
-from repro.service.actors import ActorPool, FragmentWaveBatcher, SiteActor
-from repro.service.cache import CacheStats, QueryResultCache, normalized_query, version_tag
+from repro.service.actors import ActorPool, FragmentWaveBatcher, ReadWriteGate, SiteActor
+from repro.service.cache import (
+    CacheStats,
+    DocumentCacheStats,
+    QueryResultCache,
+    normalized_query,
+    version_tag,
+)
 from repro.service.evaluator import evaluate_query_async
-from repro.service.metrics import BatchStats, QueryRecord, ServiceMetrics, UpdateRecord
-from repro.service.server import AdmissionError, ServiceConfig, ServiceEngine
+from repro.service.metrics import (
+    BatchStats,
+    DocumentTotals,
+    QueryRecord,
+    ServiceMetrics,
+    UpdateRecord,
+)
+from repro.service.server import (
+    AdmissionError,
+    DocumentSession,
+    ServiceConfig,
+    ServiceEngine,
+    ServiceHost,
+)
+from repro.service.store import (
+    DEFAULT_DOCUMENT,
+    DocumentEntry,
+    DocumentStore,
+    DuplicateDocumentError,
+    UnknownDocumentError,
+)
 
 __all__ = [
     "ActorPool",
     "BatchStats",
     "FragmentWaveBatcher",
+    "ReadWriteGate",
     "SiteActor",
     "CacheStats",
+    "DocumentCacheStats",
     "QueryResultCache",
     "normalized_query",
     "version_tag",
     "evaluate_query_async",
+    "DocumentTotals",
     "QueryRecord",
     "ServiceMetrics",
     "UpdateRecord",
     "AdmissionError",
+    "DocumentSession",
     "ServiceConfig",
     "ServiceEngine",
+    "ServiceHost",
+    "DEFAULT_DOCUMENT",
+    "DocumentEntry",
+    "DocumentStore",
+    "DuplicateDocumentError",
+    "UnknownDocumentError",
 ]

@@ -30,7 +30,92 @@ from typing import AsyncIterator, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.core.kernel.dispatch import combined_pass_batch
 from repro.service.metrics import BatchStats
 
-__all__ = ["SiteActor", "ActorPool", "FragmentWaveBatcher"]
+__all__ = ["SiteActor", "ActorPool", "FragmentWaveBatcher", "ReadWriteGate"]
+
+
+class ReadWriteGate:
+    """An ``asyncio`` readers-writer gate: many readers or one writer.
+
+    The service host holds one gate per document session: query evaluations
+    of that document take the gate shared, a mutation takes it exclusively.
+    This replaces the PR-4 scheme of one writer draining the *global*
+    admission semaphore — which serialized writers on *different* documents
+    against each other and froze every tenant's reads for the duration of
+    any write.  With per-session gates a write excludes exactly the readers
+    of its own document; other documents never notice.
+
+    Writers get priority: once one is waiting, new readers queue behind it
+    (no writer starvation under a steady read stream).  Like the other
+    primitives in this module the gate is rebuilt whenever the running event
+    loop changes, because the blocking facade runs each call in a fresh
+    ``asyncio.run`` loop.
+    """
+
+    def __init__(self) -> None:
+        self._condition: Optional[asyncio.Condition] = None
+        self._loop_id: Optional[int] = None
+        self._readers = 0
+        self._writing = False
+        self._writers_waiting = 0
+
+    def _bound(self) -> asyncio.Condition:
+        loop_id = id(asyncio.get_running_loop())
+        if self._condition is None or self._loop_id != loop_id:
+            self._condition = asyncio.Condition()
+            self._loop_id = loop_id
+            self._readers = 0
+            self._writing = False
+            self._writers_waiting = 0
+        return self._condition
+
+    @asynccontextmanager
+    async def read_locked(self) -> AsyncIterator[None]:
+        """Hold the gate shared (with other readers) for the enclosed work."""
+        condition = self._bound()
+        async with condition:
+            while self._writing or self._writers_waiting:
+                await condition.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            async with condition:
+                self._readers -= 1
+                if self._readers == 0:
+                    condition.notify_all()
+
+    @asynccontextmanager
+    async def write_locked(self) -> AsyncIterator[None]:
+        """Hold the gate exclusively for the enclosed work."""
+        condition = self._bound()
+        async with condition:
+            self._writers_waiting += 1
+            try:
+                while self._writing or self._readers:
+                    await condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writing = True
+        try:
+            yield
+        finally:
+            async with condition:
+                self._writing = False
+                condition.notify_all()
+
+    @property
+    def readers_active(self) -> int:
+        return self._readers
+
+    @property
+    def write_held(self) -> bool:
+        return self._writing
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReadWriteGate readers={self._readers} writing={self._writing}"
+            f" writers_waiting={self._writers_waiting}>"
+        )
 
 
 class SiteActor:
@@ -267,6 +352,15 @@ class ActorPool:
 
     def __len__(self) -> int:
         return len(self.actors)
+
+    def discard(self, site_id: str) -> None:
+        """Forget a site's actor (re-created on demand if referenced again).
+
+        Used when a document leaves a service host and no other document's
+        placement uses the site; an in-flight evaluation still holding the
+        old actor object finishes against it undisturbed.
+        """
+        self.actors.pop(site_id, None)
 
     def site_ids(self) -> list[str]:
         return sorted(self.actors)

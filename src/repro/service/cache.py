@@ -1,18 +1,28 @@
-"""Result cache keyed on the normalized query.
+"""Result cache keyed on the document name and the normalized query.
 
 Two syntactically different queries that normalize to the same form (Section
 2.2 of the paper) — e.g. ``//a/./b`` and ``//a/b``, or ``a//.//b`` and
 ``a//b`` — denote the same answer, so the cache keys on
 :func:`repro.xpath.normalize.normalize` output rather than the raw string.
-The key also carries a *fragmentation version tag*: a fingerprint of the
-fragmented document, its per-fragment mutation epochs and its placement.
-Re-fragmenting, re-placing or mutating the document (through
-:mod:`repro.updates`) yields a different tag, so stale answers can never be
-served; :meth:`QueryResultCache.invalidate` with ``version=`` retires the
-superseded tag's entries so they stop crowding the LRU.
+The key leads with a *document namespace* (the name the document is
+registered under in the host's :class:`~repro.service.store.DocumentStore`)
+— one shared LRU serves every tenant of a
+:class:`~repro.service.server.ServiceHost`, and the namespace guarantees a
+tenant can only ever hit its own entries.  The key also carries a
+*fragmentation version tag*: a fingerprint of the fragmented document, its
+per-fragment mutation epochs and its placement.  Re-fragmenting, re-placing
+or mutating a document (through :mod:`repro.updates`) yields a different
+tag, so stale answers can never be served; :meth:`QueryResultCache.invalidate`
+with ``version=`` retires the superseded tag's entries so they stop crowding
+the LRU, and :meth:`QueryResultCache.purge_document` drops exactly one
+tenant's entries when its document leaves the catalog.
 
 Entries are full :class:`repro.distributed.stats.RunStats` objects (the
-answer ids plus the accounting that produced them), evicted LRU-first.
+answer ids plus the accounting that produced them), evicted LRU-first across
+all tenants; per-document hit/miss/eviction accounting
+(:attr:`CacheStats.documents`) keeps cross-tenant pressure visible — a hot
+tenant evicting a cold tenant's entries shows up in the cold tenant's
+eviction counter, never silently.
 """
 
 from __future__ import annotations
@@ -20,11 +30,12 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from hashlib import blake2b
-from typing import Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.core.common import QueryInput
 from repro.distributed.stats import RunStats
 from repro.fragments.fragment_tree import Fragmentation
+from repro.service.store import DEFAULT_DOCUMENT
 from repro.xpath.ast import PathExpr
 from repro.xpath.normalize import normalize
 from repro.xpath.parser import parse_xpath
@@ -33,14 +44,15 @@ from repro.xpath.plan import QueryPlan
 __all__ = [
     "CacheKey",
     "CacheStats",
+    "DocumentCacheStats",
     "QueryResultCache",
     "normalized_query",
     "update_dependencies",
     "version_tag",
 ]
 
-#: (normalized query, algorithm, annotations flag, fragmentation version tag)
-CacheKey = Tuple[str, str, bool, str]
+#: (document, normalized query, algorithm, annotations flag, version tag)
+CacheKey = Tuple[str, str, str, bool, str]
 
 
 def normalized_query(query: QueryInput) -> str:
@@ -129,19 +141,15 @@ def update_dependencies(fragmentation: Fragmentation, stats: RunStats) -> frozen
 
 
 @dataclass
-class CacheStats:
-    """Hit/miss accounting of one cache."""
+class DocumentCacheStats:
+    """One tenant's slice of the shared cache's accounting."""
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
     stores: int = 0
-    #: entries carried across a version-tag change because the mutation
-    #: touched none of their dependency fragments (see retire_version)
     rekeyed: int = 0
-    #: requests answered by joining an identical in-flight query (filled in
-    #: by the server's single-flight layer, reported here for one summary)
     coalesced: int = 0
 
     @property
@@ -151,14 +159,6 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
-
-    def summary(self) -> str:
-        return (
-            f"cache: {self.hits} hits / {self.lookups} lookups"
-            f" ({self.hit_rate * 100:.1f}%), {self.coalesced} coalesced,"
-            f" {self.stores} stores, {self.evictions} evictions,"
-            f" {self.invalidations} invalidations, {self.rekeyed} rekeyed"
-        )
 
     def to_dict(self) -> dict:
         return {
@@ -173,8 +173,89 @@ class CacheStats:
         }
 
 
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one cache, host-wide and per document."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    stores: int = 0
+    #: entries carried across a version-tag change because the mutation
+    #: touched none of their dependency fragments (see retire_version)
+    rekeyed: int = 0
+    #: requests answered by joining an identical in-flight query (filled in
+    #: by the server's single-flight layer, reported here for one summary)
+    coalesced: int = 0
+    #: per-document breakdown of every counter above, keyed by the document
+    #: namespace of the keys involved (evictions are charged to the *evicted*
+    #: entry's document — cross-tenant LRU pressure is never silent)
+    documents: Dict[str, DocumentCacheStats] = field(default_factory=dict)
+
+    def document(self, name: str) -> DocumentCacheStats:
+        """The (auto-created) per-document slice for *name*."""
+        slice_ = self.documents.get(name)
+        if slice_ is None:
+            slice_ = self.documents[name] = DocumentCacheStats()
+        return slice_
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def note_coalesced(self, document: str = DEFAULT_DOCUMENT) -> None:
+        self.coalesced += 1
+        self.document(document).coalesced += 1
+
+    def summary(self) -> str:
+        line = (
+            f"cache: {self.hits} hits / {self.lookups} lookups"
+            f" ({self.hit_rate * 100:.1f}%), {self.coalesced} coalesced,"
+            f" {self.stores} stores, {self.evictions} evictions,"
+            f" {self.invalidations} invalidations, {self.rekeyed} rekeyed"
+        )
+        if len(self.documents) <= 1:
+            return line
+        lines = [line]
+        for name in sorted(self.documents):
+            slice_ = self.documents[name]
+            lines.append(
+                f"  {name}: {slice_.hits} hits / {slice_.lookups} lookups"
+                f" ({slice_.hit_rate * 100:.1f}%), {slice_.stores} stores,"
+                f" {slice_.evictions} evictions, {slice_.invalidations} invalidations"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "coalesced": self.coalesced,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "rekeyed": self.rekeyed,
+        }
+        if self.documents:
+            payload["documents"] = {
+                name: slice_.to_dict() for name, slice_ in sorted(self.documents.items())
+            }
+        return payload
+
+
 class QueryResultCache:
-    """LRU cache from :data:`CacheKey` to :class:`RunStats`."""
+    """LRU cache from :data:`CacheKey` to :class:`RunStats`.
+
+    One instance is shared by every document of a service host: the
+    document-name component of the key keeps tenants' entries apart while
+    the LRU order (and hence capacity pressure) is global.
+    """
 
     def __init__(self, capacity: int = 256):
         if capacity < 1:
@@ -188,9 +269,13 @@ class QueryResultCache:
 
     @staticmethod
     def make_key(
-        query: QueryInput, algorithm: str, use_annotations: bool, version: str
+        query: QueryInput,
+        algorithm: str,
+        use_annotations: bool,
+        version: str,
+        document: str = DEFAULT_DOCUMENT,
     ) -> CacheKey:
-        return (normalized_query(query), algorithm, bool(use_annotations), version)
+        return (document, normalized_query(query), algorithm, bool(use_annotations), version)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -198,14 +283,21 @@ class QueryResultCache:
     def __contains__(self, key: CacheKey) -> bool:
         return key in self._entries
 
+    def document_entry_count(self, document: str) -> int:
+        """How many live entries belong to *document*."""
+        return sum(1 for key in self._entries if key[0] == document)
+
     def get(self, key: CacheKey) -> Optional[RunStats]:
         """The cached stats for *key* (marking it recently used), or ``None``."""
+        slice_ = self.stats.document(key[0])
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            slice_.misses += 1
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        slice_.hits += 1
         return entry
 
     def put(
@@ -216,7 +308,9 @@ class QueryResultCache:
         *dependencies* (see :func:`update_dependencies`) names the fragments
         the entry's answer depends on; with it recorded, a later
         :meth:`retire_version` can carry the entry across a version-tag
-        change instead of dropping it.
+        change instead of dropping it.  Eviction is LRU across all
+        documents; each eviction is charged to the evicted entry's document
+        in :attr:`CacheStats.documents`.
         """
         if key in self._entries:
             self._entries.move_to_end(key)
@@ -226,53 +320,77 @@ class QueryResultCache:
         else:
             self._dependencies.pop(key, None)
         self.stats.stores += 1
+        self.stats.document(key[0]).stores += 1
         while len(self._entries) > self.capacity:
             evicted, _ = self._entries.popitem(last=False)
             self._dependencies.pop(evicted, None)
             self.stats.evictions += 1
+            self.stats.document(evicted[0]).evictions += 1
 
-    def invalidate(self, version: Optional[str] = None) -> int:
-        """Drop entries — all of them, or only those of one version tag.
+    def _drop(self, key: CacheKey) -> None:
+        del self._entries[key]
+        self._dependencies.pop(key, None)
+        self.stats.invalidations += 1
+        self.stats.document(key[0]).invalidations += 1
+
+    def invalidate(
+        self, version: Optional[str] = None, document: Optional[str] = None
+    ) -> int:
+        """Drop entries — all, one document's, one version's, or both filters.
 
         Returns the number of entries removed.
         """
-        if version is None:
-            removed = len(self._entries)
-            self._entries.clear()
-            self._dependencies.clear()
-        else:
-            stale = [key for key in self._entries if key[3] == version]
-            for key in stale:
-                del self._entries[key]
-                self._dependencies.pop(key, None)
-            removed = len(stale)
-        self.stats.invalidations += removed
-        return removed
+        stale = [
+            key
+            for key in self._entries
+            if (version is None or key[4] == version)
+            and (document is None or key[0] == document)
+        ]
+        for key in stale:
+            self._drop(key)
+        return len(stale)
+
+    def purge_document(self, document: str) -> int:
+        """Drop every entry of *document*, any version (the drop-tenant path).
+
+        Other documents' entries, dependencies and LRU positions are
+        untouched; returns how many entries were removed.
+        """
+        return self.invalidate(document=document)
 
     def retire_version(
-        self, old_version: str, new_version: str, touched_fragment: str
+        self,
+        old_version: str,
+        new_version: str,
+        touched_fragment: str,
+        document: str = DEFAULT_DOCUMENT,
     ) -> Tuple[int, int]:
-        """Roll the *old_version* entries forward past one fragment mutation.
+        """Roll *document*'s *old_version* entries past one fragment mutation.
 
         Entries whose recorded dependency set excludes *touched_fragment*
         are still exact — they are re-keyed under *new_version* (keeping
         their dependencies, re-entering the LRU as recently used); the rest,
-        and entries without recorded dependencies, are dropped.  Returns
-        ``(rekeyed, dropped)``.
+        and entries without recorded dependencies, are dropped.  Entries of
+        other documents are never touched.  Returns ``(rekeyed, dropped)``.
         """
         rekeyed = dropped = 0
-        for key in [k for k in self._entries if k[3] == old_version]:
+        slice_ = self.stats.document(document)
+        for key in [
+            k for k in self._entries if k[0] == document and k[4] == old_version
+        ]:
             dependencies = self._dependencies.pop(key, None)
             stats = self._entries.pop(key)
             if dependencies is not None and touched_fragment not in dependencies:
-                new_key = (key[0], key[1], key[2], new_version)
+                new_key = (key[0], key[1], key[2], key[3], new_version)
                 self._entries[new_key] = stats
                 self._dependencies[new_key] = dependencies
                 rekeyed += 1
             else:
                 dropped += 1
         self.stats.rekeyed += rekeyed
+        slice_.rekeyed += rekeyed
         self.stats.invalidations += dropped
+        slice_.invalidations += dropped
         return rekeyed, dropped
 
     def __repr__(self) -> str:

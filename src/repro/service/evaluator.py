@@ -14,7 +14,12 @@ Each query run gets its own :class:`~repro.distributed.network.Network`
 (sites are lightweight accounting objects), so the per-run
 :class:`~repro.distributed.stats.RunStats` are exactly what the synchronous
 path would produce; the actor pool carries the cross-query machine-level
-counters instead.
+counters instead.  The evaluator is document-agnostic: the fragmentation,
+placement and batcher all arrive per call, so one shared
+:class:`~repro.service.actors.ActorPool` serves every
+:class:`~repro.service.server.DocumentSession` of a multi-document host —
+rounds of different queries *and* different documents interleave on the
+same sites.
 
 The remaining algorithms (PaX3, ParBoX, the naive baseline) are served
 through the same interface by running their synchronous runner inside the

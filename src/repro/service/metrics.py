@@ -16,8 +16,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.distributed.stats import RunStats
+from repro.service.store import DEFAULT_DOCUMENT
 
-__all__ = ["BatchStats", "QueryRecord", "ServiceMetrics", "UpdateRecord", "percentile"]
+__all__ = [
+    "BatchStats",
+    "DocumentTotals",
+    "QueryRecord",
+    "ServiceMetrics",
+    "UpdateRecord",
+    "percentile",
+]
 
 
 def percentile(values: List[float], fraction: float) -> float:
@@ -131,6 +139,8 @@ class QueryRecord:
     coalesced: bool = False
     answer_count: int = 0
     communication_units: int = 0
+    #: which document of the host served this request
+    document: str = DEFAULT_DOCUMENT
     #: the run's accounting; shared between records when the cache answered
     stats: Optional[RunStats] = field(default=None, repr=False)
 
@@ -152,6 +162,34 @@ class UpdateRecord:
     nodes_removed: int = 0
     #: cache entries of the superseded version tag retired by this write
     invalidated_entries: int = 0
+    #: which document of the host this mutation landed in
+    document: str = DEFAULT_DOCUMENT
+
+
+@dataclass
+class DocumentTotals:
+    """Lifetime per-document counters of one host's metrics aggregator."""
+
+    requests: int = 0
+    evaluated: int = 0
+    cache_hits: int = 0
+    coalesced: int = 0
+    updates: int = 0
+    nodes_added: int = 0
+    nodes_removed: int = 0
+    update_invalidations: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "evaluated": self.evaluated,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "updates": self.updates,
+            "nodes_added": self.nodes_added,
+            "nodes_removed": self.nodes_removed,
+            "update_invalidations": self.update_invalidations,
+        }
 
 
 class ServiceMetrics:
@@ -159,7 +197,10 @@ class ServiceMetrics:
 
     ``window`` bounds the number of retained records (oldest dropped first)
     so a long-lived service does not grow without bound; the totals keep
-    counting everything ever recorded.
+    counting everything ever recorded.  One aggregator serves a whole host:
+    each record carries its document name, lifetime totals are additionally
+    kept per document (:attr:`documents`), and per-document latency
+    percentiles are derived from the retained window on demand.
     """
 
     def __init__(self, window: int = 100_000):
@@ -177,8 +218,17 @@ class ServiceMetrics:
         self.total_nodes_added = 0
         self.total_nodes_removed = 0
         self.total_update_invalidations = 0
+        #: lifetime totals per document name
+        self.documents: Dict[str, DocumentTotals] = {}
         self._started_at = time.perf_counter()
         self._last_finish: Optional[float] = None
+
+    def document(self, name: str) -> DocumentTotals:
+        """The (auto-created) lifetime totals for document *name*."""
+        totals = self.documents.get(name)
+        if totals is None:
+            totals = self.documents[name] = DocumentTotals()
+        return totals
 
     # -- recording ---------------------------------------------------------
 
@@ -190,6 +240,7 @@ class ServiceMetrics:
         cache_hit: bool = False,
         coalesced: bool = False,
         stats: Optional[RunStats] = None,
+        document: str = DEFAULT_DOCUMENT,
     ) -> QueryRecord:
         entry = QueryRecord(
             query=query,
@@ -199,18 +250,24 @@ class ServiceMetrics:
             coalesced=coalesced,
             answer_count=len(stats.answer_ids) if stats is not None else 0,
             communication_units=stats.communication_units if stats is not None else 0,
+            document=document,
             stats=stats,
         )
         self.records.append(entry)
         if len(self.records) > self.window:
             del self.records[: len(self.records) - self.window]
         self.total_requests += 1
+        totals = self.document(document)
+        totals.requests += 1
         if cache_hit:
             self.total_cache_hits += 1
+            totals.cache_hits += 1
         elif coalesced:
             self.total_coalesced += 1
+            totals.coalesced += 1
         else:
             self.total_evaluated += 1
+            totals.evaluated += 1
         self._last_finish = time.perf_counter()
         return entry
 
@@ -223,6 +280,7 @@ class ServiceMetrics:
         nodes_added: int = 0,
         nodes_removed: int = 0,
         invalidated_entries: int = 0,
+        document: str = DEFAULT_DOCUMENT,
     ) -> UpdateRecord:
         """Record one applied mutation (the write-side of :meth:`record`)."""
         entry = UpdateRecord(
@@ -233,6 +291,7 @@ class ServiceMetrics:
             nodes_added=nodes_added,
             nodes_removed=nodes_removed,
             invalidated_entries=invalidated_entries,
+            document=document,
         )
         self.update_records.append(entry)
         if len(self.update_records) > self.window:
@@ -242,6 +301,11 @@ class ServiceMetrics:
         self.total_nodes_added += nodes_added
         self.total_nodes_removed += nodes_removed
         self.total_update_invalidations += invalidated_entries
+        totals = self.document(document)
+        totals.updates += 1
+        totals.nodes_added += nodes_added
+        totals.nodes_removed += nodes_removed
+        totals.update_invalidations += invalidated_entries
         self._last_finish = time.perf_counter()
         return entry
 
@@ -295,6 +359,27 @@ class ServiceMetrics:
     def update_latencies(self) -> List[float]:
         return [record.latency_seconds for record in self.update_records]
 
+    def document_latencies(self, document: str) -> List[float]:
+        """Retained query latencies of one document (window-bounded)."""
+        return [
+            record.latency_seconds
+            for record in self.records
+            if record.document == document
+        ]
+
+    def document_breakdown(self) -> Dict[str, Dict[str, object]]:
+        """Per-document lifetime totals plus window-derived latency quantiles."""
+        breakdown: Dict[str, Dict[str, object]] = {}
+        for name in sorted(self.documents):
+            payload: Dict[str, object] = self.documents[name].to_dict()
+            latencies = self.document_latencies(name)
+            payload["latency_seconds"] = {
+                "p50": round(percentile(latencies, 0.50), 6),
+                "p95": round(percentile(latencies, 0.95), 6),
+            }
+            breakdown[name] = payload
+        return breakdown
+
     @property
     def update_p50(self) -> float:
         return percentile(self.update_latencies(), 0.50)
@@ -328,6 +413,19 @@ class ServiceMetrics:
                 f" p50 {self.update_p50 * 1000:.2f} ms"
                 f" p95 {self.update_p95 * 1000:.2f} ms"
             )
+        if len(self.documents) > 1:
+            lines.append("per document     :")
+            for name, payload in self.document_breakdown().items():
+                latency = payload["latency_seconds"]
+                lines.append(
+                    f"  {name}: {payload['requests']} requests"
+                    f" ({payload['evaluated']} evaluated,"
+                    f" {payload['cache_hits']} hits,"
+                    f" {payload['coalesced']} coalesced),"
+                    f" {payload['updates']} updates,"
+                    f" p50 {latency['p50'] * 1000:.2f} ms"
+                    f" p95 {latency['p95'] * 1000:.2f} ms"
+                )
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
@@ -356,6 +454,7 @@ class ServiceMetrics:
                     "p95": round(self.update_p95, 6),
                 },
             },
+            "documents": self.document_breakdown(),
         }
 
     def __repr__(self) -> str:

@@ -1,26 +1,44 @@
-"""The coordinator scheduler: many in-flight queries over one fragmentation.
+"""The service host: many in-flight queries over many fragmented documents.
 
-:class:`ServiceEngine` is the serving counterpart of
-:class:`repro.core.engine.DistributedQueryEngine`.  One engine owns a
-fragmentation, a placement, an :class:`~repro.service.actors.ActorPool`
-(per-site concurrency limits), a
-:class:`~repro.service.cache.QueryResultCache` and a
-:class:`~repro.service.metrics.ServiceMetrics` aggregator, and serves any
-number of concurrent queries through three layers:
+:class:`ServiceHost` is the serving counterpart of
+:class:`repro.core.engine.DistributedQueryEngine`, generalized from one
+fragmented document to a catalog of them.  One host owns a
+:class:`~repro.service.store.DocumentStore` (named documents), one
+:class:`~repro.service.actors.ActorPool` (per-site concurrency limits), one
+admission semaphore, one shared :class:`~repro.service.cache.QueryResultCache`
+and one :class:`~repro.service.metrics.ServiceMetrics` aggregator.  Each
+registered document gets a :class:`DocumentSession` — its compiled-plan
+cache, version tag, fused-scan batcher and a per-document
+:class:`~repro.service.actors.ReadWriteGate` serializing that document's
+writes against that document's reads (and nothing else).
+
+A request routed by ``submit(document, query)`` passes three layers:
 
 1. **Admission control** — at most ``max_in_flight`` evaluations run at
-   once; further work queues, and (optionally) everything beyond
-   ``max_pending`` queued evaluations is rejected with
+   once *across all documents*; further work queues, and (optionally)
+   everything beyond ``max_pending`` queued evaluations is rejected with
    :class:`AdmissionError` instead of waiting.
-2. **Single-flight coalescing** — identical queries (same *normalized* form,
-   algorithm and annotations setting) submitted while one evaluation is in
-   flight all await that one evaluation instead of repeating it.
-3. **Result cache** — completed answers are stored under the normalized
-   query plus the fragmentation version tag and served back in microseconds
-   until evicted or invalidated.
+2. **Single-flight coalescing** — identical queries (same document, same
+   *normalized* form, algorithm and annotations setting) submitted while one
+   evaluation is in flight all await that one evaluation.
+3. **Result cache** — completed answers are stored under the document name,
+   the normalized query and the document's version tag and served back in
+   microseconds until evicted or invalidated; the namespace guarantees no
+   cross-tenant hits.
 
-Blocking callers use :meth:`execute` / :meth:`serve_batch`; ``asyncio``
-callers use :meth:`submit` / :meth:`run_many` directly.
+Writes routed by ``apply_update(document, mutation)`` take that document's
+gate exclusively: readers of the same document drain first, readers and
+writers of *other* documents proceed untouched (per-document write
+exclusivity — concurrent writes to different documents never serialize
+against each other).
+
+:class:`ServiceEngine` remains as the single-document facade: the exact
+pre-host API (``submit(query)``, ``apply_update(mutation)``, …) implemented
+as a host with one document registered under
+:data:`~repro.service.store.DEFAULT_DOCUMENT`.
+
+Blocking callers use :meth:`ServiceHost.execute` / :meth:`serve_batch`;
+``asyncio`` callers use :meth:`submit` / :meth:`run_many` directly.
 """
 
 from __future__ import annotations
@@ -28,24 +46,28 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.common import QueryInput
 from repro.core.kernel.dispatch import ENGINES
 from repro.core.results import QueryResult
 from repro.distributed.async_transport import LatencyModel
-from repro.distributed.placement import one_site_per_fragment
 from repro.distributed.stats import RunStats
 from repro.fragments.fragment_tree import Fragmentation
-from repro.service.actors import ActorPool, FragmentWaveBatcher
+from repro.service.actors import ActorPool, FragmentWaveBatcher, ReadWriteGate
 from repro.service.cache import (
     QueryResultCache,
-    normalized_query,
     update_dependencies,
     version_tag,
 )
 from repro.service.evaluator import evaluate_query_async
 from repro.service.metrics import ServiceMetrics
+from repro.service.store import (
+    DEFAULT_DOCUMENT,
+    DocumentEntry,
+    DocumentStore,
+    UnknownDocumentError,
+)
 from repro.updates.apply import apply_mutation
 from repro.updates.ops import Mutation, UpdateResult
 from repro.xpath.ast import PathExpr
@@ -53,7 +75,13 @@ from repro.xpath.normalize import normalize
 from repro.xpath.parser import parse_xpath
 from repro.xpath.plan import QueryPlan, compile_plan
 
-__all__ = ["AdmissionError", "ServiceConfig", "ServiceEngine"]
+__all__ = [
+    "AdmissionError",
+    "DocumentSession",
+    "ServiceConfig",
+    "ServiceEngine",
+    "ServiceHost",
+]
 
 #: algorithms the service accepts (PaX2 natively async, the rest via fallback)
 SERVICE_ALGORITHMS = ("pax2", "pax3", "naive", "parbox")
@@ -65,7 +93,7 @@ class AdmissionError(RuntimeError):
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Tunables of one :class:`ServiceEngine`."""
+    """Tunables of one :class:`ServiceHost` (shared by all its documents)."""
 
     #: default evaluation algorithm (overridable per query)
     algorithm: str = "pax2"
@@ -74,7 +102,7 @@ class ServiceConfig:
     #: per-fragment pass implementation (``None`` = process default; see
     #: :mod:`repro.core.kernel.dispatch`)
     engine: Optional[str] = None
-    #: concurrent evaluations admitted at once
+    #: concurrent evaluations admitted at once, across all documents
     max_in_flight: int = 64
     #: queued evaluations beyond which submission raises AdmissionError
     #: (``None`` queues without bound)
@@ -83,7 +111,7 @@ class ServiceConfig:
     site_parallelism: int = 4
     #: simulated network latency per message / payload unit
     latency: LatencyModel = field(default_factory=LatencyModel)
-    #: result-cache capacity; 0 disables caching entirely
+    #: shared result-cache capacity (all documents); 0 disables caching
     cache_capacity: int = 256
     #: join identical in-flight queries instead of re-evaluating
     coalesce: bool = True
@@ -110,8 +138,564 @@ class ServiceConfig:
             raise ValueError("batch_window must be >= 0")
 
 
-class ServiceEngine:
-    """Serve concurrent XPath queries over one fragmented document.
+class DocumentSession:
+    """Per-document serving state inside one :class:`ServiceHost`.
+
+    The session owns everything whose lifetime and scope is *one tenant's
+    document*: the fragmentation and placement (shared with the catalog
+    entry), the version tag its cached answers are keyed under, the
+    compiled-plan cache, the fused-scan batcher bound to its flat arrays,
+    and the readers-writer gate giving its mutations exclusivity over its
+    readers only.  Scheduling (actors, admission, cache storage, metrics)
+    lives on the host and is shared across sessions.
+    """
+
+    #: compiled plans retained per session (normalized form -> plan)
+    MAX_PLANS = 4096
+
+    def __init__(self, entry: DocumentEntry, config: ServiceConfig):
+        self.name = entry.name
+        self.entry = entry
+        self.config = config
+        #: version tag of the fragmentation the cached answers are valid for
+        self.version = version_tag(entry.fragmentation, entry.placement)
+        #: write-vs-read exclusivity for THIS document only
+        self.gate = ReadWriteGate()
+        #: fused-scan batching window (None when batching is disabled)
+        self.batcher: Optional[FragmentWaveBatcher] = (
+            FragmentWaveBatcher(
+                entry.fragmentation,
+                engine=config.engine,
+                window=config.batch_window,
+            )
+            if config.batching
+            else None
+        )
+        #: normalized query text -> compiled plan (parse/compile once per form)
+        self._plans: Dict[str, QueryPlan] = {}
+
+    @property
+    def fragmentation(self) -> Fragmentation:
+        return self.entry.fragmentation
+
+    @property
+    def placement(self) -> Dict[str, str]:
+        return self.entry.placement
+
+    def key_and_plan(self, query: QueryInput) -> Tuple[str, QueryPlan]:
+        """Normalize *query* to its cache-key text and a compiled plan.
+
+        The plan is compiled at most once per normalized form; the original
+        input is never re-parsed from its normalized string (whose rendering
+        is a cache key, not guaranteed concrete syntax).
+        """
+        if isinstance(query, QueryPlan):
+            return query.fingerprint, query
+        path = parse_xpath(query) if isinstance(query, str) else query
+        if not isinstance(path, PathExpr):
+            raise TypeError(f"unsupported query input {type(query).__name__}")
+        normalized = str(normalize(path))
+        plan = self._plans.get(normalized)
+        if plan is None:
+            source = query if isinstance(query, str) else str(path)
+            plan = compile_plan(path, source=source)
+            if len(self._plans) < self.MAX_PLANS:
+                self._plans[normalized] = plan
+        return normalized, plan
+
+    def __repr__(self) -> str:
+        return (
+            f"<DocumentSession {self.name!r} fragments={len(self.fragmentation)}"
+            f" version={self.version}>"
+        )
+
+
+class ServiceHost:
+    """Serve concurrent XPath queries and updates over named documents.
+
+    Parameters
+    ----------
+    config:
+        A :class:`ServiceConfig`; keyword overrides (``max_in_flight=8`` …)
+        are applied on top of it.
+    store:
+        An existing :class:`~repro.service.store.DocumentStore` to serve
+        from (sessions are opened for every entry already registered);
+        defaults to a fresh empty catalog.  Grow it through
+        :meth:`register`, shrink it through :meth:`drop_document`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        store: Optional[DocumentStore] = None,
+        **overrides: object,
+    ):
+        base = config or ServiceConfig()
+        self.config = replace(base, **overrides) if overrides else base
+        self.store = store or DocumentStore()
+        self.sessions: Dict[str, DocumentSession] = {}
+        #: one actor pool shared by every document's sites
+        self.actors = ActorPool((), self.config.site_parallelism)
+        #: one LRU shared by every document (keys are document-namespaced)
+        self.cache: Optional[QueryResultCache] = (
+            QueryResultCache(self.config.cache_capacity)
+            if self.config.cache_capacity > 0
+            else None
+        )
+        self.metrics = ServiceMetrics(self.config.metrics_window)
+        self._inflight: Dict[Tuple, asyncio.Future] = {}
+        self._admission: Optional[asyncio.Semaphore] = None
+        self._loop_id: Optional[int] = None
+        self._pending_evaluations = 0
+        for entry in self.store:
+            self._open_session(entry)
+
+    # -- catalog -----------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        fragmentation: Fragmentation,
+        placement: Optional[Mapping[str, str]] = None,
+    ) -> DocumentSession:
+        """Register a document and open its serving session."""
+        entry = self.store.register(name, fragmentation, placement)
+        return self._open_session(entry)
+
+    def _open_session(self, entry: DocumentEntry) -> DocumentSession:
+        session = DocumentSession(entry, self.config)
+        for site_id in entry.placement.values():
+            self.actors[site_id]  # grow the shared pool to cover this document
+        self.sessions[entry.name] = session
+        return session
+
+    def session(self, document: str) -> DocumentSession:
+        """The serving session of *document* (UnknownDocumentError if absent)."""
+        session = self.sessions.get(document)
+        if session is None:
+            raise UnknownDocumentError(document, self.documents())
+        return session
+
+    def documents(self) -> List[str]:
+        """Names of the documents this host serves, in registration order."""
+        return self.store.names()
+
+    def drop_document(self, document: str) -> int:
+        """Remove *document* from the catalog and purge its cached answers.
+
+        Only that tenant's state goes: its session, its coalescing futures,
+        its cache entries, its per-document cache/metrics slices, and any
+        site actors no remaining document's placement references (so a
+        long-lived host with tenant churn does not accumulate residue).
+        Every other document's cached answers, version tags and in-flight
+        work are untouched.  Returns how many cache entries were purged.
+        """
+        self.store.drop(document)
+        session = self.sessions.pop(document, None)
+        for key in [k for k in self._inflight if k[0] == document]:
+            self._inflight.pop(key, None)
+        if session is not None:
+            live_sites = {
+                site_id
+                for other in self.sessions.values()
+                for site_id in other.placement.values()
+            }
+            for site_id in set(session.placement.values()) - live_sites:
+                self.actors.discard(site_id)
+        self.metrics.documents.pop(document, None)
+        if self.cache is None:
+            return 0
+        purged = self.cache.purge_document(document)
+        self.cache.stats.documents.pop(document, None)
+        return purged
+
+    # -- async API ---------------------------------------------------------
+
+    async def submit(
+        self,
+        document: str,
+        query: QueryInput,
+        algorithm: Optional[str] = None,
+        use_annotations: Optional[bool] = None,
+    ) -> QueryResult:
+        """Serve one query of *document*; identical concurrent queries share
+        one evaluation."""
+        return await self._submit(
+            document, query, algorithm=algorithm, use_annotations=use_annotations
+        )
+
+    async def _submit(
+        self,
+        document: str,
+        query: QueryInput,
+        algorithm: Optional[str] = None,
+        use_annotations: Optional[bool] = None,
+    ) -> QueryResult:
+        # The non-polymorphic core: internal callers (run_many, the blocking
+        # facade) come here so the single-document facade's re-signatured
+        # overrides never shadow them.
+        started = time.perf_counter()
+        self._bind_loop()
+        session = self.session(document)
+        name = algorithm or self.config.algorithm
+        if name not in SERVICE_ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {name!r}; choose from {sorted(SERVICE_ALGORITHMS)}"
+            )
+        annotations = (
+            self.config.use_annotations if use_annotations is None else bool(use_annotations)
+        )
+        normalized, plan = session.key_and_plan(query)
+        key = (session.name, normalized, name, annotations, session.version)
+
+        # Layer 2: join an identical in-flight evaluation (no admission cost).
+        if self.config.coalesce and key in self._inflight:
+            stats = await asyncio.shield(self._inflight[key])
+            if self.cache is not None:
+                self.cache.stats.note_coalesced(session.name)
+            self.metrics.record(
+                normalized, stats.algorithm, time.perf_counter() - started,
+                coalesced=True, stats=stats, document=session.name,
+            )
+            return QueryResult(session.fragmentation.tree, stats)
+
+        # Layer 3: the result cache.
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.metrics.record(
+                    normalized, cached.algorithm, time.perf_counter() - started,
+                    cache_hit=True, stats=cached, document=session.name,
+                )
+                return QueryResult(session.fragmentation.tree, cached)
+
+        # Leader path: register before the first await so later identical
+        # submissions coalesce instead of racing us to the evaluator.
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        if self.config.coalesce:
+            self._inflight[key] = future
+        try:
+            stats, evaluated_version = await self._admit_and_evaluate(
+                session, plan, name, annotations
+            )
+            if not future.done():
+                future.set_result(stats)
+        except BaseException as error:
+            if not future.done():
+                future.set_exception(error)
+                # Nobody may be waiting; swallow the "exception never
+                # retrieved" warning for the orphaned future.
+                future.exception()
+            raise
+        finally:
+            if self.config.coalesce:
+                self._inflight.pop(key, None)
+        if self.cache is not None and self.sessions.get(session.name) is session:
+            # Keyed under the version the evaluation saw (an update may have
+            # landed while this query waited for admission) — storing under
+            # the submission-time tag would strand a dead entry in the LRU.
+            # The session check closes the drop race: a document dropped
+            # while this evaluation was in flight must not re-enter the
+            # shared LRU after its purge.
+            self.cache.put(
+                (session.name, normalized, name, annotations, evaluated_version),
+                stats,
+                dependencies=update_dependencies(session.fragmentation, stats),
+            )
+        self.metrics.record(
+            normalized, stats.algorithm, time.perf_counter() - started,
+            stats=stats, document=session.name,
+        )
+        return QueryResult(session.fragmentation.tree, stats)
+
+    async def _admit_and_evaluate(
+        self,
+        session: DocumentSession,
+        plan: QueryPlan,
+        algorithm: str,
+        use_annotations: bool,
+    ) -> Tuple[RunStats, str]:
+        """Layer 1 (admission control) around the actual evaluation.
+
+        The session's gate is taken shared *outside* the admission permit:
+        writers never hold permits, so a reader parked at the gate (its
+        document mid-write) is not hoarding evaluation capacity other
+        documents could use.  The pending/overload accounting happens
+        *inside* the gate for the same reason — readers parked behind one
+        tenant's writer must not eat the shared ``max_pending`` budget and
+        trip :class:`AdmissionError` for healthy tenants with idle capacity.
+        While the gate is held shared no writer can touch this document, so
+        the version tag read inside it is the one the evaluation actually
+        sees — the tag the result must be cached under, not the tag from
+        submission time.
+        """
+        async with session.gate.read_locked():
+            limit = self.config.max_pending
+            if (
+                limit is not None
+                and self._pending_evaluations >= limit + self.config.max_in_flight
+            ):
+                raise AdmissionError(
+                    f"service overloaded: {self._pending_evaluations} evaluations pending"
+                    f" (max_in_flight={self.config.max_in_flight}, max_pending={limit})"
+                )
+            self._pending_evaluations += 1
+            try:
+                evaluated_version = session.version
+                async with self._bound_admission():
+                    stats = await evaluate_query_async(
+                        session.fragmentation,
+                        session.placement,
+                        plan,
+                        self.actors,
+                        algorithm=algorithm,
+                        use_annotations=use_annotations,
+                        latency=self.config.latency,
+                        engine=self.config.engine,
+                        batcher=session.batcher,
+                    )
+                    return stats, evaluated_version
+            finally:
+                self._pending_evaluations -= 1
+
+    def _bind_loop(self) -> None:
+        """Rebuild loop-bound state when the running event loop changes.
+
+        The blocking facade runs each call in a fresh ``asyncio.run`` loop;
+        semaphores and futures bound to a finished loop must not leak into
+        the next one.  Must run before any in-flight future is registered.
+        (The per-session gates and the actors rebuild themselves the same
+        way on first use in a new loop.)
+        """
+        loop_id = id(asyncio.get_running_loop())
+        if self._loop_id != loop_id:
+            self._admission = asyncio.Semaphore(self.config.max_in_flight)
+            self._loop_id = loop_id
+            self._inflight.clear()
+
+    def _bound_admission(self) -> asyncio.Semaphore:
+        self._bind_loop()
+        assert self._admission is not None
+        return self._admission
+
+    async def run_many(
+        self,
+        document: str,
+        queries: Sequence[QueryInput],
+        concurrency: Optional[int] = None,
+        algorithm: Optional[str] = None,
+    ) -> List[QueryResult]:
+        """Serve a batch of queries of one document, optionally capping client
+        concurrency.
+
+        ``concurrency`` models the number of simultaneous clients issuing the
+        batch; ``None`` submits everything at once (the host's admission
+        control still bounds actual evaluations).
+        """
+        return await self._run_many(
+            document, queries, concurrency=concurrency, algorithm=algorithm
+        )
+
+    async def _run_many(
+        self,
+        document: str,
+        queries: Sequence[QueryInput],
+        concurrency: Optional[int] = None,
+        algorithm: Optional[str] = None,
+    ) -> List[QueryResult]:
+        if concurrency is None or concurrency >= len(queries):
+            return list(
+                await asyncio.gather(
+                    *(self._submit(document, q, algorithm=algorithm) for q in queries)
+                )
+            )
+        gate = asyncio.Semaphore(max(1, concurrency))
+
+        async def client(query: QueryInput) -> QueryResult:
+            async with gate:
+                return await self._submit(document, query, algorithm=algorithm)
+
+        return list(await asyncio.gather(*(client(q) for q in queries)))
+
+    # -- updates -------------------------------------------------------------
+
+    async def apply_update(self, document: str, mutation: Mutation) -> UpdateResult:
+        """Apply one mutation to *document*, exclusive only within it.
+
+        The writer takes the document's gate exclusively: in-flight readers
+        of the *same* document drain first and no new one starts until the
+        mutation has landed — no evaluation ever reads a half-applied edit.
+        Readers and writers of *other* documents are completely unaffected
+        (each session has its own gate), so concurrent writes to different
+        documents proceed in parallel.  The mutation lands through
+        :func:`repro.updates.apply.apply_mutation` (bumping only the touched
+        fragment's epoch and dropping only its columnar encoding), then the
+        document's version tag rolls forward from the epochs in
+        O(#fragments) — no document walk.  Cached answers under the
+        superseded tag are *retired*, not flushed: entries whose dependency
+        fragments exclude the mutated one are re-keyed under the new tag and
+        keep serving hits; only answers the mutation could have changed are
+        dropped, and only within this document's namespace.  The
+        compiled-plan cache always survives.
+        """
+        return await self._apply_update(document, mutation)
+
+    async def _apply_update(self, document: str, mutation: Mutation) -> UpdateResult:
+        started = time.perf_counter()
+        self._bind_loop()
+        session = self.session(document)
+        async with session.gate.write_locked():
+            apply_started = time.perf_counter()
+            result = apply_mutation(session.fragmentation, mutation)
+            old_version = session.version
+            session.version = version_tag(session.fragmentation, session.placement)
+            invalidated = 0
+            if self.cache is not None and session.version != old_version:
+                _, invalidated = self.cache.retire_version(
+                    old_version, session.version, result.fragment_id,
+                    document=session.name,
+                )
+            apply_seconds = time.perf_counter() - apply_started
+        self.metrics.record_update(
+            kind=result.kind,
+            fragment_id=result.fragment_id,
+            latency_seconds=time.perf_counter() - started,
+            apply_seconds=apply_seconds,
+            nodes_added=result.nodes_added,
+            nodes_removed=result.nodes_removed,
+            invalidated_entries=invalidated,
+            document=session.name,
+        )
+        return result
+
+    def update(self, document: str, mutation: Mutation) -> UpdateResult:
+        """Blocking single-mutation entry point (see :meth:`apply_update`)."""
+        return self._run_blocking(self._apply_update(document, mutation))
+
+    # -- blocking facade -----------------------------------------------------
+
+    def execute(
+        self,
+        document: str,
+        query: QueryInput,
+        algorithm: Optional[str] = None,
+        use_annotations: Optional[bool] = None,
+    ) -> QueryResult:
+        """Blocking single-query entry point, mirroring
+        :meth:`repro.core.engine.DistributedQueryEngine.execute`."""
+        return self._run_blocking(
+            self._submit(document, query, algorithm=algorithm, use_annotations=use_annotations)
+        )
+
+    def run(
+        self, document: str, query: QueryInput, algorithm: Optional[str] = None
+    ) -> RunStats:
+        """Blocking evaluation returning the raw :class:`RunStats`."""
+        return self.execute(document, query, algorithm=algorithm).stats
+
+    def serve_batch(
+        self,
+        document: str,
+        queries: Sequence[QueryInput],
+        concurrency: Optional[int] = None,
+        algorithm: Optional[str] = None,
+    ) -> List[QueryResult]:
+        """Blocking batch entry point (see :meth:`run_many`)."""
+        return self._run_blocking(
+            self._run_many(document, queries, concurrency=concurrency, algorithm=algorithm)
+        )
+
+    @staticmethod
+    def _run_blocking(coroutine):
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            return asyncio.run(coroutine)
+        coroutine.close()
+        raise RuntimeError(
+            "the blocking API cannot be used inside a running event loop;"
+            " await submit()/run_many() instead"
+        )
+
+    # -- maintenance -----------------------------------------------------------
+
+    def invalidate_cache(self, document: Optional[str] = None) -> int:
+        """Drop cached answers — all of them, or one document's only.
+
+        Returns how many entries were dropped.
+        """
+        if self.cache is None:
+            return 0
+        return self.cache.invalidate(document=document)
+
+    def refresh_version(self, document: str) -> str:
+        """Re-fingerprint *document* after an out-of-band edit.
+
+        This is the escape hatch for documents mutated *behind* the service's
+        back (a full re-walk of the tree): mutations applied through
+        :meth:`apply_update` roll the version forward from per-fragment
+        epochs and never need it.  Cached answers carrying the old tag are
+        dropped immediately (they could never be served again and would only
+        crowd the LRU); the new tag is returned.
+        """
+        session = self.session(document)
+        session.fragmentation.content_version(refresh=True)
+        old_version = session.version
+        session.version = version_tag(session.fragmentation, session.placement)
+        if self.cache is not None and session.version != old_version:
+            self.cache.invalidate(version=old_version, document=session.name)
+        return session.version
+
+    # -- presentation -----------------------------------------------------------
+
+    def summary(self) -> str:
+        """Host-wide status: documents, traffic, latency, cache and actors."""
+        document_names = self.documents()
+        lines = [
+            f"service host     : {len(document_names)} document(s) on"
+            f" {len(self.actors)} sites, algorithm={self.config.algorithm},"
+            f" annotations={self.config.use_annotations}",
+        ]
+        for name in document_names:
+            session = self.sessions[name]
+            lines.append(
+                f"  {name}: {len(session.fragmentation)} fragments,"
+                f" version {session.version}"
+            )
+        lines.append(
+            f"admission        : max_in_flight={self.config.max_in_flight},"
+            f" max_pending={self.config.max_pending} (shared)"
+        )
+        lines.append(self.metrics.summary())
+        if self.cache is not None:
+            lines.append(self.cache.stats.summary())
+        for name in document_names:
+            session = self.sessions[name]
+            if session.batcher is not None and session.batcher.stats.fused_scans:
+                lines.append(f"{name} {session.batcher.stats.summary()}")
+        lines.append(self.actors.summary())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServiceHost documents={len(self.sessions)}"
+            f" algorithm={self.config.algorithm!r}"
+            f" served={self.metrics.total_requests}>"
+        )
+
+
+class ServiceEngine(ServiceHost):
+    """Single-document facade over :class:`ServiceHost` (the pre-host API).
+
+    Serves concurrent XPath queries over **one** fragmented document with
+    the historical call shapes — ``submit(query)`` instead of
+    ``submit(document, query)`` — by registering the document under
+    :data:`~repro.service.store.DEFAULT_DOCUMENT` in a host of its own.
+    Existing single-document deployments, examples and benchmarks keep
+    working unchanged; code hosting several documents should use
+    :class:`ServiceHost` directly (the full scheduler is underneath either
+    way: ``engine.host`` is ``engine`` itself).
 
     Parameters
     ----------
@@ -131,340 +715,90 @@ class ServiceEngine:
         config: Optional[ServiceConfig] = None,
         **overrides: object,
     ):
-        self.fragmentation = fragmentation
-        self.placement: Dict[str, str] = (
-            dict(placement) if placement else one_site_per_fragment(fragmentation)
-        )
-        base = config or ServiceConfig()
-        self.config = replace(base, **overrides) if overrides else base
-        self.actors = ActorPool(self.placement.values(), self.config.site_parallelism)
-        self.cache: Optional[QueryResultCache] = (
-            QueryResultCache(self.config.cache_capacity)
-            if self.config.cache_capacity > 0
-            else None
-        )
-        self.metrics = ServiceMetrics(self.config.metrics_window)
-        #: fused-scan batching window (None when batching is disabled)
-        self.batcher: Optional[FragmentWaveBatcher] = (
-            FragmentWaveBatcher(
-                fragmentation,
-                engine=self.config.engine,
-                window=self.config.batch_window,
-            )
-            if self.config.batching
-            else None
-        )
-        #: version tag of the fragmentation the cached answers are valid for
-        self.version = version_tag(fragmentation, self.placement)
-        #: normalized query text -> compiled plan (parse/compile once per form)
-        self._plans: Dict[str, QueryPlan] = {}
-        self._inflight: Dict[Tuple, asyncio.Future] = {}
-        self._admission: Optional[asyncio.Semaphore] = None
-        self._writer_lock: Optional[asyncio.Lock] = None
-        self._loop_id: Optional[int] = None
-        self._pending_evaluations = 0
+        super().__init__(config=config, **overrides)
+        self._session = self.register(DEFAULT_DOCUMENT, fragmentation, placement)
 
-    # -- async API ---------------------------------------------------------
+    # -- single-document views ------------------------------------------------
 
-    async def submit(
+    @property
+    def host(self) -> "ServiceHost":
+        """The full multi-document scheduler underneath (this object)."""
+        return self
+
+    @property
+    def document(self) -> str:
+        """The name this engine's document is registered under."""
+        return self._session.name
+
+    @property
+    def fragmentation(self) -> Fragmentation:
+        return self._session.fragmentation
+
+    @property
+    def placement(self) -> Dict[str, str]:
+        return self._session.placement
+
+    @property
+    def version(self) -> str:
+        return self._session.version
+
+    @property
+    def batcher(self) -> Optional[FragmentWaveBatcher]:
+        return self._session.batcher
+
+    # -- the historical single-document call shapes ----------------------------
+
+    async def submit(  # type: ignore[override]
         self,
         query: QueryInput,
         algorithm: Optional[str] = None,
         use_annotations: Optional[bool] = None,
     ) -> QueryResult:
-        """Serve one query; identical concurrent queries share one evaluation."""
-        started = time.perf_counter()
-        self._bind_loop()
-        name = algorithm or self.config.algorithm
-        if name not in SERVICE_ALGORITHMS:
-            raise ValueError(
-                f"unknown algorithm {name!r}; choose from {sorted(SERVICE_ALGORITHMS)}"
-            )
-        annotations = (
-            self.config.use_annotations if use_annotations is None else bool(use_annotations)
+        return await self._submit(
+            self._session.name, query, algorithm=algorithm, use_annotations=use_annotations
         )
-        normalized, plan = self._key_and_plan(query)
-        key = (normalized, name, annotations, self.version)
 
-        # Layer 2: join an identical in-flight evaluation (no admission cost).
-        if self.config.coalesce and key in self._inflight:
-            stats = await asyncio.shield(self._inflight[key])
-            if self.cache is not None:
-                self.cache.stats.coalesced += 1
-            self.metrics.record(
-                normalized, stats.algorithm, time.perf_counter() - started,
-                coalesced=True, stats=stats,
-            )
-            return QueryResult(self.fragmentation.tree, stats)
-
-        # Layer 3: the result cache.
-        if self.cache is not None:
-            cached = self.cache.get(key)
-            if cached is not None:
-                self.metrics.record(
-                    normalized, cached.algorithm, time.perf_counter() - started,
-                    cache_hit=True, stats=cached,
-                )
-                return QueryResult(self.fragmentation.tree, cached)
-
-        # Leader path: register before the first await so later identical
-        # submissions coalesce instead of racing us to the evaluator.
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        if self.config.coalesce:
-            self._inflight[key] = future
-        try:
-            stats, evaluated_version = await self._admit_and_evaluate(plan, name, annotations)
-            if not future.done():
-                future.set_result(stats)
-        except BaseException as error:
-            if not future.done():
-                future.set_exception(error)
-                # Nobody may be waiting; swallow the "exception never
-                # retrieved" warning for the orphaned future.
-                future.exception()
-            raise
-        finally:
-            if self.config.coalesce:
-                self._inflight.pop(key, None)
-        if self.cache is not None:
-            # Keyed under the version the evaluation saw (an update may have
-            # landed while this query waited for admission) — storing under
-            # the submission-time tag would strand a dead entry in the LRU.
-            self.cache.put(
-                (normalized, name, annotations, evaluated_version),
-                stats,
-                dependencies=update_dependencies(self.fragmentation, stats),
-            )
-        self.metrics.record(
-            normalized, stats.algorithm, time.perf_counter() - started, stats=stats
-        )
-        return QueryResult(self.fragmentation.tree, stats)
-
-    def _key_and_plan(self, query: QueryInput) -> Tuple[str, QueryPlan]:
-        """Normalize *query* to its cache-key text and a compiled plan.
-
-        The plan is compiled at most once per normalized form; the original
-        input is never re-parsed from its normalized string (whose rendering
-        is a cache key, not guaranteed concrete syntax).
-        """
-        if isinstance(query, QueryPlan):
-            return normalized_query(query), query
-        path = parse_xpath(query) if isinstance(query, str) else query
-        if not isinstance(path, PathExpr):
-            raise TypeError(f"unsupported query input {type(query).__name__}")
-        normalized = str(normalize(path))
-        plan = self._plans.get(normalized)
-        if plan is None:
-            source = query if isinstance(query, str) else str(path)
-            plan = compile_plan(path, source=source)
-            if len(self._plans) < 4096:
-                self._plans[normalized] = plan
-        return normalized, plan
-
-    async def _admit_and_evaluate(
-        self, plan: QueryPlan, algorithm: str, use_annotations: bool
-    ) -> Tuple[RunStats, str]:
-        """Layer 1 (admission control) around the actual evaluation.
-
-        Returns the stats together with the version tag of the document the
-        evaluation actually saw: an update may have run while this query
-        waited for admission, and once a permit is held no writer can touch
-        the document (writers drain every permit first) — so the tag read
-        here is the one the result must be cached under, not the tag from
-        submission time.
-        """
-        limit = self.config.max_pending
-        if limit is not None and self._pending_evaluations >= limit + self.config.max_in_flight:
-            raise AdmissionError(
-                f"service overloaded: {self._pending_evaluations} evaluations pending"
-                f" (max_in_flight={self.config.max_in_flight}, max_pending={limit})"
-            )
-        self._pending_evaluations += 1
-        try:
-            async with self._bound_admission():
-                evaluated_version = self.version
-                stats = await evaluate_query_async(
-                    self.fragmentation,
-                    self.placement,
-                    plan,
-                    self.actors,
-                    algorithm=algorithm,
-                    use_annotations=use_annotations,
-                    latency=self.config.latency,
-                    engine=self.config.engine,
-                    batcher=self.batcher,
-                )
-                return stats, evaluated_version
-        finally:
-            self._pending_evaluations -= 1
-
-    def _bind_loop(self) -> None:
-        """Rebuild loop-bound state when the running event loop changes.
-
-        The blocking facade runs each call in a fresh ``asyncio.run`` loop;
-        semaphores and futures bound to a finished loop must not leak into
-        the next one.  Must run before any in-flight future is registered.
-        """
-        loop_id = id(asyncio.get_running_loop())
-        if self._loop_id != loop_id:
-            self._admission = asyncio.Semaphore(self.config.max_in_flight)
-            self._writer_lock = asyncio.Lock()
-            self._loop_id = loop_id
-            self._inflight.clear()
-
-    def _bound_admission(self) -> asyncio.Semaphore:
-        self._bind_loop()
-        assert self._admission is not None
-        return self._admission
-
-    async def run_many(
+    async def run_many(  # type: ignore[override]
         self,
         queries: Sequence[QueryInput],
         concurrency: Optional[int] = None,
         algorithm: Optional[str] = None,
     ) -> List[QueryResult]:
-        """Serve a batch of queries, optionally capping client concurrency.
-
-        ``concurrency`` models the number of simultaneous clients issuing the
-        batch; ``None`` submits everything at once (the service's admission
-        control still bounds actual evaluations).
-        """
-        if concurrency is None or concurrency >= len(queries):
-            return list(
-                await asyncio.gather(*(self.submit(q, algorithm=algorithm) for q in queries))
-            )
-        gate = asyncio.Semaphore(max(1, concurrency))
-
-        async def client(query: QueryInput) -> QueryResult:
-            async with gate:
-                return await self.submit(query, algorithm=algorithm)
-
-        return list(await asyncio.gather(*(client(q) for q in queries)))
-
-    # -- updates -------------------------------------------------------------
-
-    async def apply_update(self, mutation: Mutation) -> UpdateResult:
-        """Apply one document mutation, admission-controlled alongside queries.
-
-        The writer acquires *every* admission permit, so it waits behind the
-        same gate queries do and holds the document exclusively while
-        mutating — no evaluation ever reads a half-applied edit.  The
-        mutation lands through :func:`repro.updates.apply.apply_mutation`
-        (bumping only the touched fragment's epoch and dropping only its
-        columnar encoding), then the version tag rolls forward from the
-        epochs in O(#fragments) — no document walk.  Cached answers under
-        the superseded tag are *retired*, not flushed: entries whose
-        dependency fragments exclude the mutated one are re-keyed under the
-        new tag and keep serving hits; only answers the mutation could have
-        changed are dropped.  The compiled-plan cache always survives.
-        """
-        started = time.perf_counter()
-        self._bind_loop()
-        semaphore = self._bound_admission()
-        assert self._writer_lock is not None
-        acquired = 0
-        try:
-            # One writer drains the semaphore at a time: two writers each
-            # holding a partial set of permits would deadlock forever.
-            async with self._writer_lock:
-                for _ in range(self.config.max_in_flight):
-                    await semaphore.acquire()
-                    acquired += 1
-                apply_started = time.perf_counter()
-                result = apply_mutation(self.fragmentation, mutation)
-                old_version = self.version
-                self.version = version_tag(self.fragmentation, self.placement)
-                invalidated = 0
-                if self.cache is not None and self.version != old_version:
-                    _, invalidated = self.cache.retire_version(
-                        old_version, self.version, result.fragment_id
-                    )
-                apply_seconds = time.perf_counter() - apply_started
-        finally:
-            for _ in range(acquired):
-                semaphore.release()
-        self.metrics.record_update(
-            kind=result.kind,
-            fragment_id=result.fragment_id,
-            latency_seconds=time.perf_counter() - started,
-            apply_seconds=apply_seconds,
-            nodes_added=result.nodes_added,
-            nodes_removed=result.nodes_removed,
-            invalidated_entries=invalidated,
+        return await self._run_many(
+            self._session.name, queries, concurrency=concurrency, algorithm=algorithm
         )
-        return result
 
-    def update(self, mutation: Mutation) -> UpdateResult:
-        """Blocking single-mutation entry point (see :meth:`apply_update`)."""
+    async def apply_update(self, mutation: Mutation) -> UpdateResult:  # type: ignore[override]
+        return await self._apply_update(self._session.name, mutation)
+
+    def update(self, mutation: Mutation) -> UpdateResult:  # type: ignore[override]
         return self._run_blocking(self.apply_update(mutation))
 
-    # -- blocking facade -----------------------------------------------------
-
-    def execute(
+    def execute(  # type: ignore[override]
         self,
         query: QueryInput,
         algorithm: Optional[str] = None,
         use_annotations: Optional[bool] = None,
     ) -> QueryResult:
-        """Blocking single-query entry point, mirroring
-        :meth:`repro.core.engine.DistributedQueryEngine.execute`."""
         return self._run_blocking(
             self.submit(query, algorithm=algorithm, use_annotations=use_annotations)
         )
 
-    def run(self, query: QueryInput, algorithm: Optional[str] = None) -> RunStats:
-        """Blocking evaluation returning the raw :class:`RunStats`."""
+    def run(self, query: QueryInput, algorithm: Optional[str] = None) -> RunStats:  # type: ignore[override]
         return self.execute(query, algorithm=algorithm).stats
 
-    def serve_batch(
+    def serve_batch(  # type: ignore[override]
         self,
         queries: Sequence[QueryInput],
         concurrency: Optional[int] = None,
         algorithm: Optional[str] = None,
     ) -> List[QueryResult]:
-        """Blocking batch entry point (see :meth:`run_many`)."""
         return self._run_blocking(
             self.run_many(queries, concurrency=concurrency, algorithm=algorithm)
         )
 
-    @staticmethod
-    def _run_blocking(coroutine):
-        try:
-            asyncio.get_running_loop()
-        except RuntimeError:
-            return asyncio.run(coroutine)
-        coroutine.close()
-        raise RuntimeError(
-            "ServiceEngine's blocking API cannot be used inside a running event"
-            " loop; await submit()/run_many() instead"
-        )
-
-    # -- maintenance -----------------------------------------------------------
-
-    def invalidate_cache(self) -> int:
-        """Drop every cached answer (returns how many were dropped)."""
-        return self.cache.invalidate() if self.cache is not None else 0
-
-    def refresh_version(self) -> str:
-        """Re-fingerprint the fragmentation after an out-of-band edit.
-
-        This is the escape hatch for documents mutated *behind* the service's
-        back (a full re-walk of the tree): mutations applied through
-        :meth:`apply_update` roll the version forward from per-fragment
-        epochs and never need it.  Cached answers carrying the old tag are
-        dropped immediately (they could never be served again and would only
-        crowd the LRU); the new tag is returned.
-        """
-        self.fragmentation.content_version(refresh=True)
-        return self._roll_version()
-
-    def _roll_version(self) -> str:
-        """Recompute the version tag and retire the superseded tag's entries."""
-        old_version = self.version
-        self.version = version_tag(self.fragmentation, self.placement)
-        if self.cache is not None and self.version != old_version:
-            self.cache.invalidate(version=old_version)
-        return self.version
+    def refresh_version(self) -> str:  # type: ignore[override]
+        return super().refresh_version(self._session.name)
 
     # -- presentation -----------------------------------------------------------
 

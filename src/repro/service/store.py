@@ -1,0 +1,175 @@
+"""The document catalog: named fragmented documents behind one service host.
+
+The partial-evaluation algorithms (and every engine built on them) operate on
+*one* fragmented document.  A serving deployment hosts many: each tenant's
+document has its own :class:`~repro.fragments.fragment_tree.Fragmentation`
+(and with it the per-fragment mutation epochs), its own placement of
+fragments onto sites, and — once served — its own version tag and write
+serialization.  :class:`DocumentStore` is the catalog half of that story:
+register/open/drop documents by name.  The serving half (per-document
+sessions behind one shared scheduler) lives in
+:class:`repro.service.server.ServiceHost`, which wraps a store.
+
+Document names are identifiers chosen by the operator (tenant ids, dataset
+names).  They namespace everything downstream — cache keys, metrics
+breakdowns, CLI routing — so a few characters are reserved: names must be
+non-empty, contain no whitespace, and avoid ``=`` and ``::`` (the CLI's
+``--doc name=path`` and ``name::query`` separators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from repro.distributed.placement import one_site_per_fragment
+from repro.fragments.fragment_tree import Fragmentation
+
+__all__ = [
+    "DEFAULT_DOCUMENT",
+    "DocumentEntry",
+    "DocumentStore",
+    "DuplicateDocumentError",
+    "UnknownDocumentError",
+]
+
+#: the implicit document name used by the single-document compatibility API
+DEFAULT_DOCUMENT = "default"
+
+#: characters a document name must not contain (CLI/routing separators)
+_FORBIDDEN = ("=", "::")
+
+
+class UnknownDocumentError(KeyError):
+    """Raised when a document name is not in the catalog."""
+
+    def __init__(self, name: str, known: List[str]):
+        super().__init__(name)
+        self.name = name
+        self.known = known
+
+    def __str__(self) -> str:
+        if not self.known:
+            return f"unknown document {self.name!r} (the catalog is empty)"
+        return f"unknown document {self.name!r}; registered: {', '.join(self.known)}"
+
+
+class DuplicateDocumentError(ValueError):
+    """Raised when registering a name the catalog already holds."""
+
+
+def validate_document_name(name: str) -> str:
+    """Check *name* is a legal document identifier and return it."""
+    if not isinstance(name, str) or not name:
+        raise ValueError("document name must be a non-empty string")
+    if any(ch.isspace() for ch in name):
+        raise ValueError(f"document name {name!r} must not contain whitespace")
+    for token in _FORBIDDEN:
+        if token in name:
+            raise ValueError(
+                f"document name {name!r} must not contain {token!r}"
+                " (reserved for CLI routing)"
+            )
+    return name
+
+
+@dataclass
+class DocumentEntry:
+    """One catalog entry: a named fragmented document and its placement."""
+
+    name: str
+    fragmentation: Fragmentation
+    placement: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def fragment_count(self) -> int:
+        return len(self.fragmentation)
+
+    @property
+    def site_count(self) -> int:
+        return len(set(self.placement.values()))
+
+    def __repr__(self) -> str:
+        return (
+            f"<DocumentEntry {self.name!r} fragments={self.fragment_count}"
+            f" sites={self.site_count}>"
+        )
+
+
+class DocumentStore:
+    """A catalog of named fragmented documents.
+
+    The store owns no scheduling state — it is the registry a
+    :class:`~repro.service.server.ServiceHost` serves from, and can be built
+    up front (register everything, then hand it to the host) or grown and
+    shrunk while the host is live (the host mirrors ``register``/``drop``).
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, DocumentEntry] = {}
+
+    # -- catalog operations --------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        fragmentation: Fragmentation,
+        placement: Optional[Mapping[str, str]] = None,
+    ) -> DocumentEntry:
+        """Add a document under *name*; defaults to one site per fragment."""
+        validate_document_name(name)
+        if name in self._entries:
+            raise DuplicateDocumentError(
+                f"document {name!r} is already registered; drop it first"
+            )
+        entry = DocumentEntry(
+            name=name,
+            fragmentation=fragmentation,
+            placement=dict(placement) if placement else one_site_per_fragment(fragmentation),
+        )
+        self._entries[name] = entry
+        return entry
+
+    def open(self, name: str) -> DocumentEntry:
+        """The entry registered under *name* (:class:`UnknownDocumentError` if absent)."""
+        entry = self._entries.get(name)
+        if entry is None:
+            raise UnknownDocumentError(name, self.names())
+        return entry
+
+    def drop(self, name: str) -> DocumentEntry:
+        """Remove and return the entry under *name*."""
+        entry = self._entries.pop(name, None)
+        if entry is None:
+            raise UnknownDocumentError(name, self.names())
+        return entry
+
+    # -- views ---------------------------------------------------------------
+
+    def names(self) -> List[str]:
+        """Registered document names, in registration order."""
+        return list(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DocumentEntry]:
+        return iter(self._entries.values())
+
+    def summary(self) -> str:
+        if not self._entries:
+            return "document store: empty"
+        lines = [f"document store: {len(self._entries)} document(s)"]
+        for entry in self:
+            lines.append(
+                f"  {entry.name}: {entry.fragment_count} fragments on"
+                f" {entry.site_count} sites,"
+                f" ~{entry.fragmentation.tree.approximate_bytes()} bytes"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<DocumentStore documents={len(self._entries)}>"

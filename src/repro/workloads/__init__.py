@@ -18,8 +18,12 @@ from repro.workloads.queries import (
     query_q4,
 )
 from repro.workloads.scenarios import Scenario, build_ft1, build_ft2
+from repro.workloads.multidoc import MultiDocumentWorkload, Tenant, build_tenants
 
 __all__ = [
+    "MultiDocumentWorkload",
+    "Tenant",
+    "build_tenants",
     "XMarkGenerator",
     "SiteSpec",
     "generate_sites_document",

@@ -1,0 +1,129 @@
+"""Multi-document (multi-tenant) workload generation.
+
+A :class:`~repro.service.server.ServiceHost` serves many named documents at
+once; benchmarking and exercising it needs *per-tenant* traffic that is
+deterministic enough to replay.  This module builds both halves:
+
+* :func:`build_tenants` — N independent scaled-down FT2 scenarios (distinct
+  generator seeds, so the documents differ in content), each named and with
+  its placement namespaced per tenant (document ``doc3``'s fragments live on
+  sites ``doc3/S0…``, modelling each tenant's document on its own machines
+  behind the one shared scheduler).
+* :class:`MultiDocumentWorkload` — one seeded
+  :class:`~repro.updates.workload.MixedWorkload` read/write stream per
+  tenant, consumable per tenant (:meth:`stream`) or interleaved round-robin
+  across tenants (:meth:`ops`, yielding ``(document, MixedOp)`` pairs).
+
+Determinism matches :class:`MixedWorkload`'s contract: the same tenant
+specs, ratios and seeds, consumed in the same order, produce the same
+operation stream — mutations are synthesized lazily against each document's
+*current* state, so replaying a stream requires regenerating the tenants
+with the same seeds first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.updates.workload import MixedOp, MixedWorkload
+from repro.workloads.queries import PAPER_QUERIES
+from repro.workloads.scenarios import Scenario, build_ft2
+
+__all__ = ["Tenant", "MultiDocumentWorkload", "build_tenants"]
+
+#: seed stride between tenants (any constant works; primes avoid accidental
+#: overlap with callers stepping their own seeds by small increments)
+_SEED_STRIDE = 13
+
+
+@dataclass
+class Tenant:
+    """One hosted document: its name, generated scenario and query pool."""
+
+    name: str
+    scenario: Scenario
+    queries: List[str]
+
+    @property
+    def fragmentation(self):
+        return self.scenario.fragmentation
+
+    @property
+    def placement(self) -> Dict[str, str]:
+        return self.scenario.placement
+
+
+def build_tenants(
+    count: int,
+    total_bytes: int = 40_000,
+    seed: int = 5,
+    prefix: str = "doc",
+    queries: Optional[Sequence[str]] = None,
+) -> List[Tenant]:
+    """N named FT2 tenants with distinct documents and per-tenant sites.
+
+    Tenant *i* is named ``{prefix}{i}`` and generated with seed
+    ``seed + 13*i`` (distinct content per tenant).  Site ids are prefixed
+    with the tenant name so the shared actor pool models one set of machines
+    per tenant; co-locating tenants is a placement decision callers can make
+    by passing their own placements to the host instead.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    pool = list(queries) if queries else list(PAPER_QUERIES.values())
+    tenants: List[Tenant] = []
+    for index in range(count):
+        name = f"{prefix}{index}"
+        scenario = build_ft2(total_bytes=total_bytes, seed=seed + _SEED_STRIDE * index)
+        scenario.placement = {
+            fragment_id: f"{name}/{site_id}"
+            for fragment_id, site_id in scenario.placement.items()
+        }
+        tenants.append(Tenant(name=name, scenario=scenario, queries=pool))
+    return tenants
+
+
+class MultiDocumentWorkload:
+    """Seeded per-tenant read/write streams over a set of tenants."""
+
+    def __init__(
+        self,
+        tenants: Sequence[Tenant],
+        write_ratio: float,
+        seed: int = 0,
+    ):
+        if not tenants:
+            raise ValueError("MultiDocumentWorkload needs at least one tenant")
+        self.tenants = list(tenants)
+        self.write_ratio = write_ratio
+        self._streams: Dict[str, MixedWorkload] = {
+            tenant.name: MixedWorkload(
+                tenant.scenario.fragmentation,
+                tenant.queries,
+                write_ratio=write_ratio,
+                seed=seed + _SEED_STRIDE * index,
+            )
+            for index, tenant in enumerate(self.tenants)
+        }
+
+    def stream(self, document: str) -> MixedWorkload:
+        """The per-tenant stream for *document* (consume it sequentially)."""
+        return self._streams[document]
+
+    def ops(self, per_tenant_ops: int) -> Iterator[Tuple[str, MixedOp]]:
+        """``(document, op)`` pairs, round-robin across tenants.
+
+        Each tenant contributes *per_tenant_ops* operations; mutations are
+        synthesized lazily at yield time against the tenant's current
+        document state.
+        """
+        for _ in range(per_tenant_ops):
+            for tenant in self.tenants:
+                yield tenant.name, self._streams[tenant.name].next_op()
+
+    def __repr__(self) -> str:
+        return (
+            f"<MultiDocumentWorkload tenants={len(self.tenants)}"
+            f" write_ratio={self.write_ratio}>"
+        )

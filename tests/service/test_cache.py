@@ -235,3 +235,93 @@ class TestQueryResultCache:
         cache.get(self.key(cache, "//a"))
         assert "hits" in cache.stats.summary()
         assert cache.stats.to_dict()["misses"] == 1
+
+
+class TestTenantIsolation:
+    """One shared LRU, many document namespaces (the ServiceHost contract)."""
+
+    def key(self, cache, query, document, version="v0"):
+        return cache.make_key(query, "pax2", True, version, document=document)
+
+    def test_same_query_and_version_separate_per_document(self):
+        cache = QueryResultCache(capacity=8)
+        cache.put(self.key(cache, "//a", "alpha"), stats_for("//a"))
+        assert cache.get(self.key(cache, "//a", "beta")) is None
+        assert cache.get(self.key(cache, "//a", "alpha")) is not None
+        assert cache.stats.document("alpha").hits == 1
+        assert cache.stats.document("beta").misses == 1
+
+    def test_hot_tenant_evictions_are_charged_to_the_victim(self):
+        # A hot tenant pushing a cold tenant's entries out of the shared LRU
+        # must show up in the cold tenant's per-document eviction counter.
+        cache = QueryResultCache(capacity=4)
+        cold_key = self.key(cache, "//cold", "cold")
+        cache.put(cold_key, stats_for("//cold"))
+        for index in range(4):
+            cache.put(self.key(cache, f"//hot{index}", "hot"), stats_for("//hot"))
+        assert cold_key not in cache
+        assert cache.stats.evictions == 1
+        assert cache.stats.document("cold").evictions == 1
+        assert cache.stats.document("hot").evictions == 0
+        assert cache.stats.document("hot").stores == 4
+        # continued pressure now evicts the hot tenant's own oldest entries
+        cache.put(self.key(cache, "//hot4", "hot"), stats_for("//hot"))
+        assert cache.stats.document("hot").evictions == 1
+
+    def test_purge_document_leaves_other_tenants_untouched(self):
+        cache = QueryResultCache(capacity=8)
+        for document in ("alpha", "beta"):
+            for query in ("//a", "//b"):
+                cache.put(self.key(cache, query, document), stats_for(query))
+        assert cache.purge_document("alpha") == 2
+        assert cache.document_entry_count("alpha") == 0
+        assert cache.document_entry_count("beta") == 2
+        assert cache.stats.document("alpha").invalidations == 2
+        assert cache.stats.document("beta").invalidations == 0
+        assert cache.get(self.key(cache, "//a", "beta")) is not None
+        assert cache.purge_document("alpha") == 0  # idempotent
+
+    def test_retire_version_is_document_scoped(self):
+        # Two tenants share the same version tag *text* (identical content);
+        # retiring one tenant's tag must not touch the other's entries.
+        cache = QueryResultCache(capacity=8)
+        cache.put(
+            self.key(cache, "//a", "alpha"),
+            stats_for("//a"),
+            dependencies=frozenset({"F1"}),
+        )
+        cache.put(
+            self.key(cache, "//a", "beta"),
+            stats_for("//a"),
+            dependencies=frozenset({"F1"}),
+        )
+        rekeyed, dropped = cache.retire_version(
+            "v0", "v1", touched_fragment="F1", document="alpha"
+        )
+        assert (rekeyed, dropped) == (0, 1)
+        assert cache.get(self.key(cache, "//a", "beta", version="v0")) is not None
+        rekeyed, dropped = cache.retire_version(
+            "v0", "v1", touched_fragment="F9", document="beta"
+        )
+        assert (rekeyed, dropped) == (1, 0)
+        assert cache.get(self.key(cache, "//a", "beta", version="v1")) is not None
+
+    def test_invalidate_by_document_and_version(self):
+        cache = QueryResultCache(capacity=8)
+        cache.put(self.key(cache, "//a", "alpha", version="v0"), stats_for("//a"))
+        cache.put(self.key(cache, "//a", "alpha", version="v1"), stats_for("//a"))
+        cache.put(self.key(cache, "//a", "beta", version="v0"), stats_for("//a"))
+        assert cache.invalidate(version="v0", document="alpha") == 1
+        assert cache.document_entry_count("alpha") == 1
+        assert cache.document_entry_count("beta") == 1
+
+    def test_per_document_stats_render(self):
+        cache = QueryResultCache(capacity=4)
+        cache.put(self.key(cache, "//a", "alpha"), stats_for("//a"))
+        cache.get(self.key(cache, "//a", "alpha"))
+        cache.get(self.key(cache, "//a", "beta"))
+        summary = cache.stats.summary()
+        assert "alpha" in summary and "beta" in summary
+        payload = cache.stats.to_dict()
+        assert payload["documents"]["alpha"]["hits"] == 1
+        assert payload["documents"]["beta"]["misses"] == 1

@@ -1,0 +1,408 @@
+"""The multi-document ServiceHost: catalog, routing, isolation, parallelism."""
+
+import asyncio
+
+import pytest
+
+from repro.core.engine import DistributedQueryEngine
+from repro.service.server import AdmissionError, ServiceEngine, ServiceHost
+from repro.service.store import (
+    DEFAULT_DOCUMENT,
+    DocumentStore,
+    DuplicateDocumentError,
+    UnknownDocumentError,
+)
+from repro.updates import EditText
+from repro.workloads.multidoc import MultiDocumentWorkload, build_tenants
+from repro.workloads.queries import (
+    CLIENTELE_QUERIES,
+    clientele_example_tree,
+    clientele_paper_fragmentation,
+)
+
+
+def clientele_fragmentation():
+    return clientele_paper_fragmentation(clientele_example_tree())
+
+
+def first_text_in(fragmentation, fragment_id=None):
+    fragment_id = fragment_id or fragmentation.fragment_ids()[0]
+    return next(
+        node for node in fragmentation[fragment_id].iter_span() if node.is_text
+    )
+
+
+@pytest.fixture()
+def twin_host():
+    """A host serving two *identical* clientele documents — the worst case
+    for cross-tenant cache bleed (same content, same version tag text)."""
+    host = ServiceHost(max_in_flight=8)
+    host.register("alpha", clientele_fragmentation())
+    host.register("beta", clientele_fragmentation())
+    return host
+
+
+class TestDocumentStore:
+    def test_register_open_drop_roundtrip(self):
+        store = DocumentStore()
+        fragmentation = clientele_fragmentation()
+        entry = store.register("tenant", fragmentation)
+        assert store.open("tenant") is entry
+        assert "tenant" in store and len(store) == 1
+        assert entry.placement  # defaulted to one site per fragment
+        dropped = store.drop("tenant")
+        assert dropped is entry
+        assert "tenant" not in store and len(store) == 0
+
+    def test_duplicate_registration_rejected(self):
+        store = DocumentStore()
+        store.register("tenant", clientele_fragmentation())
+        with pytest.raises(DuplicateDocumentError):
+            store.register("tenant", clientele_fragmentation())
+
+    def test_unknown_document_raises_with_catalog(self):
+        store = DocumentStore()
+        store.register("known", clientele_fragmentation())
+        with pytest.raises(UnknownDocumentError) as excinfo:
+            store.open("missing")
+        assert "known" in str(excinfo.value)
+
+    @pytest.mark.parametrize("bad", ["", "has space", "a=b", "a::b"])
+    def test_reserved_names_rejected(self, bad):
+        store = DocumentStore()
+        with pytest.raises(ValueError):
+            store.register(bad, clientele_fragmentation())
+
+    def test_host_serves_a_prebuilt_store(self):
+        store = DocumentStore()
+        store.register("pre", clientele_fragmentation())
+        host = ServiceHost(store=store)
+        assert host.documents() == ["pre"]
+        assert host.execute("pre", "client/name").answer_ids
+
+
+class TestRouting:
+    def test_answers_match_solo_engines_per_document(self):
+        tenants = build_tenants(3, total_bytes=12_000, seed=5)
+        host = ServiceHost(max_in_flight=8)
+        for tenant in tenants:
+            host.register(tenant.name, tenant.fragmentation, tenant.placement)
+        for tenant in tenants:
+            solo = DistributedQueryEngine(
+                tenant.fragmentation, placement=tenant.placement
+            )
+            for query in tenant.queries:
+                assert (
+                    host.execute(tenant.name, query).answer_ids
+                    == solo.execute(query).answer_ids
+                ), (tenant.name, query)
+
+    def test_submit_to_unknown_document_raises(self, twin_host):
+        with pytest.raises(UnknownDocumentError):
+            twin_host.execute("gamma", "client/name")
+
+    def test_updates_route_to_the_named_document(self, twin_host):
+        alpha = twin_host.session("alpha")
+        beta = twin_host.session("beta")
+        target = first_text_in(alpha.fragmentation)
+        beta_version = beta.version
+        twin_host.update("alpha", EditText(target.node_id, "only-alpha"))
+        assert alpha.version != beta_version
+        assert beta.version == beta_version  # untouched tenant keeps its tag
+
+
+class TestCacheIsolation:
+    def test_identical_documents_never_share_entries(self, twin_host):
+        host = twin_host
+        host.execute("alpha", "client/name")
+        evaluated = host.metrics.total_evaluated
+        # beta's first request must evaluate, not hit alpha's entry —
+        # even though both documents have identical content and version text.
+        host.execute("beta", "client/name")
+        assert host.metrics.total_evaluated == evaluated + 1
+        assert host.cache.stats.document("beta").hits == 0
+        # and beta's second request hits beta's own entry
+        host.execute("beta", "client/name")
+        assert host.cache.stats.document("beta").hits == 1
+        assert host.cache.stats.document("alpha").hits == 0
+
+    def test_write_to_one_tenant_keeps_the_others_entries_hot(self, twin_host):
+        host = twin_host
+        query = CLIENTELE_QUERIES["brokers_goog"]
+        host.execute("alpha", query)
+        host.execute("beta", query)
+        target = first_text_in(host.session("alpha").fragmentation)
+        host.update("alpha", EditText(target.node_id, "rolled"))
+        hits_before = host.cache.stats.document("beta").hits
+        host.execute("beta", query)
+        assert host.cache.stats.document("beta").hits == hits_before + 1
+
+    def test_coalescing_never_crosses_documents(self, twin_host):
+        host = twin_host
+
+        async def fire():
+            return await asyncio.gather(
+                *(host.submit("alpha", "client/name") for _ in range(3)),
+                *(host.submit("beta", "client/name") for _ in range(3)),
+            )
+
+        results = asyncio.run(fire())
+        assert len(results) == 6
+        # one evaluation per document, the rest coalesced within it
+        assert host.metrics.document("alpha").evaluated == 1
+        assert host.metrics.document("beta").evaluated == 1
+        assert host.metrics.document("alpha").coalesced == 2
+        assert host.metrics.document("beta").coalesced == 2
+
+
+class TestDropDocument:
+    def test_drop_purges_only_that_tenant(self, twin_host):
+        host = twin_host
+        for name in ("alpha", "beta"):
+            host.execute(name, "client/name")
+            host.execute(name, CLIENTELE_QUERIES["brokers_goog"])
+        beta_entries = host.cache.document_entry_count("beta")
+        beta_version = host.session("beta").version
+        purged = host.drop_document("alpha")
+        assert purged == 2
+        assert host.cache.document_entry_count("alpha") == 0
+        assert host.cache.document_entry_count("beta") == beta_entries
+        assert host.documents() == ["beta"]
+        with pytest.raises(UnknownDocumentError):
+            host.execute("alpha", "client/name")
+        # the survivor's version tag and cached answers are untouched
+        assert host.session("beta").version == beta_version
+        hits_before = host.cache.stats.document("beta").hits
+        host.execute("beta", "client/name")
+        assert host.cache.stats.document("beta").hits == hits_before + 1
+
+    def test_dropped_name_can_be_reregistered(self, twin_host):
+        twin_host.drop_document("alpha")
+        session = twin_host.register("alpha", clientele_fragmentation())
+        assert twin_host.execute("alpha", "client/name").answer_ids
+        assert session.version
+
+    def test_drop_during_inflight_evaluation_leaves_no_residue(self, twin_host):
+        # Regression: an evaluation in flight when its document is dropped
+        # must not re-insert its answer into the shared LRU after the purge.
+        host = twin_host
+
+        async def scenario():
+            task = asyncio.ensure_future(host.submit("alpha", "client/name"))
+            await asyncio.sleep(0)  # leader registered, evaluation under way
+            host.drop_document("alpha")
+            result = await task  # the in-flight query still completes
+            assert result.answer_ids
+
+        asyncio.run(scenario())
+        assert host.cache.document_entry_count("alpha") == 0
+        assert "alpha" not in host.documents()
+
+    def test_drop_releases_unshared_site_actors_and_stat_slices(self):
+        # Tenants with namespaced placements: dropping one must free its
+        # sites from the shared pool and its per-document stat slices —
+        # a churning host must not accumulate residue forever.
+        tenants = build_tenants(2, total_bytes=10_000, seed=5)
+        host = ServiceHost(max_in_flight=4)
+        for tenant in tenants:
+            host.register(tenant.name, tenant.fragmentation, tenant.placement)
+        for tenant in tenants:
+            host.execute(tenant.name, tenant.queries[0])
+        doomed_sites = set(tenants[0].placement.values())
+        assert doomed_sites <= set(host.actors.site_ids())
+        host.drop_document(tenants[0].name)
+        assert not doomed_sites & set(host.actors.site_ids())
+        assert tenants[0].name not in host.cache.stats.documents
+        assert tenants[0].name not in host.metrics.documents
+        # the survivor's actors and stats are untouched
+        assert set(tenants[1].placement.values()) <= set(host.actors.site_ids())
+        assert tenants[1].name in host.metrics.documents
+
+
+class TestPerDocumentWriteExclusivity:
+    def test_writers_on_different_documents_do_not_serialize(self, twin_host):
+        # Regression for the PR 4 design: one writer used to drain the
+        # host-global admission semaphore, so ANY write froze every tenant.
+        host = twin_host
+        target_beta = first_text_in(host.session("beta").fragmentation)
+
+        async def scenario():
+            alpha_gate = host.session("alpha").gate
+            async with alpha_gate.write_locked():
+                # alpha's writer gate is held: beta's write and read both
+                # complete — they only contend on beta's own gate.
+                await asyncio.wait_for(
+                    host.apply_update("beta", EditText(target_beta.node_id, "w")),
+                    timeout=5.0,
+                )
+                await asyncio.wait_for(host.submit("beta", "client/name"), timeout=5.0)
+                # ...while a reader of alpha is parked behind alpha's writer.
+                reader = asyncio.ensure_future(host.submit("alpha", "client/name"))
+                done, _ = await asyncio.wait({reader}, timeout=0.05)
+                assert not done
+            # gate released: the parked reader now completes
+            result = await asyncio.wait_for(reader, timeout=5.0)
+            assert result.answer_ids
+
+        asyncio.run(scenario())
+
+    def test_concurrent_cross_document_write_storm(self, twin_host):
+        host = twin_host
+        texts = {
+            name: [
+                node
+                for node in host.session(name).fragmentation.tree.root.iter_subtree()
+                if node.is_text
+            ][:4]
+            for name in ("alpha", "beta")
+        }
+
+        async def storm():
+            operations = []
+            for name in ("alpha", "beta"):
+                operations += [host.submit(name, "client/name") for _ in range(4)]
+                operations += [
+                    host.apply_update(name, EditText(node.node_id, f"{name}{i}"))
+                    for i, node in enumerate(texts[name])
+                ]
+            return await asyncio.gather(*operations)
+
+        results = asyncio.run(asyncio.wait_for(storm(), timeout=10.0))
+        assert len(results) == 16
+        assert host.metrics.document("alpha").updates == 4
+        assert host.metrics.document("beta").updates == 4
+
+    def test_write_still_excludes_readers_of_its_own_document(self, twin_host):
+        # The per-session gate must not have weakened single-document
+        # exclusivity: while alpha's write gate is held, alpha's reads wait.
+        host = twin_host
+
+        async def scenario():
+            gate = host.session("alpha").gate
+            async with gate.write_locked():
+                reader = asyncio.ensure_future(host.submit("alpha", "client/name"))
+                done, _ = await asyncio.wait({reader}, timeout=0.05)
+                assert not done
+            assert (await asyncio.wait_for(reader, timeout=5.0)).answer_ids
+
+        asyncio.run(scenario())
+
+
+class TestSharedScheduler:
+    def test_write_parked_readers_do_not_eat_the_pending_budget(self):
+        # Regression: readers parked behind one tenant's writer used to
+        # count toward the shared max_pending budget, tripping
+        # AdmissionError for healthy tenants with idle capacity.
+        host = ServiceHost(max_in_flight=2, max_pending=0, coalesce=False)
+        host.register("alpha", clientele_fragmentation())
+        host.register("beta", clientele_fragmentation())
+
+        async def scenario():
+            gate = host.session("alpha").gate
+            async with gate.write_locked():
+                parked = [
+                    asyncio.ensure_future(host.submit("alpha", "client/name"))
+                    for _ in range(4)
+                ]
+                await asyncio.sleep(0)
+                # beta has the whole host to itself and must be admitted
+                result = await asyncio.wait_for(
+                    host.submit("beta", "client/name"), timeout=5.0
+                )
+                assert result.answer_ids
+            # Once alpha's writer releases, its readers un-park together and
+            # the overload policy applies to THEM (max_pending=0 admits two,
+            # rejects the rest) — but never to the other tenant above.
+            outcomes = await asyncio.gather(*parked, return_exceptions=True)
+            served = [r for r in outcomes if not isinstance(r, BaseException)]
+            rejected = [r for r in outcomes if isinstance(r, AdmissionError)]
+            assert len(served) + len(rejected) == len(parked)
+            assert served  # the write never strands alpha's readers entirely
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=10.0))
+
+    def test_admission_is_shared_across_documents(self, twin_host):
+        host = ServiceHost(max_in_flight=1, max_pending=0, coalesce=False)
+        host.register("alpha", clientele_fragmentation())
+        host.register("beta", clientele_fragmentation())
+
+        async def scenario():
+            first = asyncio.ensure_future(host.submit("alpha", "client/name"))
+            await asyncio.sleep(0)  # let it occupy the only admission slot
+            with pytest.raises(AdmissionError):
+                await host.submit("beta", CLIENTELE_QUERIES["brokers_goog"])
+            await first
+
+        asyncio.run(scenario())
+
+    def test_host_metrics_carry_per_document_breakdowns(self, twin_host):
+        host = twin_host
+        host.execute("alpha", "client/name")
+        host.execute("beta", "client/name")
+        target = first_text_in(host.session("beta").fragmentation)
+        host.update("beta", EditText(target.node_id, "metered"))
+        payload = host.metrics.to_dict()
+        assert set(payload["documents"]) == {"alpha", "beta"}
+        assert payload["documents"]["beta"]["updates"] == 1
+        assert payload["documents"]["alpha"]["requests"] == 1
+        assert "per document" in host.metrics.summary()
+        assert host.metrics.update_records[0].document == "beta"
+
+    def test_mixed_tenant_workload_matches_solo_engines(self):
+        # End to end: interleaved reads and writes across three tenants,
+        # every read differentially checked against a solo engine sharing
+        # the same (mutating) fragmentation.
+        tenants = build_tenants(3, total_bytes=12_000, seed=9)
+        host = ServiceHost(max_in_flight=8)
+        solo = {}
+        for tenant in tenants:
+            host.register(tenant.name, tenant.fragmentation, tenant.placement)
+            solo[tenant.name] = DistributedQueryEngine(
+                tenant.fragmentation, placement=tenant.placement
+            )
+        workload = MultiDocumentWorkload(tenants, write_ratio=0.2, seed=31)
+        reads = writes = 0
+        for name, op in workload.ops(25):
+            if op.is_write:
+                host.update(name, op.mutation)
+                writes += 1
+            else:
+                assert (
+                    host.execute(name, op.query).answer_ids
+                    == solo[name].execute(op.query).answer_ids
+                ), (name, op.query)
+                reads += 1
+        assert reads and writes
+        # per-document accounting adds up to the host totals
+        assert (
+            sum(totals.requests for totals in host.metrics.documents.values())
+            == host.metrics.total_requests
+        )
+        assert (
+            sum(slice_.hits for slice_ in host.cache.stats.documents.values())
+            == host.cache.stats.hits
+        )
+
+
+class TestSingleDocumentFacade:
+    def test_service_engine_is_a_one_document_host(self):
+        service = ServiceEngine(clientele_fragmentation(), max_in_flight=4)
+        assert service.documents() == [DEFAULT_DOCUMENT]
+        assert service.document == DEFAULT_DOCUMENT
+        assert service.host is service
+        # both call shapes reach the same session
+        facade = service.execute("client/name").answer_ids
+        routed = service.host.session(DEFAULT_DOCUMENT)
+        assert routed.version == service.version
+        assert facade
+
+    def test_engine_register_with_joins_a_host(self):
+        engine = DistributedQueryEngine(clientele_fragmentation())
+        host = ServiceHost(max_in_flight=4)
+        session = engine.register_with(host, "joined")
+        assert host.documents() == ["joined"]
+        assert session.fragmentation is engine.fragmentation
+        assert (
+            host.execute("joined", "client/name").answer_ids
+            == engine.execute("client/name").answer_ids
+        )

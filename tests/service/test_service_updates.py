@@ -201,7 +201,7 @@ class TestApplyUpdate:
         assert service.metrics.total_evaluated == evaluated_before
         # and nothing is stranded under a superseded tag
         for key in service.cache._entries:
-            assert key[3] == service.version
+            assert key[-1] == service.version
 
     def test_updates_are_admission_exclusive(self, clientele_service):
         service = clientele_service

@@ -136,6 +136,55 @@ class TestServeCommand:
         assert main(["serve", catalog_path, "--fragment-size", "4"]) == 0
         assert "requests         : 1" in capsys.readouterr().out
 
+    def test_serve_multiple_named_documents(self, catalog_path, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        # one pinned query (name::query) and two round-robin queries
+        queries.write_text(
+            "left:://book/title\n//department/name\n//book/title\n", encoding="utf-8"
+        )
+        code = main([
+            "serve",
+            "--doc", f"left={catalog_path}",
+            "--doc", f"right={catalog_path}",
+            "--queries", str(queries),
+            "--fragment-size", "4", "--answers",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[left] //book/title" in out
+        assert "2 document(s)" in out
+        assert "per document" in out
+
+    def test_serve_rejects_doc_and_positional_together(self, catalog_path, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("//book/title\n", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main([
+                "serve", catalog_path, "--doc", f"other={catalog_path}",
+                "--queries", str(queries),
+            ])
+
+    def test_serve_rejects_pin_to_unknown_document(self, catalog_path, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("stor:://book/title\n", encoding="utf-8")  # typo'd pin
+        with pytest.raises(SystemExit, match="unknown document 'stor'"):
+            main([
+                "serve", "--doc", f"store={catalog_path}",
+                "--queries", str(queries), "--fragment-size", "4",
+            ])
+
+    def test_serve_rejects_malformed_doc_spec(self, catalog_path, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("//book/title\n", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["serve", "--doc", "nopath", "--queries", str(queries)])
+
+    def test_serve_requires_some_document(self, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("//book/title\n", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["serve", "--queries", str(queries)])
+
 
 class TestBenchServiceCommand:
     def test_emits_benchmark_json(self, tmp_path, capsys):
@@ -197,6 +246,26 @@ class TestBenchUpdateCommand:
         assert entry["incremental"]["full_document_walks"] == 0
         assert entry["rebuild"]["full_document_walks"] == entry["writes"]
         assert report["headline"]["query_path_full_walks"] == 0
+
+
+class TestBenchTenancyCommand:
+    def test_emits_benchmark_json(self, tmp_path, capsys):
+        import json
+
+        output = tmp_path / "BENCH_tenancy.json"
+        code = main([
+            "bench-tenancy", "--docs", "2", "--bytes", "10000",
+            "--ops", "12", "--output", str(output),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shared host" in out and "isolated" in out
+        report = json.loads(output.read_text(encoding="utf-8"))
+        assert report["benchmark"] == "tenancy"
+        assert report["verification"]["passed"]
+        assert report["verification"]["reads_verified"] > 0
+        assert len(report["shared_host"]["metrics"]["documents"]) == 2
+        assert report["qps_ratio_shared_vs_isolated"] > 0
 
 
 class TestGenerateCommand:
