@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.distributed.messages import Message
 from repro.distributed.network import Network
+from repro.obs.trace import event, span as trace_span
 
 __all__ = ["LatencyModel", "AsyncTransport"]
 
@@ -76,7 +77,16 @@ class AsyncTransport:
             delay = self.latency.delay(message.units)
             if delay > 0.0:
                 self.simulated_seconds += delay
-                await asyncio.sleep(delay)
+                with trace_span(
+                    f"wire:{kind}", stage="wire",
+                    sender=sender, receiver=receiver, units=message.units,
+                ):
+                    await asyncio.sleep(delay)
+            else:
+                # Free wire: no time to attribute, but traced requests still
+                # get a marker per message crossing sites.
+                event(f"message:{kind}", sender=sender, receiver=receiver,
+                      units=message.units)
         return message
 
     def __repr__(self) -> str:

@@ -1,0 +1,84 @@
+"""Observability: request tracing, latency attribution, exportable metrics.
+
+The paper's claims are performance *guarantees* — bounded per-site visits,
+communication independent of document size — and the serving stack built on
+top of them (admission, caching, batching, updates, multi-tenancy) adds
+wall-clock stages the paper's cost model never sees.  This package makes
+both observable on live traffic:
+
+:mod:`~repro.obs.trace`
+    Contextvar-propagated :class:`~repro.obs.trace.Tracer`/
+    :class:`~repro.obs.trace.Span`: one root span per request, threaded
+    through admission wait, cache, plan compile, the batching window, the
+    per-site evaluator rounds, fragment kernel scans, the simulated wire and
+    reassembly — and the write path.  Staged spans reconstruct each
+    request's latency per category; the default
+    :data:`~repro.obs.trace.NULL_TRACER` keeps the untraced path
+    allocation-free.
+:mod:`~repro.obs.guarantees`
+    The online guarantee checker: every traced evaluation is verified
+    against the paper's per-site visit bounds (PaX2 ≤ 2, PaX3 ≤ 3,
+    ParBoX = 1, naive = 1); violations are counted and flagged on the span.
+:mod:`~repro.obs.export`
+    Exporters — JSON-lines span log, Chrome trace events (open in
+    Perfetto), slow-query log with full ``RunStats`` dumps.
+:mod:`~repro.obs.histogram` / :mod:`~repro.obs.prometheus` / :mod:`~repro.obs.http`
+    Fixed-bucket latency histograms, the Prometheus text-format renderer
+    over the host's whole metrics surface, and the tiny asyncio HTTP
+    endpoint behind ``repro serve --metrics-port`` / ``repro stats``.
+
+Quickstart::
+
+    from repro.obs import ChromeTraceExporter, Tracer
+    from repro.service import ServiceEngine
+
+    tracer = Tracer(exporters=[ChromeTraceExporter("trace.json")])
+    service = ServiceEngine(fragmentation, tracer=tracer)
+    service.serve_batch(["//person/name"] * 100, concurrency=16)
+    tracer.close()                       # writes trace.json for Perfetto
+    print(tracer.finished[-1].breakdown())   # {'queue': ..., 'kernel': ...}
+"""
+
+from repro.obs.export import ChromeTraceExporter, JsonLinesExporter, SlowQueryLog
+from repro.obs.guarantees import VISIT_BOUNDS, GuaranteeChecker, GuaranteeViolation
+from repro.obs.histogram import DEFAULT_BUCKETS, Histogram
+from repro.obs.http import MetricsServer, stats_payload
+from repro.obs.prometheus import render_prometheus
+from repro.obs.trace import (
+    NULL_TRACER,
+    STAGES,
+    NullTracer,
+    Span,
+    Tracer,
+    add_span,
+    current_span,
+    event,
+    set_attributes,
+    set_stats,
+    span,
+)
+
+__all__ = [
+    "ChromeTraceExporter",
+    "JsonLinesExporter",
+    "SlowQueryLog",
+    "VISIT_BOUNDS",
+    "GuaranteeChecker",
+    "GuaranteeViolation",
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "MetricsServer",
+    "stats_payload",
+    "render_prometheus",
+    "NULL_TRACER",
+    "STAGES",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "add_span",
+    "current_span",
+    "event",
+    "set_attributes",
+    "set_stats",
+    "span",
+]

@@ -1,0 +1,187 @@
+"""Span exporters: JSON-lines, Chrome trace events (Perfetto), slow-query log.
+
+Every exporter receives finished **root** spans from a
+:class:`~repro.obs.trace.Tracer` via ``export(span)``; ``close()`` flushes
+and releases the sink.  All three write plain text a human (or Perfetto, or
+``jq``) can read without this codebase:
+
+:class:`JsonLinesExporter`
+    One JSON object per request — the nested span tree of
+    :meth:`~repro.obs.trace.Span.to_dict` — appended per line.  The grep-able
+    archival format.
+:class:`ChromeTraceExporter`
+    The Chrome trace-event format: one complete (``"ph": "X"``) event per
+    span, timestamps in microseconds on the process-wide ``perf_counter``
+    base.  Load the written file at https://ui.perfetto.dev (or
+    ``chrome://tracing``) to see requests as nested flame slices.  Requests
+    are assigned round-robin to a small set of virtual threads so concurrent
+    requests render side by side instead of stacking into one unreadable
+    track.
+:class:`SlowQueryLog`
+    JSON-lines like the first, but only for requests at or above a latency
+    threshold — and those records additionally carry the full
+    :class:`~repro.distributed.stats.RunStats` dump, because for a slow
+    query you want the paper-model accounting (visits, units, per-stage
+    seconds) next to the wall-clock tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Union
+
+from repro.obs.trace import Span
+
+__all__ = ["ChromeTraceExporter", "JsonLinesExporter", "SlowQueryLog"]
+
+Sink = Union[str, Path, IO[str]]
+
+
+class _LineSink:
+    """Shared line-oriented sink: a path (opened/append) or a file object."""
+
+    def __init__(self, sink: Sink):
+        if isinstance(sink, (str, Path)):
+            self._handle: IO[str] = open(sink, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._handle = sink
+            self._owns = False
+
+    def write_line(self, line: str) -> None:
+        self._handle.write(line + "\n")
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._owns:
+            self._handle.close()
+
+
+class JsonLinesExporter:
+    """Append every finished request as one JSON line (the full span tree)."""
+
+    def __init__(self, sink: Sink):
+        self._sink = _LineSink(sink)
+        self.exported = 0
+
+    def export(self, span: Span) -> None:
+        self._sink.write_line(json.dumps(span.to_dict(), sort_keys=True))
+        self.exported += 1
+
+    def close(self) -> None:
+        self._sink.close()
+
+
+class ChromeTraceExporter:
+    """Collect spans as Chrome trace events; :meth:`save`/:meth:`close` writes.
+
+    Events are buffered (bounded) rather than streamed because the format is
+    one JSON document; ``tid`` cycles over ``lanes`` virtual threads so
+    overlapping requests get separate tracks in Perfetto.
+    """
+
+    #: process/thread names shown by the viewer
+    PROCESS_NAME = "repro-service"
+
+    def __init__(self, path: Union[str, Path], lanes: int = 8, max_events: int = 200_000):
+        if lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.path = Path(path)
+        self.lanes = lanes
+        self.max_events = max_events
+        self.events: List[Dict[str, Any]] = [
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": self.PROCESS_NAME},
+            }
+        ]
+        self.dropped = 0
+        self._next_lane = 0
+
+    def export(self, span: Span) -> None:
+        lane = self._next_lane + 1  # tid 0 is metadata
+        self._next_lane = (self._next_lane + 1) % self.lanes
+        for node in span.walk():
+            if len(self.events) >= self.max_events:
+                self.dropped += 1
+                continue
+            args: Dict[str, Any] = dict(node._attributes) if node._attributes else {}
+            if node.stage is not None:
+                args["stage"] = node.stage
+            event: Dict[str, Any] = {
+                "ph": "X",
+                "pid": 1,
+                "tid": lane,
+                "name": node.name,
+                "cat": node.stage or node.kind,
+                "ts": round(node.start * 1_000_000, 3),
+                "dur": round(node.duration * 1_000_000, 3),
+            }
+            if args:
+                event["args"] = _jsonable(args)
+            self.events.append(event)
+
+    def save(self) -> Path:
+        """Write the buffered events as one Chrome trace JSON document."""
+        payload = {
+            "traceEvents": self.events,
+            "displayTimeUnit": "ms",
+        }
+        self.path.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+        return self.path
+
+    def close(self) -> None:
+        self.save()
+
+
+class SlowQueryLog:
+    """JSON-lines log of requests at or above ``threshold_seconds``.
+
+    Each record: the request's span tree, its stage breakdown, and — when
+    the request carried one — the full ``RunStats`` dump
+    (:meth:`~repro.distributed.stats.RunStats.to_dict`).
+    """
+
+    def __init__(self, sink: Sink, threshold_seconds: float = 0.1):
+        if threshold_seconds < 0.0:
+            raise ValueError("threshold_seconds must be >= 0")
+        self._sink = _LineSink(sink)
+        self.threshold_seconds = threshold_seconds
+        self.logged = 0
+
+    def export(self, span: Span) -> None:
+        if span.duration < self.threshold_seconds:
+            return
+        record: Dict[str, Any] = {
+            "slow_query": True,
+            "threshold_seconds": self.threshold_seconds,
+            "duration_seconds": round(span.duration, 9),
+            "span": span.to_dict(),
+        }
+        if span.stats is not None:
+            record["run_stats"] = span.stats.to_dict()
+        self._sink.write_line(json.dumps(record, sort_keys=True))
+        self.logged += 1
+
+    def close(self) -> None:
+        self._sink.close()
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of span attributes for the trace viewers."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

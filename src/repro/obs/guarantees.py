@@ -1,0 +1,112 @@
+"""Live verification of the paper's per-site visit bounds (Section 3.4).
+
+The paper's headline guarantee is that partial evaluation visits each site a
+*bounded* number of times per query, independent of the document: PaX3 at
+most three times (qualifier, selection, answer rounds), PaX2 at most twice
+(combined round, answer round), ParBoX exactly once (it is PaX3's first
+stage alone), and the naive baseline once (it ships every fragment to the
+coordinator in one round).  ``repro.bench.guarantees`` tabulates this
+offline; :class:`GuaranteeChecker` enforces it *online*: the tracer runs it
+against every evaluated request's :class:`~repro.distributed.stats.RunStats`
+and any site whose visit count exceeds its algorithm's bound becomes a
+recorded :class:`GuaranteeViolation` — a regression in the request path
+(e.g. an orchestration change visiting a site per fragment instead of per
+round) surfaces on the first traced request instead of in a quarterly
+benchmark run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+__all__ = ["VISIT_BOUNDS", "GuaranteeChecker", "GuaranteeViolation"]
+
+#: maximum visits any one site may receive per query, by the algorithm name
+#: recorded in RunStats.algorithm (Section 3.4 of the paper)
+VISIT_BOUNDS: Dict[str, int] = {
+    "PaX2": 2,
+    "PaX3": 3,
+    "ParBoX": 1,
+    "NaiveCentralized": 1,
+}
+
+
+@dataclass(frozen=True)
+class GuaranteeViolation:
+    """One site of one run exceeding its algorithm's visit bound."""
+
+    algorithm: str
+    query: str
+    site_id: str
+    visits: int
+    bound: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "query": self.query,
+            "site_id": self.site_id,
+            "visits": self.visits,
+            "bound": self.bound,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.algorithm} visited site {self.site_id} {self.visits}x"
+            f" on {self.query!r} (bound: {self.bound})"
+        )
+
+
+class GuaranteeChecker:
+    """Check evaluated runs against the per-site visit bounds.
+
+    Violations are counted for the tracer's lifetime and the most recent
+    ones retained (bounded by ``keep``).  Unknown algorithm names pass
+    unchecked — a new algorithm must opt into a bound, not inherit one.
+    """
+
+    def __init__(self, bounds: Optional[Mapping[str, int]] = None, keep: int = 100):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.bounds: Dict[str, int] = dict(bounds) if bounds is not None else dict(VISIT_BOUNDS)
+        self.keep = keep
+        self.checked = 0
+        self.violation_count = 0
+        #: most recent violations, oldest first (bounded by ``keep``)
+        self.violations: List[GuaranteeViolation] = []
+
+    def check(self, stats) -> List[GuaranteeViolation]:
+        """Check one run; record and return its violations (usually empty)."""
+        bound = self.bounds.get(stats.algorithm)
+        if bound is None:
+            return []
+        self.checked += 1
+        found: List[GuaranteeViolation] = []
+        for site_id, visits in stats.visits_by_site().items():
+            if visits > bound:
+                found.append(
+                    GuaranteeViolation(
+                        algorithm=stats.algorithm,
+                        query=stats.query,
+                        site_id=site_id,
+                        visits=visits,
+                        bound=bound,
+                    )
+                )
+        if found:
+            self.violation_count += len(found)
+            self.violations.extend(found)
+            if len(self.violations) > self.keep:
+                del self.violations[: len(self.violations) - self.keep]
+        return found
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "checked": self.checked,
+            "violations": self.violation_count,
+            "recent": [violation.to_dict() for violation in self.violations[-10:]],
+        }
+
+    def __repr__(self) -> str:
+        return f"<GuaranteeChecker checked={self.checked} violations={self.violation_count}>"

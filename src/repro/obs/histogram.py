@@ -1,0 +1,112 @@
+"""Fixed-bucket latency histograms for the Prometheus exposition.
+
+The service's latency quantiles (:func:`repro.service.metrics.percentile`)
+are computed from a bounded sample window — exact but re-sorted on demand
+and meaningless to merge across processes.  Prometheus wants the opposite
+trade: fixed cumulative buckets that cost O(1) per observation, O(buckets)
+memory forever, and aggregate across scrapes and instances.  One
+:class:`Histogram` per stage/kind lives on the tracer; the renderer in
+:mod:`repro.obs.prometheus` turns them into standard ``_bucket``/``_sum``/
+``_count`` series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["DEFAULT_BUCKETS", "Histogram"]
+
+#: upper bounds in seconds, log-spaced from 50µs to 10s — wide enough for a
+#: cache hit and a cold multi-fragment evaluation on the same axis
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.00005,
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class Histogram:
+    """Cumulative fixed-bucket histogram (Prometheus semantics).
+
+    ``counts[i]`` is the number of observations ``<= buckets[i]``-th bound's
+    bucket (non-cumulative internally; cumulated when rendered); ``+Inf`` is
+    implicit via :attr:`count`.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        self.counts: List[int] = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        # falls through: counted only in the implicit +Inf bucket
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            running += bucket_count
+            pairs.append((bound, running))
+        pairs.append((math.inf, self.count))
+        return pairs
+
+    def quantile(self, fraction: float) -> float:
+        """Approximate quantile: the upper bound of the covering bucket.
+
+        Coarse by construction (bucket resolution); the exact sample-window
+        quantiles in :class:`~repro.service.metrics.ServiceMetrics` remain
+        the precise source — this exists so the Prometheus payload can carry
+        self-contained summary gauges.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = fraction * self.count
+        for bound, cumulative in self.cumulative():
+            if cumulative >= target:
+                return bound if math.isfinite(bound) else self.buckets[-1]
+        return self.buckets[-1]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum_seconds": round(self.sum, 9),
+            "mean_seconds": round(self.mean, 9),
+            "p50_le_seconds": self.quantile(0.50),
+            "p95_le_seconds": self.quantile(0.95),
+        }
+
+    def __repr__(self) -> str:
+        return f"<Histogram count={self.count} mean={self.mean * 1000:.3f}ms>"

@@ -1,0 +1,140 @@
+"""A tiny asyncio HTTP endpoint serving the host's live metrics.
+
+No web framework, no dependency: a line-oriented HTTP/1.0-style responder on
+``asyncio.start_server``, just enough for a Prometheus scraper, ``curl`` or
+``repro stats`` to pull three routes:
+
+``/metrics``
+    Prometheus text exposition (:func:`repro.obs.prometheus.render_prometheus`).
+``/stats.json``
+    One JSON document: service metrics, cache stats, per-document batching
+    stats and the tracer's state (:func:`stats_payload`).
+``/healthz``
+    ``ok`` with the served document count — a liveness probe.
+
+Started from ``repro serve --metrics-port`` (live during — and optionally
+after — the workload) or programmatically::
+
+    server = MetricsServer(host, port=0)       # port=0 picks a free port
+    await server.start()
+    ... scrape http://127.0.0.1:{server.port}/metrics ...
+    await server.stop()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+
+from repro.obs.prometheus import render_prometheus
+
+__all__ = ["MetricsServer", "stats_payload"]
+
+
+def stats_payload(host: Any) -> Dict[str, Any]:
+    """The ``/stats.json`` document: every stats surface the host keeps."""
+    payload: Dict[str, Any] = {
+        "documents": list(host.documents()) if hasattr(host, "documents") else [],
+        "metrics": host.metrics.to_dict(),
+    }
+    cache = getattr(host, "cache", None)
+    if cache is not None:
+        payload["cache"] = cache.stats.to_dict()
+        payload["cache_entries"] = len(cache)
+    batching: Dict[str, Any] = {}
+    for name, session in sorted((getattr(host, "sessions", None) or {}).items()):
+        batcher = getattr(session, "batcher", None)
+        if batcher is not None:
+            batching[name] = batcher.stats.to_dict()
+    if batching:
+        payload["batching"] = batching
+    tracer = getattr(host, "tracer", None)
+    if tracer is not None:
+        payload["tracing"] = tracer.to_dict()
+    return payload
+
+
+class MetricsServer:
+    """Serve ``/metrics``, ``/stats.json`` and ``/healthz`` for one host."""
+
+    def __init__(self, host: Any, port: int = 0, address: str = "127.0.0.1"):
+        self.host = host
+        self.address = address
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> "MetricsServer":
+        """Bind and start serving; resolves :attr:`port` when it was 0."""
+        self._server = await asyncio.start_server(self._handle, self.address, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.address}:{self.port}"
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            # Drain headers; we route on the path alone.
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            status, content_type, body = self._route(path.split("?", 1)[0])
+            payload = body.encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+            )
+            writer.write(payload)
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    def _route(self, path: str) -> tuple:
+        if path == "/metrics":
+            return (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                render_prometheus(self.host),
+            )
+        if path == "/stats.json":
+            return (
+                "200 OK",
+                "application/json; charset=utf-8",
+                json.dumps(stats_payload(self.host), indent=2, sort_keys=True) + "\n",
+            )
+        if path == "/healthz":
+            documents = list(self.host.documents()) if hasattr(self.host, "documents") else []
+            return ("200 OK", "text/plain; charset=utf-8", f"ok {len(documents)} document(s)\n")
+        return (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; routes: /metrics /stats.json /healthz\n",
+        )
+
+    def __repr__(self) -> str:
+        state = "listening" if self._server is not None else "stopped"
+        return f"<MetricsServer {self.url} {state}>"

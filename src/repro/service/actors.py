@@ -28,6 +28,7 @@ from contextlib import asynccontextmanager
 from typing import AsyncIterator, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.kernel.dispatch import combined_pass_batch
+from repro.obs.trace import NEGLIGIBLE_WAIT_SECONDS, add_span
 from repro.service.metrics import BatchStats
 
 __all__ = ["SiteActor", "ActorPool", "FragmentWaveBatcher", "ReadWriteGate"]
@@ -172,6 +173,9 @@ class SiteActor:
         async with semaphore:
             started = time.perf_counter()
             self.queued_seconds += started - queued_at
+            if started - queued_at >= NEGLIGIBLE_WAIT_SECONDS:
+                add_span("site:queued", "queue", queued_at, started,
+                         site=self.site_id, op=stage)
             self.in_flight += 1
             self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
             try:
@@ -266,15 +270,28 @@ class FragmentWaveBatcher:
             self._flush_handle = None
             self._loop_ref = weakref.ref(loop)
         future = loop.create_future()
+        queued_at = time.perf_counter()
         self._pending.setdefault(fragment_id, []).append(
-            (plan, tuple(init_vector), is_root_fragment, future, time.perf_counter())
+            (plan, tuple(init_vector), is_root_fragment, future, queued_at)
         )
         if self._flush_handle is None:
             if self.window > 0.0:
                 self._flush_handle = loop.call_later(self.window, self._flush)
             else:
                 self._flush_handle = loop.call_soon(self._flush)
-        return await future
+        # The flush callback runs in whatever task context first scheduled
+        # it, so its spans would attribute to an arbitrary request; instead
+        # the scan timing rides back on the future and each waiter records
+        # its own window/kernel spans here, in its own request's context.
+        # The window span runs until this waiter's own scan starts (the
+        # breakdown's stage precedence charges any overlap with the same
+        # request's other scans to kernel, not twice).
+        output, scan_started, scan_ended = await future
+        add_span("batch:window", "window", queued_at, scan_started,
+                 fragment=fragment_id)
+        add_span("kernel:fused", "kernel", scan_started, scan_ended,
+                 fragment=fragment_id)
+        return output
 
     def _flush(self) -> None:
         """Run one fused scan per fragment with pending requests."""
@@ -305,6 +322,7 @@ class FragmentWaveBatcher:
                 slots[key] = waiters = []
                 slot_order.append(key)
             waiters.append(request)
+        scan_started = time.perf_counter()
         try:
             outputs = combined_pass_batch(
                 self.fragmentation,
@@ -320,6 +338,7 @@ class FragmentWaveBatcher:
                 if not future.done():
                     future.set_exception(error)
             return
+        scan_ended = time.perf_counter()
         self.stats.record_scan(
             requests=len(requests),
             slots=len(slot_order),
@@ -329,7 +348,9 @@ class FragmentWaveBatcher:
             for request in slots[key]:
                 future = request[3]
                 if not future.done():
-                    future.set_result(output)
+                    # (output, scan start, scan end): combined() unpacks the
+                    # timing for its per-request trace spans.
+                    future.set_result((output, scan_started, scan_ended))
 
 
 class ActorPool:

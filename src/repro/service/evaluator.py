@@ -30,6 +30,7 @@ round interleaving; PaX2 is where the concurrency lives.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.booleans.env import Environment
@@ -54,6 +55,12 @@ from repro.distributed.messages import MessageKind
 from repro.distributed.network import Network
 from repro.distributed.stats import RunStats, StageStats
 from repro.fragments.fragment_tree import Fragmentation
+from repro.obs.trace import (
+    NEGLIGIBLE_WAIT_SECONDS,
+    add_span,
+    set_attributes,
+    span as trace_span,
+)
 from repro.service.actors import ActorPool, FragmentWaveBatcher
 from repro.xpath.plan import QueryPlan
 
@@ -80,9 +87,13 @@ async def evaluate_query_async(
     share one walk of its flat arrays; per-query results and accounting are
     unchanged.
     """
-    network = Network(fragmentation, placement)
+    with trace_span("network:setup", stage="compile"):
+        network = Network(fragmentation, placement)
     if algorithm == "pax2":
-        prewarm_fragments(fragmentation, engine=engine)
+        # First query over a cold fragmentation pays the columnar-encoding
+        # build here; warm calls are a cheap no-op check.
+        with trace_span("kernel:prewarm", stage="kernel"):
+            prewarm_fragments(fragmentation, engine=engine)
         transport = AsyncTransport(network, latency)
         if batcher is not None and batcher.engine != engine:
             # An explicit engine wins over the batcher's construction-time
@@ -118,17 +129,18 @@ async def _run_sync_fallback(
     sent them) after the run.
     """
     async with actors[network.coordinator_id].slot(f"{algorithm}:run"):
-        if algorithm == "pax3":
-            stats = run_pax3(
-                fragmentation, plan, network=network,
-                use_annotations=use_annotations, engine=engine,
-            )
-        elif algorithm == "naive":
-            stats = run_naive_centralized(fragmentation, plan, network=network)
-        elif algorithm == "parbox":
-            stats = run_parbox(fragmentation, plan, network=network, engine=engine)
-        else:
-            raise ValueError(f"unknown algorithm {algorithm!r}")
+        with trace_span(f"kernel:{algorithm}", stage="kernel", algorithm=algorithm):
+            if algorithm == "pax3":
+                stats = run_pax3(
+                    fragmentation, plan, network=network,
+                    use_annotations=use_annotations, engine=engine,
+                )
+            elif algorithm == "naive":
+                stats = run_naive_centralized(fragmentation, plan, network=network)
+            elif algorithm == "parbox":
+                stats = run_parbox(fragmentation, plan, network=network, engine=engine)
+            else:
+                raise ValueError(f"unknown algorithm {algorithm!r}")
         if latency is not None and not latency.is_free:
             delay = sum(
                 latency.delay(message.units)
@@ -136,7 +148,8 @@ async def _run_sync_fallback(
                 if not message.is_local
             )
             if delay > 0.0:
-                await asyncio.sleep(delay)
+                with trace_span("wire:replay", stage="wire", simulated_seconds=delay):
+                    await asyncio.sleep(delay)
         return stats
 
 
@@ -161,9 +174,10 @@ async def _run_pax2_async(
     stats = RunStats(algorithm="PaX2", query=plan.source, use_annotations=use_annotations)
 
     if use_annotations:
-        decision = relevant_fragments(fragmentation, plan)
-        evaluated = [fid for fid in fragmentation.fragment_ids() if decision.keeps(fid)]
-        stats.fragments_pruned = sorted(decision.pruned)
+        with trace_span("prune:annotations", stage="compile"):
+            decision = relevant_fragments(fragmentation, plan)
+            evaluated = [fid for fid in fragmentation.fragment_ids() if decision.keeps(fid)]
+            stats.fragments_pruned = sorted(decision.pruned)
     else:
         evaluated = fragmentation.fragment_ids()
     stats.fragments_evaluated = list(evaluated)
@@ -177,64 +191,98 @@ async def _run_pax2_async(
     async def stage1_round(site_id: str) -> Tuple[str, Dict[str, FragmentCombinedOutput]]:
         site = network.sites[site_id]
         fragment_ids = [fid for fid in network.fragments_on(site_id) if fid in evaluated]
-        async with actors[site_id].slot("pax2:combined"):
-            await transport.send(
-                coordinator_id, site_id, MessageKind.EXEC_REQUEST,
-                units=plan_units(plan) * len(fragment_ids),
-                description="stage 1: combined qualifier + selection pass",
-            )
-            site_outputs: Dict[str, FragmentCombinedOutput] = {}
-            site_answers: List[int] = []
-            site_units = 0
-            with site.visit("pax2:combined"):
-                init_vectors: List[Sequence[FormulaLike]] = [
-                    stage1_init_vector(fragmentation, plan, fragment_id, use_annotations)
-                    for fragment_id in fragment_ids
-                ]
-                if batcher is not None:
-                    # Fused path: park all of this site's fragment rounds in
-                    # the batching window at once — one window per site, and
-                    # concurrent queries on the same fragments share one
-                    # scan; outputs are bit-identical to combined_pass.
-                    outputs = await asyncio.gather(
-                        *(
-                            batcher.combined(
-                                fragment_id, plan, init_vector,
-                                is_root_fragment=(fragment_id == root_fragment_id),
-                            )
-                            for fragment_id, init_vector in zip(fragment_ids, init_vectors)
+        with trace_span(
+            "site:stage1", stage="queue", site=site_id, fragments=len(fragment_ids)
+        ):
+            async with actors[site_id].slot("pax2:combined"):
+                await transport.send(
+                    coordinator_id, site_id, MessageKind.EXEC_REQUEST,
+                    units=plan_units(plan) * len(fragment_ids),
+                    description="stage 1: combined qualifier + selection pass",
+                )
+                site_outputs: Dict[str, FragmentCombinedOutput] = {}
+                site_answers: List[int] = []
+                site_units = 0
+                with site.visit("pax2:combined"):
+                    # kernel:init / kernel:collect are per-fragment micro-work
+                    # (microseconds); timing them with a perf_counter pair and
+                    # recording a span only when they actually cost something
+                    # keeps the traced hot path allocation-light.
+                    init_started = time.perf_counter()
+                    init_vectors: List[Sequence[FormulaLike]] = [
+                        stage1_init_vector(
+                            fragmentation, plan, fragment_id, use_annotations
                         )
-                    )
-                else:
-                    outputs = [
-                        combined_pass(
-                            fragmentation,
-                            fragment_id,
-                            plan,
-                            init_vector,
-                            is_root_fragment=(fragment_id == root_fragment_id),
-                            engine=engine,
-                        )
-                        for fragment_id, init_vector in zip(fragment_ids, init_vectors)
+                        for fragment_id in fragment_ids
                     ]
-                for fragment_id, output in zip(fragment_ids, outputs):
-                    site_outputs[fragment_id] = output
-                    site.add_operations(output.operations)
-                    site_answers.extend(output.answers)
-                    if output.candidates:
-                        site.storage[fragment_id]["candidates"] = output.candidates
-                    site_units += _output_units(plan, output)
-            answers.update(site_answers)
-            if site_units:
-                await transport.send(
-                    site_id, coordinator_id, MessageKind.SELECTION_VECTORS, site_units,
-                    description="stage 1: root qualifier vectors and virtual-node vectors",
-                )
-            if site_answers:
-                await transport.send(
-                    site_id, coordinator_id, MessageKind.ANSWERS, len(site_answers),
-                    description="stage 1: definite answers",
-                )
+                    init_ended = time.perf_counter()
+                    if init_ended - init_started >= NEGLIGIBLE_WAIT_SECONDS:
+                        add_span(
+                            "kernel:init", "kernel", init_started, init_ended,
+                            site=site_id,
+                        )
+                    if batcher is not None:
+                        # Fused path: park all of this site's fragment rounds
+                        # in the batching window at once — one window per
+                        # site, and concurrent queries on the same fragments
+                        # share one scan; outputs are bit-identical to
+                        # combined_pass.  The batcher records the window and
+                        # fused-kernel spans per fragment, so no staged span
+                        # wraps the awaits here.
+                        outputs = await asyncio.gather(
+                            *(
+                                batcher.combined(
+                                    fragment_id, plan, init_vector,
+                                    is_root_fragment=(fragment_id == root_fragment_id),
+                                )
+                                for fragment_id, init_vector in zip(
+                                    fragment_ids, init_vectors
+                                )
+                            )
+                        )
+                    else:
+                        with trace_span(
+                            "kernel:combined", stage="kernel",
+                            site=site_id, fragments=len(fragment_ids),
+                        ):
+                            outputs = [
+                                combined_pass(
+                                    fragmentation,
+                                    fragment_id,
+                                    plan,
+                                    init_vector,
+                                    is_root_fragment=(fragment_id == root_fragment_id),
+                                    engine=engine,
+                                )
+                                for fragment_id, init_vector in zip(
+                                    fragment_ids, init_vectors
+                                )
+                            ]
+                    collect_started = time.perf_counter()
+                    for fragment_id, output in zip(fragment_ids, outputs):
+                        site_outputs[fragment_id] = output
+                        site.add_operations(output.operations)
+                        site_answers.extend(output.answers)
+                        if output.candidates:
+                            site.storage[fragment_id]["candidates"] = output.candidates
+                        site_units += _output_units(plan, output)
+                    collect_ended = time.perf_counter()
+                    if collect_ended - collect_started >= NEGLIGIBLE_WAIT_SECONDS:
+                        add_span(
+                            "kernel:collect", "kernel", collect_started, collect_ended,
+                            site=site_id,
+                        )
+                answers.update(site_answers)
+                if site_units:
+                    await transport.send(
+                        site_id, coordinator_id, MessageKind.SELECTION_VECTORS, site_units,
+                        description="stage 1: root qualifier vectors and virtual-node vectors",
+                    )
+                if site_answers:
+                    await transport.send(
+                        site_id, coordinator_id, MessageKind.ANSWERS, len(site_answers),
+                        description="stage 1: definite answers",
+                    )
         return site_id, site_outputs
 
     rounds = await asyncio.gather(*(stage1_round(site_id) for site_id in stage1_sites))
@@ -250,21 +298,22 @@ async def _run_pax2_async(
         network, stage1_sites, "pax2:combined"
     )
     stage1.sites_involved = len(stage1_sites)
-    with stage_timer(stage1):
-        environment = Environment()
-        if plan.has_qualifiers:
-            environment = unify_qualifier_vectors(
+    with trace_span("unify", stage="kernel"):
+        with stage_timer(stage1):
+            environment = Environment()
+            if plan.has_qualifiers:
+                environment = unify_qualifier_vectors(
+                    fragmentation,
+                    plan,
+                    {fid: (out.root_head, out.root_desc) for fid, out in outputs.items()},
+                    environment,
+                )
+            environment = unify_selection_vectors(
                 fragmentation,
                 plan,
-                {fid: (out.root_head, out.root_desc) for fid, out in outputs.items()},
+                {fid: out.virtual_parent_vectors for fid, out in outputs.items()},
                 environment,
             )
-        environment = unify_selection_vectors(
-            fragmentation,
-            plan,
-            {fid: out.virtual_parent_vectors for fid, out in outputs.items()},
-            environment,
-        )
     stats.stages.append(stage1)
 
     # ------------------------------------------------------------------ stage 2
@@ -273,41 +322,49 @@ async def _run_pax2_async(
 
         async def stage2_round(site_id: str, fragment_ids: List[str]) -> None:
             site = network.sites[site_id]
-            per_fragment_bindings: Dict[str, Dict[str, bool]] = {}
-            total_units = 0
-            for fragment_id in fragment_ids:
-                bindings = resolved_init_bindings(plan, fragment_id, environment)
-                if plan.has_qualifiers:
-                    bindings.update(
-                        resolved_child_qualifier_bindings(
-                            fragmentation, plan, fragment_id, environment
-                        )
-                    )
-                per_fragment_bindings[fragment_id] = bindings
-                total_units += len(bindings)
-            async with actors[site_id].slot("pax2:answers"):
-                await transport.send(
-                    coordinator_id, site_id, MessageKind.RESOLVED_BINDINGS, total_units,
-                    description="stage 2: resolved initialization and qualifier values",
-                )
-                resolved_answers: List[int] = []
-                with site.visit("pax2:answers"):
+            with trace_span(
+                "site:stage2", stage="queue", site=site_id, fragments=len(fragment_ids)
+            ):
+                per_fragment_bindings: Dict[str, Dict[str, bool]] = {}
+                total_units = 0
+                with trace_span("kernel:bindings", stage="kernel", site=site_id):
                     for fragment_id in fragment_ids:
-                        candidates = site.storage[fragment_id].get("candidates", {})
-                        fragment_env = Environment(per_fragment_bindings[fragment_id])
-                        for node_id, formula in candidates.items():
-                            value = require_concrete(
-                                fragment_env.resolve(formula),
-                                f"candidate answer {node_id} in {fragment_id}",
+                        bindings = resolved_init_bindings(plan, fragment_id, environment)
+                        if plan.has_qualifiers:
+                            bindings.update(
+                                resolved_child_qualifier_bindings(
+                                    fragmentation, plan, fragment_id, environment
+                                )
                             )
-                            if value:
-                                resolved_answers.append(node_id)
-                answers.update(resolved_answers)
-                if resolved_answers:
+                        per_fragment_bindings[fragment_id] = bindings
+                        total_units += len(bindings)
+                async with actors[site_id].slot("pax2:answers"):
                     await transport.send(
-                        site_id, coordinator_id, MessageKind.ANSWERS, len(resolved_answers),
-                        description="stage 2: resolved candidate answers",
+                        coordinator_id, site_id, MessageKind.RESOLVED_BINDINGS, total_units,
+                        description="stage 2: resolved initialization and qualifier values",
                     )
+                    resolved_answers: List[int] = []
+                    with site.visit("pax2:answers"):
+                        with trace_span("kernel:answers", stage="kernel", site=site_id):
+                            for fragment_id in fragment_ids:
+                                candidates = site.storage[fragment_id].get("candidates", {})
+                                fragment_env = Environment(
+                                    per_fragment_bindings[fragment_id]
+                                )
+                                for node_id, formula in candidates.items():
+                                    value = require_concrete(
+                                        fragment_env.resolve(formula),
+                                        f"candidate answer {node_id} in {fragment_id}",
+                                    )
+                                    if value:
+                                        resolved_answers.append(node_id)
+                    answers.update(resolved_answers)
+                    if resolved_answers:
+                        await transport.send(
+                            site_id, coordinator_id, MessageKind.ANSWERS,
+                            len(resolved_answers),
+                            description="stage 2: resolved candidate answers",
+                        )
 
         await asyncio.gather(
             *(
@@ -323,7 +380,11 @@ async def _run_pax2_async(
         stats.stages.append(stage2)
 
     # ------------------------------------------------------------------ results
-    stats.answer_ids = sorted(answers)
-    stats.answer_nodes_shipped = answer_subtree_nodes(fragmentation.tree, stats.answer_ids)
-    network.collect_stats(stats)
+    with trace_span("reassembly", stage="reassembly"):
+        stats.answer_ids = sorted(answers)
+        stats.answer_nodes_shipped = answer_subtree_nodes(
+            fragmentation.tree, stats.answer_ids
+        )
+        network.collect_stats(stats)
+        set_attributes(answers=len(stats.answer_ids))
     return stats

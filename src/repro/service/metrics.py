@@ -20,6 +20,7 @@ from repro.service.store import DEFAULT_DOCUMENT
 
 __all__ = [
     "BatchStats",
+    "DEFAULT_SAMPLE_WINDOW",
     "DocumentTotals",
     "QueryRecord",
     "ServiceMetrics",
@@ -27,17 +28,27 @@ __all__ = [
     "percentile",
 ]
 
+#: the one retention cap every per-record sample window in the service
+#: shares: query/update records here, batching-window waits
+#: (:attr:`BatchStats.WINDOW_SAMPLES`), and the tracer's retained spans
+#: (:class:`repro.obs.trace.Tracer`).  Derived quantities (percentiles,
+#: means) are window-estimates over the most recent ``DEFAULT_SAMPLE_WINDOW``
+#: samples; lifetime totals keep counting everything.  A long-running host's
+#: sample memory is thereby bounded regardless of traffic volume.
+DEFAULT_SAMPLE_WINDOW = 10_000
+
 
 def percentile(values: List[float], fraction: float) -> float:
     """The *fraction*-quantile of *values* with linear interpolation.
 
-    ``fraction`` is in ``[0, 1]``; an empty input yields ``0.0`` so summary
-    tables render before any traffic has arrived.
+    ``fraction`` must be in ``[0, 1]`` (validated even for empty input); an
+    empty input yields ``0.0`` so summary tables render before any traffic
+    has arrived.
     """
-    if not values:
-        return 0.0
     if not 0.0 <= fraction <= 1.0:
         raise ValueError("fraction must be within [0, 1]")
+    if not values:
+        return 0.0
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
@@ -60,8 +71,9 @@ class BatchStats:
     per-query fragment walks one physical walk replaced, on average.
     """
 
-    #: retained batching-window wait samples (oldest dropped first)
-    WINDOW_SAMPLES = 10_000
+    #: retained batching-window wait samples (oldest dropped first) — the
+    #: service-wide :data:`DEFAULT_SAMPLE_WINDOW` retention cap
+    WINDOW_SAMPLES = DEFAULT_SAMPLE_WINDOW
 
     def __init__(self) -> None:
         #: fused per-fragment scans executed
@@ -195,15 +207,17 @@ class DocumentTotals:
 class ServiceMetrics:
     """Aggregator over :class:`QueryRecord` and :class:`UpdateRecord` entries.
 
-    ``window`` bounds the number of retained records (oldest dropped first)
-    so a long-lived service does not grow without bound; the totals keep
-    counting everything ever recorded.  One aggregator serves a whole host:
-    each record carries its document name, lifetime totals are additionally
-    kept per document (:attr:`documents`), and per-document latency
-    percentiles are derived from the retained window on demand.
+    ``window`` bounds the number of retained records (oldest dropped first,
+    :data:`DEFAULT_SAMPLE_WINDOW` by default — the same documented cap every
+    sample list in the service uses) so a long-lived service does not grow
+    without bound; the totals keep counting everything ever recorded.  One
+    aggregator serves a whole host: each record carries its document name,
+    lifetime totals are additionally kept per document (:attr:`documents`),
+    and per-document latency percentiles are derived from the retained
+    window on demand.
     """
 
-    def __init__(self, window: int = 100_000):
+    def __init__(self, window: int = DEFAULT_SAMPLE_WINDOW):
         if window < 1:
             raise ValueError("window must be >= 1")
         self.window = window

@@ -54,6 +54,14 @@ from repro.core.results import QueryResult
 from repro.distributed.async_transport import LatencyModel
 from repro.distributed.stats import RunStats
 from repro.fragments.fragment_tree import Fragmentation
+from repro.obs.trace import (
+    NEGLIGIBLE_WAIT_SECONDS,
+    NULL_TRACER,
+    add_span,
+    set_attributes,
+    set_stats,
+    span as trace_span,
+)
 from repro.service.actors import ActorPool, FragmentWaveBatcher, ReadWriteGate
 from repro.service.cache import (
     QueryResultCache,
@@ -61,7 +69,7 @@ from repro.service.cache import (
     version_tag,
 )
 from repro.service.evaluator import evaluate_query_async
-from repro.service.metrics import ServiceMetrics
+from repro.service.metrics import DEFAULT_SAMPLE_WINDOW, ServiceMetrics
 from repro.service.store import (
     DEFAULT_DOCUMENT,
     DocumentEntry,
@@ -120,8 +128,12 @@ class ServiceConfig:
     #: batching window in seconds: how long a fragment round waits for
     #: companions before its fused scan runs (0 = next event-loop iteration)
     batch_window: float = 0.0
-    #: retained per-request metric records
-    metrics_window: int = 100_000
+    #: retained per-request metric records (the service-wide sample cap)
+    metrics_window: int = DEFAULT_SAMPLE_WINDOW
+    #: tracer receiving one root span per request and update; ``None`` uses
+    #: the shared no-op tracer (tracing off, nothing allocated per request —
+    #: see :mod:`repro.obs.trace`)
+    tracer: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in SERVICE_ALGORITHMS:
@@ -244,6 +256,8 @@ class ServiceHost:
             else None
         )
         self.metrics = ServiceMetrics(self.config.metrics_window)
+        #: span collector for the whole host (the no-op tracer by default)
+        self.tracer = self.config.tracer if self.config.tracer is not None else NULL_TRACER
         self._inflight: Dict[Tuple, asyncio.Future] = {}
         self._admission: Optional[asyncio.Semaphore] = None
         self._loop_id: Optional[int] = None
@@ -346,68 +360,85 @@ class ServiceHost:
         annotations = (
             self.config.use_annotations if use_annotations is None else bool(use_annotations)
         )
-        normalized, plan = session.key_and_plan(query)
-        key = (session.name, normalized, name, annotations, session.version)
+        with self.tracer.request("query", kind="query", document=session.name):
+            with trace_span("plan:compile", stage="compile"):
+                normalized, plan = session.key_and_plan(query)
+            set_attributes(query=normalized, algorithm=name, annotations=annotations)
+            key = (session.name, normalized, name, annotations, session.version)
 
-        # Layer 2: join an identical in-flight evaluation (no admission cost).
-        if self.config.coalesce and key in self._inflight:
-            stats = await asyncio.shield(self._inflight[key])
+            # Layer 2: join an identical in-flight evaluation (no admission
+            # cost).  The shared stats are attached to this request's span
+            # too: the answer (and its visit accounting) is what this caller
+            # was served, whoever computed it.
+            if self.config.coalesce and key in self._inflight:
+                with trace_span("coalesce:join", stage="queue"):
+                    stats = await asyncio.shield(self._inflight[key])
+                set_stats(stats)
+                set_attributes(served_from="coalesced")
+                if self.cache is not None:
+                    self.cache.stats.note_coalesced(session.name)
+                with trace_span("respond", stage="reassembly"):
+                    self.metrics.record(
+                        normalized, stats.algorithm, time.perf_counter() - started,
+                        coalesced=True, stats=stats, document=session.name,
+                    )
+                    return QueryResult(session.fragmentation.tree, stats)
+
+            # Layer 3: the result cache.
             if self.cache is not None:
-                self.cache.stats.note_coalesced(session.name)
-            self.metrics.record(
-                normalized, stats.algorithm, time.perf_counter() - started,
-                coalesced=True, stats=stats, document=session.name,
-            )
-            return QueryResult(session.fragmentation.tree, stats)
+                with trace_span("cache:lookup", stage="cache"):
+                    cached = self.cache.get(key)
+                if cached is not None:
+                    set_stats(cached)
+                    set_attributes(served_from="cache")
+                    with trace_span("respond", stage="reassembly"):
+                        self.metrics.record(
+                            normalized, cached.algorithm, time.perf_counter() - started,
+                            cache_hit=True, stats=cached, document=session.name,
+                        )
+                        return QueryResult(session.fragmentation.tree, cached)
 
-        # Layer 3: the result cache.
-        if self.cache is not None:
-            cached = self.cache.get(key)
-            if cached is not None:
-                self.metrics.record(
-                    normalized, cached.algorithm, time.perf_counter() - started,
-                    cache_hit=True, stats=cached, document=session.name,
-                )
-                return QueryResult(session.fragmentation.tree, cached)
-
-        # Leader path: register before the first await so later identical
-        # submissions coalesce instead of racing us to the evaluator.
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        if self.config.coalesce:
-            self._inflight[key] = future
-        try:
-            stats, evaluated_version = await self._admit_and_evaluate(
-                session, plan, name, annotations
-            )
-            if not future.done():
-                future.set_result(stats)
-        except BaseException as error:
-            if not future.done():
-                future.set_exception(error)
-                # Nobody may be waiting; swallow the "exception never
-                # retrieved" warning for the orphaned future.
-                future.exception()
-            raise
-        finally:
+            # Leader path: register before the first await so later identical
+            # submissions coalesce instead of racing us to the evaluator.
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
             if self.config.coalesce:
-                self._inflight.pop(key, None)
-        if self.cache is not None and self.sessions.get(session.name) is session:
-            # Keyed under the version the evaluation saw (an update may have
-            # landed while this query waited for admission) — storing under
-            # the submission-time tag would strand a dead entry in the LRU.
-            # The session check closes the drop race: a document dropped
-            # while this evaluation was in flight must not re-enter the
-            # shared LRU after its purge.
-            self.cache.put(
-                (session.name, normalized, name, annotations, evaluated_version),
-                stats,
-                dependencies=update_dependencies(session.fragmentation, stats),
-            )
-        self.metrics.record(
-            normalized, stats.algorithm, time.perf_counter() - started,
-            stats=stats, document=session.name,
-        )
-        return QueryResult(session.fragmentation.tree, stats)
+                self._inflight[key] = future
+            try:
+                stats, evaluated_version = await self._admit_and_evaluate(
+                    session, plan, name, annotations
+                )
+                set_stats(stats)
+                if not future.done():
+                    future.set_result(stats)
+            except BaseException as error:
+                if not future.done():
+                    future.set_exception(error)
+                    # Nobody may be waiting; swallow the "exception never
+                    # retrieved" warning for the orphaned future.
+                    future.exception()
+                raise
+            finally:
+                if self.config.coalesce:
+                    self._inflight.pop(key, None)
+            if self.cache is not None and self.sessions.get(session.name) is session:
+                # Keyed under the version the evaluation saw (an update may
+                # have landed while this query waited for admission) —
+                # storing under the submission-time tag would strand a dead
+                # entry in the LRU.  The session check closes the drop race:
+                # a document dropped while this evaluation was in flight must
+                # not re-enter the shared LRU after its purge.
+                with trace_span("cache:store", stage="cache"):
+                    self.cache.put(
+                        (session.name, normalized, name, annotations, evaluated_version),
+                        stats,
+                        dependencies=update_dependencies(session.fragmentation, stats),
+                    )
+            with trace_span("respond", stage="reassembly"):
+                self.metrics.record(
+                    normalized, stats.algorithm, time.perf_counter() - started,
+                    stats=stats, document=session.name,
+                )
+                return QueryResult(session.fragmentation.tree, stats)
 
     async def _admit_and_evaluate(
         self,
@@ -430,7 +461,11 @@ class ServiceHost:
         sees — the tag the result must be cached under, not the tag from
         submission time.
         """
+        gate_queued_at = time.perf_counter()
         async with session.gate.read_locked():
+            gate_acquired_at = time.perf_counter()
+            if gate_acquired_at - gate_queued_at >= NEGLIGIBLE_WAIT_SECONDS:
+                add_span("gate:read", "queue", gate_queued_at, gate_acquired_at)
             limit = self.config.max_pending
             if (
                 limit is not None
@@ -443,18 +478,25 @@ class ServiceHost:
             self._pending_evaluations += 1
             try:
                 evaluated_version = session.version
+                admission_queued_at = time.perf_counter()
                 async with self._bound_admission():
-                    stats = await evaluate_query_async(
-                        session.fragmentation,
-                        session.placement,
-                        plan,
-                        self.actors,
-                        algorithm=algorithm,
-                        use_annotations=use_annotations,
-                        latency=self.config.latency,
-                        engine=self.config.engine,
-                        batcher=session.batcher,
-                    )
+                    admitted_at = time.perf_counter()
+                    if admitted_at - admission_queued_at >= NEGLIGIBLE_WAIT_SECONDS:
+                        add_span("admission", "queue", admission_queued_at, admitted_at)
+                    # Staged "queue" as a low-precedence filler: instants no
+                    # kernel/wire/... child covers are event-loop waits.
+                    with trace_span("evaluate", stage="queue", algorithm=algorithm):
+                        stats = await evaluate_query_async(
+                            session.fragmentation,
+                            session.placement,
+                            plan,
+                            self.actors,
+                            algorithm=algorithm,
+                            use_annotations=use_annotations,
+                            latency=self.config.latency,
+                            engine=self.config.engine,
+                            batcher=session.batcher,
+                        )
                     return stats, evaluated_version
             finally:
                 self._pending_evaluations -= 1
@@ -545,29 +587,44 @@ class ServiceHost:
         started = time.perf_counter()
         self._bind_loop()
         session = self.session(document)
-        async with session.gate.write_locked():
-            apply_started = time.perf_counter()
-            result = apply_mutation(session.fragmentation, mutation)
-            old_version = session.version
-            session.version = version_tag(session.fragmentation, session.placement)
-            invalidated = 0
-            if self.cache is not None and session.version != old_version:
-                _, invalidated = self.cache.retire_version(
-                    old_version, session.version, result.fragment_id,
-                    document=session.name,
-                )
-            apply_seconds = time.perf_counter() - apply_started
-        self.metrics.record_update(
-            kind=result.kind,
-            fragment_id=result.fragment_id,
-            latency_seconds=time.perf_counter() - started,
-            apply_seconds=apply_seconds,
-            nodes_added=result.nodes_added,
-            nodes_removed=result.nodes_removed,
-            invalidated_entries=invalidated,
-            document=session.name,
-        )
-        return result
+        with self.tracer.request("update", kind="update", document=session.name):
+            gate_queued_at = time.perf_counter()
+            async with session.gate.write_locked():
+                gate_acquired_at = time.perf_counter()
+                if gate_acquired_at - gate_queued_at >= NEGLIGIBLE_WAIT_SECONDS:
+                    add_span("gate:write", "queue", gate_queued_at, gate_acquired_at)
+                apply_started = time.perf_counter()
+                with trace_span("update:apply", stage="kernel"):
+                    result = apply_mutation(session.fragmentation, mutation)
+                old_version = session.version
+                with trace_span("version:roll", stage="kernel"):
+                    session.version = version_tag(session.fragmentation, session.placement)
+                invalidated = 0
+                if self.cache is not None and session.version != old_version:
+                    with trace_span("cache:retire", stage="cache"):
+                        _, invalidated = self.cache.retire_version(
+                            old_version, session.version, result.fragment_id,
+                            document=session.name,
+                        )
+                apply_seconds = time.perf_counter() - apply_started
+            set_attributes(
+                kind=result.kind,
+                fragment=result.fragment_id,
+                nodes_added=result.nodes_added,
+                nodes_removed=result.nodes_removed,
+                invalidated_entries=invalidated,
+            )
+            self.metrics.record_update(
+                kind=result.kind,
+                fragment_id=result.fragment_id,
+                latency_seconds=time.perf_counter() - started,
+                apply_seconds=apply_seconds,
+                nodes_added=result.nodes_added,
+                nodes_removed=result.nodes_removed,
+                invalidated_entries=invalidated,
+                document=session.name,
+            )
+            return result
 
     def update(self, document: str, mutation: Mutation) -> UpdateResult:
         """Blocking single-mutation entry point (see :meth:`apply_update`)."""

@@ -1,0 +1,112 @@
+"""Unit tests for the span exporters (repro.obs.export)."""
+
+import io
+import json
+
+import pytest
+
+from repro.distributed.stats import RunStats
+from repro.obs.export import ChromeTraceExporter, JsonLinesExporter, SlowQueryLog
+from repro.obs.trace import Span
+
+
+def finished_root(name="query", start=0.0, end=1.0, stage_spans=()):
+    root = Span(name, kind="query", start=start)
+    for child_name, stage, child_start, child_end in stage_spans:
+        child = root.child(child_name, stage=stage, start=child_start)
+        child.end = child_end
+    root.end = end
+    return root
+
+
+class TestJsonLines:
+    def test_one_line_per_root(self):
+        sink = io.StringIO()
+        exporter = JsonLinesExporter(sink)
+        exporter.export(finished_root("q1"))
+        exporter.export(finished_root("q2", stage_spans=[("scan", "kernel", 0.2, 0.8)]))
+        exporter.close()
+        lines = sink.getvalue().strip().splitlines()
+        assert exporter.exported == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["name"] == "q1"
+        assert second["children"][0]["stage"] == "kernel"
+
+    def test_path_sink_appends(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        for name in ("a", "b"):
+            exporter = JsonLinesExporter(path)
+            exporter.export(finished_root(name))
+            exporter.close()
+        names = [json.loads(line)["name"] for line in path.read_text().splitlines()]
+        assert names == ["a", "b"]
+
+
+class TestChromeTrace:
+    def test_trace_parses_with_expected_events(self, tmp_path):
+        path = tmp_path / "trace.json"
+        exporter = ChromeTraceExporter(path, lanes=2)
+        exporter.export(
+            finished_root(stage_spans=[("scan", "kernel", 0.25, 0.75)])
+        )
+        exporter.close()
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert events[0]["ph"] == "M"  # process-name metadata
+        slices = [event for event in events if event["ph"] == "X"]
+        assert [event["name"] for event in slices] == ["query", "scan"]
+        scan = slices[1]
+        assert scan["cat"] == "kernel"
+        assert scan["ts"] == pytest.approx(250_000)
+        assert scan["dur"] == pytest.approx(500_000)
+        assert scan["args"]["stage"] == "kernel"
+
+    def test_lanes_cycle_per_request(self, tmp_path):
+        exporter = ChromeTraceExporter(tmp_path / "trace.json", lanes=2)
+        for _ in range(4):
+            exporter.export(finished_root())
+        tids = [
+            event["tid"] for event in exporter.events if event["ph"] == "X"
+        ]
+        assert tids == [1, 2, 1, 2]  # tid 0 is the metadata row
+
+    def test_max_events_bounds_buffer(self, tmp_path):
+        exporter = ChromeTraceExporter(tmp_path / "trace.json", max_events=2)
+        exporter.export(finished_root(stage_spans=[("scan", "kernel", 0.2, 0.8)]))
+        assert len(exporter.events) == 2  # metadata + first slice
+        assert exporter.dropped == 1
+
+    def test_arguments_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ChromeTraceExporter(tmp_path / "t.json", lanes=0)
+        with pytest.raises(ValueError):
+            ChromeTraceExporter(tmp_path / "t.json", max_events=0)
+
+
+class TestSlowQueryLog:
+    def test_threshold_filters(self):
+        sink = io.StringIO()
+        log = SlowQueryLog(sink, threshold_seconds=0.5)
+        log.export(finished_root(end=0.4))
+        log.export(finished_root(end=0.9))
+        log.close()
+        records = [json.loads(line) for line in sink.getvalue().strip().splitlines()]
+        assert log.logged == 1
+        (record,) = records
+        assert record["slow_query"] is True
+        assert record["duration_seconds"] == pytest.approx(0.9)
+
+    def test_run_stats_included_when_present(self):
+        sink = io.StringIO()
+        log = SlowQueryLog(sink, threshold_seconds=0.0)
+        root = finished_root()
+        root.stats = RunStats(algorithm="PaX2", query="//a", answer_ids=[1])
+        log.export(root)
+        log.close()
+        record = json.loads(sink.getvalue())
+        assert record["run_stats"]["algorithm"] == "PaX2"
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(io.StringIO(), threshold_seconds=-1.0)

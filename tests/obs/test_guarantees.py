@@ -1,0 +1,70 @@
+"""Unit tests for the online visit-bound checker (repro.obs.guarantees)."""
+
+import pytest
+
+from repro.distributed.stats import RunStats, SiteStats
+from repro.obs.guarantees import VISIT_BOUNDS, GuaranteeChecker
+
+
+def run_stats(algorithm, visits):
+    stats = RunStats(algorithm=algorithm, query="//a")
+    for index, count in enumerate(visits):
+        site_id = f"S{index}"
+        stats.sites[site_id] = SiteStats(site_id=site_id, visits=count)
+    return stats
+
+
+class TestBounds:
+    def test_paper_bounds(self):
+        assert VISIT_BOUNDS == {
+            "PaX2": 2,
+            "PaX3": 3,
+            "ParBoX": 1,
+            "NaiveCentralized": 1,
+        }
+
+    @pytest.mark.parametrize("algorithm,bound", sorted(VISIT_BOUNDS.items()))
+    def test_at_bound_passes(self, algorithm, bound):
+        checker = GuaranteeChecker()
+        assert checker.check(run_stats(algorithm, [bound, bound])) == []
+        assert checker.violation_count == 0
+        assert checker.checked == 1
+
+    @pytest.mark.parametrize("algorithm,bound", sorted(VISIT_BOUNDS.items()))
+    def test_over_bound_flags_each_site(self, algorithm, bound):
+        checker = GuaranteeChecker()
+        found = checker.check(run_stats(algorithm, [bound + 1, bound, bound + 2]))
+        assert [violation.site_id for violation in found] == ["S0", "S2"]
+        assert checker.violation_count == 2
+        assert "visited site" in str(found[0])
+
+    def test_unknown_algorithm_unchecked(self):
+        checker = GuaranteeChecker()
+        assert checker.check(run_stats("Experimental", [99])) == []
+        assert checker.checked == 0
+
+
+class TestRetention:
+    def test_violations_bounded_by_keep(self):
+        checker = GuaranteeChecker(keep=5)
+        for _ in range(4):
+            checker.check(run_stats("ParBoX", [2, 2]))
+        assert checker.violation_count == 8
+        assert len(checker.violations) == 5
+
+    def test_keep_validated(self):
+        with pytest.raises(ValueError):
+            GuaranteeChecker(keep=0)
+
+    def test_to_dict_reports_recent(self):
+        checker = GuaranteeChecker()
+        checker.check(run_stats("PaX2", [5]))
+        payload = checker.to_dict()
+        assert payload["checked"] == 1
+        assert payload["violations"] == 1
+        assert payload["recent"][0]["visits"] == 5
+
+    def test_custom_bounds_override(self):
+        checker = GuaranteeChecker(bounds={"PaX2": 1})
+        assert checker.check(run_stats("PaX2", [2]))
+        assert checker.check(run_stats("PaX3", [9])) == []  # not in override

@@ -1,0 +1,55 @@
+"""Unit tests for the fixed-bucket histogram (repro.obs.histogram)."""
+
+import math
+
+import pytest
+
+from repro.obs.histogram import DEFAULT_BUCKETS, Histogram
+
+
+class TestHistogram:
+    def test_observations_land_in_first_covering_bucket(self):
+        histogram = Histogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1]  # 50.0 only in implicit +Inf
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(55.55)
+
+    def test_cumulative_ends_with_inf_total(self):
+        histogram = Histogram(buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(99.0)
+        pairs = histogram.cumulative()
+        assert pairs == [(0.1, 1), (1.0, 1), (math.inf, 2)]
+
+    def test_quantile_is_bucket_upper_bound(self):
+        histogram = Histogram(buckets=(0.1, 1.0, 10.0))
+        for _ in range(99):
+            histogram.observe(0.05)
+        histogram.observe(5.0)
+        assert histogram.quantile(0.5) == 0.1
+        assert histogram.quantile(1.0) == 10.0
+
+    def test_quantile_edge_cases(self):
+        histogram = Histogram()
+        assert histogram.quantile(0.5) == 0.0  # empty
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_buckets_validated(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 0.5))
+
+    def test_default_buckets_ascending(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_to_dict_summary(self):
+        histogram = Histogram(buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        payload = histogram.to_dict()
+        assert payload["count"] == 1
+        assert payload["mean_seconds"] == pytest.approx(0.05)
+        assert payload["p50_le_seconds"] == 0.1

@@ -1,0 +1,307 @@
+"""Unit tests for the span/tracer substrate (repro.obs.trace)."""
+
+import asyncio
+
+import pytest
+
+from repro.distributed.stats import RunStats, SiteStats
+from repro.obs.trace import (
+    DEFAULT_KEEP_SPANS,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    add_span,
+    current_span,
+    event,
+    set_attributes,
+    set_stats,
+    span,
+)
+
+
+def run_stats(algorithm="PaX2", visits=(1, 2)):
+    stats = RunStats(algorithm=algorithm, query="//a")
+    for index, count in enumerate(visits):
+        site_id = f"S{index}"
+        stats.sites[site_id] = SiteStats(site_id=site_id, visits=count)
+    return stats
+
+
+class TestUntracedPath:
+    def test_span_returns_shared_noop(self):
+        assert current_span() is None
+        first = span("anything", stage="kernel")
+        second = span("anything-else")
+        assert first is second  # one shared, pre-allocated context manager
+        with first:
+            assert current_span() is None
+
+    def test_helpers_are_noops(self):
+        add_span("x", "kernel", 0.0, 1.0)
+        event("x")
+        set_attributes(key="value")
+        set_stats(run_stats())
+        assert current_span() is None
+
+    def test_null_tracer_request_is_noop(self):
+        with NULL_TRACER.request("query", kind="query"):
+            assert current_span() is None
+        assert NULL_TRACER.to_dict() == {"enabled": False}
+
+
+class TestSpanTree:
+    def test_nesting_and_propagation(self):
+        tracer = Tracer(check_guarantees=False)
+        with tracer.request("query", kind="query") as root:
+            assert current_span() is root
+            with span("outer", stage="compile") as outer:
+                assert current_span() is outer
+                with span("inner", stage="kernel", site="S0") as inner:
+                    assert current_span() is inner
+                assert current_span() is outer
+            assert current_span() is root
+        assert current_span() is None
+        assert [node.name for node in root.walk()] == ["query", "outer", "inner"]
+        assert root.span_count() == 3
+        assert inner.attributes["site"] == "S0"
+
+    def test_leaf_span_containers_are_lazy(self):
+        leaf = Span("leaf")
+        assert leaf._attributes is None and leaf._children is None
+        assert leaf.attributes == {}  # allocated on first touch
+        assert leaf._attributes == {}
+
+    def test_children_sum_within_parent(self):
+        parent = Span("parent", start=0.0)
+        for offset in range(4):
+            child = parent.child("child", stage="kernel", start=float(offset))
+            child.end = offset + 1.0
+        parent.end = 10.0
+        child_total = sum(child.duration for child in parent.children)
+        assert child_total == pytest.approx(4.0)
+        assert child_total <= parent.duration
+
+    def test_exception_recorded_and_span_closed(self):
+        tracer = Tracer(check_guarantees=False)
+        with pytest.raises(RuntimeError):
+            with tracer.request("query", kind="query") as root:
+                with span("broken", stage="kernel"):
+                    raise RuntimeError("boom")
+        broken = root.children[0]
+        assert broken.end is not None
+        assert "boom" in broken.attributes["error"]
+        assert "boom" in root.attributes["error"]
+
+    def test_add_span_and_event(self):
+        tracer = Tracer(check_guarantees=False)
+        with tracer.request("query", kind="query") as root:
+            add_span("measured", "wire", 1.0, 2.5, units=7)
+            event("marker", kind_of="message")
+        measured, marker = root.children
+        assert measured.duration == pytest.approx(1.5)
+        assert measured.attributes["units"] == 7
+        assert marker.duration == 0.0
+
+    def test_set_attributes_merges_into_active(self):
+        tracer = Tracer(check_guarantees=False)
+        with tracer.request("query", kind="query") as root:
+            set_attributes(cache="hit")
+            set_attributes(answers=3)
+        assert root.attributes["cache"] == "hit"
+        assert root.attributes["answers"] == 3
+
+    def test_open_span_duration_is_zero(self):
+        node = Span("open", start=1.0)
+        assert node.duration == 0.0
+        node.finish(end=3.0)
+        node.finish(end=99.0)  # idempotent
+        assert node.duration == pytest.approx(2.0)
+
+    def test_to_dict_roundtrips_structure(self):
+        root = Span("query", kind="query", start=0.0)
+        child = root.child("scan", stage="kernel", start=0.5)
+        child.end = 1.0
+        root.end = 2.0
+        payload = root.to_dict()
+        assert payload["name"] == "query"
+        assert "wall_start" in payload
+        (child_payload,) = payload["children"]
+        assert child_payload["stage"] == "kernel"
+        assert "wall_start" not in child_payload  # internal spans skip the epoch
+
+
+class TestAsyncPropagation:
+    def test_gather_children_attribute_to_their_request(self):
+        tracer = Tracer(check_guarantees=False)
+
+        async def site_round(site_id):
+            with span("site:round", stage="kernel", site=site_id):
+                await asyncio.sleep(0)
+
+        async def request(name):
+            with tracer.request(name, kind="query") as root:
+                await asyncio.gather(*(site_round(f"S{i}") for i in range(3)))
+            return root
+
+        async def main():
+            return await asyncio.gather(request("q1"), request("q2"))
+
+        roots = asyncio.run(main())
+        for root in roots:
+            sites = [node.attributes["site"] for node in root.children]
+            assert sites == ["S0", "S1", "S2"]
+
+
+class TestBreakdown:
+    def close(self, parent, name, stage, start, end):
+        child = parent.child(name, stage=stage, start=start)
+        child.end = end
+        return child
+
+    def test_disjoint_stages_sum(self):
+        root = Span("query", kind="query", start=0.0)
+        self.close(root, "a", "compile", 0.0, 1.0)
+        self.close(root, "b", "kernel", 1.0, 3.0)
+        root.end = 3.0
+        assert root.breakdown() == pytest.approx({"compile": 1.0, "kernel": 2.0})
+        assert root.attributed_seconds() == pytest.approx(3.0)
+
+    def test_same_stage_overlap_merges(self):
+        root = Span("query", kind="query", start=0.0)
+        self.close(root, "s1", "kernel", 0.0, 2.0)
+        self.close(root, "s2", "kernel", 1.0, 3.0)
+        root.end = 3.0
+        assert root.breakdown() == pytest.approx({"kernel": 3.0})
+
+    def test_work_beats_waiting_precedence(self):
+        # A request parked in the batching window [1, 5] while its own fused
+        # scan runs [2, 4]: the overlap charges to kernel, never twice.  The
+        # uncovered [0, 1] is framework time, charged to dispatch.
+        root = Span("query", kind="query", start=0.0)
+        self.close(root, "window", "window", 1.0, 5.0)
+        self.close(root, "scan", "kernel", 2.0, 4.0)
+        root.end = 5.0
+        assert root.breakdown() == pytest.approx(
+            {"window": 2.0, "kernel": 2.0, "dispatch": 1.0}
+        )
+
+    def test_low_precedence_container_is_reclaimed(self):
+        # The queue-staged evaluate wrapper acts as a filler: specific child
+        # stages carve their time out of it and only the gaps stay queued.
+        root = Span("query", kind="query", start=0.0)
+        container = self.close(root, "evaluate", "queue", 0.0, 10.0)
+        self.close(container, "compile", "compile", 1.0, 2.0)
+        self.close(container, "scan", "kernel", 4.0, 7.0)
+        root.end = 10.0
+        assert root.breakdown() == pytest.approx(
+            {"queue": 6.0, "compile": 1.0, "kernel": 3.0}
+        )
+
+    def test_unknown_stages_stay_distinct(self):
+        root = Span("query", kind="query", start=0.0)
+        self.close(root, "a", "custom-a", 0.0, 1.0)
+        self.close(root, "b", "custom-b", 1.0, 3.0)
+        self.close(root, "c", "kernel", 2.0, 4.0)
+        root.end = 4.0
+        # Known stages outrank unknown ones; distinct unknown stages must not
+        # collapse into one bucket.
+        assert root.breakdown() == pytest.approx(
+            {"custom-a": 1.0, "custom-b": 1.0, "kernel": 2.0}
+        )
+
+    def test_zero_length_and_unstaged_spans_ignored(self):
+        # Zero-length markers and unstaged structural spans contribute
+        # nothing; with no staged coverage at all, a root's whole duration
+        # is framework time.
+        root = Span("query", kind="query", start=0.0)
+        marker = root.child("marker", start=1.0)
+        marker.end = 1.0  # zero-length
+        self.close(root, "structural", None, 0.0, 5.0)  # no stage
+        root.end = 5.0
+        assert root.breakdown() == pytest.approx({"dispatch": 5.0})
+
+    def test_internal_spans_get_no_dispatch_fill(self):
+        # The fill is a root-span notion: an internal span's breakdown only
+        # reports what its staged children cover.
+        node = Span("evaluate", start=0.0)
+        self.close(node, "scan", "kernel", 1.0, 2.0)
+        node.end = 5.0
+        assert node.breakdown() == pytest.approx({"kernel": 1.0})
+        empty = Span("empty", start=0.0)
+        empty.end = 5.0
+        assert empty.breakdown() == {}
+
+    def test_dispatch_fill_reconciles_root_to_wall_clock(self):
+        root = Span("query", kind="query", start=0.0)
+        self.close(root, "compile", "compile", 1.0, 2.0)
+        self.close(root, "scan", "kernel", 3.0, 6.0)
+        root.end = 10.0
+        assert root.breakdown() == pytest.approx(
+            {"compile": 1.0, "kernel": 3.0, "dispatch": 6.0}
+        )
+        assert root.attributed_seconds() == pytest.approx(root.duration)
+
+    def test_open_children_excluded(self):
+        root = Span("query", kind="query", start=0.0)
+        root.child("still-open", stage="kernel", start=0.0)  # no end
+        self.close(root, "done", "wire", 0.0, 1.0)
+        root.end = 1.0
+        assert root.breakdown() == pytest.approx({"wire": 1.0})
+
+
+class TestTracer:
+    def test_finish_pipeline_annotates_root(self):
+        tracer = Tracer(check_guarantees=True)
+        with tracer.request("query", kind="query") as root:
+            add_span("scan", "kernel", 0.0, 1.0)
+            set_stats(run_stats("PaX2", visits=(1, 2)))
+        assert tracer.requests_traced == 1
+        assert root in tracer.finished
+        assert root.attributes["breakdown_seconds"] == {"kernel": 1.0}
+        assert root.attributes["max_site_visits"] == 2
+        assert root.attributes["site_visits"] == {"S0": 1, "S1": 2}
+        assert "guarantee_violations" not in root.attributes
+        assert tracer.histograms["query"].count == 1
+        assert tracer.histograms["stage:kernel"].count == 1
+
+    def test_guarantee_violation_flagged_on_span(self):
+        tracer = Tracer(check_guarantees=True)
+        with tracer.request("query", kind="query") as root:
+            set_stats(run_stats("PaX2", visits=(3,)))  # bound is 2
+        assert tracer.violation_count == 1
+        (violation,) = root.attributes["guarantee_violations"]
+        assert violation["visits"] == 3 and violation["bound"] == 2
+        assert tracer.to_dict()["guarantee_violations"] == 1
+
+    def test_keep_spans_bounds_retention(self):
+        tracer = Tracer(check_guarantees=False, keep_spans=3)
+        for index in range(7):
+            with tracer.request(f"q{index}", kind="query"):
+                pass
+        assert tracer.requests_traced == 7
+        assert [node.name for node in tracer.finished] == ["q4", "q5", "q6"]
+
+    def test_default_retention_is_bounded(self):
+        assert Tracer().keep_spans == DEFAULT_KEEP_SPANS
+
+    def test_keep_spans_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(keep_spans=0)
+
+    def test_exporters_receive_roots_and_close(self):
+        class Exporter:
+            def __init__(self):
+                self.spans, self.closed = [], False
+
+            def export(self, node):
+                self.spans.append(node)
+
+            def close(self):
+                self.closed = True
+
+        exporter = Exporter()
+        tracer = Tracer(exporters=[exporter], check_guarantees=False)
+        with tracer.request("query", kind="query") as root:
+            pass
+        tracer.close()
+        assert exporter.spans == [root] and exporter.closed

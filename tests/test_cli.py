@@ -186,6 +186,130 @@ class TestServeCommand:
             main(["serve", "--queries", str(queries)])
 
 
+class TestServeTracingFlags:
+    def test_trace_artifacts_written(self, catalog_path, tmp_path, capsys):
+        import json
+
+        queries = tmp_path / "queries.txt"
+        queries.write_text("//book[price < 13]/title\ndepartment/name\n", encoding="utf-8")
+        trace = tmp_path / "spans.jsonl"
+        chrome = tmp_path / "chrome.json"
+        slow = tmp_path / "slow.jsonl"
+        code = main([
+            "serve", catalog_path, "--queries", str(queries),
+            "--fragment-at", "department", "--repeat", "2",
+            "--trace", str(trace),
+            "--chrome-trace", str(chrome),
+            "--slow-log", str(slow), "--slow-threshold", "0.0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tracing: 4 request(s) traced, 0 guarantee violation(s)" in out
+        # every request is one JSON line; cache hits included
+        roots = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert len(roots) == 4
+        assert all(root["kind"] == "query" for root in roots)
+        document = json.loads(chrome.read_text())
+        names = {e["name"] for e in document["traceEvents"] if e["ph"] == "X"}
+        assert "query" in names and "plan:compile" in names
+        assert len(slow.read_text().splitlines()) == 4  # threshold 0 logs all
+
+    def test_untraced_serve_prints_no_tracing_line(self, catalog_path, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("//book/title\n", encoding="utf-8")
+        assert main([
+            "serve", catalog_path, "--queries", str(queries), "--fragment-size", "4",
+        ]) == 0
+        assert "tracing:" not in capsys.readouterr().out
+
+    def test_metrics_port_announced(self, catalog_path, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("//book/title\n", encoding="utf-8")
+        assert main([
+            "serve", catalog_path, "--queries", str(queries),
+            "--fragment-size", "4", "--metrics-port", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[metrics at http://127.0.0.1:" in out
+        assert "tracing: 1 request(s) traced" in out
+
+
+class TestStatsCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["stats", "http://127.0.0.1:9464"])
+        assert not args.as_json
+
+    def test_fetches_metrics_from_live_endpoint(self, catalog_path, capsys):
+        import asyncio
+        import threading
+
+        from repro.fragments.fragmenters import cut_matching
+        from repro.obs import MetricsServer, Tracer
+        from repro.service.server import ServiceHost
+
+        tree = parse_xml_file(catalog_path)
+        host = ServiceHost(tracer=Tracer())
+        host.register("shop", cut_matching(tree, "department"))
+        started = threading.Event()
+        box = {}
+
+        def run_endpoint():
+            async def scenario():
+                box["stop"] = asyncio.Event()
+                box["loop"] = asyncio.get_running_loop()
+                server = await MetricsServer(host, port=0).start()
+                box["port"] = server.port
+                started.set()
+                await box["stop"].wait()
+                await server.stop()
+
+            asyncio.run(scenario())
+
+        thread = threading.Thread(target=run_endpoint, daemon=True)
+        thread.start()
+        assert started.wait(timeout=10.0)
+        try:
+            assert main(["stats", f"127.0.0.1:{box['port']}"]) == 0
+            assert "repro_requests_total" in capsys.readouterr().out
+            assert main(["stats", f"http://127.0.0.1:{box['port']}", "--json"]) == 0
+            assert '"documents"' in capsys.readouterr().out
+        finally:
+            box["loop"].call_soon_threadsafe(box["stop"].set)
+            thread.join(timeout=10.0)
+
+
+class TestBenchObsCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench-obs"])
+        assert args.requests == 192
+        assert args.clients == 16
+        assert args.processes == 4
+        assert args.output == "BENCH_obs.json"
+
+    def test_emits_benchmark_json(self, tmp_path, capsys):
+        import json
+
+        output = tmp_path / "BENCH_obs.json"
+        code = main([
+            "bench-obs", "--requests", "12", "--clients", "4",
+            "--bytes", "15000", "--repeats", "1", "--processes", "1",
+            "--output", str(output),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "untraced" in out and "guarantees" in out
+        report = json.loads(output.read_text(encoding="utf-8"))
+        assert report["benchmark"] == "observability_overhead"
+        assert report["answers_identical"]
+        assert report["guarantee_violations_total"] == 0
+        assert set(report["guarantees"]) == {"pax2", "pax3", "naive", "parbox"}
+        assert report["reconciliation"]["requests"] == 12
+        # one ABBA block per repeat: two passes per mode feed the
+        # fastest-pass loss estimate
+        assert len(report["overhead"]["enabled_untraced_wall_seconds"]) == 2
+        assert len(report["overhead"]["enabled_traced_wall_seconds"]) == 2
+
+
 class TestBenchServiceCommand:
     def test_emits_benchmark_json(self, tmp_path, capsys):
         import json
