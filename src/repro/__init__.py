@@ -58,6 +58,7 @@ from repro.distributed import (
 )
 from repro.core import (
     DistributedQueryEngine,
+    PartialAnswer,
     QueryResult,
     run_naive_centralized,
     run_parbox,
@@ -116,6 +117,7 @@ __all__ = [
     "single_site_placement",
     # core algorithms
     "DistributedQueryEngine",
+    "PartialAnswer",
     "QueryResult",
     "run_pax3",
     "run_pax2",

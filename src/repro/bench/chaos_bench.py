@@ -1,0 +1,505 @@
+"""Chaos benchmark (``repro bench-chaos``).
+
+Runs a mixed read/write multi-tenant workload through one shared
+:class:`~repro.service.server.ServiceHost` while a seeded
+:class:`~repro.distributed.faults.FaultInjector` abuses the wire, and emits
+``BENCH_chaos.json``.  The fault schedule follows the robustness issue's
+recipe:
+
+* every site of one tenant (``doc0``) drops a fraction of its messages
+  (default 5%),
+* one of that tenant's sites additionally *flaps* — recurring blackout
+  windows in which every message through it is lost,
+* one site of a second tenant (``doc1``) is a *straggler* — a fixed extra
+  wire delay on every message,
+* the remaining tenants are untouched (the "unaffected" population).
+
+Three phases:
+
+``verification`` (untimed)
+    The whole stream is replayed serially through a chaos host while solo
+    :class:`~repro.core.engine.DistributedQueryEngine` instances (sharing
+    each tenant's fragmentation, so host-applied writes are visible to
+    both) check every read differentially: a complete answer must equal the
+    solo answer exactly; a degraded answer must be *flagged*
+    (:class:`~repro.core.results.PartialAnswer`) and a strict subset of the
+    solo answer — a silent partial or an unsound extra node aborts the run.
+    The shared result cache must hold no incomplete entry afterwards.
+
+``fault_free`` / ``chaos`` (timed)
+    The same concurrent workload (regenerated from the same seeds) with the
+    injector absent, then present.  Per-tenant latencies are recorded
+    client-side; the tracked criterion is that the *unaffected* tenants'
+    p95 stays within ``1.5x`` of their fault-free baseline — degradation
+    must be contained to the tenants whose sites are actually failing.
+
+``zero crashes`` means exactly that: every operation either completes
+(possibly degraded) or is shed through the typed control-flow errors
+(:class:`~repro.service.resilience.DeadlineExceededError`,
+:class:`~repro.service.server.AdmissionError`); any other exception fails
+the benchmark.  A parity phase also asserts that merely *carrying* a
+disabled injector changes nothing: answers and message accounting must be
+identical to a plain host's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine import DistributedQueryEngine
+from repro.distributed.faults import FaultInjector, FaultPolicy, SiteFaultProfile
+from repro.service.resilience import (
+    DeadlineExceededError,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.service.server import AdmissionError, ServiceHost
+from repro.workloads.multidoc import MultiDocumentWorkload, Tenant, build_tenants
+from repro.workloads.queries import PAPER_QUERIES
+
+__all__ = [
+    "run_chaos_benchmark",
+    "build_fault_policy",
+    "write_benchmark_json",
+    "render_summary",
+    "CHAOS_P95_CRITERION",
+]
+
+#: unaffected tenants' chaos p95 may be at most this multiple of fault-free
+CHAOS_P95_CRITERION = 1.5
+
+
+def build_fault_policy(
+    tenants: Sequence[Tenant],
+    drop_probability: float = 0.05,
+    blackout_period: int = 8,
+    blackout_length: int = 4,
+    straggler_seconds: float = 0.002,
+    seed: int = 23,
+) -> Tuple[FaultPolicy, List[str], List[str]]:
+    """The issue's fault schedule over *tenants*' (namespaced) sites.
+
+    Returns ``(policy, affected_documents, unaffected_documents)``.  The
+    first tenant takes the drops and the flapping site, the second the
+    straggler; everyone else is left alone.
+    """
+    sites: Dict[str, SiteFaultProfile] = {}
+    affected: List[str] = []
+    if len(tenants) >= 1:
+        dropper = tenants[0]
+        affected.append(dropper.name)
+        site_ids = sorted(set(dropper.placement.values()))
+        for site_id in site_ids:
+            sites[site_id] = SiteFaultProfile(drop_probability=drop_probability)
+        # One of them flaps: recurring blackout windows on top of the drops.
+        flapping = site_ids[len(site_ids) // 2]
+        sites[flapping] = SiteFaultProfile(
+            drop_probability=drop_probability,
+            blackout_period=blackout_period,
+            blackout_length=blackout_length,
+        )
+    if len(tenants) >= 2:
+        straggler = tenants[1]
+        affected.append(straggler.name)
+        site_ids = sorted(set(straggler.placement.values()))
+        sites[site_ids[len(site_ids) // 2]] = SiteFaultProfile(
+            extra_seconds_per_message=straggler_seconds
+        )
+    unaffected = [t.name for t in tenants if t.name not in affected]
+    return FaultPolicy(sites=sites, seed=seed), affected, unaffected
+
+
+def _resilience_policy() -> ResiliencePolicy:
+    """The benchmark host's resilience posture: quick bounded retries, a
+    breaker that trips fast and probes often (the flapping site comes back)."""
+    return ResiliencePolicy(
+        retry=RetryPolicy(
+            max_attempts=3,
+            backoff_seconds=0.001,
+            backoff_max_seconds=0.01,
+        ),
+        breaker_failure_threshold=3,
+        breaker_reset_seconds=0.05,
+    )
+
+
+def _build_host(
+    tenants: Sequence[Tenant],
+    clients_per_document: int,
+    site_parallelism: int,
+    cache_capacity: int,
+    injector: Optional[FaultInjector],
+) -> ServiceHost:
+    host = ServiceHost(
+        max_in_flight=max(1, clients_per_document) * max(1, len(tenants)),
+        site_parallelism=site_parallelism,
+        cache_capacity=cache_capacity,
+        resilience=_resilience_policy() if injector is not None else None,
+        fault_injector=injector,
+    )
+    for tenant in tenants:
+        host.register(tenant.name, tenant.fragmentation, tenant.placement)
+    return host
+
+
+def _verify_parity(tenants: Sequence[Tenant], policy: FaultPolicy) -> Dict[str, object]:
+    """A disabled injector must be bit-invisible: answers and message
+    accounting identical to a host that never heard of faults."""
+    plain = _build_host(tenants, 1, 4, 0, None)
+    armored = _build_host(
+        tenants, 1, 4, 0, FaultInjector(policy, enabled=False)
+    )
+    queries_checked = 0
+    for tenant in tenants:
+        for query in tenant.queries:
+            baseline = plain.execute(tenant.name, query)
+            candidate = armored.execute(tenant.name, query)
+            if candidate.answer_ids != baseline.answer_ids:
+                raise AssertionError(
+                    f"parity violated: {tenant.name!r} {query!r} answers diverged"
+                    " with a disabled injector"
+                )
+            same_accounting = (
+                candidate.stats.communication_units == baseline.stats.communication_units
+                and candidate.stats.message_count == baseline.stats.message_count
+                and candidate.stats.local_units == baseline.stats.local_units
+            )
+            if not same_accounting:
+                raise AssertionError(
+                    f"parity violated: {tenant.name!r} {query!r} accounting diverged"
+                    " with a disabled injector"
+                )
+            queries_checked += 1
+    return {"queries_checked": queries_checked, "passed": True}
+
+
+def _verify_degradation(
+    tenants: Sequence[Tenant],
+    workload: MultiDocumentWorkload,
+    ops_per_document: int,
+    host: ServiceHost,
+) -> Dict[str, object]:
+    """Differentially verify every chaos-served read against solo engines.
+
+    Complete answers must match exactly; degraded answers must be flagged
+    and a sound subset.  Raises ``AssertionError`` on the first violation.
+    """
+    solo = {
+        tenant.name: DistributedQueryEngine(
+            tenant.scenario.fragmentation, placement=tenant.scenario.placement
+        )
+        for tenant in tenants
+    }
+    reads = writes = complete = degraded = shed = 0
+    for document, op in workload.ops(ops_per_document):
+        if op.is_write:
+            host.update(document, op.mutation)
+            writes += 1
+            continue
+        reads += 1
+        try:
+            served = host.execute(document, op.query, deadline=5.0)
+        except (DeadlineExceededError, AdmissionError):
+            shed += 1
+            continue
+        expected = solo[document].execute(op.query).answer_ids
+        if served.is_partial:
+            degraded += 1
+            missing = set(served.answer_ids) - set(expected)
+            if missing:
+                raise AssertionError(
+                    f"unsound partial answer: document {document!r},"
+                    f" query {op.query!r} returned {len(missing)} node(s)"
+                    " outside the complete answer"
+                )
+            if not served.stats.missing_sites:
+                raise AssertionError(
+                    f"degraded answer without missing_sites: {document!r}"
+                    f" {op.query!r}"
+                )
+        else:
+            complete += 1
+            if served.answer_ids != expected:
+                raise AssertionError(
+                    f"complete answer diverged: document {document!r},"
+                    f" query {op.query!r}: host {len(served.answer_ids)}"
+                    f" vs solo {len(expected)}"
+                )
+    # Partials must never have entered the shared cache as complete answers.
+    if host.cache is not None:
+        for stats in host.cache._entries.values():
+            if stats.incomplete:
+                raise AssertionError("an incomplete answer was cached")
+    return {
+        "reads_verified": reads,
+        "writes_applied": writes,
+        "complete": complete,
+        "degraded_flagged_and_subset": degraded,
+        "shed": shed,
+        "passed": True,
+    }
+
+
+async def _drive_tenant(
+    host: ServiceHost,
+    document: str,
+    stream,
+    ops: int,
+    clients: int,
+    deadline_seconds: Optional[float],
+    latencies: List[float],
+    outcomes: Dict[str, int],
+) -> None:
+    """Replay one tenant's stream concurrently, recording read latencies
+    client-side and classifying every outcome (zero-crash accounting)."""
+    gate = asyncio.Semaphore(max(1, clients))
+    pending: List[asyncio.Task] = []
+
+    async def read(query: str) -> None:
+        async with gate:
+            started = time.perf_counter()
+            try:
+                result = await host.submit(document, query, deadline=deadline_seconds)
+            except (DeadlineExceededError, AdmissionError):
+                outcomes["shed"] += 1
+                return
+            latencies.append(time.perf_counter() - started)
+            outcomes["degraded" if result.is_partial else "complete"] += 1
+
+    for _ in range(ops):
+        op = stream.next_op()
+        if op.is_write:
+            await host.apply_update(document, op.mutation)
+            outcomes["writes"] += 1
+        else:
+            pending.append(asyncio.create_task(read(op.query)))
+    if pending:
+        await asyncio.gather(*pending)
+
+
+def _percentile(samples: Sequence[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+def _timed_run(
+    tenants: Sequence[Tenant],
+    workload: MultiDocumentWorkload,
+    ops_per_document: int,
+    clients_per_document: int,
+    deadline_seconds: Optional[float],
+    host: ServiceHost,
+) -> Dict[str, object]:
+    latencies: Dict[str, List[float]] = {tenant.name: [] for tenant in tenants}
+    outcomes: Dict[str, Dict[str, int]] = {
+        tenant.name: {"complete": 0, "degraded": 0, "shed": 0, "writes": 0}
+        for tenant in tenants
+    }
+
+    async def run() -> None:
+        await asyncio.gather(
+            *(
+                _drive_tenant(
+                    host,
+                    tenant.name,
+                    workload.stream(tenant.name),
+                    ops_per_document,
+                    clients_per_document,
+                    deadline_seconds,
+                    latencies[tenant.name],
+                    outcomes[tenant.name],
+                )
+                for tenant in tenants
+            )
+        )
+
+    started = time.perf_counter()
+    asyncio.run(run())
+    wall = max(time.perf_counter() - started, 1e-9)
+    per_tenant = {
+        name: {
+            **outcomes[name],
+            "p50_ms": round(_percentile(latencies[name], 0.50) * 1000, 3),
+            "p95_ms": round(_percentile(latencies[name], 0.95) * 1000, 3),
+        }
+        for name in latencies
+    }
+    payload: Dict[str, object] = {
+        "wall_seconds": round(wall, 6),
+        "ops": ops_per_document * len(tenants),
+        "tenants": per_tenant,
+        "total_complete": sum(o["complete"] for o in outcomes.values()),
+        "total_degraded": sum(o["degraded"] for o in outcomes.values()),
+        "total_shed": sum(o["shed"] for o in outcomes.values()),
+    }
+    if host.resilience is not None:
+        payload["resilience"] = host.resilience.stats.to_dict()
+    if host.config.fault_injector is not None:
+        payload["faults"] = host.config.fault_injector.stats.to_dict()
+    return payload
+
+
+def run_chaos_benchmark(
+    documents: int = 4,
+    total_bytes: int = 20_000,
+    ops_per_document: int = 48,
+    write_ratio: float = 0.05,
+    clients_per_document: int = 4,
+    drop_probability: float = 0.05,
+    straggler_seconds: float = 0.002,
+    deadline_seconds: float = 5.0,
+    seed: int = 5,
+    workload_seed: int = 17,
+    fault_seed: int = 23,
+    site_parallelism: int = 4,
+    cache_capacity: int = 256,
+) -> Dict[str, object]:
+    """Run parity + verification + both timed phases; return the report."""
+    queries = list(PAPER_QUERIES.values())
+
+    def fresh_tenants() -> List[Tenant]:
+        return build_tenants(
+            documents, total_bytes=total_bytes, seed=seed, queries=queries
+        )
+
+    def fresh_workload(tenants: Sequence[Tenant]) -> MultiDocumentWorkload:
+        return MultiDocumentWorkload(tenants, write_ratio, seed=workload_seed)
+
+    def fresh_policy(tenants: Sequence[Tenant]):
+        return build_fault_policy(
+            tenants,
+            drop_probability=drop_probability,
+            straggler_seconds=straggler_seconds,
+            seed=fault_seed,
+        )
+
+    # -- phase 0: disabled injector is bit-invisible (untimed) ---------------
+    tenants = fresh_tenants()
+    policy, affected, unaffected = fresh_policy(tenants)
+    parity = _verify_parity(tenants, policy)
+
+    # -- phase 1: differential verification under chaos (untimed) ------------
+    tenants = fresh_tenants()
+    policy, _, _ = fresh_policy(tenants)
+    verification = _verify_degradation(
+        tenants,
+        fresh_workload(tenants),
+        ops_per_document,
+        _build_host(
+            tenants, clients_per_document, site_parallelism, cache_capacity,
+            FaultInjector(policy),
+        ),
+    )
+
+    # -- phase 2: fault-free baseline, timed ---------------------------------
+    tenants = fresh_tenants()
+    fault_free = _timed_run(
+        tenants,
+        fresh_workload(tenants),
+        ops_per_document,
+        clients_per_document,
+        None,
+        _build_host(tenants, clients_per_document, site_parallelism,
+                    cache_capacity, None),
+    )
+
+    # -- phase 3: the same workload under the fault schedule, timed ----------
+    tenants = fresh_tenants()
+    policy, _, _ = fresh_policy(tenants)
+    chaos = _timed_run(
+        tenants,
+        fresh_workload(tenants),
+        ops_per_document,
+        clients_per_document,
+        deadline_seconds,
+        _build_host(
+            tenants, clients_per_document, site_parallelism, cache_capacity,
+            FaultInjector(policy),
+        ),
+    )
+
+    def p95(run: Dict[str, object], names: Sequence[str]) -> float:
+        values = [run["tenants"][name]["p95_ms"] for name in names]
+        return max(values) if values else 0.0
+
+    baseline_p95 = p95(fault_free, unaffected)
+    chaos_p95 = p95(chaos, unaffected)
+    ratio = round(chaos_p95 / baseline_p95, 3) if baseline_p95 > 0 else 1.0
+    return {
+        "benchmark": "chaos",
+        "workload": {
+            "documents": documents,
+            "document_bytes": total_bytes,
+            "ops_per_document": ops_per_document,
+            "write_ratio": write_ratio,
+            "clients_per_document": clients_per_document,
+            "deadline_seconds": deadline_seconds,
+            "unique_queries": len(queries),
+            "seed": seed,
+            "workload_seed": workload_seed,
+        },
+        "fault_schedule": {
+            "drop_probability": drop_probability,
+            "flapping_blackout": {"period": 8, "length": 4},
+            "straggler_seconds": straggler_seconds,
+            "seed": fault_seed,
+            "affected_documents": affected,
+            "unaffected_documents": unaffected,
+        },
+        "parity": parity,
+        "verification": verification,
+        "fault_free": fault_free,
+        "chaos": chaos,
+        "unaffected_p95_ratio": ratio,
+        "criteria": {
+            "zero_crashes": True,  # any crash raised long before this line
+            "degraded_flagged_and_subset": verification["passed"],
+            "parity_with_injector_disabled": parity["passed"],
+            "unaffected_p95_threshold": CHAOS_P95_CRITERION,
+            "unaffected_p95_passed": ratio <= CHAOS_P95_CRITERION,
+        },
+    }
+
+
+def write_benchmark_json(report: Dict[str, object], path: str | Path) -> Path:
+    """Write the report as pretty JSON and return the path."""
+    destination = Path(path)
+    destination.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return destination
+
+
+def render_summary(report: Dict[str, object]) -> str:
+    """A human-readable recap of the emitted JSON."""
+    workload = report["workload"]
+    schedule = report["fault_schedule"]
+    verification = report["verification"]
+    chaos = report["chaos"]
+    criteria = report["criteria"]
+    lines = [
+        f"workload        : {workload['documents']} documents x"
+        f" {workload['ops_per_document']} ops"
+        f" ({workload['write_ratio'] * 100:.0f}% writes,"
+        f" {workload['clients_per_document']} clients/doc)",
+        f"fault schedule  : {schedule['drop_probability'] * 100:.0f}% drops +"
+        f" flapping site on {schedule['affected_documents'][0]},"
+        f" straggler on {schedule['affected_documents'][1]}"
+        if len(schedule["affected_documents"]) >= 2
+        else f"fault schedule  : {schedule['drop_probability'] * 100:.0f}% drops",
+        f"verification    : {verification['complete']} complete answers matched"
+        f" solo engines, {verification['degraded_flagged_and_subset']} degraded"
+        f" (all flagged, all subsets), {verification['shed']} shed",
+        f"chaos run       : {chaos['total_complete']} complete,"
+        f" {chaos['total_degraded']} degraded, {chaos['total_shed']} shed"
+        f" over {chaos['wall_seconds'] * 1000:.1f} ms",
+        f"unaffected p95  : {report['unaffected_p95_ratio']}x fault-free"
+        f" (criterion <= {criteria['unaffected_p95_threshold']}x:"
+        f" {'pass' if criteria['unaffected_p95_passed'] else 'FAIL'})",
+    ]
+    return "\n".join(lines)

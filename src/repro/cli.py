@@ -65,6 +65,12 @@ the rebuild-everything baseline and emit ``BENCH_update.json``::
 
     python -m repro bench-update --ops 400 --write-ratios 0.01 0.10
 
+Run the multi-tenant workload under an injected fault schedule (message
+drops, a flapping site, a straggler), verify every degraded answer is a
+flagged sound subset, and emit ``BENCH_chaos.json``::
+
+    python -m repro bench-chaos --docs 4 --ops 48 --drop 0.05
+
 Serve with tracing on: write every request's span tree as JSON lines, a
 Chrome trace for https://ui.perfetto.dev, a slow-query log, and expose
 Prometheus metrics while the workload runs::
@@ -258,6 +264,41 @@ def build_parser() -> argparse.ArgumentParser:
     bench_tenancy.add_argument("--site-parallelism", type=int, default=4)
     bench_tenancy.add_argument("--output", default="BENCH_tenancy.json",
                                help="report path (default BENCH_tenancy.json)")
+
+    bench_chaos = commands.add_parser(
+        "bench-chaos",
+        help="benchmark graceful degradation under an injected fault schedule",
+    )
+    bench_chaos.add_argument("--docs", type=int, default=4,
+                             help="hosted documents / tenants (default 4)")
+    bench_chaos.add_argument("--bytes", type=int, default=20_000, dest="total_bytes",
+                             help="approximate XMark size per document (default 20000)")
+    bench_chaos.add_argument("--ops", type=int, default=48,
+                             help="operations per document stream (default 48)")
+    bench_chaos.add_argument("--write-ratio", type=float, default=0.05,
+                             help="write fraction of each stream (default 0.05)")
+    bench_chaos.add_argument("--clients", type=int, default=4,
+                             help="concurrent clients per document (default 4)")
+    bench_chaos.add_argument("--drop", type=float, default=0.05, dest="drop_probability",
+                             help="message drop probability on the faulty tenant's"
+                                  " sites (default 0.05)")
+    bench_chaos.add_argument("--straggler", type=float, default=0.002,
+                             dest="straggler_seconds",
+                             help="extra wire seconds per message on the straggler"
+                                  " site (default 0.002)")
+    bench_chaos.add_argument("--deadline", type=float, default=5.0,
+                             dest="deadline_seconds",
+                             help="per-request deadline budget in the chaos phase,"
+                                  " seconds (default 5.0)")
+    bench_chaos.add_argument("--seed", type=int, default=5,
+                             help="XMark generator seed (default 5)")
+    bench_chaos.add_argument("--workload-seed", type=int, default=17,
+                             help="mixed-workload generator seed (default 17)")
+    bench_chaos.add_argument("--fault-seed", type=int, default=23,
+                             help="fault injector seed (default 23)")
+    bench_chaos.add_argument("--site-parallelism", type=int, default=4)
+    bench_chaos.add_argument("--output", default="BENCH_chaos.json",
+                             help="report path (default BENCH_chaos.json)")
 
     bench_update = commands.add_parser(
         "bench-update",
@@ -649,6 +690,33 @@ def _cmd_bench_tenancy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_chaos(args: argparse.Namespace) -> int:
+    from repro.bench.chaos_bench import (
+        render_summary,
+        run_chaos_benchmark,
+        write_benchmark_json,
+    )
+
+    report = run_chaos_benchmark(
+        documents=args.docs,
+        total_bytes=args.total_bytes,
+        ops_per_document=args.ops,
+        write_ratio=args.write_ratio,
+        clients_per_document=args.clients,
+        drop_probability=args.drop_probability,
+        straggler_seconds=args.straggler_seconds,
+        deadline_seconds=args.deadline_seconds,
+        seed=args.seed,
+        workload_seed=args.workload_seed,
+        fault_seed=args.fault_seed,
+        site_parallelism=args.site_parallelism,
+    )
+    path = write_benchmark_json(report, args.output)
+    print(render_summary(report))
+    print(f"[written to {path}]")
+    return 0
+
+
 def _cmd_bench_update(args: argparse.Namespace) -> int:
     from repro.bench.update_bench import (
         render_summary,
@@ -728,6 +796,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_bench_batch(args)
     if args.command == "bench-tenancy":
         return _cmd_bench_tenancy(args)
+    if args.command == "bench-chaos":
+        return _cmd_bench_chaos(args)
     if args.command == "bench-update":
         return _cmd_bench_update(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -12,7 +12,7 @@ Public entry points:
 """
 
 from repro.core.engine import DistributedQueryEngine
-from repro.core.results import QueryResult
+from repro.core.results import PartialAnswer, QueryResult
 from repro.core.pax3 import run_pax3
 from repro.core.pax2 import run_pax2
 from repro.core.batch import run_pax2_batch
@@ -22,6 +22,7 @@ from repro.core.pruning import relevant_fragments, initial_vector_from_labels
 
 __all__ = [
     "DistributedQueryEngine",
+    "PartialAnswer",
     "QueryResult",
     "run_pax3",
     "run_pax2",

@@ -8,7 +8,7 @@ from repro.distributed.stats import RunStats
 from repro.xmltree.nodes import XMLNode, XMLTree
 from repro.xmltree.serializer import serialize_node
 
-__all__ = ["QueryResult"]
+__all__ = ["QueryResult", "PartialAnswer"]
 
 
 class QueryResult:
@@ -22,6 +22,12 @@ class QueryResult:
     def __init__(self, tree: XMLTree, stats: RunStats):
         self._tree = tree
         self.stats = stats
+
+    @property
+    def is_partial(self) -> bool:
+        """True when some site stayed unreachable and the answer covers only
+        the visited fragments (see :class:`PartialAnswer`)."""
+        return bool(self.stats.incomplete)
 
     @property
     def answer_ids(self) -> List[int]:
@@ -57,4 +63,33 @@ class QueryResult:
         return (
             f"<QueryResult {len(self)} answers via {self.stats.algorithm}"
             f" ({self.stats.communication_units} traffic units)>"
+        )
+
+
+class PartialAnswer(QueryResult):
+    """A degraded answer: certain over the fragments that were reachable.
+
+    Returned by the service when a site stays down past the request's
+    budget.  The answers present are *sound* — every one of them is an
+    answer of the complete query (stage-1 definite answers depend only on
+    their own fragment plus coordinator-computed initialization) — but
+    answers living on the missing fragments, and unresolved candidates of
+    unreachable sites, are absent.  The run's ``stats.incomplete`` flag is
+    set and such results are never cached as complete.
+    """
+
+    @property
+    def missing_sites(self) -> List[str]:
+        """Sites the evaluation could not reach before giving up."""
+        return list(self.stats.missing_sites)
+
+    @property
+    def missing_fragments(self) -> List[str]:
+        """Fragments whose answers may be absent from this result."""
+        return list(self.stats.missing_fragments)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PartialAnswer {len(self)} answers via {self.stats.algorithm},"
+            f" missing sites {', '.join(self.stats.missing_sites) or '?'}>"
         )

@@ -13,7 +13,14 @@ the quantities the paper's figures plot:
   (sites are independent within a stage), the *total* time is the sum.
 """
 
-from repro.distributed.async_transport import AsyncTransport, LatencyModel
+from repro.distributed.async_transport import AsyncTransport, LatencyModel, RoundBuffer
+from repro.distributed.faults import (
+    FaultInjector,
+    FaultPolicy,
+    FaultStats,
+    SiteFaultProfile,
+    TransportError,
+)
 from repro.distributed.messages import Message, MessageKind
 from repro.distributed.network import Network
 from repro.distributed.site import Site
@@ -27,6 +34,12 @@ from repro.distributed.stats import RunStats, SiteStats, StageStats
 __all__ = [
     "AsyncTransport",
     "LatencyModel",
+    "RoundBuffer",
+    "FaultInjector",
+    "FaultPolicy",
+    "FaultStats",
+    "SiteFaultProfile",
+    "TransportError",
     "Message",
     "MessageKind",
     "Network",

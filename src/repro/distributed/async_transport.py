@@ -11,18 +11,38 @@ the network's unit accounting identical to the synchronous path.
 
 Same-site messages remain free (and instantaneous), matching the cost model
 of the paper.
+
+Three optional resilience hooks ride on top (all off by default, in which
+case behaviour and accounting are bit-identical to the plain transport):
+
+* a :class:`~repro.distributed.faults.FaultInjector` consulted per
+  non-local message — injected drops raise
+  :class:`~repro.distributed.faults.TransportError`, injected delays add to
+  the wire time, injected duplicates are charged as real extra traffic;
+* **round buffers** (:meth:`begin_round` / :meth:`commit_round`): sends of
+  one retryable site round are staged in a buffer and only merged into the
+  network's accounting when the round *succeeds*, so a retried round never
+  double-counts units in ``Network.collect_stats`` and an abandoned or
+  cancelled attempt leaves no trace;
+* a **deadline** and a **hedge threshold**: wire waits never sleep past the
+  request's remaining budget (the send fails with ``reason="deadline"``
+  instead), and when an injected delay exceeds the hedge threshold a second
+  copy of the message is raced against the slow one — the receiver sees
+  whichever arrives first, the traffic accounting sees both.
 """
 
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import List, Optional
 
+from repro.distributed.faults import FaultInjector, TransportError
 from repro.distributed.messages import Message
 from repro.distributed.network import Network
 from repro.obs.trace import event, span as trace_span
 
-__all__ = ["LatencyModel", "AsyncTransport"]
+__all__ = ["LatencyModel", "AsyncTransport", "RoundBuffer"]
 
 
 @dataclass(frozen=True)
@@ -45,21 +65,80 @@ class LatencyModel:
         return self.base_seconds <= 0.0 and self.per_unit_seconds <= 0.0
 
 
+@dataclass
+class RoundBuffer:
+    """Staged accounting of one not-yet-committed site round.
+
+    Messages (including injected duplicates and hedged copies) and the
+    transport counters they would add are collected here; a successful round
+    commits them wholesale, a failed or cancelled attempt just drops the
+    buffer — exactly-once accounting under retries.
+    """
+
+    messages: List[Message] = field(default_factory=list)
+    sent_messages: int = 0
+    simulated_seconds: float = 0.0
+
+
 class AsyncTransport:
     """Awaitable ``send`` over a per-query :class:`Network`.
 
     Accounting (units, message counts) is delegated to the wrapped network so
     :meth:`Network.collect_stats` keeps working unchanged; the transport only
     adds the time dimension and a few service-level counters.
+
+    Parameters
+    ----------
+    injector:
+        Optional shared :class:`~repro.distributed.faults.FaultInjector`
+        consulted for every non-local message.
+    deadline:
+        Optional request budget (anything with ``remaining() -> float``);
+        a send whose wire wait would outlive it sleeps out the budget and
+        raises :class:`TransportError` with ``reason="deadline"``.
+    hedge_after_seconds:
+        When set and an injected delay exceeds it, a duplicate copy of the
+        message is raced against the slow original (extra traffic, lower
+        tail latency).
+    hedge_counter:
+        Optional object with a mutable ``hedged_sends`` attribute
+        (:class:`~repro.service.resilience.ResilienceStats`) credited per
+        hedged copy fired.
     """
 
-    def __init__(self, network: Network, latency: LatencyModel | None = None):
+    def __init__(
+        self,
+        network: Network,
+        latency: LatencyModel | None = None,
+        injector: Optional[FaultInjector] = None,
+        deadline: Optional[object] = None,
+        hedge_after_seconds: Optional[float] = None,
+        hedge_counter: Optional[object] = None,
+    ):
         self.network = network
         self.latency = latency or LatencyModel()
+        self.injector = injector
+        self.deadline = deadline
+        self.hedge_after_seconds = hedge_after_seconds
+        self.hedge_counter = hedge_counter
         #: messages that actually crossed the (simulated) wire
         self.sent_messages = 0
         #: cumulative simulated seconds spent on the wire
         self.simulated_seconds = 0.0
+
+    # -- buffered (retry-exact) rounds --------------------------------------
+
+    def begin_round(self) -> RoundBuffer:
+        """A fresh buffer for one retryable round's sends."""
+        return RoundBuffer()
+
+    def commit_round(self, buffer: RoundBuffer) -> None:
+        """Merge a successful round's staged accounting into the network."""
+        self.network.messages.extend(buffer.messages)
+        self.sent_messages += buffer.sent_messages
+        self.simulated_seconds += buffer.simulated_seconds
+
+    # -- sending ------------------------------------------------------------
 
     async def send(
         self,
@@ -69,24 +148,119 @@ class AsyncTransport:
         units: int,
         description: str = "",
         payload: object = None,
+        buffer: Optional[RoundBuffer] = None,
     ) -> Message:
-        """Record one message and await its simulated transmission."""
-        message = self.network.send(sender, receiver, kind, units, description, payload)
-        if not message.is_local:
-            self.sent_messages += 1
-            delay = self.latency.delay(message.units)
-            if delay > 0.0:
-                self.simulated_seconds += delay
-                with trace_span(
-                    f"wire:{kind}", stage="wire",
-                    sender=sender, receiver=receiver, units=message.units,
-                ):
-                    await asyncio.sleep(delay)
+        """Record one message and await its simulated transmission.
+
+        With *buffer* given, the message and its counters are staged there
+        instead of landing on the network immediately (see
+        :meth:`commit_round`).  Wall-clock behaviour — wire sleeps, fault
+        verdicts — is identical either way; only the accounting is deferred.
+        """
+        message = Message(
+            sender=sender,
+            receiver=receiver,
+            kind=kind,
+            units=max(0, int(units)),
+            description=description,
+            payload=payload,
+        )
+        if buffer is None:
+            self.network.messages.append(message)
+        else:
+            buffer.messages.append(message)
+        if message.is_local:
+            return message
+
+        decision = (
+            self.injector.decide(sender, receiver, kind, message.units)
+            if self.injector is not None
+            else None
+        )
+        if decision is not None and decision.dropped:
+            # The lost message never reaches accounting: pull the staged
+            # record back out (buffered rounds discard wholesale anyway, but
+            # an unbuffered caller must not count traffic that never arrived).
+            if buffer is None:
+                self.network.messages.pop()
             else:
-                # Free wire: no time to attribute, but traced requests still
-                # get a marker per message crossing sites.
-                event(f"message:{kind}", sender=sender, receiver=receiver,
-                      units=message.units)
+                buffer.messages.pop()
+            reason = "blackout" if decision.blackout else "drop"
+            event(f"fault:{reason}", sender=sender, receiver=receiver,
+                  kind=kind, site=decision.site)
+            raise TransportError(sender, receiver, kind, decision.site, reason)
+
+        copies = 1
+        delay = self.latency.delay(message.units)
+        extra = decision.extra_seconds if decision is not None else 0.0
+        if decision is not None and decision.duplicates:
+            # Duplicated delivery: the receiver is charged the traffic again.
+            copies += decision.duplicates
+        if (
+            self.hedge_after_seconds is not None
+            and extra > self.hedge_after_seconds
+            and self.injector is not None
+        ):
+            # Straggling message: race a second copy.  Its own fault draw is
+            # independent; if it survives, the receiver takes whichever copy
+            # lands first (and pays the duplicate traffic).
+            hedge = self.injector.decide(sender, receiver, kind, message.units)
+            if self.hedge_counter is not None:
+                self.hedge_counter.hedged_sends += 1
+            event("hedge", sender=sender, receiver=receiver, kind=kind,
+                  site=decision.site if decision is not None else receiver)
+            if not hedge.dropped:
+                copies += 1
+                extra = min(extra, self.hedge_after_seconds + hedge.extra_seconds)
+
+        total = delay + extra
+        if self.deadline is not None:
+            remaining = self.deadline.remaining()
+            if total > remaining:
+                # Waiting this one out would blow the budget: unstage the
+                # message (it never arrived), sleep what is left (the
+                # caller's clock really does run out) and fail the send,
+                # attributing it to the slow site.
+                if buffer is None:
+                    self.network.messages.pop()
+                else:
+                    buffer.messages.pop()
+                site = decision.site if decision is not None else receiver
+                if remaining > 0.0:
+                    with trace_span(
+                        f"wire:{kind}", stage="wire",
+                        sender=sender, receiver=receiver, deadline_capped=True,
+                    ):
+                        await asyncio.sleep(remaining)
+                event("fault:deadline", sender=sender, receiver=receiver,
+                      kind=kind, site=site)
+                raise TransportError(sender, receiver, kind, site, "deadline")
+
+        for _ in range(copies - 1):
+            duplicate = Message(
+                sender=sender, receiver=receiver, kind=kind,
+                units=message.units, description=description, payload=payload,
+            )
+            if buffer is None:
+                self.network.messages.append(duplicate)
+            else:
+                buffer.messages.append(duplicate)
+
+        target = buffer if buffer is not None else self
+        target.sent_messages += copies
+        if total > 0.0:
+            target.simulated_seconds += total
+            with trace_span(
+                f"wire:{kind}", stage="wire",
+                sender=sender, receiver=receiver, units=message.units,
+                injected_seconds=extra,
+            ):
+                await asyncio.sleep(total)
+        else:
+            # Free wire: no time to attribute, but traced requests still
+            # get a marker per message crossing sites.
+            event(f"message:{kind}", sender=sender, receiver=receiver,
+                  units=message.units)
         return message
 
     def __repr__(self) -> str:

@@ -1,0 +1,280 @@
+"""Deterministic fault injection for the simulated transport.
+
+The serving stack assumed, through PR 6, that sites never fail and messages
+never stall.  This module supplies the *failure model*: a seeded, policy-
+driven :class:`FaultInjector` that the service's
+:class:`~repro.distributed.async_transport.AsyncTransport` consults on every
+message crossing sites.  The injector can
+
+* **drop** a message (the send raises :class:`TransportError` — the sender
+  must retry or degrade),
+* **delay** it (a latency spike added on top of the configured
+  :class:`~repro.distributed.async_transport.LatencyModel`),
+* **duplicate** it (the receiver is charged the traffic twice — retried and
+  hedged sends look exactly like this on a real network),
+* take a site through recurring **blackout windows** (every message to or
+  from the site is dropped while the window lasts — a crash/restart cycle),
+* make a site a **straggler** (a fixed extra delay on every message — an
+  overloaded or distant machine).
+
+Determinism: every decision is a pure function of ``(seed, site,
+per-site message index)`` through a keyed blake2b hash, so a chaos run is
+replayable — same policy, same seed, same order of sends per site, same
+faults.  Blackout windows are expressed in per-site message *indices*
+rather than wall-clock seconds for the same reason.
+
+The injector is deliberately ignorant of retries, breakers and deadlines;
+those live in :mod:`repro.service.resilience` on the consuming side.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+__all__ = [
+    "TransportError",
+    "SiteFaultProfile",
+    "FaultPolicy",
+    "FaultDecision",
+    "FaultStats",
+    "FaultInjector",
+]
+
+
+class TransportError(RuntimeError):
+    """A message failed to cross the (simulated) wire.
+
+    Raised by :meth:`AsyncTransport.send` when the fault injector drops the
+    message.  Carries enough context for the resilience layer to decide who
+    to blame (the per-site circuit breaker keys on :attr:`site`).
+    """
+
+    def __init__(self, sender: str, receiver: str, kind: str, site: str, reason: str):
+        super().__init__(
+            f"message {kind} from {sender} to {receiver} lost ({reason} at {site})"
+        )
+        self.sender = sender
+        self.receiver = receiver
+        self.kind = kind
+        #: the site the fault is attributed to (breaker key)
+        self.site = site
+        #: ``"drop"`` or ``"blackout"``
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class SiteFaultProfile:
+    """Fault behaviour of one site (or the policy-wide default).
+
+    Probabilities are per *message* touching the site; ``blackout_period`` /
+    ``blackout_length`` describe a recurring crash window in per-site message
+    indices (messages ``k*period .. k*period+length-1`` are dropped);
+    ``extra_seconds_per_message`` is the straggler tax, charged always.
+    """
+
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    delay_probability: float = 0.0
+    #: size of one injected delay spike, seconds
+    delay_seconds: float = 0.0
+    #: straggler mode: extra wire seconds on every message
+    extra_seconds_per_message: float = 0.0
+    #: every ``blackout_period`` messages the site goes dark for
+    #: ``blackout_length`` messages (0 disables)
+    blackout_period: int = 0
+    blackout_length: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_probability", "duplicate_probability", "delay_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+        if self.delay_seconds < 0.0 or self.extra_seconds_per_message < 0.0:
+            raise ValueError("delays must be >= 0")
+        if self.blackout_period < 0 or self.blackout_length < 0:
+            raise ValueError("blackout window must be >= 0")
+        if self.blackout_length > self.blackout_period > 0:
+            raise ValueError("blackout_length must not exceed blackout_period")
+
+    @property
+    def is_quiet(self) -> bool:
+        """True when this profile never injects anything."""
+        return (
+            self.drop_probability == 0.0
+            and self.duplicate_probability == 0.0
+            and self.delay_probability == 0.0
+            and self.extra_seconds_per_message == 0.0
+            and (self.blackout_period == 0 or self.blackout_length == 0)
+        )
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """What the injector does: a default profile plus per-site overrides."""
+
+    default: SiteFaultProfile = field(default_factory=SiteFaultProfile)
+    #: site id -> profile replacing the default for that site
+    sites: Mapping[str, SiteFaultProfile] = field(default_factory=dict)
+    seed: int = 0
+
+    def profile_for(self, site: str) -> SiteFaultProfile:
+        return self.sites.get(site, self.default)
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What happens to one message (the injector's verdict)."""
+
+    #: site the verdict is charged to (breaker/stats key)
+    site: str = ""
+    drop: bool = False
+    #: drop because the site is inside a blackout window
+    blackout: bool = False
+    #: injected extra wire seconds (spike + straggler tax)
+    extra_seconds: float = 0.0
+    #: extra delivered copies of the message (0 = delivered once)
+    duplicates: int = 0
+
+    @property
+    def dropped(self) -> bool:
+        return self.drop or self.blackout
+
+
+@dataclass
+class FaultStats:
+    """Lifetime counters of everything one injector did."""
+
+    decisions: int = 0
+    drops: int = 0
+    blackout_drops: int = 0
+    duplicates: int = 0
+    delays: int = 0
+    delay_seconds: float = 0.0
+    #: per-site injected-fault counts (drops + blackout drops + duplicates
+    #: + delay spikes; straggler tax not counted — it is every message)
+    by_site: Dict[str, int] = field(default_factory=dict)
+
+    def note(self, decision: FaultDecision) -> None:
+        self.decisions += 1
+        injected = 0
+        if decision.blackout:
+            self.blackout_drops += 1
+            injected += 1
+        elif decision.drop:
+            self.drops += 1
+            injected += 1
+        if decision.duplicates:
+            self.duplicates += decision.duplicates
+            injected += 1
+        if decision.extra_seconds > 0.0:
+            self.delays += 1
+            self.delay_seconds += decision.extra_seconds
+        if injected:
+            self.by_site[decision.site] = self.by_site.get(decision.site, 0) + injected
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "decisions": self.decisions,
+            "drops": self.drops,
+            "blackout_drops": self.blackout_drops,
+            "duplicates": self.duplicates,
+            "delays": self.delays,
+            "delay_seconds": round(self.delay_seconds, 6),
+            "by_site": dict(sorted(self.by_site.items())),
+        }
+
+    def summary(self) -> str:
+        return (
+            f"faults: {self.drops} drops, {self.blackout_drops} blackout drops,"
+            f" {self.duplicates} duplicates, {self.delays} delay spikes"
+            f" (+{self.delay_seconds * 1000:.1f} ms simulated)"
+            f" over {self.decisions} messages"
+        )
+
+
+class FaultInjector:
+    """Seeded, shared fault source consulted by every transport send.
+
+    One injector is shared by every per-query transport of a host (set it on
+    :class:`~repro.service.server.ServiceConfig`), so blackout windows and
+    per-site message indices span the whole workload rather than resetting
+    per query.  :meth:`decide` charges the fault to the non-coordinator
+    party of the message when it has an override profile, falling back to
+    the receiver — "the flaky machine is at fault", whichever direction the
+    message travels.
+    """
+
+    def __init__(self, policy: Optional[FaultPolicy] = None, enabled: bool = True):
+        self.policy = policy or FaultPolicy()
+        self.enabled = enabled
+        self.stats = FaultStats()
+        self._indices: Dict[str, int] = {}
+
+    def reset(self) -> None:
+        """Restart the deterministic sequence (fresh indices and stats)."""
+        self.stats = FaultStats()
+        self._indices.clear()
+
+    # -- deterministic draws ------------------------------------------------
+
+    def _draw(self, site: str, index: int, label: str) -> float:
+        """A uniform [0, 1) float, pure in (seed, site, index, label)."""
+        digest = hashlib.blake2b(
+            f"{self.policy.seed}:{site}:{index}:{label}".encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") / 2**64
+
+    def _target(self, sender: str, receiver: str) -> str:
+        """The site a fault on this message is attributed to."""
+        if receiver in self.policy.sites:
+            return receiver
+        if sender in self.policy.sites:
+            return sender
+        return receiver
+
+    def decide(self, sender: str, receiver: str, kind: str, units: int) -> FaultDecision:
+        """The verdict for one non-local message about to cross the wire."""
+        if not self.enabled:
+            return FaultDecision()
+        site = self._target(sender, receiver)
+        profile = self.policy.profile_for(site)
+        if profile.is_quiet:
+            return FaultDecision(site=site)
+        index = self._indices.get(site, 0)
+        self._indices[site] = index + 1
+        if profile.blackout_period > 0 and profile.blackout_length > 0:
+            if index % profile.blackout_period < profile.blackout_length:
+                decision = FaultDecision(site=site, blackout=True)
+                self.stats.note(decision)
+                return decision
+        drop = (
+            profile.drop_probability > 0.0
+            and self._draw(site, index, "drop") < profile.drop_probability
+        )
+        if drop:
+            decision = FaultDecision(site=site, drop=True)
+            self.stats.note(decision)
+            return decision
+        extra = profile.extra_seconds_per_message
+        if (
+            profile.delay_probability > 0.0
+            and self._draw(site, index, "delay") < profile.delay_probability
+        ):
+            extra += profile.delay_seconds
+        duplicates = (
+            1
+            if profile.duplicate_probability > 0.0
+            and self._draw(site, index, "duplicate") < profile.duplicate_probability
+            else 0
+        )
+        decision = FaultDecision(site=site, extra_seconds=extra, duplicates=duplicates)
+        self.stats.note(decision)
+        return decision
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector enabled={self.enabled} seed={self.policy.seed}"
+            f" sites={len(self.policy.sites)} {self.stats.summary()}>"
+        )

@@ -75,6 +75,23 @@ class Site:
         """Total measured compute time across all visits."""
         return sum(self.stage_seconds.values())
 
+    def snapshot_counters(self) -> tuple:
+        """The current counters, for :meth:`restore_counters`.
+
+        The resilience layer snapshots a site before a retryable round and
+        restores on failure, so an abandoned attempt's visits and stage
+        seconds never leak into the run's accounting (the paper's per-site
+        visit bounds keep holding under retries).
+        """
+        return (self.visits, dict(self.stage_seconds), self.operations)
+
+    def restore_counters(self, snapshot: tuple) -> None:
+        """Roll the counters back to a :meth:`snapshot_counters` state."""
+        visits, stage_seconds, operations = snapshot
+        self.visits = visits
+        self.stage_seconds = dict(stage_seconds)
+        self.operations = operations
+
     def reset_counters(self) -> None:
         """Clear visit/time/operation counters (storage is kept)."""
         self.visits = 0

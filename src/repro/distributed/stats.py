@@ -57,6 +57,14 @@ class RunStats:
     #: answer payload: how many tree nodes would be shipped when materializing answers
     answer_nodes_shipped: int = 0
     notes: Optional[str] = None
+    #: partial-answer marker: some site stayed unreachable past the request's
+    #: budget, so the answers are certain over the visited fragments only (a
+    #: sound subset of the complete answer) — never cached as complete
+    incomplete: bool = False
+    #: sites that could not be reached (or resolved) before the run gave up
+    missing_sites: List[str] = field(default_factory=list)
+    #: fragments whose evaluation the missing sites took with them
+    missing_fragments: List[str] = field(default_factory=list)
 
     # -- derived quantities ----------------------------------------------------
 
@@ -110,6 +118,9 @@ class RunStats:
             "total_operations": self.total_operations,
             "fragments_evaluated": list(self.fragments_evaluated),
             "fragments_pruned": list(self.fragments_pruned),
+            "incomplete": self.incomplete,
+            "missing_sites": list(self.missing_sites),
+            "missing_fragments": list(self.missing_fragments),
             "stages": [
                 {
                     "name": stage.name,
@@ -150,6 +161,12 @@ class RunStats:
             lines.append(
                 f"pruned fragments : {', '.join(self.fragments_pruned)}"
                 f" (evaluated {len(self.fragments_evaluated)})"
+            )
+        if self.incomplete:
+            lines.append(
+                f"PARTIAL answer   : sites {', '.join(self.missing_sites) or '?'}"
+                f" unreachable ({len(self.missing_fragments)} fragments missing);"
+                " answers certain over visited fragments only"
             )
         for stage in self.stages:
             lines.append(

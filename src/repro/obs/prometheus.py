@@ -140,6 +140,55 @@ def render_prometheus(host: Any) -> str:
             help_text="Exact request-latency quantiles from the retained sample window.",
         )
 
+    # -- degradation & shedding --------------------------------------------
+    lines.add("repro_requests_degraded_total", getattr(metrics, "total_degraded", 0),
+              help_text="Requests answered with a partial (degraded) answer.")
+    lines.add("repro_requests_shed_total", getattr(metrics, "total_shed", 0),
+              help_text="Requests shed before evaluation (deadline expired while queued).")
+    for stage, count in sorted(getattr(metrics, "shed_by_stage", {}).items()):
+        lines.add("repro_requests_shed_by_stage_total", count,
+                  labels={"stage": stage},
+                  help_text="Requests shed, by the queue the budget expired in.")
+
+    # -- resilience --------------------------------------------------------
+    resilience = getattr(host, "resilience", None)
+    if resilience is not None:
+        rstats = resilience.stats
+        lines.add("repro_retries_total", rstats.retries,
+                  help_text="Site rounds retried after a transport failure.")
+        for site, count in sorted(rstats.retries_by_site.items()):
+            lines.add("repro_site_retries_total", count, labels={"site": site},
+                      help_text="Site rounds retried, by site.")
+        lines.add("repro_hedged_sends_total", rstats.hedged_sends,
+                  help_text="Duplicate messages raced against stragglers.")
+        lines.add("repro_breaker_trips_total", rstats.breaker_trips,
+                  help_text="Circuit breakers tripped open.")
+        lines.add("repro_breaker_rejections_total", rstats.breaker_rejections,
+                  help_text="Rounds rejected fast by an open circuit breaker.")
+        lines.add("repro_breaker_probes_total", rstats.breaker_probes,
+                  help_text="Half-open probe rounds admitted through a breaker.")
+        lines.add("repro_degraded_answers_total", rstats.degraded_answers,
+                  help_text="Evaluations that degraded to a partial answer.")
+        lines.add("repro_deadline_failures_total", rstats.deadline_failures,
+                  help_text="Site rounds abandoned because the request budget ran out.")
+        for site, breaker in sorted(resilience.breakers().items()):
+            lines.add("repro_breaker_open", 1.0 if breaker.state != "closed" else 0.0,
+                      labels={"site": site}, metric_type="gauge",
+                      help_text="1 when the site's circuit breaker is open or half-open.")
+
+    # -- fault injection ---------------------------------------------------
+    injector = getattr(getattr(host, "config", None), "fault_injector", None)
+    if injector is not None:
+        fstats = injector.stats
+        lines.add("repro_faults_dropped_total", fstats.drops,
+                  help_text="Messages dropped by the fault injector.")
+        lines.add("repro_faults_blackout_dropped_total", fstats.blackout_drops,
+                  help_text="Messages dropped inside injected blackout windows.")
+        lines.add("repro_faults_duplicated_total", fstats.duplicates,
+                  help_text="Duplicate deliveries injected.")
+        lines.add("repro_faults_delayed_total", fstats.delays,
+                  help_text="Messages given an injected delay spike.")
+
     # -- updates -----------------------------------------------------------
     lines.add("repro_updates_total", metrics.total_updates,
               help_text="Document mutations applied.")

@@ -59,6 +59,7 @@ Quickstart (many documents, one shared scheduler)::
     host.drop_document("catalog")  # purges only that tenant's cache entries
 """
 
+from repro.core.results import PartialAnswer
 from repro.service.actors import ActorPool, FragmentWaveBatcher, ReadWriteGate, SiteActor
 from repro.service.cache import (
     CacheStats,
@@ -74,6 +75,16 @@ from repro.service.metrics import (
     QueryRecord,
     ServiceMetrics,
     UpdateRecord,
+)
+from repro.service.resilience import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceededError,
+    ResilienceContext,
+    ResiliencePolicy,
+    ResilienceState,
+    ResilienceStats,
+    RetryPolicy,
 )
 from repro.service.server import (
     AdmissionError,
@@ -91,6 +102,7 @@ from repro.service.store import (
 )
 
 __all__ = [
+    "PartialAnswer",
     "ActorPool",
     "BatchStats",
     "FragmentWaveBatcher",
@@ -106,6 +118,14 @@ __all__ = [
     "QueryRecord",
     "ServiceMetrics",
     "UpdateRecord",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceededError",
+    "ResilienceContext",
+    "ResiliencePolicy",
+    "ResilienceState",
+    "ResilienceStats",
+    "RetryPolicy",
     "AdmissionError",
     "DocumentSession",
     "ServiceConfig",

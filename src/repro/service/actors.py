@@ -24,8 +24,9 @@ from __future__ import annotations
 import asyncio
 import time
 import weakref
+from collections import deque
 from contextlib import asynccontextmanager
-from typing import AsyncIterator, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import AsyncIterator, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.kernel.dispatch import combined_pass_batch
 from repro.obs.trace import NEGLIGIBLE_WAIT_SECONDS, add_span
@@ -50,59 +51,153 @@ class ReadWriteGate:
     primitives in this module the gate is rebuilt whenever the running event
     loop changes, because the blocking facade runs each call in a fresh
     ``asyncio.run`` loop.
+
+    The gate is **cancellation-safe by construction**: waiters park on
+    plain futures, grants happen synchronously inside the releasing task
+    (``Future.set_result``, no awaits), and the release paths themselves
+    never await — so a ``CancelledError`` landing at any point either finds
+    the waiter still queued (its future is cancelled and skipped by later
+    grants) or already granted (the grant is synchronously handed back
+    before the cancellation propagates).  No permit leaks, no stranded
+    waiters, no state the next acquirer could observe half-updated.
+    Acquisition optionally takes a ``timeout`` (used by the service's
+    deadline budgets); a timed-out waiter behaves exactly like a cancelled
+    one.
     """
 
     def __init__(self) -> None:
-        self._condition: Optional[asyncio.Condition] = None
-        self._loop_id: Optional[int] = None
         self._readers = 0
         self._writing = False
-        self._writers_waiting = 0
+        self._waiting_readers: Deque[asyncio.Future] = deque()
+        self._waiting_writers: Deque[asyncio.Future] = deque()
+        #: weakref to the owning loop (see FragmentWaveBatcher._loop_ref for
+        #: why a weakref and not id())
+        self._loop_ref: Optional[weakref.ref] = None
 
-    def _bound(self) -> asyncio.Condition:
-        loop_id = id(asyncio.get_running_loop())
-        if self._condition is None or self._loop_id != loop_id:
-            self._condition = asyncio.Condition()
-            self._loop_id = loop_id
+    def _bind(self) -> asyncio.AbstractEventLoop:
+        loop = asyncio.get_running_loop()
+        if self._loop_ref is None or self._loop_ref() is not loop:
             self._readers = 0
             self._writing = False
-            self._writers_waiting = 0
-        return self._condition
+            self._waiting_readers = deque()
+            self._waiting_writers = deque()
+            self._loop_ref = weakref.ref(loop)
+        return loop
 
-    @asynccontextmanager
-    async def read_locked(self) -> AsyncIterator[None]:
-        """Hold the gate shared (with other readers) for the enclosed work."""
-        condition = self._bound()
-        async with condition:
-            while self._writing or self._writers_waiting:
-                await condition.wait()
+    # -- synchronous core ---------------------------------------------------
+
+    def _wake(self) -> None:
+        """Grant the gate to whoever may proceed.  Synchronous: called from
+        release paths and from cancelled waiters; never awaits."""
+        if self._writing:
+            return
+        while self._waiting_writers and self._waiting_writers[0].done():
+            self._waiting_writers.popleft()  # cancelled while queued
+        if self._waiting_writers:
+            if self._readers == 0:
+                future = self._waiting_writers.popleft()
+                self._writing = True
+                future.set_result(None)
+            return
+        while self._waiting_readers:
+            future = self._waiting_readers.popleft()
+            if future.done():
+                continue
             self._readers += 1
+            future.set_result(None)
+
+    def _release_read(self) -> None:
+        self._readers -= 1
+        if self._readers == 0:
+            self._wake()
+
+    def _release_write(self) -> None:
+        self._writing = False
+        self._wake()
+
+    async def _acquire(
+        self,
+        waiters: "Deque[asyncio.Future]",
+        can_enter: bool,
+        on_grant,
+        on_granted_but_dead,
+        timeout: Optional[float],
+    ) -> None:
+        loop = self._bind()
+        if can_enter:
+            on_grant()
+            return
+        future = loop.create_future()
+        waiters.append(future)
         try:
-            yield
-        finally:
-            async with condition:
-                self._readers -= 1
-                if self._readers == 0:
-                    condition.notify_all()
+            if timeout is None:
+                await future
+            else:
+                await asyncio.wait_for(future, timeout)
+        except (asyncio.CancelledError, asyncio.TimeoutError):
+            if future.done() and not future.cancelled():
+                # The grant landed in the same instant the waiter died:
+                # hand it back synchronously so nothing is leaked.
+                on_granted_but_dead()
+            else:
+                future.cancel()
+                # A cancelled queued *writer* may unblock queued readers
+                # (and vice versa nothing is harmed): always re-derive.
+                self._wake()
+            raise
+
+    async def acquire_read(self, timeout: Optional[float] = None) -> None:
+        """Take the gate shared; raises ``asyncio.TimeoutError`` on timeout."""
+        self._bind()
+        await self._acquire(
+            self._waiting_readers,
+            can_enter=not self._writing and not self._waiting_writers,
+            on_grant=self._enter_read,
+            on_granted_but_dead=self._release_read,
+            timeout=timeout,
+        )
+
+    async def acquire_write(self, timeout: Optional[float] = None) -> None:
+        """Take the gate exclusively; raises ``asyncio.TimeoutError`` on timeout."""
+        self._bind()
+        await self._acquire(
+            self._waiting_writers,
+            can_enter=(
+                not self._writing and self._readers == 0 and not self._waiting_writers
+            ),
+            on_grant=self._enter_write,
+            on_granted_but_dead=self._release_write,
+            timeout=timeout,
+        )
+
+    def _enter_read(self) -> None:
+        self._readers += 1
+
+    def _enter_write(self) -> None:
+        self._writing = True
+
+    # -- context managers ---------------------------------------------------
 
     @asynccontextmanager
-    async def write_locked(self) -> AsyncIterator[None]:
-        """Hold the gate exclusively for the enclosed work."""
-        condition = self._bound()
-        async with condition:
-            self._writers_waiting += 1
-            try:
-                while self._writing or self._readers:
-                    await condition.wait()
-            finally:
-                self._writers_waiting -= 1
-            self._writing = True
+    async def read_locked(self, timeout: Optional[float] = None) -> AsyncIterator[None]:
+        """Hold the gate shared (with other readers) for the enclosed work."""
+        await self.acquire_read(timeout)
         try:
             yield
         finally:
-            async with condition:
-                self._writing = False
-                condition.notify_all()
+            # Synchronous: a cancellation arriving here cannot interrupt it.
+            self._release_read()
+
+    @asynccontextmanager
+    async def write_locked(self, timeout: Optional[float] = None) -> AsyncIterator[None]:
+        """Hold the gate exclusively for the enclosed work."""
+        await self.acquire_write(timeout)
+        try:
+            yield
+        finally:
+            self._release_write()
+
+    # -- introspection ------------------------------------------------------
 
     @property
     def readers_active(self) -> int:
@@ -112,10 +207,18 @@ class ReadWriteGate:
     def write_held(self) -> bool:
         return self._writing
 
+    @property
+    def writers_waiting(self) -> int:
+        return sum(1 for future in self._waiting_writers if not future.done())
+
+    @property
+    def readers_waiting(self) -> int:
+        return sum(1 for future in self._waiting_readers if not future.done())
+
     def __repr__(self) -> str:
         return (
             f"<ReadWriteGate readers={self._readers} writing={self._writing}"
-            f" writers_waiting={self._writers_waiting}>"
+            f" writers_waiting={self.writers_waiting}>"
         )
 
 
@@ -298,7 +401,14 @@ class FragmentWaveBatcher:
         self._flush_handle = None
         pending, self._pending = self._pending, {}
         now = time.perf_counter()
-        for fragment_id, requests in pending.items():
+        for fragment_id, all_requests in pending.items():
+            # Waiters cancelled inside the batching window have a done
+            # (cancelled) future; drop them before grouping so a wave of
+            # cancellations neither poisons the scan's stats nor runs a
+            # fused scan nobody is waiting for.
+            requests = [request for request in all_requests if not request[3].done()]
+            if not requests:
+                continue
             # is_root_fragment is per fused call; callers derive it from the
             # fragment so a mixed group is essentially misuse, but partition
             # rather than silently evaluating someone with the wrong anchor.

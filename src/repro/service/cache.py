@@ -182,6 +182,9 @@ class CacheStats:
     evictions: int = 0
     invalidations: int = 0
     stores: int = 0
+    #: stores refused because the stats were an incomplete (partial) answer
+    #: — a degraded run must never be served back as the complete answer
+    partial_rejected: int = 0
     #: entries carried across a version-tag change because the mutation
     #: touched none of their dependency fragments (see retire_version)
     rekeyed: int = 0
@@ -238,6 +241,7 @@ class CacheStats:
             "hit_rate": round(self.hit_rate, 4),
             "coalesced": self.coalesced,
             "stores": self.stores,
+            "partial_rejected": self.partial_rejected,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "rekeyed": self.rekeyed,
@@ -311,7 +315,15 @@ class QueryResultCache:
         change instead of dropping it.  Eviction is LRU across all
         documents; each eviction is charged to the evicted entry's document
         in :attr:`CacheStats.documents`.
+
+        Incomplete (partial-answer) stats are refused: the cache key cannot
+        express "missing sites", so a degraded answer stored here would be
+        served back as complete once the sites recover.  The server already
+        skips the call; this guard makes the invariant hold for any caller.
         """
+        if stats.incomplete:
+            self.stats.partial_rejected += 1
+            return
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = stats

@@ -21,10 +21,25 @@ placement and batcher all arrive per call, so one shared
 rounds of different queries *and* different documents interleave on the
 same sites.
 
+With a :class:`~repro.service.resilience.ResilienceContext` attached, every
+per-site round becomes a *retryable unit*: its sends are staged in a
+transport round buffer and its site counters snapshotted, so a failed
+attempt (an injected drop, a blackout, a deadline-capped wire wait) rolls
+back without a trace and the bounded retry re-runs the idempotent round
+from scratch — accounting is exactly-once whatever happened on the way.  A
+site that stays down past the retry budget (or behind an open circuit
+breaker) *degrades* the query instead of failing it: stage-1 definite
+answers of the reachable fragments are certain regardless of the missing
+ones (they depend only on their own fragment plus coordinator-computed
+initialization), so the run returns them with ``stats.incomplete`` set and
+the missing sites/fragments listed — a sound subset of the complete answer.
+
 The remaining algorithms (PaX3, ParBoX, the naive baseline) are served
 through the same interface by running their synchronous runner inside the
 coordinator's actor slot — correct and convenient, but without intra-query
-round interleaving; PaX2 is where the concurrency lives.
+round interleaving; fault injection and per-round retry apply to the
+natively-async PaX2 path only (the sync runners' messages are recorded
+after the fact).
 """
 
 from __future__ import annotations
@@ -50,7 +65,8 @@ from repro.core.unify import (
     unify_qualifier_vectors,
     unify_selection_vectors,
 )
-from repro.distributed.async_transport import AsyncTransport, LatencyModel
+from repro.distributed.async_transport import AsyncTransport, LatencyModel, RoundBuffer
+from repro.distributed.faults import FaultInjector, TransportError
 from repro.distributed.messages import MessageKind
 from repro.distributed.network import Network
 from repro.distributed.stats import RunStats, StageStats
@@ -58,10 +74,12 @@ from repro.fragments.fragment_tree import Fragmentation
 from repro.obs.trace import (
     NEGLIGIBLE_WAIT_SECONDS,
     add_span,
+    event,
     set_attributes,
     span as trace_span,
 )
 from repro.service.actors import ActorPool, FragmentWaveBatcher
+from repro.service.resilience import ResilienceContext
 from repro.xpath.plan import QueryPlan
 
 __all__ = ["evaluate_query_async"]
@@ -77,6 +95,8 @@ async def evaluate_query_async(
     latency: Optional[LatencyModel] = None,
     engine: Optional[str] = None,
     batcher: Optional[FragmentWaveBatcher] = None,
+    injector: Optional[FaultInjector] = None,
+    resilience: Optional[ResilienceContext] = None,
 ) -> RunStats:
     """Evaluate one query through the actor pool and return its RunStats.
 
@@ -85,7 +105,10 @@ async def evaluate_query_async(
     stage-1 per-fragment combined passes through the service's fused-scan
     batching window, so concurrent queries reaching the same fragment round
     share one walk of its flat arrays; per-query results and accounting are
-    unchanged.
+    unchanged.  ``injector`` makes the wire unreliable (PaX2 only);
+    ``resilience`` adds the per-round retry/breaker/deadline machinery and
+    graceful degradation to partial answers.  Without an injector and
+    without resilience the behaviour is bit-identical to the plain path.
     """
     with trace_span("network:setup", stage="compile"):
         network = Network(fragmentation, placement)
@@ -94,7 +117,16 @@ async def evaluate_query_async(
         # build here; warm calls are a cheap no-op check.
         with trace_span("kernel:prewarm", stage="kernel"):
             prewarm_fragments(fragmentation, engine=engine)
-        transport = AsyncTransport(network, latency)
+        transport = AsyncTransport(
+            network,
+            latency,
+            injector=injector,
+            deadline=resilience.deadline if resilience is not None else None,
+            hedge_after_seconds=(
+                resilience.retry.hedge_after_seconds if resilience is not None else None
+            ),
+            hedge_counter=resilience.stats if resilience is not None else None,
+        )
         if batcher is not None and batcher.engine != engine:
             # An explicit engine wins over the batcher's construction-time
             # one: bypass batching rather than silently running the wrong
@@ -102,7 +134,7 @@ async def evaluate_query_async(
             batcher = None
         return await _run_pax2_async(
             fragmentation, plan, network, transport, actors, use_annotations, engine,
-            batcher,
+            batcher, resilience,
         )
     return await _run_sync_fallback(
         fragmentation, plan, network, actors, algorithm, use_annotations, latency, engine
@@ -153,6 +185,83 @@ async def _run_sync_fallback(
         return stats
 
 
+async def _resilient_round(
+    resilience: Optional[ResilienceContext],
+    network: Network,
+    transport: AsyncTransport,
+    site_id: str,
+    attempt_body,
+):
+    """Run one idempotent site round, retried and exactly-once-accounted.
+
+    *attempt_body* is an async callable taking a
+    :class:`~repro.distributed.async_transport.RoundBuffer` (or ``None``
+    when no resilience is configured — the direct-accounting fast path) and
+    performing every send of the round through it.  Each attempt runs with
+    fresh staged accounting and a snapshot of the site's counters; only a
+    successful attempt commits either.  Failures surface as
+    :class:`TransportError` — retried with exponential backoff + jitter up
+    to the policy's budget, except deadline failures (no budget left to
+    retry in) and open-breaker rejections (the site is known down), which
+    fail the round immediately so the caller can degrade.
+    """
+    if resilience is None:
+        return await attempt_body(None)
+    site = network.sites[site_id]
+    retry = resilience.retry
+    breaker = resilience.breaker(site_id)
+    attempt = 0
+    while True:
+        attempt += 1
+        if resilience.deadline_expired():
+            resilience.stats.deadline_failures += 1
+            raise TransportError(site_id, site_id, "round", site_id, "deadline")
+        was_open = breaker.state == "open"
+        if not breaker.allow():
+            resilience.stats.breaker_rejections += 1
+            event("breaker:rejected", site=site_id)
+            raise TransportError(site_id, site_id, "round", site_id, "breaker-open")
+        if was_open and breaker.state == "half_open":
+            resilience.stats.breaker_probes += 1
+            event("breaker:probe", site=site_id)
+        buffer = transport.begin_round()
+        snapshot = site.snapshot_counters()
+        try:
+            result = await attempt_body(buffer)
+        except TransportError as error:
+            site.restore_counters(snapshot)
+            if breaker.record_failure():
+                resilience.stats.breaker_trips += 1
+                event("breaker:open", site=site_id, reason=error.reason)
+            if error.reason == "deadline":
+                resilience.stats.deadline_failures += 1
+                raise
+            if attempt >= retry.max_attempts:
+                raise
+            resilience.stats.note_retry(site_id)
+            event("retry", site=site_id, attempt=attempt, reason=error.reason)
+            backoff = retry.backoff_for(attempt, resilience.rng)
+            remaining = resilience.deadline_remaining()
+            if remaining is not None:
+                backoff = min(backoff, max(0.0, remaining))
+            if backoff > 0.0:
+                backoff_started = time.perf_counter()
+                await asyncio.sleep(backoff)
+                add_span(
+                    "retry:backoff", "retry", backoff_started, time.perf_counter(),
+                    site=site_id, attempt=attempt,
+                )
+            continue
+        except BaseException:
+            # Cancellation or an unexpected error: this attempt's accounting
+            # must not outlive it.
+            site.restore_counters(snapshot)
+            raise
+        transport.commit_round(buffer)
+        breaker.record_success()
+        return result
+
+
 async def _run_pax2_async(
     fragmentation: Fragmentation,
     plan: QueryPlan,
@@ -162,6 +271,7 @@ async def _run_pax2_async(
     use_annotations: bool,
     engine: Optional[str] = None,
     batcher: Optional[FragmentWaveBatcher] = None,
+    resilience: Optional[ResilienceContext] = None,
 ) -> RunStats:
     """PaX2 with each per-site round scheduled as an actor task.
 
@@ -188,107 +298,173 @@ async def _run_pax2_async(
     stage1 = StageStats(name="combined")
     stage1_sites = network.sites_holding(evaluated)
 
-    async def stage1_round(site_id: str) -> Tuple[str, Dict[str, FragmentCombinedOutput]]:
+    async def stage1_round(
+        site_id: str,
+    ) -> Tuple[str, Dict[str, FragmentCombinedOutput], List[int]]:
         site = network.sites[site_id]
         fragment_ids = [fid for fid in network.fragments_on(site_id) if fid in evaluated]
+
+        async def attempt(buffer: Optional[RoundBuffer]):
+            await transport.send(
+                coordinator_id, site_id, MessageKind.EXEC_REQUEST,
+                units=plan_units(plan) * len(fragment_ids),
+                description="stage 1: combined qualifier + selection pass",
+                buffer=buffer,
+            )
+            site_outputs: Dict[str, FragmentCombinedOutput] = {}
+            site_answers: List[int] = []
+            site_units = 0
+            with site.visit("pax2:combined"):
+                # kernel:init / kernel:collect are per-fragment micro-work
+                # (microseconds); timing them with a perf_counter pair and
+                # recording a span only when they actually cost something
+                # keeps the traced hot path allocation-light.
+                init_started = time.perf_counter()
+                init_vectors: List[Sequence[FormulaLike]] = [
+                    stage1_init_vector(
+                        fragmentation, plan, fragment_id, use_annotations
+                    )
+                    for fragment_id in fragment_ids
+                ]
+                init_ended = time.perf_counter()
+                if init_ended - init_started >= NEGLIGIBLE_WAIT_SECONDS:
+                    add_span(
+                        "kernel:init", "kernel", init_started, init_ended,
+                        site=site_id,
+                    )
+                if batcher is not None:
+                    # Fused path: park all of this site's fragment rounds
+                    # in the batching window at once — one window per
+                    # site, and concurrent queries on the same fragments
+                    # share one scan; outputs are bit-identical to
+                    # combined_pass.  The batcher records the window and
+                    # fused-kernel spans per fragment, so no staged span
+                    # wraps the awaits here.
+                    outputs = await asyncio.gather(
+                        *(
+                            batcher.combined(
+                                fragment_id, plan, init_vector,
+                                is_root_fragment=(fragment_id == root_fragment_id),
+                            )
+                            for fragment_id, init_vector in zip(
+                                fragment_ids, init_vectors
+                            )
+                        )
+                    )
+                else:
+                    with trace_span(
+                        "kernel:combined", stage="kernel",
+                        site=site_id, fragments=len(fragment_ids),
+                    ):
+                        outputs = [
+                            combined_pass(
+                                fragmentation,
+                                fragment_id,
+                                plan,
+                                init_vector,
+                                is_root_fragment=(fragment_id == root_fragment_id),
+                                engine=engine,
+                            )
+                            for fragment_id, init_vector in zip(
+                                fragment_ids, init_vectors
+                            )
+                        ]
+                collect_started = time.perf_counter()
+                for fragment_id, output in zip(fragment_ids, outputs):
+                    site_outputs[fragment_id] = output
+                    site.add_operations(output.operations)
+                    site_answers.extend(output.answers)
+                    if output.candidates:
+                        site.storage[fragment_id]["candidates"] = output.candidates
+                    site_units += _output_units(plan, output)
+                collect_ended = time.perf_counter()
+                if collect_ended - collect_started >= NEGLIGIBLE_WAIT_SECONDS:
+                    add_span(
+                        "kernel:collect", "kernel", collect_started, collect_ended,
+                        site=site_id,
+                    )
+            if site_units:
+                await transport.send(
+                    site_id, coordinator_id, MessageKind.SELECTION_VECTORS, site_units,
+                    description="stage 1: root qualifier vectors and virtual-node vectors",
+                    buffer=buffer,
+                )
+            if site_answers:
+                await transport.send(
+                    site_id, coordinator_id, MessageKind.ANSWERS, len(site_answers),
+                    description="stage 1: definite answers",
+                    buffer=buffer,
+                )
+            return site_outputs, site_answers
+
         with trace_span(
             "site:stage1", stage="queue", site=site_id, fragments=len(fragment_ids)
         ):
             async with actors[site_id].slot("pax2:combined"):
-                await transport.send(
-                    coordinator_id, site_id, MessageKind.EXEC_REQUEST,
-                    units=plan_units(plan) * len(fragment_ids),
-                    description="stage 1: combined qualifier + selection pass",
+                site_outputs, site_answers = await _resilient_round(
+                    resilience, network, transport, site_id, attempt
                 )
-                site_outputs: Dict[str, FragmentCombinedOutput] = {}
-                site_answers: List[int] = []
-                site_units = 0
-                with site.visit("pax2:combined"):
-                    # kernel:init / kernel:collect are per-fragment micro-work
-                    # (microseconds); timing them with a perf_counter pair and
-                    # recording a span only when they actually cost something
-                    # keeps the traced hot path allocation-light.
-                    init_started = time.perf_counter()
-                    init_vectors: List[Sequence[FormulaLike]] = [
-                        stage1_init_vector(
-                            fragmentation, plan, fragment_id, use_annotations
-                        )
-                        for fragment_id in fragment_ids
-                    ]
-                    init_ended = time.perf_counter()
-                    if init_ended - init_started >= NEGLIGIBLE_WAIT_SECONDS:
-                        add_span(
-                            "kernel:init", "kernel", init_started, init_ended,
-                            site=site_id,
-                        )
-                    if batcher is not None:
-                        # Fused path: park all of this site's fragment rounds
-                        # in the batching window at once — one window per
-                        # site, and concurrent queries on the same fragments
-                        # share one scan; outputs are bit-identical to
-                        # combined_pass.  The batcher records the window and
-                        # fused-kernel spans per fragment, so no staged span
-                        # wraps the awaits here.
-                        outputs = await asyncio.gather(
-                            *(
-                                batcher.combined(
-                                    fragment_id, plan, init_vector,
-                                    is_root_fragment=(fragment_id == root_fragment_id),
-                                )
-                                for fragment_id, init_vector in zip(
-                                    fragment_ids, init_vectors
-                                )
-                            )
-                        )
-                    else:
-                        with trace_span(
-                            "kernel:combined", stage="kernel",
-                            site=site_id, fragments=len(fragment_ids),
-                        ):
-                            outputs = [
-                                combined_pass(
-                                    fragmentation,
-                                    fragment_id,
-                                    plan,
-                                    init_vector,
-                                    is_root_fragment=(fragment_id == root_fragment_id),
-                                    engine=engine,
-                                )
-                                for fragment_id, init_vector in zip(
-                                    fragment_ids, init_vectors
-                                )
-                            ]
-                    collect_started = time.perf_counter()
-                    for fragment_id, output in zip(fragment_ids, outputs):
-                        site_outputs[fragment_id] = output
-                        site.add_operations(output.operations)
-                        site_answers.extend(output.answers)
-                        if output.candidates:
-                            site.storage[fragment_id]["candidates"] = output.candidates
-                        site_units += _output_units(plan, output)
-                    collect_ended = time.perf_counter()
-                    if collect_ended - collect_started >= NEGLIGIBLE_WAIT_SECONDS:
-                        add_span(
-                            "kernel:collect", "kernel", collect_started, collect_ended,
-                            site=site_id,
-                        )
-                answers.update(site_answers)
-                if site_units:
-                    await transport.send(
-                        site_id, coordinator_id, MessageKind.SELECTION_VECTORS, site_units,
-                        description="stage 1: root qualifier vectors and virtual-node vectors",
-                    )
-                if site_answers:
-                    await transport.send(
-                        site_id, coordinator_id, MessageKind.ANSWERS, len(site_answers),
-                        description="stage 1: definite answers",
-                    )
-        return site_id, site_outputs
+        return site_id, site_outputs, site_answers
 
-    rounds = await asyncio.gather(*(stage1_round(site_id) for site_id in stage1_sites))
+    round_results = await asyncio.gather(
+        *(stage1_round(site_id) for site_id in stage1_sites),
+        return_exceptions=resilience is not None,
+    )
+    rounds: List[Tuple[str, Dict[str, FragmentCombinedOutput], List[int]]] = []
+    failed_sites: List[str] = []
+    for site_id, result in zip(stage1_sites, round_results):
+        if isinstance(result, BaseException):
+            if not isinstance(result, TransportError):
+                raise result
+            failed_sites.append(site_id)
+            event("degrade:site", site=site_id, stage="combined", reason=result.reason)
+        else:
+            rounds.append(result)
+
+    if failed_sites:
+        # Graceful degradation: some site stayed unreachable past its
+        # budget.  The definite stage-1 answers of the reached fragments are
+        # certain (each depends only on its own fragment plus the
+        # coordinator-computed initialization vector), so return them as a
+        # sound partial answer; unification and stage 2 need every
+        # fragment's vectors, so candidate resolution is skipped wholesale.
+        if resilience is not None:
+            resilience.stats.degraded_answers += 1
+        missing = {
+            fid
+            for site_id in failed_sites
+            for fid in network.fragments_on(site_id)
+            if fid in evaluated
+        }
+        stats.incomplete = True
+        stats.missing_sites = sorted(failed_sites)
+        stats.missing_fragments = sorted(missing)
+        stats.fragments_evaluated = [fid for fid in evaluated if fid not in missing]
+        stats.notes = (
+            f"partial answer: sites {', '.join(sorted(failed_sites))} unreachable;"
+            " stage-1 definite answers over reached fragments only"
+        )
+        for _, _, site_answers in sorted(rounds, key=lambda r: r[0]):
+            answers.update(site_answers)
+        reached_sites = [sid for sid in stage1_sites if sid not in failed_sites]
+        stage1.parallel_seconds, stage1.total_seconds = stage_site_times(
+            network, reached_sites, "pax2:combined"
+        )
+        stage1.sites_involved = len(reached_sites)
+        stats.stages.append(stage1)
+        with trace_span("reassembly", stage="reassembly"):
+            stats.answer_ids = sorted(answers)
+            stats.answer_nodes_shipped = answer_subtree_nodes(
+                fragmentation.tree, stats.answer_ids
+            )
+            network.collect_stats(stats)
+            set_attributes(answers=len(stats.answer_ids), incomplete=True)
+        return stats
+
     outputs: Dict[str, FragmentCombinedOutput] = {}
     candidate_sites: Dict[str, List[str]] = {}
-    for site_id, site_outputs in sorted(rounds):
+    for site_id, site_outputs, site_answers in sorted(rounds, key=lambda r: r[0]):
+        answers.update(site_answers)
         for fragment_id, output in site_outputs.items():
             outputs[fragment_id] = output
             if output.candidates:
@@ -320,7 +496,7 @@ async def _run_pax2_async(
     if candidate_sites:
         stage2 = StageStats(name="answers")
 
-        async def stage2_round(site_id: str, fragment_ids: List[str]) -> None:
+        async def stage2_round(site_id: str, fragment_ids: List[str]) -> List[int]:
             site = network.sites[site_id]
             with trace_span(
                 "site:stage2", stage="queue", site=site_id, fragments=len(fragment_ids)
@@ -338,10 +514,13 @@ async def _run_pax2_async(
                             )
                         per_fragment_bindings[fragment_id] = bindings
                         total_units += len(bindings)
-                async with actors[site_id].slot("pax2:answers"):
+
+                async def attempt(buffer: Optional[RoundBuffer]) -> List[int]:
                     await transport.send(
-                        coordinator_id, site_id, MessageKind.RESOLVED_BINDINGS, total_units,
+                        coordinator_id, site_id, MessageKind.RESOLVED_BINDINGS,
+                        total_units,
                         description="stage 2: resolved initialization and qualifier values",
+                        buffer=buffer,
                     )
                     resolved_answers: List[int] = []
                     with site.visit("pax2:answers"):
@@ -358,25 +537,56 @@ async def _run_pax2_async(
                                     )
                                     if value:
                                         resolved_answers.append(node_id)
-                    answers.update(resolved_answers)
                     if resolved_answers:
                         await transport.send(
                             site_id, coordinator_id, MessageKind.ANSWERS,
                             len(resolved_answers),
                             description="stage 2: resolved candidate answers",
+                            buffer=buffer,
                         )
+                    return resolved_answers
 
-        await asyncio.gather(
-            *(
-                stage2_round(site_id, fragment_ids)
-                for site_id, fragment_ids in sorted(candidate_sites.items())
-            )
-        )
+                async with actors[site_id].slot("pax2:answers"):
+                    return await _resilient_round(
+                        resilience, network, transport, site_id, attempt
+                    )
+
         candidate_site_ids = sorted(candidate_sites)
+        stage2_results = await asyncio.gather(
+            *(
+                stage2_round(site_id, candidate_sites[site_id])
+                for site_id in candidate_site_ids
+            ),
+            return_exceptions=resilience is not None,
+        )
+        failed_stage2: List[str] = []
+        for site_id, result in zip(candidate_site_ids, stage2_results):
+            if isinstance(result, BaseException):
+                if not isinstance(result, TransportError):
+                    raise result
+                failed_stage2.append(site_id)
+                event("degrade:site", site=site_id, stage="answers", reason=result.reason)
+            else:
+                answers.update(result)
+        if failed_stage2:
+            # Stage 1 completed everywhere, so the environment was exact and
+            # every answer collected so far is certain; only the failed
+            # sites' candidate resolutions are missing.
+            if resilience is not None:
+                resilience.stats.degraded_answers += 1
+            stats.incomplete = True
+            stats.missing_sites = sorted(failed_stage2)
+            stats.missing_fragments = sorted(
+                fid for site_id in failed_stage2 for fid in candidate_sites[site_id]
+            )
+            stats.notes = (
+                f"partial answer: sites {', '.join(sorted(failed_stage2))} lost"
+                " before candidate resolution; their candidate answers are absent"
+            )
         stage2.parallel_seconds, stage2.total_seconds = stage_site_times(
             network, candidate_site_ids, "pax2:answers"
         )
-        stage2.sites_involved = len(candidate_site_ids)
+        stage2.sites_involved = len(candidate_site_ids) - len(failed_stage2)
         stats.stages.append(stage2)
 
     # ------------------------------------------------------------------ results

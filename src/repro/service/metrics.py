@@ -153,6 +153,9 @@ class QueryRecord:
     communication_units: int = 0
     #: which document of the host served this request
     document: str = DEFAULT_DOCUMENT
+    #: the answer was a :class:`~repro.core.results.PartialAnswer` (some
+    #: site unreachable past the request's budget)
+    degraded: bool = False
     #: the run's accounting; shared between records when the cache answered
     stats: Optional[RunStats] = field(default=None, repr=False)
 
@@ -190,6 +193,10 @@ class DocumentTotals:
     nodes_added: int = 0
     nodes_removed: int = 0
     update_invalidations: int = 0
+    #: requests answered with a partial (degraded) answer
+    degraded: int = 0
+    #: requests shed before evaluation (deadline expired while queued)
+    shed: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -201,6 +208,8 @@ class DocumentTotals:
             "nodes_added": self.nodes_added,
             "nodes_removed": self.nodes_removed,
             "update_invalidations": self.update_invalidations,
+            "degraded": self.degraded,
+            "shed": self.shed,
         }
 
 
@@ -232,6 +241,11 @@ class ServiceMetrics:
         self.total_nodes_added = 0
         self.total_nodes_removed = 0
         self.total_update_invalidations = 0
+        self.total_degraded = 0
+        #: requests shed before evaluation — an explicit fast-fail under
+        #: deadline pressure; sheds never contribute a latency sample
+        self.total_shed = 0
+        self.shed_by_stage: Dict[str, int] = {}
         #: lifetime totals per document name
         self.documents: Dict[str, DocumentTotals] = {}
         self._started_at = time.perf_counter()
@@ -255,6 +269,7 @@ class ServiceMetrics:
         coalesced: bool = False,
         stats: Optional[RunStats] = None,
         document: str = DEFAULT_DOCUMENT,
+        degraded: bool = False,
     ) -> QueryRecord:
         entry = QueryRecord(
             query=query,
@@ -265,6 +280,7 @@ class ServiceMetrics:
             answer_count=len(stats.answer_ids) if stats is not None else 0,
             communication_units=stats.communication_units if stats is not None else 0,
             document=document,
+            degraded=degraded,
             stats=stats,
         )
         self.records.append(entry)
@@ -282,8 +298,20 @@ class ServiceMetrics:
         else:
             self.total_evaluated += 1
             totals.evaluated += 1
+        if degraded:
+            self.total_degraded += 1
+            totals.degraded += 1
         self._last_finish = time.perf_counter()
         return entry
+
+    def record_shed(self, document: str = DEFAULT_DOCUMENT, stage: str = "queued") -> None:
+        """Record one request shed before evaluation (deadline expired in the
+        *stage* queue).  Sheds are counted, never sampled: a fast-fail must
+        not masquerade as a low latency in the percentiles."""
+        self.total_shed += 1
+        self.shed_by_stage[stage] = self.shed_by_stage.get(stage, 0) + 1
+        self.document(document).shed += 1
+        self._last_finish = time.perf_counter()
 
     def record_update(
         self,
@@ -416,6 +444,15 @@ class ServiceMetrics:
             f"latency p99      : {self.p99 * 1000:.2f} ms",
             f"latency mean     : {self.mean_latency * 1000:.2f} ms",
         ]
+        if self.total_degraded or self.total_shed:
+            by_stage = ", ".join(
+                f"{count} at {stage}"
+                for stage, count in sorted(self.shed_by_stage.items())
+            )
+            lines.append(
+                f"degradation      : {self.total_degraded} partial answers,"
+                f" {self.total_shed} shed" + (f" ({by_stage})" if by_stage else "")
+            )
         if self.total_updates:
             by_kind = ", ".join(
                 f"{count} {kind}" for kind, count in sorted(self.updates_by_kind.items())
@@ -449,6 +486,9 @@ class ServiceMetrics:
             "evaluated": self.total_evaluated,
             "cache_hits": self.total_cache_hits,
             "coalesced": self.total_coalesced,
+            "degraded": self.total_degraded,
+            "shed": self.total_shed,
+            "shed_by_stage": dict(sorted(self.shed_by_stage.items())),
             "throughput_qps": round(self.throughput_qps, 2),
             "elapsed_seconds": round(self.elapsed_seconds, 6),
             "latency_seconds": {

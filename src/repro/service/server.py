@@ -50,8 +50,9 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.common import QueryInput
 from repro.core.kernel.dispatch import ENGINES
-from repro.core.results import QueryResult
+from repro.core.results import PartialAnswer, QueryResult
 from repro.distributed.async_transport import LatencyModel
+from repro.distributed.faults import FaultInjector
 from repro.distributed.stats import RunStats
 from repro.fragments.fragment_tree import Fragmentation
 from repro.obs.trace import (
@@ -70,6 +71,13 @@ from repro.service.cache import (
 )
 from repro.service.evaluator import evaluate_query_async
 from repro.service.metrics import DEFAULT_SAMPLE_WINDOW, ServiceMetrics
+from repro.service.resilience import (
+    Deadline,
+    DeadlineExceededError,
+    ResilienceContext,
+    ResiliencePolicy,
+    ResilienceState,
+)
 from repro.service.store import (
     DEFAULT_DOCUMENT,
     DocumentEntry,
@@ -134,6 +142,12 @@ class ServiceConfig:
     #: the shared no-op tracer (tracing off, nothing allocated per request —
     #: see :mod:`repro.obs.trace`)
     tracer: Optional[object] = None
+    #: retry/breaker/deadline policy; ``None`` disables the resilience layer
+    #: (unless a fault injector or a per-request deadline forces defaults on)
+    resilience: Optional[ResiliencePolicy] = None
+    #: fault injector shared by every evaluation's transport (chaos testing);
+    #: setting one without a resilience policy turns the default policy on
+    fault_injector: Optional[FaultInjector] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in SERVICE_ALGORITHMS:
@@ -258,6 +272,11 @@ class ServiceHost:
         self.metrics = ServiceMetrics(self.config.metrics_window)
         #: span collector for the whole host (the no-op tracer by default)
         self.tracer = self.config.tracer if self.config.tracer is not None else NULL_TRACER
+        #: retry/breaker/degradation state (None until the resilience layer
+        #: is switched on by config or by the first deadline-carrying request)
+        self.resilience: Optional[ResilienceState] = None
+        if self.config.resilience is not None or self.config.fault_injector is not None:
+            self.resilience = ResilienceState(self.config.resilience or ResiliencePolicy())
         self._inflight: Dict[Tuple, asyncio.Future] = {}
         self._admission: Optional[asyncio.Semaphore] = None
         self._loop_id: Optional[int] = None
@@ -332,12 +351,51 @@ class ServiceHost:
         query: QueryInput,
         algorithm: Optional[str] = None,
         use_annotations: Optional[bool] = None,
+        deadline: Optional[float] = None,
     ) -> QueryResult:
         """Serve one query of *document*; identical concurrent queries share
-        one evaluation."""
+        one evaluation.
+
+        ``deadline`` is this request's whole budget in seconds — it covers
+        queueing at the gate and the admission semaphore, the batching
+        window, and every wire wait of every site round.  A request whose
+        budget runs out *before* evaluation starts is shed with
+        :class:`~repro.service.resilience.DeadlineExceededError` (recorded
+        as a shed, never as a latency sample); one whose budget runs out
+        *during* evaluation degrades to a
+        :class:`~repro.core.results.PartialAnswer` over the reachable sites.
+        """
         return await self._submit(
-            document, query, algorithm=algorithm, use_annotations=use_annotations
+            document, query, algorithm=algorithm, use_annotations=use_annotations,
+            deadline=deadline,
         )
+
+    def _resilience_context(
+        self, deadline: Optional[float]
+    ) -> Optional[ResilienceContext]:
+        """Per-request resilience context (or None for the plain path).
+
+        The layer is on when configured (policy or injector) or when this
+        particular request carries a deadline — a deadline needs the
+        machinery (budget-capped wire waits, degradation) even on a host
+        that never saw a fault.
+        """
+        if self.resilience is None:
+            if deadline is None:
+                return None
+            self.resilience = ResilienceState(ResiliencePolicy())
+        budget = deadline
+        if budget is None:
+            budget = self.resilience.policy.default_deadline_seconds
+        request_deadline = Deadline.after(budget) if budget is not None else None
+        return self.resilience.for_request(request_deadline)
+
+    def _result(self, session: DocumentSession, stats: RunStats) -> QueryResult:
+        """Wrap final stats for the caller, surfacing degraded runs as
+        :class:`PartialAnswer` so incompleteness is impossible to miss."""
+        if stats.incomplete:
+            return PartialAnswer(session.fragmentation.tree, stats)
+        return QueryResult(session.fragmentation.tree, stats)
 
     async def _submit(
         self,
@@ -345,6 +403,7 @@ class ServiceHost:
         query: QueryInput,
         algorithm: Optional[str] = None,
         use_annotations: Optional[bool] = None,
+        deadline: Optional[float] = None,
     ) -> QueryResult:
         # The non-polymorphic core: internal callers (run_many, the blocking
         # facade) come here so the single-document facade's re-signatured
@@ -360,6 +419,7 @@ class ServiceHost:
         annotations = (
             self.config.use_annotations if use_annotations is None else bool(use_annotations)
         )
+        resilience = self._resilience_context(deadline)
         with self.tracer.request("query", kind="query", document=session.name):
             with trace_span("plan:compile", stage="compile"):
                 normalized, plan = session.key_and_plan(query)
@@ -372,7 +432,21 @@ class ServiceHost:
             # was served, whoever computed it.
             if self.config.coalesce and key in self._inflight:
                 with trace_span("coalesce:join", stage="queue"):
-                    stats = await asyncio.shield(self._inflight[key])
+                    shared = asyncio.shield(self._inflight[key])
+                    if resilience is not None and resilience.deadline is not None:
+                        try:
+                            stats = await asyncio.wait_for(
+                                shared, resilience.deadline_remaining()
+                            )
+                        except asyncio.TimeoutError:
+                            self._record_shed(session.name, "coalesced", resilience)
+                            raise DeadlineExceededError(
+                                f"deadline expired awaiting coalesced evaluation"
+                                f" of {normalized!r}",
+                                stage="queued",
+                            ) from None
+                    else:
+                        stats = await shared
                 set_stats(stats)
                 set_attributes(served_from="coalesced")
                 if self.cache is not None:
@@ -381,8 +455,9 @@ class ServiceHost:
                     self.metrics.record(
                         normalized, stats.algorithm, time.perf_counter() - started,
                         coalesced=True, stats=stats, document=session.name,
+                        degraded=stats.incomplete,
                     )
-                    return QueryResult(session.fragmentation.tree, stats)
+                    return self._result(session, stats)
 
             # Layer 3: the result cache.
             if self.cache is not None:
@@ -396,7 +471,7 @@ class ServiceHost:
                             normalized, cached.algorithm, time.perf_counter() - started,
                             cache_hit=True, stats=cached, document=session.name,
                         )
-                        return QueryResult(session.fragmentation.tree, cached)
+                        return self._result(session, cached)
 
             # Leader path: register before the first await so later identical
             # submissions coalesce instead of racing us to the evaluator.
@@ -405,7 +480,7 @@ class ServiceHost:
                 self._inflight[key] = future
             try:
                 stats, evaluated_version = await self._admit_and_evaluate(
-                    session, plan, name, annotations
+                    session, plan, name, annotations, resilience
                 )
                 set_stats(stats)
                 if not future.done():
@@ -420,7 +495,11 @@ class ServiceHost:
             finally:
                 if self.config.coalesce:
                     self._inflight.pop(key, None)
-            if self.cache is not None and self.sessions.get(session.name) is session:
+            if (
+                self.cache is not None
+                and not stats.incomplete
+                and self.sessions.get(session.name) is session
+            ):
                 # Keyed under the version the evaluation saw (an update may
                 # have landed while this query waited for admission) —
                 # storing under the submission-time tag would strand a dead
@@ -436,9 +515,19 @@ class ServiceHost:
             with trace_span("respond", stage="reassembly"):
                 self.metrics.record(
                     normalized, stats.algorithm, time.perf_counter() - started,
-                    stats=stats, document=session.name,
+                    stats=stats, document=session.name, degraded=stats.incomplete,
                 )
-                return QueryResult(session.fragmentation.tree, stats)
+                return self._result(session, stats)
+
+    def _record_shed(
+        self, document: str, stage: str, resilience: Optional[ResilienceContext]
+    ) -> None:
+        """Account a request shed before evaluation — a shed is an explicit
+        fast-fail, never a latency sample."""
+        self.metrics.record_shed(document, stage)
+        if resilience is not None:
+            resilience.stats.shed_requests += 1
+        set_attributes(shed_at=stage)
 
     async def _admit_and_evaluate(
         self,
@@ -446,6 +535,7 @@ class ServiceHost:
         plan: QueryPlan,
         algorithm: str,
         use_annotations: bool,
+        resilience: Optional[ResilienceContext] = None,
     ) -> Tuple[RunStats, str]:
         """Layer 1 (admission control) around the actual evaluation.
 
@@ -461,45 +551,75 @@ class ServiceHost:
         sees — the tag the result must be cached under, not the tag from
         submission time.
         """
+        has_deadline = resilience is not None and resilience.deadline is not None
+        shed_stage = "gate"
         gate_queued_at = time.perf_counter()
-        async with session.gate.read_locked():
-            gate_acquired_at = time.perf_counter()
-            if gate_acquired_at - gate_queued_at >= NEGLIGIBLE_WAIT_SECONDS:
-                add_span("gate:read", "queue", gate_queued_at, gate_acquired_at)
-            limit = self.config.max_pending
-            if (
-                limit is not None
-                and self._pending_evaluations >= limit + self.config.max_in_flight
-            ):
-                raise AdmissionError(
-                    f"service overloaded: {self._pending_evaluations} evaluations pending"
-                    f" (max_in_flight={self.config.max_in_flight}, max_pending={limit})"
-                )
-            self._pending_evaluations += 1
-            try:
-                evaluated_version = session.version
-                admission_queued_at = time.perf_counter()
-                async with self._bound_admission():
-                    admitted_at = time.perf_counter()
-                    if admitted_at - admission_queued_at >= NEGLIGIBLE_WAIT_SECONDS:
-                        add_span("admission", "queue", admission_queued_at, admitted_at)
-                    # Staged "queue" as a low-precedence filler: instants no
-                    # kernel/wire/... child covers are event-loop waits.
-                    with trace_span("evaluate", stage="queue", algorithm=algorithm):
-                        stats = await evaluate_query_async(
-                            session.fragmentation,
-                            session.placement,
-                            plan,
-                            self.actors,
-                            algorithm=algorithm,
-                            use_annotations=use_annotations,
-                            latency=self.config.latency,
-                            engine=self.config.engine,
-                            batcher=session.batcher,
+        try:
+            gate = session.gate.read_locked(
+                timeout=resilience.deadline_remaining() if has_deadline else None
+            )
+            async with gate:
+                shed_stage = "admission"
+                gate_acquired_at = time.perf_counter()
+                if gate_acquired_at - gate_queued_at >= NEGLIGIBLE_WAIT_SECONDS:
+                    add_span("gate:read", "queue", gate_queued_at, gate_acquired_at)
+                limit = self.config.max_pending
+                if (
+                    limit is not None
+                    and self._pending_evaluations >= limit + self.config.max_in_flight
+                ):
+                    raise AdmissionError(
+                        f"service overloaded: {self._pending_evaluations} evaluations pending"
+                        f" (max_in_flight={self.config.max_in_flight}, max_pending={limit})"
+                    )
+                self._pending_evaluations += 1
+                try:
+                    evaluated_version = session.version
+                    admission_queued_at = time.perf_counter()
+                    semaphore = self._bound_admission()
+                    if has_deadline:
+                        # Bounded wait in the admission queue: an expiring
+                        # budget sheds the request (releasing its pending
+                        # slot via the finally below) instead of letting it
+                        # stampede an already-loaded host.
+                        await asyncio.wait_for(
+                            semaphore.acquire(), resilience.deadline_remaining()
                         )
-                    return stats, evaluated_version
-            finally:
-                self._pending_evaluations -= 1
+                    else:
+                        await semaphore.acquire()
+                    try:
+                        admitted_at = time.perf_counter()
+                        if admitted_at - admission_queued_at >= NEGLIGIBLE_WAIT_SECONDS:
+                            add_span("admission", "queue", admission_queued_at, admitted_at)
+                        # Staged "queue" as a low-precedence filler: instants no
+                        # kernel/wire/... child covers are event-loop waits.
+                        with trace_span("evaluate", stage="queue", algorithm=algorithm):
+                            stats = await evaluate_query_async(
+                                session.fragmentation,
+                                session.placement,
+                                plan,
+                                self.actors,
+                                algorithm=algorithm,
+                                use_annotations=use_annotations,
+                                latency=self.config.latency,
+                                engine=self.config.engine,
+                                batcher=session.batcher,
+                                injector=self.config.fault_injector,
+                                resilience=resilience,
+                            )
+                        return stats, evaluated_version
+                    finally:
+                        semaphore.release()
+                finally:
+                    self._pending_evaluations -= 1
+        except asyncio.TimeoutError:
+            if not has_deadline:
+                raise
+            self._record_shed(session.name, shed_stage, resilience)
+            raise DeadlineExceededError(
+                f"deadline expired while queued ({shed_stage}) for {session.name!r}",
+                stage="queued",
+            ) from None
 
     def _bind_loop(self) -> None:
         """Rebuild loop-bound state when the running event loop changes.
@@ -638,11 +758,15 @@ class ServiceHost:
         query: QueryInput,
         algorithm: Optional[str] = None,
         use_annotations: Optional[bool] = None,
+        deadline: Optional[float] = None,
     ) -> QueryResult:
         """Blocking single-query entry point, mirroring
         :meth:`repro.core.engine.DistributedQueryEngine.execute`."""
         return self._run_blocking(
-            self._submit(document, query, algorithm=algorithm, use_annotations=use_annotations)
+            self._submit(
+                document, query, algorithm=algorithm,
+                use_annotations=use_annotations, deadline=deadline,
+            )
         )
 
     def run(
@@ -725,6 +849,10 @@ class ServiceHost:
             f" max_pending={self.config.max_pending} (shared)"
         )
         lines.append(self.metrics.summary())
+        if self.resilience is not None:
+            lines.append(self.resilience.stats.summary())
+        if self.config.fault_injector is not None:
+            lines.append(self.config.fault_injector.stats.summary())
         if self.cache is not None:
             lines.append(self.cache.stats.summary())
         for name in document_names:
@@ -810,9 +938,11 @@ class ServiceEngine(ServiceHost):
         query: QueryInput,
         algorithm: Optional[str] = None,
         use_annotations: Optional[bool] = None,
+        deadline: Optional[float] = None,
     ) -> QueryResult:
         return await self._submit(
-            self._session.name, query, algorithm=algorithm, use_annotations=use_annotations
+            self._session.name, query, algorithm=algorithm,
+            use_annotations=use_annotations, deadline=deadline,
         )
 
     async def run_many(  # type: ignore[override]
@@ -836,9 +966,13 @@ class ServiceEngine(ServiceHost):
         query: QueryInput,
         algorithm: Optional[str] = None,
         use_annotations: Optional[bool] = None,
+        deadline: Optional[float] = None,
     ) -> QueryResult:
         return self._run_blocking(
-            self.submit(query, algorithm=algorithm, use_annotations=use_annotations)
+            self.submit(
+                query, algorithm=algorithm, use_annotations=use_annotations,
+                deadline=deadline,
+            )
         )
 
     def run(self, query: QueryInput, algorithm: Optional[str] = None) -> RunStats:  # type: ignore[override]
@@ -869,6 +1003,10 @@ class ServiceEngine(ServiceHost):
             f" max_pending={self.config.max_pending}",
             self.metrics.summary(),
         ]
+        if self.resilience is not None:
+            lines.append(self.resilience.stats.summary())
+        if self.config.fault_injector is not None:
+            lines.append(self.config.fault_injector.stats.summary())
         if self.cache is not None:
             lines.append(self.cache.stats.summary())
         if self.batcher is not None:

@@ -1,0 +1,284 @@
+"""The fault injector: deterministic verdicts and transport integration."""
+
+import asyncio
+
+import pytest
+
+from repro.distributed.async_transport import AsyncTransport
+from repro.distributed.faults import (
+    FaultInjector,
+    FaultPolicy,
+    FaultStats,
+    SiteFaultProfile,
+    TransportError,
+)
+from repro.distributed.network import Network
+from repro.distributed.placement import one_site_per_fragment
+from repro.workloads.queries import clientele_example_tree, clientele_paper_fragmentation
+
+
+DROP_ALL = SiteFaultProfile(drop_probability=1.0)
+
+
+@pytest.fixture
+def fragmentation():
+    return clientele_paper_fragmentation(clientele_example_tree())
+
+
+@pytest.fixture
+def network(fragmentation):
+    return Network(fragmentation, one_site_per_fragment(fragmentation))
+
+
+class TestProfiles:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"drop_probability": -0.1},
+            {"drop_probability": 1.5},
+            {"duplicate_probability": 2.0},
+            {"delay_probability": -1.0},
+            {"delay_seconds": -0.1},
+            {"extra_seconds_per_message": -0.1},
+            {"blackout_period": -1},
+            {"blackout_period": 2, "blackout_length": 3},
+        ],
+    )
+    def test_invalid_profiles_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SiteFaultProfile(**kwargs)
+
+    def test_quiet_detection(self):
+        assert SiteFaultProfile().is_quiet
+        # A blackout window with zero length never fires: still quiet.
+        assert SiteFaultProfile(blackout_period=5).is_quiet
+        assert not SiteFaultProfile(drop_probability=0.01).is_quiet
+        assert not SiteFaultProfile(extra_seconds_per_message=0.001).is_quiet
+        assert not SiteFaultProfile(blackout_period=5, blackout_length=1).is_quiet
+
+    def test_policy_per_site_override(self):
+        policy = FaultPolicy(default=SiteFaultProfile(), sites={"S1": DROP_ALL})
+        assert policy.profile_for("S1") is DROP_ALL
+        assert policy.profile_for("S2") is policy.default
+
+
+class TestDeterminism:
+    def drive(self, injector, count=40):
+        return [injector.decide("C", "S1", "vector", 10) for _ in range(count)]
+
+    def test_same_seed_same_sequence(self):
+        policy = FaultPolicy(
+            default=SiteFaultProfile(
+                drop_probability=0.3,
+                duplicate_probability=0.2,
+                delay_probability=0.2,
+                delay_seconds=0.01,
+            ),
+            seed=7,
+        )
+        first = self.drive(FaultInjector(policy))
+        second = self.drive(FaultInjector(policy))
+        assert first == second
+
+    def test_reset_restarts_the_sequence(self):
+        policy = FaultPolicy(default=SiteFaultProfile(drop_probability=0.5), seed=3)
+        injector = FaultInjector(policy)
+        first = self.drive(injector)
+        injector.reset()
+        assert injector.stats.decisions == 0
+        assert self.drive(injector) == first
+
+    def test_different_seed_different_sequence(self):
+        profile = SiteFaultProfile(drop_probability=0.5)
+        drops_a = [
+            d.drop for d in self.drive(FaultInjector(FaultPolicy(default=profile, seed=1)))
+        ]
+        drops_b = [
+            d.drop for d in self.drive(FaultInjector(FaultPolicy(default=profile, seed=2)))
+        ]
+        assert drops_a != drops_b
+
+    def test_quiet_site_does_not_consume_indices(self):
+        """Traffic through clean sites must not perturb a faulty site's
+        deterministic sequence (quiet profiles skip the index counter)."""
+        policy = FaultPolicy(
+            default=SiteFaultProfile(),
+            sites={"S1": SiteFaultProfile(drop_probability=0.5)},
+            seed=11,
+        )
+        plain = FaultInjector(policy)
+        reference = [plain.decide("C", "S1", "vector", 5) for _ in range(20)]
+        interleaved = FaultInjector(policy)
+        verdicts = []
+        for _ in range(20):
+            interleaved.decide("C", "S2", "vector", 5)  # quiet traffic
+            verdicts.append(interleaved.decide("C", "S1", "vector", 5))
+        assert verdicts == reference
+
+    def test_disabled_injector_is_inert(self):
+        injector = FaultInjector(FaultPolicy(default=DROP_ALL), enabled=False)
+        decision = injector.decide("C", "S1", "vector", 5)
+        assert not decision.dropped
+        assert decision.extra_seconds == 0.0 and decision.duplicates == 0
+        assert injector.stats.decisions == 0
+
+
+class TestVerdicts:
+    def test_drop_probability_one_drops_everything(self):
+        injector = FaultInjector(FaultPolicy(default=DROP_ALL))
+        for _ in range(10):
+            decision = injector.decide("C", "S1", "vector", 5)
+            assert decision.dropped and decision.drop and not decision.blackout
+        assert injector.stats.drops == 10
+        assert injector.stats.blackout_drops == 0
+
+    def test_duplicates_and_delays(self):
+        profile = SiteFaultProfile(
+            duplicate_probability=1.0,
+            delay_probability=1.0,
+            delay_seconds=0.02,
+            extra_seconds_per_message=0.005,
+        )
+        injector = FaultInjector(FaultPolicy(default=profile))
+        decision = injector.decide("C", "S1", "vector", 5)
+        assert decision.duplicates == 1
+        # Spike on top of the straggler tax.
+        assert decision.extra_seconds == pytest.approx(0.025)
+        assert injector.stats.duplicates == 1
+        assert injector.stats.delays == 1
+        assert injector.stats.delay_seconds == pytest.approx(0.025)
+
+    def test_straggler_tax_on_every_message(self):
+        profile = SiteFaultProfile(extra_seconds_per_message=0.003)
+        injector = FaultInjector(FaultPolicy(default=profile))
+        for _ in range(5):
+            assert injector.decide("C", "S1", "x", 1).extra_seconds == pytest.approx(0.003)
+        # The tax alone is not an "injected fault" in by_site accounting.
+        assert injector.stats.by_site == {}
+        assert injector.stats.delays == 5
+
+    def test_blackout_windows_by_message_index(self):
+        profile = SiteFaultProfile(blackout_period=4, blackout_length=2)
+        injector = FaultInjector(FaultPolicy(default=profile))
+        verdicts = [injector.decide("C", "S1", "x", 1).blackout for _ in range(8)]
+        assert verdicts == [True, True, False, False, True, True, False, False]
+        assert injector.stats.blackout_drops == 4
+
+    def test_fault_attributed_to_override_site(self):
+        policy = FaultPolicy(sites={"S2": DROP_ALL})
+        injector = FaultInjector(policy)
+        # S2 as receiver and as sender: both charged to S2.
+        assert injector.decide("C", "S2", "x", 1).site == "S2"
+        assert injector.decide("S2", "C", "x", 1).site == "S2"
+        # No override anywhere: blame the receiver.
+        assert injector.decide("C", "S9", "x", 1).site == "S9"
+
+    def test_stats_by_site_counts_injected_faults(self):
+        stats = FaultStats()
+        injector = FaultInjector(FaultPolicy(sites={"S1": DROP_ALL}))
+        for _ in range(3):
+            injector.decide("C", "S1", "x", 1)
+        assert injector.stats.by_site == {"S1": 3}
+        assert "drops" in injector.stats.to_dict()
+        assert "3 drops" in injector.stats.summary()
+        assert stats.decisions == 0  # fresh object untouched
+
+
+class TestTransportIntegration:
+    def send(self, transport, receiver="S1", buffer=None):
+        return asyncio.run(
+            transport.send("C", receiver, "vector", 5, buffer=buffer)
+        )
+
+    def test_drop_raises_and_unstages_the_message(self, network):
+        injector = FaultInjector(FaultPolicy(sites={"S1": DROP_ALL}))
+        transport = AsyncTransport(network, injector=injector)
+        before = len(network.messages)
+        with pytest.raises(TransportError) as excinfo:
+            self.send(transport)
+        assert excinfo.value.site == "S1" and excinfo.value.reason == "drop"
+        assert len(network.messages) == before  # lost traffic never counted
+        assert transport.sent_messages == 0
+
+    def test_buffered_round_commits_only_on_success(self, network):
+        transport = AsyncTransport(network)
+        buffer = transport.begin_round()
+        self.send(transport, buffer=buffer)
+        assert len(network.messages) == 0  # staged, not landed
+        assert buffer.sent_messages == 1
+        transport.commit_round(buffer)
+        assert len(network.messages) == 1
+        assert transport.sent_messages == 1
+
+    def test_abandoned_buffer_leaves_no_trace(self, network):
+        transport = AsyncTransport(network)
+        buffer = transport.begin_round()
+        self.send(transport, buffer=buffer)
+        # Dropping the buffer (a failed attempt) leaves accounting untouched.
+        assert len(network.messages) == 0 and transport.sent_messages == 0
+
+    def test_dropped_send_unstages_from_its_buffer(self, network):
+        injector = FaultInjector(FaultPolicy(sites={"S1": DROP_ALL}))
+        transport = AsyncTransport(network, injector=injector)
+        buffer = transport.begin_round()
+        with pytest.raises(TransportError):
+            self.send(transport, buffer=buffer)
+        assert buffer.messages == [] and buffer.sent_messages == 0
+
+    def test_duplicate_delivery_charged_twice(self, network):
+        injector = FaultInjector(
+            FaultPolicy(sites={"S1": SiteFaultProfile(duplicate_probability=1.0)})
+        )
+        transport = AsyncTransport(network, injector=injector)
+        self.send(transport)
+        assert len(network.messages) == 2
+        assert transport.sent_messages == 2
+        assert network.messages[0].units == network.messages[1].units == 5
+
+    def test_local_messages_bypass_the_injector(self, network):
+        injector = FaultInjector(FaultPolicy(default=DROP_ALL))
+        transport = AsyncTransport(network, injector=injector)
+        message = asyncio.run(transport.send("S1", "S1", "vector", 5))
+        assert message.is_local
+        assert injector.stats.decisions == 0
+
+    def test_deadline_capped_send_fails_with_deadline_reason(self, network):
+        class Budget:
+            def remaining(self):
+                return 0.0
+
+        injector = FaultInjector(
+            FaultPolicy(sites={"S1": SiteFaultProfile(extra_seconds_per_message=0.05)})
+        )
+        transport = AsyncTransport(network, injector=injector, deadline=Budget())
+        before = len(network.messages)
+        with pytest.raises(TransportError) as excinfo:
+            self.send(transport)
+        assert excinfo.value.reason == "deadline"
+        assert len(network.messages) == before
+
+    def test_hedged_send_races_a_second_copy(self, network):
+        class Counter:
+            hedged_sends = 0
+
+        counter = Counter()
+        injector = FaultInjector(
+            FaultPolicy(
+                sites={
+                    "S1": SiteFaultProfile(
+                        delay_probability=1.0, delay_seconds=0.01
+                    )
+                }
+            )
+        )
+        transport = AsyncTransport(
+            network,
+            injector=injector,
+            hedge_after_seconds=0.0,
+            hedge_counter=counter,
+        )
+        self.send(transport)
+        assert counter.hedged_sends == 1
+        # The hedge's copy is real traffic: two messages on the wire.
+        assert len(network.messages) == 2
+        assert transport.sent_messages == 2

@@ -1,0 +1,405 @@
+"""Cancellation safety: gate, batcher, actor slots and the host pipeline.
+
+A request can be cancelled (or time out) at *any* await point — parked at
+the readers-writer gate, inside the batching window, queued for a site
+slot, mid-evaluation.  Whatever the point, the primitives must come back
+clean: no leaked permits, no stranded waiters, no counters the next
+request could observe half-updated.  The brute-force tests below cancel a
+victim after every possible number of event-loop steps, which walks the
+cancellation through every await point of the scenario.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.pruning import stage1_init_vector
+from repro.distributed.async_transport import LatencyModel
+from repro.service.actors import FragmentWaveBatcher, ReadWriteGate, SiteActor
+from repro.service.server import ServiceEngine
+from repro.workloads.queries import clientele_example_tree, clientele_paper_fragmentation
+from repro.xpath.parser import parse_xpath
+from repro.xpath.plan import compile_plan
+
+
+def clientele_fragmentation():
+    return clientele_paper_fragmentation(clientele_example_tree())
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def step(count=1):
+    for _ in range(count):
+        await asyncio.sleep(0)
+
+
+async def assert_gate_clean(gate):
+    """The gate must be fully reusable: a writer can take it exclusively."""
+    assert gate.readers_active == 0
+    assert not gate.write_held
+    assert gate.writers_waiting == 0 and gate.readers_waiting == 0
+    await asyncio.wait_for(gate.acquire_write(), 1.0)
+    assert gate.write_held
+    gate._release_write()
+
+
+class TestGateCancellation:
+    def test_reader_cancelled_while_queued_behind_writer(self):
+        async def scenario():
+            gate = ReadWriteGate()
+            release = asyncio.Event()
+
+            async def writer():
+                async with gate.write_locked():
+                    await release.wait()
+
+            writer_task = asyncio.create_task(writer())
+            await step()
+            reader_task = asyncio.create_task(gate.acquire_read())
+            await step()
+            assert gate.readers_waiting == 1
+            reader_task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await reader_task
+            release.set()
+            await writer_task
+            await assert_gate_clean(gate)
+
+        run(scenario())
+
+    def test_writer_cancelled_while_queued_unblocks_readers(self):
+        async def scenario():
+            gate = ReadWriteGate()
+            release = asyncio.Event()
+
+            async def reader():
+                async with gate.read_locked():
+                    await release.wait()
+
+            reader_task = asyncio.create_task(reader())
+            await step()
+            writer_task = asyncio.create_task(gate.acquire_write())
+            await step()
+            # Writer priority: a new reader queues behind the waiting writer.
+            late_reader = asyncio.create_task(gate.acquire_read())
+            await step()
+            assert gate.readers_waiting == 1
+            writer_task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await writer_task
+            # The cancelled writer must not strand the queued reader.
+            await asyncio.wait_for(late_reader, 1.0)
+            assert gate.readers_active == 2
+            gate._release_read()
+            release.set()
+            await reader_task
+            await assert_gate_clean(gate)
+
+        run(scenario())
+
+    def test_grant_racing_reader_cancellation_is_handed_back(self):
+        async def scenario():
+            gate = ReadWriteGate()
+            await gate.acquire_write()
+            reader_task = asyncio.create_task(gate.acquire_read())
+            await step()
+            # Releasing grants the parked reader *synchronously*; cancelling
+            # before it resumes exercises the granted-but-dead handback.
+            gate._release_write()
+            assert gate.readers_active == 1  # grant already landed
+            reader_task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await reader_task
+            await assert_gate_clean(gate)
+
+        run(scenario())
+
+    def test_grant_racing_writer_cancellation_is_handed_back(self):
+        async def scenario():
+            gate = ReadWriteGate()
+            await gate.acquire_read()
+            writer_task = asyncio.create_task(gate.acquire_write())
+            await step()
+            gate._release_read()
+            assert gate.write_held  # grant already landed
+            writer_task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await writer_task
+            await assert_gate_clean(gate)
+
+        run(scenario())
+
+    def test_timed_out_reader_behaves_like_a_cancelled_one(self):
+        async def scenario():
+            gate = ReadWriteGate()
+            release = asyncio.Event()
+
+            async def writer():
+                async with gate.write_locked():
+                    await release.wait()
+
+            writer_task = asyncio.create_task(writer())
+            await step()
+            with pytest.raises(asyncio.TimeoutError):
+                await gate.acquire_read(timeout=0.01)
+            assert gate.readers_waiting == 0
+            release.set()
+            await writer_task
+            await assert_gate_clean(gate)
+
+        run(scenario())
+
+    def test_timed_out_writer_unblocks_queued_readers(self):
+        async def scenario():
+            gate = ReadWriteGate()
+            release = asyncio.Event()
+
+            async def reader():
+                async with gate.read_locked():
+                    await release.wait()
+
+            reader_task = asyncio.create_task(reader())
+            await step()
+            timed_writer = asyncio.create_task(gate.acquire_write(timeout=0.01))
+            await step()
+            late_reader = asyncio.create_task(gate.acquire_read())
+            await step()
+            with pytest.raises(asyncio.TimeoutError):
+                await timed_writer
+            await asyncio.wait_for(late_reader, 1.0)
+            gate._release_read()
+            release.set()
+            await reader_task
+            await assert_gate_clean(gate)
+
+        run(scenario())
+
+    @pytest.mark.parametrize("victim", [0, 1, 2, 3])
+    def test_cancel_at_every_await_point(self, victim):
+        """Brute force: cancel one participant after k loop steps, for every
+        k — the cancellation lands on every await point of the scenario."""
+
+        async def attempt(steps):
+            gate = ReadWriteGate()
+
+            async def reader(hold):
+                async with gate.read_locked():
+                    await asyncio.sleep(hold)
+
+            async def writer(hold):
+                async with gate.write_locked():
+                    await asyncio.sleep(hold)
+
+            tasks = [
+                asyncio.create_task(reader(0.002)),
+                asyncio.create_task(writer(0.002)),
+                asyncio.create_task(reader(0.0)),
+                asyncio.create_task(writer(0.0)),
+            ]
+            await step(steps)
+            tasks[victim].cancel()
+            results = await asyncio.wait_for(
+                asyncio.gather(*tasks, return_exceptions=True), 2.0
+            )
+            # Only the victim may have died, and only by cancellation.
+            for index, outcome in enumerate(results):
+                if isinstance(outcome, BaseException):
+                    assert index == victim
+                    assert isinstance(outcome, asyncio.CancelledError)
+            await assert_gate_clean(gate)
+
+        async def scenario():
+            for steps in range(12):
+                await attempt(steps)
+
+        run(scenario())
+
+
+class TestBatcherCancellation:
+    @pytest.fixture
+    def fused(self):
+        fragmentation = clientele_fragmentation()
+        plan = compile_plan(parse_xpath("//name"))
+        fragment_id = fragmentation.fragment_ids()[1]  # not the root fragment
+        init = stage1_init_vector(fragmentation, plan, fragment_id, True)
+        return fragmentation, plan, fragment_id, init
+
+    def test_cancelled_waiter_is_skipped_by_the_flush(self, fused):
+        fragmentation, plan, fragment_id, init = fused
+
+        async def scenario():
+            batcher = FragmentWaveBatcher(fragmentation, window=0.02)
+            doomed = asyncio.create_task(
+                batcher.combined(fragment_id, plan, init, False)
+            )
+            survivor = asyncio.create_task(
+                batcher.combined(fragment_id, plan, init, False)
+            )
+            await step()  # both parked in the window
+            doomed.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            output = await asyncio.wait_for(survivor, 1.0)
+            assert output is not None
+            return batcher
+
+        batcher = run(scenario())
+        # The cancelled waiter neither poisons the stats nor counts as served.
+        assert batcher.stats.fused_scans == 1
+        assert batcher.stats.batched_queries == 1
+
+    def test_all_waiters_cancelled_runs_no_scan(self, fused):
+        fragmentation, plan, fragment_id, init = fused
+
+        async def scenario():
+            batcher = FragmentWaveBatcher(fragmentation, window=0.01)
+            tasks = [
+                asyncio.create_task(batcher.combined(fragment_id, plan, init, False))
+                for _ in range(3)
+            ]
+            await step()
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            await asyncio.sleep(0.03)  # let the flush fire on nobody
+            return batcher
+
+        batcher = run(scenario())
+        assert batcher.stats.fused_scans == 0
+        assert batcher.stats.batched_queries == 0
+
+    def test_batcher_stays_serviceable_after_a_cancellation_wave(self, fused):
+        fragmentation, plan, fragment_id, init = fused
+
+        async def scenario():
+            batcher = FragmentWaveBatcher(fragmentation, window=0.0)
+            doomed = asyncio.create_task(
+                batcher.combined(fragment_id, plan, init, False)
+            )
+            await step(0)
+            doomed.cancel()
+            await asyncio.gather(doomed, return_exceptions=True)
+            output = await asyncio.wait_for(
+                batcher.combined(fragment_id, plan, init, False), 1.0
+            )
+            assert output is not None
+            return batcher
+
+        batcher = run(scenario())
+        assert batcher.stats.fused_scans >= 1
+
+
+class TestActorSlotCancellation:
+    def test_queued_slot_waiter_cancel_leaks_nothing(self):
+        async def scenario():
+            actor = SiteActor("S1", parallelism=1)
+            occupied = asyncio.Event()
+            release = asyncio.Event()
+
+            async def holder():
+                async with actor.slot():
+                    occupied.set()
+                    await release.wait()
+
+            async def waiter():
+                async with actor.slot():
+                    pass
+
+            holder_task = asyncio.create_task(holder())
+            await occupied.wait()
+            waiter_task = asyncio.create_task(waiter())
+            await step()
+            waiter_task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter_task
+            release.set()
+            await holder_task
+            # The slot is free again and counters are consistent.
+            assert actor.in_flight == 0
+            async with actor.slot():
+                assert actor.in_flight == 1
+            assert actor.in_flight == 0
+
+        run(scenario())
+
+
+class TestHostCancellation:
+    def test_cancelled_request_leaves_the_host_serviceable(self):
+        engine = ServiceEngine(
+            clientele_fragmentation(),
+            max_in_flight=1,
+            latency=LatencyModel(base_seconds=0.02),
+        )
+
+        async def scenario():
+            doomed = asyncio.create_task(engine.submit("//client/name"))
+            await asyncio.sleep(0.01)  # mid-evaluation, on the wire
+            doomed.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            return await asyncio.wait_for(engine.submit("//name"), 5.0)
+
+        result = run(scenario())
+        assert result.answer_ids
+        assert not result.is_partial
+        assert engine._pending_evaluations == 0
+        gate = engine.sessions[engine.document].gate
+        assert gate.readers_active == 0 and not gate.write_held
+
+    def test_cancel_submit_at_every_await_point(self):
+        engine = ServiceEngine(
+            clientele_fragmentation(),
+            latency=LatencyModel(base_seconds=0.001),
+        )
+
+        async def scenario():
+            for steps in range(25):
+                doomed = asyncio.create_task(engine.submit("//client/name"))
+                await step(steps)
+                doomed.cancel()
+                await asyncio.gather(doomed, return_exceptions=True)
+                assert engine._pending_evaluations == 0
+            # After the whole sweep the host still serves, reads and writes.
+            result = await asyncio.wait_for(engine.submit("//name"), 5.0)
+            assert result.answer_ids
+            gate = engine.sessions[engine.document].gate
+            await assert_gate_clean(gate)
+
+        run(scenario())
+
+    def test_cancelled_writer_never_wedges_the_document(self):
+        from repro.updates import EditText
+
+        engine = ServiceEngine(
+            clientele_fragmentation(),
+            latency=LatencyModel(base_seconds=0.02),
+        )
+        fragmentation = engine.fragmentation
+        target = next(
+            node
+            for node in fragmentation[fragmentation.fragment_ids()[0]].iter_span()
+            if node.is_text
+        )
+
+        async def scenario():
+            reader = asyncio.create_task(engine.submit("//client/name"))
+            await asyncio.sleep(0.01)  # reader holds the gate, on the wire
+            doomed = asyncio.create_task(
+                engine.apply_update(EditText(target.node_id, "cancelled"))
+            )
+            await step()
+            doomed.cancel()
+            await asyncio.gather(doomed, return_exceptions=True)
+            await reader
+            # The cancelled writer is gone: both a new read and a new write
+            # must go straight through.
+            result = await asyncio.wait_for(engine.submit("//name"), 5.0)
+            assert result.answer_ids
+            update = await asyncio.wait_for(
+                engine.apply_update(EditText(target.node_id, "landed")), 5.0
+            )
+            assert update.kind
+
+        run(scenario())
