@@ -1,0 +1,684 @@
+"""Tenant-interference benchmark (``repro bench-fairness``).
+
+Measures what an antagonist tenant running a mixed read/write stream at
+full blast costs a small, latency-sensitive *victim* tenant on one shared
+:class:`~repro.service.server.ServiceHost`, and emits ``BENCH_fairness.json``:
+
+``quiescent``
+    The victim's stream alone on the host — its undisturbed read p95.
+``contended_legacy``
+    Victim and antagonist together under the pre-MVCC configuration
+    (``SnapshotPolicy(enabled=False)`` + ``FairnessPolicy(enabled=False)``):
+    reads park behind the write gate and admission is one flat FIFO
+    semaphore the antagonist's client herd dominates.
+``contended_isolated``
+    The same traffic with snapshot reads and weighted-fair admission on —
+    the configuration this benchmark exists to defend.
+
+Tracked criteria: the victim's contended read p95 must stay within
+:data:`VICTIM_P95_CRITERION` of its quiescent p95, no tenant's completed
+share may fall below half its admission-weight share while both are
+active, no victim-activity window may see zero completions, and the
+retained snapshot versions must stay under the configured watermark.
+
+Before any timing, snapshot semantics are verified differentially: the
+contended run is replayed with recording on, and every read's answer is
+compared against a quiesced re-evaluation **at the version the read
+pinned** — the per-tenant write streams are regenerated from their seeds,
+each write prefix is re-applied to a fresh copy of the document, the
+rolled version tags must match the ones the host produced, and a solo
+:class:`~repro.core.engine.DistributedQueryEngine` must reproduce each
+recorded answer (ids *and* shipped-subtree accounting) bit-identically.
+A snapshot that ever leaked a concurrent write, tore across fragments or
+mis-counted a virtual span would diverge and abort the run before a
+single number is reported.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.engine import DistributedQueryEngine
+from repro.fragments.snapshots import SnapshotPolicy
+from repro.service.cache import version_tag
+from repro.service.fairness import FairnessPolicy
+from repro.service.metrics import percentile
+from repro.service.server import ServiceHost
+from repro.updates.apply import apply_mutation
+from repro.updates.workload import MixedWorkload
+from repro.workloads.multidoc import Tenant, build_tenants
+from repro.workloads.queries import PAPER_QUERIES
+
+__all__ = [
+    "run_fairness_benchmark",
+    "write_benchmark_json",
+    "render_summary",
+    "VICTIM_P95_CRITERION",
+    "FAIR_SHARE_CRITERION",
+    "STARVATION_WINDOWS",
+]
+
+#: contended victim read p95 may cost at most this multiple of quiescent
+VICTIM_P95_CRITERION = 1.5
+#: each tenant's completed share must reach this fraction of its weight share
+FAIR_SHARE_CRITERION = 0.5
+#: victim-activity windows checked for zero completions (starvation)
+STARVATION_WINDOWS = 4
+
+#: stream-seed stride between tenants (mirrors MultiDocumentWorkload)
+_SEED_STRIDE = 13
+
+
+@dataclass(frozen=True)
+class _Role:
+    """One tenant's part in the interference experiment."""
+
+    index: int  # position in the build_tenants() output
+    clients: int
+    write_ratio: float
+    ops: int
+    weight: float
+    slice_limit: Optional[int] = None
+
+
+async def _drive_tenant(
+    host: ServiceHost,
+    document: str,
+    stream: MixedWorkload,
+    ops: int,
+    clients: int,
+    reads: Optional[List[Dict[str, object]]] = None,
+    versions: Optional[List[str]] = None,
+    latencies: Optional[List[float]] = None,
+    completions: Optional[List[float]] = None,
+) -> None:
+    """Replay one tenant's stream against the host.
+
+    Reads fan out to *clients* concurrent clients; writes are applied in
+    stream order (one writer per tenant), so ``versions`` records the
+    document's exact version sequence race-free.  ``reads`` captures each
+    read's pinned version and answer for the differential replay;
+    ``latencies``/``completions`` capture client-observed read timing.
+    """
+    gate = asyncio.Semaphore(max(1, clients))
+    pending: List[asyncio.Task] = []
+    if versions is not None:
+        versions.append(host.sessions[document].version)
+    for _ in range(ops):
+        op = stream.next_op()
+        if op.is_write:
+            await host.apply_update(document, op.mutation)
+            if versions is not None:
+                versions.append(host.sessions[document].version)
+        else:
+
+            async def read(query: str = op.query) -> None:
+                async with gate:
+                    started = time.perf_counter()
+                    result = await host.submit(document, query)
+                    finished = time.perf_counter()
+                    if latencies is not None:
+                        latencies.append(finished - started)
+                    if completions is not None:
+                        completions.append(finished)
+                    if reads is not None:
+                        reads.append(
+                            {
+                                "version": result.stats.evaluated_version,
+                                "query": query,
+                                "answer_ids": list(result.stats.answer_ids),
+                                "answer_nodes": result.stats.answer_nodes_shipped,
+                            }
+                        )
+
+            pending.append(asyncio.create_task(read()))
+    if pending:
+        await asyncio.gather(*pending)
+
+
+def _replay_verify(
+    tenant: Tenant,
+    role: _Role,
+    workload_seed: int,
+    recorded_versions: Sequence[str],
+    recorded_reads: Sequence[Dict[str, object]],
+) -> int:
+    """Re-apply the tenant's write prefixes and re-evaluate every read at
+    the version it pinned.
+
+    *tenant* must be a **fresh** regeneration (same seeds) of the document
+    the host served: the stream is regenerated too, its writes are applied
+    sequentially, and after each one the rolled ``version_tag`` must equal
+    what the host recorded — then every read pinned at that version must
+    match a solo engine's answer over the re-materialized state, both the
+    answer ids and the shipped-subtree count the snapshot accounting
+    produced.  Raises ``AssertionError`` on the first divergence; returns
+    the number of reads verified.
+    """
+    fragmentation = tenant.fragmentation
+    placement = tenant.placement
+    stream = MixedWorkload(
+        fragmentation,
+        tenant.queries,
+        write_ratio=role.write_ratio,
+        seed=workload_seed + _SEED_STRIDE * role.index,
+    )
+    engine = DistributedQueryEngine(fragmentation, placement=placement)
+
+    reads_by_version: Dict[str, List[Dict[str, object]]] = {}
+    for entry in recorded_reads:
+        reads_by_version.setdefault(str(entry["version"]), []).append(entry)
+    unknown = set(reads_by_version) - set(recorded_versions)
+    if unknown:
+        raise AssertionError(
+            f"differential verification failed: reads pinned versions the"
+            f" writer never produced: {sorted(unknown)[:3]}"
+        )
+
+    verified = 0
+
+    def check(version: str) -> None:
+        nonlocal verified
+        for entry in reads_by_version.get(version, ()):
+            expected = engine.execute(str(entry["query"])).stats
+            if list(expected.answer_ids) != entry["answer_ids"]:
+                raise AssertionError(
+                    f"differential verification failed: {tenant.name}"
+                    f" query {entry['query']!r} at version {version[:12]}…:"
+                    f" snapshot served {len(entry['answer_ids'])} answers,"
+                    f" quiesced re-run {len(expected.answer_ids)}"
+                )
+            if expected.answer_nodes_shipped != entry["answer_nodes"]:
+                raise AssertionError(
+                    f"differential verification failed: {tenant.name}"
+                    f" query {entry['query']!r} at version {version[:12]}…:"
+                    f" snapshot accounted {entry['answer_nodes']} answer"
+                    f" nodes, quiesced re-run {expected.answer_nodes_shipped}"
+                )
+            verified += 1
+
+    current = version_tag(fragmentation, placement)
+    if current != recorded_versions[0]:
+        raise AssertionError(
+            f"replay divergence: {tenant.name} initial version mismatch"
+            " (tenant regeneration is not deterministic)"
+        )
+    check(current)
+    cursor = 0
+    for _ in range(role.ops):
+        op = stream.next_op()
+        if not op.is_write:
+            continue
+        apply_mutation(fragmentation, op.mutation)
+        cursor += 1
+        current = version_tag(fragmentation, placement)
+        if cursor >= len(recorded_versions) or current != recorded_versions[cursor]:
+            raise AssertionError(
+                f"replay divergence: {tenant.name} version sequence differs"
+                f" at write #{cursor} (write replay is not deterministic)"
+            )
+        check(current)
+    if cursor != len(recorded_versions) - 1:
+        raise AssertionError(
+            f"replay divergence: {tenant.name} replayed {cursor} writes,"
+            f" host recorded {len(recorded_versions) - 1}"
+        )
+    return verified
+
+
+def _timed_run(coroutine) -> None:
+    """Run one timed phase with the cyclic collector off.
+
+    A generational GC pass triggered by the antagonist's allocation churn
+    lands as a multi-millisecond pause on whichever victim read is in
+    flight — pure measurement noise that would be attributed to tenant
+    interference.  Collect between phases instead, outside any timer; every
+    configuration gets the identical treatment.
+    """
+    gc.collect()
+    gc.disable()
+    try:
+        asyncio.run(coroutine)
+    finally:
+        gc.enable()
+
+
+def _window_counts(started: float, completions: Sequence[float], windows: int) -> List[int]:
+    """Victim completions bucketed into equal windows of its active span."""
+    if not completions:
+        return [0] * windows
+    span = max(max(completions) - started, 1e-9)
+    counts = [0] * windows
+    for stamp in completions:
+        slot = int((stamp - started) / span * windows)
+        counts[min(max(slot, 0), windows - 1)] += 1
+    return counts
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def _read_stats(latencies: Sequence[float]) -> Dict[str, object]:
+    return {
+        "reads": len(latencies),
+        "p50_ms": round(percentile(list(latencies), 0.50) * 1000, 3),
+        "p95_ms": round(percentile(list(latencies), 0.95) * 1000, 3),
+        "p99_ms": round(percentile(list(latencies), 0.99) * 1000, 3),
+    }
+
+
+def run_fairness_benchmark(
+    total_bytes: int = 24_000,
+    antagonist_bytes: int = 8_000,
+    victim_ops: int = 48,
+    antagonist_ops: int = 144,
+    victim_clients: int = 4,
+    antagonist_clients: int = 16,
+    victim_write_ratio: float = 0.1,
+    antagonist_write_ratio: float = 0.3,
+    victim_weight: float = 2.0,
+    antagonist_weight: float = 1.0,
+    antagonist_slice: Optional[int] = 1,
+    max_in_flight: int = 4,
+    max_retained_versions: int = 8,
+    seed: int = 5,
+    workload_seed: int = 17,
+    site_parallelism: int = 4,
+    repeats: int = 5,
+) -> Dict[str, object]:
+    """Run the differential verification plus all three timed phases."""
+    queries = list(PAPER_QUERIES.values())
+    victim = _Role(0, victim_clients, victim_write_ratio, victim_ops,
+                   victim_weight)
+    antagonist = _Role(1, antagonist_clients, antagonist_write_ratio,
+                       antagonist_ops, antagonist_weight, antagonist_slice)
+
+    def fresh_tenants() -> List[Tenant]:
+        # The antagonist's document size is an independent knob: its client
+        # herd and op volume set the admission pressure, its document size
+        # sets how coarse its synchronous scan chunks are on the shared
+        # event loop.
+        return [
+            build_tenants(1, total_bytes=total_bytes, seed=seed,
+                          prefix="victim", queries=queries)[0],
+            build_tenants(1, total_bytes=antagonist_bytes,
+                          seed=seed + _SEED_STRIDE,
+                          prefix="antagonist", queries=queries)[0],
+        ]
+
+    def stream_for(tenant: Tenant, role: _Role) -> MixedWorkload:
+        return MixedWorkload(
+            tenant.fragmentation,
+            tenant.queries,
+            write_ratio=role.write_ratio,
+            seed=workload_seed + _SEED_STRIDE * role.index,
+        )
+
+    snapshot_policy = SnapshotPolicy(max_retained_versions=max_retained_versions)
+
+    def fresh_host(tenants: Sequence[Tenant], fairness: FairnessPolicy,
+                   snapshots: SnapshotPolicy) -> ServiceHost:
+        # Cache and coalescing off everywhere: repeated pool queries would
+        # otherwise collapse into hits/joins and hide the interference this
+        # benchmark exists to measure.
+        host = ServiceHost(
+            max_in_flight=max_in_flight,
+            site_parallelism=site_parallelism,
+            cache_capacity=0,
+            coalesce=False,
+            fairness=fairness,
+            snapshots=snapshots,
+        )
+        for tenant in tenants:
+            host.register(tenant.name, tenant.fragmentation, tenant.placement)
+        return host
+
+    def isolated_fairness(tenants: Sequence[Tenant]) -> FairnessPolicy:
+        weights = {
+            tenants[victim.index].name: victim.weight,
+            tenants[antagonist.index].name: antagonist.weight,
+        }
+        slices = (
+            {tenants[antagonist.index].name: antagonist.slice_limit}
+            if antagonist.slice_limit is not None
+            else {}
+        )
+        return FairnessPolicy(weights=weights, slices=slices)
+
+    # -- phase 1: differential snapshot verification (untimed) ---------------
+    tenants = fresh_tenants()
+    host = fresh_host(tenants, isolated_fairness(tenants), snapshot_policy)
+    recorded: Dict[str, Dict[str, list]] = {
+        tenants[role.index].name: {"reads": [], "versions": []}
+        for role in (victim, antagonist)
+    }
+
+    async def record() -> None:
+        await asyncio.gather(
+            *(
+                _drive_tenant(
+                    host,
+                    tenants[role.index].name,
+                    stream_for(tenants[role.index], role),
+                    role.ops,
+                    role.clients,
+                    reads=recorded[tenants[role.index].name]["reads"],
+                    versions=recorded[tenants[role.index].name]["versions"],
+                )
+                for role in (victim, antagonist)
+            )
+        )
+
+    asyncio.run(record())
+    replay_tenants = fresh_tenants()
+    reads_verified = 0
+    writes_replayed = 0
+    for role in (victim, antagonist):
+        name = tenants[role.index].name
+        reads_verified += _replay_verify(
+            replay_tenants[role.index],
+            role,
+            workload_seed,
+            recorded[name]["versions"],
+            recorded[name]["reads"],
+        )
+        writes_replayed += len(recorded[name]["versions"]) - 1
+    verification = {
+        "reads_verified": reads_verified,
+        "writes_replayed": writes_replayed,
+        "passed": True,
+    }
+
+    # -- phases 2-4: timed, interleaved repeats ------------------------------
+    # Each timed configuration runs `repeats` times on fresh hosts and the
+    # read latencies are pooled: a p95 over one 48-op stream is two samples
+    # deep and far too noisy to gate on.  The configurations are
+    # interleaved *within* each repeat (quiescent, legacy, isolated,
+    # quiescent, ...) so slow machine-state drift — frequency scaling, a
+    # noisy CI neighbour — lands on all three alike instead of biasing
+    # whichever phase ran last.
+    def quiescent_once() -> List[float]:
+        tenants = fresh_tenants()
+        host = fresh_host(tenants, isolated_fairness(tenants), snapshot_policy)
+        run_latencies: List[float] = []
+
+        async def run() -> None:
+            # One untimed read per document builds the columnar encodings:
+            # cold-start belongs to neither configuration's latencies.
+            for tenant in tenants:
+                await host.submit(tenant.name, queries[0])
+            await _drive_tenant(
+                host,
+                tenants[victim.index].name,
+                stream_for(tenants[victim.index], victim),
+                victim.ops,
+                victim.clients,
+                latencies=run_latencies,
+            )
+
+        _timed_run(run())
+        return run_latencies
+
+    def contended(fairness: FairnessPolicy, snapshots: SnapshotPolicy):
+        tenants = fresh_tenants()
+        host = fresh_host(tenants, fairness, snapshots)
+        victim_latencies: List[float] = []
+        victim_completions: List[float] = []
+        antagonist_latencies: List[float] = []
+        antagonist_completions: List[float] = []
+        started = 0.0
+
+        async def run() -> None:
+            nonlocal started
+            # One untimed read per document builds the columnar encodings;
+            # the starvation windows start at the warmed mark, not at the
+            # cold-start build neither tenant's admission caused.
+            for tenant in tenants:
+                await host.submit(tenant.name, queries[0])
+            started = time.perf_counter()
+            await asyncio.gather(
+                _drive_tenant(
+                    host,
+                    tenants[victim.index].name,
+                    stream_for(tenants[victim.index], victim),
+                    victim.ops,
+                    victim.clients,
+                    latencies=victim_latencies,
+                    completions=victim_completions,
+                ),
+                _drive_tenant(
+                    host,
+                    tenants[antagonist.index].name,
+                    stream_for(tenants[antagonist.index], antagonist),
+                    antagonist.ops,
+                    antagonist.clients,
+                    latencies=antagonist_latencies,
+                    completions=antagonist_completions,
+                ),
+            )
+
+        _timed_run(run())
+        return (host, started, victim_latencies, victim_completions,
+                antagonist_latencies, antagonist_completions)
+
+    quiescent_latencies: List[float] = []
+    quiescent_p95s: List[float] = []
+    legacy_victim_latencies: List[float] = []
+    legacy_antagonist_latencies: List[float] = []
+    legacy_p95s: List[float] = []
+    victim_latencies: List[float] = []
+    antagonist_latencies: List[float] = []
+    isolated_p95s: List[float] = []
+    victim_completed_total = 0
+    antagonist_during_total = 0
+    windows_per_repeat: List[List[int]] = []
+    peak_retained = 0
+    snapshots_report: Dict[str, object] = {}
+    for _ in range(max(1, repeats)):
+        # quiescent: the victim's stream alone
+        run_latencies = quiescent_once()
+        quiescent_latencies.extend(run_latencies)
+        quiescent_p95s.append(percentile(run_latencies, 0.95))
+
+        # contended, legacy gate + flat FIFO semaphore
+        (_, _, run_victim, _, run_antagonist, _) = contended(
+            FairnessPolicy(enabled=False), SnapshotPolicy(enabled=False)
+        )
+        legacy_victim_latencies.extend(run_victim)
+        legacy_antagonist_latencies.extend(run_antagonist)
+        legacy_p95s.append(percentile(run_victim, 0.95))
+
+        # contended, snapshots + weighted-fair admission
+        (host, started, run_victim, run_victim_done,
+         run_antagonist, run_antagonist_done) = contended(
+            isolated_fairness(fresh_tenants()), snapshot_policy
+        )
+        victim_latencies.extend(run_victim)
+        antagonist_latencies.extend(run_antagonist)
+        isolated_p95s.append(percentile(run_victim, 0.95))
+        # Fair-share accounting over the span both tenants were active:
+        # every victim completion counts; antagonist completions after the
+        # victim finished (it runs 3x the ops) would dilute its share for
+        # free.
+        victim_last = max(run_victim_done) if run_victim_done else started
+        victim_completed_total += len(run_victim_done)
+        antagonist_during_total += sum(
+            1 for stamp in run_antagonist_done if stamp <= victim_last
+        )
+        windows_per_repeat.append(
+            _window_counts(started, run_victim_done, STARVATION_WINDOWS)
+        )
+        peak_retained = max(
+            peak_retained,
+            max(
+                (session.snapshots.stats.peak_retained
+                 for session in host.sessions.values()),
+                default=0,
+            ),
+        )
+        snapshots_report = {
+            name: session.snapshots.stats.to_dict()
+            for name, session in sorted(host.sessions.items())
+        }
+
+    overlap_total = victim_completed_total + antagonist_during_total
+    weight_total = victim.weight + antagonist.weight
+    shares = {
+        "victim": round(victim_completed_total / overlap_total, 3) if overlap_total else 0.0,
+        "antagonist": round(antagonist_during_total / overlap_total, 3) if overlap_total else 0.0,
+    }
+    weight_shares = {
+        "victim": round(victim.weight / weight_total, 3),
+        "antagonist": round(antagonist.weight / weight_total, 3),
+    }
+    windows = [min(column) for column in zip(*windows_per_repeat)]
+
+    # The gated ratio compares medians of the per-repeat p95s: one
+    # machine-noise repeat would otherwise own the pooled tail.
+    quiescent_p95 = max(_median(quiescent_p95s), 1e-9)
+    quiescent = _read_stats(quiescent_latencies)
+    isolated = _read_stats(victim_latencies)
+    legacy = _read_stats(legacy_victim_latencies)
+    quiescent["p95_median_of_repeats_ms"] = round(quiescent_p95 * 1000, 3)
+    isolated["p95_median_of_repeats_ms"] = round(_median(isolated_p95s) * 1000, 3)
+    legacy["p95_median_of_repeats_ms"] = round(_median(legacy_p95s) * 1000, 3)
+    victim_p95_ratio = round(_median(isolated_p95s) / quiescent_p95, 3)
+    legacy_p95_ratio = round(_median(legacy_p95s) / quiescent_p95, 3)
+
+    share_ok = all(
+        shares[key] >= FAIR_SHARE_CRITERION * weight_shares[key]
+        for key in ("victim", "antagonist")
+    )
+    starved = min(windows) == 0 if windows else True
+    retained_ok = peak_retained <= max_retained_versions
+    ratio_ok = victim_p95_ratio <= VICTIM_P95_CRITERION
+
+    return {
+        "benchmark": "fairness",
+        "workload": {
+            "victim": {
+                "document_bytes": total_bytes,
+                "ops": victim.ops, "clients": victim.clients,
+                "write_ratio": victim.write_ratio, "weight": victim.weight,
+            },
+            "antagonist": {
+                "document_bytes": antagonist_bytes,
+                "ops": antagonist.ops, "clients": antagonist.clients,
+                "write_ratio": antagonist.write_ratio,
+                "weight": antagonist.weight,
+                "max_in_flight_slice": antagonist.slice_limit,
+            },
+            "max_in_flight": max_in_flight,
+            "max_retained_versions": max_retained_versions,
+            "unique_queries": len(queries),
+            "seed": seed,
+            "workload_seed": workload_seed,
+            "timed_repeats": max(1, repeats),
+        },
+        "verification": verification,
+        "quiescent": quiescent,
+        "contended_legacy": {
+            "victim": legacy,
+            "antagonist": _read_stats(legacy_antagonist_latencies),
+            "victim_p95_ratio_vs_quiescent": legacy_p95_ratio,
+        },
+        "contended_isolated": {
+            "victim": isolated,
+            "antagonist": _read_stats(antagonist_latencies),
+            "victim_p95_ratio_vs_quiescent": victim_p95_ratio,
+            "completed_shares_during_overlap": shares,
+            "weight_shares": weight_shares,
+            #: per-window minimum victim completions across the repeats — a
+            #: zero means some repeat starved the victim for a whole window
+            "victim_completion_windows": windows,
+            "victim_completion_windows_per_repeat": windows_per_repeat,
+            "snapshots": snapshots_report,
+            "peak_retained_versions": peak_retained,
+        },
+        "criteria": {
+            "victim_p95_ratio": {
+                "value": victim_p95_ratio,
+                "threshold": VICTIM_P95_CRITERION,
+                "passed": ratio_ok,
+            },
+            "fair_share": {
+                "shares": shares,
+                "weight_shares": weight_shares,
+                "threshold_fraction_of_weight_share": FAIR_SHARE_CRITERION,
+                "passed": share_ok,
+            },
+            "no_starvation_window": {
+                "windows": windows,
+                "passed": not starved,
+            },
+            "retained_versions_bounded": {
+                "peak": peak_retained,
+                "watermark": max_retained_versions,
+                "passed": retained_ok,
+            },
+            "passed": bool(ratio_ok and share_ok and not starved and retained_ok),
+        },
+    }
+
+
+def write_benchmark_json(report: Dict[str, object], path: str | Path) -> Path:
+    """Write the report as pretty JSON and return the path."""
+    destination = Path(path)
+    destination.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return destination
+
+
+def render_summary(report: Dict[str, object]) -> str:
+    """A human-readable recap of the emitted JSON."""
+    workload = report["workload"]
+    verification = report["verification"]
+    quiescent = report["quiescent"]
+    legacy = report["contended_legacy"]
+    isolated = report["contended_isolated"]
+    criteria = report["criteria"]
+    lines = [
+        f"workload        : victim {workload['victim']['ops']} ops"
+        f" x{workload['victim']['clients']} clients"
+        f" ({workload['victim']['write_ratio'] * 100:.0f}% writes)"
+        f" vs antagonist {workload['antagonist']['ops']} ops"
+        f" x{workload['antagonist']['clients']} clients"
+        f" ({workload['antagonist']['write_ratio'] * 100:.0f}% writes),"
+        f" {workload['max_in_flight']} shared slots",
+        f"verification    : {verification['reads_verified']} snapshot reads"
+        f" matched quiesced re-runs at their pinned versions"
+        f" ({verification['writes_replayed']} writes replayed)",
+        f"quiescent       : victim read p95 {quiescent['p95_median_of_repeats_ms']} ms"
+        f" (median of {workload['timed_repeats']} repeats)",
+        f"legacy gate     : victim read p95 {legacy['victim']['p95_median_of_repeats_ms']} ms"
+        f" ({legacy['victim_p95_ratio_vs_quiescent']}x quiescent)",
+        f"isolated        : victim read p95 {isolated['victim']['p95_median_of_repeats_ms']} ms"
+        f" ({isolated['victim_p95_ratio_vs_quiescent']}x quiescent,"
+        f" criterion <= {criteria['victim_p95_ratio']['threshold']}x:"
+        f" {'pass' if criteria['victim_p95_ratio']['passed'] else 'FAIL'})",
+        f"fair shares     : victim {isolated['completed_shares_during_overlap']['victim']}"
+        f" / antagonist {isolated['completed_shares_during_overlap']['antagonist']}"
+        f" of completions during overlap (weights"
+        f" {isolated['weight_shares']['victim']}/{isolated['weight_shares']['antagonist']},"
+        f" {'pass' if criteria['fair_share']['passed'] else 'FAIL'})",
+        f"starvation      : victim completions per window"
+        f" {isolated['victim_completion_windows']}"
+        f" ({'pass' if criteria['no_starvation_window']['passed'] else 'FAIL'})",
+        f"snapshots       : peak {isolated['peak_retained_versions']} retained"
+        f" versions (watermark {workload['max_retained_versions']}:"
+        f" {'pass' if criteria['retained_versions_bounded']['passed'] else 'FAIL'})",
+        f"overall         : {'pass' if criteria['passed'] else 'FAIL'}",
+    ]
+    return "\n".join(lines)

@@ -71,6 +71,12 @@ flagged sound subset, and emit ``BENCH_chaos.json``::
 
     python -m repro bench-chaos --docs 4 --ops 48 --drop 0.05
 
+Pit a small victim tenant against a mixed read/write antagonist at full
+blast, differentially verify every MVCC snapshot read at its pinned
+version, and emit ``BENCH_fairness.json``::
+
+    python -m repro bench-fairness --victim-ops 48 --antagonist-clients 16
+
 Serve with tracing on: write every request's span tree as JSON lines, a
 Chrome trace for https://ui.perfetto.dev, a slow-query log, and expose
 Prometheus metrics while the workload runs::
@@ -299,6 +305,51 @@ def build_parser() -> argparse.ArgumentParser:
     bench_chaos.add_argument("--site-parallelism", type=int, default=4)
     bench_chaos.add_argument("--output", default="BENCH_chaos.json",
                              help="report path (default BENCH_chaos.json)")
+
+    bench_fairness = commands.add_parser(
+        "bench-fairness",
+        help="benchmark victim-tenant isolation under an antagonist stream"
+             " (MVCC snapshots + weighted-fair admission vs the legacy gate)",
+    )
+    bench_fairness.add_argument("--bytes", type=int, default=24_000, dest="total_bytes",
+                                help="approximate XMark size of the victim's"
+                                     " document (default 24000)")
+    bench_fairness.add_argument("--antagonist-bytes", type=int, default=8_000,
+                                help="approximate XMark size of the antagonist's"
+                                     " document (default 8000)")
+    bench_fairness.add_argument("--victim-ops", type=int, default=48,
+                                help="victim stream operations (default 48)")
+    bench_fairness.add_argument("--antagonist-ops", type=int, default=144,
+                                help="antagonist stream operations (default 144)")
+    bench_fairness.add_argument("--victim-clients", type=int, default=4,
+                                help="concurrent victim clients (default 4)")
+    bench_fairness.add_argument("--antagonist-clients", type=int, default=16,
+                                help="concurrent antagonist clients (default 16)")
+    bench_fairness.add_argument("--victim-write-ratio", type=float, default=0.1,
+                                help="victim write fraction (default 0.1)")
+    bench_fairness.add_argument("--antagonist-write-ratio", type=float, default=0.3,
+                                help="antagonist write fraction (default 0.3)")
+    bench_fairness.add_argument("--victim-weight", type=float, default=2.0,
+                                help="victim admission weight (default 2.0)")
+    bench_fairness.add_argument("--antagonist-weight", type=float, default=1.0,
+                                help="antagonist admission weight (default 1.0)")
+    bench_fairness.add_argument("--antagonist-slice", type=int, default=1,
+                                help="antagonist max-in-flight slice; 0 disables"
+                                     " (default 1)")
+    bench_fairness.add_argument("--max-in-flight", type=int, default=4,
+                                help="shared admission capacity (default 4)")
+    bench_fairness.add_argument("--max-retained-versions", type=int, default=8,
+                                help="snapshot retention watermark (default 8)")
+    bench_fairness.add_argument("--seed", type=int, default=5,
+                                help="XMark generator seed (default 5)")
+    bench_fairness.add_argument("--workload-seed", type=int, default=17,
+                                help="mixed-workload generator seed (default 17)")
+    bench_fairness.add_argument("--site-parallelism", type=int, default=4)
+    bench_fairness.add_argument("--repeats", type=int, default=5,
+                                help="repeats of each timed phase; read latencies"
+                                     " are pooled (default 5)")
+    bench_fairness.add_argument("--output", default="BENCH_fairness.json",
+                                help="report path (default BENCH_fairness.json)")
 
     bench_update = commands.add_parser(
         "bench-update",
@@ -717,6 +768,38 @@ def _cmd_bench_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_fairness(args: argparse.Namespace) -> int:
+    from repro.bench.fairness_bench import (
+        render_summary,
+        run_fairness_benchmark,
+        write_benchmark_json,
+    )
+
+    report = run_fairness_benchmark(
+        total_bytes=args.total_bytes,
+        antagonist_bytes=args.antagonist_bytes,
+        victim_ops=args.victim_ops,
+        antagonist_ops=args.antagonist_ops,
+        victim_clients=args.victim_clients,
+        antagonist_clients=args.antagonist_clients,
+        victim_write_ratio=args.victim_write_ratio,
+        antagonist_write_ratio=args.antagonist_write_ratio,
+        victim_weight=args.victim_weight,
+        antagonist_weight=args.antagonist_weight,
+        antagonist_slice=args.antagonist_slice if args.antagonist_slice > 0 else None,
+        max_in_flight=args.max_in_flight,
+        max_retained_versions=args.max_retained_versions,
+        seed=args.seed,
+        workload_seed=args.workload_seed,
+        site_parallelism=args.site_parallelism,
+        repeats=args.repeats,
+    )
+    path = write_benchmark_json(report, args.output)
+    print(render_summary(report))
+    print(f"[written to {path}]")
+    return 0
+
+
 def _cmd_bench_update(args: argparse.Namespace) -> int:
     from repro.bench.update_bench import (
         render_summary,
@@ -798,6 +881,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_bench_tenancy(args)
     if args.command == "bench-chaos":
         return _cmd_bench_chaos(args)
+    if args.command == "bench-fairness":
+        return _cmd_bench_fairness(args)
     if args.command == "bench-update":
         return _cmd_bench_update(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

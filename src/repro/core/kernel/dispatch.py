@@ -176,17 +176,26 @@ def combined_pass(
     init_vector: Sequence[FormulaLike],
     is_root_fragment: bool,
     engine: Optional[str] = None,
+    flat=None,
 ) -> FragmentCombinedOutput:
-    """Combined pre/post-order pass over one fragment (PaX2 Stage 1)."""
+    """Combined pre/post-order pass over one fragment (PaX2 Stage 1).
+
+    ``flat`` overrides the fragmentation's cached encoding — the MVCC
+    snapshot path passes a pinned :class:`FlatFragment` so the scan reads a
+    frozen version while the live cache moves on.  Kernel engine only: the
+    reference engine walks the live object tree and cannot honour it.
+    """
     fragment = fragmentation[fragment_id]
     if _resolve(engine) == KERNEL:
         return evaluate_fragment_combined_flat(
             fragment,
-            fragmentation.flat(fragment_id),
+            flat if flat is not None else fragmentation.flat(fragment_id),
             plan,
             init_vector,
             is_root_fragment,
         )
+    if flat is not None:
+        raise ValueError("snapshot flats require the kernel engine")
     return evaluate_fragment_combined(fragment, plan, init_vector, is_root_fragment)
 
 
@@ -197,6 +206,7 @@ def combined_pass_batch(
     init_vectors: Sequence[Sequence[FormulaLike]],
     is_root_fragment: bool,
     engine: Optional[str] = None,
+    flat=None,
 ) -> list[FragmentCombinedOutput]:
     """Combined pass for a whole query wave over one fragment.
 
@@ -204,17 +214,20 @@ def combined_pass_batch(
     arrays (:func:`repro.core.kernel.batch.evaluate_fragment_combined_batch`);
     with the reference engine each plan runs its own object-tree pass, so the
     batch orchestrators stay engine-generic and the differential tests can
-    pin all three paths to identical outputs.
+    pin all three paths to identical outputs.  ``flat`` overrides the cached
+    encoding for MVCC snapshot reads (kernel engine only).
     """
     fragment = fragmentation[fragment_id]
     if _resolve(engine) == KERNEL:
         return evaluate_fragment_combined_batch(
             fragment,
-            fragmentation.flat(fragment_id),
+            flat if flat is not None else fragmentation.flat(fragment_id),
             plans,
             init_vectors,
             is_root_fragment,
         )
+    if flat is not None:
+        raise ValueError("snapshot flats require the kernel engine")
     return [
         evaluate_fragment_combined(fragment, plan, init_vector, is_root_fragment)
         for plan, init_vector in zip(plans, init_vectors)

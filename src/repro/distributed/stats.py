@@ -65,6 +65,9 @@ class RunStats:
     missing_sites: List[str] = field(default_factory=list)
     #: fragments whose evaluation the missing sites took with them
     missing_fragments: List[str] = field(default_factory=list)
+    #: document version this run was evaluated against (MVCC snapshot reads
+    #: pin it at admission; "" outside the service host)
+    evaluated_version: str = ""
 
     # -- derived quantities ----------------------------------------------------
 

@@ -143,6 +143,10 @@ class Fragmentation:
             self._flat_cache[fragment_id] = encoded
         return encoded
 
+    def flat_cached(self, fragment_id: str) -> bool:
+        """Whether *fragment_id*'s columnar encoding is currently built."""
+        return fragment_id in self._flat_cache
+
     def invalidate_flat(self) -> None:
         """Drop the flat encodings and the cached content fingerprint."""
         self._flat_cache.clear()

@@ -215,6 +215,46 @@ def render_prometheus(host: Any) -> str:
                   help_text="Cache hits, by document.")
         lines.add("repro_document_updates_total", totals.updates, labels=labels,
                   help_text="Mutations applied, by document.")
+        lines.add("repro_document_shed_total", getattr(totals, "shed", 0),
+                  labels=labels,
+                  help_text="Requests shed, by document.")
+        for stage, count in sorted(getattr(totals, "shed_by_stage", {}).items()):
+            lines.add("repro_document_shed_by_stage_total", count,
+                      labels={"document": name, "stage": stage},
+                      help_text="Requests shed, by document and shed stage.")
+        quantiles = getattr(metrics, "queue_wait_quantiles", None)
+        if quantiles is not None:
+            for quantile, value in sorted(quantiles(name).items()):
+                # "p95" -> the conventional "0.95" quantile label.
+                label = "0." + quantile.lstrip("p").rstrip("0") if quantile != "p50" else "0.5"
+                lines.add(
+                    "repro_document_queue_wait_quantile_seconds", value,
+                    labels={"document": name, "quantile": label},
+                    metric_type="gauge",
+                    help_text="Admission queue wait quantiles, by document.",
+                )
+
+    # -- snapshots ---------------------------------------------------------
+    for name, session in sorted((getattr(host, "sessions", {}) or {}).items()):
+        manager = getattr(session, "snapshots", None)
+        if manager is None:
+            continue
+        sstats = manager.stats
+        labels = {"document": name}
+        lines.add("repro_snapshot_pins_total", sstats.pins, labels=labels,
+                  help_text="Reads admitted against a pinned version snapshot.")
+        lines.add("repro_snapshot_reclaimed_total", sstats.snapshots_reclaimed,
+                  labels=labels,
+                  help_text="Version snapshots reclaimed after the last pin drained.")
+        lines.add("repro_snapshot_writer_stalls_total", sstats.writer_stalls,
+                  labels=labels,
+                  help_text="Writers stalled on the retained-version watermark.")
+        lines.add("repro_snapshot_retained", manager.retained, labels=labels,
+                  metric_type="gauge",
+                  help_text="Version snapshots currently retained.")
+        lines.add("repro_snapshot_peak_retained", sstats.peak_retained,
+                  labels=labels, metric_type="gauge",
+                  help_text="Peak retained version snapshots.")
 
     # -- result cache ------------------------------------------------------
     cache = getattr(host, "cache", None)

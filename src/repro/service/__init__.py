@@ -21,7 +21,8 @@ Components
 :class:`~repro.service.server.ServiceHost`
     The coordinator: routes ``submit(document, query)`` /
     ``apply_update(document, mutation)`` by document name while sharing one
-    :class:`~repro.service.actors.ActorPool`, one admission semaphore, one
+    :class:`~repro.service.actors.ActorPool`, one weighted-fair admission
+    scheduler (:class:`~repro.service.fairness.WeightedFairAdmission`), one
     LRU :class:`~repro.service.cache.QueryResultCache` (keys are
     document-namespaced — no cross-tenant hits) and one
     :class:`~repro.service.metrics.ServiceMetrics` aggregator (host totals
@@ -60,7 +61,9 @@ Quickstart (many documents, one shared scheduler)::
 """
 
 from repro.core.results import PartialAnswer
+from repro.fragments.snapshots import SnapshotManager, SnapshotPolicy
 from repro.service.actors import ActorPool, FragmentWaveBatcher, ReadWriteGate, SiteActor
+from repro.service.fairness import FairnessPolicy, WeightedFairAdmission
 from repro.service.cache import (
     CacheStats,
     DocumentCacheStats,
@@ -89,6 +92,7 @@ from repro.service.resilience import (
 from repro.service.server import (
     AdmissionError,
     DocumentSession,
+    OverloadShedError,
     ServiceConfig,
     ServiceEngine,
     ServiceHost,
@@ -128,9 +132,14 @@ __all__ = [
     "RetryPolicy",
     "AdmissionError",
     "DocumentSession",
+    "FairnessPolicy",
+    "OverloadShedError",
     "ServiceConfig",
     "ServiceEngine",
     "ServiceHost",
+    "SnapshotManager",
+    "SnapshotPolicy",
+    "WeightedFairAdmission",
     "DEFAULT_DOCUMENT",
     "DocumentEntry",
     "DocumentStore",

@@ -363,8 +363,14 @@ class FragmentWaveBatcher:
         plan,
         init_vector: Sequence,
         is_root_fragment: bool,
+        flat=None,
     ):
-        """The fragment's combined-pass output for *plan*, via a fused scan."""
+        """The fragment's combined-pass output for *plan*, via a fused scan.
+
+        ``flat`` pins the scan to a specific :class:`FlatFragment` (the MVCC
+        snapshot path); requests pinned to different encodings of the same
+        fragment never share a fused scan.
+        """
         loop = asyncio.get_running_loop()
         if self._loop_ref is None or self._loop_ref() is not loop:
             # The blocking facade runs every call in a fresh asyncio.run
@@ -375,7 +381,7 @@ class FragmentWaveBatcher:
         future = loop.create_future()
         queued_at = time.perf_counter()
         self._pending.setdefault(fragment_id, []).append(
-            (plan, tuple(init_vector), is_root_fragment, future, queued_at)
+            (plan, tuple(init_vector), is_root_fragment, future, queued_at, flat)
         )
         if self._flush_handle is None:
             if self.window > 0.0:
@@ -412,9 +418,12 @@ class FragmentWaveBatcher:
             # is_root_fragment is per fused call; callers derive it from the
             # fragment so a mixed group is essentially misuse, but partition
             # rather than silently evaluating someone with the wrong anchor.
-            flags = sorted({request[2] for request in requests})
-            for is_root in flags:
-                group = [request for request in requests if request[2] is is_root]
+            # Requests pinned to different snapshot encodings (or the live
+            # one) are likewise partitioned: versions never share a scan.
+            groups: Dict[tuple, List[tuple]] = {}
+            for request in requests:
+                groups.setdefault((request[2], id(request[5])), []).append(request)
+            for (is_root, _), group in sorted(groups.items()):
                 self._fused_scan(fragment_id, group, is_root, now)
 
     def _fused_scan(
@@ -441,6 +450,7 @@ class FragmentWaveBatcher:
                 [key[1] for key in slot_order],
                 is_root_fragment=is_root,
                 engine=self.engine,
+                flat=requests[0][5],
             )
         except BaseException as error:  # resolve waiters, don't hang them
             for request in requests:

@@ -97,6 +97,7 @@ async def evaluate_query_async(
     batcher: Optional[FragmentWaveBatcher] = None,
     injector: Optional[FaultInjector] = None,
     resilience: Optional[ResilienceContext] = None,
+    snapshot=None,
 ) -> RunStats:
     """Evaluate one query through the actor pool and return its RunStats.
 
@@ -109,14 +110,22 @@ async def evaluate_query_async(
     ``resilience`` adds the per-round retry/breaker/deadline machinery and
     graceful degradation to partial answers.  Without an injector and
     without resilience the behaviour is bit-identical to the plain path.
+    ``snapshot`` (PaX2 + kernel engine only) is a pinned
+    :class:`~repro.fragments.snapshots.VersionSnapshot`: every per-fragment
+    scan and the answer accounting read the snapshot's frozen flats instead
+    of the live encodings, so the evaluation is exact at the pinned version
+    regardless of concurrent writes.
     """
     with trace_span("network:setup", stage="compile"):
         network = Network(fragmentation, placement)
     if algorithm == "pax2":
-        # First query over a cold fragmentation pays the columnar-encoding
-        # build here; warm calls are a cheap no-op check.
-        with trace_span("kernel:prewarm", stage="kernel"):
-            prewarm_fragments(fragmentation, engine=engine)
+        if snapshot is None:
+            # First query over a cold fragmentation pays the columnar-encoding
+            # build here; warm calls are a cheap no-op check.  A snapshot read
+            # already captured its flats at pin time and must not rebuild
+            # from a tree a concurrent writer may be mutating.
+            with trace_span("kernel:prewarm", stage="kernel"):
+                prewarm_fragments(fragmentation, engine=engine)
         transport = AsyncTransport(
             network,
             latency,
@@ -134,7 +143,7 @@ async def evaluate_query_async(
             batcher = None
         return await _run_pax2_async(
             fragmentation, plan, network, transport, actors, use_annotations, engine,
-            batcher, resilience,
+            batcher, resilience, snapshot,
         )
     return await _run_sync_fallback(
         fragmentation, plan, network, actors, algorithm, use_annotations, latency, engine
@@ -272,6 +281,7 @@ async def _run_pax2_async(
     engine: Optional[str] = None,
     batcher: Optional[FragmentWaveBatcher] = None,
     resilience: Optional[ResilienceContext] = None,
+    snapshot=None,
 ) -> RunStats:
     """PaX2 with each per-site round scheduled as an actor task.
 
@@ -345,6 +355,10 @@ async def _run_pax2_async(
                             batcher.combined(
                                 fragment_id, plan, init_vector,
                                 is_root_fragment=(fragment_id == root_fragment_id),
+                                flat=(
+                                    snapshot.flat(fragment_id)
+                                    if snapshot is not None else None
+                                ),
                             )
                             for fragment_id, init_vector in zip(
                                 fragment_ids, init_vectors
@@ -364,6 +378,10 @@ async def _run_pax2_async(
                                 init_vector,
                                 is_root_fragment=(fragment_id == root_fragment_id),
                                 engine=engine,
+                                flat=(
+                                    snapshot.flat(fragment_id)
+                                    if snapshot is not None else None
+                                ),
                             )
                             for fragment_id, init_vector in zip(
                                 fragment_ids, init_vectors
@@ -454,9 +472,14 @@ async def _run_pax2_async(
         stats.stages.append(stage1)
         with trace_span("reassembly", stage="reassembly"):
             stats.answer_ids = sorted(answers)
-            stats.answer_nodes_shipped = answer_subtree_nodes(
-                fragmentation.tree, stats.answer_ids
-            )
+            if snapshot is not None:
+                stats.answer_nodes_shipped = snapshot.answer_subtree_nodes(
+                    stats.answer_ids
+                )
+            else:
+                stats.answer_nodes_shipped = answer_subtree_nodes(
+                    fragmentation.tree, stats.answer_ids
+                )
             network.collect_stats(stats)
             set_attributes(answers=len(stats.answer_ids), incomplete=True)
         return stats
@@ -592,9 +615,14 @@ async def _run_pax2_async(
     # ------------------------------------------------------------------ results
     with trace_span("reassembly", stage="reassembly"):
         stats.answer_ids = sorted(answers)
-        stats.answer_nodes_shipped = answer_subtree_nodes(
-            fragmentation.tree, stats.answer_ids
-        )
+        if snapshot is not None:
+            stats.answer_nodes_shipped = snapshot.answer_subtree_nodes(
+                stats.answer_ids
+            )
+        else:
+            stats.answer_nodes_shipped = answer_subtree_nodes(
+                fragmentation.tree, stats.answer_ids
+            )
         network.collect_stats(stats)
         set_attributes(answers=len(stats.answer_ids))
     return stats

@@ -195,10 +195,13 @@ class DocumentTotals:
     update_invalidations: int = 0
     #: requests answered with a partial (degraded) answer
     degraded: int = 0
-    #: requests shed before evaluation (deadline expired while queued)
+    #: requests shed before evaluation (deadline expired while queued,
+    #: or rejected by this document's overload budget)
     shed: int = 0
+    #: shed counts broken down by the stage that shed them
+    shed_by_stage: Dict[str, int] = field(default_factory=dict)
 
-    def to_dict(self) -> Dict[str, int]:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "requests": self.requests,
             "evaluated": self.evaluated,
@@ -210,6 +213,7 @@ class DocumentTotals:
             "update_invalidations": self.update_invalidations,
             "degraded": self.degraded,
             "shed": self.shed,
+            "shed_by_stage": dict(sorted(self.shed_by_stage.items())),
         }
 
 
@@ -248,6 +252,9 @@ class ServiceMetrics:
         self.shed_by_stage: Dict[str, int] = {}
         #: lifetime totals per document name
         self.documents: Dict[str, DocumentTotals] = {}
+        #: per-document admission queue waits (window-bounded), recorded by
+        #: the weighted-fair scheduler at every grant
+        self.queue_waits: Dict[str, List[float]] = {}
         self._started_at = time.perf_counter()
         self._last_finish: Optional[float] = None
 
@@ -310,8 +317,28 @@ class ServiceMetrics:
         not masquerade as a low latency in the percentiles."""
         self.total_shed += 1
         self.shed_by_stage[stage] = self.shed_by_stage.get(stage, 0) + 1
-        self.document(document).shed += 1
+        totals = self.document(document)
+        totals.shed += 1
+        totals.shed_by_stage[stage] = totals.shed_by_stage.get(stage, 0) + 1
         self._last_finish = time.perf_counter()
+
+    def record_queue_wait(self, document: str, seconds: float) -> None:
+        """Record one admission-queue wait for *document* (window-bounded)."""
+        waits = self.queue_waits.get(document)
+        if waits is None:
+            waits = self.queue_waits[document] = []
+        waits.append(seconds)
+        if len(waits) > self.window:
+            del waits[: len(waits) - self.window]
+
+    def queue_wait_quantiles(self, document: str) -> Dict[str, float]:
+        """Window-derived queue-wait quantiles for *document*."""
+        waits = self.queue_waits.get(document, [])
+        return {
+            "p50": round(percentile(waits, 0.50), 6),
+            "p95": round(percentile(waits, 0.95), 6),
+            "p99": round(percentile(waits, 0.99), 6),
+        }
 
     def record_update(
         self,
@@ -419,6 +446,7 @@ class ServiceMetrics:
                 "p50": round(percentile(latencies, 0.50), 6),
                 "p95": round(percentile(latencies, 0.95), 6),
             }
+            payload["queue_wait_seconds"] = self.queue_wait_quantiles(name)
             breakdown[name] = payload
         return breakdown
 
@@ -468,6 +496,14 @@ class ServiceMetrics:
             lines.append("per document     :")
             for name, payload in self.document_breakdown().items():
                 latency = payload["latency_seconds"]
+                queue_wait = payload["queue_wait_seconds"]
+                shed_suffix = ""
+                if payload["shed"]:
+                    by_stage = ", ".join(
+                        f"{count} at {stage}"
+                        for stage, count in payload["shed_by_stage"].items()
+                    )
+                    shed_suffix = f", {payload['shed']} shed ({by_stage})"
                 lines.append(
                     f"  {name}: {payload['requests']} requests"
                     f" ({payload['evaluated']} evaluated,"
@@ -475,7 +511,9 @@ class ServiceMetrics:
                     f" {payload['coalesced']} coalesced),"
                     f" {payload['updates']} updates,"
                     f" p50 {latency['p50'] * 1000:.2f} ms"
-                    f" p95 {latency['p95'] * 1000:.2f} ms"
+                    f" p95 {latency['p95'] * 1000:.2f} ms,"
+                    f" queue p95 {queue_wait['p95'] * 1000:.2f} ms"
+                    f"{shed_suffix}"
                 )
         return "\n".join(lines)
 

@@ -15,8 +15,12 @@ writes against that document's reads (and nothing else).
 A request routed by ``submit(document, query)`` passes three layers:
 
 1. **Admission control** — at most ``max_in_flight`` evaluations run at
-   once *across all documents*; further work queues, and (optionally)
-   everything beyond ``max_pending`` queued evaluations is rejected with
+   once *across all documents*, scheduled weighted-fair per document
+   (:class:`~repro.service.fairness.WeightedFairAdmission`: configurable
+   weights, per-tenant slices, deficit round-robin) so a flooding tenant
+   cannot starve the rest; a tenant over its own overload budget is shed
+   with :class:`OverloadShedError`, and (optionally) everything beyond
+   ``max_pending`` queued evaluations host-wide is rejected with
    :class:`AdmissionError` instead of waiting.
 2. **Single-flight coalescing** — identical queries (same document, same
    *normalized* form, algorithm and annotations setting) submitted while one
@@ -27,10 +31,13 @@ A request routed by ``submit(document, query)`` passes three layers:
    cross-tenant hits.
 
 Writes routed by ``apply_update(document, mutation)`` take that document's
-gate exclusively: readers of the same document drain first, readers and
-writers of *other* documents proceed untouched (per-document write
-exclusivity — concurrent writes to different documents never serialize
-against each other).
+gate exclusively — but snapshot-eligible readers (PaX2 on the kernel
+engine, the default) never hold that gate: they pin an MVCC version
+snapshot (:mod:`repro.fragments.snapshots`) at admission and keep scanning
+their pinned flat encodings while the write lands, so a write waits only
+for gate-mode readers.  Readers and writers of *other* documents proceed
+untouched (per-document write exclusivity — concurrent writes to different
+documents never serialize against each other).
 
 :class:`ServiceEngine` remains as the single-document facade: the exact
 pre-host API (``submit(query)``, ``apply_update(mutation)``, …) implemented
@@ -49,12 +56,13 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.common import QueryInput
-from repro.core.kernel.dispatch import ENGINES
+from repro.core.kernel.dispatch import ENGINES, KERNEL, fragment_engine
 from repro.core.results import PartialAnswer, QueryResult
 from repro.distributed.async_transport import LatencyModel
 from repro.distributed.faults import FaultInjector
 from repro.distributed.stats import RunStats
 from repro.fragments.fragment_tree import Fragmentation
+from repro.fragments.snapshots import SnapshotManager, SnapshotPolicy, VersionSnapshot
 from repro.obs.trace import (
     NEGLIGIBLE_WAIT_SECONDS,
     NULL_TRACER,
@@ -64,6 +72,7 @@ from repro.obs.trace import (
     span as trace_span,
 )
 from repro.service.actors import ActorPool, FragmentWaveBatcher, ReadWriteGate
+from repro.service.fairness import FairnessPolicy, WeightedFairAdmission
 from repro.service.cache import (
     QueryResultCache,
     update_dependencies,
@@ -94,6 +103,7 @@ from repro.xpath.plan import QueryPlan, compile_plan
 __all__ = [
     "AdmissionError",
     "DocumentSession",
+    "OverloadShedError",
     "ServiceConfig",
     "ServiceEngine",
     "ServiceHost",
@@ -105,6 +115,17 @@ SERVICE_ALGORITHMS = ("pax2", "pax3", "naive", "parbox")
 
 class AdmissionError(RuntimeError):
     """Raised when the service rejects a query because its queue is full."""
+
+
+class OverloadShedError(AdmissionError):
+    """One document's overload budget rejected the query (typed shed).
+
+    Unlike the host-global ``max_pending`` cliff (a plain
+    :class:`AdmissionError`), this rejection is scoped to the submitting
+    document: its queue depth or rolling queue-time p95 exceeded the
+    budgets in :class:`~repro.service.fairness.FairnessPolicy`.  Recorded
+    as a shed at stage ``overload`` — counted, never latency-sampled.
+    """
 
 
 @dataclass(frozen=True)
@@ -148,6 +169,15 @@ class ServiceConfig:
     #: fault injector shared by every evaluation's transport (chaos testing);
     #: setting one without a resilience policy turns the default policy on
     fault_injector: Optional[FaultInjector] = None
+    #: weighted-fair admission: per-document weights, ``max_in_flight``
+    #: slices and overload budgets (``FairnessPolicy(enabled=False)``
+    #: restores the flat FIFO semaphore order)
+    fairness: FairnessPolicy = field(default_factory=FairnessPolicy)
+    #: MVCC snapshot reads: eligible readers (PaX2 on the kernel engine)
+    #: pin a version snapshot instead of holding the read gate, so writes
+    #: never wait for reader drain (``SnapshotPolicy(enabled=False)``
+    #: restores gate-serialized reads)
+    snapshots: SnapshotPolicy = field(default_factory=SnapshotPolicy)
 
     def __post_init__(self) -> None:
         if self.algorithm not in SERVICE_ALGORITHMS:
@@ -187,6 +217,9 @@ class DocumentSession:
         self.version = version_tag(entry.fragmentation, entry.placement)
         #: write-vs-read exclusivity for THIS document only
         self.gate = ReadWriteGate()
+        #: MVCC registry of pinned version snapshots for THIS document —
+        #: snapshot-eligible readers pin here instead of taking the gate
+        self.snapshots = SnapshotManager(entry.fragmentation, config.snapshots)
         #: fused-scan batching window (None when batching is disabled)
         self.batcher: Optional[FragmentWaveBatcher] = (
             FragmentWaveBatcher(
@@ -278,7 +311,11 @@ class ServiceHost:
         if self.config.resilience is not None or self.config.fault_injector is not None:
             self.resilience = ResilienceState(self.config.resilience or ResiliencePolicy())
         self._inflight: Dict[Tuple, asyncio.Future] = {}
-        self._admission: Optional[asyncio.Semaphore] = None
+        #: deficit-round-robin admission over per-document queues (replaces
+        #: the old flat semaphore; self-rebinding across event loops)
+        self._admission = WeightedFairAdmission(
+            self.config.max_in_flight, self.config.fairness, metrics=self.metrics
+        )
         self._loop_id: Optional[int] = None
         self._pending_evaluations = 0
         for entry in self.store:
@@ -482,6 +519,7 @@ class ServiceHost:
                 stats, evaluated_version = await self._admit_and_evaluate(
                     session, plan, name, annotations, resilience
                 )
+                stats.evaluated_version = evaluated_version
                 set_stats(stats)
                 if not future.done():
                     future.set_result(stats)
@@ -499,13 +537,18 @@ class ServiceHost:
                 self.cache is not None
                 and not stats.incomplete
                 and self.sessions.get(session.name) is session
+                and session.version == evaluated_version
             ):
                 # Keyed under the version the evaluation saw (an update may
                 # have landed while this query waited for admission) —
                 # storing under the submission-time tag would strand a dead
                 # entry in the LRU.  The session check closes the drop race:
                 # a document dropped while this evaluation was in flight must
-                # not re-enter the shared LRU after its purge.
+                # not re-enter the shared LRU after its purge.  The version
+                # check closes the MVCC race the same way: a snapshot read
+                # overlapped by a write finished exact-at-its-version, but
+                # that version is already retired — storing it would strand
+                # an unservable entry.
                 with trace_span("cache:store", stage="cache"):
                     self.cache.put(
                         (session.name, normalized, name, annotations, evaluated_version),
@@ -529,6 +572,29 @@ class ServiceHost:
             resilience.stats.shed_requests += 1
         set_attributes(shed_at=stage)
 
+    def _snapshot_reads(self, algorithm: str) -> bool:
+        """Whether reads of *algorithm* run against pinned MVCC snapshots.
+
+        Only the PaX2 path on the columnar kernel engine evaluates purely
+        from :class:`~repro.xmltree.flat.FlatFragment` arrays; the reference
+        engine and the sync fallbacks walk the live object tree and must
+        keep gate-serialized reads.
+        """
+        if not self.config.snapshots.enabled or algorithm != "pax2":
+            return False
+        return (self.config.engine or fragment_engine()) == KERNEL
+
+    def _check_pending_budget(self) -> None:
+        limit = self.config.max_pending
+        if (
+            limit is not None
+            and self._pending_evaluations >= limit + self.config.max_in_flight
+        ):
+            raise AdmissionError(
+                f"service overloaded: {self._pending_evaluations} evaluations pending"
+                f" (max_in_flight={self.config.max_in_flight}, max_pending={limit})"
+            )
+
     async def _admit_and_evaluate(
         self,
         session: DocumentSession,
@@ -539,19 +605,141 @@ class ServiceHost:
     ) -> Tuple[RunStats, str]:
         """Layer 1 (admission control) around the actual evaluation.
 
-        The session's gate is taken shared *outside* the admission permit:
-        writers never hold permits, so a reader parked at the gate (its
-        document mid-write) is not hoarding evaluation capacity other
-        documents could use.  The pending/overload accounting happens
-        *inside* the gate for the same reason — readers parked behind one
-        tenant's writer must not eat the shared ``max_pending`` budget and
-        trip :class:`AdmissionError` for healthy tenants with idle capacity.
-        While the gate is held shared no writer can touch this document, so
-        the version tag read inside it is the one the evaluation actually
-        sees — the tag the result must be cached under, not the tag from
-        submission time.
+        Two shed checks run before anything is queued: a request whose
+        deadline is already dead is shed at stage ``submit`` without
+        touching the gate or the admission queue, and a request whose
+        document has blown its overload budget (queue depth or rolling
+        queue-time p95 — see :class:`~repro.service.fairness.FairnessPolicy`)
+        is rejected with :class:`OverloadShedError` at stage ``overload`` —
+        that tenant's excess is shed, nobody else's.
+
+        Snapshot-eligible reads (:meth:`_snapshot_reads`) then pin the
+        current version's flat encodings and evaluate without the gate, so
+        a concurrent writer never waits for them nor they for it.  All
+        other reads keep the PR 5 discipline: gate taken shared outside the
+        admission slot, pending/overload accounting inside the gate so
+        readers parked behind one tenant's writer don't eat the shared
+        ``max_pending`` budget.
         """
         has_deadline = resilience is not None and resilience.deadline is not None
+        if has_deadline and resilience.deadline_expired():
+            # Dead on arrival: shed before the gate or any queue sees it.
+            self._record_shed(session.name, "submit", resilience)
+            raise DeadlineExceededError(
+                f"deadline expired at submission for {session.name!r}",
+                stage="queued",
+            )
+        admission = self._bound_admission()
+        reason = admission.overload_reason(session.name)
+        if reason is not None:
+            self._record_shed(session.name, "overload", resilience)
+            raise OverloadShedError(f"document {session.name!r} overloaded: {reason}")
+        if self._snapshot_reads(algorithm):
+            return await self._evaluate_snapshot(
+                session, plan, algorithm, use_annotations, resilience,
+                admission, has_deadline,
+            )
+        return await self._evaluate_gated(
+            session, plan, algorithm, use_annotations, resilience,
+            admission, has_deadline,
+        )
+
+    async def _evaluate_snapshot(
+        self,
+        session: DocumentSession,
+        plan: QueryPlan,
+        algorithm: str,
+        use_annotations: bool,
+        resilience: Optional[ResilienceContext],
+        admission: WeightedFairAdmission,
+        has_deadline: bool,
+    ) -> Tuple[RunStats, str]:
+        """MVCC read path: fair admission, pin a snapshot, never the gate.
+
+        The pin happens synchronously right after the admission grant —
+        between reading ``session.version`` and capturing the flats there is
+        no await, so under the cooperative loop the snapshot is consistent
+        by construction.  A writer landing during the evaluation installs
+        new fragment epochs while this read keeps scanning its pinned
+        encodings; the result is exact at the pinned version and the cache
+        store in ``_submit`` checks currency before keeping it.
+        """
+        self._check_pending_budget()
+        self._pending_evaluations += 1
+        try:
+            queued_at = time.perf_counter()
+            try:
+                await admission.acquire(
+                    session.name,
+                    timeout=resilience.deadline_remaining() if has_deadline else None,
+                )
+            except asyncio.TimeoutError:
+                self._record_shed(session.name, "admission", resilience)
+                raise DeadlineExceededError(
+                    f"deadline expired while queued (admission) for {session.name!r}",
+                    stage="queued",
+                ) from None
+            try:
+                admitted_at = time.perf_counter()
+                if admitted_at - queued_at >= NEGLIGIBLE_WAIT_SECONDS:
+                    add_span("fair_queue", "queue", queued_at, admitted_at)
+                if has_deadline and resilience.deadline_expired():
+                    # Granted a slot, but the budget died in the queue:
+                    # still a shed, not an evaluation.
+                    self._record_shed(session.name, "admission", resilience)
+                    raise DeadlineExceededError(
+                        f"deadline expired between admission grant and evaluation"
+                        f" for {session.name!r}",
+                        stage="queued",
+                    )
+                # Rebuild any write-invalidated encodings with yields
+                # between fragments so the synchronous pin below doesn't
+                # stall co-tenant readers behind this document's post-write
+                # rebuild chain (best-effort; the pin stays torn-free).
+                with trace_span("snapshot:prewarm", stage="kernel"):
+                    await session.snapshots.prewarm()
+                pin_started = time.perf_counter()
+                snapshot = session.snapshots.pin(session.version)
+                pin_ended = time.perf_counter()
+                if pin_ended - pin_started >= NEGLIGIBLE_WAIT_SECONDS:
+                    add_span(
+                        "snapshot_pin", "queue", pin_started, pin_ended,
+                        version=snapshot.version,
+                    )
+                try:
+                    with trace_span("evaluate", stage="queue", algorithm=algorithm):
+                        stats = await self._evaluate(
+                            session, plan, algorithm, use_annotations, resilience,
+                            snapshot,
+                        )
+                    return stats, snapshot.version
+                finally:
+                    session.snapshots.release(snapshot)
+            finally:
+                admission.release(session.name)
+        finally:
+            self._pending_evaluations -= 1
+
+    async def _evaluate_gated(
+        self,
+        session: DocumentSession,
+        plan: QueryPlan,
+        algorithm: str,
+        use_annotations: bool,
+        resilience: Optional[ResilienceContext],
+        admission: WeightedFairAdmission,
+        has_deadline: bool,
+    ) -> Tuple[RunStats, str]:
+        """Gate-serialized read path (reference engine, sync fallbacks, or
+        snapshots disabled).
+
+        The session's gate is taken shared *outside* the admission slot:
+        writers never hold slots, so a reader parked at the gate (its
+        document mid-write) is not hoarding evaluation capacity other
+        documents could use.  While the gate is held shared no writer can
+        touch this document, so the version tag read inside it is the one
+        the evaluation actually sees.
+        """
         shed_stage = "gate"
         gate_queued_at = time.perf_counter()
         try:
@@ -563,53 +751,44 @@ class ServiceHost:
                 gate_acquired_at = time.perf_counter()
                 if gate_acquired_at - gate_queued_at >= NEGLIGIBLE_WAIT_SECONDS:
                     add_span("gate:read", "queue", gate_queued_at, gate_acquired_at)
-                limit = self.config.max_pending
-                if (
-                    limit is not None
-                    and self._pending_evaluations >= limit + self.config.max_in_flight
-                ):
-                    raise AdmissionError(
-                        f"service overloaded: {self._pending_evaluations} evaluations pending"
-                        f" (max_in_flight={self.config.max_in_flight}, max_pending={limit})"
-                    )
+                self._check_pending_budget()
                 self._pending_evaluations += 1
                 try:
                     evaluated_version = session.version
                     admission_queued_at = time.perf_counter()
-                    semaphore = self._bound_admission()
-                    if has_deadline:
-                        # Bounded wait in the admission queue: an expiring
-                        # budget sheds the request (releasing its pending
-                        # slot via the finally below) instead of letting it
-                        # stampede an already-loaded host.
-                        await asyncio.wait_for(
-                            semaphore.acquire(), resilience.deadline_remaining()
-                        )
-                    else:
-                        await semaphore.acquire()
+                    # Bounded wait in the admission queue when a deadline is
+                    # set: an expiring budget sheds the request (releasing
+                    # its pending slot via the finally below) instead of
+                    # letting it stampede an already-loaded host.
+                    await admission.acquire(
+                        session.name,
+                        timeout=(
+                            resilience.deadline_remaining() if has_deadline else None
+                        ),
+                    )
                     try:
                         admitted_at = time.perf_counter()
                         if admitted_at - admission_queued_at >= NEGLIGIBLE_WAIT_SECONDS:
-                            add_span("admission", "queue", admission_queued_at, admitted_at)
+                            add_span(
+                                "fair_queue", "queue", admission_queued_at, admitted_at
+                            )
+                        if has_deadline and resilience.deadline_expired():
+                            self._record_shed(session.name, "admission", resilience)
+                            raise DeadlineExceededError(
+                                f"deadline expired between admission grant and"
+                                f" evaluation for {session.name!r}",
+                                stage="queued",
+                            )
                         # Staged "queue" as a low-precedence filler: instants no
                         # kernel/wire/... child covers are event-loop waits.
                         with trace_span("evaluate", stage="queue", algorithm=algorithm):
-                            stats = await evaluate_query_async(
-                                session.fragmentation,
-                                session.placement,
-                                plan,
-                                self.actors,
-                                algorithm=algorithm,
-                                use_annotations=use_annotations,
-                                latency=self.config.latency,
-                                engine=self.config.engine,
-                                batcher=session.batcher,
-                                injector=self.config.fault_injector,
-                                resilience=resilience,
+                            stats = await self._evaluate(
+                                session, plan, algorithm, use_annotations, resilience,
+                                None,
                             )
                         return stats, evaluated_version
                     finally:
-                        semaphore.release()
+                        admission.release(session.name)
                 finally:
                     self._pending_evaluations -= 1
         except asyncio.TimeoutError:
@@ -621,24 +800,46 @@ class ServiceHost:
                 stage="queued",
             ) from None
 
+    async def _evaluate(
+        self,
+        session: DocumentSession,
+        plan: QueryPlan,
+        algorithm: str,
+        use_annotations: bool,
+        resilience: Optional[ResilienceContext],
+        snapshot: Optional[VersionSnapshot],
+    ) -> RunStats:
+        return await evaluate_query_async(
+            session.fragmentation,
+            session.placement,
+            plan,
+            self.actors,
+            algorithm=algorithm,
+            use_annotations=use_annotations,
+            latency=self.config.latency,
+            engine=self.config.engine,
+            batcher=session.batcher,
+            injector=self.config.fault_injector,
+            resilience=resilience,
+            snapshot=snapshot,
+        )
+
     def _bind_loop(self) -> None:
         """Rebuild loop-bound state when the running event loop changes.
 
         The blocking facade runs each call in a fresh ``asyncio.run`` loop;
-        semaphores and futures bound to a finished loop must not leak into
-        the next one.  Must run before any in-flight future is registered.
-        (The per-session gates and the actors rebuild themselves the same
-        way on first use in a new loop.)
+        futures bound to a finished loop must not leak into the next one.
+        Must run before any in-flight future is registered.  (The per-session
+        gates, snapshot managers, the admission scheduler and the actors
+        rebuild themselves the same way on first use in a new loop.)
         """
         loop_id = id(asyncio.get_running_loop())
         if self._loop_id != loop_id:
-            self._admission = asyncio.Semaphore(self.config.max_in_flight)
             self._loop_id = loop_id
             self._inflight.clear()
 
-    def _bound_admission(self) -> asyncio.Semaphore:
+    def _bound_admission(self) -> WeightedFairAdmission:
         self._bind_loop()
-        assert self._admission is not None
         return self._admission
 
     async def run_many(
@@ -713,6 +914,17 @@ class ServiceHost:
                 gate_acquired_at = time.perf_counter()
                 if gate_acquired_at - gate_queued_at >= NEGLIGIBLE_WAIT_SECONDS:
                     add_span("gate:write", "queue", gate_queued_at, gate_acquired_at)
+                # MVCC watermark: installing a new version turns every live
+                # snapshot into retained history; wait for a reclaim while
+                # the bound is reached.  Snapshot readers never take the
+                # gate, so they keep draining while we hold it.
+                stall_started = time.perf_counter()
+                await session.snapshots.wait_for_capacity()
+                stall_ended = time.perf_counter()
+                if stall_ended - stall_started >= NEGLIGIBLE_WAIT_SECONDS:
+                    add_span(
+                        "snapshot:watermark", "queue", stall_started, stall_ended
+                    )
                 apply_started = time.perf_counter()
                 with trace_span("update:apply", stage="kernel"):
                     result = apply_mutation(session.fragmentation, mutation)
@@ -846,8 +1058,19 @@ class ServiceHost:
             )
         lines.append(
             f"admission        : max_in_flight={self.config.max_in_flight},"
-            f" max_pending={self.config.max_pending} (shared)"
+            f" max_pending={self.config.max_pending}"
+            f" (shared, {'weighted-fair' if self.config.fairness.enabled else 'fifo'})"
         )
+        for name in document_names:
+            stats = self.sessions[name].snapshots.stats
+            if stats.pins:
+                lines.append(
+                    f"  {name} snapshots: {stats.pins} pins,"
+                    f" {stats.snapshots_created} created,"
+                    f" {stats.snapshots_reclaimed} reclaimed,"
+                    f" peak retained {stats.peak_retained},"
+                    f" {stats.writer_stalls} writer stalls"
+                )
         lines.append(self.metrics.summary())
         if self.resilience is not None:
             lines.append(self.resilience.stats.summary())

@@ -75,6 +75,7 @@ class FlatFragment:
         "n_elements",
         "_tables",
         "_batch_tables",
+        "_id_index",
     )
 
     def __init__(
@@ -121,6 +122,9 @@ class FlatFragment:
         #: evict the hot single-query tables
         #: (see repro.core.kernel.batch.batch_plan_tables)
         self._batch_tables: Dict[tuple, object] = {}
+        #: node_id -> flat index, built lazily on first index_of() — only
+        #: the MVCC snapshot accounting needs it, per-query scans never do
+        self._id_index: Optional[Dict[NodeId, int]] = None
 
     # -- structure helpers --------------------------------------------------
 
@@ -145,6 +149,15 @@ class FlatFragment:
         lo = bisect.bisect_left(indices, start)
         hi = bisect.bisect_left(indices, end)
         return indices[lo:hi]
+
+    def index_of(self, node_id: NodeId) -> Optional[int]:
+        """Flat index of *node_id* within this span, ``None`` if absent."""
+        index = self._id_index
+        if index is None:
+            index = self._id_index = {
+                nid: position for position, nid in enumerate(self.node_ids)
+            }
+        return index.get(node_id)
 
     def preorder_node_ids(self) -> List[NodeId]:
         """The span's node ids in document order (for round-trip checks)."""

@@ -176,6 +176,51 @@ class TestGateCancellation:
 
         run(scenario())
 
+    def test_writer_not_starved_by_steady_reader_stream(self):
+        """Writer-priority regression: a queued writer must be granted ahead
+        of every reader that arrives after it, no matter how many — a steady
+        read stream can otherwise keep ``readers_active`` nonzero forever
+        and the write never lands."""
+
+        async def scenario():
+            gate = ReadWriteGate()
+            release = asyncio.Event()
+            order = []
+
+            async def holding_reader():
+                async with gate.read_locked():
+                    await release.wait()
+
+            async def writer():
+                async with gate.write_locked():
+                    order.append("writer")
+
+            async def churn_reader(index):
+                async with gate.read_locked():
+                    order.append(("reader", index))
+
+            holders = [asyncio.create_task(holding_reader()) for _ in range(3)]
+            await step()
+            assert gate.readers_active == 3
+            writer_task = asyncio.create_task(writer())
+            await step()
+            assert gate.writers_waiting == 1
+            churn = [asyncio.create_task(churn_reader(i)) for i in range(20)]
+            await step()
+            # Every late reader queues behind the waiting writer instead of
+            # piling onto the active-reader count.
+            assert gate.readers_waiting == 20
+            assert gate.readers_active == 3
+            release.set()
+            await asyncio.wait_for(
+                asyncio.gather(writer_task, *churn, *holders), 5.0
+            )
+            assert order[0] == "writer"
+            assert len(order) == 21
+            await assert_gate_clean(gate)
+
+        run(scenario())
+
     @pytest.mark.parametrize("victim", [0, 1, 2, 3])
     def test_cancel_at_every_await_point(self, victim):
         """Brute force: cancel one participant after k loop steps, for every

@@ -5,6 +5,7 @@ import asyncio
 import pytest
 
 from repro.core.engine import DistributedQueryEngine
+from repro.fragments.snapshots import SnapshotPolicy
 from repro.service.server import AdmissionError, ServiceEngine, ServiceHost
 from repro.service.store import (
     DEFAULT_DOCUMENT,
@@ -37,6 +38,21 @@ def twin_host():
     """A host serving two *identical* clientele documents — the worst case
     for cross-tenant cache bleed (same content, same version tag text)."""
     host = ServiceHost(max_in_flight=8)
+    host.register("alpha", clientele_fragmentation())
+    host.register("beta", clientele_fragmentation())
+    return host
+
+
+@pytest.fixture()
+def gated_twin_host():
+    """Twin host with MVCC snapshots off: reads hold the per-session gate.
+
+    The gate-exclusivity tests below verify the *gate-mode* contract that
+    remains behind ``SnapshotPolicy(enabled=False)`` (and that non-kernel
+    engines always use); with snapshots on, eligible readers never park at
+    a writer's gate in the first place.
+    """
+    host = ServiceHost(max_in_flight=8, snapshots=SnapshotPolicy(enabled=False))
     host.register("alpha", clientele_fragmentation())
     host.register("beta", clientele_fragmentation())
     return host
@@ -220,10 +236,10 @@ class TestDropDocument:
 
 
 class TestPerDocumentWriteExclusivity:
-    def test_writers_on_different_documents_do_not_serialize(self, twin_host):
+    def test_writers_on_different_documents_do_not_serialize(self, gated_twin_host):
         # Regression for the PR 4 design: one writer used to drain the
         # host-global admission semaphore, so ANY write froze every tenant.
-        host = twin_host
+        host = gated_twin_host
         target_beta = first_text_in(host.session("beta").fragmentation)
 
         async def scenario():
@@ -272,10 +288,10 @@ class TestPerDocumentWriteExclusivity:
         assert host.metrics.document("alpha").updates == 4
         assert host.metrics.document("beta").updates == 4
 
-    def test_write_still_excludes_readers_of_its_own_document(self, twin_host):
+    def test_write_still_excludes_readers_of_its_own_document(self, gated_twin_host):
         # The per-session gate must not have weakened single-document
         # exclusivity: while alpha's write gate is held, alpha's reads wait.
-        host = twin_host
+        host = gated_twin_host
 
         async def scenario():
             gate = host.session("alpha").gate
@@ -293,7 +309,12 @@ class TestSharedScheduler:
         # Regression: readers parked behind one tenant's writer used to
         # count toward the shared max_pending budget, tripping
         # AdmissionError for healthy tenants with idle capacity.
-        host = ServiceHost(max_in_flight=2, max_pending=0, coalesce=False)
+        host = ServiceHost(
+            max_in_flight=2,
+            max_pending=0,
+            coalesce=False,
+            snapshots=SnapshotPolicy(enabled=False),  # gate-mode accounting
+        )
         host.register("alpha", clientele_fragmentation())
         host.register("beta", clientele_fragmentation())
 

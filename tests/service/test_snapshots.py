@@ -1,0 +1,232 @@
+"""MVCC snapshot reads: pinning, reclamation, the watermark, and the host.
+
+Manager-level tests drive :class:`SnapshotManager` directly; host-level
+tests check the PR's headline contract — a write never waits for reader
+drain (a pinned long-running reader stalls nothing), a read pinned before
+a write stays exact at its pinned version, and retained history is bounded
+by the watermark with writer back-pressure, not unbounded growth.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.kernel.dispatch import KERNEL, fragment_engine
+from repro.fragments.snapshots import SnapshotManager, SnapshotPolicy
+from repro.service.server import ServiceHost
+from repro.updates import EditText
+from repro.workloads.queries import (
+    clientele_example_tree,
+    clientele_paper_fragmentation,
+)
+
+kernel_only = pytest.mark.skipif(
+    fragment_engine() != KERNEL,
+    reason="snapshot reads only run on the columnar kernel engine",
+)
+
+
+def clientele_fragmentation():
+    return clientele_paper_fragmentation(clientele_example_tree())
+
+
+def first_text_in(fragmentation):
+    fragment_id = fragmentation.fragment_ids()[0]
+    return next(
+        node for node in fragmentation[fragment_id].iter_span() if node.is_text
+    )
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def step(count=1):
+    for _ in range(count):
+        await asyncio.sleep(0)
+
+
+class TestSnapshotPolicy:
+    def test_watermark_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SnapshotPolicy(max_retained_versions=0)
+
+
+class TestSnapshotManager:
+    def test_pin_release_reclaims_refcounted(self):
+        async def scenario():
+            manager = SnapshotManager(clientele_fragmentation(), SnapshotPolicy())
+            first = manager.pin("v1")
+            second = manager.pin("v1")
+            assert first is second  # readers of one version share a snapshot
+            assert first.pins == 2 and manager.retained == 1
+            manager.release(first)
+            assert manager.retained == 1  # still pinned once
+            manager.release(second)
+            assert manager.retained == 0
+            stats = manager.stats
+            assert stats.pins == 2
+            assert stats.snapshots_created == 1
+            assert stats.snapshots_reclaimed == 1
+            assert stats.peak_retained == 1
+
+        run(scenario())
+
+    def test_pinned_flats_survive_epoch_bump(self):
+        async def scenario():
+            fragmentation = clientele_fragmentation()
+            manager = SnapshotManager(fragmentation, SnapshotPolicy())
+            snapshot = manager.pin("v1")
+            fragment_id = fragmentation.fragment_ids()[0]
+            old_flat = snapshot.flat(fragment_id)
+            fragmentation.bump_epoch(fragment_id)
+            # The live side rebuilds a fresh encoding; the pinned snapshot
+            # keeps the superseded one alive untouched.
+            assert fragmentation.flat(fragment_id) is not old_flat
+            assert snapshot.flat(fragment_id) is old_flat
+
+        run(scenario())
+
+    def test_prewarm_rebuilds_invalidated_encodings(self):
+        async def scenario():
+            fragmentation = clientele_fragmentation()
+            manager = SnapshotManager(fragmentation, SnapshotPolicy())
+            for fragment_id in fragmentation.fragment_ids():
+                fragmentation.flat(fragment_id)
+            victim = fragmentation.fragment_ids()[0]
+            fragmentation.bump_epoch(victim)
+            assert not fragmentation.flat_cached(victim)
+            await manager.prewarm()
+            assert all(
+                fragmentation.flat_cached(fragment_id)
+                for fragment_id in fragmentation.fragment_ids()
+            )
+
+        run(scenario())
+
+    def test_watermark_blocks_writer_until_reclaim(self):
+        async def scenario():
+            manager = SnapshotManager(
+                clientele_fragmentation(), SnapshotPolicy(max_retained_versions=1)
+            )
+            snapshot = manager.pin("v1")
+            writer = asyncio.create_task(manager.wait_for_capacity())
+            await step(2)
+            assert not writer.done()
+            assert manager.stats.writer_stalls == 1
+            manager.release(snapshot)
+            await asyncio.wait_for(writer, 1.0)
+
+        run(scenario())
+
+    def test_writer_passes_when_under_watermark(self):
+        async def scenario():
+            manager = SnapshotManager(
+                clientele_fragmentation(), SnapshotPolicy(max_retained_versions=2)
+            )
+            snapshot = manager.pin("v1")
+            await asyncio.wait_for(manager.wait_for_capacity(), 1.0)
+            assert manager.stats.writer_stalls == 0
+            manager.release(snapshot)
+
+        run(scenario())
+
+
+@kernel_only
+class TestHostSnapshotReads:
+    def host(self, **overrides):
+        host = ServiceHost(
+            max_in_flight=4, cache_capacity=0, coalesce=False, **overrides
+        )
+        host.register("alpha", clientele_fragmentation())
+        return host
+
+    def test_write_never_waits_for_a_pinned_reader(self):
+        # The PR 5 gate made every write drain its document's readers.
+        # With MVCC snapshots a long-running reader (simulated by a held
+        # pin) stalls nothing: the write completes immediately, rolls the
+        # version, and the pin keeps the superseded encodings alive.
+        host = self.host()
+
+        async def scenario():
+            session = host.session("alpha")
+            pre = session.version
+            pinned = session.snapshots.pin(pre)
+            target = first_text_in(session.fragmentation)
+            await asyncio.wait_for(
+                host.apply_update("alpha", EditText(target.node_id, "rolled")),
+                timeout=2.0,
+            )
+            assert session.version != pre
+            assert pinned.version == pre  # history retained for the reader
+            assert session.snapshots.retained == 1
+            # New readers see the new version, not the pinned history.
+            result = await host.submit("alpha", "client/name")
+            assert result.stats.evaluated_version == session.version
+            session.snapshots.release(pinned)
+            assert session.snapshots.retained == 0
+
+        run(scenario())
+
+    def test_read_pinned_before_write_stays_at_its_version(self):
+        host = self.host()
+
+        async def scenario():
+            session = host.session("alpha")
+            pre = session.version
+            read = asyncio.create_task(host.submit("alpha", "client/name"))
+            for _ in range(200):
+                if session.snapshots.stats.pins >= 1:
+                    break
+                await step()
+            assert session.snapshots.stats.pins >= 1
+            target = first_text_in(session.fragmentation)
+            await host.apply_update("alpha", EditText(target.node_id, "mid-read"))
+            result = await asyncio.wait_for(read, 5.0)
+            # The overlapped read is exact at the version it pinned.
+            assert result.stats.evaluated_version == pre
+            assert session.version != pre
+            assert result.answer_ids
+
+        run(scenario())
+
+    def test_watermark_backpressure_reaches_the_write_path(self):
+        host = self.host(snapshots=SnapshotPolicy(max_retained_versions=1))
+
+        async def scenario():
+            session = host.session("alpha")
+            pinned = session.snapshots.pin(session.version)
+            target = first_text_in(session.fragmentation)
+            write = asyncio.create_task(
+                host.apply_update("alpha", EditText(target.node_id, "held"))
+            )
+            await step(4)
+            assert not write.done()  # watermark reached: writer waits
+            assert session.snapshots.stats.writer_stalls >= 1
+            session.snapshots.release(pinned)
+            await asyncio.wait_for(write, 2.0)
+
+        run(scenario())
+
+    def test_snapshot_counters_reach_the_host_reader_path(self):
+        host = self.host()
+
+        async def scenario():
+            await host.submit("alpha", "client/name")
+            await host.submit("alpha", "client/name")
+
+        run(scenario())
+        stats = host.session("alpha").snapshots.stats
+        assert stats.pins == 2
+        assert stats.snapshots_reclaimed >= 1
+        assert host.session("alpha").snapshots.retained == 0
+
+    def test_gated_mode_never_pins(self):
+        host = self.host(snapshots=SnapshotPolicy(enabled=False))
+
+        async def scenario():
+            result = await host.submit("alpha", "client/name")
+            assert result.answer_ids
+
+        run(scenario())
+        assert host.session("alpha").snapshots.stats.pins == 0
