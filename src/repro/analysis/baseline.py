@@ -1,0 +1,87 @@
+"""Baseline files: adopt pre-existing findings without blessing new ones.
+
+A baseline is a JSON file listing findings that existed when it was
+written; ``repro lint --baseline FILE`` marks matching findings as
+``baselined`` so they do not fail the gate, while any *new* finding still
+does.  Matching is by ``(rule, path, fingerprint)`` — the fingerprint
+hashes the normalized flagged line, not its number, so a baseline entry
+survives edits elsewhere in the file (see
+:func:`repro.analysis.findings.fingerprint`).
+
+The project's own ``src/`` tree carries **no** baseline: every finding
+there is either fixed or suppressed inline with a justification.  The
+baseline mechanism exists for adopting the gate onto trees you do not
+control yet (vendored code, a branch mid-migration).
+
+Schema::
+
+    {"version": 1,
+     "entries": [{"rule": "...", "path": "...", "fingerprint": "...",
+                  "line": 123}, ...]}
+
+``line`` is informational (where the finding was when baselined); it is
+not used for matching.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "load_baseline", "save_baseline"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """The set of adopted findings, keyed by ``(rule, path, fingerprint)``."""
+
+    def __init__(self, keys: Iterable[Tuple[str, str, str]] = ()) -> None:
+        self._keys: Set[Tuple[str, str, str]] = set(keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def contains(self, finding: Finding) -> bool:
+        return (finding.rule, finding.path, finding.fingerprint) in self._keys
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(
+            (finding.rule, finding.path, finding.fingerprint)
+            for finding in findings
+        )
+
+
+def load_baseline(path: str) -> Baseline:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"baseline {path!r} has version {payload.get('version')!r},"
+            f" expected {_VERSION}"
+        )
+    return Baseline(
+        (entry["rule"], entry["path"], entry["fingerprint"])
+        for entry in payload.get("entries", [])
+    )
+
+
+def save_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write every unsuppressed finding as a baseline entry; returns the count."""
+    entries: List[dict] = [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "fingerprint": finding.fingerprint,
+            "line": finding.line,
+        }
+        for finding in sorted(findings)
+        if not finding.suppressed
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"version": _VERSION, "entries": entries}, handle, indent=2)
+        handle.write("\n")
+    return len(entries)

@@ -1,0 +1,79 @@
+"""Findings: what a checker reports, and how findings are identified.
+
+A :class:`Finding` is one violation of one rule at one source location.
+Findings sort by ``(path, line, col, rule)`` so reports are stable across
+runs and across checker registration order — the CI gate diffs reports, so
+nondeterministic ordering would read as churn.
+
+The :func:`fingerprint` of a finding is a stable digest of the rule id, the
+file path and the *normalized* flagged line (whitespace collapsed, so a
+re-indent does not invalidate it) — deliberately **not** the line number, so
+a baseline entry survives unrelated edits above the finding.  The same
+blake2b-over-stable-text approach the fragment version tags use
+(:func:`repro.service.cache.version_tag`): never builtin ``hash``, which
+varies per process under PYTHONHASHSEED.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict
+
+__all__ = ["Finding", "fingerprint"]
+
+
+def fingerprint(rule: str, path: str, snippet: str) -> str:
+    """Stable identity of a finding, independent of its line number."""
+    normalized = " ".join(snippet.split())
+    digest = hashlib.blake2b(
+        f"{rule}\x00{path}\x00{normalized}".encode("utf-8"), digest_size=8
+    )
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Field order defines the sort order of a report: by file, then line,
+    then column, then rule id — stable regardless of which checker ran
+    first.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str = field(compare=False)
+    hint: str = field(compare=False, default="")
+    snippet: str = field(compare=False, default="")
+    suppressed: bool = field(compare=False, default=False)
+    baselined: bool = field(compare=False, default=False)
+
+    @property
+    def fingerprint(self) -> str:
+        return fingerprint(self.rule, self.path, self.snippet or str(self.line))
+
+    @property
+    def counts_against_gate(self) -> bool:
+        """Does this finding fail ``repro lint`` (exit 1)?"""
+        return not (self.suppressed or self.baselined)
+
+    def with_marks(self, *, suppressed: bool = False, baselined: bool = False) -> "Finding":
+        return replace(self, suppressed=suppressed, baselined=baselined)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """One entry of the ``--json`` report (schema documented in README)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "snippet": self.snippet,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "fingerprint": self.fingerprint,
+        }

@@ -1,0 +1,74 @@
+"""The rule registry: every checker ``repro lint`` knows about.
+
+A rule is a class with a stable ``id`` (the suppression token), a one-line
+``summary`` for ``--list-rules`` and the report header, a ``hint`` telling
+the author how to fix the finding, and a ``check(module)`` generator
+yielding :class:`~repro.analysis.findings.Finding`.  The class docstring
+documents the invariant with a real in-repo example — it is what
+``repro lint --list-rules`` prints, so keep it true.
+
+Rules register themselves at import time via :func:`register`; the rule
+modules are imported by :mod:`repro.analysis.rules`, so importing
+:mod:`repro.analysis` is enough to populate the registry.  ``all_rules``
+returns them sorted by id — the registry is a dict keyed by id, so
+registration order never leaks into report order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Type
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+
+__all__ = ["Rule", "all_rules", "get_rule", "register"]
+
+
+class Rule:
+    """Base class of every checker (see module docstring for the contract)."""
+
+    #: stable identifier: the suppression token and the JSON ``rule`` field
+    id: str = ""
+    #: one-line invariant statement for listings and report headers
+    summary: str = ""
+    #: how to fix a finding of this rule (attached to every finding)
+    hint: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    @classmethod
+    def doc(cls) -> str:
+        """The rule's full documentation (its class docstring)."""
+        return (cls.__doc__ or "").strip()
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one instance of *rule_class* to the registry."""
+    if not rule_class.id:
+        raise ValueError(f"{rule_class.__name__} has no rule id")
+    if rule_class.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_class.id!r}")
+    _REGISTRY[rule_class.id] = rule_class()
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by id (stable report order)."""
+    _ensure_loaded()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_loaded()
+    return _REGISTRY[rule_id]
+
+
+def _ensure_loaded() -> None:
+    # Import the rule modules lazily so `registry` itself stays importable
+    # from them without a cycle.
+    if not _REGISTRY:
+        import repro.analysis.rules  # noqa: F401  (imports register the rules)

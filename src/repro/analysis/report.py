@@ -1,0 +1,98 @@
+"""Report objects and the text/JSON renderers of ``repro lint``.
+
+Findings render sorted by ``(path, line, col, rule)``; rule listings sort
+by id.  The JSON schema (version 1, documented in README under "Static
+analysis") is::
+
+    {"version": 1,
+     "analyzer": "repro-lint",
+     "files_analyzed": 42,
+     "rules": [{"id": "...", "summary": "..."}, ...],
+     "findings": [Finding.to_dict(), ...],
+     "counts": {"total": n, "unsuppressed": n, "suppressed": n,
+                "baselined": n}}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import all_rules
+
+__all__ = ["Report", "render_json", "render_text"]
+
+JSON_VERSION = 1
+
+
+@dataclass
+class Report:
+    """The outcome of one ``repro lint`` run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_analyzed: int = 0
+
+    def __post_init__(self) -> None:
+        self.findings.sort()
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.counts_against_gate]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when the gate passes, 1 when unsuppressed findings remain."""
+        return 1 if self.unsuppressed else 0
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "total": len(self.findings),
+            "unsuppressed": len(self.unsuppressed),
+            "suppressed": sum(1 for f in self.findings if f.suppressed),
+            "baselined": sum(1 for f in self.findings if f.baselined),
+        }
+
+
+def render_text(report: Report, *, verbose_suppressed: bool = False) -> str:
+    """Human-readable report: one ``path:line:col: RULE message`` per finding."""
+    out: List[str] = []
+    for finding in report.findings:
+        if not finding.counts_against_gate and not verbose_suppressed:
+            continue
+        mark = ""
+        if finding.suppressed:
+            mark = " (suppressed)"
+        elif finding.baselined:
+            mark = " (baselined)"
+        out.append(
+            f"{finding.path}:{finding.line}:{finding.col}:"
+            f" {finding.rule}{mark} {finding.message}"
+        )
+        if finding.snippet:
+            out.append(f"    {finding.snippet}")
+        if finding.hint and finding.counts_against_gate:
+            out.append(f"    fix: {finding.hint}")
+    counts = report.counts()
+    summary = (
+        f"{counts['unsuppressed']} finding(s)"
+        f" ({counts['suppressed']} suppressed, {counts['baselined']} baselined)"
+        f" in {report.files_analyzed} file(s)"
+    )
+    if out:
+        out.append("")
+    out.append(summary)
+    return "\n".join(out)
+
+
+def render_json(report: Report) -> str:
+    payload: Dict[str, Any] = {
+        "version": JSON_VERSION,
+        "analyzer": "repro-lint",
+        "files_analyzed": report.files_analyzed,
+        "rules": [{"id": rule.id, "summary": rule.summary} for rule in all_rules()],
+        "findings": [finding.to_dict() for finding in report.findings],
+        "counts": report.counts(),
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,121 @@
+"""loop-affinity: asyncio primitives must be built under the loop that uses them.
+
+``asyncio`` locks, semaphores, events, queues and futures bind to an event
+loop.  The blocking facade of this codebase runs *each* call under a fresh
+``asyncio.run`` loop, so a primitive constructed at import time, in a class
+body, or in ``__init__`` is bound to whatever loop existed first (or none)
+— and the next call either deadlocks on a dead loop's semaphore or raises
+"attached to a different loop" from deep inside a request.
+
+The codebase's loop-rebinding pattern (``service/actors.py``
+``SiteActor._bound_semaphore``) builds the primitive lazily, keyed on the
+*running* loop, and rebuilds it when the loop changes::
+
+    def _bound_semaphore(self) -> asyncio.Semaphore:
+        loop_id = id(asyncio.get_running_loop())
+        if self._semaphore is None or self._loop_id != loop_id:
+            self._semaphore = asyncio.Semaphore(self.parallelism)
+            self._loop_id = loop_id
+            self.in_flight = 0
+        return self._semaphore
+
+This rule flags ``asyncio.<Primitive>(...)`` constructions at module or
+class level, and in sync functions that never consult the running loop.
+Construction inside an ``async def`` is always fine (a coroutine only runs
+under the loop it will use the primitive on); a sync function that calls
+``asyncio.get_running_loop``/``get_event_loop`` is treated as a rebinding
+helper and exempted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.context import ModuleContext, dotted, walk_skipping_functions
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+#: the loop-bound asyncio constructors
+PRIMITIVES = frozenset(
+    {
+        "Lock",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Event",
+        "Condition",
+        "Queue",
+        "LifoQueue",
+        "PriorityQueue",
+        "Barrier",
+        "Future",
+    }
+)
+
+_LOOP_GETTERS = frozenset({"asyncio.get_running_loop", "asyncio.get_event_loop"})
+
+
+def _primitive_call(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in PRIMITIVES
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "asyncio"
+    ):
+        return f"asyncio.{node.func.attr}"
+    return None
+
+
+def _consults_running_loop(function: ast.AST) -> bool:
+    for node in walk_skipping_functions(function):
+        if isinstance(node, ast.Call) and dotted(node.func) in _LOOP_GETTERS:
+            return True
+    return False
+
+
+@register
+class LoopAffinityRule(Rule):
+    __doc__ = __doc__
+
+    id = "loop-affinity"
+    summary = (
+        "asyncio primitive constructed at import/class/__init__ time instead"
+        " of under the running loop"
+    )
+    hint = (
+        "store None in __init__ and build the primitive in a rebinding helper"
+        " keyed on id(asyncio.get_running_loop()), or construct it inside the"
+        " coroutine that uses it"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        yield from self._scan(module, module.tree, scope="module scope")
+
+    def _scan(self, module: ModuleContext, node: ast.AST, scope: str) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.AsyncFunctionDef):
+                continue  # built under the loop that will use it
+            if isinstance(child, ast.FunctionDef):
+                if not _consults_running_loop(child):
+                    yield from self._scan(
+                        module, child, scope=f"sync function {child.name!r}"
+                    )
+                continue
+            if isinstance(child, ast.Lambda):
+                continue
+            if isinstance(child, ast.ClassDef):
+                yield from self._scan(
+                    module, child, scope=f"class body of {child.name!r}"
+                )
+                continue
+            primitive = _primitive_call(child)
+            if primitive is not None:
+                yield module.finding(
+                    self,
+                    child,
+                    f"{primitive} constructed in {scope}: the primitive binds"
+                    f" to whatever loop exists now, not the one that will"
+                    f" await it",
+                )
+            yield from self._scan(module, child, scope)

@@ -1,0 +1,141 @@
+"""shed-discipline: sheds are typed, staged, and never latency samples.
+
+PR 8's overload contract: a request the host refuses (overload budget
+blown, deadline dead in the queue) is *shed* — it raises a typed error
+(:class:`~repro.service.server.OverloadShedError`,
+:class:`~repro.service.resilience.DeadlineExceededError`), it is counted
+per document and per stage via ``record_shed``, and it must **never**
+produce a latency sample: a flood of instant rejections would otherwise
+drag the victim tenant's p95 *down* and hide the overload it measures.
+
+In-repo example (``service/server.py`` ``_admit_and_evaluate``)::
+
+    reason = admission.overload_reason(session.name)
+    if reason is not None:
+        self._record_shed(session.name, "overload", resilience)
+        raise OverloadShedError(f"document {session.name!r} overloaded: {reason}")
+
+This rule flags:
+
+* a ``raise`` of a shed-typed error (class name ending in ``ShedError``,
+  or ``DeadlineExceededError``) whose immediately preceding sibling
+  statement is not a ``record_shed`` call — the shed would be invisible to
+  the per-stage metrics (re-raises of a caught shed error, bare ``raise``,
+  and ``raise ... from error`` inside an except handler that *caught* the
+  shed type are exempt: the original raise site already recorded it);
+* a latency-recording call (``.record(...)``/``.record_latency(...)``)
+  inside an ``except`` handler that catches a shed-typed error — a shed
+  path recording a sample.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.context import (
+    ModuleContext,
+    call_method,
+    function_bodies,
+    iter_functions,
+    walk_skipping_functions,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+_LATENCY_RECORDERS = frozenset({"record", "record_latency"})
+
+
+def _is_shed_type_name(name: str) -> bool:
+    return name.endswith("ShedError") or name == "DeadlineExceededError"
+
+
+def _shed_error_name(node: Optional[ast.expr]) -> Optional[str]:
+    """The shed-typed class a raise/handler expression names, if any."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute) and _is_shed_type_name(node.attr):
+        return node.attr
+    if isinstance(node, ast.Name) and _is_shed_type_name(node.id):
+        return node.id
+    return None
+
+
+def _handler_catches_shed(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return False
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    return any(_shed_error_name(node) is not None for node in types)
+
+
+def _records_shed(stmt: ast.stmt) -> bool:
+    for node in walk_skipping_functions(stmt):
+        if isinstance(node, ast.Call):
+            method = call_method(node)
+            if method is not None and "record_shed" in method:
+                return True
+    return False
+
+
+@register
+class ShedDisciplineRule(Rule):
+    __doc__ = __doc__
+
+    id = "shed-discipline"
+    summary = (
+        "shed error raised without a record_shed stage label, or a latency"
+        " sample recorded on a shed path"
+    )
+    hint = (
+        "call metrics.record_shed(document, stage) immediately before raising"
+        " the typed shed error; never call .record() while handling one"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for function, _ in iter_functions(module.tree):
+            for body in function_bodies(function):
+                yield from self._scan_raises(module, body)
+            yield from self._scan_handlers(module, function)
+
+    def _scan_raises(
+        self, module: ModuleContext, body: List[ast.stmt]
+    ) -> Iterator[Finding]:
+        for index, stmt in enumerate(body):
+            if not isinstance(stmt, ast.Raise):
+                continue
+            # A fresh construction is a shed site; `raise error` re-raising a
+            # caught shed error is accounted where it was first raised.
+            if not isinstance(stmt.exc, ast.Call):
+                continue
+            name = _shed_error_name(stmt.exc)
+            if name is None:
+                continue
+            if index > 0 and _records_shed(body[index - 1]):
+                continue
+            yield module.finding(
+                self,
+                stmt,
+                f"{name} raised without a preceding record_shed(document,"
+                f" stage) — this shed is invisible to the per-stage shed"
+                f" metrics",
+            )
+
+    def _scan_handlers(
+        self, module: ModuleContext, function: ast.AST
+    ) -> Iterator[Finding]:
+        for node in walk_skipping_functions(function):
+            if not isinstance(node, ast.ExceptHandler) or not _handler_catches_shed(node):
+                continue
+            for inner in node.body:
+                for call in walk_skipping_functions(inner):
+                    if (
+                        isinstance(call, ast.Call)
+                        and call_method(call) in _LATENCY_RECORDERS
+                    ):
+                        yield module.finding(
+                            self,
+                            call,
+                            "latency sample recorded while handling a shed"
+                            " error — sheds are explicit fast-fails, never"
+                            " latency samples",
+                        )

@@ -1,0 +1,151 @@
+"""span-discipline: spans are context-managed and stay inside the taxonomy.
+
+PR 6's latency attribution reconciles each request's stage breakdown to
+its wall clock *by construction* — but only if (a) every span is closed
+exactly once (the ``with`` protocol guarantees it even on exceptions; a
+span opened by hand and leaked stays open forever and silently vanishes
+from the breakdown) and (b) staged spans stick to the known stage
+taxonomy: the precedence sweep ranks unknown stages after every known one
+and dashboards key on stable stage names, so a typo'd stage silently
+starts a new latency category instead of failing loudly.
+
+The taxonomy is :data:`repro.obs.trace.STAGES` — ``queue``, ``cache``,
+``compile``, ``window``, ``kernel``, ``wire``, ``reassembly`` — plus
+``retry`` (the PR 7 backoff spans).  ``dispatch`` is *reserved*: it is the
+synthetic fill stage the breakdown charges uncovered instants to, and no
+instrumented span may ever carry it (it would double-charge the fill).
+
+In-repo example (``service/server.py``)::
+
+    with trace_span("cache:lookup", stage="cache"):
+        cached = self.cache.get(key)
+
+and the shapes this rule flags::
+
+    probe = trace_span("cache:lookup", stage="cache")   # never closed
+    with trace_span("respond", stage="respond"):        # not a stage
+    add_span("fill", "dispatch", started, ended)        # reserved stage
+
+Checked calls: ``span(...)``/``trace_span(...)`` (must be a ``with`` item;
+stage must be in the taxonomy), ``add_span(...)`` (already-measured spans
+— stage checked, no ``with`` required), and ``<...>tracer.request(...)``
+(must be a ``with`` item).  Stages passed as variables are not checked
+(the dynamic case is the exporter's job); ``event(..., stage=...)`` passes
+``stage`` as a span *attribute*, not a latency stage, and is ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.context import ModuleContext, dotted
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+try:  # the live taxonomy, so the rule cannot drift from the tracer
+    from repro.obs.trace import FILL_STAGE as _FILL_STAGE
+    from repro.obs.trace import STAGES as _STAGES
+except Exception:  # pragma: no cover - analysis usable without the service
+    _STAGES = ("queue", "cache", "compile", "window", "kernel", "wire", "reassembly")
+    _FILL_STAGE = "dispatch"
+
+#: stages instrumentation may use: the tracer's taxonomy + the retry stage
+ALLOWED_STAGES: Set[str] = set(_STAGES) | {"retry"}
+
+#: the synthetic fill stage no instrumented span may carry
+RESERVED_STAGE = _FILL_STAGE
+
+_SPAN_OPENERS = frozenset({"span", "trace_span"})
+
+
+def _span_opener(call: ast.Call) -> Optional[str]:
+    """'span' for span/trace_span calls, 'request' for tracer.request."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in _SPAN_OPENERS:
+        return "span"
+    if isinstance(func, ast.Attribute) and func.attr == "request":
+        receiver = dotted(func.value)
+        if receiver is not None and receiver.split(".")[-1].endswith("tracer"):
+            return "request"
+    return None
+
+
+def _stage_argument(call: ast.Call, positional_index: int) -> Optional[ast.expr]:
+    for keyword in call.keywords:
+        if keyword.arg == "stage":
+            return keyword.value
+    if len(call.args) > positional_index:
+        return call.args[positional_index]
+    return None
+
+
+@register
+class SpanDisciplineRule(Rule):
+    __doc__ = __doc__
+
+    id = "span-discipline"
+    summary = (
+        "tracer span opened outside a with-statement, or staged outside the"
+        " queue/cache/compile/window/kernel/wire/reassembly/retry taxonomy"
+    )
+    hint = (
+        "open spans with `with trace_span(...)`; pick the stage from"
+        " repro.obs.trace.STAGES (+ 'retry'); 'dispatch' is the reserved"
+        " synthetic fill stage"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        with_items = {
+            id(item.context_expr)
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.With, ast.AsyncWith))
+            for item in node.items
+        }
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            opener = _span_opener(node)
+            if opener is not None and id(node) not in with_items:
+                what = "tracer.request(...)" if opener == "request" else "span"
+                yield module.finding(
+                    self,
+                    node,
+                    f"{what} opened outside a with-statement — an exception"
+                    f" (or early return) leaves the span open and its time"
+                    f" vanishes from the request's breakdown",
+                )
+            if opener == "span":
+                yield from self._check_stage(module, node, positional_index=1)
+            elif _is_add_span(node):
+                yield from self._check_stage(module, node, positional_index=1)
+
+    def _check_stage(
+        self, module: ModuleContext, call: ast.Call, positional_index: int
+    ) -> Iterator[Finding]:
+        stage = _stage_argument(call, positional_index)
+        if not isinstance(stage, ast.Constant) or stage.value is None:
+            return  # unstaged or dynamic: nothing to check statically
+        value = stage.value
+        if value == RESERVED_STAGE:
+            yield module.finding(
+                self,
+                stage,
+                f"stage {value!r} is the reserved synthetic fill stage — the"
+                f" breakdown charges uncovered instants to it; an"
+                f" instrumented span carrying it double-charges the fill",
+            )
+        elif value not in ALLOWED_STAGES:
+            yield module.finding(
+                self,
+                stage,
+                f"stage {value!r} is outside the taxonomy"
+                f" ({', '.join(sorted(ALLOWED_STAGES))}) — it would rank"
+                f" after every known stage in the precedence sweep and start"
+                f" a new dashboard category silently",
+            )
+
+
+def _is_add_span(call: ast.Call) -> bool:
+    func = call.func
+    return isinstance(func, ast.Name) and func.id == "add_span"

@@ -1,0 +1,106 @@
+"""The driver: file discovery, per-file analysis, suppression and baseline.
+
+``run(paths)`` walks the targets in sorted order, parses each ``.py`` file,
+runs every registered rule over it, applies in-source suppressions and the
+optional baseline, and returns a :class:`~repro.analysis.report.Report`.
+
+Failure taxonomy (the CLI's exit-code contract):
+
+* a target file that does not parse yields a ``parse-error`` pseudo-rule
+  finding — broken source *fails the gate* (exit 1), it does not crash it;
+* any other exception propagates out of :func:`run` — the CLI reports it
+  as an analyzer crash (exit 2), distinct from "findings exist" so CI can
+  tell a red gate from a broken linter.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, Iterator, List, Optional
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import all_rules
+from repro.analysis.report import Report
+from repro.analysis.suppress import is_suppressed
+
+__all__ = ["PARSE_ERROR_RULE", "analyze_file", "analyze_source", "iter_python_files", "run"]
+
+#: pseudo-rule id for targets that fail to parse (suppressible like any other)
+PARSE_ERROR_RULE = "parse-error"
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Every ``.py`` file under *paths*, each exactly once, sorted."""
+    seen = set()
+    for target in sorted(paths):
+        if os.path.isfile(target):
+            candidates: List[str] = [target]
+        else:
+            candidates = []
+            for root, dirs, files in os.walk(target):
+                dirs.sort()
+                dirs[:] = [d for d in dirs if d != "__pycache__"]
+                candidates.extend(
+                    os.path.join(root, name)
+                    for name in sorted(files)
+                    if name.endswith(".py")
+                )
+        for path in candidates:
+            normalized = os.path.normpath(path)
+            if normalized not in seen:
+                seen.add(normalized)
+                yield normalized
+
+
+def analyze_source(source: str, path: str) -> List[Finding]:
+    """All findings for one source blob (the unit tests' entry point)."""
+    lines = source.splitlines()
+    try:
+        module = ModuleContext.parse(source, path)
+    except SyntaxError as error:
+        lineno = error.lineno or 1
+        finding = Finding(
+            path=path,
+            line=lineno,
+            col=(error.offset or 1) - 1,
+            rule=PARSE_ERROR_RULE,
+            message=f"file does not parse: {error.msg}",
+            hint="fix the syntax error; the analyzer cannot vouch for this file",
+            snippet=(lines[lineno - 1].strip() if 0 < lineno <= len(lines) else ""),
+        )
+        if is_suppressed(lines, finding.line, PARSE_ERROR_RULE):
+            finding = finding.with_marks(suppressed=True)
+        return [finding]
+    findings: List[Finding] = []
+    for rule in all_rules():
+        for finding in rule.check(module):
+            if is_suppressed(lines, finding.line, finding.rule):
+                finding = finding.with_marks(suppressed=True)
+            findings.append(finding)
+    return sorted(findings)
+
+
+def analyze_file(path: str) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return analyze_source(source, path)
+
+
+def run(paths: Iterable[str], baseline: Optional[Baseline] = None) -> Report:
+    """Analyze every python file under *paths*; apply *baseline* if given."""
+    findings: List[Finding] = []
+    files_analyzed = 0
+    for path in iter_python_files(paths):
+        files_analyzed += 1
+        for finding in analyze_file(path):
+            if (
+                baseline is not None
+                and not finding.suppressed
+                and baseline.contains(finding)
+            ):
+                finding = finding.with_marks(baselined=True)
+            findings.append(finding)
+    return Report(findings=findings, files_analyzed=files_analyzed)

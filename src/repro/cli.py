@@ -100,6 +100,7 @@ from __future__ import annotations
 import argparse
 import re
 import sys
+import traceback
 from typing import Optional, Sequence
 
 from repro.core.engine import ALGORITHMS, DistributedQueryEngine
@@ -395,6 +396,28 @@ def build_parser() -> argparse.ArgumentParser:
                                 " across all of them (default 4)")
     bench_obs.add_argument("--output", default="BENCH_obs.json",
                            help="report path (default BENCH_obs.json)")
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the AST-based concurrency & invariant checkers",
+        description="Static analysis over the service stack: permit leaks,"
+                    " blocking calls in coroutines, loop-affinity bugs,"
+                    " unbalanced counter staging, unlabeled sheds, and"
+                    " off-taxonomy tracer spans.  Exit 0 = clean, 1 ="
+                    " unsuppressed findings, 2 = analyzer crash.",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to analyze (default: src)")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the machine-readable report (schema in README)")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="adopt findings recorded in FILE instead of failing on them")
+    lint.add_argument("--update-baseline", metavar="FILE",
+                      help="write current unsuppressed findings to FILE and exit 0")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print every rule's id, summary and full documentation")
+    lint.add_argument("--verbose", action="store_true",
+                      help="also show suppressed and baselined findings in text output")
 
     return parser
 
@@ -855,6 +878,40 @@ def _cmd_bench_obs(args: argparse.Namespace, from_shell: bool = False) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """`repro lint`: exit 0 clean, 1 on findings, 2 on analyzer crash."""
+    from repro import analysis
+
+    try:
+        if args.list_rules:
+            for rule in analysis.all_rules():
+                print(f"{rule.id}: {rule.summary}")
+                doc = type(rule).doc()
+                if doc:
+                    print()
+                    for line in doc.splitlines():
+                        print(f"    {line}" if line else "")
+                    print()
+            return 0
+        baseline = None
+        if args.baseline:
+            baseline = analysis.load_baseline(args.baseline)
+        report = analysis.run(args.paths, baseline=baseline)
+        if args.update_baseline:
+            count = analysis.save_baseline(args.update_baseline, report.findings)
+            print(f"baseline {args.update_baseline}: {count} entr{'y' if count == 1 else 'ies'} written")
+            return 0
+        if args.as_json:
+            print(analysis.render_json(report))
+        else:
+            print(analysis.render_text(report, verbose_suppressed=args.verbose))
+        return report.exit_code
+    except Exception:  # noqa: BLE001 - crash (exit 2) is distinct from findings (exit 1)
+        traceback.print_exc(file=sys.stderr)
+        print("repro lint: analyzer crashed (exit 2)", file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     parser = build_parser()
@@ -885,6 +942,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_bench_fairness(args)
     if args.command == "bench-update":
         return _cmd_bench_update(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2
 

@@ -1,0 +1,34 @@
+"""False positives: async waiting, sync helpers, executor offload."""
+
+import asyncio
+
+
+async def replay(delay):
+    await asyncio.sleep(delay)
+
+
+def sync_helper(path):
+    # A sync function may block: it cannot await, and it may run in an
+    # executor.  Only coroutines are held to the no-blocking invariant.
+    with open(path) as handle:
+        return handle.read()
+
+
+async def offloaded(path):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, sync_helper, path)
+
+
+async def nested_sync_helper_is_exempt(path):
+    def read_it():
+        with open(path) as handle:
+            return handle.read()
+
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, read_it)
+
+
+async def guarded_future_result(future):
+    if future.done():
+        return future.result()  # repro: allow[blocking-in-async] done() checked above
+    return await future

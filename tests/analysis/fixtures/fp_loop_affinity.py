@@ -1,0 +1,30 @@
+"""False positives: the rebinding helper and in-coroutine construction."""
+
+import asyncio
+from typing import Optional
+
+
+class Pool:
+    def __init__(self, parallelism: int) -> None:
+        self.parallelism = parallelism
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._loop_id: Optional[int] = None
+
+    def _bound_semaphore(self) -> asyncio.Semaphore:
+        # The codebase's rebinding pattern: lazily built, keyed on the
+        # running loop, rebuilt whenever the loop changes.
+        loop_id = id(asyncio.get_running_loop())
+        if self._semaphore is None or self._loop_id != loop_id:
+            self._semaphore = asyncio.Semaphore(self.parallelism)
+            self._loop_id = loop_id
+        return self._semaphore
+
+
+async def fan_out(jobs, width):
+    gate = asyncio.Semaphore(width)  # built under the loop that awaits it
+
+    async def one(job):
+        async with gate:
+            return await job()
+
+    return [await one(job) for job in jobs]

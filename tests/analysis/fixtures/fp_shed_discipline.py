@@ -1,0 +1,27 @@
+"""False positives: recorded sheds, re-raises, and shed counters."""
+
+
+async def refuse(metrics, session):
+    metrics.record_shed(session.name, "overload")
+    raise OverloadShedError("overloaded")
+
+
+async def deadline(metrics, session, budget):
+    if budget <= 0.0:
+        metrics.record_shed(session.name, "queue")
+        raise DeadlineExceededError("deadline dead on arrival", stage="queue")
+
+
+async def reraise_is_already_accounted(work):
+    try:
+        return await work()
+    except DeadlineExceededError as error:
+        raise error
+
+
+async def shed_counter_is_not_a_latency_sample(metrics, work):
+    try:
+        return await work()
+    except OverloadShedError:
+        metrics.record_shed("doc", "downstream")
+        raise

@@ -1,0 +1,19 @@
+"""False positives: context-managed spans, taxonomy stages, events."""
+
+
+def well_staged(tracer, started, ended, pick_stage):
+    with tracer.request("req-1"):
+        with trace_span("cache:lookup", stage="cache"):
+            pass
+        with span("kernel:fused", stage="kernel"):
+            pass
+    add_span("retry:backoff", "retry", started, ended)
+    # event() passes stage as a span *attribute*, not a latency stage.
+    event("degrade:site", site="s1", stage="combined")
+    # Dynamic stages are the exporter's problem, not the linter's.
+    add_span("kernel:fused", pick_stage(), started, ended)
+
+
+async def async_request(tracer, body):
+    with tracer.request("req-2"):
+        return await body()

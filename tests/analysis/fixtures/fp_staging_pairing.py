@@ -1,0 +1,29 @@
+"""False positive: the exactly-once staging protocol, done right."""
+
+
+async def resilient_round(site, attempt, buffer):
+    snapshot = site.snapshot_counters()
+    try:
+        result = await attempt(buffer)
+    except TransportError:
+        site.restore_counters(snapshot)
+        raise
+    except BaseException:
+        # Cancellation or an unexpected error: this attempt's accounting
+        # must not outlive it.
+        site.restore_counters(snapshot)
+        raise
+    return result
+
+
+async def finally_restore_then_commit(site, attempt, ledger):
+    snapshot = site.snapshot_counters()
+    committed = False
+    try:
+        result = await attempt()
+        ledger.commit(site)
+        committed = True
+    finally:
+        if not committed:
+            site.restore_counters(snapshot)
+    return result

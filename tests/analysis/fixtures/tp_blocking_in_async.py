@@ -1,0 +1,16 @@
+"""True positive: synchronous blocking calls inside ``async def``."""
+
+import time
+
+
+async def replay(delay):
+    time.sleep(delay)  # the whole event loop sleeps, not this request
+
+
+async def read_config(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+async def wait_for(future):
+    return future.result()

@@ -1,0 +1,12 @@
+"""True positive: asyncio primitives built before any loop is running."""
+
+import asyncio
+
+GATE = asyncio.Semaphore(4)  # bound at import time — to no loop at all
+
+
+class Pool:
+    lock = asyncio.Lock()  # bound at class-definition time
+
+    def __init__(self):
+        self.queue = asyncio.Queue()  # bound to whatever loop exists now

@@ -1,0 +1,8 @@
+"""True positive: permit crosses an await with no try/finally release."""
+
+
+async def leaky(gate, peer):
+    permit = await gate.acquire("doc")
+    await peer.ping()  # cancellation landing here leaks the permit
+    gate.release("doc")
+    return permit

@@ -1,0 +1,19 @@
+"""True positives: unlabeled sheds and latency samples on shed paths."""
+
+
+async def refuse(session):
+    raise OverloadShedError("overloaded")  # invisible to per-stage shed metrics
+
+
+async def deadline(budget):
+    if budget <= 0.0:
+        raise DeadlineExceededError("deadline dead on arrival", stage="queue")
+
+
+async def sampled_shed(metrics, work, clock):
+    started = clock()
+    try:
+        return await work()
+    except OverloadShedError:
+        metrics.record(clock() - started)  # a shed is not a latency sample
+        raise

@@ -1,0 +1,15 @@
+"""True positives: leaked spans and off-taxonomy stages."""
+
+
+def leaked_request(tracer):
+    probe = tracer.request("warmup")  # never closed on an exception path
+    return probe
+
+
+def off_taxonomy():
+    with trace_span("respond", stage="respond"):
+        pass
+
+
+def reserved_fill_stage(started, ended):
+    add_span("fill", "dispatch", started, ended)

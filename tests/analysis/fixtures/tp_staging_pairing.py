@@ -1,0 +1,24 @@
+"""True positives: counter staging without a restore on every path."""
+
+
+async def unguarded(site, attempt):
+    snapshot = site.snapshot_counters()
+    result = await attempt()  # a failure here commits the partial counters
+    site.maybe_restore(snapshot)
+    return result
+
+
+async def handler_skips_restore(site, attempt):
+    snapshot = site.snapshot_counters()
+    try:
+        return await attempt()
+    except TransportError:
+        return None  # keeps the failed attempt's counters
+    except BaseException:
+        site.restore_counters(snapshot)
+        raise
+
+
+async def discarded(site, attempt):
+    site.snapshot_counters()
+    return await attempt()

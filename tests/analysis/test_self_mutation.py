@@ -1,0 +1,113 @@
+"""Mutation self-test: re-introduce each fixed bug, prove its rule catches it.
+
+Each case takes a real source file from ``src/repro/service/``, applies a
+textual mutation that recreates a bug class this repo actually fixed
+(permit leaks across awaits, skipped counter restores, silent sheds, stage
+typos, dead loop-rebinding, blocking sleeps), and asserts the matching rule
+fires on the mutant while staying quiet on the pristine file.  If a rule
+rots to the point of missing its own motivating bug, this fails before the
+CI gate goes blind.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import analyze_source, run
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+UNGUARDED_READ_LOCK = """\
+        await self.acquire_read(timeout)
+        yield
+        self._release_read()
+"""
+
+GUARDED_READ_LOCK = """\
+        await self.acquire_read(timeout)
+        try:
+            yield
+        finally:
+            # Synchronous: a cancellation arriving here cannot interrupt it.
+            self._release_read()
+"""
+
+MUTATIONS = [
+    pytest.param(
+        "repro/service/actors.py",
+        GUARDED_READ_LOCK,
+        UNGUARDED_READ_LOCK,
+        "permit-leak",
+        id="permit-leak:read_locked-loses-its-finally",
+    ),
+    pytest.param(
+        "repro/service/server.py",
+        "admission.release(session.name)",
+        "pass",
+        "permit-leak",
+        id="permit-leak:fairness-admission-handback-deleted",
+    ),
+    pytest.param(
+        "repro/service/evaluator.py",
+        "site.restore_counters(snapshot)",
+        "pass",
+        "staging-pairing",
+        id="staging-pairing:handler-skips-the-restore",
+    ),
+    pytest.param(
+        "repro/service/server.py",
+        'self._record_shed(session.name, "overload", resilience)',
+        "pass",
+        "shed-discipline",
+        id="shed-discipline:overload-shed-goes-unrecorded",
+    ),
+    pytest.param(
+        "repro/service/server.py",
+        'stage="cache"',
+        'stage="cash"',
+        "span-discipline",
+        id="span-discipline:stage-typo",
+    ),
+    pytest.param(
+        "repro/service/actors.py",
+        "loop_id = id(asyncio.get_running_loop())",
+        "loop_id = 0",
+        "loop-affinity",
+        id="loop-affinity:rebinding-helper-stops-consulting-the-loop",
+    ),
+    pytest.param(
+        "repro/service/evaluator.py",
+        "await asyncio.sleep(delay)",
+        "time.sleep(delay)",
+        "blocking-in-async",
+        id="blocking-in-async:wire-replay-blocks-the-loop",
+    ),
+]
+
+
+@pytest.mark.parametrize("relpath, original, replacement, rule_id", MUTATIONS)
+def test_mutation_is_caught(relpath, original, replacement, rule_id):
+    source = (SRC / relpath).read_text(encoding="utf-8")
+    assert original in source, f"mutation target vanished from {relpath}"
+
+    pristine = [f for f in analyze_source(source, relpath) if f.counts_against_gate]
+    assert not pristine, f"pristine {relpath} is not clean: {pristine}"
+
+    mutant = source.replace(original, replacement, 1)
+    assert mutant != source
+    fired = [
+        f
+        for f in analyze_source(mutant, relpath)
+        if f.rule == rule_id and f.counts_against_gate
+    ]
+    assert fired, f"{rule_id} missed its own motivating bug in {relpath}"
+
+
+def test_real_tree_is_clean():
+    """The CI gate's contract: `repro lint src` exits 0 on this tree."""
+    report = run([str(SRC)])
+    offending = [f for f in report.findings if f.counts_against_gate]
+    assert report.exit_code == 0, "\n".join(
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in offending
+    )
+    assert report.files_analyzed > 100
