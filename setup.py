@@ -1,11 +1,34 @@
-"""Legacy setup shim.
+"""Packaging for the distributed-XPath reproduction.
 
-The project is configured through ``pyproject.toml``; this file only exists
-so that ``pip install -e .`` keeps working on environments whose setuptools
-cannot build PEP 660 editable wheels (e.g. offline machines without the
-``wheel`` package).
+Kept as a plain ``setup.py`` so ``pip install -e .`` works on offline
+machines whose setuptools cannot build PEP 660 editable wheels.
+
+numpy is a hard install requirement: the ``vector`` engine tier
+(:mod:`repro.core.vector`) needs it for the pre/post-order window kernels.
+The ``kernel`` and ``reference`` tiers run without it, and the import is
+gated, so an environment that truly cannot have numpy can still use the
+package — ``--engine vector`` then fails with an actionable error instead
+of an ImportError mid-query.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-partial-eval-xpath",
+    version="0.10.0",
+    description=(
+        "Distributed XPath evaluation via partial evaluation"
+        " (PaX2/PaX3/ParBoX reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+    ],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+)

@@ -19,7 +19,10 @@ and the shape this rule flags::
         time.sleep(delay)          # the whole host sleeps, not this request
 
 Flagged inside ``async def`` (a sync helper nested in one is exempt — it
-cannot await, and it may legitimately run in an executor): ``time.sleep``,
+cannot await, and it may legitimately run in an executor; the vector
+engine's whole-column scans in ``repro.core.vector`` are exactly this
+shape: CPU-bound sync helpers the service layer may executor-offload, so
+they are never held to the coroutine invariant): ``time.sleep``,
 builtin ``open``, ``os.system``/``os.popen``, ``subprocess.run``/``call``/
 ``check_call``/``check_output``/``Popen``, ``urllib.request.urlopen``,
 ``socket.socket``/``socket.create_connection``, and zero-argument

@@ -1,16 +1,23 @@
-"""Core per-fragment kernel benchmark (``repro bench-core``).
+"""Core per-fragment engine benchmark (``repro bench-core``).
 
-Times the old object-tree ("reference") and the new columnar ("kernel")
-implementations of the three per-fragment passes — qualifier, selection and
-combined — over the bundled workloads, plus the end-to-end algorithms that
-drive them (PaX2, PaX3, ParBoX), and emits ``BENCH_core.json``.  The JSON
-seeds the repo's core-performance trajectory the same way
-``BENCH_service.json`` tracks the serving layer: every PR can re-run the
-benchmark and compare the speedup column.
+Times the three engine tiers — the object-tree ``reference``, the columnar
+``kernel`` and the numpy ``vector`` tier (when numpy is importable) — on
+the three per-fragment passes (qualifier, selection, combined) over the
+bundled workloads, plus the end-to-end algorithms that drive them (PaX2,
+PaX3, ParBoX), and emits ``BENCH_core.json``.  The JSON seeds the repo's
+core-performance trajectory the same way ``BENCH_service.json`` tracks the
+serving layer: every PR can re-run the benchmark and compare the speedup
+columns.
 
-Every timed configuration is also verified: the two engines must produce
-identical answers and identical traffic accounting, so a "speedup" can
-never come from computing something else.
+Every timed configuration is verified first: all engines must produce
+identical pass outputs, answers and traffic accounting, so a "speedup" can
+never come from computing something else.  A divergence raises instead of
+timing — the CI smoke run turns any differential loss into a hard failure.
+
+The vector tier's window kernels amortize per-element Python overhead into
+whole-column numpy operations, so its advantage grows with document size;
+the ``large_bytes`` sweep (default four times the base size) is where the
+``vector >= 3x kernel`` headline is measured.
 """
 
 from __future__ import annotations
@@ -22,9 +29,17 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.common import ensure_plan
 from repro.core.engine import DistributedQueryEngine
-from repro.core.kernel.dispatch import KERNEL, REFERENCE, combined_pass, qualifier_pass, selection_pass
+from repro.core.kernel.dispatch import (
+    KERNEL,
+    REFERENCE,
+    VECTOR,
+    combined_pass,
+    qualifier_pass,
+    selection_pass,
+)
 from repro.core.parbox import as_boolean_query
 from repro.core.selection import concrete_root_init_vector, variable_init_vector
+from repro.core.vector import numpy_available
 from repro.distributed.stats import RunStats
 from repro.fragments.fragment_tree import Fragmentation
 from repro.workloads.queries import (
@@ -40,6 +55,14 @@ __all__ = ["run_core_benchmark", "write_benchmark_json", "render_summary"]
 
 #: pass name -> (needs qualifier state first?)
 PASSES = ("qualifier", "selection", "combined")
+
+
+def _available_engines() -> Tuple[str, ...]:
+    """Engine tiers this process can run (vector needs numpy)."""
+    engines: Tuple[str, ...] = (REFERENCE, KERNEL)
+    if numpy_available():
+        engines = engines + (VECTOR,)
+    return engines
 
 
 def _best_of(repeats: int, fn: Callable[[], None]) -> float:
@@ -120,6 +143,61 @@ def _pass_runner(
     return run
 
 
+def _verify_pass_outputs(
+    fragmentation: Fragmentation,
+    plans: Sequence[QueryPlan],
+    engines: Sequence[str],
+) -> None:
+    """Every engine must produce identical pass outputs before we time any.
+
+    The outputs are dataclasses over hash-consed formulas, so ``==`` is an
+    exact structural comparison of answers, candidate formulas, root
+    vectors, virtual vectors and the operation accounting.
+    """
+    fragment_ids = fragmentation.fragment_ids()
+    root_id = fragmentation.root_fragment_id
+    baseline = engines[0]
+    for plan in plans:
+        for fragment_id in fragment_ids:
+            init_vector = _init_vector(fragmentation, plan, fragment_id)
+            is_root = fragment_id == root_id
+
+            quals = {
+                engine: qualifier_pass(fragmentation, fragment_id, plan, engine=engine)
+                for engine in engines
+            }
+            provider = None
+            if plan.has_qualifiers:
+                values = quals[baseline].qual_values
+
+                def provider(node_id, _values=values):
+                    return _values.get(node_id, ())
+
+            for kind, outputs in (
+                ("qualifier", quals),
+                ("selection", {
+                    engine: selection_pass(
+                        fragmentation, fragment_id, plan, provider,
+                        init_vector, is_root, engine=engine,
+                    )
+                    for engine in engines
+                }),
+                ("combined", {
+                    engine: combined_pass(
+                        fragmentation, fragment_id, plan,
+                        init_vector, is_root, engine=engine,
+                    )
+                    for engine in engines
+                }),
+            ):
+                for engine in engines[1:]:
+                    if outputs[engine] != outputs[baseline]:
+                        raise AssertionError(
+                            f"{engine}/{baseline} divergence in the {kind} pass"
+                            f" on {plan.source!r} over fragment {fragment_id}"
+                        )
+
+
 def _stats_fingerprint(stats: RunStats) -> tuple:
     return (
         tuple(stats.answer_ids),
@@ -131,14 +209,27 @@ def _stats_fingerprint(stats: RunStats) -> tuple:
     )
 
 
+def _speedups(timings: Dict[str, float]) -> Dict[str, float]:
+    """Derived ratios: kernel over reference, vector over kernel (if timed)."""
+    derived = {
+        "speedup": round(timings[REFERENCE] / max(timings[KERNEL], 1e-9), 2),
+    }
+    if VECTOR in timings:
+        derived["vector_speedup"] = round(
+            timings[KERNEL] / max(timings[VECTOR], 1e-9), 2
+        )
+    return derived
+
+
 def _verify_and_time_algorithms(
     fragmentation: Fragmentation,
     placement: Optional[Dict[str, str]],
     data_queries: Sequence[str],
     boolean_queries: Sequence[str],
     repeats: int,
+    engine_names: Sequence[str],
 ) -> Dict[str, object]:
-    """End-to-end reference-vs-kernel comparison, with identity checks."""
+    """End-to-end cross-engine comparison, with identity checks first."""
     section: Dict[str, object] = {}
     configs: List[Tuple[str, str, Sequence[str]]] = [
         ("pax2", "pax2", data_queries),
@@ -153,31 +244,33 @@ def _verify_and_time_algorithms(
             name: DistributedQueryEngine(
                 fragmentation, placement=placement, algorithm=algorithm, engine=name
             )
-            for name in (REFERENCE, KERNEL)
+            for name in engine_names
         }
         # Differential check first: identical answers and traffic accounting.
+        baseline = engine_names[0]
         for query in queries:
             fingerprints = {
                 name: _stats_fingerprint(engine.run(query))
                 for name, engine in engines.items()
             }
-            if fingerprints[REFERENCE] != fingerprints[KERNEL]:
-                raise AssertionError(
-                    f"kernel/reference divergence for {algorithm} on {query!r}"
-                )
+            for name in engine_names[1:]:
+                if fingerprints[name] != fingerprints[baseline]:
+                    raise AssertionError(
+                        f"{name}/{baseline} divergence for {algorithm} on {query!r}"
+                    )
         timings = {
             name: _best_of(
                 repeats, lambda e=engine: [e.run(query) for query in queries]
             )
             for name, engine in engines.items()
         }
-        section[label] = {
-            "reference_seconds": round(timings[REFERENCE], 6),
-            "kernel_seconds": round(timings[KERNEL], 6),
-            "speedup": round(timings[REFERENCE] / max(timings[KERNEL], 1e-9), 2),
-            "queries": len(queries),
-            "verified_identical": True,
+        entry = {
+            f"{name}_seconds": round(timings[name], 6) for name in engine_names
         }
+        entry.update(_speedups(timings))
+        entry["queries"] = len(queries)
+        entry["verified_identical"] = True
+        section[label] = entry
     return section
 
 
@@ -188,33 +281,41 @@ def _bench_workload(
     data_queries: Sequence[str],
     boolean_queries: Sequence[str],
     repeats: int,
+    include_algorithms: bool = True,
 ) -> Dict[str, object]:
+    engine_names = _available_engines()
     plans = [ensure_plan(query) for query in data_queries]
     entry: Dict[str, object] = {
         "fragments": len(fragmentation),
         "document_nodes": fragmentation.tree.size(),
         "document_bytes": fragmentation.tree.approximate_bytes(),
         "queries": list(data_queries),
+        "engines": list(engine_names),
     }
+    # The verification sweep also warms every per-engine cache (flat
+    # encodings, dispatch tables, vector columns and programs), so the
+    # timed repeats below all see steady state.
+    _verify_pass_outputs(fragmentation, plans, engine_names)
     passes: Dict[str, object] = {}
     for pass_name in PASSES:
         runners = {
             engine: _pass_runner(pass_name, fragmentation, plans, engine)
-            for engine in (REFERENCE, KERNEL)
+            for engine in engine_names
         }
-        for runner in runners.values():
-            runner()  # warm up: flat encodings, dispatch tables, interning
-        reference = _best_of(repeats, runners[REFERENCE])
-        kernel = _best_of(repeats, runners[KERNEL])
-        passes[pass_name] = {
-            "reference_seconds": round(reference, 6),
-            "kernel_seconds": round(kernel, 6),
-            "speedup": round(reference / max(kernel, 1e-9), 2),
+        timings = {
+            engine: _best_of(repeats, runner) for engine, runner in runners.items()
         }
+        timing_entry = {
+            f"{engine}_seconds": round(timings[engine], 6) for engine in engine_names
+        }
+        timing_entry.update(_speedups(timings))
+        passes[pass_name] = timing_entry
     entry["passes"] = passes
-    entry["algorithms"] = _verify_and_time_algorithms(
-        fragmentation, placement, data_queries, boolean_queries, repeats
-    )
+    if include_algorithms:
+        entry["algorithms"] = _verify_and_time_algorithms(
+            fragmentation, placement, data_queries, boolean_queries, repeats,
+            engine_names,
+        )
     return entry
 
 
@@ -222,11 +323,25 @@ def run_core_benchmark(
     total_bytes: int = 150_000,
     seed: int = 5,
     repeats: int = 3,
+    large_bytes: Optional[int] = None,
 ) -> Dict[str, object]:
-    """Run the reference-vs-kernel comparison over the bundled workloads."""
+    """Run the cross-engine comparison over the bundled workloads.
+
+    ``large_bytes`` (default: four times ``total_bytes``) sizes the
+    larger-document sweep where the vector tier's column amortization pays
+    off; pass ``0`` to skip it.
+    """
+    if large_bytes is None:
+        large_bytes = total_bytes * 4
     report: Dict[str, object] = {
         "benchmark": "core_kernels",
-        "config": {"total_bytes": total_bytes, "seed": seed, "repeats": repeats},
+        "config": {
+            "total_bytes": total_bytes,
+            "seed": seed,
+            "repeats": repeats,
+            "large_bytes": large_bytes,
+            "engines": list(_available_engines()),
+        },
         "workloads": {},
     }
     workloads = report["workloads"]
@@ -260,12 +375,40 @@ def run_core_benchmark(
         "clientele", clientele, None, data_queries, boolean_queries, repeats
     )
 
+    if large_bytes:
+        # The larger-document sweep: per-fragment passes only (the
+        # end-to-end algorithm timings at this size are dominated by the
+        # reference tier and add nothing the base workload doesn't show).
+        ft2_large = build_ft2(total_bytes=large_bytes, seed=seed)
+        workloads["xmark-ft2-large"] = _bench_workload(
+            "xmark-ft2-large",
+            ft2_large.fragmentation,
+            ft2_large.placement,
+            list(PAPER_QUERIES.values()),
+            [],
+            repeats,
+            include_algorithms=False,
+        )
+
     headline = workloads["xmark-ft2"]["passes"]["combined"]["speedup"]
     report["headline"] = {
         "xmark_combined_pass_speedup": headline,
         "criterion": "kernel >= 3x reference on the XMark combined pass",
         "met": headline >= 3.0,
     }
+    if numpy_available():
+        vector_workload = "xmark-ft2-large" if large_bytes else "xmark-ft2"
+        vector_headline = (
+            workloads[vector_workload]["passes"]["combined"]["vector_speedup"]
+        )
+        report["headline"].update({
+            "vector_combined_pass_speedup": vector_headline,
+            "vector_criterion": (
+                "vector >= 3x kernel on the XMark combined pass"
+                " (largest document size)"
+            ),
+            "vector_met": vector_headline >= 3.0,
+        })
     return report
 
 
@@ -281,25 +424,33 @@ def render_summary(report: Dict[str, object]) -> str:
     lines = []
     for workload, entry in report["workloads"].items():
         lines.append(
-            f"{workload:<12}: {entry['fragments']} fragments,"
+            f"{workload:<15}: {entry['fragments']} fragments,"
             f" {entry['document_nodes']} nodes"
         )
-        for pass_name, timing in entry["passes"].items():
-            lines.append(
-                f"  pass {pass_name:<10} reference {timing['reference_seconds'] * 1000:8.2f} ms"
-                f"  kernel {timing['kernel_seconds'] * 1000:8.2f} ms"
-                f"  speedup {timing['speedup']:5.2f}x"
-            )
-        for algorithm, timing in entry["algorithms"].items():
-            lines.append(
-                f"  algo {algorithm:<10} reference {timing['reference_seconds'] * 1000:8.2f} ms"
-                f"  kernel {timing['kernel_seconds'] * 1000:8.2f} ms"
-                f"  speedup {timing['speedup']:5.2f}x  (identical answers+traffic)"
-            )
+        for kind, timings in (
+            ("pass", entry["passes"]),
+            ("algo", entry.get("algorithms", {})),
+        ):
+            for name, timing in timings.items():
+                cells = [f"  {kind} {name:<10}"]
+                for engine in entry["engines"]:
+                    cells.append(
+                        f"{engine} {timing[f'{engine}_seconds'] * 1000:8.2f} ms"
+                    )
+                cells.append(f"k/r {timing['speedup']:5.2f}x")
+                if "vector_speedup" in timing:
+                    cells.append(f"v/k {timing['vector_speedup']:5.2f}x")
+                lines.append("  ".join(cells))
     headline = report["headline"]
     lines.append(
-        f"headline      : XMark combined-pass speedup"
+        f"headline       : XMark combined-pass kernel speedup"
         f" {headline['xmark_combined_pass_speedup']}x"
         f" (criterion >= 3x: {'met' if headline['met'] else 'NOT met'})"
     )
+    if "vector_combined_pass_speedup" in headline:
+        lines.append(
+            f"headline       : XMark combined-pass vector-over-kernel speedup"
+            f" {headline['vector_combined_pass_speedup']}x"
+            f" (criterion >= 3x: {'met' if headline['vector_met'] else 'NOT met'})"
+        )
     return "\n".join(lines)

@@ -238,9 +238,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_core = commands.add_parser(
         "bench-core",
-        help="benchmark the columnar kernels vs the object-tree reference passes",
+        help="benchmark the engine tiers (reference, kernel, numpy vector)"
+             " against each other",
     )
     _add_kernel_bench_knobs(bench_core, default_output="BENCH_core.json")
+    bench_core.add_argument(
+        "--large-bytes", type=int, default=None, dest="large_bytes",
+        help="larger-document sweep size for the vector-tier headline"
+             " (default 4x --bytes; 0 skips the sweep)")
 
     bench_batch = commands.add_parser(
         "bench-batch",
@@ -715,6 +720,7 @@ def _cmd_bench_core(args: argparse.Namespace) -> int:
         total_bytes=args.total_bytes,
         seed=args.seed,
         repeats=args.repeats,
+        large_bytes=args.large_bytes,
     )
     path = write_benchmark_json(report, args.output)
     print(render_summary(report))

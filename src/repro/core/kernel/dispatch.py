@@ -1,11 +1,13 @@
-"""Engine selection: columnar kernel vs. object-tree reference passes.
+"""Engine selection: columnar kernel, numpy vector, or object-tree reference.
 
 Every per-fragment pass in the orchestrators (PaX3, PaX2, ParBoX, the async
-service evaluator) goes through the three dispatchers below.  The default
-engine is the columnar kernel; the object-tree implementations remain as
-the executable specification — the differential tests assert the two paths
-produce bit-identical answers and traffic accounting, and ``repro
-bench-core`` measures the gap between them.
+service evaluator) goes through the dispatchers below.  The default engine
+is the columnar kernel; the ``vector`` tier re-runs the same passes as
+whole-column numpy window operations (:mod:`repro.core.vector`, requires
+numpy); the object-tree implementations remain as the executable
+specification — the differential tests assert all paths produce
+bit-identical answers and traffic accounting, and ``repro bench-core``
+measures the gaps between them.
 
 Selection, most specific wins:
 
@@ -30,6 +32,11 @@ from repro.core.kernel.qualifier import evaluate_fragment_qualifiers_flat
 from repro.core.kernel.selection import evaluate_fragment_selection_flat
 from repro.core.qualifiers import FragmentQualifierOutput, evaluate_fragment_qualifiers
 from repro.core.selection import FragmentSelectionOutput, evaluate_fragment_selection
+from repro.core.vector.batch import evaluate_fragment_combined_vector_batch
+from repro.core.vector.combined import evaluate_fragment_combined_vector
+from repro.core.vector.encode import require_numpy, vector_fragment
+from repro.core.vector.qualifier import evaluate_fragment_qualifiers_vector
+from repro.core.vector.selection import evaluate_fragment_selection_vector
 from repro.fragments.fragment_tree import Fragmentation
 from repro.xmltree.nodes import NodeId
 from repro.xpath.plan import QueryPlan
@@ -38,6 +45,7 @@ __all__ = [
     "ENGINES",
     "KERNEL",
     "REFERENCE",
+    "VECTOR",
     "fragment_engine",
     "set_fragment_engine",
     "use_fragment_engine",
@@ -50,7 +58,8 @@ __all__ = [
 
 KERNEL = "kernel"
 REFERENCE = "reference"
-ENGINES = (KERNEL, REFERENCE)
+VECTOR = "vector"
+ENGINES = (KERNEL, REFERENCE, VECTOR)
 
 
 def _engine_from_environ() -> str:
@@ -111,13 +120,20 @@ def prewarm_fragments(
     The encodings are one-time indexing work per fragmentation, not per
     query; the orchestrators call this before their timed per-site visits so
     the paper's evaluation-time measurements see steady-state passes.  A
-    no-op for the reference engine, and a cache lookup once built.
+    no-op for the reference engine, and a cache lookup once built.  The
+    vector engine additionally builds the numpy window columns (and is where
+    a missing numpy surfaces as an actionable error instead of mid-query).
     """
-    if _resolve(engine) != KERNEL:
+    engine = _resolve(engine)
+    if engine == REFERENCE:
         return
+    if engine == VECTOR:
+        require_numpy()
     for fragment_id in (fragment_ids if fragment_ids is not None
                         else fragmentation.fragment_ids()):
-        fragmentation.flat(fragment_id)
+        flat = fragmentation.flat(fragment_id)
+        if engine == VECTOR:
+            vector_fragment(flat)
 
 
 def qualifier_pass(
@@ -128,8 +144,13 @@ def qualifier_pass(
 ) -> FragmentQualifierOutput:
     """Bottom-up qualifier pass over one fragment (Stage 1 / ParBoX)."""
     fragment = fragmentation[fragment_id]
-    if _resolve(engine) == KERNEL:
+    engine = _resolve(engine)
+    if engine == KERNEL:
         return evaluate_fragment_qualifiers_flat(
+            fragment, fragmentation.flat(fragment_id), plan
+        )
+    if engine == VECTOR:
+        return evaluate_fragment_qualifiers_vector(
             fragment, fragmentation.flat(fragment_id), plan
         )
     return evaluate_fragment_qualifiers(fragment, plan)
@@ -151,8 +172,18 @@ def selection_pass(
     id-based form.
     """
     fragment = fragmentation[fragment_id]
-    if _resolve(engine) == KERNEL:
+    engine = _resolve(engine)
+    if engine == KERNEL:
         return evaluate_fragment_selection_flat(
+            fragment,
+            fragmentation.flat(fragment_id),
+            plan,
+            qual_provider,
+            init_vector,
+            is_root_fragment,
+        )
+    if engine == VECTOR:
+        return evaluate_fragment_selection_vector(
             fragment,
             fragmentation.flat(fragment_id),
             plan,
@@ -182,11 +213,14 @@ def combined_pass(
 
     ``flat`` overrides the fragmentation's cached encoding — the MVCC
     snapshot path passes a pinned :class:`FlatFragment` so the scan reads a
-    frozen version while the live cache moves on.  Kernel engine only: the
-    reference engine walks the live object tree and cannot honour it.
+    frozen version while the live cache moves on.  Columnar engines only
+    (kernel and vector — the vector columns hang off the pinned flat, so a
+    snapshot pins them too): the reference engine walks the live object
+    tree and cannot honour it.
     """
     fragment = fragmentation[fragment_id]
-    if _resolve(engine) == KERNEL:
+    engine = _resolve(engine)
+    if engine == KERNEL:
         return evaluate_fragment_combined_flat(
             fragment,
             flat if flat is not None else fragmentation.flat(fragment_id),
@@ -194,8 +228,16 @@ def combined_pass(
             init_vector,
             is_root_fragment,
         )
+    if engine == VECTOR:
+        return evaluate_fragment_combined_vector(
+            fragment,
+            flat if flat is not None else fragmentation.flat(fragment_id),
+            plan,
+            init_vector,
+            is_root_fragment,
+        )
     if flat is not None:
-        raise ValueError("snapshot flats require the kernel engine")
+        raise ValueError("snapshot flats require a columnar engine")
     return evaluate_fragment_combined(fragment, plan, init_vector, is_root_fragment)
 
 
@@ -212,13 +254,16 @@ def combined_pass_batch(
 
     With the kernel engine the wave shares one walk of the fragment's flat
     arrays (:func:`repro.core.kernel.batch.evaluate_fragment_combined_batch`);
+    the vector engine stacks the wave over shared mask columns
+    (:func:`repro.core.vector.batch.evaluate_fragment_combined_vector_batch`);
     with the reference engine each plan runs its own object-tree pass, so the
     batch orchestrators stay engine-generic and the differential tests can
-    pin all three paths to identical outputs.  ``flat`` overrides the cached
-    encoding for MVCC snapshot reads (kernel engine only).
+    pin all paths to identical outputs.  ``flat`` overrides the cached
+    encoding for MVCC snapshot reads (columnar engines only).
     """
     fragment = fragmentation[fragment_id]
-    if _resolve(engine) == KERNEL:
+    engine = _resolve(engine)
+    if engine == KERNEL:
         return evaluate_fragment_combined_batch(
             fragment,
             flat if flat is not None else fragmentation.flat(fragment_id),
@@ -226,8 +271,16 @@ def combined_pass_batch(
             init_vectors,
             is_root_fragment,
         )
+    if engine == VECTOR:
+        return evaluate_fragment_combined_vector_batch(
+            fragment,
+            flat if flat is not None else fragmentation.flat(fragment_id),
+            plans,
+            init_vectors,
+            is_root_fragment,
+        )
     if flat is not None:
-        raise ValueError("snapshot flats require the kernel engine")
+        raise ValueError("snapshot flats require a columnar engine")
     return [
         evaluate_fragment_combined(fragment, plan, init_vector, is_root_fragment)
         for plan, init_vector in zip(plans, init_vectors)

@@ -1,0 +1,58 @@
+"""Stacked combined pass for a fused query wave (vector tier).
+
+The batch orchestrators hand one wave of plans to a single call per
+fragment.  The vector tier stacks the wave over *shared masks*: every
+distinct plan's window program is compiled up front, which interns the
+wave's terminal test columns, per-tag candidate rows and CHILD gate
+columns in the fragment-level caches — duplicate spellings and repeated
+predicates across the wave then all scan the same arrays, and each plan's
+sweep is a handful of whole-column operations over them.  Per-query
+outputs (answers, candidates, virtual vectors, accounting) are
+bit-identical to running each plan alone, which is exactly the kernel
+batch contract the differential tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.booleans.formula import FormulaLike
+from repro.core.combined import FragmentCombinedOutput
+from repro.core.kernel.tables import plan_tables
+from repro.core.vector.combined import evaluate_fragment_combined_vector
+from repro.core.vector.encode import vector_fragment
+from repro.core.vector.program import vector_program
+from repro.fragments.fragment import Fragment
+from repro.xmltree.flat import FlatFragment
+from repro.xpath.plan import QueryPlan
+
+__all__ = ["evaluate_fragment_combined_vector_batch"]
+
+
+def evaluate_fragment_combined_vector_batch(
+    fragment: Fragment,
+    flat: FlatFragment,
+    plans: Sequence[QueryPlan],
+    init_vectors: Sequence[Sequence[FormulaLike]],
+    is_root_fragment: bool,
+) -> List[FragmentCombinedOutput]:
+    """Evaluate a whole wave of plans over one fragment's window encoding."""
+    if not plans:
+        return []
+    if len(plans) > 1:
+        # Canonical fingerprint order (the batch tier's dedup key): compile
+        # every distinct program once so the wave shares its mask columns,
+        # independent of how callers interleave duplicate spellings.
+        vf = vector_fragment(flat)
+        compiled = set()
+        for slot in sorted(range(len(plans)), key=lambda q: plans[q].fingerprint):
+            plan = plans[slot]
+            if plan.fingerprint not in compiled:
+                compiled.add(plan.fingerprint)
+                vector_program(vf, plan, plan_tables(flat, plan))
+    return [
+        evaluate_fragment_combined_vector(
+            fragment, flat, plan, init_vector, is_root_fragment
+        )
+        for plan, init_vector in zip(plans, init_vectors)
+    ]

@@ -1,0 +1,87 @@
+"""Vectorized combined pass (PaX2 Stage 1).
+
+The kernel's combined pass runs the selection half first and parks ``qz:``
+placeholders wherever a qualifier value is consulted, binding and resolving
+them after its reverse walk.  The vector pass flips the order: the
+qualifier analysis runs first (column at a time), so the selection sweep
+conjoins the *actual* qualifier values directly and no placeholder
+environment is needed.  Both schemes produce structurally identical
+formulas: the bindings are placeholder-free, so resolution is a single
+substitution, and the hash-consed connectives flatten n-ary combinations
+the same way regardless of fold staging (see
+:mod:`repro.booleans.formula`).  Answers, candidates, the root HEAD/DESC
+vectors, the virtual parent vectors and the operation accounting all come
+out bit-identical to both other engines.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.booleans.formula import FormulaLike
+from repro.core.combined import FragmentCombinedOutput
+from repro.core.kernel.tables import plan_tables
+from repro.core.vector.algebra import CodeSpace
+from repro.core.vector.encode import vector_fragment
+from repro.core.vector.program import vector_program
+from repro.core.vector.quals import qualifier_analysis
+from repro.core.vector.walk import (
+    emit_finals,
+    emit_virtual_vectors,
+    selection_code_columns,
+)
+from repro.fragments.fragment import Fragment
+from repro.xmltree.flat import FlatFragment
+from repro.xpath.plan import QueryPlan
+
+__all__ = ["evaluate_fragment_combined_vector"]
+
+
+def evaluate_fragment_combined_vector(
+    fragment: Fragment,
+    flat: FlatFragment,
+    plan: QueryPlan,
+    init_vector: Sequence[FormulaLike],
+    is_root_fragment: bool,
+) -> FragmentCombinedOutput:
+    """Combined qualifier+selection pass over the window encoding."""
+    output = FragmentCombinedOutput(fragment_id=fragment.fragment_id)
+    vf = vector_fragment(flat)
+    np = vf.np
+    tables = plan_tables(flat, plan)
+    program = vector_program(vf, plan, tables)
+    n_items = plan.n_items
+    n_steps = plan.n_steps
+    space = CodeSpace(np)
+
+    if plan.has_qualifiers:
+        analysis = qualifier_analysis(vf, flat, plan, tables, program)
+        # Qualifier value columns as formula codes: the concrete mask casts
+        # to 0/1 directly; symbolic rows get their exact values interned.
+        qual_cols = [col.astype(np.int64) for col in analysis.sel_qual_cols]
+        for index, values in analysis.sym_qual_values.items():
+            for slot, value in enumerate(values):
+                qual_cols[slot][index] = space.encode(value)
+        output.root_head = analysis.root_head
+        output.root_desc = analysis.root_desc
+    else:
+        qual_cols = []
+        output.root_head = [False] * n_items
+        output.root_desc = [False] * n_items
+
+    cols = selection_code_columns(
+        vf,
+        space,
+        tables,
+        program,
+        init_vector,
+        is_root_fragment and not plan.absolute,
+        qual_cols,
+    )
+
+    emit_finals(space, cols[n_steps], flat.node_ids, output.answers, output.candidates)
+    emit_virtual_vectors(space, cols, flat, output.virtual_parent_vectors)
+
+    output.operations = flat.n_elements * max(1, n_items + n_steps + 1)
+    output.root_vector_units = len(plan.head_item_ids) + len(plan.desc_item_ids)
+    return output

@@ -1,0 +1,300 @@
+"""The accelerator window encoding: contiguous numpy columns per fragment.
+
+An XPath-accelerator encoding of one fragment span, derived once from the
+:class:`~repro.xmltree.flat.FlatFragment` columns:
+
+``pre[i] = i``
+    Pre-order rank — the flat index itself.
+``post = pre + size``
+    One past the last pre-order rank inside ``i``'s subtree, so node ``j``
+    is a descendant-or-self of ``i`` exactly when ``pre[i] <= j < post[i]``
+    — every axis step becomes a range predicate over these two columns.
+``level``
+    Depth below the fragment root (staircase-built from the subtree
+    intervals), used to schedule symbolic descendant sweeps level by level.
+``tag_starts`` / ``tag_rows``
+    Per-tag sorted pre-order index: ``tag_rows`` holds all element rows
+    grouped by ``tag_id`` (pre-order within each group) and ``tag_starts``
+    the CSR offsets, so "the elements with tag t inside window (lo, hi)"
+    is a ``searchsorted`` slice instead of a scan.
+
+Instances hang off ``FlatFragment._vector``: the flat encodings are cached
+on :class:`~repro.fragments.fragment_tree.Fragmentation` under the content
+fingerprint, so epoch bumps, re-fragmentations and MVCC snapshot pinning
+govern the vector columns for free — a pinned snapshot ``FlatFragment``
+carries (and keeps alive) its own frozen vector columns.
+
+numpy is optional at import time: only the ``vector`` engine needs it, and
+:func:`require_numpy` turns its absence into an actionable error instead of
+an ImportError traceback.  ``kernel``/``reference`` never import it.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Dict, List, Optional
+
+from repro.xmltree.flat import KIND_ELEMENT, FlatFragment
+
+try:  # pragma: no cover - exercised via numpy_available() in both states
+    import numpy as _np
+except ImportError:  # pragma: no cover - container images ship numpy
+    _np = None
+
+__all__ = [
+    "VectorFragment",
+    "numpy_available",
+    "require_numpy",
+    "vector_fragment",
+]
+
+_MISSING_NUMPY_HINT = (
+    "the 'vector' engine needs numpy, which is not importable in this"
+    " environment. Install it (`pip install numpy`, or `pip install .` which"
+    " declares it) or pick another engine: pass engine='kernel' /"
+    " --engine kernel (or 'reference'), or set REPRO_FRAGMENT_ENGINE=kernel."
+)
+
+#: numeric comparison ops over whole columns; same op strings as
+#: repro.xpath.runtime._NUMERIC_OPS, but the operator module versions
+#: broadcast over numpy arrays (NaN rows are masked out by has_numeric
+#: before these run, matching the kernel's explicit None check)
+_COLUMN_OPS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: caps on the per-fragment caches of plan-derived columns; like the kernel
+#: dispatch tables, an unbounded query stream must not grow them forever
+_MAX_TEST_MASKS = 512
+_MAX_PROGRAMS = 256
+
+
+def numpy_available() -> bool:
+    """Whether the vector engine can run in this process."""
+    return _np is not None
+
+
+def require_numpy():
+    """The numpy module, or an actionable error naming the alternatives."""
+    if _np is None:
+        raise RuntimeError(_MISSING_NUMPY_HINT)
+    return _np
+
+
+class VectorFragment:
+    """Window-encoding columns of one fragment span (see module docstring)."""
+
+    __slots__ = (
+        "np",
+        "flat",
+        "n",
+        "pre",
+        "size",
+        "post",
+        "level",
+        "tag_id",
+        "elem",
+        "elem_idx",
+        "parent",
+        "parent_ge0",
+        "text_code",
+        "text_intern",
+        "numeric",
+        "has_numeric",
+        "n_tags",
+        "tag_index",
+        "tag_starts",
+        "tag_rows",
+        "anc_idx",
+        "anc_mask",
+        "_level_groups",
+        "_test_masks",
+        "_programs",
+    )
+
+    def __init__(self, flat: FlatFragment):
+        np = require_numpy()
+        self.np = np
+        self.flat = flat
+        n = flat.n
+        self.n = n
+        pre = np.arange(n, dtype=np.int64)
+        size = np.asarray(flat.subtree_size, dtype=np.int64)
+        self.pre = pre
+        self.size = size
+        self.post = pre + size
+        self.parent = np.asarray(flat.parent, dtype=np.int64)
+        self.parent_ge0 = self.parent >= 0
+        self.tag_id = np.asarray(flat.tag_id, dtype=np.int64)
+        kind = np.asarray(flat.kind, dtype=np.int64)
+        self.elem = kind == KIND_ELEMENT
+        self.elem_idx = np.nonzero(self.elem)[0]
+
+        # level[i] = number of strict ancestors of i inside the span: node j
+        # covers the strict-descendant interval (j, j+size[j]) — one +1/-1
+        # staircase and a cumsum instead of a parent-chain walk per node.
+        stair = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(stair, pre + 1, 1)
+        np.add.at(stair, self.post, -1)
+        self.level = np.cumsum(stair[:n])
+
+        # Interned direct-text codes: text()=s tests become one integer
+        # column comparison.  Text nodes carry -1 (they have no ex values).
+        intern: Dict[str, int] = {}
+        codes = np.full(n, -1, dtype=np.int64)
+        for index, value in enumerate(flat.text_norm):
+            if value is not None:
+                code = intern.get(value)
+                if code is None:
+                    code = intern[value] = len(intern)
+                codes[index] = code
+        self.text_code = codes
+        self.text_intern = intern
+
+        # Numeric column with NaN for non-numeric rows; has_numeric is the
+        # kernel's `value is None` check as a mask (NaN compares are wrong
+        # for `!=`, so every val() test is ANDed with it).
+        numeric = np.full(n, np.nan, dtype=np.float64)
+        for index, value in enumerate(flat.numeric):
+            if value is not None:
+                numeric[index] = value
+        self.numeric = numeric
+        self.has_numeric = ~np.isnan(numeric)
+
+        # Per-tag sorted pre-order index (CSR layout over element rows).
+        n_tags = len(flat.tags)
+        self.n_tags = n_tags
+        self.tag_index = {tag: tid for tid, tag in enumerate(flat.tags)}
+        if self.elem_idx.size:
+            order = np.argsort(self.tag_id[self.elem_idx], kind="stable")
+            self.tag_rows = self.elem_idx[order]
+            self.tag_starts = np.searchsorted(
+                self.tag_id[self.tag_rows], np.arange(n_tags + 1)
+            )
+        else:  # pragma: no cover - a span always contains its root element
+            self.tag_rows = self.elem_idx
+            self.tag_starts = np.zeros(n_tags + 1, dtype=np.int64)
+
+        # Ancestors-or-self of virtual cut points: the only rows whose
+        # qualifier values can be symbolic (depend on sub-fragment
+        # variables).  A descendant of a non-member is a non-member, so the
+        # window of a non-member row never sees a symbolic row and the
+        # concrete columns are exact everywhere outside this set.
+        anc = np.zeros(n, dtype=bool)
+        parents = flat.parent
+        for at in flat.virtual_indices:
+            walk = at
+            while walk >= 0 and not anc[walk]:
+                anc[walk] = True
+                walk = parents[walk]
+        self.anc_mask = anc
+        self.anc_idx = np.nonzero(anc)[0][::-1]  # decreasing = bottom-up
+
+        self._level_groups: Optional[List[object]] = None
+        #: per-item terminal test columns keyed by the normalized test tuple
+        #: — shared across every plan and every fused wave on this fragment
+        self._test_masks: Dict[tuple, object] = {}
+        #: compiled window programs keyed by plan fingerprint (the dedup key
+        #: the kernel tables and batch tier already use)
+        self._programs: Dict[str, object] = {}
+
+    # -- window primitives --------------------------------------------------
+
+    def window_any_incl(self, col):
+        """Per row ``i``: does ``col`` hold anywhere in ``[i, post[i])``?
+
+        The descendant-or-self aggregation as one prefix sum: with
+        ``csum[k] = sum(col[:k])``, the window ``[pre, post)`` is non-empty
+        exactly when ``csum[post] - csum[pre] > 0``.
+        """
+        np = self.np
+        csum = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(col, dtype=np.int64, out=csum[1:])
+        return (csum[self.post] - csum[self.pre]) > 0
+
+    def cover_mask(self, marked_idx):
+        """Per row ``i``: is some ancestor-or-self of ``i`` in *marked_idx*?
+
+        The top-down dual of :meth:`window_any_incl`: each marked row ``j``
+        covers its whole subtree interval ``[j, post[j])``; a +1/-1
+        staircase over the interval endpoints and a cumsum resolve all rows
+        at once (the staircase pruning of the window technique).
+        """
+        np = self.np
+        stair = np.zeros(self.n + 1, dtype=np.int64)
+        if marked_idx.size:
+            np.add.at(stair, marked_idx, 1)
+            np.add.at(stair, self.post[marked_idx], -1)
+        return np.cumsum(stair[: self.n]) > 0
+
+    def rows_with_tag(self, tag: Optional[str]):
+        """Element rows matching *tag* in pre-order (all elements if None)."""
+        if tag is None:
+            return self.elem_idx
+        tid = self.tag_index.get(tag)
+        if tid is None:
+            return self.elem_idx[:0]
+        return self.tag_rows[self.tag_starts[tid] : self.tag_starts[tid + 1]]
+
+    def level_groups(self):
+        """Element rows grouped by level, ascending (for symbolic sweeps)."""
+        groups = self._level_groups
+        if groups is None:
+            np = self.np
+            rows = self.elem_idx
+            levels = self.level[rows]
+            order = np.argsort(levels, kind="stable")
+            rows = rows[order]
+            levels = levels[order]
+            top = int(levels[-1]) if rows.size else -1
+            bounds = np.searchsorted(levels, np.arange(top + 2))
+            groups = [
+                rows[bounds[depth] : bounds[depth + 1]] for depth in range(top + 1)
+            ]
+            self._level_groups = groups
+        return groups
+
+    # -- terminal test columns (shared across plans and waves) --------------
+
+    def test_mask(self, test: Optional[tuple]):
+        """Boolean column of one EMPTY-item terminal test.
+
+        ``None`` is the always-true test (the element mask); ``("text", "=",
+        s)`` compares the interned text codes; ``("val", op, x)`` masks the
+        numeric column.  Columns are cached by test tuple, so every plan in
+        a wave that mentions ``text() = "goog"`` scans one shared mask.
+        """
+        if test is None:
+            return self.elem
+        col = self._test_masks.get(test)
+        if col is None:
+            np = self.np
+            if test[0] == "text":
+                code = self.text_intern.get(test[2], -2)
+                col = self.text_code == code
+            else:  # "val"
+                col = self.has_numeric & _COLUMN_OPS[test[1]](self.numeric, test[2])
+            cache = self._test_masks
+            while len(cache) >= _MAX_TEST_MASKS:
+                cache.pop(next(iter(cache)))
+            cache[test] = col
+        return col
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<VectorFragment {self.flat.fragment_id} nodes={self.n}"
+            f" tags={self.n_tags} symbolic={self.anc_idx.size}>"
+        )
+
+
+def vector_fragment(flat: FlatFragment) -> VectorFragment:
+    """The (cached) window encoding of *flat*; requires numpy."""
+    vector = flat._vector
+    if vector is None:
+        vector = flat._vector = VectorFragment(flat)
+    return vector

@@ -1,0 +1,62 @@
+"""Vectorized qualifier pass (Stage 1 of PaX3 / ParBoX).
+
+Semantically identical to the kernel and reference passes: the column
+analysis (:mod:`repro.core.vector.quals`) computes every item's EX column
+in topological item order, the per-element qualifier-value tuples are read
+off the selection-qualifier columns (symbolic rows from the exact scalar
+replay), and the root HEAD/DESC vectors are the root's rows.  The
+qualifier-value map is built in reverse pre-order, the same insertion
+order the kernel produces.
+"""
+
+from __future__ import annotations
+
+from repro.core.kernel.tables import plan_tables
+from repro.core.qualifiers import FragmentQualifierOutput
+from repro.core.vector.encode import vector_fragment
+from repro.core.vector.program import vector_program
+from repro.core.vector.quals import qualifier_analysis
+from repro.fragments.fragment import Fragment
+from repro.xmltree.flat import FlatFragment
+from repro.xpath.plan import QueryPlan
+
+__all__ = ["evaluate_fragment_qualifiers_vector"]
+
+
+def evaluate_fragment_qualifiers_vector(
+    fragment: Fragment, flat: FlatFragment, plan: QueryPlan
+) -> FragmentQualifierOutput:
+    """Column-at-a-time qualifier pass over the window encoding."""
+    output = FragmentQualifierOutput(fragment_id=fragment.fragment_id)
+    n_items = plan.n_items
+    if not plan.has_qualifiers:
+        # Same early-out as the kernel: no qualifier work, no operation
+        # charge (the accounting fingerprints must match bit for bit).
+        output.root_head = [False] * n_items
+        output.root_desc = [False] * n_items
+        return output
+
+    vf = vector_fragment(flat)
+    tables = plan_tables(flat, plan)
+    program = vector_program(vf, plan, tables)
+    analysis = qualifier_analysis(vf, flat, plan, tables, program)
+
+    output.root_head = analysis.root_head
+    output.root_desc = analysis.root_desc
+
+    # Per-element qualifier values, inserted in reverse pre-order exactly
+    # like the kernel's reverse walk.  tolist() materializes Python bools
+    # (numpy bool_ must never leave the columns).
+    qual_values = output.qual_values
+    node_ids = flat.node_ids
+    value_cols = [col.tolist() for col in analysis.sel_qual_cols]
+    sym_values = analysis.sym_qual_values
+    for index in vf.elem_idx[::-1].tolist():
+        values = sym_values.get(index)
+        if values is None:
+            values = tuple(col[index] for col in value_cols)
+        qual_values[node_ids[index]] = values
+
+    output.operations = flat.n_elements * max(1, n_items)
+    output.root_vector_units = len(tables.head_item_ids) + len(tables.desc_item_ids)
+    return output

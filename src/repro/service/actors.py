@@ -28,7 +28,7 @@ from collections import deque
 from contextlib import asynccontextmanager
 from typing import AsyncIterator, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.kernel.dispatch import combined_pass_batch
+from repro.core.kernel.dispatch import combined_pass_batch, fragment_engine
 from repro.obs.trace import NEGLIGIBLE_WAIT_SECONDS, add_span
 from repro.service.metrics import BatchStats
 
@@ -399,7 +399,7 @@ class FragmentWaveBatcher:
         add_span("batch:window", "window", queued_at, scan_started,
                  fragment=fragment_id)
         add_span("kernel:fused", "kernel", scan_started, scan_ended,
-                 fragment=fragment_id)
+                 fragment=fragment_id, engine=self.engine or fragment_engine())
         return output
 
     def _flush(self) -> None:

@@ -51,7 +51,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.booleans.env import Environment
 from repro.booleans.formula import FormulaLike
 from repro.core.combined import FragmentCombinedOutput
-from repro.core.kernel.dispatch import combined_pass, prewarm_fragments
+from repro.core.kernel.dispatch import combined_pass, fragment_engine, prewarm_fragments
 from repro.core.naive import run_naive_centralized
 from repro.core.parbox import run_parbox
 from repro.core.pax2 import _output_units
@@ -124,7 +124,10 @@ async def evaluate_query_async(
             # build here; warm calls are a cheap no-op check.  A snapshot read
             # already captured its flats at pin time and must not rebuild
             # from a tree a concurrent writer may be mutating.
-            with trace_span("kernel:prewarm", stage="kernel"):
+            with trace_span(
+                "kernel:prewarm", stage="kernel",
+                engine=engine or fragment_engine(),
+            ):
                 prewarm_fragments(fragmentation, engine=engine)
         transport = AsyncTransport(
             network,
@@ -170,7 +173,10 @@ async def _run_sync_fallback(
     sent them) after the run.
     """
     async with actors[network.coordinator_id].slot(f"{algorithm}:run"):
-        with trace_span(f"kernel:{algorithm}", stage="kernel", algorithm=algorithm):
+        with trace_span(
+            f"kernel:{algorithm}", stage="kernel", algorithm=algorithm,
+            engine=engine or fragment_engine(),
+        ):
             if algorithm == "pax3":
                 stats = run_pax3(
                     fragmentation, plan, network=network,
@@ -369,6 +375,7 @@ async def _run_pax2_async(
                     with trace_span(
                         "kernel:combined", stage="kernel",
                         site=site_id, fragments=len(fragment_ids),
+                        engine=engine or fragment_engine(),
                     ):
                         outputs = [
                             combined_pass(

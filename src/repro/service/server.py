@@ -56,7 +56,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.common import QueryInput
-from repro.core.kernel.dispatch import ENGINES, KERNEL, fragment_engine
+from repro.core.kernel.dispatch import ENGINES, KERNEL, VECTOR, fragment_engine
 from repro.core.results import PartialAnswer, QueryResult
 from repro.distributed.async_transport import LatencyModel
 from repro.distributed.faults import FaultInjector
@@ -173,7 +173,7 @@ class ServiceConfig:
     #: slices and overload budgets (``FairnessPolicy(enabled=False)``
     #: restores the flat FIFO semaphore order)
     fairness: FairnessPolicy = field(default_factory=FairnessPolicy)
-    #: MVCC snapshot reads: eligible readers (PaX2 on the kernel engine)
+    #: MVCC snapshot reads: eligible readers (PaX2 on a columnar engine)
     #: pin a version snapshot instead of holding the read gate, so writes
     #: never wait for reader drain (``SnapshotPolicy(enabled=False)``
     #: restores gate-serialized reads)
@@ -575,14 +575,16 @@ class ServiceHost:
     def _snapshot_reads(self, algorithm: str) -> bool:
         """Whether reads of *algorithm* run against pinned MVCC snapshots.
 
-        Only the PaX2 path on the columnar kernel engine evaluates purely
-        from :class:`~repro.xmltree.flat.FlatFragment` arrays; the reference
-        engine and the sync fallbacks walk the live object tree and must
-        keep gate-serialized reads.
+        Only the PaX2 path on the columnar engines (kernel, vector)
+        evaluates purely from :class:`~repro.xmltree.flat.FlatFragment`
+        arrays — the vector tier's numpy window columns hang off the pinned
+        flats, so a snapshot freezes them too; the reference engine and the
+        sync fallbacks walk the live object tree and must keep
+        gate-serialized reads.
         """
         if not self.config.snapshots.enabled or algorithm != "pax2":
             return False
-        return (self.config.engine or fragment_engine()) == KERNEL
+        return (self.config.engine or fragment_engine()) in (KERNEL, VECTOR)
 
     def _check_pending_budget(self) -> None:
         limit = self.config.max_pending

@@ -76,6 +76,7 @@ class FlatFragment:
         "_tables",
         "_batch_tables",
         "_id_index",
+        "_vector",
     )
 
     def __init__(
@@ -125,6 +126,11 @@ class FlatFragment:
         #: node_id -> flat index, built lazily on first index_of() — only
         #: the MVCC snapshot accounting needs it, per-query scans never do
         self._id_index: Optional[Dict[NodeId, int]] = None
+        #: numpy accelerator encoding (pre/post/level columns + per-tag
+        #: index), built lazily by repro.core.vector.encode.vector_fragment;
+        #: riding on the FlatFragment means the content-fingerprint cache,
+        #: epoch bumps and MVCC snapshot pinning all govern it for free
+        self._vector: Optional[object] = None
 
     # -- structure helpers --------------------------------------------------
 

@@ -68,6 +68,27 @@ def test_rule_metadata(rule_id):
     assert "::" in doc, f"{rule_id} docstring carries no in-repo example"
 
 
+def test_vector_modules_are_clean_sync_helpers():
+    """The vector tier's scans are sync helpers: zero gate findings.
+
+    The executor-offload idiom the service layer uses for whole-column
+    scans must not read as blocking-in-async (or anything else) — a rule
+    change that starts flagging ``repro.core.vector`` fails here first.
+    """
+    vector_dir = pathlib.Path(__file__).parents[2] / "src" / "repro" / "core" / "vector"
+    modules = sorted(vector_dir.glob("*.py"))
+    assert modules, f"no vector modules found under {vector_dir}"
+    for module in modules:
+        findings = analyze_source(
+            module.read_text(encoding="utf-8"), str(module)
+        )
+        noisy = [f for f in findings if f.counts_against_gate]
+        assert not noisy, (
+            f"{module.name} raised findings:\n"
+            + "\n".join(f"  {f.rule}@{f.line}: {f.message}" for f in noisy)
+        )
+
+
 def test_findings_carry_location_and_snippet():
     findings = analyze_source(_fixture("tp", "permit-leak"), "tp_permit_leak.py")
     finding = next(f for f in findings if f.rule == "permit-leak")

@@ -4,7 +4,8 @@ The batch path (:func:`repro.core.batch.run_pax2_batch` and the fused
 kernel underneath it) must produce, for every query of every wave, answers
 *and* traffic accounting identical to the single-query kernel and to the
 object-tree reference engine — on every bundled workload, at batch sizes
-{1, 2, 7}, with duplicate queries in the wave, and for both engine flags.
+{1, 2, 7}, with duplicate queries in the wave, and for every engine flag
+(including the numpy vector tier when numpy is importable).
 """
 
 import pytest
@@ -15,8 +16,9 @@ from repro.core.common import ensure_plan
 from repro.core.engine import DistributedQueryEngine
 from repro.core.kernel.batch import evaluate_fragment_combined_batch
 from repro.core.kernel.combined import evaluate_fragment_combined_flat
-from repro.core.kernel.dispatch import KERNEL, REFERENCE
+from repro.core.kernel.dispatch import KERNEL, REFERENCE, VECTOR
 from repro.core.pax2 import run_pax2
+from repro.core.vector import numpy_available
 from repro.core.selection import concrete_root_init_vector, variable_init_vector
 from repro.workloads.queries import (
     CLIENTELE_QUERIES,
@@ -25,6 +27,13 @@ from repro.workloads.queries import (
     clientele_paper_fragmentation,
 )
 from repro.workloads.scenarios import build_ft1, build_ft2
+
+
+def available_engines():
+    """All engine tiers runnable in this process (vector needs numpy)."""
+    if numpy_available():
+        return (KERNEL, REFERENCE, VECTOR)
+    return (KERNEL, REFERENCE)
 
 
 def fingerprint(stats):
@@ -82,9 +91,17 @@ def test_batch_matches_solo_kernel_and_reference(workloads, use_annotations, bat
                 )
             )
             assert kernel == reference, (name, query)
+            if numpy_available():
+                vector = fingerprint(
+                    run_pax2(
+                        fragmentation, query, placement=placement,
+                        use_annotations=use_annotations, engine=VECTOR,
+                    )
+                )
+                assert vector == reference, (name, query)
             solo[query] = kernel
         wave = wave_of(queries, batch_size)
-        for engine in (KERNEL, REFERENCE):
+        for engine in available_engines():
             batch = run_pax2_batch(
                 fragmentation, wave, placement=placement,
                 use_annotations=use_annotations, engine=engine,
@@ -112,7 +129,12 @@ def test_wave_of_duplicates_collapses_to_one_slot(workloads):
 
 
 def test_fused_kernel_outputs_are_bit_identical(workloads):
-    """Per-fragment outputs of the fused kernel match both single paths."""
+    """Per-fragment outputs of the batched scans match every single path.
+
+    The kernel's fused batch and (when numpy is importable) the vector
+    tier's stacked batch must both reproduce, field for field, what the
+    single-query kernel and the object-tree reference compute.
+    """
     def outputs_equal(a, b):
         return (
             a.root_head == b.root_head
@@ -140,7 +162,18 @@ def test_fused_kernel_outputs_are_bit_identical(workloads):
             batched = evaluate_fragment_combined_batch(
                 fragment, flat, plans, init_vectors, is_root
             )
-            for plan, init_vector, output in zip(plans, init_vectors, batched):
+            vector_batched = None
+            if numpy_available():
+                from repro.core.vector.batch import (
+                    evaluate_fragment_combined_vector_batch,
+                )
+
+                vector_batched = evaluate_fragment_combined_vector_batch(
+                    fragment, flat, plans, init_vectors, is_root
+                )
+            for slot, (plan, init_vector, output) in enumerate(
+                zip(plans, init_vectors, batched)
+            ):
                 single = evaluate_fragment_combined_flat(
                     fragment, flat, plan, init_vector, is_root
                 )
@@ -149,6 +182,10 @@ def test_fused_kernel_outputs_are_bit_identical(workloads):
                 )
                 assert outputs_equal(output, single), (name, fragment_id, plan.source)
                 assert outputs_equal(output, reference), (name, fragment_id, plan.source)
+                if vector_batched is not None:
+                    assert outputs_equal(vector_batched[slot], single), (
+                        name, fragment_id, plan.source,
+                    )
 
 
 def test_engine_run_batch_matches_run(workloads):

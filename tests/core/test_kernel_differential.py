@@ -1,6 +1,7 @@
-"""Differential tests: the columnar kernel and the object-tree reference
-produce bit-identical answers *and* identical traffic accounting for PaX3,
-PaX2 and ParBoX on every bundled workload."""
+"""Differential tests: every engine tier — the columnar kernel, the numpy
+vector tier and the object-tree reference — produces bit-identical answers
+*and* identical traffic accounting for PaX3, PaX2 and ParBoX on every
+bundled workload."""
 
 import pytest
 
@@ -9,11 +10,14 @@ from repro.core.kernel.dispatch import (
     ENGINES,
     KERNEL,
     REFERENCE,
+    VECTOR,
     fragment_engine,
+    prewarm_fragments,
     set_fragment_engine,
     use_fragment_engine,
 )
 from repro.core.parbox import run_parbox
+from repro.core.vector import numpy_available
 from repro.workloads.queries import (
     CLIENTELE_QUERIES,
     PAPER_QUERIES,
@@ -21,6 +25,13 @@ from repro.workloads.queries import (
     clientele_paper_fragmentation,
 )
 from repro.workloads.scenarios import build_ft1, build_ft2
+
+
+def available_engines():
+    """All engine tiers runnable in this process (vector needs numpy)."""
+    if numpy_available():
+        return (REFERENCE, KERNEL, VECTOR)
+    return (REFERENCE, KERNEL)
 
 
 def fingerprint(stats):
@@ -57,7 +68,7 @@ def workloads():
 
 @pytest.mark.parametrize("algorithm", ["pax2", "pax3"])
 @pytest.mark.parametrize("use_annotations", [False, True])
-def test_kernel_matches_reference_on_all_workloads(workloads, algorithm, use_annotations):
+def test_engines_match_reference_on_all_workloads(workloads, algorithm, use_annotations):
     for name, (fragmentation, placement, queries) in workloads.items():
         engines = {
             engine: DistributedQueryEngine(
@@ -67,15 +78,20 @@ def test_kernel_matches_reference_on_all_workloads(workloads, algorithm, use_ann
                 use_annotations=use_annotations,
                 engine=engine,
             )
-            for engine in (REFERENCE, KERNEL)
+            for engine in available_engines()
         }
         for query in queries:
             reference = fingerprint(engines[REFERENCE].run(query))
-            kernel = fingerprint(engines[KERNEL].run(query))
-            assert kernel == reference, (name, algorithm, use_annotations, query)
+            for engine in available_engines():
+                if engine == REFERENCE:
+                    continue
+                got = fingerprint(engines[engine].run(query))
+                assert got == reference, (
+                    name, algorithm, use_annotations, engine, query,
+                )
 
 
-def test_parbox_kernel_matches_reference(workloads):
+def test_parbox_engines_match_reference(workloads):
     clientele, _, _ = workloads["clientele"]
     boolean_queries = [
         CLIENTELE_QUERIES["boolean_goog"],
@@ -85,21 +101,25 @@ def test_parbox_kernel_matches_reference(workloads):
     ]
     for query in boolean_queries:
         reference = fingerprint(run_parbox(clientele, query, engine=REFERENCE))
-        kernel = fingerprint(run_parbox(clientele, query, engine=KERNEL))
-        assert kernel == reference, query
+        for engine in available_engines():
+            if engine == REFERENCE:
+                continue
+            got = fingerprint(run_parbox(clientele, query, engine=engine))
+            assert got == reference, (engine, query)
 
 
-def test_kernel_matches_reference_through_the_service_layer(workloads):
+def test_engines_match_reference_through_the_service_layer(workloads):
     fragmentation, placement, queries = workloads["xmark-ft2"]
     results = {}
-    for engine in (REFERENCE, KERNEL):
+    for engine in available_engines():
         service = DistributedQueryEngine(
             fragmentation, placement=placement, engine=engine
         ).as_service(cache_capacity=0, max_in_flight=4)
         results[engine] = [
             fingerprint(service.execute(query).stats) for query in queries
         ]
-    assert results[KERNEL] == results[REFERENCE]
+    for engine in available_engines():
+        assert results[engine] == results[REFERENCE], engine
 
 
 class TestEngineFlag:
@@ -139,10 +159,53 @@ class TestEngineFlag:
         assert _engine_from_environ() == "reference"
 
 
+class TestVectorWithoutNumpy:
+    """The vector tier degrades to an actionable error when numpy is gone;
+    the other two tiers keep working untouched."""
+
+    @pytest.fixture()
+    def no_numpy(self, monkeypatch):
+        import repro.core.vector.encode as encode
+
+        monkeypatch.setattr(encode, "_np", None)
+
+    def test_require_numpy_raises_actionable_error(self, no_numpy):
+        from repro.core.vector import numpy_available, require_numpy
+
+        assert not numpy_available()
+        with pytest.raises(RuntimeError, match="numpy") as excinfo:
+            require_numpy()
+        # The message must tell the operator what to do, not just what broke.
+        for alternative in ("pip install numpy", "kernel", "REPRO_FRAGMENT_ENGINE"):
+            assert alternative in str(excinfo.value)
+
+    def test_vector_prewarm_raises_before_any_query_runs(self, no_numpy):
+        fragmentation = clientele_paper_fragmentation(clientele_example_tree())
+        with pytest.raises(RuntimeError, match="numpy"):
+            prewarm_fragments(fragmentation, engine=VECTOR)
+
+    def test_vector_query_raises_actionable_error(self, no_numpy):
+        fragmentation = clientele_paper_fragmentation(clientele_example_tree())
+        engine = DistributedQueryEngine(fragmentation, engine=VECTOR)
+        with pytest.raises(RuntimeError, match="numpy"):
+            engine.run('client[country/text() = "us"]/name')
+
+    def test_kernel_and_reference_still_work(self, no_numpy):
+        fragmentation = clientele_paper_fragmentation(clientele_example_tree())
+        query = 'client[country/text() = "us"]/name'
+        answers = {
+            engine: DistributedQueryEngine(fragmentation, engine=engine)
+            .execute(query).answer_ids
+            for engine in (KERNEL, REFERENCE)
+        }
+        assert answers[KERNEL]
+        assert answers[KERNEL] == answers[REFERENCE]
+
+
 class TestInPlaceEdits:
     def test_engine_refresh_rebuilds_the_columnar_encodings(self):
         fragmentation = clientele_paper_fragmentation(clientele_example_tree())
-        for engine_name in (KERNEL, REFERENCE):
+        for engine_name in available_engines():
             fragmentation.invalidate_flat()
             engine = DistributedQueryEngine(fragmentation, engine=engine_name)
             query = 'client[country/text() = "us"]/name'

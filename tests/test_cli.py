@@ -344,11 +344,41 @@ class TestBenchCoreCommand:
         assert "pass combined" in out and "headline" in out
         report = json.loads(output.read_text(encoding="utf-8"))
         assert report["benchmark"] == "core_kernels"
-        assert set(report["workloads"]) == {"xmark-ft2", "xmark-ft1", "clientele"}
-        for workload in report["workloads"].values():
+        assert set(report["workloads"]) == {
+            "xmark-ft2", "xmark-ft1", "clientele", "xmark-ft2-large",
+        }
+        for name, workload in report["workloads"].items():
             assert set(workload["passes"]) == {"qualifier", "selection", "combined"}
-            for timing in workload["algorithms"].values():
+            for timing in workload["passes"].values():
+                for engine in workload["engines"]:
+                    assert timing[f"{engine}_seconds"] > 0
+            # The larger-document sweep times passes only.
+            algorithms = workload.get("algorithms", {})
+            assert bool(algorithms) == (name != "xmark-ft2-large")
+            for timing in algorithms.values():
                 assert timing["verified_identical"]
+
+    def test_vector_headline_when_numpy_available(self, tmp_path):
+        import json
+
+        from repro.core.vector import numpy_available
+
+        output = tmp_path / "BENCH_core.json"
+        code = main([
+            "bench-core", "--bytes", "15000", "--repeats", "1",
+            "--large-bytes", "0", "--output", str(output),
+        ])
+        assert code == 0
+        report = json.loads(output.read_text(encoding="utf-8"))
+        # --large-bytes 0 skips the sweep workload entirely.
+        assert "xmark-ft2-large" not in report["workloads"]
+        headline = report["headline"]
+        assert "xmark_combined_pass_speedup" in headline
+        if numpy_available():
+            assert headline["vector_combined_pass_speedup"] > 0
+            assert "vector >= 3x kernel" in headline["vector_criterion"]
+        else:
+            assert "vector_combined_pass_speedup" not in headline
 
 
 class TestBenchUpdateCommand:
